@@ -1,0 +1,140 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) and runs Bechamel
+   micro-benchmarks of the compile passes.
+
+   Usage:
+     main.exe                  run everything (figures + micro-benches)
+     main.exe fig5 [trials]    one figure (table2, fig1, fig5..fig11)
+     main.exe micro            only the Bechamel micro-benchmarks
+     main.exe quick            figures with reduced trial counts *)
+
+module E = Nisq_bench.Experiments
+module Benchmarks = Nisq_bench.Benchmarks
+module Synth = Nisq_bench.Synth
+module Config = Nisq_compiler.Config
+module Compile = Nisq_compiler.Compile
+module Calib_gen = Nisq_device.Calib_gen
+module Ibmq16 = Nisq_device.Ibmq16
+module Runner = Nisq_sim.Runner
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table/figure compile path        *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let calib = Ibmq16.calibration ~day:0 () in
+  let bv4 = (Benchmarks.by_name "BV4").Benchmarks.circuit in
+  let toffoli = (Benchmarks.by_name "Toffoli").Benchmarks.circuit in
+  let adder = (Benchmarks.by_name "Adder").Benchmarks.circuit in
+  let rand64 = Synth.random_circuit ~qubits:64 ~gates:512 ~seed:11 () in
+  let topo64 = Synth.grid_for ~qubits:64 in
+  let calib64 = Calib_gen.generate ~topology:topo64 ~seed:11 ~day:0 () in
+  let compiled_bv4 =
+    Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib bv4
+  in
+  let runner = E.runner_of compiled_bv4 in
+  let stage f = Staged.stage f in
+  let tests =
+    Test.make_grouped ~name:"nisq" ~fmt:"%s/%s"
+      [
+        Test.make ~name:"table2:build-suite"
+          (stage (fun () -> List.length Benchmarks.all));
+        Test.make ~name:"fig1:one-day-calibration"
+          (stage (fun () -> Ibmq16.calibration ~day:3 ()));
+        Test.make ~name:"fig5:rsmt-compile-bv4"
+          (stage (fun () ->
+               Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib bv4));
+        Test.make ~name:"fig6:rsmt-compile-toffoli"
+          (stage (fun () ->
+               Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib
+                 toffoli));
+        Test.make ~name:"fig7:tsmt-star-compile-toffoli"
+          (stage (fun () ->
+               Compile.run ~config:(Config.make Config.T_smt_star) ~calib toffoli));
+        Test.make ~name:"fig8:qiskit-compile-bv4"
+          (stage (fun () ->
+               Compile.run ~config:(Config.make Config.Qiskit) ~calib bv4));
+        Test.make ~name:"fig9:tsmt-rr-compile-adder"
+          (stage (fun () ->
+               Compile.run
+                 ~config:(Config.make ~routing:Config.Rectangle_reservation Config.T_smt)
+                 ~calib adder));
+        Test.make ~name:"fig10:greedy-e-compile-adder"
+          (stage (fun () ->
+               Compile.run ~config:(Config.make Config.Greedy_e) ~calib adder));
+        Test.make ~name:"fig11:greedy-e-compile-64q"
+          (stage (fun () ->
+               Compile.run ~config:(Config.make Config.Greedy_e) ~calib:calib64
+                 rand64));
+        Test.make ~name:"sim:one-noisy-trial-bv4"
+          (stage
+             (let rng = Nisq_util.Rng.create 1 in
+              fun () -> Runner.run_trial runner rng));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~stabilize:false ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "=== Bechamel micro-benchmarks (monotonic clock) ===";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1_000_000.0 then
+        Printf.printf "%-40s %10.3f ms/run\n" name (ns /. 1_000_000.0)
+      else if ns >= 1_000.0 then
+        Printf.printf "%-40s %10.3f us/run\n" name (ns /. 1_000.0)
+      else Printf.printf "%-40s %10.1f ns/run\n" name ns)
+    rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let trials =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2048
+  in
+  match arg with
+  | "table2" -> print_string (E.table2 ())
+  | "fig1" -> print_string (E.fig1 ())
+  | "fig5" -> print_string (E.fig5 ~trials ())
+  | "fig6" -> print_string (E.fig6 ~trials ())
+  | "fig7" -> print_string (E.fig7 ~trials ())
+  | "fig8" -> print_string (E.fig8 ())
+  | "fig9" -> print_string (E.fig9 ())
+  | "fig10" -> print_string (E.fig10 ~trials ())
+  | "fig11" -> print_string (E.fig11 ())
+  | "ablations" ->
+      print_string (E.ablation_movement ~trials ());
+      print_string (E.ablation_topology ~trials ());
+      print_string (E.ablation_trials ());
+      print_string (E.ablation_high_variance ~trials ());
+      print_string (E.ablation_architecture ~trials ())
+  | "micro" -> micro ()
+  | "quick" ->
+      print_string (E.run_all ~trials:512 ~quick:true ());
+      micro ()
+  | "all" ->
+      print_string (E.run_all ~trials ());
+      micro ()
+  | other ->
+      Printf.eprintf
+        "unknown argument %S (want table2|fig1|fig5..fig11|ablations|micro|quick|all)\n"
+        other;
+      exit 2

@@ -1,0 +1,330 @@
+(* nisqc — noise-adaptive NISQ compiler command-line interface.
+
+   Subcommands:
+     compile      map a benchmark or OpenQASM file onto the machine and
+                  print mapping, metrics and (optionally) OpenQASM
+     run          compile then estimate the success rate by simulation
+     calibration  show a day's machine calibration
+     list         list built-in benchmarks and compiler configurations
+     experiment   regenerate one of the paper's tables/figures *)
+
+open Cmdliner
+module Circuit = Nisq_circuit.Circuit
+module Qasm = Nisq_circuit.Qasm
+module Calibration = Nisq_device.Calibration
+module Ibmq16 = Nisq_device.Ibmq16
+module Config = Nisq_compiler.Config
+module Compile = Nisq_compiler.Compile
+module Layout = Nisq_compiler.Layout
+module Budget = Nisq_solver.Budget
+module Benchmarks = Nisq_bench.Benchmarks
+module Experiments = Nisq_bench.Experiments
+module Runner = Nisq_sim.Runner
+
+(* ------------------------- shared arguments ------------------------ *)
+
+let method_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "qiskit" -> Ok Config.Qiskit
+    | "tsmt" | "t-smt" -> Ok Config.T_smt
+    | "tsmt*" | "t-smt*" | "tsmt-star" -> Ok Config.T_smt_star
+    | "greedyv" | "greedyv*" -> Ok Config.Greedy_v
+    | "greedye" | "greedye*" -> Ok Config.Greedy_e
+    | s when String.length s > 5 && String.sub s 0 5 = "rsmt:" ->
+        (try Ok (Config.R_smt_star (Float.of_string (String.sub s 5 (String.length s - 5))))
+         with _ -> Error (`Msg "bad omega in rsmt:<omega>"))
+    | "rsmt" | "rsmt*" | "r-smt*" -> Ok (Config.R_smt_star 0.5)
+    | _ ->
+        Error
+          (`Msg
+            "unknown method (qiskit | tsmt | tsmt* | rsmt | rsmt:<omega> | \
+             greedyv | greedye)")
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with
+      | Config.Qiskit -> "qiskit"
+      | Config.T_smt -> "tsmt"
+      | Config.T_smt_star -> "tsmt*"
+      | Config.R_smt_star w -> Printf.sprintf "rsmt:%g" w
+      | Config.Greedy_v -> "greedyv"
+      | Config.Greedy_e -> "greedye")
+  in
+  Arg.conv (parse, print)
+
+let routing_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "rr" -> Ok Config.Rectangle_reservation
+    | "1bp" -> Ok Config.One_bend
+    | "bestpath" | "best-path" -> Ok Config.Best_path
+    | _ -> Error (`Msg "unknown routing policy (rr | 1bp | bestpath)")
+  in
+  let print ppf r = Format.pp_print_string ppf (Config.routing_name r) in
+  Arg.conv (parse, print)
+
+let method_arg =
+  Arg.(
+    value
+    & opt method_conv (Config.R_smt_star 0.5)
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:
+          "Mapping method: qiskit, tsmt, tsmt*, rsmt (= rsmt:0.5), \
+           rsmt:$(i,OMEGA), greedyv, greedye.")
+
+let movement_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "swap-back" | "swapback" | "static" -> Ok Config.Swap_back
+    | "move" | "move-and-stay" | "dynamic" -> Ok Config.Move_and_stay
+    | _ -> Error (`Msg "unknown movement model (swap-back | move-and-stay)")
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with Config.Swap_back -> "swap-back" | Config.Move_and_stay -> "move-and-stay")
+  in
+  Arg.conv (parse, print)
+
+let movement_arg =
+  Arg.(
+    value
+    & opt movement_conv Config.Swap_back
+    & info [ "movement" ] ~docv:"MODEL"
+        ~doc:"Qubit movement model: swap-back (the paper's static \
+              placement) or move-and-stay (dynamic routing).")
+
+let routing_arg =
+  Arg.(
+    value
+    & opt (some routing_conv) None
+    & info [ "r"; "routing" ] ~docv:"POLICY"
+        ~doc:"Routing policy: rr, 1bp or bestpath (default: the paper's \
+              choice for the method).")
+
+let day_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "d"; "day" ] ~docv:"DAY" ~doc:"Calibration day to compile for.")
+
+let seed_arg =
+  Arg.(
+    value & opt int Ibmq16.default_seed
+    & info [ "calibration-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the synthetic calibration stream.")
+
+let program_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROGRAM"
+        ~doc:
+          "Benchmark name (see $(b,nisqc list)), an OpenQASM 2.0 file, or a \
+           mini-Scaffold file (.scaf).")
+
+let load_program name =
+  if Sys.file_exists name then begin
+    if Filename.check_suffix name ".scaf" then
+      (Filename.basename name, Nisq_frontend.Scaffold.parse_file name, None)
+    else begin
+      let ic = open_in name in
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      (Filename.basename name, Qasm.of_string src, None)
+    end
+  end
+  else
+    let b = Benchmarks.by_name name in
+    (b.Benchmarks.name, b.Benchmarks.circuit, Some b.Benchmarks.expected)
+
+let config_of ?(movement = Config.Swap_back) method_ routing =
+  match routing with
+  | Some r -> Config.make ~routing:r ~movement method_
+  | None -> Config.make ~movement method_
+
+let describe_result name (r : Compile.t) =
+  Printf.printf "program     : %s (%d qubits, %d gates, %d CNOTs)\n" name
+    r.Compile.program.Circuit.num_qubits
+    (Circuit.gate_count r.Compile.program)
+    (Circuit.cnot_count r.Compile.program);
+  Printf.printf "config      : %s\n" (Config.name r.Compile.config);
+  Printf.printf "day         : %d\n" r.Compile.calib.Calibration.day;
+  Printf.printf "swaps       : %d\n" r.Compile.swap_count;
+  Printf.printf "duration    : %d timeslots (%.2f us)\n" r.Compile.duration
+    (Float.of_int r.Compile.duration *. Calibration.timeslot_ns /. 1000.0);
+  Printf.printf "ESP         : %.4f\n" r.Compile.esp;
+  Printf.printf "compile time: %.4f s\n" r.Compile.compile_seconds;
+  (match r.Compile.solver_stats with
+  | Some s ->
+      Printf.printf "solver      : %d nodes, %s\n" s.Budget.nodes_visited
+        (if s.Budget.proven_optimal then "proven optimal" else "budget-truncated")
+  | None -> ());
+  Printf.printf "\nmapping (program qubits on the device grid):\n%s\n"
+    (Layout.render Ibmq16.topology ~calib:r.Compile.calib r.Compile.layout)
+
+(* ------------------------------ compile ---------------------------- *)
+
+let compile_cmd =
+  let run program method_ routing movement day seed emit_qasm diagram =
+    let name, circuit, _ = load_program program in
+    let calib = Ibmq16.calibration ~seed ~day () in
+    if diagram then begin
+      print_endline "source circuit:";
+      print_string (Nisq_circuit.Draw.render circuit);
+      print_newline ()
+    end;
+    let r = Compile.run ~config:(config_of ~movement method_ routing) ~calib circuit in
+    describe_result name r;
+    if emit_qasm then begin
+      print_endline "compiled OpenQASM:";
+      print_string (Compile.to_qasm r)
+    end
+  in
+  let qasm_arg =
+    Arg.(value & flag & info [ "emit-qasm" ] ~doc:"Print the compiled OpenQASM.")
+  in
+  let diagram_arg =
+    Arg.(value & flag & info [ "diagram" ] ~doc:"Print an ASCII circuit diagram.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Map a program onto the machine")
+    Term.(
+      const run $ program_arg $ method_arg $ routing_arg $ movement_arg
+      $ day_arg $ seed_arg $ qasm_arg $ diagram_arg)
+
+(* -------------------------------- run ------------------------------ *)
+
+let run_cmd =
+  let run program method_ routing movement day seed trials sim_seed =
+    let name, circuit, expected = load_program program in
+    let calib = Ibmq16.calibration ~seed ~day () in
+    let r = Compile.run ~config:(config_of ~movement method_ routing) ~calib circuit in
+    describe_result name r;
+    let runner = Experiments.runner_of r in
+    let success = Runner.success_rate ~trials ~seed:sim_seed runner in
+    Printf.printf "ideal answer : %d (probability %.4f)\n"
+      (Runner.ideal_answer runner)
+      (Runner.ideal_answer_probability runner);
+    (match expected with
+    | Some e ->
+        Printf.printf "expected     : %d (%s)\n" e
+          (if e = Runner.ideal_answer runner then "matches" else "MISMATCH")
+    | None -> ());
+    Printf.printf "success rate : %.4f over %d trials\n" success trials
+  in
+  let trials_arg =
+    Arg.(value & opt int 4096
+         & info [ "t"; "trials" ] ~docv:"N" ~doc:"Number of noisy trials.")
+  in
+  let sim_seed_arg =
+    Arg.(value & opt int 424242
+         & info [ "sim-seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile then simulate noisy execution")
+    Term.(
+      const run $ program_arg $ method_arg $ routing_arg $ movement_arg
+      $ day_arg $ seed_arg $ trials_arg $ sim_seed_arg)
+
+(* ---------------------------- calibration -------------------------- *)
+
+let calibration_cmd =
+  let run day seed save load =
+    let calib =
+      match load with
+      | Some path -> Nisq_device.Calib_io.load ~path
+      | None -> Ibmq16.calibration ~seed ~day ()
+    in
+    Format.printf "%a@." Calibration.pp_summary calib;
+    print_newline ();
+    if Nisq_device.Topology.is_grid calib.Calibration.topology then begin
+      print_string
+        (Layout.render calib.Calibration.topology ~calib
+           (Layout.of_array
+              ~num_hw:(Nisq_device.Topology.num_qubits calib.Calibration.topology)
+              [||]));
+      print_endline
+        "(nodes: readout error %; edges: CNOT error %; all values daily)"
+    end;
+    match save with
+    | Some path ->
+        Nisq_device.Calib_io.save calib ~path;
+        Printf.printf "saved calibration to %s\n" path
+    | None -> ()
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE" ~doc:"Archive the calibration to a file.")
+  in
+  let load_arg =
+    Arg.(value & opt (some string) None
+         & info [ "load" ] ~docv:"FILE" ~doc:"Show an archived calibration instead.")
+  in
+  Cmd.v
+    (Cmd.info "calibration" ~doc:"Show, archive or reload machine calibration")
+    Term.(const run $ day_arg $ seed_arg $ save_arg $ load_arg)
+
+(* -------------------------------- list ----------------------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "benchmarks:";
+    List.iter
+      (fun b ->
+        let name, q, g, c = Benchmarks.characteristics b in
+        Printf.printf "  %-8s %d qubits, %2d gates, %2d CNOTs  — %s\n" name q g
+          c b.Benchmarks.description)
+      Benchmarks.all;
+    print_endline "\nconfigurations (Table 1):";
+    List.iter
+      (fun c -> Printf.printf "  %s\n" (Config.name c))
+      Config.paper_suite
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List built-in benchmarks and configurations")
+    Term.(const run $ const ())
+
+(* ----------------------------- experiment -------------------------- *)
+
+let experiment_cmd =
+  let run which trials =
+    let out =
+      match which with
+      | "table2" -> Experiments.table2 ()
+      | "fig1" -> Experiments.fig1 ()
+      | "fig5" -> Experiments.fig5 ~trials ()
+      | "fig6" -> Experiments.fig6 ~trials ()
+      | "fig7" -> Experiments.fig7 ~trials ()
+      | "fig8" -> Experiments.fig8 ()
+      | "fig9" -> Experiments.fig9 ()
+      | "fig10" -> Experiments.fig10 ~trials ()
+      | "fig11" -> Experiments.fig11 ()
+      | "all" -> Experiments.run_all ~trials ()
+      | other -> Printf.sprintf "unknown experiment %S\n" other
+    in
+    print_string out
+  in
+  let which_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"table2, fig1, fig5..fig11, or all.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 2048
+         & info [ "t"; "trials" ] ~docv:"N" ~doc:"Trials per success-rate point.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table/figure from the paper")
+    Term.(const run $ which_arg $ trials_arg)
+
+(* -------------------------------- main ----------------------------- *)
+
+let () =
+  let doc = "noise-adaptive compiler mappings for NISQ computers" in
+  let info = Cmd.info "nisqc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; run_cmd; calibration_cmd; list_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/daily_variation.ml: Array List Nisq_bench Nisq_compiler Nisq_device Nisq_sim Nisq_util Printf String

@@ -1,0 +1,1 @@
+examples/policy_tour.ml: List Nisq_bench Nisq_compiler Nisq_device Nisq_sim Nisq_util Printf

@@ -1,0 +1,1 @@
+examples/qasm_pipeline.ml: Nisq_bench Nisq_circuit Nisq_compiler Nisq_device Nisq_sim Printf

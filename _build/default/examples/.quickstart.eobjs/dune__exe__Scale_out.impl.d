@@ -1,0 +1,1 @@
+examples/scale_out.ml: Float List Nisq_bench Nisq_circuit Nisq_compiler Nisq_device Nisq_solver Nisq_util Printf

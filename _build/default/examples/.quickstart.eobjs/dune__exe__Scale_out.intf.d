@@ -1,0 +1,1 @@
+examples/scale_out.mli:

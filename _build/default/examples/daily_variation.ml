@@ -1,0 +1,56 @@
+(* Daily variation: the Fig. 6 scenario as an API walkthrough.
+
+   The machine is recalibrated every day and its error rates drift; a
+   noise-adaptive compiler recompiles each morning and follows the good
+   qubits around, while a static compiler keeps using the same hardware
+   even when it degrades. We run the Toffoli benchmark for two weeks under
+   both policies and report the gap.
+
+   Run with: dune exec examples/daily_variation.exe *)
+
+module Config = Nisq_compiler.Config
+module Compile = Nisq_compiler.Compile
+module Layout = Nisq_compiler.Layout
+module Ibmq16 = Nisq_device.Ibmq16
+module Runner = Nisq_sim.Runner
+module Experiments = Nisq_bench.Experiments
+module Benchmarks = Nisq_bench.Benchmarks
+module Stats = Nisq_util.Stats
+
+let () =
+  let bench = Benchmarks.by_name "Toffoli" in
+  let days = 14 in
+  let calibs = Ibmq16.calibration_series ~days () in
+  let adaptive = Config.make (Config.R_smt_star 0.5) in
+  let static = Config.make Config.T_smt_star in
+  Printf.printf "%-4s  %-22s  %-8s  %-8s\n" "day" "R-SMT* placement" "R-SMT*"
+    "T-SMT*";
+  let a_rates = Array.make days 0.0 and s_rates = Array.make days 0.0 in
+  Array.iteri
+    (fun day calib ->
+      let eval config =
+        let r = Compile.run ~config ~calib bench.Benchmarks.circuit in
+        let s =
+          Runner.success_rate ~trials:2048 ~seed:7 (Experiments.runner_of r)
+        in
+        (r, s)
+      in
+      let ra, sa = eval adaptive in
+      let _, ss = eval static in
+      a_rates.(day) <- sa;
+      s_rates.(day) <- ss;
+      let placement =
+        String.concat " "
+          (List.init 3 (fun p ->
+               Printf.sprintf "p%d->q%d" p (Layout.hw_of ra.Compile.layout p)))
+      in
+      Printf.printf "%-4d  %-22s  %-8.3f  %-8.3f\n" day placement sa ss)
+    calibs;
+  let geo, mx = Stats.ratio_summary ~num:a_rates ~den:s_rates in
+  Printf.printf
+    "\nacross %d days: noise-adaptive recompilation is %.2fx better on \
+     geomean (up to %.2fx on the worst day)\n"
+    days geo mx;
+  Printf.printf
+    "note how the R-SMT* placement moves across the grid as the machine's \
+     good qubits change.\n"

@@ -1,0 +1,57 @@
+(* Scale-out: compiling beyond the SMT horizon.
+
+   The SMT mappers are exact but stop scaling past ~32 qubits (Fig. 11);
+   the greedy heuristics keep going. This example compiles random programs
+   of growing size onto growing grids, switching mapper automatically, and
+   prints compile time and mapping quality (ESP per CNOT, a size-neutral
+   quality proxy).
+
+   Run with: dune exec examples/scale_out.exe *)
+
+module Config = Nisq_compiler.Config
+module Compile = Nisq_compiler.Compile
+module Circuit = Nisq_circuit.Circuit
+module Calib_gen = Nisq_device.Calib_gen
+module Budget = Nisq_solver.Budget
+module Synth = Nisq_bench.Synth
+module Table = Nisq_util.Table
+
+let () =
+  let sizes = [ (4, 64); (8, 128); (16, 256); (32, 512); (64, 1024); (128, 2048) ] in
+  let rows =
+    List.map
+      (fun (qubits, gates) ->
+        let topo = Synth.grid_for ~qubits in
+        let calib = Calib_gen.generate ~topology:topo ~seed:2025 ~day:0 () in
+        let circuit = Synth.random_circuit ~qubits ~gates ~seed:qubits () in
+        (* exact mapping while tractable, heuristic beyond *)
+        let config =
+          if qubits <= 8 then
+            Config.make ~budget:(Budget.seconds 20.0) (Config.R_smt_star 0.5)
+          else Config.make Config.Greedy_e
+        in
+        let r = Compile.run ~config ~calib circuit in
+        let cnots = Circuit.cnot_count r.Compile.hw_circuit in
+        let esp_per_cnot =
+          if cnots = 0 then 1.0
+          else exp (log (Float.max r.Compile.esp 1e-300) /. Float.of_int cnots)
+        in
+        [
+          Printf.sprintf "%dq/%dg" qubits gates;
+          Config.name config;
+          string_of_int r.Compile.swap_count;
+          string_of_int r.Compile.duration;
+          Printf.sprintf "%.4f" esp_per_cnot;
+          Printf.sprintf "%.4f" r.Compile.compile_seconds;
+        ])
+      sizes
+  in
+  Table.print
+    ~align:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:
+      [ "Program"; "Mapper"; "Swaps"; "Slots"; "ESP/CNOT"; "Compile s" ]
+    ~rows ();
+  print_endline
+    "\nESP/CNOT is the geometric-mean per-CNOT reliability achieved by the \
+     mapping; compile time stays in milliseconds for the heuristic even at \
+     128 qubits."

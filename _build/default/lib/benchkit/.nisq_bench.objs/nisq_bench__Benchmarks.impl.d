@@ -1,0 +1,1 @@
+lib/benchkit/benchmarks.ml: Float List Nisq_circuit Printf String

@@ -1,0 +1,1 @@
+lib/benchkit/benchmarks.mli: Nisq_circuit

@@ -1,0 +1,1 @@
+lib/benchkit/experiments.ml: Array Benchmarks Buffer Float List Nisq_circuit Nisq_compiler Nisq_device Nisq_sim Nisq_solver Nisq_util Option Printf String Synth

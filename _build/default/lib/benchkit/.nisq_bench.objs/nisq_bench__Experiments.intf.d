@@ -1,0 +1,1 @@
+lib/benchkit/experiments.mli: Benchmarks Nisq_compiler Nisq_device Nisq_sim

@@ -1,0 +1,1 @@
+lib/benchkit/synth.ml: Nisq_circuit Nisq_device Nisq_util Printf

@@ -1,0 +1,1 @@
+lib/benchkit/synth.mli: Nisq_circuit Nisq_device

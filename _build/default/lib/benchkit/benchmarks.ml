@@ -1,0 +1,288 @@
+module Circuit = Nisq_circuit.Circuit
+module B = Circuit.Builder
+module D = Nisq_circuit.Decompose
+
+type t = {
+  name : string;
+  circuit : Circuit.t;
+  expected : int;
+  description : string;
+}
+
+let bernstein_vazirani_named name ~secret n =
+  if n < 2 then invalid_arg "bernstein_vazirani: need >= 2 qubits";
+  if secret < 0 || secret >= 1 lsl (n - 1) then
+    invalid_arg "bernstein_vazirani: secret out of range";
+  let b = B.create ~name n in
+  let ancilla = n - 1 in
+  (* |-> on the ancilla, |+> on the data *)
+  B.x b ancilla;
+  for q = 0 to n - 1 do
+    B.h b q
+  done;
+  (* oracle f(x) = s.x: a CNOT from every data qubit with secret bit 1 *)
+  for q = 0 to n - 2 do
+    if secret land (1 lsl q) <> 0 then B.cnot b q ancilla
+  done;
+  for q = 0 to n - 2 do
+    B.h b q
+  done;
+  for q = 0 to n - 2 do
+    B.measure b q
+  done;
+  {
+    name;
+    circuit = B.build b;
+    expected = secret;
+    description = Printf.sprintf "Bernstein-Vazirani, hidden string %d" secret;
+  }
+
+let bernstein_vazirani n =
+  bernstein_vazirani_named (Printf.sprintf "BV%d" n)
+    ~secret:((1 lsl (n - 1)) - 1)
+    n
+
+let bernstein_vazirani_secret ~secret n =
+  bernstein_vazirani_named (Printf.sprintf "BV%d-s%d" n secret) ~secret n
+
+let hidden_shift_named name ~shift n =
+  if n < 2 || n mod 2 <> 0 then invalid_arg "hidden_shift: need even n >= 2";
+  if shift < 0 || shift >= 1 lsl n then
+    invalid_arg "hidden_shift: shift out of range";
+  let b = B.create ~name n in
+  let oracle () =
+    (* Maiorana-McFarland bent function f(x) = x0 x1 + x2 x3 + ... as CZs *)
+    let rec go q = if q + 1 < n then (D.emit_cz b q (q + 1); go (q + 2)) in
+    go 0
+  in
+  let apply_shift () =
+    for q = 0 to n - 1 do
+      if shift land (1 lsl q) <> 0 then B.x b q
+    done
+  in
+  for q = 0 to n - 1 do B.h b q done;
+  apply_shift ();
+  oracle ();
+  apply_shift ();
+  for q = 0 to n - 1 do B.h b q done;
+  oracle ();
+  for q = 0 to n - 1 do B.h b q done;
+  B.measure_all b;
+  {
+    name;
+    circuit = B.build b;
+    expected = shift;
+    description =
+      Printf.sprintf "Hidden shift for a bent function, shift %d" shift;
+  }
+
+let hidden_shift n =
+  hidden_shift_named (Printf.sprintf "HS%d" n) ~shift:((1 lsl n) - 1) n
+
+let hidden_shift_with ~shift n =
+  hidden_shift_named (Printf.sprintf "HS%d-s%d" n shift) ~shift n
+
+(* Controlled phase by angle a, decomposed into Rz and 2 CNOTs. *)
+let emit_cphase b a c t =
+  B.rz b (a /. 2.0) c;
+  B.cnot b c t;
+  B.rz b (-.a /. 2.0) t;
+  B.cnot b c t;
+  B.rz b (a /. 2.0) t
+
+let emit_qft b n =
+  for q = n - 1 downto 0 do
+    B.h b q;
+    for j = q - 1 downto 0 do
+      emit_cphase b (Float.pi /. Float.of_int (1 lsl (q - j))) j q
+    done
+  done
+
+let emit_qft_inverse b n =
+  for q = 0 to n - 1 do
+    for j = 0 to q - 1 do
+      emit_cphase b (-.Float.pi /. Float.of_int (1 lsl (q - j))) j q
+    done;
+    B.h b q
+  done
+
+let qft n =
+  if n < 2 then invalid_arg "qft: need >= 2 qubits";
+  let b = B.create ~name:(Printf.sprintf "QFT%d" n) n in
+  B.x b 0;
+  emit_qft b n;
+  emit_qft_inverse b n;
+  B.measure_all b;
+  {
+    name = Printf.sprintf "QFT%d" n;
+    circuit = B.build b;
+    expected = 1;
+    description = "QFT followed by its inverse on |0..01>";
+  }
+
+let toffoli =
+  let b = B.create ~name:"Toffoli" 3 in
+  B.x b 0;
+  B.x b 1;
+  D.emit_toffoli b 0 1 2;
+  B.measure_all b;
+  {
+    name = "Toffoli";
+    circuit = B.build b;
+    expected = 0b111;
+    description = "Toffoli gate on |110>";
+  }
+
+let fredkin =
+  let b = B.create ~name:"Fredkin" 3 in
+  B.x b 0;
+  B.x b 1;
+  D.emit_fredkin b 0 1 2;
+  B.measure_all b;
+  {
+    name = "Fredkin";
+    circuit = B.build b;
+    expected = 0b101;
+    description = "Controlled-SWAP on |1;10>";
+  }
+
+let or_gate =
+  let b = B.create ~name:"Or" 3 in
+  B.x b 0;
+  (* c = a OR b by De Morgan: c = NOT (NOT a AND NOT b) *)
+  B.x b 0;
+  B.x b 1;
+  D.emit_toffoli b 0 1 2;
+  B.x b 0;
+  B.x b 1;
+  B.x b 2;
+  B.measure_all b;
+  {
+    name = "Or";
+    circuit = B.build b;
+    expected = 0b101;
+    description = "OR(a=1, b=0) = 1";
+  }
+
+let peres =
+  let b = B.create ~name:"Peres" 3 in
+  B.x b 0;
+  B.x b 1;
+  D.emit_peres b 0 1 2;
+  B.measure_all b;
+  {
+    name = "Peres";
+    circuit = B.build b;
+    expected = 0b101;
+    description = "Peres gate on |110>: (a, a xor b, c xor ab)";
+  }
+
+let adder =
+  let b = B.create ~name:"Adder" 4 in
+  (* qubits: a, b, cin, cout; compute 1 + 1 + 0 *)
+  B.x b 0;
+  B.x b 1;
+  D.emit_toffoli b 0 1 3;
+  B.cnot b 0 1;
+  D.emit_toffoli b 1 2 3;
+  B.cnot b 1 2;
+  B.cnot b 0 1;
+  B.measure_all b;
+  {
+    name = "Adder";
+    circuit = B.build b;
+    (* a=1, b restored to 1, sum(q2)=0, cout(q3)=1 *)
+    expected = 0b1011;
+    description = "1-bit full adder: 1+1+0 -> sum 0, carry 1";
+  }
+
+let deutsch_jozsa n =
+  if n < 2 then invalid_arg "deutsch_jozsa: need >= 2 qubits";
+  let b = B.create ~name:(Printf.sprintf "DJ%d" n) n in
+  let ancilla = n - 1 in
+  B.x b ancilla;
+  for q = 0 to n - 1 do
+    B.h b q
+  done;
+  (* balanced oracle f(x) = x0: phase kickback through one CNOT *)
+  B.cnot b 0 ancilla;
+  for q = 0 to n - 2 do
+    B.h b q
+  done;
+  for q = 0 to n - 2 do
+    B.measure b q
+  done;
+  {
+    name = Printf.sprintf "DJ%d" n;
+    circuit = B.build b;
+    expected = 1;
+    (* balanced -> non-zero measurement, here exactly 0..01 *)
+    description = "Deutsch-Jozsa with the balanced oracle f(x) = x0";
+  }
+
+let grover2 =
+  let b = B.create ~name:"Grover2" 2 in
+  (* superposition *)
+  B.h b 0;
+  B.h b 1;
+  (* oracle marking |11>: CZ *)
+  D.emit_cz b 0 1;
+  (* diffusion: H X (CZ) X H *)
+  B.h b 0;
+  B.h b 1;
+  B.x b 0;
+  B.x b 1;
+  D.emit_cz b 0 1;
+  B.x b 0;
+  B.x b 1;
+  B.h b 0;
+  B.h b 1;
+  B.measure_all b;
+  {
+    name = "Grover2";
+    circuit = B.build b;
+    expected = 0b11;
+    description = "Two-qubit Grover search: one iteration finds |11> exactly";
+  }
+
+let all =
+  [
+    bernstein_vazirani 4;
+    bernstein_vazirani 6;
+    bernstein_vazirani 8;
+    hidden_shift 2;
+    hidden_shift 4;
+    hidden_shift 6;
+    toffoli;
+    fredkin;
+    or_gate;
+    peres;
+    qft 2;
+    adder;
+  ]
+
+let extended =
+  all
+  @ [
+      deutsch_jozsa 4;
+      deutsch_jozsa 6;
+      grover2;
+      bernstein_vazirani_secret ~secret:0b101 4;
+      bernstein_vazirani_secret ~secret:0b01010 6;
+      hidden_shift_with ~shift:0b0110 4;
+      hidden_shift_with ~shift:0b101001 6;
+    ]
+
+let by_name name =
+  let target = String.lowercase_ascii name in
+  match
+    List.find_opt (fun b -> String.lowercase_ascii b.name = target) extended
+  with
+  | Some b -> b
+  | None -> raise Not_found
+
+let characteristics b =
+  ( b.name,
+    b.circuit.Circuit.num_qubits,
+    Circuit.gate_count b.circuit,
+    Circuit.cnot_count b.circuit )

@@ -1,0 +1,76 @@
+(** The 12 paper benchmarks (Table 2).
+
+    Each benchmark is a circuit with a classically checkable answer: the
+    noiseless execution yields one outcome with probability ≈ 1, so the
+    measured success rate is the fraction of noisy trials returning that
+    outcome (§6 "Metrics"). Gate counts differ slightly from Table 2
+    where the paper used more aggressively optimized decompositions (see
+    EXPERIMENTS.md); CNOT-graph shapes match.
+
+    Answers are bit-packed: bit [i] is the measured value of the [i]-th
+    measured program qubit in ascending qubit order. *)
+
+type t = {
+  name : string;
+  circuit : Nisq_circuit.Circuit.t;
+  expected : int;  (** the correct answer *)
+  description : string;
+}
+
+val bernstein_vazirani : int -> t
+(** [bernstein_vazirani n]: [n] qubits = [n−1] data + 1 ancilla, hidden
+    string all-ones; expects answer [2^(n−1) − 1]. 3 CNOTs for BV4. *)
+
+val hidden_shift : int -> t
+(** [hidden_shift n] ([n] even): Maiorana–McFarland bent-function hidden
+    shift with shift all-ones; [n] CNOTs; expects [2^n − 1]. *)
+
+val qft : int -> t
+(** [qft n]: prepares |0…01⟩, applies QFT then QFT†, measures; expects
+    [1]. *)
+
+val toffoli : t
+(** |110⟩ → expects |111⟩. 6 CNOTs. *)
+
+val fredkin : t
+(** Controlled-SWAP of |1;10⟩ → expects |1;01⟩. 8 CNOTs. *)
+
+val or_gate : t
+(** OR(1,0) via De-Morgan Toffoli → expects c = 1. *)
+
+val peres : t
+(** Peres(1,1,0) → (1, 0, 1). *)
+
+val adder : t
+(** 1-bit full adder computing 1+1+0: sum 0, carry 1. *)
+
+val bernstein_vazirani_secret : secret:int -> int -> t
+(** BV with an arbitrary hidden string: [secret]'s bit [i] controls
+    whether data qubit [i] enters the oracle. Expects [secret]. *)
+
+val hidden_shift_with : shift:int -> int -> t
+(** Hidden shift with an arbitrary shift pattern. Expects [shift]. *)
+
+val deutsch_jozsa : int -> t
+(** [deutsch_jozsa n]: [n−1] data qubits + ancilla, balanced oracle
+    f(x) = x₀ ⊕ … — measuring the data yields a non-zero string
+    (here 10…0); constant oracles would yield all-zeros. *)
+
+val grover2 : t
+(** Two-qubit Grover search for the marked state |11⟩: a single
+    iteration finds it with certainty. Expects [0b11]. *)
+
+val all : t list
+(** BV4, BV6, BV8, HS2, HS4, HS6, Fredkin, Or, Peres, Toffoli, Adder,
+    QFT2 — the Table 2 suite. *)
+
+val extended : t list
+(** [all] plus Deutsch–Jozsa (4, 6), Grover-2, and non-trivial-secret
+    BV/HS instances — used by the wider regression tests and ablations. *)
+
+val by_name : string -> t
+(** Case-insensitive lookup. Raises [Not_found]. *)
+
+val characteristics : t -> string * int * int * int
+(** [(name, qubits, gates, cnots)] — the Table 2 row (CNOT count is over
+    the decomposed circuit, SWAP-free programs). *)

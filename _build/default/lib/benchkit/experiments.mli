@@ -1,0 +1,108 @@
+(** Regeneration of every table and figure in the paper's evaluation
+    (§7). Each [figN] returns the rendered report; [*_data] variants
+    expose the underlying numbers for tests and plotting.
+
+    Defaults: calibration seed {!Nisq_device.Ibmq16.default_seed}, day 0,
+    4096 trials (paper: 8192), all runs deterministic. *)
+
+type eval = {
+  bench : Benchmarks.t;
+  config : Nisq_compiler.Config.t;
+  result : Nisq_compiler.Compile.t;
+  success : float;
+}
+
+val runner_of : Nisq_compiler.Compile.t -> Nisq_sim.Runner.t
+(** Wrap a compiled program for the Monte-Carlo runner. *)
+
+val evaluate :
+  ?trials:int ->
+  ?seed:int ->
+  config:Nisq_compiler.Config.t ->
+  calib:Nisq_device.Calibration.t ->
+  Benchmarks.t ->
+  eval
+(** Compile then measure the success rate over noisy trials. *)
+
+val table2 : unit -> string
+(** Benchmark characteristics. *)
+
+val fig1_data :
+  ?days:int -> ?seed:int -> unit -> (int * float array * float array) array
+(** Per day: (day, T2 per qubit (µs), CNOT error per edge). *)
+
+val fig1 : ?days:int -> ?seed:int -> unit -> string
+
+val fig5_data :
+  ?trials:int -> ?seed:int -> ?day:int -> unit -> (string * (string * eval) list) list
+(** Per benchmark: evals for Qiskit, T-SMT⋆ and R-SMT⋆(ω=0.5). *)
+
+val fig5 : ?trials:int -> ?seed:int -> ?day:int -> unit -> string
+(** Includes the §7 headline numbers: geomean and max success-rate gain
+    of R-SMT⋆ over Qiskit and over T-SMT⋆, and the zero-swap analysis. *)
+
+val fig6_data :
+  ?trials:int -> ?seed:int -> ?days:int -> unit ->
+  (string * (int * float * float) list) list
+(** Per benchmark (BV4, HS6, Toffoli): (day, T-SMT⋆ success, R-SMT⋆
+    success) over a week. *)
+
+val fig6 : ?trials:int -> ?seed:int -> ?days:int -> unit -> string
+
+val fig7 : ?trials:int -> ?seed:int -> ?day:int -> unit -> string
+(** ω ∈ {1, 0, 0.5} vs T-SMT⋆ on BV4/HS6/Toffoli: success rate,
+    duration, compile time. *)
+
+val fig8 : ?day:int -> unit -> string
+(** The four BV4 mappings, rendered on the device grid. *)
+
+val fig9_data :
+  ?day:int -> unit -> (string * (string * int) list) list
+(** Per benchmark: execution duration (timeslots) under T-SMT(RR),
+    T-SMT⋆(RR), T-SMT⋆(1BP), R-SMT⋆(1BP). *)
+
+val fig9 : ?day:int -> unit -> string
+
+val fig10_data :
+  ?trials:int -> ?seed:int -> ?day:int -> unit ->
+  (string * (string * eval) list) list
+
+val fig10 : ?trials:int -> ?seed:int -> ?day:int -> unit -> string
+(** Heuristics (GreedyE⋆, GreedyV⋆) vs R-SMT⋆. *)
+
+val fig11_data :
+  ?rsmt_seconds:float -> ?quick:bool -> unit ->
+  (string * int * int * float * bool) list
+(** (method, qubits, gates, compile seconds, proven optimal). *)
+
+val fig11 : ?rsmt_seconds:float -> ?quick:bool -> unit -> string
+
+(** {1 Ablations}
+
+    Design-choice studies beyond the paper's figures (see DESIGN.md §4). *)
+
+val ablation_movement : ?trials:int -> ?seed:int -> ?day:int -> unit -> string
+(** Swap-back (the paper's static model) vs move-and-stay (dynamic
+    routing) on the swap-needing benchmarks: swaps, duration, success. *)
+
+val ablation_topology : ?trials:int -> ?seed:int -> unit -> string
+(** The same programs on richer 16-qubit topologies (2×8 grid, ring,
+    4×4 torus, all-to-all) — quantifies the paper's conclusion that
+    richer connectivity helps the Toffoli family most. *)
+
+val ablation_trials : ?seed:int -> unit -> string
+(** Success-rate estimate vs Monte-Carlo trial count (256…8192),
+    showing the default 4096 is converged to ±0.01. *)
+
+val ablation_high_variance :
+  ?trials:int -> ?seed:int -> unit -> string
+(** Fig. 5's comparison on a high-variance calibration: the regime where
+    the paper reports R-SMT⋆'s largest wins over T-SMT⋆ (up to 9.25×). *)
+
+val ablation_architecture : ?trials:int -> ?seed:int -> unit -> string
+(** Superconducting 2×8 grid vs all-to-all trapped-ion machine on the
+    movement-hungry benchmarks — the connectivity-vs-gate-speed trade-off
+    of Linke et al. (the paper's ref. [29]). *)
+
+val run_all : ?trials:int -> ?quick:bool -> unit -> string
+(** Every figure and table in order, then the ablations. *)

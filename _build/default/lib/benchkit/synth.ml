@@ -1,0 +1,35 @@
+module B = Nisq_circuit.Circuit.Builder
+module Gate = Nisq_circuit.Gate
+module Rng = Nisq_util.Rng
+
+let random_circuit ?(measure = true) ~qubits ~gates ~seed () =
+  if qubits < 2 then invalid_arg "Synth.random_circuit: need >= 2 qubits";
+  if gates < 1 then invalid_arg "Synth.random_circuit: need >= 1 gates";
+  let rng = Rng.create seed in
+  let b =
+    B.create ~name:(Printf.sprintf "rand-q%d-g%d-s%d" qubits gates seed) qubits
+  in
+  for _ = 1 to gates do
+    match Rng.int rng 7 with
+    | 0 -> B.h b (Rng.int rng qubits)
+    | 1 -> B.x b (Rng.int rng qubits)
+    | 2 -> B.y b (Rng.int rng qubits)
+    | 3 -> B.z b (Rng.int rng qubits)
+    | 4 -> B.s b (Rng.int rng qubits)
+    | 5 -> B.t_gate b (Rng.int rng qubits)
+    | _ ->
+        let c = Rng.int rng qubits in
+        let t = Rng.int rng (qubits - 1) in
+        let t = if t >= c then t + 1 else t in
+        B.cnot b c t
+  done;
+  if measure then B.measure_all b;
+  B.build b
+
+let grid_for ~qubits =
+  let open Nisq_device.Topology in
+  if qubits <= 16 then grid ~rows:2 ~cols:8
+  else if qubits <= 32 then grid ~rows:4 ~cols:8
+  else if qubits <= 64 then grid ~rows:8 ~cols:8
+  else if qubits <= 128 then grid ~rows:8 ~cols:16
+  else invalid_arg "Synth.grid_for: at most 128 qubits"

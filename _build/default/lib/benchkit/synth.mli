@@ -1,0 +1,16 @@
+(** Synthetic workload generation (§6).
+
+    Random circuits with a chosen qubit and gate count, gates sampled
+    uniformly from the universal set {H, X, Y, Z, S, T, CNOT} — the
+    paper's scalability benchmark (4–128 qubits, 128–2048 gates,
+    Fig. 11). *)
+
+val random_circuit :
+  ?measure:bool -> qubits:int -> gates:int -> seed:int -> unit ->
+  Nisq_circuit.Circuit.t
+(** [measure] (default true) appends a full readout. [gates] counts the
+    sampled gates, excluding the readout. *)
+
+val grid_for : qubits:int -> Nisq_device.Topology.t
+(** The smallest standard grid (2×8, 4×8, 8×8, 8×16) with at least
+    [qubits] locations. Raises [Invalid_argument] above 128. *)

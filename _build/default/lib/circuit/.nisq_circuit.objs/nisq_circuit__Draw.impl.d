@@ -1,0 +1,1 @@
+lib/circuit/draw.ml: Array Buffer Circuit Dag Gate Int List Printf String

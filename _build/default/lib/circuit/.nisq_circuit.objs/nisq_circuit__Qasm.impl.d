@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Array Buffer Circuit Decompose Float Gate List Option Printf String

@@ -1,0 +1,191 @@
+type t = { name : string; num_qubits : int; gates : Gate.t array }
+
+module Builder = struct
+  type t = {
+    bname : string;
+    bnum_qubits : int;
+    mutable rev_gates : Gate.t list;
+    mutable count : int;
+  }
+
+  let create ?(name = "circuit") n =
+    if n <= 0 then invalid_arg "Circuit.Builder.create: need at least 1 qubit";
+    { bname = name; bnum_qubits = n; rev_gates = []; count = 0 }
+
+  let validate b kind qubits =
+    let arity = Gate.arity kind in
+    if arity <> 0 && Array.length qubits <> arity then
+      invalid_arg
+        (Printf.sprintf "Circuit.Builder.add: %s expects %d operand(s), got %d"
+           (Gate.name kind) arity (Array.length qubits));
+    Array.iter
+      (fun q ->
+        if q < 0 || q >= b.bnum_qubits then
+          invalid_arg
+            (Printf.sprintf "Circuit.Builder.add: qubit %d out of range [0,%d)"
+               q b.bnum_qubits))
+      qubits;
+    let n = Array.length qubits in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if qubits.(i) = qubits.(j) then
+          invalid_arg
+            (Printf.sprintf
+               "Circuit.Builder.add: duplicate operand q[%d] for %s"
+               qubits.(i) (Gate.name kind))
+      done
+    done
+
+  let add b kind qubits =
+    validate b kind qubits;
+    let g = { Gate.id = b.count; kind; qubits = Array.copy qubits } in
+    b.rev_gates <- g :: b.rev_gates;
+    b.count <- b.count + 1
+
+  let h b q = add b Gate.H [| q |]
+  let x b q = add b Gate.X [| q |]
+  let y b q = add b Gate.Y [| q |]
+  let z b q = add b Gate.Z [| q |]
+  let s b q = add b Gate.S [| q |]
+  let sdg b q = add b Gate.Sdg [| q |]
+  let t_gate b q = add b Gate.T [| q |]
+  let tdg b q = add b Gate.Tdg [| q |]
+  let rz b a q = add b (Gate.Rz a) [| q |]
+  let rx b a q = add b (Gate.Rx a) [| q |]
+  let ry b a q = add b (Gate.Ry a) [| q |]
+  let cnot b c t = add b Gate.Cnot [| c; t |]
+  let swap b a c = add b Gate.Swap [| a; c |]
+  let measure b q = add b Gate.Measure [| q |]
+
+  let measure_all b =
+    for q = 0 to b.bnum_qubits - 1 do
+      measure b q
+    done
+
+  let barrier b qubits = add b Gate.Barrier qubits
+
+  let build b =
+    {
+      name = b.bname;
+      num_qubits = b.bnum_qubits;
+      gates = Array.of_list (List.rev b.rev_gates);
+    }
+end
+
+let make ?name n gates =
+  let b = Builder.create ?name n in
+  List.iter (fun (kind, qubits) -> Builder.add b kind qubits) gates;
+  Builder.build b
+
+let length c = Array.length c.gates
+
+let count_if c pred =
+  Array.fold_left (fun acc g -> if pred g then acc + 1 else acc) 0 c.gates
+
+let cnot_count c =
+  Array.fold_left
+    (fun acc (g : Gate.t) ->
+      match g.kind with Gate.Cnot -> acc + 1 | Gate.Swap -> acc + 3 | _ -> acc)
+    0 c.gates
+
+let two_qubit_count c = count_if c (fun g -> Gate.is_two_qubit g.Gate.kind)
+
+let gate_count c = count_if c (fun g -> g.Gate.kind <> Gate.Barrier)
+
+let measured_qubits c =
+  let seen = Hashtbl.create 8 in
+  Array.fold_left
+    (fun acc (g : Gate.t) ->
+      match g.kind with
+      | Gate.Measure ->
+          let q = g.qubits.(0) in
+          if Hashtbl.mem seen q then acc
+          else (
+            Hashtbl.add seen q ();
+            q :: acc)
+      | _ -> acc)
+    [] c.gates
+  |> List.rev
+
+let used_qubits c =
+  let used = Array.make c.num_qubits false in
+  Array.iter (fun (g : Gate.t) -> Array.iter (fun q -> used.(q) <- true) g.qubits) c.gates;
+  let out = ref [] in
+  for q = c.num_qubits - 1 downto 0 do
+    if used.(q) then out := q :: !out
+  done;
+  !out
+
+let interaction_weights c =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (g : Gate.t) ->
+      match g.kind with
+      | Gate.Cnot | Gate.Swap ->
+          let a = Int.min g.qubits.(0) g.qubits.(1)
+          and b = Int.max g.qubits.(0) g.qubits.(1) in
+          let key = (a, b) in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+          Hashtbl.replace tbl key (prev + 1)
+      | _ -> ())
+    c.gates;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare
+
+let qubit_degrees c =
+  let deg = Array.make c.num_qubits 0 in
+  Array.iter
+    (fun (g : Gate.t) ->
+      if Gate.is_two_qubit g.kind then
+        Array.iter (fun q -> deg.(q) <- deg.(q) + 1) g.qubits)
+    c.gates;
+  deg
+
+let map_qubits c ~f ~num_qubits =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun q ->
+      let h = f q in
+      if h < 0 || h >= num_qubits then
+        invalid_arg "Circuit.map_qubits: image out of range";
+      if Hashtbl.mem seen h then invalid_arg "Circuit.map_qubits: not injective";
+      Hashtbl.add seen h ())
+    (used_qubits c);
+  {
+    name = c.name;
+    num_qubits;
+    gates =
+      Array.map
+        (fun (g : Gate.t) -> { g with Gate.qubits = Array.map f g.qubits })
+        c.gates;
+  }
+
+let append a b =
+  if a.num_qubits <> b.num_qubits then
+    invalid_arg "Circuit.append: qubit count mismatch";
+  let n = Array.length a.gates in
+  {
+    name = a.name;
+    num_qubits = a.num_qubits;
+    gates =
+      Array.append a.gates
+        (Array.map (fun (g : Gate.t) -> { g with Gate.id = g.id + n }) b.gates);
+  }
+
+let inverse c =
+  let n = Array.length c.gates in
+  let gates =
+    Array.init n (fun i ->
+        let g = c.gates.(n - 1 - i) in
+        match g.Gate.kind with
+        | Gate.Measure -> invalid_arg "Circuit.inverse: circuit has measurements"
+        | Gate.Barrier -> { g with Gate.id = i }
+        | k -> { g with Gate.id = i; kind = Gate.adjoint k })
+  in
+  { name = c.name ^ "_inv"; num_qubits = c.num_qubits; gates }
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>%s (%d qubits, %d gates)@," c.name c.num_qubits
+    (length c);
+  Array.iter (fun g -> Format.fprintf ppf "  %a@," Gate.pp g) c.gates;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,94 @@
+(** Gate-level quantum circuit IR.
+
+    A circuit is an ordered list of gates over [num_qubits] program qubits.
+    This carries the same information as the paper's ScaffCC/LLVM IR input
+    (§3): the qubits required for each operation, and — through program
+    order on shared qubits — the data dependencies between operations
+    (materialized by {!Dag}). Circuits are immutable once built; use
+    {!Builder} to construct them. *)
+
+type t = private {
+  name : string;
+  num_qubits : int;
+  gates : Gate.t array;  (** program order; [gates.(i).id = i] *)
+}
+
+(** Imperative construction API. *)
+module Builder : sig
+  type circuit := t
+  type t
+
+  val create : ?name:string -> int -> t
+  (** [create n] starts a circuit over [n] qubits. *)
+
+  val add : t -> Gate.kind -> int array -> unit
+  (** Append a gate. Raises [Invalid_argument] on out-of-range operands,
+      duplicate operands, or arity mismatch. *)
+
+  (* Convenience appenders. *)
+  val h : t -> int -> unit
+  val x : t -> int -> unit
+  val y : t -> int -> unit
+  val z : t -> int -> unit
+  val s : t -> int -> unit
+  val sdg : t -> int -> unit
+  val t_gate : t -> int -> unit
+  val tdg : t -> int -> unit
+  val rz : t -> float -> int -> unit
+  val rx : t -> float -> int -> unit
+  val ry : t -> float -> int -> unit
+  val cnot : t -> int -> int -> unit
+  (** [cnot b control target]. *)
+
+  val swap : t -> int -> int -> unit
+  val measure : t -> int -> unit
+  val measure_all : t -> unit
+  val barrier : t -> int array -> unit
+
+  val build : t -> circuit
+end
+
+val make : ?name:string -> int -> (Gate.kind * int array) list -> t
+(** One-shot construction from a gate list, with [Builder]'s validation. *)
+
+val length : t -> int
+(** Total gate count (including measurements and barriers). *)
+
+val cnot_count : t -> int
+(** Number of [Cnot] gates (SWAPs count as 3, matching the hardware cost). *)
+
+val two_qubit_count : t -> int
+(** Number of two-qubit gates ([Cnot] + [Swap]), uninflated. *)
+
+val gate_count : t -> int
+(** Unitary + measurement gates (barriers excluded) — the paper's Table 2
+    "Gates" column. *)
+
+val measured_qubits : t -> int list
+(** Qubits carrying a [Measure], in program order of first measurement. *)
+
+val used_qubits : t -> int list
+(** Sorted list of qubits touched by at least one gate. *)
+
+val interaction_weights : t -> ((int * int) * int) list
+(** CNOT multiplicity per unordered qubit pair — the "program graph" edge
+    weights driving the GreedyE⋆ heuristic (§5.2). Pairs are normalized
+    with the smaller index first. *)
+
+val qubit_degrees : t -> int array
+(** Per-qubit count of CNOTs it participates in — the "vertex degree"
+    driving GreedyV⋆ (§5.1). *)
+
+val map_qubits : t -> f:(int -> int) -> num_qubits:int -> t
+(** Relabel qubit operands (used to re-express a circuit over hardware
+    qubits once a layout is chosen). [f] must be injective on
+    [used_qubits]. *)
+
+val append : t -> t -> t
+(** Concatenate two circuits over the same qubit count. *)
+
+val inverse : t -> t
+(** Adjoint circuit: gates reversed and inverted. Raises
+    [Invalid_argument] if the circuit contains measurements. *)
+
+val pp : Format.formatter -> t -> unit

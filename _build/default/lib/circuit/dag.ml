@@ -1,0 +1,82 @@
+type t = {
+  circuit : Circuit.t;
+  preds : int list array;
+  succs : int list array;
+}
+
+let of_circuit (c : Circuit.t) =
+  let n = Array.length c.gates in
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  (* last.(q) = id of the most recent gate touching qubit q *)
+  let last = Array.make c.num_qubits (-1) in
+  Array.iter
+    (fun (g : Gate.t) ->
+      let unique_preds = Hashtbl.create 4 in
+      Array.iter
+        (fun q ->
+          let p = last.(q) in
+          if p >= 0 && not (Hashtbl.mem unique_preds p) then begin
+            Hashtbl.add unique_preds p ();
+            preds.(g.id) <- p :: preds.(g.id);
+            succs.(p) <- g.id :: succs.(p)
+          end;
+          last.(q) <- g.id)
+        g.qubits)
+    c.gates;
+  (* Normalize adjacency order to ascending ids. *)
+  Array.iteri (fun i l -> preds.(i) <- List.sort compare l) preds;
+  Array.iteri (fun i l -> succs.(i) <- List.sort compare l) succs;
+  { circuit = c; preds; succs }
+
+let num_gates t = Array.length t.preds
+
+let preds t i = t.preds.(i)
+let succs t i = t.succs.(i)
+
+let roots t =
+  let out = ref [] in
+  for i = num_gates t - 1 downto 0 do
+    if t.preds.(i) = [] then out := i :: !out
+  done;
+  !out
+
+let topo_order t = Array.init (num_gates t) Fun.id
+
+let level_of t =
+  let n = num_gates t in
+  let level = Array.make n 0 in
+  for i = 0 to n - 1 do
+    List.iter (fun p -> level.(i) <- Int.max level.(i) (level.(p) + 1)) t.preds.(i)
+  done;
+  level
+
+let layers t =
+  let n = num_gates t in
+  if n = 0 then []
+  else begin
+    let level = level_of t in
+    let depth = 1 + Array.fold_left Int.max 0 level in
+    let buckets = Array.make depth [] in
+    for i = n - 1 downto 0 do
+      buckets.(level.(i)) <- i :: buckets.(level.(i))
+    done;
+    Array.to_list buckets
+  end
+
+let depth t =
+  let n = num_gates t in
+  if n = 0 then 0 else 1 + Array.fold_left Int.max 0 (level_of t)
+
+let critical_path_length t ~weight =
+  let n = num_gates t in
+  let finish = Array.make n 0 in
+  let best = ref 0 in
+  for i = 0 to n - 1 do
+    let start =
+      List.fold_left (fun acc p -> Int.max acc finish.(p)) 0 t.preds.(i)
+    in
+    finish.(i) <- start + weight t.circuit.gates.(i);
+    best := Int.max !best finish.(i)
+  done;
+  !best

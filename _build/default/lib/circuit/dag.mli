@@ -1,0 +1,38 @@
+(** Data-dependency DAG of a circuit.
+
+    Two gates depend on each other iff they share a qubit; the edge runs
+    from the earlier gate to the later one (program order). This is the
+    [>] relation of §4.1 ("g2 > g1 if g2 depends on g1"), restricted to
+    immediate predecessors: for each operand qubit, a gate depends on the
+    previous gate touching that qubit. *)
+
+type t
+
+val of_circuit : Circuit.t -> t
+
+val num_gates : t -> int
+
+val preds : t -> int -> int list
+(** Immediate predecessors (gate ids) of a gate id. *)
+
+val succs : t -> int -> int list
+(** Immediate successors. *)
+
+val roots : t -> int list
+(** Gates with no predecessors. *)
+
+val topo_order : t -> int array
+(** A topological order of gate ids. Since construction is from program
+    order, this is simply [0..n-1]; provided for clarity at call sites. *)
+
+val layers : t -> int list list
+(** ASAP layering: layer k holds the gates whose longest dependency chain
+    has length k. Gates in one layer touch disjoint qubits and could run
+    concurrently on ideal hardware. *)
+
+val depth : t -> int
+(** Number of layers ([0] for the empty circuit). *)
+
+val critical_path_length : t -> weight:(Gate.t -> int) -> int
+(** Longest weighted path through the DAG, with per-gate weights —
+    a lower bound on any legal schedule's makespan. *)

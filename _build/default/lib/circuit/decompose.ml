@@ -1,0 +1,48 @@
+module B = Circuit.Builder
+
+let emit_cz b c t =
+  B.h b t;
+  B.cnot b c t;
+  B.h b t
+
+(* Standard Toffoli decomposition, Nielsen & Chuang fig 4.9: 6 CNOTs. *)
+let emit_toffoli b a c t =
+  B.h b t;
+  B.cnot b c t;
+  B.tdg b t;
+  B.cnot b a t;
+  B.t_gate b t;
+  B.cnot b c t;
+  B.tdg b t;
+  B.cnot b a t;
+  B.t_gate b c;
+  B.t_gate b t;
+  B.h b t;
+  B.cnot b a c;
+  B.t_gate b a;
+  B.tdg b c;
+  B.cnot b a c
+
+let emit_fredkin b c t1 t2 =
+  B.cnot b t2 t1;
+  emit_toffoli b c t1 t2;
+  B.cnot b t2 t1
+
+let emit_peres b a c t =
+  emit_toffoli b a c t;
+  B.cnot b a c
+
+let emit_swap_as_cnots b x y =
+  B.cnot b x y;
+  B.cnot b y x;
+  B.cnot b x y
+
+let lower_swaps (c : Circuit.t) =
+  let b = B.create ~name:c.name c.num_qubits in
+  Array.iter
+    (fun (g : Gate.t) ->
+      match g.kind with
+      | Gate.Swap -> emit_swap_as_cnots b g.qubits.(0) g.qubits.(1)
+      | k -> B.add b k g.qubits)
+    c.gates;
+  B.build b

@@ -1,0 +1,27 @@
+(** Decompositions of multi-qubit primitives into the hardware basis
+    (1-qubit gates + CNOT), as ScaffCC performs before emitting IR (§3).
+
+    Each [emit_*] function appends the decomposition to a builder; CNOT
+    counts match the paper's Table 2 where it states them (Toffoli: 6,
+    Fredkin: 8, CZ: 1). *)
+
+val emit_cz : Circuit.Builder.t -> int -> int -> unit
+(** Controlled-Z as [H t; CNOT c t; H t]. 1 CNOT. *)
+
+val emit_toffoli : Circuit.Builder.t -> int -> int -> int -> unit
+(** [emit_toffoli b a b' t]: standard 6-CNOT, 7-T decomposition
+    (Nielsen & Chuang fig. 4.9). *)
+
+val emit_fredkin : Circuit.Builder.t -> int -> int -> int -> unit
+(** Controlled-SWAP as [CNOT t2 t1; Toffoli c t1 t2; CNOT t2 t1]: 8 CNOTs. *)
+
+val emit_peres : Circuit.Builder.t -> int -> int -> int -> unit
+(** Peres gate = Toffoli(a,b,c) followed by CNOT(a,b): 7 CNOTs. *)
+
+val emit_swap_as_cnots : Circuit.Builder.t -> int -> int -> unit
+(** SWAP(x,y) = CNOT x y; CNOT y x; CNOT x y (§2 footnote 2). *)
+
+val lower_swaps : Circuit.t -> Circuit.t
+(** Replace every [Swap] gate by its 3-CNOT expansion; other gates are
+    preserved in order. Used before simulation and QASM emission so the
+    executed gate stream matches hardware cost. *)

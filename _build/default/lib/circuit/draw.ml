@@ -1,0 +1,77 @@
+let label_of (g : Gate.t) =
+  match g.kind with
+  | Gate.H -> "H"
+  | Gate.X -> "X"
+  | Gate.Y -> "Y"
+  | Gate.Z -> "Z"
+  | Gate.S -> "S"
+  | Gate.Sdg -> "S'"
+  | Gate.T -> "T"
+  | Gate.Tdg -> "T'"
+  | Gate.Rz _ -> "Rz"
+  | Gate.Rx _ -> "Rx"
+  | Gate.Ry _ -> "Ry"
+  | Gate.Measure -> "M"
+  | Gate.Barrier -> ":"
+  | Gate.Cnot | Gate.Swap -> assert false
+
+let render (c : Circuit.t) =
+  if c.Circuit.num_qubits > 64 then
+    invalid_arg "Draw.render: too many qubits for a readable diagram";
+  let layers = Dag.layers (Dag.of_circuit c) in
+  let n = c.Circuit.num_qubits in
+  (* Each layer becomes one column of cells; cells are strings of equal
+     width within the column. [mid] marks wires crossed by a vertical
+     connector. *)
+  let columns =
+    List.map
+      (fun layer ->
+        let cell = Array.make n "" in
+        let vertical = Array.make n false in
+        List.iter
+          (fun gate_id ->
+            let g = c.Circuit.gates.(gate_id) in
+            match g.Gate.kind with
+            | Gate.Cnot | Gate.Swap ->
+                let a = g.qubits.(0) and b = g.qubits.(1) in
+                (if g.Gate.kind = Gate.Cnot then begin
+                   cell.(a) <- "*";
+                   cell.(b) <- "X"
+                 end
+                 else begin
+                   cell.(a) <- "x";
+                   cell.(b) <- "x"
+                 end);
+                for w = Int.min a b + 1 to Int.max a b - 1 do
+                  vertical.(w) <- true
+                done
+            | Gate.Barrier -> Array.iter (fun q -> cell.(q) <- ":") g.qubits
+            | _ -> cell.(g.qubits.(0)) <- label_of g)
+          layer;
+        let width =
+          Array.fold_left (fun acc s -> Int.max acc (String.length s)) 1 cell
+        in
+        Array.init n (fun q ->
+            let s = cell.(q) in
+            if s = "" then
+              if vertical.(q) then
+                (* centre a '|' on the wire *)
+                let pad = (width - 1) / 2 in
+                String.make pad '-' ^ "|" ^ String.make (width - 1 - pad) '-'
+              else String.make width '-'
+            else s ^ String.make (width - String.length s) '-'))
+      layers
+  in
+  let buf = Buffer.create 256 in
+  let wire_label q = Printf.sprintf "q%-2d: " q in
+  for q = 0 to n - 1 do
+    Buffer.add_string buf (wire_label q);
+    Buffer.add_string buf "--";
+    List.iter
+      (fun col ->
+        Buffer.add_string buf col.(q);
+        Buffer.add_string buf "--")
+      columns;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

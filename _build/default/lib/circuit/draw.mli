@@ -1,0 +1,14 @@
+(** ASCII circuit diagrams (the presentation of the paper's Fig. 2a).
+
+    One row per qubit, one column per dependency layer; CNOTs show a
+    [*] control wired to an [X] target, measurements an [M]:
+
+    {v
+    q0: --H----*--------H----M-
+    q1: --H----|---*----H----M-
+    q2: --X----X---X-----------
+    v} *)
+
+val render : Circuit.t -> string
+(** Raises [Invalid_argument] on circuits wider than 64 qubits (diagrams
+    stop being readable long before that). *)

@@ -1,0 +1,78 @@
+type kind =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rz of float
+  | Rx of float
+  | Ry of float
+  | Cnot
+  | Swap
+  | Measure
+  | Barrier
+
+type t = { id : int; kind : kind; qubits : int array }
+
+let arity = function
+  | H | X | Y | Z | S | Sdg | T | Tdg | Rz _ | Rx _ | Ry _ | Measure -> 1
+  | Cnot | Swap -> 2
+  | Barrier -> 0
+
+let is_two_qubit = function Cnot | Swap -> true | _ -> false
+
+let is_unitary = function Measure | Barrier -> false | _ -> true
+
+let adjoint = function
+  | H -> H
+  | X -> X
+  | Y -> Y
+  | Z -> Z
+  | S -> Sdg
+  | Sdg -> S
+  | T -> Tdg
+  | Tdg -> T
+  | Rz a -> Rz (-.a)
+  | Rx a -> Rx (-.a)
+  | Ry a -> Ry (-.a)
+  | Cnot -> Cnot
+  | Swap -> Swap
+  | (Measure | Barrier) as k ->
+      invalid_arg ("Gate.adjoint: non-unitary gate " ^ (match k with Measure -> "measure" | _ -> "barrier"))
+
+let name = function
+  | H -> "h"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | Rz _ -> "rz"
+  | Rx _ -> "rx"
+  | Ry _ -> "ry"
+  | Cnot -> "cx"
+  | Swap -> "swap"
+  | Measure -> "measure"
+  | Barrier -> "barrier"
+
+let equal_kind a b =
+  let feq x y = Float.abs (x -. y) < 1e-12 in
+  match (a, b) with
+  | Rz x, Rz y | Rx x, Rx y | Ry x, Ry y -> feq x y
+  | Rz _, _ | Rx _, _ | Ry _, _ | _, Rz _ | _, Rx _ | _, Ry _ -> false
+  | a, b -> a = b
+
+let pp ppf g =
+  let operands =
+    g.qubits |> Array.to_list
+    |> List.map (Printf.sprintf "q[%d]")
+    |> String.concat ", "
+  in
+  match g.kind with
+  | Rz a | Rx a | Ry a -> Format.fprintf ppf "%s(%.6g) %s" (name g.kind) a operands
+  | k -> Format.fprintf ppf "%s %s" (name k) operands

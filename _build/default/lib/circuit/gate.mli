@@ -1,0 +1,50 @@
+(** Quantum gate kinds.
+
+    The gate set mirrors what ScaffCC emits after decomposition (§3 of the
+    paper): the standard single-qubit Cliffords + T, Z-rotations for QFT,
+    the two-qubit CNOT, and measurement. [Swap] appears only in *compiled*
+    circuits (the router inserts it); frontends never emit it directly. *)
+
+type kind =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rz of float  (** rotation about Z by the given angle (radians) *)
+  | Rx of float
+  | Ry of float
+  | Cnot  (** control is operand 0, target operand 1 *)
+  | Swap  (** router-inserted; decomposes into 3 CNOTs on hardware *)
+  | Measure  (** computational-basis readout of operand 0 *)
+  | Barrier  (** scheduling fence across its operands; no physical effect *)
+
+type t = {
+  id : int;  (** unique within a circuit, assigned by [Circuit] *)
+  kind : kind;
+  qubits : int array;  (** operand qubit indices, in gate-specific order *)
+}
+
+val arity : kind -> int
+(** Number of qubit operands ([Barrier] reports 0 meaning "variable"). *)
+
+val is_two_qubit : kind -> bool
+(** [Cnot] or [Swap]. *)
+
+val is_unitary : kind -> bool
+(** Everything except [Measure] and [Barrier]. *)
+
+val adjoint : kind -> kind
+(** Inverse gate kind. Raises [Invalid_argument] for [Measure]/[Barrier]. *)
+
+val name : kind -> string
+(** Lower-case OpenQASM-style mnemonic ("h", "cx", "rz", ...). *)
+
+val equal_kind : kind -> kind -> bool
+(** Structural equality with float tolerance 1e-12 on rotation angles. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. "cx q[2], q[5]". *)

@@ -1,0 +1,186 @@
+let to_string (c : Circuit.t) =
+  let c = Decompose.lower_swaps c in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "OPENQASM 2.0;\n";
+  Buffer.add_string buf "include \"qelib1.inc\";\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" c.num_qubits);
+  Buffer.add_string buf (Printf.sprintf "creg c[%d];\n" c.num_qubits);
+  Array.iter
+    (fun (g : Gate.t) ->
+      let line =
+        match g.kind with
+        | Gate.Measure ->
+            Printf.sprintf "measure q[%d] -> c[%d];" g.qubits.(0) g.qubits.(0)
+        | Gate.Barrier ->
+            let ops =
+              g.qubits |> Array.to_list
+              |> List.map (Printf.sprintf "q[%d]")
+              |> String.concat ","
+            in
+            Printf.sprintf "barrier %s;" ops
+        | Gate.Rz a -> Printf.sprintf "rz(%.17g) q[%d];" a g.qubits.(0)
+        | Gate.Rx a -> Printf.sprintf "rx(%.17g) q[%d];" a g.qubits.(0)
+        | Gate.Ry a -> Printf.sprintf "ry(%.17g) q[%d];" a g.qubits.(0)
+        | Gate.Cnot -> Printf.sprintf "cx q[%d],q[%d];" g.qubits.(0) g.qubits.(1)
+        | Gate.Swap ->
+            (* unreachable: lower_swaps ran above *)
+            assert false
+        | k -> Printf.sprintf "%s q[%d];" (Gate.name k) g.qubits.(0)
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    c.gates;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fail lineno msg = failwith (Printf.sprintf "Qasm: line %d: %s" lineno msg)
+
+let strip_comment line =
+  match String.index_opt line '/' with
+  | Some i
+    when i + 1 < String.length line && line.[i + 1] = '/' ->
+      String.sub line 0 i
+  | _ -> line
+
+(* Split a source text into ";"-terminated statements with line numbers. *)
+let statements src =
+  let stmts = ref [] in
+  let buf = Buffer.create 64 in
+  let start_line = ref 1 in
+  let line = ref 1 in
+  String.iter
+    (fun ch ->
+      match ch with
+      | ';' ->
+          stmts := (!start_line, Buffer.contents buf) :: !stmts;
+          Buffer.clear buf;
+          start_line := !line
+      | '\n' ->
+          incr line;
+          if Buffer.length buf = 0 then start_line := !line
+          else Buffer.add_char buf ' '
+      | c -> Buffer.add_char buf c)
+    (* Remove //-comments line by line first. *)
+    (String.concat "\n" (List.map strip_comment (String.split_on_char '\n' src)));
+  List.rev !stmts
+
+let parse_qubit_operand lineno s =
+  (* "q[3]" -> 3 *)
+  let s = String.trim s in
+  match String.index_opt s '[' with
+  | Some i when s.[String.length s - 1] = ']' ->
+      let reg = String.sub s 0 i in
+      if reg <> "q" then fail lineno ("unknown register " ^ reg);
+      let inner = String.sub s (i + 1) (String.length s - i - 2) in
+      (try int_of_string (String.trim inner)
+       with _ -> fail lineno ("bad qubit index " ^ inner))
+  | _ -> fail lineno ("expected q[<n>], got " ^ s)
+
+let parse_angle lineno s =
+  (* Accept plain floats and the common "pi/2", "-pi/4", "2*pi" forms. *)
+  let s = String.trim s in
+  let pi = Float.pi in
+  let parse_atom a =
+    let a = String.trim a in
+    if a = "pi" then Some pi
+    else if a = "-pi" then Some (-.pi)
+    else Float.of_string_opt a
+  in
+  let result =
+    match String.index_opt s '/' with
+    | Some i ->
+        let num = String.sub s 0 i
+        and den = String.sub s (i + 1) (String.length s - i - 1) in
+        Option.bind (parse_atom num) (fun n ->
+            Option.map (fun d -> n /. d) (parse_atom den))
+    | None -> (
+        match String.index_opt s '*' with
+        | Some i ->
+            let a = String.sub s 0 i
+            and b = String.sub s (i + 1) (String.length s - i - 1) in
+            Option.bind (parse_atom a) (fun x ->
+                Option.map (fun y -> x *. y) (parse_atom b))
+        | None -> parse_atom s)
+  in
+  match result with
+  | Some v -> v
+  | None -> fail lineno ("bad angle expression " ^ s)
+
+let of_string src =
+  let num_qubits = ref 0 in
+  let pending = ref [] in
+  let handle lineno stmt =
+    let stmt = String.trim stmt in
+    if stmt = "" then ()
+    else
+      let word, rest =
+        match String.index_opt stmt ' ' with
+        | Some i ->
+            ( String.sub stmt 0 i,
+              String.trim (String.sub stmt i (String.length stmt - i)) )
+        | None -> (stmt, "")
+      in
+      (* Separate "rz(pi/2)" into mnemonic + angle. *)
+      let mnemonic, angle =
+        match String.index_opt word '(' with
+        | Some i when word.[String.length word - 1] = ')' ->
+            ( String.sub word 0 i,
+              Some
+                (parse_angle lineno
+                   (String.sub word (i + 1) (String.length word - i - 2))) )
+        | _ -> (word, None)
+      in
+      match mnemonic with
+      | "OPENQASM" | "include" -> ()
+      | "qreg" ->
+          (* rest is "q[n]": its bracket content is the register size. *)
+          num_qubits := parse_qubit_operand lineno rest
+      | "creg" -> ()
+      | "measure" -> (
+          (* "q[i] -> c[j]" *)
+          match String.index_opt rest '-' with
+          | Some i when i + 1 < String.length rest && rest.[i + 1] = '>' ->
+              let q = parse_qubit_operand lineno (String.sub rest 0 i) in
+              pending := (Gate.Measure, [| q |]) :: !pending
+          | _ -> fail lineno "bad measure statement")
+      | "barrier" ->
+          let qubits =
+            String.split_on_char ',' rest
+            |> List.map (parse_qubit_operand lineno)
+            |> Array.of_list
+          in
+          pending := (Gate.Barrier, qubits) :: !pending
+      | g ->
+          let qubits =
+            String.split_on_char ',' rest
+            |> List.map (parse_qubit_operand lineno)
+            |> Array.of_list
+          in
+          let kind =
+            match (g, angle) with
+            | "h", None -> Gate.H
+            | "x", None -> Gate.X
+            | "y", None -> Gate.Y
+            | "z", None -> Gate.Z
+            | "s", None -> Gate.S
+            | "sdg", None -> Gate.Sdg
+            | "t", None -> Gate.T
+            | "tdg", None -> Gate.Tdg
+            | "rz", Some a -> Gate.Rz a
+            | "rx", Some a -> Gate.Rx a
+            | "ry", Some a -> Gate.Ry a
+            | "u1", Some a -> Gate.Rz a
+            | "cx", None -> Gate.Cnot
+            | "swap", None -> Gate.Swap
+            | _ -> fail lineno ("unsupported gate " ^ g)
+          in
+          pending := (kind, qubits) :: !pending
+  in
+  List.iter (fun (lineno, stmt) -> handle lineno stmt) (statements src);
+  if !num_qubits = 0 then failwith "Qasm: missing qreg declaration";
+  Circuit.make ~name:"qasm" !num_qubits (List.rev !pending)
+
+let roundtrip c = of_string (to_string c)

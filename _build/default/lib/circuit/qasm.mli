@@ -1,0 +1,20 @@
+(** OpenQASM 2.0 emission and parsing.
+
+    The compiler's final output is executable OpenQASM (§3, Fig. 3); this
+    module also parses the subset of OpenQASM 2.0 our emitter produces
+    (one quantum and one classical register, the gate set of {!Gate}),
+    which is enough to round-trip compiled programs and to accept textual
+    benchmarks from disk. *)
+
+val to_string : Circuit.t -> string
+(** Emit OpenQASM 2.0. [Swap] gates are lowered to 3 CNOTs first, so the
+    output uses only hardware-supported operations. Measurement of qubit
+    [q] targets classical bit [c[q]]. *)
+
+val of_string : string -> Circuit.t
+(** Parse OpenQASM 2.0 (the emitted subset: [OPENQASM 2.0], [include],
+    [qreg]/[creg], gate applications, [measure], [barrier], comments).
+    Raises [Failure] with a line-numbered message on malformed input. *)
+
+val roundtrip : Circuit.t -> Circuit.t
+(** [of_string (to_string c)] — exposed for testing. *)

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Array Config Emit Float Greedy Layout List Nisq_circuit Nisq_device Nisq_solver Reliability Route Rsmt Schedule Tsmt Unix

@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Config Emit Layout Nisq_circuit Nisq_device Nisq_solver Route Schedule

@@ -1,0 +1,1 @@
+lib/compiler/emit.ml: Array Fun List Nisq_circuit Nisq_device Route Schedule

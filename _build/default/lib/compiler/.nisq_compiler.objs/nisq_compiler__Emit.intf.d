@@ -1,0 +1,1 @@
+lib/compiler/emit.mli: Nisq_circuit Nisq_device Route Schedule

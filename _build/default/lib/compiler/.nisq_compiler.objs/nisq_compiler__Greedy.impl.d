@@ -1,0 +1,1 @@
+lib/compiler/greedy.ml: Array Float Fun Int Layout List Nisq_circuit Nisq_device Option

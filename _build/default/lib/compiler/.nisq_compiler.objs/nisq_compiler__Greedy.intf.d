@@ -1,0 +1,1 @@
+lib/compiler/greedy.mli: Layout Nisq_circuit Nisq_device

@@ -1,0 +1,1 @@
+lib/compiler/layout.ml: Array Buffer Format Fun Nisq_circuit Nisq_device Printf String

@@ -1,0 +1,1 @@
+lib/compiler/layout.mli: Format Nisq_circuit Nisq_device

@@ -1,0 +1,1 @@
+lib/compiler/reliability.ml: Array Emit Float List Nisq_circuit Nisq_device Nisq_solver Route

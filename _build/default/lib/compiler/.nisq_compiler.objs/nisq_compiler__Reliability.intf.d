@@ -1,0 +1,1 @@
+lib/compiler/reliability.mli: Config Emit Nisq_circuit Nisq_device Nisq_solver Route

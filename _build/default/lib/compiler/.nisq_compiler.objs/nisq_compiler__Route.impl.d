@@ -1,0 +1,1 @@
+lib/compiler/route.ml: Array Config Int Layout List Nisq_circuit Nisq_device

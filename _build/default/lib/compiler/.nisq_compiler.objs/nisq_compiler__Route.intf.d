@@ -1,0 +1,1 @@
+lib/compiler/route.mli: Config Layout Nisq_circuit Nisq_device

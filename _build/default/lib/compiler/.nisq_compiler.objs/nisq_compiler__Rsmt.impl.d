@@ -1,0 +1,1 @@
+lib/compiler/rsmt.ml: Layout Nisq_device Nisq_solver Reliability

@@ -1,0 +1,1 @@
+lib/compiler/rsmt.mli: Config Layout Nisq_circuit Nisq_device Nisq_solver

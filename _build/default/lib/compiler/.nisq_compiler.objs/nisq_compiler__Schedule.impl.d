@@ -1,0 +1,1 @@
+lib/compiler/schedule.ml: Array Format Int List Nisq_circuit Nisq_device Option Printf Route String

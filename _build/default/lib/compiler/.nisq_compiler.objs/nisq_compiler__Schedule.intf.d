@@ -1,0 +1,1 @@
+lib/compiler/schedule.mli: Format Nisq_circuit Nisq_device Route

@@ -1,0 +1,1 @@
+lib/compiler/tsmt.ml: Array Fun Int Layout List Nisq_circuit Nisq_device Nisq_solver Route Schedule

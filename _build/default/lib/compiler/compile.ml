@@ -1,0 +1,154 @@
+module Circuit = Nisq_circuit.Circuit
+module Dag = Nisq_circuit.Dag
+module Decompose = Nisq_circuit.Decompose
+module Qasm = Nisq_circuit.Qasm
+module Calibration = Nisq_device.Calibration
+module Topology = Nisq_device.Topology
+module Paths = Nisq_device.Paths
+
+type t = {
+  config : Config.t;
+  program : Circuit.t;
+  calib : Calibration.t;
+  layout : Layout.t;
+  final_positions : int array;
+  plan : Route.entry array;
+  schedule : Schedule.t;
+  phys : Emit.phys array;
+  hw_circuit : Circuit.t;
+  duration : int;
+  esp : float;
+  swap_count : int;
+  compile_seconds : float;
+  solver_stats : Nisq_solver.Budget.stats option;
+}
+
+let criterion_of (config : Config.t) : Route.criterion =
+  match config.method_ with
+  | Config.Qiskit | Config.T_smt -> Route.Min_hops
+  | Config.T_smt_star -> Route.Min_duration
+  | Config.R_smt_star _ | Config.Greedy_v | Config.Greedy_e ->
+      Route.Max_reliability
+
+let run ~(config : Config.t) ~calib circuit =
+  let started = Unix.gettimeofday () in
+  let program = Decompose.lower_swaps circuit in
+  let dag = Dag.of_circuit program in
+  let topo = calib.Calibration.topology in
+  if program.Circuit.num_qubits > Topology.num_qubits topo then
+    invalid_arg "Compile.run: program needs more qubits than the machine has";
+  let decision_calib =
+    if Config.uses_calibration config then calib else Calibration.uniform topo
+  in
+  let decision_paths = Paths.make decision_calib in
+  let criterion = criterion_of config in
+  let layout, solver_stats =
+    match config.method_ with
+    | Config.Qiskit ->
+        ( Layout.identity ~num_prog:program.Circuit.num_qubits
+            ~num_hw:(Topology.num_qubits topo),
+          None )
+    | Config.T_smt | Config.T_smt_star ->
+        let layout, stats =
+          Tsmt.compile_layout ~decision_paths ~policy:config.routing ~criterion
+            ~budget:config.budget program dag
+        in
+        (layout, Some stats)
+    | Config.R_smt_star omega ->
+        let layout, stats, _objective =
+          Rsmt.compile_layout ~decision_paths ~omega ~policy:config.routing
+            ~budget:config.budget program
+        in
+        (layout, Some stats)
+    | Config.Greedy_v -> (Greedy.vertex_first decision_paths program, None)
+    | Config.Greedy_e -> (Greedy.edge_first decision_paths program, None)
+  in
+  let num_hw = Topology.num_qubits topo in
+  let eval_paths_blind () =
+    if Config.uses_calibration config then decision_paths else Paths.make calib
+  in
+  let scheduled_circuit, plan, final_positions, swap_count, compile_seconds =
+    match config.Config.movement with
+    | Config.Swap_back ->
+        (* The paper's static model: plan over the program circuit, SWAPs
+           implicit in each CNOT's route, placement invariant. *)
+        let decision_plan =
+          Route.plan decision_paths ~policy:config.routing ~criterion ~layout
+            program
+        in
+        let compile_seconds = Unix.gettimeofday () -. started in
+        (* Evaluation against the real machine: reprice the committed
+           routing decisions with the day's calibration. *)
+        let plan = Route.reprice (eval_paths_blind ()) decision_plan in
+        ( program,
+          plan,
+          Array.init program.Circuit.num_qubits (Layout.hw_of layout),
+          Route.swap_count plan,
+          compile_seconds )
+    | Config.Move_and_stay ->
+        (* Dynamic model: expand routing into an explicit hardware
+           circuit whose SWAPs move state permanently. *)
+        let routed, final_positions =
+          Route.expand_move_and_stay decision_paths ~policy:config.routing
+            ~criterion ~layout program
+        in
+        let compile_seconds = Unix.gettimeofday () -. started in
+        let id_layout = Layout.identity ~num_prog:num_hw ~num_hw in
+        let plan =
+          Route.plan (eval_paths_blind ()) ~policy:config.routing ~criterion
+            ~layout:id_layout routed
+        in
+        let swaps =
+          Array.fold_left
+            (fun acc (g : Nisq_circuit.Gate.t) ->
+              if g.Nisq_circuit.Gate.kind = Nisq_circuit.Gate.Swap then acc + 1
+              else acc)
+            0 routed.Circuit.gates
+        in
+        (routed, plan, final_positions, swaps, compile_seconds)
+  in
+  let sched_dag =
+    if scheduled_circuit == program then dag else Dag.of_circuit scheduled_circuit
+  in
+  let schedule = Schedule.compute sched_dag ~circuit:scheduled_circuit plan in
+  let phys = Emit.physical_ops calib scheduled_circuit schedule plan in
+  let hw_circuit = Emit.to_circuit ~num_hw phys in
+  {
+    config;
+    program;
+    calib;
+    layout;
+    final_positions;
+    plan;
+    schedule;
+    phys;
+    hw_circuit;
+    duration = schedule.Schedule.makespan;
+    esp = Reliability.esp calib phys;
+    swap_count;
+    compile_seconds;
+    solver_stats;
+  }
+
+let best_of ~configs ~calib circuit =
+  match configs with
+  | [] -> invalid_arg "Compile.best_of: no configurations"
+  | first :: rest ->
+      List.fold_left
+        (fun best config ->
+          let r = run ~config ~calib circuit in
+          if
+            r.esp > best.esp +. 1e-12
+            || (Float.abs (r.esp -. best.esp) <= 1e-12
+               && r.duration < best.duration)
+          then r
+          else best)
+        (run ~config:first ~calib circuit)
+        rest
+
+let readout_map t =
+  Circuit.measured_qubits t.program
+  |> List.map (fun p -> (p, t.final_positions.(p)))
+  |> List.sort compare
+
+let to_qasm t = Qasm.to_string t.hw_circuit

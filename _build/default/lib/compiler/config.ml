@@ -1,0 +1,72 @@
+type routing = Rectangle_reservation | One_bend | Best_path
+
+type movement = Swap_back | Move_and_stay
+
+type method_ =
+  | Qiskit
+  | T_smt
+  | T_smt_star
+  | R_smt_star of float
+  | Greedy_v
+  | Greedy_e
+
+type t = {
+  method_ : method_;
+  routing : routing;
+  movement : movement;
+  budget : Nisq_solver.Budget.t;
+}
+
+let default_budget =
+  Nisq_solver.Budget.make ~max_nodes:200_000 ~max_seconds:60.0 ()
+
+let default_routing = function
+  | Qiskit -> Best_path
+  | T_smt | T_smt_star -> Rectangle_reservation
+  | R_smt_star _ -> One_bend
+  | Greedy_v | Greedy_e -> Best_path
+
+let make ?routing ?(movement = Swap_back) ?(budget = default_budget) method_ =
+  (match method_ with
+  | R_smt_star w when w < 0.0 || w > 1.0 ->
+      invalid_arg "Config.make: omega must lie in [0,1]"
+  | _ -> ());
+  let routing =
+    match routing with Some r -> r | None -> default_routing method_
+  in
+  { method_; routing; movement; budget }
+
+let uses_calibration t =
+  match t.method_ with
+  | Qiskit | T_smt -> false
+  | T_smt_star | R_smt_star _ | Greedy_v | Greedy_e -> true
+
+let routing_name = function
+  | Rectangle_reservation -> "RR"
+  | One_bend -> "1BP"
+  | Best_path -> "BestPath"
+
+let name t =
+  let base =
+    match t.method_ with
+    | Qiskit -> "Qiskit"
+    | T_smt -> "T-SMT"
+    | T_smt_star -> "T-SMT*"
+    | R_smt_star w -> Printf.sprintf "R-SMT* w=%.2f" w
+    | Greedy_v -> "GreedyV*"
+    | Greedy_e -> "GreedyE*"
+  in
+  let move = match t.movement with Swap_back -> "" | Move_and_stay -> "+move" in
+  Printf.sprintf "%s (%s%s)" base (routing_name t.routing) move
+
+let paper_suite =
+  [
+    make Qiskit;
+    make T_smt;
+    make T_smt_star;
+    make (R_smt_star 0.0);
+    make (R_smt_star 0.5);
+    make (R_smt_star 1.0);
+    make Greedy_v;
+    make Greedy_e;
+  ]

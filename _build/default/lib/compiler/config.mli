@@ -1,0 +1,64 @@
+(** Compiler configurations — the rows of Table 1.
+
+    Each configuration fixes a mapping algorithm, a routing policy and an
+    objective. The ⋆-variants consume daily calibration data; the plain
+    variants see only the machine topology (via a uniform calibration
+    view) and so compile the same program identically every day. *)
+
+type routing =
+  | Rectangle_reservation  (** RR (§4.3, Fig. 4a) *)
+  | One_bend  (** 1BP (§4.3, Fig. 4b) *)
+  | Best_path  (** most-reliable Dijkstra path — heuristics' policy (§5) *)
+
+type movement =
+  | Swap_back
+      (** the paper's static-placement model (§4.2): SWAP the control to
+          the target's neighbourhood, CNOT, SWAP back — the layout never
+          changes *)
+  | Move_and_stay
+      (** extension: SWAPs permanently move qubit state (as in modern
+          Qiskit routers); halves the movement cost of each routed CNOT
+          at the price of a drifting layout. Benchmarked as an ablation
+          (see bench/main.exe ablations). *)
+
+type method_ =
+  | Qiskit
+      (** baseline: lexicographic placement, noise-unaware shortest-path
+          routing — models the IBM Qiskit 0.5.7 default mapper *)
+  | T_smt  (** optimal duration, static data only (Constraints 1–4, 7–9) *)
+  | T_smt_star  (** optimal duration with calibrated gate times & T2 *)
+  | R_smt_star of float
+      (** optimal weighted log-reliability, argument is the readout weight
+          ω ∈ [0,1] of Eq. 12 *)
+  | Greedy_v  (** GreedyV⋆: greatest-vertex-degree-first (§5.1) *)
+  | Greedy_e  (** GreedyE⋆: greatest-weighted-edge-first (§5.2) *)
+
+type t = {
+  method_ : method_;
+  routing : routing;
+  movement : movement;
+  budget : Nisq_solver.Budget.t;  (** search budget for the SMT variants *)
+}
+
+val make :
+  ?routing:routing ->
+  ?movement:movement ->
+  ?budget:Nisq_solver.Budget.t ->
+  method_ ->
+  t
+(** [routing] defaults to the paper's choice for the method: 1BP for
+    R-SMT⋆, RR for the T-SMT variants, Best-Path for the heuristics and
+    the Qiskit baseline. [movement] defaults to [Swap_back] (the paper's
+    model). The default budget caps SMT searches at 200k nodes / 60 s. *)
+
+val uses_calibration : t -> bool
+(** The ⋆ marker of Table 1. *)
+
+val name : t -> string
+(** e.g. ["R-SMT* w=0.50 (1BP)"]. *)
+
+val routing_name : routing -> string
+
+val paper_suite : t list
+(** The configurations evaluated in §7: Qiskit, T-SMT, T-SMT⋆,
+    R-SMT⋆(ω ∈ {0, 0.5, 1}), GreedyV⋆, GreedyE⋆. *)

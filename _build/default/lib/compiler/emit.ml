@@ -1,0 +1,79 @@
+module Gate = Nisq_circuit.Gate
+module Circuit = Nisq_circuit.Circuit
+module Paths = Nisq_device.Paths
+module Calibration = Nisq_device.Calibration
+
+type phys = {
+  kind : Gate.kind;
+  qubits : int array;
+  start : int;
+  duration : int;
+  src_gate : int;
+}
+
+(* A SWAP on edge (a,b) lasting [dur] = 3 sequential CNOTs of dur/3. *)
+let emit_swap acc ~src ~start ~dur a b =
+  let d = dur / 3 in
+  acc := { kind = Gate.Cnot; qubits = [| a; b |]; start; duration = d; src_gate = src } :: !acc;
+  acc := { kind = Gate.Cnot; qubits = [| b; a |]; start = start + d; duration = d; src_gate = src } :: !acc;
+  acc := { kind = Gate.Cnot; qubits = [| a; b |]; start = start + (2 * d); duration = d; src_gate = src } :: !acc
+
+let expand_cnot acc ~src ~start calib (route : Paths.route) =
+  let path = route.Paths.path in
+  let k = Array.length path - 1 in
+  (* forward swaps: hops 0 .. k-2 *)
+  let t = ref start in
+  for i = 0 to k - 2 do
+    let a = path.(i) and b = path.(i + 1) in
+    let dur = Calibration.swap_duration calib a b in
+    emit_swap acc ~src ~start:!t ~dur a b;
+    t := !t + dur
+  done;
+  (* the CNOT itself: the control state now sits at path.(k-1) *)
+  let a = path.(k - 1) and b = path.(k) in
+  let d = Calibration.cnot_duration calib a b in
+  acc :=
+    { kind = Gate.Cnot; qubits = [| a; b |]; start = !t; duration = d; src_gate = src }
+    :: !acc;
+  t := !t + d;
+  (* backward swaps restore the placement *)
+  for i = k - 2 downto 0 do
+    let a = path.(i) and b = path.(i + 1) in
+    let dur = Calibration.swap_duration calib a b in
+    emit_swap acc ~src ~start:!t ~dur a b;
+    t := !t + dur
+  done
+
+let physical_ops calib (circuit : Circuit.t) (sched : Schedule.t)
+    (plans : Route.entry array) =
+  let acc = ref [] in
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      let e = sched.Schedule.entries.(i) in
+      let p = plans.(i) in
+      match (g.kind, p.Route.route) with
+      | Gate.Barrier, _ -> ()
+      | Gate.Cnot, Some route ->
+          expand_cnot acc ~src:i ~start:e.Schedule.start calib route
+      | Gate.Cnot, None -> assert false
+      | Gate.Swap, _ ->
+          let a = p.Route.hw.(0) and b = p.Route.hw.(1) in
+          emit_swap acc ~src:i ~start:e.Schedule.start
+            ~dur:(Calibration.swap_duration calib a b) a b
+      | kind, _ ->
+          acc :=
+            { kind; qubits = Array.copy p.Route.hw; start = e.Schedule.start;
+              duration = e.Schedule.duration; src_gate = i }
+            :: !acc)
+    circuit.Circuit.gates;
+  let ops = Array.of_list (List.rev !acc) in
+  let order = Array.init (Array.length ops) Fun.id in
+  Array.sort
+    (fun a b -> compare (ops.(a).start, a) (ops.(b).start, b))
+    order;
+  Array.map (fun i -> ops.(i)) order
+
+let to_circuit ~num_hw ops =
+  let b = Circuit.Builder.create ~name:"physical" num_hw in
+  Array.iter (fun op -> Circuit.Builder.add b op.kind op.qubits) ops;
+  Circuit.Builder.build b

@@ -1,0 +1,29 @@
+(** Expansion of a scheduled plan into timed physical gates.
+
+    The scheduler treats a routed CNOT as one atomic operation; this
+    module expands it into the hardware gate stream — forward SWAPs
+    (3 CNOTs each), the CNOT, backward SWAPs — each with its own start
+    time inside the parent's window. The result is both the executable
+    program (→ OpenQASM) and the event list the noise simulator replays. *)
+
+type phys = {
+  kind : Nisq_circuit.Gate.kind;  (** only hardware kinds: 1q, Cnot, Measure *)
+  qubits : int array;  (** hardware qubits *)
+  start : int;  (** timeslot *)
+  duration : int;
+  src_gate : int;  (** originating program gate id *)
+}
+
+val physical_ops :
+  Nisq_device.Calibration.t ->
+  Nisq_circuit.Circuit.t ->
+  Schedule.t ->
+  Route.entry array ->
+  phys array
+(** Sorted by [start] (ties: emission order). Barriers are dropped. The
+    calibration supplies per-edge CNOT durations for SWAP expansion and
+    must be the one the plan was (re)priced with. *)
+
+val to_circuit : num_hw:int -> phys array -> Nisq_circuit.Circuit.t
+(** The physical gate stream as a circuit over hardware qubits (for QASM
+    emission and unitary-equivalence checking). *)

@@ -1,0 +1,194 @@
+module Circuit = Nisq_circuit.Circuit
+module Paths = Nisq_device.Paths
+module Topology = Nisq_device.Topology
+module Calibration = Nisq_device.Calibration
+
+type state = {
+  paths : Paths.t;
+  calib : Calibration.t;
+  topo : Topology.t;
+  num_hw : int;
+  placed : int array;  (* prog -> hw, -1 when unplaced *)
+  used : bool array;
+  neighbors : (int * int) list array;  (* prog -> (prog neighbour, weight) *)
+}
+
+let init paths (circuit : Circuit.t) =
+  let calib = Paths.calibration paths in
+  let topo = calib.Calibration.topology in
+  let num_hw = Topology.num_qubits topo in
+  let n = circuit.Circuit.num_qubits in
+  if n > num_hw then invalid_arg "Greedy: more program qubits than hardware";
+  let neighbors = Array.make n [] in
+  List.iter
+    (fun ((a, b), w) ->
+      neighbors.(a) <- (b, w) :: neighbors.(a);
+      neighbors.(b) <- (a, w) :: neighbors.(b))
+    (Circuit.interaction_weights circuit);
+  {
+    paths;
+    calib;
+    topo;
+    num_hw;
+    placed = Array.make n (-1);
+    used = Array.make num_hw false;
+    neighbors;
+  }
+
+let free_slots st =
+  List.filter (fun h -> not st.used.(h)) (List.init st.num_hw Fun.id)
+
+let assign st p h =
+  st.placed.(p) <- h;
+  st.used.(h) <- true
+
+(* Score of placing program qubit [p] at free hardware qubit [h]: summed
+   weighted best-path log-reliability to its already-placed neighbours
+   (§5.1: "maximize the total reliability of paths between it and each of
+   its placed neighbors"). *)
+let attachment_score st p h =
+  List.fold_left
+    (fun acc (q, w) ->
+      if st.placed.(q) >= 0 then
+        acc +. (Float.of_int w *. Paths.path_log_reliability st.paths h st.placed.(q))
+      else acc)
+    0.0 st.neighbors.(p)
+
+let best_free_by st score =
+  let best = ref (-1) and best_score = ref neg_infinity in
+  List.iter
+    (fun h ->
+      let s = score h in
+      if s > !best_score then begin
+        best_score := s;
+        best := h
+      end)
+    (free_slots st);
+  !best
+
+(* Place [p] by attachment score, breaking ties with readout
+   reliability. *)
+let place_attached st p =
+  let h =
+    best_free_by st (fun h ->
+        attachment_score st p h
+        +. (1e-6 *. log (Calibration.readout_reliability st.calib h)))
+  in
+  assign st p h
+
+let place_best_readout st p ~require_max_degree =
+  let max_degree =
+    List.fold_left
+      (fun acc h -> Int.max acc (Topology.degree st.topo h))
+      0 (free_slots st)
+  in
+  let h =
+    best_free_by st (fun h ->
+        let r = Calibration.readout_reliability st.calib h in
+        if require_max_degree && Topology.degree st.topo h < max_degree then
+          (* strongly disprefer low-degree corners for the hub qubit *)
+          r -. 2.0
+        else r)
+  in
+  assign st p h
+
+let vertex_first paths (circuit : Circuit.t) =
+  let st = init paths circuit in
+  let n = circuit.Circuit.num_qubits in
+  let degrees = Circuit.qubit_degrees circuit in
+  let unplaced () =
+    List.filter (fun p -> st.placed.(p) < 0) (List.init n Fun.id)
+  in
+  let has_placed_neighbor p =
+    List.exists (fun (q, _) -> st.placed.(q) >= 0) st.neighbors.(p)
+  in
+  (* Heaviest qubit first, at the best readout among high-degree
+     hardware locations. *)
+  (match
+     List.sort
+       (fun a b -> compare (degrees.(b), a) (degrees.(a), b))
+       (unplaced ())
+   with
+  | [] -> ()
+  | first :: _ -> place_best_readout st first ~require_max_degree:true);
+  let rec loop () =
+    match unplaced () with
+    | [] -> ()
+    | remaining ->
+        let attached = List.filter has_placed_neighbor remaining in
+        let pool = if attached <> [] then attached else remaining in
+        let p =
+          List.fold_left
+            (fun acc p ->
+              match acc with
+              | None -> Some p
+              | Some q -> if degrees.(p) > degrees.(q) then Some p else acc)
+            None pool
+          |> Option.get
+        in
+        if has_placed_neighbor p then place_attached st p
+        else place_best_readout st p ~require_max_degree:false;
+        loop ()
+  in
+  loop ();
+  Layout.of_array ~num_hw:st.num_hw st.placed
+
+(* Best free hardware edge for a fresh program edge of weight [w]:
+   maximize CNOT reliability of the edge plus readout reliability of both
+   endpoints (§5.2: "maximum CNOT and readout reliability"). *)
+let place_fresh_edge st a b w =
+  let best = ref None and best_score = ref neg_infinity in
+  List.iter
+    (fun (h1, h2) ->
+      if (not st.used.(h1)) && not st.used.(h2) then begin
+        let s =
+          (Float.of_int w *. log (Calibration.cnot_reliability st.calib h1 h2))
+          +. log (Calibration.readout_reliability st.calib h1)
+          +. log (Calibration.readout_reliability st.calib h2)
+        in
+        if s > !best_score then begin
+          best_score := s;
+          best := Some (h1, h2)
+        end
+      end)
+    (Topology.edges st.topo);
+  match !best with
+  | Some (h1, h2) ->
+      (* Orient so the higher-degree program qubit gets the higher-degree
+         hardware qubit, giving its future neighbours room. *)
+      let da = List.length st.neighbors.(a)
+      and db = List.length st.neighbors.(b) in
+      let d1 = Topology.degree st.topo h1 and d2 = Topology.degree st.topo h2 in
+      if (da >= db && d1 >= d2) || (da < db && d1 < d2) then begin
+        assign st a h1;
+        assign st b h2
+      end
+      else begin
+        assign st a h2;
+        assign st b h1
+      end
+  | None ->
+      (* No free adjacent pair left: fall back to attachment placement. *)
+      place_attached st a;
+      place_attached st b
+
+let edge_first paths (circuit : Circuit.t) =
+  let st = init paths circuit in
+  let n = circuit.Circuit.num_qubits in
+  let edges =
+    Circuit.interaction_weights circuit
+    |> List.sort (fun ((_, _), w1) ((_, _), w2) -> compare w2 w1)
+  in
+  List.iter
+    (fun ((a, b), w) ->
+      match (st.placed.(a) >= 0, st.placed.(b) >= 0) with
+      | true, true -> ()
+      | true, false -> place_attached st b
+      | false, true -> place_attached st a
+      | false, false -> place_fresh_edge st a b w)
+    edges;
+  (* Isolated program qubits (no CNOTs) go to the best free readout. *)
+  for p = 0 to n - 1 do
+    if st.placed.(p) < 0 then place_best_readout st p ~require_max_degree:false
+  done;
+  Layout.of_array ~num_hw:st.num_hw st.placed

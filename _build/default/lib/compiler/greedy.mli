@@ -1,0 +1,24 @@
+(** Noise-aware greedy placement heuristics (§5).
+
+    Both heuristics work on the program graph (nodes = qubits, edges =
+    interacting pairs weighted by CNOT multiplicity) and score candidate
+    locations with the most-reliable-path table of
+    {!Nisq_device.Paths}. They run in O(V·H + E) placements over H
+    hardware qubits — the scalable alternative to the SMT searches
+    (Fig. 11). *)
+
+val vertex_first :
+  Nisq_device.Paths.t -> Nisq_circuit.Circuit.t -> Layout.t
+(** GreedyV⋆ (§5.1): program qubits in descending CNOT-degree order; the
+    heaviest qubit goes to the best-readout location among
+    maximum-degree hardware qubits; each subsequent qubit (preferring
+    those adjacent in the program graph to an already-placed qubit) goes
+    to the free location maximizing the summed best-path
+    log-reliability to its placed neighbours. *)
+
+val edge_first : Nisq_device.Paths.t -> Nisq_circuit.Circuit.t -> Layout.t
+(** GreedyE⋆ (§5.2): program-graph edges in descending weight order; the
+    heaviest edge goes to the hardware edge maximizing combined CNOT and
+    readout reliability; each subsequent edge with one placed endpoint
+    places the other endpoint to maximize summed path reliability to its
+    placed neighbours. *)

@@ -1,0 +1,109 @@
+module Topology = Nisq_device.Topology
+module Calibration = Nisq_device.Calibration
+
+type t = { prog_to_hw : int array; hw_to_prog : int array }
+
+let of_array ~num_hw a =
+  let hw_to_prog = Array.make num_hw (-1) in
+  Array.iteri
+    (fun p h ->
+      if h < 0 || h >= num_hw then
+        invalid_arg
+          (Printf.sprintf "Layout.of_array: hw qubit %d out of range" h);
+      if hw_to_prog.(h) >= 0 then
+        invalid_arg
+          (Printf.sprintf "Layout.of_array: hw qubit %d assigned twice" h);
+      hw_to_prog.(h) <- p)
+    a;
+  { prog_to_hw = Array.copy a; hw_to_prog }
+
+let identity ~num_prog ~num_hw =
+  if num_prog > num_hw then invalid_arg "Layout.identity: too many program qubits";
+  of_array ~num_hw (Array.init num_prog Fun.id)
+
+let num_prog t = Array.length t.prog_to_hw
+let num_hw t = Array.length t.hw_to_prog
+
+let hw_of t p = t.prog_to_hw.(p)
+
+let prog_of t h = if t.hw_to_prog.(h) >= 0 then Some t.hw_to_prog.(h) else None
+
+let to_array t = Array.copy t.prog_to_hw
+
+let apply t circuit =
+  Nisq_circuit.Circuit.map_qubits circuit ~f:(fun p -> t.prog_to_hw.(p))
+    ~num_qubits:(num_hw t)
+
+let render_graph topo ?calib t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Format.asprintf "%a\n" Topology.pp topo);
+  Array.iteri
+    (fun p h ->
+      let readout =
+        match calib with
+        | Some c ->
+            Printf.sprintf " (readout err %.1f%%)"
+              (100.0 *. Calibration.readout_error c h)
+        | None -> ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  p%d -> q%d%s\n" p h readout))
+    t.prog_to_hw;
+  Buffer.contents buf
+
+let render topo ?calib t =
+  if not (Topology.is_grid topo) then render_graph topo ?calib t
+  else
+  let buf = Buffer.create 512 in
+  let node h =
+    let who =
+      match prog_of t h with
+      | Some p -> Printf.sprintf "p%-2d" p
+      | None -> " . "
+    in
+    match calib with
+    | Some c ->
+        Printf.sprintf "[%s %4.1f]" who (100.0 *. Calibration.readout_error c h)
+    | None -> Printf.sprintf "[%s q%-2d]" who h
+  in
+  let hedge h1 h2 =
+    match calib with
+    | Some c -> Printf.sprintf "-%4.1f-" (100.0 *. Calibration.cnot_error c h1 h2)
+    | None -> "------"
+  in
+  let cell_width = String.length (node 0) in
+  for y = 0 to Topology.rows topo - 1 do
+    (* node row *)
+    for x = 0 to Topology.cols topo - 1 do
+      let h = Topology.index topo ~x ~y in
+      Buffer.add_string buf (node h);
+      if x < Topology.cols topo - 1 then
+        Buffer.add_string buf (hedge h (Topology.index topo ~x:(x + 1) ~y))
+    done;
+    Buffer.add_char buf '\n';
+    (* vertical edge row *)
+    if y < Topology.rows topo - 1 then begin
+      for x = 0 to Topology.cols topo - 1 do
+        let h = Topology.index topo ~x ~y in
+        let h' = Topology.index topo ~x ~y:(y + 1) in
+        let label =
+          match calib with
+          | Some c -> Printf.sprintf "%4.1f" (100.0 *. Calibration.cnot_error c h h')
+          | None -> " |  "
+        in
+        let pad = (cell_width - 4) / 2 in
+        Buffer.add_string buf (String.make pad ' ');
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.make (cell_width - 4 - pad) ' ');
+        if x < Topology.cols topo - 1 then
+          Buffer.add_string buf (String.make 6 ' ')
+      done;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; "
+       (Array.to_list
+          (Array.mapi (fun p h -> Printf.sprintf "p%d->q%d" p h) t.prog_to_hw)))

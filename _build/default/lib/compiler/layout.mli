@@ -1,0 +1,36 @@
+(** Program-qubit → hardware-qubit placements (Constraints 1–2).
+
+    A layout is total on the program qubits and injective into the
+    hardware qubits. *)
+
+type t
+
+val of_array : num_hw:int -> int array -> t
+(** [of_array ~num_hw a] with [a.(p)] the hardware location of program
+    qubit [p]. Raises [Invalid_argument] unless injective and in range. *)
+
+val identity : num_prog:int -> num_hw:int -> t
+(** Program qubit [p] → hardware qubit [p] — the Qiskit baseline's
+    lexicographic placement. *)
+
+val num_prog : t -> int
+val num_hw : t -> int
+
+val hw_of : t -> int -> int
+(** Hardware location of a program qubit. *)
+
+val prog_of : t -> int -> int option
+(** Inverse: the program qubit living at a hardware location, if any. *)
+
+val to_array : t -> int array
+
+val apply : t -> Nisq_circuit.Circuit.t -> Nisq_circuit.Circuit.t
+(** Re-express a program circuit over hardware qubits. *)
+
+val render :
+  Nisq_device.Topology.t -> ?calib:Nisq_device.Calibration.t -> t -> string
+(** ASCII drawing of the device grid with program qubits marked — the
+    presentation of Fig. 8. With [calib], nodes show readout error (%)
+    and edges show CNOT error (%). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+module Circuit = Nisq_circuit.Circuit
+module Gate = Nisq_circuit.Gate
+module Calibration = Nisq_device.Calibration
+module Topology = Nisq_device.Topology
+module Paths = Nisq_device.Paths
+module Placement = Nisq_solver.Placement
+
+let placement_problem paths ~omega ~policy (circuit : Circuit.t) =
+  let calib = Paths.calibration paths in
+  let num_slots = Topology.num_qubits calib.Calibration.topology in
+  let num_items = circuit.Circuit.num_qubits in
+  (* Readout term: each measurement of program qubit p contributes
+     omega * log(readout reliability of its location). *)
+  let measure_count = Array.make num_items 0 in
+  Array.iter
+    (fun (g : Gate.t) ->
+      if g.kind = Gate.Measure then
+        measure_count.(g.qubits.(0)) <- measure_count.(g.qubits.(0)) + 1)
+    circuit.Circuit.gates;
+  let unary =
+    Array.init num_items (fun p ->
+        Array.init num_slots (fun h ->
+            if measure_count.(p) = 0 then 0.0
+            else
+              omega
+              *. Float.of_int measure_count.(p)
+              *. log (Calibration.readout_reliability calib h)))
+  in
+  let ec = Route.log_reliability_matrix paths ~policy in
+  let pairwise =
+    Circuit.interaction_weights circuit
+    |> List.map (fun ((a, b), w) ->
+           let m =
+             Array.init num_slots (fun ha ->
+                 Array.init num_slots (fun hb ->
+                     if ha = hb then neg_infinity
+                     else (1.0 -. omega) *. Float.of_int w *. ec.(ha).(hb)))
+           in
+           (a, b, m))
+  in
+  { Placement.num_items; num_slots; unary; pairwise }
+
+let plan_log_reliability calib ~omega (circuit : Circuit.t)
+    (plans : Route.entry array) =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      let p = plans.(i) in
+      match g.kind with
+      | Gate.Measure ->
+          total :=
+            !total
+            +. (omega *. log (Calibration.readout_reliability calib p.Route.hw.(0)))
+      | Gate.Cnot -> (
+          match p.Route.route with
+          | Some r ->
+              total := !total +. ((1.0 -. omega) *. r.Paths.log_reliability)
+          | None -> assert false)
+      | _ -> ())
+    circuit.Circuit.gates;
+  !total
+
+let esp ?(include_single = true) calib (ops : Emit.phys array) =
+  Array.fold_left
+    (fun acc (op : Emit.phys) ->
+      match op.Emit.kind with
+      | Gate.Cnot ->
+          acc *. Calibration.cnot_reliability calib op.qubits.(0) op.qubits.(1)
+      | Gate.Measure -> acc *. Calibration.readout_reliability calib op.qubits.(0)
+      | Gate.Barrier | Gate.Swap -> acc
+      | Gate.H | Gate.X | Gate.Y | Gate.Z | Gate.S | Gate.Sdg | Gate.T
+      | Gate.Tdg | Gate.Rz _ | Gate.Rx _ | Gate.Ry _ ->
+          if include_single then
+            acc *. (1.0 -. calib.Calibration.single_error.(op.qubits.(0)))
+          else acc)
+    1.0 ops

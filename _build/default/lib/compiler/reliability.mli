@@ -1,0 +1,42 @@
+(** Reliability scoring: the optimization objective and ESP.
+
+    The paper scores a mapping by the product of CNOT and readout
+    reliabilities, linearized as the weighted additive-log objective of
+    Eq. 12:
+
+    {v ω Σ_readouts log ε  +  (1−ω) Σ_CNOTs log ε v}
+
+    {!placement_problem} encodes exactly that objective over injective
+    placements for the {!Nisq_solver.Placement} engine; {!esp} computes
+    the analytic estimated success probability of a compiled physical
+    gate stream. *)
+
+val placement_problem :
+  Nisq_device.Paths.t ->
+  omega:float ->
+  policy:Config.routing ->
+  Nisq_circuit.Circuit.t ->
+  Nisq_solver.Placement.problem
+(** Items are program qubits, slots are hardware qubits. Unary scores
+    carry [ω · log readout-reliability] per measurement of a qubit;
+    pairwise scores carry [(1−ω) · multiplicity · EC] per interacting
+    qubit pair, with EC the best routed-CNOT log-reliability under
+    [policy] (Constraint 11). *)
+
+val plan_log_reliability :
+  Nisq_device.Calibration.t ->
+  omega:float ->
+  Nisq_circuit.Circuit.t ->
+  Route.entry array ->
+  float
+(** The Eq.-12 objective value actually achieved by a plan (CNOT routes +
+    readout locations). *)
+
+val esp :
+  ?include_single:bool ->
+  Nisq_device.Calibration.t ->
+  Emit.phys array ->
+  float
+(** Estimated success probability: Π (1 − error) over the physical gate
+    stream — CNOTs and readouts always, single-qubit gates when
+    [include_single] (default true). *)

@@ -1,0 +1,182 @@
+module Paths = Nisq_device.Paths
+module Topology = Nisq_device.Topology
+module Calibration = Nisq_device.Calibration
+module Gate = Nisq_circuit.Gate
+
+type criterion = Min_hops | Min_duration | Max_reliability
+
+type entry = {
+  hw : int array;
+  duration : int;
+  reserve : int array;
+  route : Paths.route option;
+}
+
+let pick criterion routes =
+  let better (a : Paths.route) (b : Paths.route) =
+    match criterion with
+    | Min_hops ->
+        (* fewer qubits on the path, then faster *)
+        compare
+          (Array.length a.Paths.path, a.Paths.duration)
+          (Array.length b.Paths.path, b.Paths.duration)
+        < 0
+    | Min_duration -> a.Paths.duration < b.Paths.duration
+    | Max_reliability -> a.Paths.log_reliability > b.Paths.log_reliability
+  in
+  match routes with
+  | [] -> invalid_arg "Route.pick: no candidate routes"
+  | r :: rest -> List.fold_left (fun acc r -> if better r acc then r else acc) r rest
+
+let choose_route paths ~policy ~criterion h1 h2 =
+  match (policy, criterion) with
+  | Config.Best_path, Max_reliability -> Paths.best_path_route paths h1 h2
+  | (Config.Best_path | Config.One_bend | Config.Rectangle_reservation), _ ->
+      pick criterion (Paths.one_bend_routes paths h1 h2)
+
+let rectangle topo h1 h2 =
+  let x1, y1 = Topology.coords topo h1 and x2, y2 = Topology.coords topo h2 in
+  let xlo = Int.min x1 x2 and xhi = Int.max x1 x2 in
+  let ylo = Int.min y1 y2 and yhi = Int.max y1 y2 in
+  let acc = ref [] in
+  for y = yhi downto ylo do
+    for x = xhi downto xlo do
+      acc := Topology.index topo ~x ~y :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+let reserve_of paths ~policy (route : Paths.route) =
+  let topo = (Paths.calibration paths).Calibration.topology in
+  match policy with
+  | Config.Rectangle_reservation when Topology.is_grid topo ->
+      let p = route.Paths.path in
+      rectangle topo p.(0) p.(Array.length p - 1)
+  | Config.Rectangle_reservation | Config.One_bend | Config.Best_path ->
+      Array.copy route.Paths.path
+
+let plan paths ~policy ~criterion ~layout (circuit : Nisq_circuit.Circuit.t) =
+  Array.map
+    (fun (g : Gate.t) ->
+      let hw = Array.map (Layout.hw_of layout) g.qubits in
+      match g.kind with
+      | Gate.Swap ->
+          (* Only router-inserted SWAPs between coupled qubits are legal
+             here (the Move_and_stay pipeline); program-level SWAPs are
+             lowered before compilation. *)
+          {
+            hw;
+            duration = Calibration.swap_duration (Paths.calibration paths) hw.(0) hw.(1);
+            reserve = hw;
+            route = None;
+          }
+      | Gate.Cnot ->
+          let route = choose_route paths ~policy ~criterion hw.(0) hw.(1) in
+          {
+            hw;
+            duration = route.Paths.duration;
+            reserve = reserve_of paths ~policy route;
+            route = Some route;
+          }
+      | Gate.Measure ->
+          { hw; duration = Calibration.measure_duration; reserve = hw; route = None }
+      | Gate.Barrier -> { hw; duration = 0; reserve = hw; route = None }
+      | Gate.H | Gate.X | Gate.Y | Gate.Z | Gate.S | Gate.Sdg | Gate.T
+      | Gate.Tdg | Gate.Rz _ | Gate.Rx _ | Gate.Ry _ ->
+          { hw; duration = Calibration.single_gate_duration; reserve = hw; route = None })
+    circuit.Nisq_circuit.Circuit.gates
+
+let reprice paths entries =
+  let calib = Paths.calibration paths in
+  Array.map
+    (fun e ->
+      match e.route with
+      | None -> e
+      | Some r ->
+          let r' =
+            Paths.route_via_path ~junction:r.Paths.junction calib r.Paths.path
+          in
+          { e with duration = r'.Paths.duration; route = Some r' })
+    entries
+
+let num_hw paths =
+  Topology.num_qubits (Paths.calibration paths).Calibration.topology
+
+let duration_matrix paths ~policy ~criterion =
+  let n = num_hw paths in
+  let m = Array.make_matrix n n 0 in
+  for h1 = 0 to n - 1 do
+    for h2 = 0 to n - 1 do
+      if h1 <> h2 then
+        m.(h1).(h2) <-
+          (choose_route paths ~policy ~criterion h1 h2).Paths.duration
+    done
+  done;
+  m
+
+let log_reliability_matrix paths ~policy =
+  let n = num_hw paths in
+  let m = Array.make_matrix n n 0.0 in
+  for h1 = 0 to n - 1 do
+    for h2 = 0 to n - 1 do
+      if h1 <> h2 then
+        m.(h1).(h2) <-
+          (choose_route paths ~policy ~criterion:Max_reliability h1 h2)
+            .Paths.log_reliability
+    done
+  done;
+  m
+
+(* Dynamic routing: SWAPs permanently move qubit state instead of
+   swapping back (Config.Move_and_stay). Returns the routed circuit over
+   hardware qubits — CNOTs and SWAPs all between coupled qubits — and the
+   final position of every program qubit. Route choices use the same
+   policy/criterion machinery as the static model, evaluated at each
+   CNOT's *current* positions. *)
+let expand_move_and_stay paths ~policy ~criterion ~layout
+    (circuit : Nisq_circuit.Circuit.t) =
+  let module Circuit = Nisq_circuit.Circuit in
+  let topo = (Paths.calibration paths).Calibration.topology in
+  let num_hw = Topology.num_qubits topo in
+  let pos = Array.init circuit.Circuit.num_qubits (Layout.hw_of layout) in
+  let occupant = Array.make num_hw (-1) in
+  Array.iteri (fun p h -> occupant.(h) <- p) pos;
+  let b = Circuit.Builder.create ~name:(circuit.Circuit.name ^ "_routed") num_hw in
+  let do_swap a b' =
+    Circuit.Builder.swap b a b';
+    let pa = occupant.(a) and pb = occupant.(b') in
+    occupant.(a) <- pb;
+    occupant.(b') <- pa;
+    if pa >= 0 then pos.(pa) <- b';
+    if pb >= 0 then pos.(pb) <- a
+  in
+  Array.iter
+    (fun (g : Gate.t) ->
+      match g.Gate.kind with
+      | Gate.Swap ->
+          invalid_arg "Route.expand_move_and_stay: lower Swap gates first"
+      | Gate.Cnot ->
+          let c = pos.(g.qubits.(0)) and t = pos.(g.qubits.(1)) in
+          if Topology.adjacent topo c t then Circuit.Builder.cnot b c t
+          else begin
+            let route = choose_route paths ~policy ~criterion c t in
+            let path = route.Paths.path in
+            let k = Array.length path - 1 in
+            for i = 0 to k - 2 do
+              do_swap path.(i) path.(i + 1)
+            done;
+            Circuit.Builder.cnot b path.(k - 1) path.(k)
+          end
+      | Gate.Barrier ->
+          Circuit.Builder.barrier b (Array.map (fun q -> pos.(q)) g.qubits)
+      | kind -> Circuit.Builder.add b kind (Array.map (fun q -> pos.(q)) g.qubits))
+    circuit.Circuit.gates;
+  (Circuit.Builder.build b, Array.copy pos)
+
+let swap_count entries =
+  Array.fold_left
+    (fun acc e ->
+      match e.route with
+      | Some r -> acc + (2 * (Array.length r.Paths.path - 2))
+      | None -> acc)
+    0 entries

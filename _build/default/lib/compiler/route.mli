@@ -1,0 +1,74 @@
+(** Routing policies and gate-level execution plans.
+
+    Given a layout, every program gate is *planned*: assigned hardware
+    operands, a duration in timeslots, a set of hardware qubits it
+    reserves while executing, and — for CNOTs between non-adjacent
+    locations — a movement route. The plan is what the scheduler consumes
+    (the gate durations of Constraints 3–5 and the spatial-exclusion
+    regions of Constraints 7–9) and what {!Emit} later expands into
+    physical gates.
+
+    Routing follows the static-placement model of §4.2: the control is
+    SWAPped along the route until adjacent to the target, the CNOT
+    executes, and the SWAPs are undone, so the layout is invariant across
+    the whole program. *)
+
+type criterion =
+  | Min_hops  (** noise-blind shortest route (Qiskit baseline, T-SMT) *)
+  | Min_duration  (** calibrated fastest route (T-SMT⋆) *)
+  | Max_reliability  (** calibrated most-reliable route (R-SMT⋆, greedy) *)
+
+type entry = {
+  hw : int array;  (** hardware operands of the program gate *)
+  duration : int;  (** timeslots, movement included for CNOTs *)
+  reserve : int array;  (** hardware qubits blocked during execution *)
+  route : Nisq_device.Paths.route option;  (** [Some] for every CNOT *)
+}
+
+val plan :
+  Nisq_device.Paths.t ->
+  policy:Config.routing ->
+  criterion:criterion ->
+  layout:Layout.t ->
+  Nisq_circuit.Circuit.t ->
+  entry array
+(** One entry per program gate, indexed by gate id. The circuit must not
+    contain [Swap] gates (lower them first). Under
+    [Rectangle_reservation] a CNOT reserves its full bounding rectangle;
+    under [One_bend] and [Best_path] it reserves the route qubits. *)
+
+val reprice : Nisq_device.Paths.t -> entry array -> entry array
+(** Recompute durations and route reliabilities against another
+    calibration day, keeping the routing decisions fixed. Used to
+    evaluate what actually happens when a calibration-blind plan (T-SMT,
+    Qiskit) runs on the real machine. *)
+
+val duration_matrix :
+  Nisq_device.Paths.t ->
+  policy:Config.routing ->
+  criterion:criterion ->
+  int array array
+(** The ∆ matrix (§4.2): planned CNOT duration for every hardware qubit
+    pair (diagonal 0). *)
+
+val log_reliability_matrix :
+  Nisq_device.Paths.t -> policy:Config.routing -> float array array
+(** The per-pair best routed-CNOT log-reliability — the junction-maximized
+    EC matrix (§4.4) used by the placement objective. Diagonal 0. *)
+
+val expand_move_and_stay :
+  Nisq_device.Paths.t ->
+  policy:Config.routing ->
+  criterion:criterion ->
+  layout:Layout.t ->
+  Nisq_circuit.Circuit.t ->
+  Nisq_circuit.Circuit.t * int array
+(** Dynamic-routing expansion ([Config.Move_and_stay]): SWAPs move state
+    permanently, the layout drifts. Returns the routed hardware circuit
+    (all two-qubit gates between coupled qubits; SWAPs explicit) and the
+    final hardware position of every program qubit. Under this model
+    [plan] is then run on the routed circuit with an identity layout. *)
+
+val swap_count : entry array -> int
+(** Total SWAP operations the plan inserts (each distance-unit of
+    movement costs 2: out and back). *)

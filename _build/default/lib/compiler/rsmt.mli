@@ -1,0 +1,16 @@
+(** Reliability-optimal placement — R-SMT⋆ (§4.4–4.5).
+
+    Maximizes the weighted log-reliability objective of Eq. 12 over
+    injective placements, with routed-CNOT reliabilities taken from the
+    one-bend-path EC matrix (or the policy in force). The returned layout
+    is model-optimal whenever the solver proves optimality within
+    budget. *)
+
+val compile_layout :
+  decision_paths:Nisq_device.Paths.t ->
+  omega:float ->
+  policy:Config.routing ->
+  budget:Nisq_solver.Budget.t ->
+  Nisq_circuit.Circuit.t ->
+  Layout.t * Nisq_solver.Budget.stats * float
+(** [(layout, solver stats, objective value)]. *)

@@ -1,0 +1,137 @@
+module Dag = Nisq_circuit.Dag
+module Gate = Nisq_circuit.Gate
+module Circuit = Nisq_circuit.Circuit
+module Calibration = Nisq_device.Calibration
+
+type entry = {
+  gate_id : int;
+  start : int;
+  duration : int;
+  hw : int array;
+  reserve : int array;
+}
+
+type t = { entries : entry array; makespan : int }
+
+let compute dag ~(circuit : Circuit.t) (plans : Route.entry array) =
+  let n = Dag.num_gates dag in
+  if Array.length plans <> n then
+    invalid_arg "Schedule.compute: plan/DAG size mismatch";
+  if Array.length circuit.Circuit.gates <> n then
+    invalid_arg "Schedule.compute: circuit/DAG size mismatch";
+  let is_measure =
+    Array.map (fun (g : Gate.t) -> g.kind = Gate.Measure) circuit.Circuit.gates
+  in
+  let entries =
+    Array.map
+      (fun (p : Route.entry) ->
+        { gate_id = -1; start = -1; duration = p.duration; hw = p.hw;
+          reserve = p.reserve })
+      plans
+  in
+  (* busy.(h): earliest slot at which hardware qubit h is free *)
+  let num_hw =
+    Array.fold_left
+      (fun acc (p : Route.entry) ->
+        Array.fold_left (fun a q -> Int.max a (q + 1)) acc p.reserve)
+      1 plans
+  in
+  let busy = Array.make num_hw 0 in
+  let dep_ready = Array.make n 0 in
+  let finish_of = Array.make n 0 in
+  let remaining_preds = Array.init n (fun i -> List.length (Dag.preds dag i)) in
+  let makespan = ref 0 in
+  let ready = ref [] in
+  for i = n - 1 downto 0 do
+    if remaining_preds.(i) = 0 && not is_measure.(i) then ready := i :: !ready
+  done;
+  let feasible_start i =
+    let p = plans.(i) in
+    Array.fold_left (fun acc h -> Int.max acc busy.(h)) dep_ready.(i) p.reserve
+  in
+  let place i start =
+    let p = plans.(i) in
+    let finish = start + p.Route.duration in
+    entries.(i) <- { (entries.(i)) with gate_id = i; start };
+    finish_of.(i) <- finish;
+    Array.iter (fun h -> busy.(h) <- finish) p.Route.reserve;
+    makespan := Int.max !makespan finish
+  in
+  let count = ref 0 in
+  (* Phase 1: every non-measure gate, earliest-ready-gate-first. *)
+  while !ready <> [] do
+    let best =
+      List.fold_left
+        (fun acc i ->
+          let s = feasible_start i in
+          match acc with
+          | None -> Some (i, s)
+          | Some (j, sj) ->
+              if s < sj || (s = sj && i < j) then Some (i, s) else acc)
+        None !ready
+    in
+    let i, start = Option.get best in
+    ready := List.filter (fun j -> j <> i) !ready;
+    place i start;
+    incr count;
+    List.iter
+      (fun s ->
+        remaining_preds.(s) <- remaining_preds.(s) - 1;
+        dep_ready.(s) <- Int.max dep_ready.(s) finish_of.(i);
+        if remaining_preds.(s) = 0 && not is_measure.(s) then
+          ready := s :: !ready)
+      (Dag.succs dag i)
+  done;
+  (* Phase 2: measurements. Readout is terminal for its hardware qubit, so
+     it must come after the last use of that qubit by any routed
+     operation — scheduling measures once everything else is placed
+     guarantees no gate ever acts on an already-measured qubit. *)
+  for i = 0 to n - 1 do
+    if is_measure.(i) then begin
+      if Dag.succs dag i <> [] then
+        invalid_arg "Schedule.compute: gate depends on a measurement";
+      let dep =
+        List.fold_left (fun acc pr -> Int.max acc finish_of.(pr)) 0
+          (Dag.preds dag i)
+      in
+      place i (Array.fold_left (fun acc h -> Int.max acc busy.(h)) dep
+                 plans.(i).Route.reserve);
+      incr count
+    end
+  done;
+  if !count <> n then failwith "Schedule.compute: dependency cycle";
+  { entries; makespan = !makespan }
+
+let coherence_violations t calib =
+  Array.fold_left
+    (fun acc e ->
+      if e.duration = 0 && Array.length e.hw = 0 then acc
+      else
+        let finish = e.start + e.duration in
+        let limit =
+          Array.fold_left
+            (fun acc h -> Int.min acc (Calibration.t2_slots calib h))
+            max_int e.hw
+        in
+        if finish > limit then (e.gate_id, finish, limit) :: acc else acc)
+    [] t.entries
+  |> List.rev
+
+let busy_slots t h =
+  Array.fold_left
+    (fun acc e ->
+      if Array.exists (fun q -> q = h) e.reserve then acc + e.duration else acc)
+    0 t.entries
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule (makespan %d):@," t.makespan;
+  let sorted = Array.copy t.entries in
+  Array.sort (fun a b -> compare (a.start, a.gate_id) (b.start, b.gate_id)) sorted;
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf "  g%-3d @@ %4d +%-3d on %s@," e.gate_id e.start
+        e.duration
+        (String.concat ","
+           (Array.to_list (Array.map (Printf.sprintf "q%d") e.hw))))
+    sorted;
+  Format.fprintf ppf "@]"

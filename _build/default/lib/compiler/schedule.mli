@@ -1,0 +1,46 @@
+(** Gate scheduling.
+
+    An earliest-ready-gate-first list scheduler (the policy of [27] the
+    paper adopts for its heuristics, §5) that also realizes the SMT
+    formulation's constraints for all variants:
+
+    - data dependencies: a gate starts only after its DAG predecessors
+      finish (Constraint 3);
+    - spatial exclusion: two operations whose reserve sets intersect may
+      not overlap in time — rectangle reservation or path reservation
+      depending on the plan (Constraints 7–9);
+    - coherence: {!coherence_violations} reports gates finishing after
+      the T2 window of a hardware qubit they use (Constraints 4/6). *)
+
+type entry = {
+  gate_id : int;
+  start : int;  (** timeslot *)
+  duration : int;
+  hw : int array;
+  reserve : int array;
+}
+
+type t = {
+  entries : entry array;  (** indexed by gate id *)
+  makespan : int;  (** finish time of the last gate *)
+}
+
+val compute :
+  Nisq_circuit.Dag.t ->
+  circuit:Nisq_circuit.Circuit.t ->
+  Route.entry array ->
+  t
+(** Schedule every gate of the DAG according to its plan entry. *)
+
+val coherence_violations :
+  t -> Nisq_device.Calibration.t -> (int * int * int) list
+(** [(gate_id, finish, t2_limit)] for every gate finishing after the
+    minimum T2 window (in slots) of its hardware operands. Empty for
+    every paper benchmark on IBMQ16 (§7.2). *)
+
+val busy_slots : t -> int -> int
+(** Total timeslots during which a hardware qubit is executing gates
+    (reservations included) — used by the noise model to derive idle
+    time. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+module Circuit = Nisq_circuit.Circuit
+module Gate = Nisq_circuit.Gate
+module Dag = Nisq_circuit.Dag
+module Calibration = Nisq_device.Calibration
+module Topology = Nisq_device.Topology
+module Paths = Nisq_device.Paths
+module Makespan = Nisq_solver.Makespan
+
+let coherence_penalty = 1_000_000
+
+let compile_layout ~decision_paths ~policy ~criterion ~budget
+    (circuit : Circuit.t) dag =
+  let calib = Paths.calibration decision_paths in
+  let num_hw = Topology.num_qubits calib.Calibration.topology in
+  let num_items = circuit.Circuit.num_qubits in
+  let dur = Route.duration_matrix decision_paths ~policy ~criterion in
+  (* Optimistic duration for a CNOT with an unplaced endpoint: the
+     fastest hardware CNOT on the machine. *)
+  let min_cnot_dur =
+    List.fold_left
+      (fun acc (a, b) -> Int.min acc (Calibration.cnot_duration calib a b))
+      max_int
+      (Topology.edges calib.Calibration.topology)
+  in
+  let weight placement (g : Gate.t) =
+    match g.kind with
+    | Gate.Cnot ->
+        let h1 = placement.(g.qubits.(0)) and h2 = placement.(g.qubits.(1)) in
+        if h1 >= 0 && h2 >= 0 then dur.(h1).(h2) else min_cnot_dur
+    | Gate.Measure -> Calibration.measure_duration
+    | Gate.Barrier -> 0
+    | _ -> Calibration.single_gate_duration
+  in
+  let lower_bound placement =
+    Dag.critical_path_length dag ~weight:(weight placement)
+  in
+  let leaf_cost placement =
+    let layout = Layout.of_array ~num_hw placement in
+    let plans = Route.plan decision_paths ~policy ~criterion ~layout circuit in
+    let sched = Schedule.compute dag ~circuit plans in
+    let violations = Schedule.coherence_violations sched calib in
+    if violations = [] then sched.Schedule.makespan
+    else sched.Schedule.makespan + coherence_penalty
+  in
+  (* Place high-CNOT-degree qubits first: their routing dominates the
+     critical path, so bounds bite early. *)
+  let degrees = Circuit.qubit_degrees circuit in
+  let order = Array.init num_items Fun.id in
+  Array.sort (fun a b -> compare degrees.(b) degrees.(a)) order;
+  let solution =
+    Makespan.solve ~budget
+      {
+        Makespan.num_items;
+        num_slots = num_hw;
+        order = Some order;
+        lower_bound;
+        leaf_cost;
+      }
+  in
+  (Layout.of_array ~num_hw solution.Makespan.assignment, solution.Makespan.stats)

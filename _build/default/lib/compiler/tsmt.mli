@@ -1,0 +1,23 @@
+(** Duration-optimal placement — T-SMT and T-SMT⋆ (§4.5).
+
+    Minimizes the finish time of the last gate subject to the mapping,
+    dependency, duration, routing and coherence constraints, by
+    branch-and-bound over placements with the dependency-graph critical
+    path (under optimistic routing durations for unplaced endpoints) as
+    the admissible lower bound and the list scheduler as the exact leaf
+    cost. T-SMT runs this against the uniform machine view, T-SMT⋆
+    against the day's calibration. *)
+
+val compile_layout :
+  decision_paths:Nisq_device.Paths.t ->
+  policy:Config.routing ->
+  criterion:Route.criterion ->
+  budget:Nisq_solver.Budget.t ->
+  Nisq_circuit.Circuit.t ->
+  Nisq_circuit.Dag.t ->
+  Layout.t * Nisq_solver.Budget.stats
+(** A schedule violating the coherence window (Eq. 4/6) is penalized by
+    [coherence_penalty] rather than rejected, so a best-effort layout is
+    always produced. *)
+
+val coherence_penalty : int

@@ -1,0 +1,1 @@
+lib/device/calib_gen.ml: Array Calibration Float Hashtbl List Nisq_util Topology

@@ -1,0 +1,1 @@
+lib/device/calib_io.ml: Array Buffer Calibration Float Hashtbl List Printf String Topology

@@ -1,0 +1,1 @@
+lib/device/calib_io.mli: Calibration

@@ -1,0 +1,1 @@
+lib/device/calibration.ml: Array Float Format Int List Nisq_util Printf Topology

@@ -1,0 +1,1 @@
+lib/device/ibmq16.ml: Calib_gen Topology

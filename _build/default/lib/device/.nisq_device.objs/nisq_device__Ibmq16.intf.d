@@ -1,0 +1,1 @@
+lib/device/ibmq16.mli: Calibration Topology

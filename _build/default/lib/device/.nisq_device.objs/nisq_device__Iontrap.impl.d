@@ -1,0 +1,1 @@
+lib/device/iontrap.ml: Calib_gen Topology

@@ -1,0 +1,1 @@
+lib/device/iontrap.mli: Calibration Topology

@@ -1,0 +1,1 @@
+lib/device/paths.ml: Array Calibration Fun List Topology

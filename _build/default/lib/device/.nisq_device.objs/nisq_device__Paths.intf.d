@@ -1,0 +1,1 @@
+lib/device/paths.mli: Calibration

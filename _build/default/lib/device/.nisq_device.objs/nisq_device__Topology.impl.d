@@ -1,0 +1,1 @@
+lib/device/topology.ml: Array Format List Printf Queue

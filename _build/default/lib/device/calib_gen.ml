@@ -1,0 +1,137 @@
+module Rng = Nisq_util.Rng
+
+type params = {
+  cnot_err_median : float;
+  cnot_err_spatial_sigma : float;
+  cnot_err_temporal_sigma : float;
+  cnot_err_clamp : float * float;
+  readout_err_median : float;
+  readout_err_spatial_sigma : float;
+  readout_err_temporal_sigma : float;
+  readout_err_clamp : float * float;
+  t2_median_us : float;
+  t2_spatial_sigma : float;
+  t2_temporal_sigma : float;
+  t2_clamp_us : float * float;
+  single_err_median : float;
+  single_err_sigma : float;
+  cnot_duration_slots : int * int;
+}
+
+let default =
+  {
+    cnot_err_median = 0.033;
+    cnot_err_spatial_sigma = 0.55;
+    cnot_err_temporal_sigma = 0.30;
+    cnot_err_clamp = (0.006, 0.35);
+    readout_err_median = 0.06;
+    readout_err_spatial_sigma = 0.45;
+    readout_err_temporal_sigma = 0.25;
+    readout_err_clamp = (0.012, 0.35);
+    t2_median_us = 62.0;
+    t2_spatial_sigma = 0.40;
+    t2_temporal_sigma = 0.18;
+    t2_clamp_us = (25.0, 220.0);
+    single_err_median = 0.002;
+    single_err_sigma = 0.4;
+    cnot_duration_slots = (3, 5);
+  }
+
+let high_variance =
+  {
+    default with
+    cnot_err_spatial_sigma = 1.0;
+    cnot_err_temporal_sigma = 0.55;
+    readout_err_spatial_sigma = 0.85;
+    readout_err_temporal_sigma = 0.45;
+    t2_spatial_sigma = 0.7;
+  }
+
+let clamp (lo, hi) x = Float.min hi (Float.max lo x)
+
+(* Persistent (manufacturing) state derived only from the seed, so every
+   day of a series shares it. *)
+type persistent = {
+  edge_bias : (int * int, float) Hashtbl.t;  (* log-space CNOT quality *)
+  edge_duration : (int * int, int) Hashtbl.t;
+  readout_bias : float array;
+  t2_bias : float array;
+  single_bias : float array;
+}
+
+let persistent_of_seed params topology seed =
+  let rng = Rng.create (seed * 2 + 1) in
+  let n = Topology.num_qubits topology in
+  let edge_bias = Hashtbl.create 32 and edge_duration = Hashtbl.create 32 in
+  let lo_d, hi_d = params.cnot_duration_slots in
+  List.iter
+    (fun e ->
+      Hashtbl.add edge_bias e
+        (Rng.gaussian rng ~mean:0.0 ~sigma:params.cnot_err_spatial_sigma);
+      Hashtbl.add edge_duration e (lo_d + Rng.int rng (hi_d - lo_d + 1)))
+    (Topology.edges topology);
+  {
+    edge_bias;
+    edge_duration;
+    readout_bias =
+      Array.init n (fun _ ->
+          Rng.gaussian rng ~mean:0.0 ~sigma:params.readout_err_spatial_sigma);
+    t2_bias =
+      Array.init n (fun _ ->
+          Rng.gaussian rng ~mean:0.0 ~sigma:params.t2_spatial_sigma);
+    single_bias =
+      Array.init n (fun _ ->
+          Rng.gaussian rng ~mean:0.0 ~sigma:params.single_err_sigma);
+  }
+
+let generate ?(params = default) ~topology ~seed ~day () =
+  let persistent = persistent_of_seed params topology seed in
+  (* Daily drift stream: deterministic in (seed, day) alone. *)
+  let rng = Rng.create ((seed * 1_000_003) + (day * 7_919) + 17) in
+  let n = Topology.num_qubits topology in
+  let cnot_error = Array.make_matrix n n Float.nan in
+  let cnot_duration = Array.make_matrix n n 0 in
+  List.iter
+    (fun (a, b) ->
+      let drift =
+        Rng.gaussian rng ~mean:0.0 ~sigma:params.cnot_err_temporal_sigma
+      in
+      let e =
+        clamp params.cnot_err_clamp
+          (params.cnot_err_median
+          *. exp (Hashtbl.find persistent.edge_bias (a, b) +. drift))
+      in
+      cnot_error.(a).(b) <- e;
+      cnot_error.(b).(a) <- e;
+      let d = Hashtbl.find persistent.edge_duration (a, b) in
+      cnot_duration.(a).(b) <- d;
+      cnot_duration.(b).(a) <- d)
+    (Topology.edges topology);
+  let daily base_median bias sigma clamp_range =
+    let drift = Rng.gaussian rng ~mean:0.0 ~sigma in
+    clamp clamp_range (base_median *. exp (bias +. drift))
+  in
+  let readout_error =
+    Array.init n (fun h ->
+        daily params.readout_err_median persistent.readout_bias.(h)
+          params.readout_err_temporal_sigma params.readout_err_clamp)
+  in
+  let t2_us =
+    Array.init n (fun h ->
+        daily params.t2_median_us persistent.t2_bias.(h)
+          params.t2_temporal_sigma params.t2_clamp_us)
+  in
+  let t1_us =
+    (* T2 <= 2 T1 physically; sample T1 in [T2/2, 1.5*T2]. *)
+    Array.init n (fun h -> t2_us.(h) *. Rng.uniform rng ~lo:0.5 ~hi:1.5)
+  in
+  let single_error =
+    Array.init n (fun h ->
+        clamp (0.0003, 0.02)
+          (params.single_err_median *. exp persistent.single_bias.(h)))
+  in
+  Calibration.create ~topology ~day ~t1_us ~t2_us ~readout_error ~single_error
+    ~cnot_error ~cnot_duration
+
+let series ?params ~topology ~seed ~days () =
+  Array.init days (fun day -> generate ?params ~topology ~seed ~day ())

@@ -1,0 +1,61 @@
+(** Synthetic daily calibration data.
+
+    Stand-in for the IBM Quantum Experience calibration logs (§2). Each
+    machine element gets a *persistent* quality bias (manufacturing
+    variation: some qubits/couplers are durably better than others, per
+    Klimov et al. [18]) multiplied by a *daily* drift factor, both
+    log-normal, reproducing the published statistics:
+
+    - CNOT error: mean ≈ 0.04, up to ≈ 9.0× spatio-temporal variation;
+    - readout error: mean ≈ 0.07, up to ≈ 5.9× variation;
+    - T2: mean ≈ 70 µs, up to ≈ 9.2× variation, worst qubit always above
+      300 timeslots;
+    - single-qubit gate error: ≈ 0.002;
+    - CNOT durations: persistent per edge, varying ≈ 1.8× across edges.
+
+    Generation is deterministic in [(seed, day)]: day [d] of seed [s] can
+    be regenerated without generating days [0..d-1]. *)
+
+type params = {
+  cnot_err_median : float;
+  cnot_err_spatial_sigma : float;  (** log-space σ of the persistent bias *)
+  cnot_err_temporal_sigma : float;  (** log-space σ of the daily drift *)
+  cnot_err_clamp : float * float;
+  readout_err_median : float;
+  readout_err_spatial_sigma : float;
+  readout_err_temporal_sigma : float;
+  readout_err_clamp : float * float;
+  t2_median_us : float;
+  t2_spatial_sigma : float;
+  t2_temporal_sigma : float;
+  t2_clamp_us : float * float;
+  single_err_median : float;
+  single_err_sigma : float;
+  cnot_duration_slots : int * int;  (** inclusive per-edge range *)
+}
+
+val default : params
+(** Tuned to the IBMQ16 statistics quoted above. *)
+
+val high_variance : params
+(** A machine with twice the log-space spread — used to study the "when
+    machine state has high variability" regime where the paper reports
+    R-SMT⋆'s largest wins (§7, up to 9.2× over T-SMT⋆). *)
+
+val generate :
+  ?params:params ->
+  topology:Topology.t ->
+  seed:int ->
+  day:int ->
+  unit ->
+  Calibration.t
+(** Calibration for one day. *)
+
+val series :
+  ?params:params ->
+  topology:Topology.t ->
+  seed:int ->
+  days:int ->
+  unit ->
+  Calibration.t array
+(** [days] consecutive daily calibrations sharing the persistent biases. *)

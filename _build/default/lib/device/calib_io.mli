@@ -1,0 +1,27 @@
+(** Calibration persistence.
+
+    The real toolflow fetches calibration logs from the IBM Quantum
+    Experience API and archives them (§6); this module provides the
+    equivalent: a plain-text, line-oriented, diff-friendly format for
+    saving a day's calibration and reloading it later, so experiments can
+    be pinned to archived machine states.
+
+    Format (one record per line, '#' comments allowed):
+
+    {v
+    nisq-calibration 1
+    topology grid 2 8          # or: topology graph <n> a-b a-b ...
+    day 3
+    qubit <h> t1_us t2_us readout_error single_error
+    edge <a> <b> cnot_error cnot_duration_slots
+    v} *)
+
+val to_string : Calibration.t -> string
+
+val of_string : string -> Calibration.t
+(** Raises [Failure] with a line-numbered message on malformed input,
+    missing qubits/edges, or values out of range. *)
+
+val save : Calibration.t -> path:string -> unit
+
+val load : path:string -> Calibration.t

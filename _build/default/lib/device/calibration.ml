@@ -1,0 +1,112 @@
+type t = {
+  topology : Topology.t;
+  day : int;
+  t1_us : float array;
+  t2_us : float array;
+  readout_error : float array;
+  single_error : float array;
+  cnot_error : float array array;
+  cnot_duration : int array array;
+}
+
+let timeslot_ns = 80.0
+
+let single_gate_duration = 1
+
+let measure_duration = 4
+
+let create ~topology ~day ~t1_us ~t2_us ~readout_error ~single_error
+    ~cnot_error ~cnot_duration =
+  let n = Topology.num_qubits topology in
+  let check_len name a =
+    if Array.length a <> n then
+      invalid_arg (Printf.sprintf "Calibration.create: %s has length %d, want %d"
+                     name (Array.length a) n)
+  in
+  check_len "t1_us" t1_us;
+  check_len "t2_us" t2_us;
+  check_len "readout_error" readout_error;
+  check_len "single_error" single_error;
+  if Array.length cnot_error <> n || Array.length cnot_duration <> n then
+    invalid_arg "Calibration.create: edge matrices must be n x n";
+  Array.iter
+    (fun p ->
+      if p < 0.0 || p > 1.0 then
+        invalid_arg "Calibration.create: probability out of [0,1]")
+    readout_error;
+  List.iter
+    (fun (a, b) ->
+      let e = cnot_error.(a).(b) in
+      if Float.is_nan e || e < 0.0 || e > 1.0 then
+        invalid_arg
+          (Printf.sprintf "Calibration.create: missing/bad CNOT error on edge (%d,%d)" a b);
+      if Float.abs (e -. cnot_error.(b).(a)) > 1e-12 then
+        invalid_arg "Calibration.create: CNOT error matrix not symmetric";
+      if cnot_duration.(a).(b) <= 0 || cnot_duration.(a).(b) <> cnot_duration.(b).(a)
+      then invalid_arg "Calibration.create: bad CNOT duration matrix")
+    (Topology.edges topology);
+  { topology; day; t1_us; t2_us; readout_error; single_error; cnot_error;
+    cnot_duration }
+
+let uniform ?(cnot_error = 0.04) ?(readout_error = 0.07)
+    ?(single_error = 0.002) ?(t2_us = 80.0) ?(cnot_duration = 4) topology =
+  let n = Topology.num_qubits topology in
+  let cnot_error_m = Array.make_matrix n n Float.nan in
+  let cnot_duration_m = Array.make_matrix n n 0 in
+  List.iter
+    (fun (a, b) ->
+      cnot_error_m.(a).(b) <- cnot_error;
+      cnot_error_m.(b).(a) <- cnot_error;
+      cnot_duration_m.(a).(b) <- cnot_duration;
+      cnot_duration_m.(b).(a) <- cnot_duration)
+    (Topology.edges topology);
+  create ~topology ~day:(-1) ~t1_us:(Array.make n t2_us)
+    ~t2_us:(Array.make n t2_us)
+    ~readout_error:(Array.make n readout_error)
+    ~single_error:(Array.make n single_error) ~cnot_error:cnot_error_m
+    ~cnot_duration:cnot_duration_m
+
+let require_edge t h1 h2 =
+  if not (Topology.adjacent t.topology h1 h2) then
+    invalid_arg
+      (Printf.sprintf "Calibration: qubits %d and %d are not coupled" h1 h2)
+
+let cnot_error t h1 h2 =
+  require_edge t h1 h2;
+  t.cnot_error.(h1).(h2)
+
+let cnot_reliability t h1 h2 = 1.0 -. cnot_error t h1 h2
+
+let cnot_duration t h1 h2 =
+  require_edge t h1 h2;
+  t.cnot_duration.(h1).(h2)
+
+let swap_duration t h1 h2 = 3 * cnot_duration t h1 h2
+
+let readout_error t h = t.readout_error.(h)
+
+let readout_reliability t h = 1.0 -. t.readout_error.(h)
+
+let t2_slots t h =
+  int_of_float (t.t2_us.(h) *. 1000.0 /. timeslot_ns)
+
+let worst_t2_slots t =
+  let worst = ref max_int in
+  for h = 0 to Topology.num_qubits t.topology - 1 do
+    worst := Int.min !worst (t2_slots t h)
+  done;
+  !worst
+
+let mean_cnot_error t =
+  let es = List.map (fun (a, b) -> t.cnot_error.(a).(b)) (Topology.edges t.topology) in
+  Nisq_util.Stats.mean (Array.of_list es)
+
+let mean_readout_error t = Nisq_util.Stats.mean t.readout_error
+
+let mean_t2_us t = Nisq_util.Stats.mean t.t2_us
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "day %d: mean CNOT err %.4f, mean readout err %.4f, mean T2 %.1f us, worst T2 %d slots"
+    t.day (mean_cnot_error t) (mean_readout_error t) (mean_t2_us t)
+    (worst_t2_slots t)

@@ -1,0 +1,86 @@
+(** One day of machine calibration data.
+
+    This is the information IBM publishes daily for its devices and that
+    the ⋆-variants of the compiler consume (§2, §6): per-qubit relaxation
+    (T1) and coherence (T2) times, readout error rates, per-qubit
+    single-qubit gate error, and per-edge CNOT error rates and durations.
+
+    Durations are expressed in hardware timeslots of 80 ns (§6 "Metrics");
+    coherence times are stored in microseconds and exposed in timeslots
+    for the scheduler's coherence constraint (Eq. 6). *)
+
+type t = {
+  topology : Topology.t;
+  day : int;  (** calibration cycle index, for reporting *)
+  t1_us : float array;  (** per qubit, microseconds *)
+  t2_us : float array;
+  readout_error : float array;  (** per qubit, probability *)
+  single_error : float array;  (** per qubit, 1q-gate error probability *)
+  cnot_error : float array array;  (** per edge; [nan] off-edge *)
+  cnot_duration : int array array;  (** per edge, timeslots; [0] off-edge *)
+}
+
+val timeslot_ns : float
+(** 80.0 — one IBMQ16 timeslot. *)
+
+val single_gate_duration : int
+(** Duration of any single-qubit gate, in timeslots. *)
+
+val measure_duration : int
+(** Duration of a readout operation, in timeslots. *)
+
+val create :
+  topology:Topology.t ->
+  day:int ->
+  t1_us:float array ->
+  t2_us:float array ->
+  readout_error:float array ->
+  single_error:float array ->
+  cnot_error:float array array ->
+  cnot_duration:int array array ->
+  t
+(** Validates array dimensions, probability ranges, edge symmetry and that
+    every coupling edge carries data. *)
+
+val uniform :
+  ?cnot_error:float ->
+  ?readout_error:float ->
+  ?single_error:float ->
+  ?t2_us:float ->
+  ?cnot_duration:int ->
+  Topology.t ->
+  t
+(** A calibration-blind machine view: every element carries the machine's
+    long-term average (defaults: CNOT error 0.04, readout error 0.07,
+    single-qubit error 0.002, T2 = 80 µs = 1000 timeslots — the paper's
+    MT constant of Constraint 4 — and CNOT duration 4 slots). The
+    non-⋆ compiler variants plan against this view. *)
+
+val cnot_error : t -> int -> int -> float
+(** Error rate of the hardware CNOT on an edge (order-insensitive).
+    Raises [Invalid_argument] if the qubits are not coupled. *)
+
+val cnot_reliability : t -> int -> int -> float
+(** [1 - cnot_error]. *)
+
+val cnot_duration : t -> int -> int -> int
+(** Timeslots for a CNOT on an edge. *)
+
+val swap_duration : t -> int -> int -> int
+(** [3 * cnot_duration] — a SWAP is three CNOTs (§2). *)
+
+val readout_error : t -> int -> float
+val readout_reliability : t -> int -> float
+
+val t2_slots : t -> int -> int
+(** Coherence time of a qubit converted to whole timeslots. *)
+
+val worst_t2_slots : t -> int
+(** Machine-wide minimum — the paper notes this exceeds 300 slots while
+    benchmarks finish under 150 (§7.2). *)
+
+val mean_cnot_error : t -> float
+val mean_readout_error : t -> float
+val mean_t2_us : t -> float
+
+val pp_summary : Format.formatter -> t -> unit

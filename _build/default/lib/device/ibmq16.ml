@@ -1,0 +1,12 @@
+let topology = Topology.grid ~rows:2 ~cols:8
+
+let default_seed = 20190131
+
+let calibration ?(seed = default_seed) ~day () =
+  Calib_gen.generate ~topology ~seed ~day ()
+
+let calibration_series ?(seed = default_seed) ~days () =
+  Calib_gen.series ~topology ~seed ~days ()
+
+let high_variance_calibration ?(seed = default_seed) ~day () =
+  Calib_gen.generate ~params:Calib_gen.high_variance ~topology ~seed ~day ()

@@ -1,0 +1,18 @@
+(** The IBMQ 16 Rueschlikon machine model (§1, footnote 1).
+
+    A 2 × 8 grid of 16 superconducting qubits; all experiments in the paper
+    run on this device. The default calibration seed reproduces the
+    statistics quoted in §2. *)
+
+val topology : Topology.t
+(** The 2 × 8 coupling grid. *)
+
+val default_seed : int
+
+val calibration : ?seed:int -> day:int -> unit -> Calibration.t
+(** Daily calibration of the machine with {!Calib_gen.default} parameters. *)
+
+val calibration_series : ?seed:int -> days:int -> unit -> Calibration.t array
+
+val high_variance_calibration : ?seed:int -> day:int -> unit -> Calibration.t
+(** Same machine on a bad day: {!Calib_gen.high_variance} parameters. *)

@@ -1,0 +1,27 @@
+let topology = Topology.fully_connected 16
+
+let default_seed = 20160804 (* Debnath et al., Nature 536 *)
+
+let params =
+  {
+    Calib_gen.default with
+    (* two-qubit gates: slightly better fidelity than transmon CNOTs,
+       much slower *)
+    Calib_gen.cnot_err_median = 0.02;
+    cnot_err_spatial_sigma = 0.35;
+    cnot_err_temporal_sigma = 0.2;
+    cnot_err_clamp = (0.005, 0.15);
+    cnot_duration_slots = (14, 18);
+    (* state detection is strong in ions *)
+    readout_err_median = 0.02;
+    readout_err_clamp = (0.005, 0.1);
+    (* coherence: effectively an order of magnitude longer *)
+    t2_median_us = 620.0;
+    t2_clamp_us = (250.0, 2200.0);
+  }
+
+let calibration ?(seed = default_seed) ~day () =
+  Calib_gen.generate ~params ~topology ~seed ~day ()
+
+let calibration_series ?(seed = default_seed) ~days () =
+  Calib_gen.series ~params ~topology ~seed ~days ()

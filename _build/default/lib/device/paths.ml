@@ -1,0 +1,133 @@
+type route = {
+  path : int array;
+  junction : int;
+  log_reliability : float;
+  duration : int;
+}
+
+let route_via_path ?junction calib path =
+  let k = Array.length path - 1 in
+  if k < 1 then invalid_arg "Paths.route_via_path: path needs >= 2 qubits";
+  let log_rel = ref 0.0 and duration = ref 0 in
+  (* Hops 0..k-2 are swap hops (traversed twice: there and back); the last
+     edge carries the actual CNOT. *)
+  for i = 0 to k - 2 do
+    let a = path.(i) and b = path.(i + 1) in
+    log_rel := !log_rel +. (6.0 *. log (Calibration.cnot_reliability calib a b));
+    duration := !duration + (2 * Calibration.swap_duration calib a b)
+  done;
+  let a = path.(k - 1) and b = path.(k) in
+  log_rel := !log_rel +. log (Calibration.cnot_reliability calib a b);
+  duration := !duration + Calibration.cnot_duration calib a b;
+  {
+    path = Array.copy path;
+    junction = (match junction with Some j -> j | None -> path.(0));
+    log_reliability = !log_rel;
+    duration = !duration;
+  }
+
+type t = {
+  calib : Calibration.t;
+  (* dist.(src).(dst): minimal Σ -log(1-e) over paths src->dst *)
+  dist : float array array;
+  (* prev.(src).(dst): predecessor of dst on the best path from src *)
+  prev : int array array;
+}
+
+let dijkstra calib src =
+  let topo = calib.Calibration.topology in
+  let n = Topology.num_qubits topo in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let visited = Array.make n false in
+  dist.(src) <- 0.0;
+  (* Simple O(n^2) scan: n <= a few hundred in every experiment. *)
+  for _ = 1 to n do
+    let u = ref (-1) and best = ref infinity in
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && dist.(v) < !best then begin
+        u := v;
+        best := dist.(v)
+      end
+    done;
+    if !u >= 0 then begin
+      visited.(!u) <- true;
+      List.iter
+        (fun v ->
+          let w = -.log (Calibration.cnot_reliability calib !u v) in
+          if dist.(!u) +. w < dist.(v) then begin
+            dist.(v) <- dist.(!u) +. w;
+            prev.(v) <- !u
+          end)
+        (Topology.neighbors topo !u)
+    end
+  done;
+  (dist, prev)
+
+let make calib =
+  let n = Topology.num_qubits calib.Calibration.topology in
+  let dist = Array.make n [||] and prev = Array.make n [||] in
+  for src = 0 to n - 1 do
+    let d, p = dijkstra calib src in
+    dist.(src) <- d;
+    prev.(src) <- p
+  done;
+  { calib; dist = Array.map Fun.id dist; prev = Array.map Fun.id prev }
+
+let calibration t = t.calib
+
+let best_path t src dst =
+  if src = dst then invalid_arg "Paths.best_path: identical endpoints";
+  let rec collect acc v =
+    if v = src then src :: acc else collect (v :: acc) t.prev.(src).(v)
+  in
+  Array.of_list (collect [] dst)
+
+let path_log_reliability t src dst = -.(t.dist.(src).(dst))
+
+(* Straight grid walk from (x1,y) to (x2,y) or vertical equivalent,
+   excluding the start point. *)
+let walk topo ~from_ ~dx ~dy ~steps =
+  let x, y = Topology.coords topo from_ in
+  List.init steps (fun i ->
+      Topology.index topo ~x:(x + (dx * (i + 1))) ~y:(y + (dy * (i + 1))))
+
+let one_bend_paths topo h1 h2 =
+  let x1, y1 = Topology.coords topo h1 and x2, y2 = Topology.coords topo h2 in
+  let sign a b = compare b a in
+  let horiz_then_vert =
+    let mid = walk topo ~from_:h1 ~dx:(sign x1 x2) ~dy:0 ~steps:(abs (x2 - x1)) in
+    let corner = Topology.index topo ~x:x2 ~y:y1 in
+    let tail = walk topo ~from_:corner ~dx:0 ~dy:(sign y1 y2) ~steps:(abs (y2 - y1)) in
+    (Array.of_list ((h1 :: mid) @ tail), corner)
+  in
+  let vert_then_horiz =
+    let mid = walk topo ~from_:h1 ~dx:0 ~dy:(sign y1 y2) ~steps:(abs (y2 - y1)) in
+    let corner = Topology.index topo ~x:x1 ~y:y2 in
+    let tail = walk topo ~from_:corner ~dx:(sign x1 x2) ~dy:0 ~steps:(abs (x2 - x1)) in
+    (Array.of_list ((h1 :: mid) @ tail), corner)
+  in
+  if x1 = x2 || y1 = y2 then [ horiz_then_vert ]
+  else [ horiz_then_vert; vert_then_horiz ]
+
+let one_bend_routes t h1 h2 =
+  if h1 = h2 then invalid_arg "Paths.one_bend_routes: identical endpoints";
+  let topo = t.calib.Calibration.topology in
+  if Topology.is_grid topo then
+    one_bend_paths topo h1 h2
+    |> List.map (fun (path, junction) -> route_via_path ~junction t.calib path)
+  else
+    (* Bounding-rectangle routes are grid-specific; on general coupling
+       graphs the one-bend policy degrades to the most reliable path. *)
+    let path = best_path t h1 h2 in
+    [ route_via_path ~junction:path.(0) t.calib path ]
+
+let best_one_bend t h1 h2 =
+  match one_bend_routes t h1 h2 with
+  | [ r ] -> r
+  | [ a; b ] -> if a.log_reliability >= b.log_reliability then a else b
+  | _ -> assert false
+
+let best_path_route t h1 h2 =
+  let path = best_path t h1 h2 in
+  route_via_path ~junction:path.(0) t.calib path

@@ -1,0 +1,56 @@
+(** Reliability-aware path precomputation.
+
+    Implements the two path families the compiler needs:
+
+    - {b Most reliable paths} (Dijkstra with edge weight
+      [-log (1 - cnot_error)]), used by the greedy heuristics (§5); and
+    - {b One-bend paths} along the bounding rectangle of a qubit pair
+      (§4.3, Fig. 4b), whose per-junction reliabilities form the paper's
+      [EC] matrix (§4.4, Constraint 11) and whose durations form the [∆]
+      matrix (§4.2, Constraint 5).
+
+    A {!route} prices a full long-distance CNOT under the static-placement
+    movement model: SWAP the control along the path until adjacent to the
+    target, perform the CNOT, and SWAP back — duration
+    [2·(d−1)·τ_SWAP + τ_CNOT] (§4.2) and reliability
+    [Π_hops (1−e_hop)^6 · (1−e_last)] (each hop is traversed by two SWAPs
+    = 6 CNOTs; cf. the §3.1 worked example). *)
+
+type route = {
+  path : int array;  (** qubit indices from control to target, inclusive *)
+  junction : int;  (** the bend qubit; equals an endpoint on straight paths *)
+  log_reliability : float;  (** log of the full round-trip CNOT reliability *)
+  duration : int;  (** timeslots, including the CNOT itself *)
+}
+
+val route_via_path : ?junction:int -> Calibration.t -> int array -> route
+(** Price a CNOT routed along an explicit adjacent-qubit path (length ≥ 2).
+    [junction] defaults to the path head. Raises [Invalid_argument] if
+    consecutive entries are not coupled. *)
+
+type t
+(** Precomputed path tables for one calibration day. *)
+
+val make : Calibration.t -> t
+(** All-pairs Dijkstra plus one-bend route tables; O(n² log n + n·m). *)
+
+val calibration : t -> Calibration.t
+
+val best_path : t -> int -> int -> int array
+(** Most reliable swap path between two distinct qubits. *)
+
+val path_log_reliability : t -> int -> int -> float
+(** Σ log(1 − e) over the best path's edges — the single-traversal
+    "path length" score the greedy heuristics sum over neighbours. *)
+
+val one_bend_routes : t -> int -> int -> route list
+(** The (one or two) one-bend routes between distinct qubits; two entries
+    when control and target differ in both coordinates, one otherwise.
+    This is the EC/∆ lookup: [List.nth] index is the junction choice. *)
+
+val best_one_bend : t -> int -> int -> route
+(** The more reliable of {!one_bend_routes}. *)
+
+val best_path_route : t -> int -> int -> route
+(** Full CNOT route priced along the Dijkstra best path — the heuristics'
+    "Best Path" routing policy (Table 1). *)

@@ -1,0 +1,155 @@
+type t =
+  | Grid of { rows : int; cols : int }
+  | Graph of { name : string; adj : int list array; dist : int array array }
+
+let grid ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Topology.grid: bad dimensions";
+  Grid { rows; cols }
+
+(* All-pairs hop distances by BFS from every node. *)
+let all_pairs_bfs adj =
+  let n = Array.length adj in
+  let dist = Array.make_matrix n n max_int in
+  for src = 0 to n - 1 do
+    let d = dist.(src) in
+    d.(src) <- 0;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if d.(v) = max_int then begin
+            d.(v) <- d.(u) + 1;
+            Queue.add v queue
+          end)
+        adj.(u)
+    done
+  done;
+  dist
+
+let of_edges ~name ~num_qubits edges =
+  if num_qubits <= 0 then invalid_arg "Topology.of_edges: need qubits";
+  let adj = Array.make num_qubits [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || b < 0 || a >= num_qubits || b >= num_qubits then
+        invalid_arg "Topology.of_edges: endpoint out of range";
+      if a = b then invalid_arg "Topology.of_edges: self-loop";
+      if not (List.mem b adj.(a)) then begin
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b)
+      end)
+    edges;
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  let dist = all_pairs_bfs adj in
+  Array.iter
+    (Array.iter (fun d ->
+         if d = max_int then invalid_arg "Topology.of_edges: graph not connected"))
+    dist;
+  Graph { name; adj; dist }
+
+let ring n =
+  if n < 3 then invalid_arg "Topology.ring: need >= 3 qubits";
+  of_edges ~name:(Printf.sprintf "ring-%d" n) ~num_qubits:n
+    (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Topology.torus: dimensions >= 3";
+  let idx x y = (y * cols) + x in
+  let edges = ref [] in
+  for y = 0 to rows - 1 do
+    for x = 0 to cols - 1 do
+      edges := (idx x y, idx ((x + 1) mod cols) y) :: !edges;
+      edges := (idx x y, idx x ((y + 1) mod rows)) :: !edges
+    done
+  done;
+  of_edges ~name:(Printf.sprintf "torus-%dx%d" rows cols)
+    ~num_qubits:(rows * cols) !edges
+
+let fully_connected n =
+  if n < 2 then invalid_arg "Topology.fully_connected: need >= 2 qubits";
+  let edges = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      edges := (a, b) :: !edges
+    done
+  done;
+  of_edges ~name:(Printf.sprintf "full-%d" n) ~num_qubits:n !edges
+
+let is_grid = function Grid _ -> true | Graph _ -> false
+
+let rows = function
+  | Grid { rows; _ } -> rows
+  | Graph _ -> invalid_arg "Topology.rows: not a grid"
+
+let cols = function
+  | Grid { cols; _ } -> cols
+  | Graph _ -> invalid_arg "Topology.cols: not a grid"
+
+let num_qubits = function
+  | Grid { rows; cols } -> rows * cols
+  | Graph { adj; _ } -> Array.length adj
+
+let check t h =
+  if h < 0 || h >= num_qubits t then
+    invalid_arg (Printf.sprintf "Topology: qubit %d out of range" h)
+
+let coords t h =
+  check t h;
+  match t with
+  | Grid { cols; _ } -> (h mod cols, h / cols)
+  | Graph _ -> invalid_arg "Topology.coords: not a grid"
+
+let index t ~x ~y =
+  match t with
+  | Grid { rows; cols } ->
+      if x < 0 || x >= cols || y < 0 || y >= rows then
+        invalid_arg "Topology.index: coordinates out of range";
+      (y * cols) + x
+  | Graph _ -> invalid_arg "Topology.index: not a grid"
+
+let distance t h1 h2 =
+  check t h1;
+  check t h2;
+  match t with
+  | Grid _ ->
+      let x1, y1 = coords t h1 and x2, y2 = coords t h2 in
+      abs (x1 - x2) + abs (y1 - y2)
+  | Graph { dist; _ } -> dist.(h1).(h2)
+
+let adjacent t h1 h2 = h1 <> h2 && distance t h1 h2 = 1
+
+let neighbors t h =
+  check t h;
+  match t with
+  | Grid { rows; cols } ->
+      let x = h mod cols and y = h / cols in
+      List.filter_map
+        (fun (dx, dy) ->
+          let x' = x + dx and y' = y + dy in
+          if x' >= 0 && x' < cols && y' >= 0 && y' < rows then
+            Some ((y' * cols) + x')
+          else None)
+        [ (0, -1); (-1, 0); (1, 0); (0, 1) ]
+      |> List.sort compare
+  | Graph { adj; _ } -> adj.(h)
+
+let edges t =
+  let out = ref [] in
+  for h = num_qubits t - 1 downto 0 do
+    List.iter (fun n -> if n > h then out := (h, n) :: !out) (neighbors t h)
+  done;
+  List.sort compare !out
+
+let degree t h = List.length (neighbors t h)
+
+let pp ppf t =
+  match t with
+  | Grid { rows; cols } ->
+      Format.fprintf ppf "grid %dx%d (%d qubits, %d edges)" rows cols
+        (num_qubits t)
+        (List.length (edges t))
+  | Graph { name; _ } ->
+      Format.fprintf ppf "%s (%d qubits, %d edges)" name (num_qubits t)
+        (List.length (edges t))

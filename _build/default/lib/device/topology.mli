@@ -1,0 +1,64 @@
+(** Hardware qubit topology.
+
+    Per §4.1 of the paper, hardware qubits are arranged as a 2-D grid of
+    dimensions [Mx × My] and two-qubit operations are permitted only
+    between grid-adjacent qubits; qubit [h] sits at column [h mod cols],
+    row [h / cols], and IBMQ16 is the [2 × 8] instance.
+
+    Beyond grids, this module also supports arbitrary coupling graphs
+    ({!of_edges}, {!ring}, {!torus}, {!fully_connected}) — the paper's
+    conclusion argues richer topologies reduce SWAP pressure, and the
+    bench harness quantifies that as an ablation. Grid-specific
+    machinery (coordinates, one-bend routing, rectangle reservation)
+    applies only to grids; on general graphs the compiler falls back to
+    best-path routing with path reservation. *)
+
+type t
+
+val grid : rows:int -> cols:int -> t
+(** Rectangular grid with nearest-neighbour coupling. *)
+
+val of_edges : name:string -> num_qubits:int -> (int * int) list -> t
+(** Arbitrary connected coupling graph. Raises [Invalid_argument] on
+    out-of-range endpoints, self-loops, or a disconnected graph. *)
+
+val ring : int -> t
+(** Cycle of [n ≥ 3] qubits. *)
+
+val torus : rows:int -> cols:int -> t
+(** Grid with wrap-around links in both dimensions (min dimension 3). *)
+
+val fully_connected : int -> t
+(** All-to-all coupling — an idealized trapped-ion machine. *)
+
+val is_grid : t -> bool
+
+val rows : t -> int
+(** Raises [Invalid_argument] on non-grid topologies. *)
+
+val cols : t -> int
+
+val num_qubits : t -> int
+
+val coords : t -> int -> int * int
+(** [coords t h] is [(x, y)] = (column, row). Raises [Invalid_argument]
+    when [h] is out of range or the topology is not a grid. *)
+
+val index : t -> x:int -> y:int -> int
+(** Inverse of [coords]; grids only. *)
+
+val adjacent : t -> int -> int -> bool
+(** Whether a hardware CNOT between the two qubits is permitted. *)
+
+val neighbors : t -> int -> int list
+(** Coupled qubits, ascending. *)
+
+val edges : t -> (int * int) list
+(** All coupling edges, smaller endpoint first, sorted. *)
+
+val distance : t -> int -> int -> int
+(** Coupling-graph hop distance (Manhattan ‖h1 − h2‖₁ on grids, §4.2). *)
+
+val degree : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

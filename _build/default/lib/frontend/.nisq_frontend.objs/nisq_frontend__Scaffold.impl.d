@@ -1,0 +1,1 @@
+lib/frontend/scaffold.ml: Array Filename Float Hashtbl List Nisq_circuit Printf String

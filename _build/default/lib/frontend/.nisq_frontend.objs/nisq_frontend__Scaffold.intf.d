@@ -1,0 +1,1 @@
+lib/frontend/scaffold.mli: Nisq_circuit

@@ -1,0 +1,392 @@
+module Circuit = Nisq_circuit.Circuit
+module B = Circuit.Builder
+module D = Nisq_circuit.Decompose
+module Gate = Nisq_circuit.Gate
+
+exception Parse_error of { line : int; message : string }
+
+let fail line message = raise (Parse_error { line; message })
+
+(* ------------------------------- lexer ----------------------------- *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Semi
+  | Star
+  | Slash
+  | Minus
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number f -> Printf.sprintf "number %g" f
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Comma -> "','"
+  | Semi -> "';'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Minus -> "'-'"
+
+let tokenize src =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let push t = tokens := (t, !line) :: !tokens in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_digit src.[!i] || src.[!i] = '.' || src.[!i] = 'e'
+           || (src.[!i] = '-' && !i > start && src.[!i - 1] = 'e'))
+      do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match Float.of_string_opt text with
+      | Some f -> push (Number f)
+      | None -> fail !line ("bad number " ^ text)
+    end
+    else if is_ident_char c && not (is_digit c) then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (Ident (String.sub src start (!i - start)))
+    end
+    else begin
+      (match c with
+      | '(' -> push Lparen
+      | ')' -> push Rparen
+      | '{' -> push Lbrace
+      | '}' -> push Rbrace
+      | '[' -> push Lbracket
+      | ']' -> push Rbracket
+      | ',' -> push Comma
+      | ';' -> push Semi
+      | '*' -> push Star
+      | '/' -> push Slash
+      | '-' -> push Minus
+      | c -> fail !line (Printf.sprintf "unexpected character %C" c));
+      incr i
+    end
+  done;
+  List.rev !tokens
+
+(* ------------------------------- parser ---------------------------- *)
+
+type operand =
+  | Reg_ref of string * int  (* q[3] *)
+  | Name_ref of string  (* macro parameter, or whole register for measure *)
+
+type stmt =
+  | Apply of { gate : string; angle : float option; operands : operand list; line : int }
+  | Measure_all of { reg : string; line : int }
+  | Repeat of { count : int; body : stmt list; line : int }
+  | Gate_def of { name : string; params : string list; body : stmt list; line : int }
+  | Barrier of { operands : operand list; line : int }
+
+type parser_state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> None | (t, l) :: _ -> Some (t, l)
+
+let next st =
+  match st.toks with
+  | [] -> fail 0 "unexpected end of input"
+  | (t, l) :: rest ->
+      st.toks <- rest;
+      (t, l)
+
+let expect st want =
+  let t, l = next st in
+  if t <> want then
+    fail l (Printf.sprintf "expected %s, found %s" (token_name want) (token_name t))
+
+let expect_ident st =
+  match next st with
+  | Ident s, _ -> s
+  | t, l -> fail l ("expected identifier, found " ^ token_name t)
+
+let expect_int st =
+  match next st with
+  | Number f, l ->
+      let i = int_of_float f in
+      if Float.of_int i <> f then fail l "expected an integer";
+      i
+  | t, l -> fail l ("expected integer, found " ^ token_name t)
+
+(* angle := term (('*'|'/') term)?   term := number | pi | '-' term *)
+let rec parse_angle_term st =
+  match next st with
+  | Number f, _ -> f
+  | Ident "pi", _ -> Float.pi
+  | Minus, _ -> -.parse_angle_term st
+  | t, l -> fail l ("expected angle term, found " ^ token_name t)
+
+let parse_angle st =
+  let first = parse_angle_term st in
+  match peek st with
+  | Some (Star, _) ->
+      ignore (next st);
+      first *. parse_angle_term st
+  | Some (Slash, _) ->
+      ignore (next st);
+      let d = parse_angle_term st in
+      if d = 0.0 then fail 0 "division by zero in angle";
+      first /. d
+  | _ -> first
+
+let parse_operand st =
+  let name = expect_ident st in
+  match peek st with
+  | Some (Lbracket, _) ->
+      ignore (next st);
+      let idx = expect_int st in
+      expect st Rbracket;
+      Reg_ref (name, idx)
+  | _ -> Name_ref name
+
+let rec parse_operands st acc =
+  let op = parse_operand st in
+  match peek st with
+  | Some (Comma, _) ->
+      ignore (next st);
+      parse_operands st (op :: acc)
+  | _ -> List.rev (op :: acc)
+
+let rec parse_stmt st ~in_def =
+  match next st with
+  | Ident "gate", l ->
+      if in_def then fail l "nested gate definitions are not allowed";
+      let name = expect_ident st in
+      expect st Lparen;
+      let rec params acc =
+        match next st with
+        | Rparen, _ -> List.rev acc
+        | Ident p, _ -> (
+            match next st with
+            | Comma, _ -> params (p :: acc)
+            | Rparen, _ -> List.rev (p :: acc)
+            | t, l -> fail l ("expected ',' or ')', found " ^ token_name t))
+        | t, l -> fail l ("expected parameter name, found " ^ token_name t)
+      in
+      let params = params [] in
+      expect st Lbrace;
+      let body = parse_block st ~in_def:true in
+      Gate_def { name; params; body; line = l }
+  | Ident "repeat", l ->
+      let count = expect_int st in
+      if count < 0 then fail l "repeat count must be non-negative";
+      expect st Lbrace;
+      let body = parse_block st ~in_def in
+      Repeat { count; body; line = l }
+  | Ident "measure", l -> (
+      let op = parse_operand st in
+      expect st Semi;
+      match op with
+      | Reg_ref _ -> Apply { gate = "measure"; angle = None; operands = [ op ]; line = l }
+      | Name_ref reg -> Measure_all { reg; line = l })
+  | Ident "barrier", l ->
+      let operands = parse_operands st [] in
+      expect st Semi;
+      Barrier { operands; line = l }
+  | Ident gate, l ->
+      let angle =
+        match peek st with
+        | Some (Lparen, _) ->
+            ignore (next st);
+            let a = parse_angle st in
+            expect st Rparen;
+            Some a
+        | _ -> None
+      in
+      let operands = parse_operands st [] in
+      expect st Semi;
+      Apply { gate; angle; operands; line = l }
+  | t, l -> fail l ("expected a statement, found " ^ token_name t)
+
+and parse_block st ~in_def =
+  match peek st with
+  | Some (Rbrace, _) ->
+      ignore (next st);
+      []
+  | Some _ -> (
+      let s = parse_stmt st ~in_def in
+      s :: parse_block st ~in_def)
+  | None -> fail 0 "unterminated block"
+
+let parse_program st =
+  (* qreg <name>[<n>]; *)
+  (match next st with
+  | Ident "qreg", _ -> ()
+  | t, l -> fail l ("program must start with qreg, found " ^ token_name t));
+  let reg = expect_ident st in
+  expect st Lbracket;
+  let size = expect_int st in
+  expect st Rbracket;
+  expect st Semi;
+  let rec stmts () =
+    match peek st with
+    | None -> []
+    | Some _ ->
+        let s = parse_stmt st ~in_def:false in
+        s :: stmts ()
+  in
+  (reg, size, stmts ())
+
+(* ----------------------------- elaboration ------------------------- *)
+
+type builtin =
+  | Simple of Gate.kind
+  | Rotation of (float -> Gate.kind)
+  | Emit of (B.t -> int list -> unit)
+
+let builtins : (string * (int * builtin)) list =
+  [
+    ("h", (1, Simple Gate.H));
+    ("x", (1, Simple Gate.X));
+    ("y", (1, Simple Gate.Y));
+    ("z", (1, Simple Gate.Z));
+    ("s", (1, Simple Gate.S));
+    ("sdg", (1, Simple Gate.Sdg));
+    ("t", (1, Simple Gate.T));
+    ("tdg", (1, Simple Gate.Tdg));
+    ("rz", (1, Rotation (fun a -> Gate.Rz a)));
+    ("rx", (1, Rotation (fun a -> Gate.Rx a)));
+    ("ry", (1, Rotation (fun a -> Gate.Ry a)));
+    ("cx", (2, Simple Gate.Cnot));
+    ("cnot", (2, Simple Gate.Cnot));
+    ("swap", (2, Simple Gate.Swap));
+    ("measure", (1, Simple Gate.Measure));
+    ( "cz",
+      (2, Emit (fun b -> function [ c; t ] -> D.emit_cz b c t | _ -> assert false)) );
+    ( "ccx",
+      ( 3,
+        Emit (fun b -> function [ a; c; t ] -> D.emit_toffoli b a c t | _ -> assert false) ) );
+    ( "toffoli",
+      ( 3,
+        Emit (fun b -> function [ a; c; t ] -> D.emit_toffoli b a c t | _ -> assert false) ) );
+    ( "cswap",
+      ( 3,
+        Emit (fun b -> function [ c; t1; t2 ] -> D.emit_fredkin b c t1 t2 | _ -> assert false) ) );
+    ( "fredkin",
+      ( 3,
+        Emit (fun b -> function [ c; t1; t2 ] -> D.emit_fredkin b c t1 t2 | _ -> assert false) ) );
+    ( "peres",
+      ( 3,
+        Emit (fun b -> function [ a; c; t ] -> D.emit_peres b a c t | _ -> assert false) ) );
+  ]
+
+let elaborate ~name (reg, size, stmts) =
+  if size <= 0 then fail 1 "register size must be positive";
+  let b = B.create ~name size in
+  let user_gates = Hashtbl.create 8 in
+  let resolve_operand ~env ~line = function
+    | Reg_ref (r, idx) ->
+        if r <> reg then fail line (Printf.sprintf "unknown register %s" r);
+        if idx < 0 || idx >= size then
+          fail line (Printf.sprintf "qubit %s[%d] out of range" r idx);
+        idx
+    | Name_ref n -> (
+        match List.assoc_opt n env with
+        | Some q -> q
+        | None -> fail line (Printf.sprintf "unknown qubit name %s" n))
+  in
+  let rec exec_stmt ~env stmt =
+    match stmt with
+    | Gate_def { name; params; body; line } ->
+        if env <> [] then fail line "gate definitions must be top-level";
+        if List.exists (fun (g, _) -> g = name) builtins then
+          fail line (Printf.sprintf "cannot redefine builtin gate %s" name);
+        if Hashtbl.mem user_gates name then
+          fail line (Printf.sprintf "gate %s already defined" name);
+        let sorted = List.sort_uniq compare params in
+        if List.length sorted <> List.length params then
+          fail line "duplicate gate parameters";
+        Hashtbl.add user_gates name (params, body)
+    | Repeat { count; body; _ } ->
+        for _ = 1 to count do
+          List.iter (exec_stmt ~env) body
+        done
+    | Measure_all { reg = r; line } ->
+        if r <> reg then fail line (Printf.sprintf "unknown register %s" r);
+        B.measure_all b
+    | Barrier { operands; line } ->
+        let qs = List.map (resolve_operand ~env ~line) operands in
+        B.barrier b (Array.of_list qs)
+    | Apply { gate; angle; operands; line } -> (
+        let qs = List.map (resolve_operand ~env ~line) operands in
+        match List.assoc_opt gate builtins with
+        | Some (arity, action) -> (
+            if List.length qs <> arity then
+              fail line
+                (Printf.sprintf "%s expects %d operand(s), got %d" gate arity
+                   (List.length qs));
+            match (action, angle) with
+            | Simple kind, None -> B.add b kind (Array.of_list qs)
+            | Simple _, Some _ -> fail line (gate ^ " takes no angle")
+            | Rotation mk, Some a -> B.add b (mk a) (Array.of_list qs)
+            | Rotation _, None -> fail line (gate ^ " requires an angle")
+            | Emit f, None -> (
+                try f b qs
+                with Invalid_argument msg -> fail line msg)
+            | Emit _, Some _ -> fail line (gate ^ " takes no angle"))
+        | None -> (
+            match Hashtbl.find_opt user_gates gate with
+            | None -> fail line (Printf.sprintf "unknown gate %s" gate)
+            | Some (params, body) ->
+                if angle <> None then fail line (gate ^ " takes no angle");
+                if List.length qs <> List.length params then
+                  fail line
+                    (Printf.sprintf "%s expects %d operand(s), got %d" gate
+                       (List.length params) (List.length qs));
+                let call_env = List.combine params qs in
+                List.iter (exec_stmt ~env:call_env) body))
+  in
+  List.iter (exec_stmt ~env:[]) stmts;
+  B.build b
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let program = parse_program st in
+  try elaborate ~name:"scaffold" program
+  with Invalid_argument msg -> fail 0 msg
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let st = { toks = tokenize src } in
+  let program = parse_program st in
+  try elaborate ~name:(Filename.remove_extension (Filename.basename path)) program
+  with Invalid_argument msg -> fail 0 msg

@@ -1,0 +1,45 @@
+(** A miniature Scaffold-like frontend.
+
+    The paper's toolflow starts from programs in Scaffold, a C-style
+    language with quantum gates, which ScaffCC lowers (decomposing
+    Toffoli-class gates) into a gate-level IR (§3). This module provides
+    the same on-ramp in miniature: a small imperative gate language that
+    elaborates to {!Nisq_circuit.Circuit.t}, with multi-qubit primitives
+    decomposed via {!Nisq_circuit.Decompose} exactly as ScaffCC would.
+
+    {2 Language}
+
+    {v
+    // one quantum register, declared first
+    qreg q[4];
+
+    // user gate definitions (macros over qubit parameters)
+    gate majority(a, b, c) {
+      cx c, b;
+      cx c, a;
+      ccx a, b, c;
+    }
+
+    h q[0];
+    majority q[0], q[1], q[2];
+    repeat 2 { t q[3]; }
+    rz(pi/4) q[3];
+    measure q;          // whole register
+    v}
+
+    Statements: gate applications, [measure q[i]] / [measure q] (whole
+    register), [barrier q[i], ...], [repeat <n> { ... }], and [gate]
+    definitions (which may call previously defined gates). Builtin
+    gates: h x y z s sdg t tdg rz(θ) rx(θ) ry(θ) cx cz swap ccx cswap
+    peres. Angles accept literals, [pi], [pi/k], [k*pi]. Comments are
+    [// ...]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Nisq_circuit.Circuit.t
+(** Elaborate a source text. Raises {!Parse_error} with a 1-based line
+    number on malformed input, unknown gates, arity mismatches or
+    out-of-range qubits. *)
+
+val parse_file : string -> Nisq_circuit.Circuit.t
+(** [parse] on a file's contents; the circuit is named after the file. *)

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Float Hashtbl List Nisq_circuit Nisq_device Nisq_util Option State

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Nisq_circuit Nisq_device Nisq_util

@@ -1,0 +1,1 @@
+lib/sim/state.ml: Array Nisq_circuit Nisq_util

@@ -1,0 +1,1 @@
+lib/sim/state.mli: Nisq_circuit Nisq_util

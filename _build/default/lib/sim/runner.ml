@@ -1,0 +1,345 @@
+module Gate = Nisq_circuit.Gate
+module Calibration = Nisq_device.Calibration
+module Rng = Nisq_util.Rng
+
+type op = { kind : Gate.kind; qubits : int array; start : int; duration : int }
+
+type site =
+  | Dephase of { local : int; prob : float }  (* Z with prob before the op *)
+  | Damp of { local : int; prob : float }
+      (* amplitude-damping jump attempt before the op: when fired, the
+         qubit decays |1> -> |0> with its current excited-state
+         probability (the no-jump backaction is neglected; see mli) *)
+  | Fault1 of { local : int; prob : float }  (* random Pauli after a 1q gate *)
+  | Fault2 of { l0 : int; l1 : int; prob : float }  (* 2q Pauli after a CNOT *)
+
+type prepared_op = {
+  kind : Gate.kind;
+  locals : int array;  (* operands as local (compacted) indices *)
+  sites : site array;  (* dephase sites then the fault site, in order *)
+  readout_flip : float;  (* measure ops only *)
+  answer_bit : int;  (* measure ops only: bit position in the answer *)
+}
+
+type t = {
+  num_local : int;
+  ops : prepared_op array;
+  ideal : int;
+  ideal_prob : float;
+  (* cumulative distribution over answers for the no-fault shortcut *)
+  answer_values : int array;
+  answer_cumulative : float array;
+}
+
+let dephase_prob calib ~hw ~gap_slots =
+  if gap_slots <= 0 then 0.0
+  else
+    let t2_ns = calib.Calibration.t2_us.(hw) *. 1000.0 in
+    let gap_ns = Float.of_int gap_slots *. Calibration.timeslot_ns in
+    0.5 *. (1.0 -. exp (-.gap_ns /. t2_ns))
+
+let damp_prob calib ~hw ~gap_slots =
+  if gap_slots <= 0 then 0.0
+  else
+    let t1_ns = calib.Calibration.t1_us.(hw) *. 1000.0 in
+    let gap_ns = Float.of_int gap_slots *. Calibration.timeslot_ns in
+    1.0 -. exp (-.gap_ns /. t1_ns)
+
+(* Run the unitary part noiselessly (measurements deferred) and return the
+   final state. *)
+let noiseless_final_state num_local (ops : prepared_op array) =
+  let st = State.create num_local in
+  Array.iter
+    (fun op ->
+      match op.kind with
+      | Gate.Measure | Gate.Barrier -> ()
+      | k -> State.apply_gate st k op.locals)
+    ops;
+  st
+
+let prepare ~calib ~ops ~readout =
+  (* Validate time-ordering. *)
+  let () =
+    let last = ref min_int in
+    Array.iter
+      (fun o ->
+        if o.start < !last then invalid_arg "Runner.prepare: ops not time-ordered";
+        last := o.start)
+      ops
+  in
+  (* Compact hardware qubits to local indices. *)
+  let local_of = Hashtbl.create 16 in
+  let next = ref 0 in
+  let local hw =
+    match Hashtbl.find_opt local_of hw with
+    | Some l -> l
+    | None ->
+        let l = !next in
+        Hashtbl.add local_of hw l;
+        incr next;
+        l
+  in
+  Array.iter (fun o -> Array.iter (fun q -> ignore (local q)) o.qubits) ops;
+  List.iter (fun (_, hw) -> ignore (local hw)) readout;
+  let num_local = !next in
+  if num_local > 24 then invalid_arg "Runner.prepare: too many active qubits";
+  (* Answer-bit positions: ascending program qubit order. *)
+  let sorted_readout = List.sort compare readout in
+  let bit_of_hw = Hashtbl.create 8 in
+  List.iteri (fun i (_, hw) -> Hashtbl.add bit_of_hw hw i) sorted_readout;
+  (* Build prepared ops with noise sites. *)
+  let last_time = Array.make num_local 0 in
+  let measured = Array.make num_local false in
+  let prepared =
+    Array.map
+      (fun o ->
+        let locals = Array.map local o.qubits in
+        Array.iter
+          (fun l ->
+            if measured.(l) then
+              invalid_arg "Runner.prepare: op touches an already-measured qubit")
+          locals;
+        let dephase =
+          Array.to_list
+            (Array.mapi
+               (fun idx l ->
+                 let hw = o.qubits.(idx) in
+                 let gap_slots = o.start - last_time.(l) in
+                 [
+                   Dephase { local = l; prob = dephase_prob calib ~hw ~gap_slots };
+                   Damp { local = l; prob = damp_prob calib ~hw ~gap_slots };
+                 ])
+               locals)
+          |> List.concat
+        in
+        Array.iter (fun l -> last_time.(l) <- o.start + o.duration) locals;
+        let fault =
+          match o.kind with
+          | Gate.Cnot ->
+              [ Fault2
+                  {
+                    l0 = locals.(0);
+                    l1 = locals.(1);
+                    prob = Calibration.cnot_error calib o.qubits.(0) o.qubits.(1);
+                  } ]
+          | Gate.Measure | Gate.Barrier -> []
+          | Gate.Swap -> invalid_arg "Runner.prepare: lower Swap gates first"
+          | _ ->
+              [ Fault1
+                  {
+                    local = locals.(0);
+                    prob = calib.Calibration.single_error.(o.qubits.(0));
+                  } ]
+        in
+        let readout_flip, answer_bit =
+          match o.kind with
+          | Gate.Measure ->
+              measured.(locals.(0)) <- true;
+              let hw = o.qubits.(0) in
+              let bit =
+                match Hashtbl.find_opt bit_of_hw hw with
+                | Some b -> b
+                | None ->
+                    invalid_arg
+                      "Runner.prepare: measured qubit absent from readout map"
+              in
+              (Calibration.readout_error calib hw, bit)
+          | _ -> (0.0, -1)
+        in
+        {
+          kind = o.kind;
+          locals;
+          sites = Array.of_list (dephase @ fault);
+          readout_flip;
+          answer_bit;
+        })
+      ops
+  in
+  let num_measures =
+    Array.fold_left
+      (fun acc o -> if o.kind = Gate.Measure then acc + 1 else acc)
+      0 prepared
+  in
+  if num_measures <> List.length readout then
+    invalid_arg "Runner.prepare: measure count does not match readout map";
+  (* Ideal answer distribution from the noiseless final state. *)
+  let final = noiseless_final_state num_local prepared in
+  let probs = State.probabilities final in
+  let answer_of_basis =
+    (* map a basis index to the packed answer using measured locals *)
+    let pairs =
+      List.map (fun (_, hw) -> Hashtbl.find local_of hw) sorted_readout
+    in
+    fun basis ->
+      List.fold_left
+        (fun (acc, bit) l ->
+          ((if basis land (1 lsl l) <> 0 then acc lor (1 lsl bit) else acc), bit + 1))
+        (0, 0) pairs
+      |> fst
+  in
+  let answer_probs = Hashtbl.create 16 in
+  Array.iteri
+    (fun basis p ->
+      if p > 0.0 then begin
+        let a = answer_of_basis basis in
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt answer_probs a) in
+        Hashtbl.replace answer_probs a (prev +. p)
+      end)
+    probs;
+  let pairs =
+    Hashtbl.fold (fun a p acc -> (a, p) :: acc) answer_probs []
+    |> List.sort compare
+  in
+  let ideal, ideal_prob =
+    List.fold_left
+      (fun (ba, bp) (a, p) -> if p > bp then (a, p) else (ba, bp))
+      (-1, neg_infinity) pairs
+  in
+  let answer_values = Array.of_list (List.map fst pairs) in
+  let answer_cumulative =
+    let acc = ref 0.0 in
+    Array.of_list
+      (List.map
+         (fun (_, p) ->
+           acc := !acc +. p;
+           !acc)
+         pairs)
+  in
+  { num_local; ops = prepared; ideal; ideal_prob; answer_values; answer_cumulative }
+
+let num_active_qubits t = t.num_local
+
+let ideal_answer t = t.ideal
+
+let ideal_answer_probability t = t.ideal_prob
+
+let ideal_distribution t =
+  let n = Array.length t.answer_values in
+  List.init n (fun i ->
+      let p =
+        if i = 0 then t.answer_cumulative.(0)
+        else t.answer_cumulative.(i) -. t.answer_cumulative.(i - 1)
+      in
+      (t.answer_values.(i), p))
+
+let sample_ideal t rng =
+  let u = Rng.float rng 1.0 in
+  let n = Array.length t.answer_cumulative in
+  let rec find i =
+    if i >= n - 1 then t.answer_values.(n - 1)
+    else if u < t.answer_cumulative.(i) then t.answer_values.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let random_pauli rng = match Rng.int rng 3 with 0 -> `X | 1 -> `Y | _ -> `Z
+
+(* A uniform non-identity two-qubit Pauli: pick one of the 15 non-II
+   combinations of {I,X,Y,Z}^2. *)
+let apply_random_pauli2 st rng l0 l1 =
+  let k = 1 + Rng.int rng 15 in
+  let p0 = k land 3 and p1 = (k lsr 2) land 3 in
+  let apply l = function
+    | 1 -> State.apply_pauli st `X l
+    | 2 -> State.apply_pauli st `Y l
+    | 3 -> State.apply_pauli st `Z l
+    | _ -> ()
+  in
+  apply l0 p0;
+  apply l1 p1
+
+(* Decide which noise sites fire this trial. Returns None when the trial
+   is fault-free (the common case), so the caller can use the precomputed
+   ideal distribution instead of simulating. *)
+let sample_faults t rng =
+  let fired = ref [] in
+  Array.iteri
+    (fun op_idx op ->
+      Array.iteri
+        (fun site_idx site ->
+          let prob =
+            match site with
+            | Dephase { prob; _ } | Damp { prob; _ } | Fault1 { prob; _ }
+            | Fault2 { prob; _ } -> prob
+          in
+          if prob > 0.0 && Rng.float rng 1.0 < prob then
+            fired := (op_idx, site_idx) :: !fired)
+        op.sites)
+    t.ops;
+  match !fired with [] -> None | l -> Some l
+
+let run_noisy t rng fired =
+  let fired_tbl = Hashtbl.create 8 in
+  List.iter (fun key -> Hashtbl.add fired_tbl key ()) fired;
+  let st = State.create t.num_local in
+  let answer = ref 0 in
+  Array.iteri
+    (fun op_idx op ->
+      (* dephasing (and gate faults, below) keyed by fired sites *)
+      Array.iteri
+        (fun site_idx site ->
+          match site with
+          | Dephase { local; _ } when Hashtbl.mem fired_tbl (op_idx, site_idx) ->
+              State.apply_pauli st `Z local
+          | Damp { local; _ } when Hashtbl.mem fired_tbl (op_idx, site_idx) ->
+              (* amplitude-damping jump: decay |1> -> |0> with the
+                 current excited-state probability *)
+              let p1 = State.prob_one st local in
+              if p1 > 1e-12 && Rng.float rng 1.0 < p1 then begin
+                State.collapse st local true;
+                State.apply_pauli st `X local
+              end
+          | Dephase _ | Damp _ | Fault1 _ | Fault2 _ -> ())
+        op.sites;
+      (match op.kind with
+      | Gate.Barrier -> ()
+      | Gate.Measure ->
+          let bit = State.measure st rng op.locals.(0) in
+          let bit = if Rng.float rng 1.0 < op.readout_flip then not bit else bit in
+          if bit then answer := !answer lor (1 lsl op.answer_bit)
+      | k -> State.apply_gate st k op.locals);
+      Array.iteri
+        (fun site_idx site ->
+          if Hashtbl.mem fired_tbl (op_idx, site_idx) then
+            match site with
+            | Fault1 { local; _ } -> State.apply_pauli st (random_pauli rng) local
+            | Fault2 { l0; l1; _ } -> apply_random_pauli2 st rng l0 l1
+            | Dephase _ | Damp _ -> ())
+        op.sites)
+    t.ops;
+  !answer
+
+let readout_flips t rng answer =
+  Array.fold_left
+    (fun acc op ->
+      if op.kind = Gate.Measure && Rng.float rng 1.0 < op.readout_flip then
+        acc lxor (1 lsl op.answer_bit)
+      else acc)
+    answer t.ops
+
+let run_trial t rng =
+  match sample_faults t rng with
+  | None ->
+      (* Fault-free trial: the quantum part is exact, only sampling and
+         classical readout noise remain. *)
+      readout_flips t rng (sample_ideal t rng)
+  | Some fired -> run_noisy t rng fired
+
+let success_rate ?(trials = 4096) ~seed t =
+  if trials <= 0 then invalid_arg "Runner.success_rate: trials must be positive";
+  let rng = Rng.create seed in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    if run_trial t rng = t.ideal then incr hits
+  done;
+  Float.of_int !hits /. Float.of_int trials
+
+let distribution ?(trials = 4096) ~seed t =
+  let rng = Rng.create seed in
+  let counts = Hashtbl.create 32 in
+  for _ = 1 to trials do
+    let a = run_trial t rng in
+    Hashtbl.replace counts a (1 + Option.value ~default:0 (Hashtbl.find_opt counts a))
+  done;
+  Hashtbl.fold (fun a c acc -> (a, c) :: acc) counts []
+  |> List.sort (fun (_, c1) (_, c2) -> compare c2 c1)

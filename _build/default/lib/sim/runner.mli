@@ -1,0 +1,65 @@
+(** Monte-Carlo noisy execution — the stand-in for running 8192 trials on
+    IBMQ16 (§6 "Metrics").
+
+    The noise model is derived from the calibration data the compiler
+    optimizes against:
+
+    - every CNOT suffers a uniform random two-qubit Pauli error with the
+      edge's calibrated error probability;
+    - every single-qubit gate suffers a uniform random Pauli with the
+      qubit's single-gate error probability;
+    - between operations, an idle qubit dephases: a Z error fires with
+      probability (1 − exp(−t/T2))/2 for idle time t;
+    - an idle qubit also relaxes: with probability 1 − exp(−t/T1) an
+      amplitude-damping jump is attempted, decaying |1⟩ → |0⟩ with the
+      qubit's current excited-state probability (the √(1−γ) no-jump
+      backaction on |1⟩ is neglected — a second-order effect at NISQ
+      idle times);
+    - every readout flips classically with the qubit's readout error.
+
+    The success rate of a job is the fraction of trials whose outcome
+    equals the noiseless most-likely outcome, exactly the paper's
+    metric. Trials are deterministic in the seed. *)
+
+type op = {
+  kind : Nisq_circuit.Gate.kind;
+  qubits : int array;  (** hardware qubits *)
+  start : int;  (** timeslot *)
+  duration : int;
+}
+
+type t
+
+val prepare :
+  calib:Nisq_device.Calibration.t ->
+  ops:op array ->
+  readout:(int * int) list ->
+  t
+(** [readout] maps measured program qubits to their hardware locations;
+    answer bit [i] is the measured value of the [i]-th entry (ascending
+    program-qubit order). [ops] must be time-ordered, contain one
+    [Measure] per readout entry, and touch no qubit after measuring it.
+    Raises [Invalid_argument] otherwise. *)
+
+val num_active_qubits : t -> int
+(** Hardware qubits the job actually touches (simulation width). *)
+
+val ideal_answer : t -> int
+(** Most likely noiseless outcome, as a bit-packed answer. *)
+
+val ideal_answer_probability : t -> float
+(** Noiseless probability of {!ideal_answer} (≈ 1 for the deterministic
+    paper benchmarks). *)
+
+val ideal_distribution : t -> (int * float) list
+(** The noiseless answer distribution, ascending by answer. Probabilities
+    sum to 1. *)
+
+val run_trial : t -> Nisq_util.Rng.t -> int
+(** One noisy execution; returns the (possibly corrupted) answer. *)
+
+val success_rate : ?trials:int -> seed:int -> t -> float
+(** Fraction of [trials] (default 4096) matching {!ideal_answer}. *)
+
+val distribution : ?trials:int -> seed:int -> t -> (int * int) list
+(** Histogram of noisy outcomes, descending count. *)

@@ -1,0 +1,200 @@
+module Gate = Nisq_circuit.Gate
+module Rng = Nisq_util.Rng
+
+type t = { n : int; re : float array; im : float array }
+
+let create n =
+  if n < 1 || n > 24 then invalid_arg "State.create: need 1..24 qubits";
+  let size = 1 lsl n in
+  let re = Array.make size 0.0 and im = Array.make size 0.0 in
+  re.(0) <- 1.0;
+  { n; re; im }
+
+let num_qubits t = t.n
+
+let copy t = { n = t.n; re = Array.copy t.re; im = Array.copy t.im }
+
+let check_qubit t q =
+  if q < 0 || q >= t.n then invalid_arg "State: qubit out of range"
+
+(* Complex 2x2 matrix as (re, im) pairs, row major. *)
+type m2 = {
+  a_re : float; a_im : float; b_re : float; b_im : float;
+  c_re : float; c_im : float; d_re : float; d_im : float;
+}
+
+let apply_m2 t q m =
+  check_qubit t q;
+  let mask = 1 lsl q in
+  let size = 1 lsl t.n in
+  let re = t.re and im = t.im in
+  let base = ref 0 in
+  while !base < size do
+    for off = 0 to mask - 1 do
+      let i = !base + off in
+      let j = i + mask in
+      let r0 = re.(i) and i0 = im.(i) in
+      let r1 = re.(j) and i1 = im.(j) in
+      re.(i) <- (m.a_re *. r0) -. (m.a_im *. i0) +. (m.b_re *. r1) -. (m.b_im *. i1);
+      im.(i) <- (m.a_re *. i0) +. (m.a_im *. r0) +. (m.b_re *. i1) +. (m.b_im *. r1);
+      re.(j) <- (m.c_re *. r0) -. (m.c_im *. i0) +. (m.d_re *. r1) -. (m.d_im *. i1);
+      im.(j) <- (m.c_re *. i0) +. (m.c_im *. r0) +. (m.d_re *. i1) +. (m.d_im *. r1)
+    done;
+    base := !base + (2 * mask)
+  done
+
+let s2 = 1.0 /. sqrt 2.0
+
+let m2_of_kind = function
+  | Gate.H ->
+      Some { a_re = s2; a_im = 0.; b_re = s2; b_im = 0.;
+             c_re = s2; c_im = 0.; d_re = -.s2; d_im = 0. }
+  | Gate.X ->
+      Some { a_re = 0.; a_im = 0.; b_re = 1.; b_im = 0.;
+             c_re = 1.; c_im = 0.; d_re = 0.; d_im = 0. }
+  | Gate.Y ->
+      Some { a_re = 0.; a_im = 0.; b_re = 0.; b_im = -1.;
+             c_re = 0.; c_im = 1.; d_re = 0.; d_im = 0. }
+  | Gate.Z ->
+      Some { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
+             c_re = 0.; c_im = 0.; d_re = -1.; d_im = 0. }
+  | Gate.S ->
+      Some { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
+             c_re = 0.; c_im = 0.; d_re = 0.; d_im = 1. }
+  | Gate.Sdg ->
+      Some { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
+             c_re = 0.; c_im = 0.; d_re = 0.; d_im = -1. }
+  | Gate.T ->
+      Some { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
+             c_re = 0.; c_im = 0.; d_re = s2; d_im = s2 }
+  | Gate.Tdg ->
+      Some { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
+             c_re = 0.; c_im = 0.; d_re = s2; d_im = -.s2 }
+  | Gate.Rz a ->
+      let h = a /. 2.0 in
+      Some { a_re = cos h; a_im = -.sin h; b_re = 0.; b_im = 0.;
+             c_re = 0.; c_im = 0.; d_re = cos h; d_im = sin h }
+  | Gate.Rx a ->
+      let h = a /. 2.0 in
+      Some { a_re = cos h; a_im = 0.; b_re = 0.; b_im = -.sin h;
+             c_re = 0.; c_im = -.sin h; d_re = cos h; d_im = 0. }
+  | Gate.Ry a ->
+      let h = a /. 2.0 in
+      Some { a_re = cos h; a_im = 0.; b_re = -.sin h; b_im = 0.;
+             c_re = sin h; c_im = 0.; d_re = cos h; d_im = 0. }
+  | Gate.Cnot | Gate.Swap | Gate.Measure | Gate.Barrier -> None
+
+let apply_cnot t c tgt =
+  check_qubit t c;
+  check_qubit t tgt;
+  if c = tgt then invalid_arg "State.apply_cnot: identical operands";
+  let cmask = 1 lsl c and tmask = 1 lsl tgt in
+  let size = 1 lsl t.n in
+  let re = t.re and im = t.im in
+  for i = 0 to size - 1 do
+    if i land cmask <> 0 && i land tmask = 0 then begin
+      let j = i lor tmask in
+      let r = re.(i) and m = im.(i) in
+      re.(i) <- re.(j);
+      im.(i) <- im.(j);
+      re.(j) <- r;
+      im.(j) <- m
+    end
+  done
+
+let apply_swap t a b =
+  apply_cnot t a b;
+  apply_cnot t b a;
+  apply_cnot t a b
+
+let apply_gate t kind qubits =
+  match kind with
+  | Gate.Cnot -> apply_cnot t qubits.(0) qubits.(1)
+  | Gate.Swap -> apply_swap t qubits.(0) qubits.(1)
+  | Gate.Measure | Gate.Barrier ->
+      invalid_arg "State.apply_gate: non-unitary gate"
+  | k -> (
+      match m2_of_kind k with
+      | Some m -> apply_m2 t qubits.(0) m
+      | None -> assert false)
+
+let apply_pauli t p q =
+  match p with
+  | `X -> apply_gate t Gate.X [| q |]
+  | `Y -> apply_gate t Gate.Y [| q |]
+  | `Z -> apply_gate t Gate.Z [| q |]
+
+let prob_one t q =
+  check_qubit t q;
+  let mask = 1 lsl q in
+  let size = 1 lsl t.n in
+  let p = ref 0.0 in
+  for i = 0 to size - 1 do
+    if i land mask <> 0 then
+      p := !p +. (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i))
+  done;
+  !p
+
+let collapse t q v =
+  check_qubit t q;
+  let p1 = prob_one t q in
+  let p = if v then p1 else 1.0 -. p1 in
+  if p < 1e-12 then failwith "State.collapse: zero-probability outcome";
+  let scale = 1.0 /. sqrt p in
+  let mask = 1 lsl q in
+  let size = 1 lsl t.n in
+  for i = 0 to size - 1 do
+    let bit_set = i land mask <> 0 in
+    if bit_set = v then begin
+      t.re.(i) <- t.re.(i) *. scale;
+      t.im.(i) <- t.im.(i) *. scale
+    end
+    else begin
+      t.re.(i) <- 0.0;
+      t.im.(i) <- 0.0
+    end
+  done
+
+let measure t rng q =
+  let p1 = prob_one t q in
+  let v = Rng.float rng 1.0 < p1 in
+  collapse t q v;
+  v
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  let size = 1 lsl t.n in
+  let acc = ref 0.0 and result = ref (size - 1) in
+  (try
+     for i = 0 to size - 1 do
+       acc := !acc +. (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i));
+       if u < !acc then begin
+         result := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let probabilities t =
+  Array.init (1 lsl t.n) (fun i ->
+      (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i)))
+
+let amplitude t i = (t.re.(i), t.im.(i))
+
+let fidelity a b =
+  if a.n <> b.n then invalid_arg "State.fidelity: size mismatch";
+  let re = ref 0.0 and im = ref 0.0 in
+  for i = 0 to (1 lsl a.n) - 1 do
+    (* conj(a) * b *)
+    re := !re +. (a.re.(i) *. b.re.(i)) +. (a.im.(i) *. b.im.(i));
+    im := !im +. (a.re.(i) *. b.im.(i)) -. (a.im.(i) *. b.re.(i))
+  done;
+  (!re *. !re) +. (!im *. !im)
+
+let norm t =
+  let s = ref 0.0 in
+  for i = 0 to (1 lsl t.n) - 1 do
+    s := !s +. (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i))
+  done;
+  !s

@@ -1,0 +1,48 @@
+(** Dense state-vector simulation.
+
+    A register of [n] qubits holds [2^n] complex amplitudes (separate
+    real/imaginary float arrays for speed). Basis index bit [q] is the
+    value of qubit [q] (little-endian). Practical to ~20 qubits; the
+    compiled paper benchmarks touch at most a dozen hardware qubits. *)
+
+type t
+
+val create : int -> t
+(** [create n] is |0…0⟩ over [n] qubits. Raises [Invalid_argument] for
+    [n < 1] or [n > 24]. *)
+
+val num_qubits : t -> int
+
+val copy : t -> t
+
+val apply_gate : t -> Nisq_circuit.Gate.kind -> int array -> unit
+(** Apply a unitary gate to the given qubit operands. Raises
+    [Invalid_argument] for [Measure]/[Barrier] or bad operands. *)
+
+val apply_pauli : t -> [ `X | `Y | `Z ] -> int -> unit
+(** Inject a Pauli error on one qubit. *)
+
+val prob_one : t -> int -> float
+(** Probability that measuring the qubit yields 1. *)
+
+val collapse : t -> int -> bool -> unit
+(** Project a qubit onto the given value and renormalize. Raises
+    [Failure] if the outcome has (near-)zero probability. *)
+
+val measure : t -> Nisq_util.Rng.t -> int -> bool
+(** Sample a computational-basis measurement of one qubit and collapse. *)
+
+val sample : t -> Nisq_util.Rng.t -> int
+(** Sample a full-register basis state (no collapse). *)
+
+val probabilities : t -> float array
+(** All [2^n] basis probabilities (fresh array). *)
+
+val amplitude : t -> int -> float * float
+(** Real and imaginary parts of one basis amplitude. *)
+
+val fidelity : t -> t -> float
+(** |⟨a|b⟩|² — used by equivalence tests. *)
+
+val norm : t -> float
+(** Should always be ≈ 1. *)

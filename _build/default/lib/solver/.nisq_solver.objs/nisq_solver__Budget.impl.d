@@ -1,0 +1,1 @@
+lib/solver/budget.ml: Unix

@@ -1,0 +1,1 @@
+lib/solver/makespan.ml: Array Budget Fun Int List

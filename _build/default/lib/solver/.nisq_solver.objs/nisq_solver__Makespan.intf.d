@@ -1,0 +1,1 @@
+lib/solver/makespan.mli: Budget

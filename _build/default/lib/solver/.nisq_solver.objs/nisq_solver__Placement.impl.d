@@ -1,0 +1,1 @@
+lib/solver/placement.ml: Array Budget Float Fun Hashtbl List

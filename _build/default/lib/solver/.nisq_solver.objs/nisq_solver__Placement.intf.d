@@ -1,0 +1,1 @@
+lib/solver/placement.mli: Budget

@@ -1,0 +1,56 @@
+type t = { max_nodes : int option; max_seconds : float option }
+
+let unlimited = { max_nodes = None; max_seconds = None }
+
+let nodes n = { max_nodes = Some n; max_seconds = None }
+
+let seconds s = { max_nodes = None; max_seconds = Some s }
+
+let make ?max_nodes ?max_seconds () = { max_nodes; max_seconds }
+
+type stats = {
+  nodes_visited : int;
+  elapsed_seconds : float;
+  proven_optimal : bool;
+}
+
+module Clock = struct
+  type nonrec t = {
+    budget : t;
+    started : float;
+    mutable count : int;
+    mutable blown : bool;
+  }
+
+  let start budget =
+    { budget; started = Unix.gettimeofday (); count = 0; blown = false }
+
+  let tick c =
+    if c.blown then false
+    else begin
+      c.count <- c.count + 1;
+      let over_nodes =
+        match c.budget.max_nodes with Some n -> c.count > n | None -> false
+      in
+      (* Check the clock only every 256 nodes: gettimeofday is not free. *)
+      let over_time =
+        (c.count land 255) = 0
+        &&
+        match c.budget.max_seconds with
+        | Some s -> Unix.gettimeofday () -. c.started > s
+        | None -> false
+      in
+      if over_nodes || over_time then begin
+        c.blown <- true;
+        false
+      end
+      else true
+    end
+
+  let stats c ~exhausted =
+    {
+      nodes_visited = c.count;
+      elapsed_seconds = Unix.gettimeofday () -. c.started;
+      proven_optimal = exhausted && not c.blown;
+    }
+end

@@ -1,0 +1,84 @@
+type problem = {
+  num_items : int;
+  num_slots : int;
+  order : int array option;
+  lower_bound : int array -> int;
+  leaf_cost : int array -> int;
+}
+
+type solution = { assignment : int array; cost : int; stats : Budget.stats }
+
+let solve ?(budget = Budget.unlimited) p =
+  if p.num_items <= 0 then invalid_arg "Makespan: no items";
+  if p.num_slots < p.num_items then invalid_arg "Makespan: fewer slots than items";
+  let n = p.num_items and s = p.num_slots in
+  let order = match p.order with Some o -> o | None -> Array.init n Fun.id in
+  if Array.length order <> n then invalid_arg "Makespan: bad order length";
+  let clock = Budget.Clock.start budget in
+  let placement = Array.make n (-1) in
+  let used = Array.make s false in
+  let best = Array.make n (-1) in
+  let best_cost = ref Int.max_int in
+  let blown = ref false in
+  let rec dfs pos =
+    if !blown then ()
+    else if not (Budget.Clock.tick clock) then blown := true
+    else if pos = n then begin
+      let c = p.leaf_cost placement in
+      if c < !best_cost then begin
+        best_cost := c;
+        Array.blit placement 0 best 0 n
+      end
+    end
+    else begin
+      let item = order.(pos) in
+      (* Explore slots in increasing lower-bound order. *)
+      let candidates = ref [] in
+      for slot = 0 to s - 1 do
+        if not used.(slot) then begin
+          placement.(item) <- slot;
+          let lb = p.lower_bound placement in
+          placement.(item) <- -1;
+          if lb < !best_cost then candidates := (slot, lb) :: !candidates
+        end
+      done;
+      let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !candidates in
+      List.iter
+        (fun (slot, lb) ->
+          if (not !blown) && lb < !best_cost then begin
+            placement.(item) <- slot;
+            used.(slot) <- true;
+            dfs (pos + 1);
+            used.(slot) <- false;
+            placement.(item) <- -1
+          end)
+        sorted
+    end
+  in
+  dfs 0;
+  (* If the budget blew before any leaf, fall back to a greedy completion
+     ignoring bounds so callers always get an assignment. *)
+  if !best_cost = Int.max_int && Array.exists (fun v -> v = -1) best then begin
+    Array.fill placement 0 n (-1);
+    Array.fill used 0 s false;
+    Array.iter
+      (fun item ->
+        let chosen = ref (-1) and chosen_lb = ref Int.max_int in
+        for slot = 0 to s - 1 do
+          if not used.(slot) then begin
+            placement.(item) <- slot;
+            let lb = p.lower_bound placement in
+            placement.(item) <- -1;
+            if lb < !chosen_lb then begin
+              chosen_lb := lb;
+              chosen := slot
+            end
+          end
+        done;
+        placement.(item) <- !chosen;
+        used.(!chosen) <- true)
+      order;
+    Array.blit placement 0 best 0 n;
+    best_cost := p.leaf_cost best
+  end;
+  { assignment = best; cost = !best_cost; stats = Budget.Clock.stats clock ~exhausted:(not !blown) }

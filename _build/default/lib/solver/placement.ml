@@ -1,0 +1,224 @@
+type problem = {
+  num_items : int;
+  num_slots : int;
+  unary : float array array;
+  pairwise : (int * int * float array array) list;
+}
+
+type solution = {
+  assignment : int array;
+  objective : float;
+  stats : Budget.stats;
+}
+
+let validate p =
+  if p.num_items <= 0 then invalid_arg "Placement: no items";
+  if p.num_slots < p.num_items then
+    invalid_arg "Placement: fewer slots than items";
+  if Array.length p.unary <> p.num_items then
+    invalid_arg "Placement: unary row count mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> p.num_slots then
+        invalid_arg "Placement: unary column count mismatch")
+    p.unary;
+  List.iter
+    (fun (i, j, m) ->
+      if i < 0 || j < 0 || i >= p.num_items || j >= p.num_items || i >= j then
+        invalid_arg "Placement: bad pair indices (need 0 <= i < j < items)";
+      if
+        Array.length m <> p.num_slots
+        || Array.exists (fun r -> Array.length r <> p.num_slots) m
+      then invalid_arg "Placement: pairwise matrix dimension mismatch")
+    p.pairwise
+
+let score p assignment =
+  let total = ref 0.0 in
+  for i = 0 to p.num_items - 1 do
+    total := !total +. p.unary.(i).(assignment.(i))
+  done;
+  List.iter
+    (fun (i, j, m) -> total := !total +. m.(assignment.(i)).(assignment.(j)))
+    p.pairwise;
+  !total
+
+(* Merge duplicate pair entries into one matrix per (i, j). *)
+let merged_pairs p =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (i, j, m) ->
+      match Hashtbl.find_opt tbl (i, j) with
+      | None -> Hashtbl.add tbl (i, j) (Array.map Array.copy m)
+      | Some acc ->
+          Array.iteri
+            (fun si row -> Array.iteri (fun sj v -> acc.(si).(sj) <- acc.(si).(sj) +. v) row)
+            m)
+    p.pairwise;
+  Hashtbl.fold (fun (i, j) m acc -> (i, j, m) :: acc) tbl []
+
+let matrix_max m =
+  Array.fold_left
+    (fun acc row -> Array.fold_left Float.max acc row)
+    neg_infinity m
+
+let solve ?(budget = Budget.unlimited) p =
+  validate p;
+  let pairs = merged_pairs p in
+  let n = p.num_items and s = p.num_slots in
+  (* Item order: most pairwise involvement first, then highest degree of
+     unary spread — placing constrained items early tightens the bound. *)
+  let involvement = Array.make n 0.0 in
+  List.iter
+    (fun (i, j, m) ->
+      let span = Float.abs (matrix_max m) in
+      involvement.(i) <- involvement.(i) +. span +. 1.0;
+      involvement.(j) <- involvement.(j) +. span +. 1.0)
+    pairs;
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare involvement.(b) involvement.(a)) order;
+  (* rank.(item) = position in placement order *)
+  let rank = Array.make n 0 in
+  Array.iteri (fun pos item -> rank.(item) <- pos) order;
+  (* Pair bookkeeping, from the perspective of the later-placed item:
+     when we place item [i], every pair (i, j) with rank.(j) < rank.(i)
+     contributes exactly, and every pair with rank.(j) > rank.(i) is
+     bounded by its row maximum. *)
+  let earlier_pairs = Array.make n [] (* (partner, matrix_lookup) *) in
+  let unary_max =
+    Array.map (fun row -> Array.fold_left Float.max neg_infinity row) p.unary
+  in
+  List.iter
+    (fun (i, j, m) ->
+      let earlier, later, lookup =
+        if rank.(i) < rank.(j) then
+          (i, j, fun s_earlier s_later -> m.(s_earlier).(s_later))
+        else (j, i, fun s_earlier s_later -> m.(s_later).(s_earlier))
+      in
+      earlier_pairs.(later) <- (earlier, lookup) :: earlier_pairs.(later))
+    pairs;
+  (* optimistic.(pos) = admissible upper bound on the total score of items
+     order.(pos..n-1): their best unary plus, for each pair whose later
+     endpoint is among them, the pair's global max. *)
+  let optimistic = Array.make (n + 1) 0.0 in
+  let pair_max_into = Array.make n 0.0 in
+  List.iter
+    (fun (i, j, m) ->
+      let later = if rank.(i) < rank.(j) then j else i in
+      pair_max_into.(later) <- pair_max_into.(later) +. matrix_max m)
+    pairs;
+  for pos = n - 1 downto 0 do
+    let item = order.(pos) in
+    optimistic.(pos) <- optimistic.(pos + 1) +. unary_max.(item) +. pair_max_into.(item)
+  done;
+  let clock = Budget.Clock.start budget in
+  let placed = Array.make n (-1) in
+  let used = Array.make s false in
+  let best = Array.make n (-1) in
+  let best_score = ref neg_infinity in
+  let have_solution = ref false in
+  let blown = ref false in
+  let rec dfs pos acc =
+    if !blown then ()
+    else if not (Budget.Clock.tick clock) then begin
+      blown := true;
+      (* Finish the current descent greedily so we always return something. *)
+      if not !have_solution then complete_greedily pos acc
+    end
+    else if pos = n then begin
+      if acc > !best_score then begin
+        best_score := acc;
+        Array.blit placed 0 best 0 n;
+        have_solution := true
+      end
+    end
+    else begin
+      let item = order.(pos) in
+      (* Candidate slots sorted by incremental score, best first. *)
+      let candidates = ref [] in
+      for slot = s - 1 downto 0 do
+        if not used.(slot) then begin
+          let inc = ref p.unary.(item).(slot) in
+          List.iter
+            (fun (partner, lookup) -> inc := !inc +. lookup placed.(partner) slot)
+            earlier_pairs.(item);
+          candidates := (slot, !inc) :: !candidates
+        end
+      done;
+      let sorted =
+        List.sort (fun (_, a) (_, b) -> Float.compare b a) !candidates
+      in
+      List.iter
+        (fun (slot, inc) ->
+          let bound = acc +. inc +. optimistic.(pos + 1) in
+          if bound > !best_score || not !have_solution then begin
+            placed.(item) <- slot;
+            used.(slot) <- true;
+            dfs (pos + 1) (acc +. inc);
+            used.(slot) <- false;
+            placed.(item) <- -1
+          end)
+        sorted
+    end
+  and complete_greedily pos acc =
+    (* Budget blown before any leaf: finish by taking the best slot at
+       each remaining level without branching. *)
+    if pos = n then begin
+      best_score := acc;
+      Array.blit placed 0 best 0 n;
+      have_solution := true
+    end
+    else begin
+      let item = order.(pos) in
+      let best_slot = ref (-1) and best_inc = ref neg_infinity in
+      for slot = 0 to s - 1 do
+        if not used.(slot) then begin
+          let inc = ref p.unary.(item).(slot) in
+          List.iter
+            (fun (partner, lookup) -> inc := !inc +. lookup placed.(partner) slot)
+            earlier_pairs.(item);
+          if !inc > !best_inc then begin
+            best_inc := !inc;
+            best_slot := slot
+          end
+        end
+      done;
+      placed.(item) <- !best_slot;
+      used.(!best_slot) <- true;
+      complete_greedily (pos + 1) (acc +. !best_inc)
+    end
+  in
+  dfs 0 0.0;
+  {
+    assignment = best;
+    objective = !best_score;
+    stats = Budget.Clock.stats clock ~exhausted:(not !blown);
+  }
+
+let brute_force p =
+  validate p;
+  let n = p.num_items and s = p.num_slots in
+  let assignment = Array.make n (-1) in
+  let used = Array.make s false in
+  let best = Array.make n (-1) in
+  let best_score = ref neg_infinity in
+  let rec go i =
+    if i = n then begin
+      let v = score p assignment in
+      if v > !best_score then begin
+        best_score := v;
+        Array.blit assignment 0 best 0 n
+      end
+    end
+    else
+      for slot = 0 to s - 1 do
+        if not used.(slot) then begin
+          assignment.(i) <- slot;
+          used.(slot) <- true;
+          go (i + 1);
+          used.(slot) <- false;
+          assignment.(i) <- -1
+        end
+      done
+  in
+  go 0;
+  (best, !best_score)

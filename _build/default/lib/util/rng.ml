@@ -1,0 +1,60 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: mix the incremented state. *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for the
+     small bounds used here, but we still mask to 62 bits to stay
+     non-negative. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod n
+
+let float t x =
+  (* 53 random mantissa bits. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (Float.of_int v /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let uniform t ~lo ~hi = lo +. float t (hi -. lo)
+
+let gaussian t ~mean ~sigma =
+  let rec draw () =
+    let u1 = float t 1.0 in
+    if u1 <= 1e-300 then draw ()
+    else
+      let u2 = float t 1.0 in
+      mean +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+  in
+  draw ()
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mean:mu ~sigma)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,51 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component in this repository (calibration generation,
+    noise injection, synthetic workloads) draws from an explicit [Rng.t]
+    seeded by the caller, so that every experiment is exactly reproducible.
+    The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): tiny,
+    fast, and passes BigCrush, which is more than sufficient for Monte-Carlo
+    noise sampling. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t]; the two
+    streams are statistically independent. Used to give each qubit / day /
+    trial its own stream without coupling draw orders. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val gaussian : t -> mean:float -> sigma:float -> float
+(** Normal deviate by Box–Muller. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [exp (gaussian ~mean:mu ~sigma)] — used for error-rate distributions,
+    which are strictly positive and right-skewed like the published
+    calibration data. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

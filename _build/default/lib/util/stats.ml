@@ -1,0 +1,57 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. Float.of_int (Array.length xs)
+
+let geomean xs =
+  check_nonempty "Stats.geomean" xs;
+  let log_sum =
+    Array.fold_left (fun acc x -> acc +. log (Float.max x 1e-12)) 0.0 xs
+  in
+  exp (log_sum /. Float.of_int (Array.length xs))
+
+let stddev xs =
+  check_nonempty "Stats.stddev" xs;
+  let m = mean xs in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. Float.of_int (Array.length xs)
+  in
+  sqrt var
+
+let min_max xs =
+  check_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort Float.compare ys;
+  ys
+
+let median xs =
+  check_nonempty "Stats.median" xs;
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n mod 2 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.0
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  let rank = int_of_float (ceil (p /. 100.0 *. Float.of_int n)) in
+  ys.(Int.max 0 (Int.min (n - 1) (rank - 1)))
+
+let ratio_summary ~num ~den =
+  if Array.length num <> Array.length den then
+    invalid_arg "Stats.ratio_summary: length mismatch";
+  let ratios =
+    Array.init (Array.length num) (fun i -> num.(i) /. Float.max den.(i) 1e-12)
+  in
+  let _, hi = min_max ratios in
+  (geomean ratios, hi)

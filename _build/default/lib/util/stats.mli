@@ -1,0 +1,25 @@
+(** Small statistics helpers used by experiments and reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on empty input. *)
+
+val geomean : float array -> float
+(** Geometric mean of strictly positive values. Zero entries are clamped to
+    [1e-12] so a single total failure does not collapse a ratio summary to
+    zero (the paper reports geomean success-rate improvements). *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min_max : float array -> float * float
+
+val median : float array -> float
+(** Median (does not mutate its argument). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank. *)
+
+val ratio_summary : num:float array -> den:float array -> float * float
+(** [ratio_summary ~num ~den] is [(geomean ratios, max ratio)] of pointwise
+    [num.(i) /. den.(i)] — the "geomean (up to Nx)" presentation the paper
+    uses for success-rate improvements. *)

@@ -1,0 +1,44 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(align = []) ~header ~rows () =
+  let ncols =
+    List.fold_left
+      (fun acc row -> Int.max acc (List.length row))
+      (List.length header)
+      rows
+  in
+  let get_align c = match List.nth_opt align c with Some a -> a | None -> Left in
+  let cell row c = match List.nth_opt row c with Some s -> s | None -> "" in
+  let widths =
+    Array.init ncols (fun c ->
+        List.fold_left
+          (fun acc row -> Int.max acc (String.length (cell row c)))
+          (String.length (cell header c))
+          rows)
+  in
+  let line row =
+    let cells =
+      List.init ncols (fun c -> pad (get_align c) widths.(c) (cell row c))
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "  "
+      (List.init ncols (fun c -> String.make widths.(c) '-'))
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((line header :: rule :: body) @ [ "" ])
+
+let print ?align ~header ~rows () =
+  print_string (render ?align ~header ~rows ())
+
+let fmt_float ?(digits = 3) x = Printf.sprintf "%.*f" digits x
+
+let fmt_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Astring_contains List Nisq_bench Nisq_circuit Nisq_compiler Nisq_device Nisq_sim

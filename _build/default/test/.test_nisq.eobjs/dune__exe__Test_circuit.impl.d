@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Float List Nisq_bench Nisq_circuit String

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Astring_contains Format Fun Int List Nisq_bench Nisq_circuit Nisq_compiler Nisq_device Nisq_sim Nisq_solver Printf

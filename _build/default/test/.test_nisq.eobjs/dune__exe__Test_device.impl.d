@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array List Nisq_device Nisq_util

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Astring_contains Filename Float List Nisq_bench Nisq_circuit Nisq_compiler Nisq_device Nisq_sim String Sys

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Float Nisq_bench Nisq_circuit Nisq_compiler Nisq_device Nisq_frontend Nisq_sim

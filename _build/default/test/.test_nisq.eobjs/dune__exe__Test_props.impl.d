@@ -1,0 +1,1 @@
+test/test_props.ml: Array Float Hashtbl List Nisq_bench Nisq_circuit Nisq_compiler Nisq_device Nisq_sim Nisq_solver Nisq_util Option Printf QCheck QCheck_alcotest

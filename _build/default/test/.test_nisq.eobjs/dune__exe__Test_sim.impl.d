@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float List Nisq_circuit Nisq_device Nisq_sim Nisq_util

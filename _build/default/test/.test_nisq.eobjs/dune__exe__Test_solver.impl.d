@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Hashtbl Int List Nisq_solver Nisq_util

@@ -1,0 +1,14 @@
+(* Tiny substring-search helper shared by test modules. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i <= nh - nn do
+      if String.sub haystack !i nn = needle then found := true;
+      incr i
+    done;
+    !found
+  end

@@ -1,0 +1,265 @@
+(* Tests for Nisq_bench: Benchmarks, Synth, Experiments. *)
+
+module Circuit = Nisq_circuit.Circuit
+module Gate = Nisq_circuit.Gate
+module Benchmarks = Nisq_bench.Benchmarks
+module Synth = Nisq_bench.Synth
+module Experiments = Nisq_bench.Experiments
+module Runner = Nisq_sim.Runner
+module Config = Nisq_compiler.Config
+module Compile = Nisq_compiler.Compile
+module Calibration = Nisq_device.Calibration
+module Ibmq16 = Nisq_device.Ibmq16
+module Topology = Nisq_device.Topology
+
+let contains = Astring_contains.contains
+
+let test_suite_has_12_benchmarks () =
+  Alcotest.(check int) "12" 12 (List.length Benchmarks.all)
+
+let test_names_unique () =
+  let names = List.map (fun b -> b.Benchmarks.name) Benchmarks.all in
+  Alcotest.(check int) "unique" 12 (List.length (List.sort_uniq compare names))
+
+let test_by_name_case_insensitive () =
+  Alcotest.(check string) "found" "Toffoli"
+    (Benchmarks.by_name "toffoli").Benchmarks.name
+
+let test_by_name_missing () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Benchmarks.by_name "nope"); false with Not_found -> true)
+
+(* Table 2 CNOT-graph shapes the paper relies on. *)
+let test_cnot_counts_match_table2_shape () =
+  let cnots name = let _, _, _, c = Benchmarks.characteristics (Benchmarks.by_name name) in c in
+  Alcotest.(check int) "BV4" 3 (cnots "BV4");
+  Alcotest.(check int) "HS2" 2 (cnots "HS2");
+  Alcotest.(check int) "HS4" 4 (cnots "HS4");
+  Alcotest.(check int) "HS6" 6 (cnots "HS6");
+  Alcotest.(check int) "Toffoli" 6 (cnots "Toffoli");
+  Alcotest.(check int) "Fredkin" 8 (cnots "Fredkin");
+  Alcotest.(check int) "Or" 6 (cnots "Or")
+
+let test_qubit_counts_match_table2 () =
+  List.iter
+    (fun (name, qubits) ->
+      let _, q, _, _ = Benchmarks.characteristics (Benchmarks.by_name name) in
+      Alcotest.(check int) name qubits q)
+    [ ("BV4", 4); ("BV6", 6); ("BV8", 8); ("HS2", 2); ("HS4", 4); ("HS6", 6);
+      ("Toffoli", 3); ("Fredkin", 3); ("Or", 3); ("Peres", 3); ("QFT2", 2);
+      ("Adder", 4) ]
+
+(* Every benchmark's ideal (noiseless) outcome must equal its declared
+   expected answer — checked on the *source* circuit via an identity
+   compilation on a perfect machine. *)
+let test_expected_answers_are_correct () =
+  let perfect =
+    Calibration.uniform ~cnot_error:0.0 ~readout_error:0.0 ~single_error:0.0
+      ~t2_us:1e9 Ibmq16.topology
+  in
+  List.iter
+    (fun (b : Benchmarks.t) ->
+      let r =
+        Compile.run ~config:(Config.make Config.Greedy_e) ~calib:perfect
+          b.Benchmarks.circuit
+      in
+      let runner = Experiments.runner_of r in
+      Alcotest.(check int) (b.Benchmarks.name ^ " ideal answer")
+        b.Benchmarks.expected (Runner.ideal_answer runner);
+      Alcotest.(check (float 1e-6)) (b.Benchmarks.name ^ " prob 1") 1.0
+        (Runner.ideal_answer_probability runner);
+      Alcotest.(check (float 1e-6)) (b.Benchmarks.name ^ " perfect success") 1.0
+        (Runner.success_rate ~trials:200 ~seed:1 runner))
+    Benchmarks.all
+
+let test_bv_parameterized () =
+  let b = Benchmarks.bernstein_vazirani 5 in
+  Alcotest.(check int) "5 qubits" 5 b.Benchmarks.circuit.Circuit.num_qubits;
+  Alcotest.(check int) "expected all-ones" 15 b.Benchmarks.expected
+
+let test_bv_rejects_tiny () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Benchmarks.bernstein_vazirani 1); false
+     with Invalid_argument _ -> true)
+
+let test_hs_rejects_odd () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Benchmarks.hidden_shift 3); false
+     with Invalid_argument _ -> true)
+
+let test_all_benchmarks_measure_something () =
+  List.iter
+    (fun (b : Benchmarks.t) ->
+      Alcotest.(check bool) (b.Benchmarks.name ^ " measures") true
+        (Circuit.measured_qubits b.Benchmarks.circuit <> []))
+    Benchmarks.all
+
+(* --------------------------- Extended suite ------------------------ *)
+
+let test_extended_superset () =
+  Alcotest.(check bool) "extended larger" true
+    (List.length Benchmarks.extended > List.length Benchmarks.all)
+
+let test_extended_answers_correct () =
+  (* every extended benchmark is deterministic and classically checkable *)
+  let perfect =
+    Calibration.uniform ~cnot_error:0.0 ~readout_error:0.0 ~single_error:0.0
+      ~t2_us:1e9 Ibmq16.topology
+  in
+  List.iter
+    (fun (b : Benchmarks.t) ->
+      let r =
+        Compile.run ~config:(Config.make Config.Greedy_e) ~calib:perfect
+          b.Benchmarks.circuit
+      in
+      let runner = Experiments.runner_of r in
+      Alcotest.(check int) (b.Benchmarks.name ^ " ideal") b.Benchmarks.expected
+        (Runner.ideal_answer runner);
+      Alcotest.(check bool) (b.Benchmarks.name ^ " deterministic") true
+        (Runner.ideal_answer_probability runner > 0.999))
+    Benchmarks.extended
+
+let test_bv_secret_structure () =
+  (* only the secret's set bits contribute CNOTs *)
+  let b = Benchmarks.bernstein_vazirani_secret ~secret:0b101 4 in
+  Alcotest.(check int) "2 CNOTs" 2 (Circuit.cnot_count b.Benchmarks.circuit);
+  Alcotest.(check int) "expects the secret" 0b101 b.Benchmarks.expected
+
+let test_bv_secret_rejects_out_of_range () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Benchmarks.bernstein_vazirani_secret ~secret:8 4); false
+     with Invalid_argument _ -> true)
+
+let test_hs_shift_expected () =
+  let b = Benchmarks.hidden_shift_with ~shift:0b0110 4 in
+  Alcotest.(check int) "expects the shift" 0b0110 b.Benchmarks.expected
+
+let test_grover2_finds_marked_state () =
+  Alcotest.(check int) "marked state" 0b11 Benchmarks.grover2.Benchmarks.expected
+
+let test_dj_balanced_nonzero () =
+  let b = Benchmarks.deutsch_jozsa 5 in
+  Alcotest.(check bool) "non-zero answer" true (b.Benchmarks.expected <> 0)
+
+(* -------------------------------- Synth ---------------------------- *)
+
+let test_synth_deterministic () =
+  let a = Synth.random_circuit ~qubits:8 ~gates:100 ~seed:5 () in
+  let b = Synth.random_circuit ~qubits:8 ~gates:100 ~seed:5 () in
+  Alcotest.(check int) "same length" (Circuit.length a) (Circuit.length b);
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      Alcotest.(check bool) "same gates" true
+        (Gate.equal_kind g.kind b.Circuit.gates.(i).Gate.kind))
+    a.Circuit.gates
+
+let test_synth_gate_count () =
+  let c = Synth.random_circuit ~qubits:6 ~gates:50 ~seed:2 () in
+  (* 50 sampled + 6 measures *)
+  Alcotest.(check int) "56 gates" 56 (Circuit.length c)
+
+let test_synth_no_measure_option () =
+  let c = Synth.random_circuit ~measure:false ~qubits:6 ~gates:50 ~seed:2 () in
+  Alcotest.(check (list int)) "no measures" [] (Circuit.measured_qubits c)
+
+let test_synth_uses_universal_set () =
+  let c = Synth.random_circuit ~qubits:4 ~gates:300 ~seed:3 () in
+  Array.iter
+    (fun (g : Gate.t) ->
+      Alcotest.(check bool) "allowed kind" true
+        (match g.Gate.kind with
+        | Gate.H | Gate.X | Gate.Y | Gate.Z | Gate.S | Gate.T | Gate.Cnot
+        | Gate.Measure -> true
+        | _ -> false))
+    c.Circuit.gates
+
+let test_grid_for_sizes () =
+  Alcotest.(check int) "16" 16 (Topology.num_qubits (Synth.grid_for ~qubits:10));
+  Alcotest.(check int) "32" 32 (Topology.num_qubits (Synth.grid_for ~qubits:32));
+  Alcotest.(check int) "64" 64 (Topology.num_qubits (Synth.grid_for ~qubits:33));
+  Alcotest.(check int) "128" 128 (Topology.num_qubits (Synth.grid_for ~qubits:100))
+
+let test_grid_for_rejects_large () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Synth.grid_for ~qubits:129); false
+     with Invalid_argument _ -> true)
+
+(* ----------------------------- Experiments ------------------------- *)
+
+let test_evaluate_produces_sane_numbers () =
+  let calib = Ibmq16.calibration ~day:0 () in
+  let e =
+    Experiments.evaluate ~trials:256 ~config:(Config.make (Config.R_smt_star 0.5))
+      ~calib (Benchmarks.by_name "BV4")
+  in
+  Alcotest.(check bool) "success in (0,1]" true
+    (e.Experiments.success > 0.0 && e.Experiments.success <= 1.0)
+
+let test_table2_renders () =
+  let s = Experiments.table2 () in
+  Alcotest.(check bool) "has BV4 row" true (contains s "BV4");
+  Alcotest.(check bool) "has Adder row" true (contains s "Adder")
+
+let test_fig1_spread () =
+  let data = Experiments.fig1_data ~days:10 () in
+  Alcotest.(check int) "10 days" 10 (Array.length data);
+  let day0_t2, _ = (fun (_, a, b) -> (a, b)) data.(0) |> fun (a, b) -> (a, b) in
+  Alcotest.(check int) "16 qubits" 16 (Array.length day0_t2)
+
+let test_fig5_data_consistency () =
+  let data = Experiments.fig5_data ~trials:64 () in
+  Alcotest.(check int) "12 benchmarks" 12 (List.length data);
+  List.iter
+    (fun (_, evals) -> Alcotest.(check int) "3 configs" 3 (List.length evals))
+    data
+
+let test_fig9_durations_positive () =
+  let data = Experiments.fig9_data () in
+  List.iter
+    (fun (_, durs) ->
+      List.iter
+        (fun (_, d) -> Alcotest.(check bool) "positive" true (d > 0))
+        durs)
+    data
+
+let test_fig11_quick () =
+  let rows = Experiments.fig11_data ~rsmt_seconds:0.5 ~quick:true () in
+  Alcotest.(check bool) "has rows" true (List.length rows > 0);
+  List.iter
+    (fun (_, _, _, secs, _) ->
+      Alcotest.(check bool) "time recorded" true (secs >= 0.0))
+    rows
+
+let suite =
+  [
+    ("12 benchmarks", `Quick, test_suite_has_12_benchmarks);
+    ("names unique", `Quick, test_names_unique);
+    ("by_name case-insensitive", `Quick, test_by_name_case_insensitive);
+    ("by_name missing", `Quick, test_by_name_missing);
+    ("cnot counts match table 2", `Quick, test_cnot_counts_match_table2_shape);
+    ("qubit counts match table 2", `Quick, test_qubit_counts_match_table2);
+    ("expected answers correct", `Slow, test_expected_answers_are_correct);
+    ("bv parameterized", `Quick, test_bv_parameterized);
+    ("bv rejects tiny", `Quick, test_bv_rejects_tiny);
+    ("hs rejects odd", `Quick, test_hs_rejects_odd);
+    ("all benchmarks measure", `Quick, test_all_benchmarks_measure_something);
+    ("extended is a superset", `Quick, test_extended_superset);
+    ("extended answers correct", `Slow, test_extended_answers_correct);
+    ("bv secret structure", `Quick, test_bv_secret_structure);
+    ("bv secret range check", `Quick, test_bv_secret_rejects_out_of_range);
+    ("hs shift expected", `Quick, test_hs_shift_expected);
+    ("grover2 marked state", `Quick, test_grover2_finds_marked_state);
+    ("dj balanced non-zero", `Quick, test_dj_balanced_nonzero);
+    ("synth deterministic", `Quick, test_synth_deterministic);
+    ("synth gate count", `Quick, test_synth_gate_count);
+    ("synth no-measure option", `Quick, test_synth_no_measure_option);
+    ("synth universal gate set", `Quick, test_synth_uses_universal_set);
+    ("grid_for sizes", `Quick, test_grid_for_sizes);
+    ("grid_for rejects >128", `Quick, test_grid_for_rejects_large);
+    ("evaluate sane", `Quick, test_evaluate_produces_sane_numbers);
+    ("table2 renders", `Quick, test_table2_renders);
+    ("fig1 spread", `Quick, test_fig1_spread);
+    ("fig5 data consistency", `Quick, test_fig5_data_consistency);
+    ("fig9 durations positive", `Quick, test_fig9_durations_positive);
+    ("fig11 quick", `Quick, test_fig11_quick);
+  ]

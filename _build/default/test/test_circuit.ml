@@ -1,0 +1,362 @@
+(* Tests for Nisq_circuit: Gate, Circuit, Dag, Decompose, Qasm. *)
+
+module Gate = Nisq_circuit.Gate
+module Circuit = Nisq_circuit.Circuit
+module Dag = Nisq_circuit.Dag
+module Decompose = Nisq_circuit.Decompose
+module Qasm = Nisq_circuit.Qasm
+module B = Circuit.Builder
+
+let bell () =
+  let b = B.create ~name:"bell" 2 in
+  B.h b 0;
+  B.cnot b 0 1;
+  B.measure_all b;
+  B.build b
+
+(* ------------------------------- Gate ------------------------------ *)
+
+let test_gate_arity () =
+  Alcotest.(check int) "h" 1 (Gate.arity Gate.H);
+  Alcotest.(check int) "cx" 2 (Gate.arity Gate.Cnot);
+  Alcotest.(check int) "swap" 2 (Gate.arity Gate.Swap);
+  Alcotest.(check int) "measure" 1 (Gate.arity Gate.Measure)
+
+let test_gate_adjoint_involution () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Gate.name k ^ " adjoint-adjoint")
+        true
+        (Gate.equal_kind k (Gate.adjoint (Gate.adjoint k))))
+    [ Gate.H; Gate.X; Gate.Y; Gate.Z; Gate.S; Gate.Sdg; Gate.T; Gate.Tdg;
+      Gate.Rz 0.7; Gate.Rx 1.1; Gate.Ry (-0.3); Gate.Cnot; Gate.Swap ]
+
+let test_gate_adjoint_s () =
+  Alcotest.(check bool) "S† = Sdg" true (Gate.equal_kind (Gate.adjoint Gate.S) Gate.Sdg)
+
+let test_gate_adjoint_measure_raises () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Gate.adjoint Gate.Measure); false
+     with Invalid_argument _ -> true)
+
+let test_gate_names () =
+  Alcotest.(check string) "cx" "cx" (Gate.name Gate.Cnot);
+  Alcotest.(check string) "rz" "rz" (Gate.name (Gate.Rz 0.5));
+  Alcotest.(check string) "sdg" "sdg" (Gate.name Gate.Sdg)
+
+let test_gate_equal_kind_rotations () =
+  Alcotest.(check bool) "close angles equal" true
+    (Gate.equal_kind (Gate.Rz 0.5) (Gate.Rz (0.5 +. 1e-15)));
+  Alcotest.(check bool) "distinct angles differ" false
+    (Gate.equal_kind (Gate.Rz 0.5) (Gate.Rz 0.6));
+  Alcotest.(check bool) "rz is not rx" false
+    (Gate.equal_kind (Gate.Rz 0.5) (Gate.Rx 0.5))
+
+(* ------------------------------ Circuit ---------------------------- *)
+
+let test_builder_rejects_out_of_range () =
+  let b = B.create 2 in
+  Alcotest.(check bool) "raises" true
+    (try B.h b 2; false with Invalid_argument _ -> true)
+
+let test_builder_rejects_duplicate_operands () =
+  let b = B.create 2 in
+  Alcotest.(check bool) "raises" true
+    (try B.cnot b 1 1; false with Invalid_argument _ -> true)
+
+let test_builder_rejects_arity_mismatch () =
+  let b = B.create 3 in
+  Alcotest.(check bool) "raises" true
+    (try B.add b Gate.Cnot [| 0 |]; false with Invalid_argument _ -> true)
+
+let test_builder_ids_sequential () =
+  let c = bell () in
+  Array.iteri
+    (fun i (g : Gate.t) -> Alcotest.(check int) "id" i g.id)
+    c.Circuit.gates
+
+let test_counts () =
+  let c = bell () in
+  Alcotest.(check int) "length" 4 (Circuit.length c);
+  Alcotest.(check int) "gate_count" 4 (Circuit.gate_count c);
+  Alcotest.(check int) "cnots" 1 (Circuit.cnot_count c);
+  Alcotest.(check int) "two-qubit" 1 (Circuit.two_qubit_count c)
+
+let test_swap_counts_as_three_cnots () =
+  let c = Circuit.make 2 [ (Gate.Swap, [| 0; 1 |]) ] in
+  Alcotest.(check int) "cnot_count" 3 (Circuit.cnot_count c);
+  Alcotest.(check int) "two_qubit_count" 1 (Circuit.two_qubit_count c)
+
+let test_barrier_excluded_from_gate_count () =
+  let c =
+    Circuit.make 2 [ (Gate.H, [| 0 |]); (Gate.Barrier, [| 0; 1 |]) ]
+  in
+  Alcotest.(check int) "gate_count skips barrier" 1 (Circuit.gate_count c)
+
+let test_measured_qubits () =
+  let c = bell () in
+  Alcotest.(check (list int)) "measured" [ 0; 1 ] (Circuit.measured_qubits c)
+
+let test_measured_qubits_dedup () =
+  let c = Circuit.make 1 [ (Gate.Measure, [| 0 |]); (Gate.Measure, [| 0 |]) ] in
+  Alcotest.(check (list int)) "deduped" [ 0 ] (Circuit.measured_qubits c)
+
+let test_used_qubits () =
+  let c = Circuit.make 5 [ (Gate.H, [| 3 |]); (Gate.Cnot, [| 1; 3 |]) ] in
+  Alcotest.(check (list int)) "used" [ 1; 3 ] (Circuit.used_qubits c)
+
+let test_interaction_weights () =
+  let c =
+    Circuit.make 3
+      [ (Gate.Cnot, [| 0; 1 |]); (Gate.Cnot, [| 1; 0 |]); (Gate.Cnot, [| 1; 2 |]) ]
+  in
+  Alcotest.(check (list (pair (pair int int) int)))
+    "weights normalized and summed"
+    [ ((0, 1), 2); ((1, 2), 1) ]
+    (Circuit.interaction_weights c)
+
+let test_qubit_degrees () =
+  let c =
+    Circuit.make 3 [ (Gate.Cnot, [| 0; 1 |]); (Gate.Cnot, [| 1; 2 |]) ]
+  in
+  Alcotest.(check (array int)) "degrees" [| 1; 2; 1 |] (Circuit.qubit_degrees c)
+
+let test_map_qubits () =
+  let c = bell () in
+  let m = Circuit.map_qubits c ~f:(fun q -> q + 3) ~num_qubits:8 in
+  Alcotest.(check int) "num_qubits" 8 m.Circuit.num_qubits;
+  Alcotest.(check (list int)) "used" [ 3; 4 ] (Circuit.used_qubits m)
+
+let test_map_qubits_rejects_non_injective () =
+  let c = bell () in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Circuit.map_qubits c ~f:(fun _ -> 0) ~num_qubits:4); false
+     with Invalid_argument _ -> true)
+
+let test_append () =
+  let a = Circuit.make 2 [ (Gate.H, [| 0 |]) ] in
+  let b = Circuit.make 2 [ (Gate.X, [| 1 |]) ] in
+  let c = Circuit.append a b in
+  Alcotest.(check int) "length" 2 (Circuit.length c);
+  Alcotest.(check int) "ids renumbered" 1 c.Circuit.gates.(1).Gate.id
+
+let test_append_rejects_mismatch () =
+  let a = Circuit.make 2 [ (Gate.H, [| 0 |]) ] in
+  let b = Circuit.make 3 [ (Gate.H, [| 0 |]) ] in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Circuit.append a b); false with Invalid_argument _ -> true)
+
+let test_inverse_reverses_and_adjoints () =
+  let c = Circuit.make 2 [ (Gate.S, [| 0 |]); (Gate.Cnot, [| 0; 1 |]) ] in
+  let inv = Circuit.inverse c in
+  Alcotest.(check bool) "first is cnot" true
+    (Gate.equal_kind inv.Circuit.gates.(0).Gate.kind Gate.Cnot);
+  Alcotest.(check bool) "second is sdg" true
+    (Gate.equal_kind inv.Circuit.gates.(1).Gate.kind Gate.Sdg)
+
+let test_inverse_rejects_measurement () =
+  let c = bell () in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Circuit.inverse c); false with Invalid_argument _ -> true)
+
+(* -------------------------------- Dag ------------------------------ *)
+
+let test_dag_chain () =
+  let c = Circuit.make 1 [ (Gate.H, [| 0 |]); (Gate.X, [| 0 |]); (Gate.Z, [| 0 |]) ] in
+  let d = Dag.of_circuit c in
+  Alcotest.(check (list int)) "preds of 2" [ 1 ] (Dag.preds d 2);
+  Alcotest.(check (list int)) "succs of 0" [ 1 ] (Dag.succs d 0);
+  Alcotest.(check (list int)) "roots" [ 0 ] (Dag.roots d);
+  Alcotest.(check int) "depth" 3 (Dag.depth d)
+
+let test_dag_parallel_gates () =
+  let c = Circuit.make 2 [ (Gate.H, [| 0 |]); (Gate.H, [| 1 |]) ] in
+  let d = Dag.of_circuit c in
+  Alcotest.(check (list int)) "both roots" [ 0; 1 ] (Dag.roots d);
+  Alcotest.(check int) "depth 1" 1 (Dag.depth d);
+  Alcotest.(check (list (list int))) "one layer" [ [ 0; 1 ] ] (Dag.layers d)
+
+let test_dag_cnot_joins_dependencies () =
+  let c =
+    Circuit.make 2
+      [ (Gate.H, [| 0 |]); (Gate.X, [| 1 |]); (Gate.Cnot, [| 0; 1 |]) ]
+  in
+  let d = Dag.of_circuit c in
+  Alcotest.(check (list int)) "cnot depends on both" [ 0; 1 ] (Dag.preds d 2)
+
+let test_dag_no_duplicate_edges () =
+  (* two gates sharing two qubits must produce a single dependency edge *)
+  let c = Circuit.make 2 [ (Gate.Cnot, [| 0; 1 |]); (Gate.Cnot, [| 1; 0 |]) ] in
+  let d = Dag.of_circuit c in
+  Alcotest.(check (list int)) "single edge" [ 0 ] (Dag.preds d 1)
+
+let test_dag_layers_partition () =
+  let c = (Nisq_bench.Benchmarks.by_name "Toffoli").Nisq_bench.Benchmarks.circuit in
+  let d = Dag.of_circuit c in
+  let total = List.fold_left (fun acc l -> acc + List.length l) 0 (Dag.layers d) in
+  Alcotest.(check int) "layers cover all gates" (Circuit.length c) total
+
+let test_dag_critical_path_unit_weights () =
+  let c = bell () in
+  let d = Dag.of_circuit c in
+  (* h; cnot; 2 measures in parallel -> depth 3 with unit weights *)
+  Alcotest.(check int) "critical path" 3
+    (Dag.critical_path_length d ~weight:(fun _ -> 1))
+
+let test_dag_critical_path_weighted () =
+  let c = bell () in
+  let d = Dag.of_circuit c in
+  let weight (g : Gate.t) = match g.kind with Gate.Cnot -> 10 | _ -> 1 in
+  Alcotest.(check int) "weighted path" 12 (Dag.critical_path_length d ~weight)
+
+let test_dag_empty () =
+  let c = Circuit.make 1 [] in
+  let d = Dag.of_circuit c in
+  Alcotest.(check int) "depth 0" 0 (Dag.depth d);
+  Alcotest.(check (list (list int))) "no layers" [] (Dag.layers d)
+
+(* ----------------------------- Decompose --------------------------- *)
+
+let test_toffoli_cnot_count () =
+  let b = B.create 3 in
+  Decompose.emit_toffoli b 0 1 2;
+  Alcotest.(check int) "6 CNOTs" 6 (Circuit.cnot_count (B.build b))
+
+let test_fredkin_cnot_count () =
+  let b = B.create 3 in
+  Decompose.emit_fredkin b 0 1 2;
+  Alcotest.(check int) "8 CNOTs" 8 (Circuit.cnot_count (B.build b))
+
+let test_cz_cnot_count () =
+  let b = B.create 2 in
+  Decompose.emit_cz b 0 1;
+  Alcotest.(check int) "1 CNOT" 1 (Circuit.cnot_count (B.build b))
+
+let test_lower_swaps () =
+  let c = Circuit.make 2 [ (Gate.Swap, [| 0; 1 |]); (Gate.H, [| 0 |]) ] in
+  let l = Nisq_circuit.Decompose.lower_swaps c in
+  Alcotest.(check int) "4 gates" 4 (Circuit.length l);
+  Alcotest.(check bool) "no swap remains" true
+    (Array.for_all (fun (g : Gate.t) -> g.kind <> Gate.Swap) l.Circuit.gates)
+
+(* -------------------------------- Qasm ----------------------------- *)
+
+let test_qasm_emit_contains_header () =
+  let s = Qasm.to_string (bell ()) in
+  Alcotest.(check bool) "header" true
+    (String.length s > 0 && String.sub s 0 13 = "OPENQASM 2.0;")
+
+let test_qasm_roundtrip_bell () =
+  let c = bell () in
+  let c' = Qasm.roundtrip c in
+  Alcotest.(check int) "same num_qubits" c.Circuit.num_qubits c'.Circuit.num_qubits;
+  Alcotest.(check int) "same length" (Circuit.length c) (Circuit.length c');
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      Alcotest.(check bool) "same kind" true
+        (Gate.equal_kind g.kind c'.Circuit.gates.(i).Gate.kind))
+    c.Circuit.gates
+
+let test_qasm_roundtrip_rotations () =
+  let c =
+    Circuit.make 1 [ (Gate.Rz 0.123456789, [| 0 |]); (Gate.Rx (-1.5), [| 0 |]) ]
+  in
+  let c' = Qasm.roundtrip c in
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      Alcotest.(check bool) "angle preserved" true
+        (Gate.equal_kind g.kind c'.Circuit.gates.(i).Gate.kind))
+    c.Circuit.gates
+
+let test_qasm_roundtrip_lowers_swaps () =
+  let c = Circuit.make 2 [ (Gate.Swap, [| 0; 1 |]) ] in
+  let c' = Qasm.roundtrip c in
+  Alcotest.(check int) "3 cx" 3 (Circuit.length c')
+
+let test_qasm_parse_pi_angles () =
+  let src =
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\ncreg c[1];\nrz(pi/2) q[0];\nrz(-pi/4) q[0];\nrz(2*pi) q[0];\n"
+  in
+  let c = Qasm.of_string src in
+  let angle i =
+    match c.Circuit.gates.(i).Gate.kind with Gate.Rz a -> a | _ -> Float.nan
+  in
+  Alcotest.(check (float 1e-12)) "pi/2" (Float.pi /. 2.0) (angle 0);
+  Alcotest.(check (float 1e-12)) "-pi/4" (-.Float.pi /. 4.0) (angle 1);
+  Alcotest.(check (float 1e-12)) "2*pi" (2.0 *. Float.pi) (angle 2)
+
+let test_qasm_parse_comments_and_blank_lines () =
+  let src =
+    "// a comment\nOPENQASM 2.0;\nqreg q[2];\ncreg c[2];\n\nh q[0]; // trailing\ncx q[0],q[1];\n"
+  in
+  let c = Qasm.of_string src in
+  Alcotest.(check int) "2 gates" 2 (Circuit.length c)
+
+let test_qasm_parse_rejects_garbage () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Qasm.of_string "qreg q[2]; frobnicate q[0];"); false
+     with Failure _ -> true)
+
+let test_qasm_parse_rejects_missing_qreg () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Qasm.of_string "h q[0];"); false with Failure _ -> true)
+
+let test_qasm_all_benchmarks_roundtrip () =
+  List.iter
+    (fun (b : Nisq_bench.Benchmarks.t) ->
+      let c = b.Nisq_bench.Benchmarks.circuit in
+      let c' = Qasm.roundtrip c in
+      Alcotest.(check int)
+        (b.Nisq_bench.Benchmarks.name ^ " length")
+        (Circuit.length c) (Circuit.length c'))
+    Nisq_bench.Benchmarks.all
+
+let suite =
+  [
+    ("gate arity", `Quick, test_gate_arity);
+    ("gate adjoint involution", `Quick, test_gate_adjoint_involution);
+    ("gate adjoint of S", `Quick, test_gate_adjoint_s);
+    ("gate adjoint of measure raises", `Quick, test_gate_adjoint_measure_raises);
+    ("gate names", `Quick, test_gate_names);
+    ("gate equal_kind on rotations", `Quick, test_gate_equal_kind_rotations);
+    ("builder rejects out-of-range", `Quick, test_builder_rejects_out_of_range);
+    ("builder rejects duplicates", `Quick, test_builder_rejects_duplicate_operands);
+    ("builder rejects arity mismatch", `Quick, test_builder_rejects_arity_mismatch);
+    ("builder assigns sequential ids", `Quick, test_builder_ids_sequential);
+    ("circuit counts", `Quick, test_counts);
+    ("swap counts as 3 cnots", `Quick, test_swap_counts_as_three_cnots);
+    ("barrier excluded from gate count", `Quick, test_barrier_excluded_from_gate_count);
+    ("measured qubits", `Quick, test_measured_qubits);
+    ("measured qubits deduped", `Quick, test_measured_qubits_dedup);
+    ("used qubits", `Quick, test_used_qubits);
+    ("interaction weights", `Quick, test_interaction_weights);
+    ("qubit degrees", `Quick, test_qubit_degrees);
+    ("map qubits", `Quick, test_map_qubits);
+    ("map qubits rejects non-injective", `Quick, test_map_qubits_rejects_non_injective);
+    ("append", `Quick, test_append);
+    ("append rejects mismatch", `Quick, test_append_rejects_mismatch);
+    ("inverse reverses and adjoints", `Quick, test_inverse_reverses_and_adjoints);
+    ("inverse rejects measurement", `Quick, test_inverse_rejects_measurement);
+    ("dag chain", `Quick, test_dag_chain);
+    ("dag parallel gates", `Quick, test_dag_parallel_gates);
+    ("dag cnot joins deps", `Quick, test_dag_cnot_joins_dependencies);
+    ("dag no duplicate edges", `Quick, test_dag_no_duplicate_edges);
+    ("dag layers partition gates", `Quick, test_dag_layers_partition);
+    ("dag critical path unit", `Quick, test_dag_critical_path_unit_weights);
+    ("dag critical path weighted", `Quick, test_dag_critical_path_weighted);
+    ("dag empty circuit", `Quick, test_dag_empty);
+    ("toffoli has 6 cnots", `Quick, test_toffoli_cnot_count);
+    ("fredkin has 8 cnots", `Quick, test_fredkin_cnot_count);
+    ("cz has 1 cnot", `Quick, test_cz_cnot_count);
+    ("lower swaps", `Quick, test_lower_swaps);
+    ("qasm header", `Quick, test_qasm_emit_contains_header);
+    ("qasm roundtrip bell", `Quick, test_qasm_roundtrip_bell);
+    ("qasm roundtrip rotations", `Quick, test_qasm_roundtrip_rotations);
+    ("qasm roundtrip lowers swaps", `Quick, test_qasm_roundtrip_lowers_swaps);
+    ("qasm parses pi angles", `Quick, test_qasm_parse_pi_angles);
+    ("qasm parses comments", `Quick, test_qasm_parse_comments_and_blank_lines);
+    ("qasm rejects unknown gate", `Quick, test_qasm_parse_rejects_garbage);
+    ("qasm rejects missing qreg", `Quick, test_qasm_parse_rejects_missing_qreg);
+    ("qasm roundtrips all benchmarks", `Quick, test_qasm_all_benchmarks_roundtrip);
+  ]

@@ -1,0 +1,714 @@
+(* Tests for Nisq_compiler: Config, Layout, Route, Schedule, Emit,
+   Reliability, the mappers, and end-to-end compilation semantics. *)
+
+module Gate = Nisq_circuit.Gate
+module Circuit = Nisq_circuit.Circuit
+module Dag = Nisq_circuit.Dag
+module Topology = Nisq_device.Topology
+module Calibration = Nisq_device.Calibration
+module Ibmq16 = Nisq_device.Ibmq16
+module Paths = Nisq_device.Paths
+module Config = Nisq_compiler.Config
+module Layout = Nisq_compiler.Layout
+module Route = Nisq_compiler.Route
+module Schedule = Nisq_compiler.Schedule
+module Emit = Nisq_compiler.Emit
+module Reliability = Nisq_compiler.Reliability
+module Greedy = Nisq_compiler.Greedy
+module Compile = Nisq_compiler.Compile
+module Benchmarks = Nisq_bench.Benchmarks
+module Experiments = Nisq_bench.Experiments
+module Runner = Nisq_sim.Runner
+module Budget = Nisq_solver.Budget
+
+let calib = Ibmq16.calibration ~day:0 ()
+let paths = Paths.make calib
+
+(* ------------------------------- Config ---------------------------- *)
+
+let test_config_defaults () =
+  Alcotest.(check bool) "rsmt is 1BP" true
+    ((Config.make (Config.R_smt_star 0.5)).Config.routing = Config.One_bend);
+  Alcotest.(check bool) "tsmt is RR" true
+    ((Config.make Config.T_smt).Config.routing = Config.Rectangle_reservation);
+  Alcotest.(check bool) "greedy is BestPath" true
+    ((Config.make Config.Greedy_e).Config.routing = Config.Best_path)
+
+let test_config_star_marker () =
+  Alcotest.(check bool) "qiskit blind" false
+    (Config.uses_calibration (Config.make Config.Qiskit));
+  Alcotest.(check bool) "tsmt blind" false
+    (Config.uses_calibration (Config.make Config.T_smt));
+  Alcotest.(check bool) "tsmt* aware" true
+    (Config.uses_calibration (Config.make Config.T_smt_star));
+  Alcotest.(check bool) "greedy aware" true
+    (Config.uses_calibration (Config.make Config.Greedy_v))
+
+let test_config_rejects_bad_omega () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Config.make (Config.R_smt_star 1.5)); false
+     with Invalid_argument _ -> true)
+
+let test_config_names () =
+  Alcotest.(check string) "name" "R-SMT* w=0.50 (1BP)"
+    (Config.name (Config.make (Config.R_smt_star 0.5)))
+
+let test_paper_suite_size () =
+  Alcotest.(check int) "8 configurations" 8 (List.length Config.paper_suite)
+
+(* ------------------------------- Layout ---------------------------- *)
+
+let test_layout_identity () =
+  let l = Layout.identity ~num_prog:4 ~num_hw:16 in
+  for p = 0 to 3 do
+    Alcotest.(check int) "hw = prog" p (Layout.hw_of l p)
+  done
+
+let test_layout_inverse () =
+  let l = Layout.of_array ~num_hw:16 [| 3; 7; 0 |] in
+  Alcotest.(check (option int)) "prog at 7" (Some 1) (Layout.prog_of l 7);
+  Alcotest.(check (option int)) "empty slot" None (Layout.prog_of l 5)
+
+let test_layout_rejects_duplicates () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Layout.of_array ~num_hw:16 [| 3; 3 |]); false
+     with Invalid_argument _ -> true)
+
+let test_layout_rejects_out_of_range () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Layout.of_array ~num_hw:4 [| 5 |]); false
+     with Invalid_argument _ -> true)
+
+let test_layout_apply () =
+  let c = Circuit.make 2 [ (Gate.Cnot, [| 0; 1 |]) ] in
+  let l = Layout.of_array ~num_hw:16 [| 9; 2 |] in
+  let m = Layout.apply l c in
+  Alcotest.(check (array int)) "relabelled" [| 9; 2 |] m.Circuit.gates.(0).Gate.qubits
+
+let test_layout_render_marks_program_qubits () =
+  let l = Layout.of_array ~num_hw:16 [| 0; 9 |] in
+  let s = Layout.render Ibmq16.topology l in
+  Alcotest.(check bool) "mentions p0" true
+    (Astring_contains.contains s "p0");
+  Alcotest.(check bool) "mentions p1" true (Astring_contains.contains s "p1")
+
+(* -------------------------------- Route ---------------------------- *)
+
+let bv4 = (Benchmarks.by_name "BV4").Benchmarks.circuit
+
+let test_plan_shapes () =
+  let layout = Layout.identity ~num_prog:4 ~num_hw:16 in
+  let plan =
+    Route.plan paths ~policy:Config.One_bend ~criterion:Route.Max_reliability
+      ~layout bv4
+  in
+  Alcotest.(check int) "entry per gate" (Circuit.length bv4) (Array.length plan);
+  Array.iteri
+    (fun i (e : Route.entry) ->
+      let g = bv4.Circuit.gates.(i) in
+      Alcotest.(check int) "operand count" (Array.length g.Gate.qubits)
+        (Array.length e.Route.hw);
+      match g.Gate.kind with
+      | Gate.Cnot ->
+          Alcotest.(check bool) "cnot has route" true (e.Route.route <> None)
+      | _ -> Alcotest.(check bool) "no route" true (e.Route.route = None))
+    plan
+
+let test_plan_rejects_non_adjacent_swap_gates () =
+  let c = Circuit.make 2 [ (Gate.Swap, [| 0; 1 |]) ] in
+  (* hw 0 and hw 5 are not coupled: a raw SWAP there is illegal *)
+  let layout = Layout.of_array ~num_hw:16 [| 0; 5 |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Route.plan paths ~policy:Config.One_bend
+            ~criterion:Route.Max_reliability ~layout c);
+       false
+     with Invalid_argument _ -> true)
+
+let test_plan_adjacent_swap_duration () =
+  let c = Circuit.make 2 [ (Gate.Swap, [| 0; 1 |]) ] in
+  let layout = Layout.identity ~num_prog:2 ~num_hw:16 in
+  let plan =
+    Route.plan paths ~policy:Config.One_bend ~criterion:Route.Max_reliability
+      ~layout c
+  in
+  Alcotest.(check int) "3 cnot durations"
+    (Nisq_device.Calibration.swap_duration calib 0 1)
+    plan.(0).Route.duration
+
+let test_rectangle_reservation_region () =
+  (* CNOT between hw 0 and hw 10 (coords (0,0) and (2,1)): rectangle is
+     the 6 qubits {0,1,2,8,9,10} *)
+  let c = Circuit.make 2 [ (Gate.Cnot, [| 0; 1 |]) ] in
+  let layout = Layout.of_array ~num_hw:16 [| 0; 10 |] in
+  let plan =
+    Route.plan paths ~policy:Config.Rectangle_reservation
+      ~criterion:Route.Min_duration ~layout c
+  in
+  let reserve = Array.to_list plan.(0).Route.reserve |> List.sort compare in
+  Alcotest.(check (list int)) "bounding box" [ 0; 1; 2; 8; 9; 10 ] reserve
+
+let test_one_bend_reserves_path_only () =
+  let c = Circuit.make 2 [ (Gate.Cnot, [| 0; 1 |]) ] in
+  let layout = Layout.of_array ~num_hw:16 [| 0; 10 |] in
+  let plan =
+    Route.plan paths ~policy:Config.One_bend ~criterion:Route.Max_reliability
+      ~layout c
+  in
+  Alcotest.(check int) "path qubits only" 4 (Array.length plan.(0).Route.reserve)
+
+let test_min_hops_ignores_calibration () =
+  (* under Min_hops, the chosen route length equals the manhattan distance *)
+  let c = Circuit.make 2 [ (Gate.Cnot, [| 0; 1 |]) ] in
+  let layout = Layout.of_array ~num_hw:16 [| 0; 15 |] in
+  let plan =
+    Route.plan paths ~policy:Config.One_bend ~criterion:Route.Min_hops ~layout c
+  in
+  match plan.(0).Route.route with
+  | Some r ->
+      Alcotest.(check int) "shortest" (Topology.distance Ibmq16.topology 0 15 + 1)
+        (Array.length r.Paths.path)
+  | None -> Alcotest.fail "expected route"
+
+let test_reprice_keeps_path () =
+  let layout = Layout.identity ~num_prog:4 ~num_hw:16 in
+  let plan =
+    Route.plan paths ~policy:Config.One_bend ~criterion:Route.Max_reliability
+      ~layout bv4
+  in
+  let other = Paths.make (Ibmq16.calibration ~day:5 ()) in
+  let plan' = Route.reprice other plan in
+  Array.iteri
+    (fun i (e : Route.entry) ->
+      match (e.Route.route, plan'.(i).Route.route) with
+      | Some a, Some b ->
+          Alcotest.(check (array int)) "same path" a.Paths.path b.Paths.path
+      | None, None -> ()
+      | _ -> Alcotest.fail "route presence changed")
+    plan
+
+let test_duration_matrix_consistency () =
+  let m =
+    Route.duration_matrix paths ~policy:Config.One_bend
+      ~criterion:Route.Min_duration
+  in
+  Alcotest.(check int) "diagonal zero" 0 m.(3).(3);
+  Alcotest.(check int) "adjacent = cnot duration"
+    (Calibration.cnot_duration calib 0 1) m.(0).(1)
+
+let test_log_reliability_matrix_negative () =
+  let m = Route.log_reliability_matrix paths ~policy:Config.One_bend in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      if a <> b then
+        Alcotest.(check bool) "log reliability < 0" true (m.(a).(b) < 0.0)
+    done
+  done
+
+let test_swap_count () =
+  let c = Circuit.make 2 [ (Gate.Cnot, [| 0; 1 |]) ] in
+  let layout = Layout.of_array ~num_hw:16 [| 0; 3 |] in
+  let plan =
+    Route.plan paths ~policy:Config.One_bend ~criterion:Route.Min_hops ~layout c
+  in
+  (* distance 3: 2 movement hops, each swapped out and back = 4 swaps *)
+  Alcotest.(check int) "4 swaps" 4 (Route.swap_count plan)
+
+(* ------------------------------ Schedule --------------------------- *)
+
+let schedule_of ?(policy = Config.One_bend) circuit layout =
+  let dag = Dag.of_circuit circuit in
+  let plan =
+    Route.plan paths ~policy ~criterion:Route.Max_reliability ~layout circuit
+  in
+  (Schedule.compute dag ~circuit plan, plan, dag)
+
+let test_schedule_respects_dependencies () =
+  let layout = Layout.identity ~num_prog:4 ~num_hw:16 in
+  let sched, _, dag = schedule_of bv4 layout in
+  Array.iteri
+    (fun i (e : Schedule.entry) ->
+      List.iter
+        (fun p ->
+          let pe = sched.Schedule.entries.(p) in
+          Alcotest.(check bool) "starts after preds" true
+            (e.Schedule.start >= pe.Schedule.start + pe.Schedule.duration))
+        (Dag.preds dag i))
+    sched.Schedule.entries
+
+let test_schedule_no_spatial_overlap () =
+  let layout = Layout.identity ~num_prog:4 ~num_hw:16 in
+  let sched, plan, _ = schedule_of bv4 layout in
+  let n = Array.length plan in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = sched.Schedule.entries.(i) and b = sched.Schedule.entries.(j) in
+      let share =
+        Array.exists
+          (fun q -> Array.exists (fun r -> q = r) b.Schedule.reserve)
+          a.Schedule.reserve
+      in
+      let overlap =
+        a.Schedule.duration > 0 && b.Schedule.duration > 0
+        && a.Schedule.start < b.Schedule.start + b.Schedule.duration
+        && b.Schedule.start < a.Schedule.start + a.Schedule.duration
+      in
+      if share then
+        Alcotest.(check bool)
+          (Printf.sprintf "gates %d and %d exclusive" i j)
+          false overlap
+    done
+  done
+
+let test_schedule_makespan_is_max_finish () =
+  let layout = Layout.identity ~num_prog:4 ~num_hw:16 in
+  let sched, _, _ = schedule_of bv4 layout in
+  let max_finish =
+    Array.fold_left
+      (fun acc (e : Schedule.entry) ->
+        Int.max acc (e.Schedule.start + e.Schedule.duration))
+      0 sched.Schedule.entries
+  in
+  Alcotest.(check int) "makespan" max_finish sched.Schedule.makespan
+
+let test_schedule_measure_is_terminal_per_qubit () =
+  (* no op may reserve a hardware qubit after its measurement started *)
+  let layout = Layout.identity ~num_prog:4 ~num_hw:16 in
+  let circuit = (Benchmarks.by_name "BV4").Benchmarks.circuit in
+  let sched, plan, _ = schedule_of circuit layout in
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      if g.Gate.kind = Gate.Measure then begin
+        let m = sched.Schedule.entries.(i) in
+        let hw = plan.(i).Route.hw.(0) in
+        Array.iteri
+          (fun j (e : Schedule.entry) ->
+            if j <> i && Array.exists (fun q -> q = hw) e.Schedule.reserve then
+              Alcotest.(check bool) "no later use of measured qubit" true
+                (e.Schedule.start + e.Schedule.duration <= m.Schedule.start))
+          sched.Schedule.entries
+      end)
+    circuit.Circuit.gates
+
+let test_schedule_parallel_when_disjoint () =
+  (* two CNOTs on disjoint adjacent pairs should overlap in time *)
+  let c =
+    Circuit.make 4 [ (Gate.Cnot, [| 0; 1 |]); (Gate.Cnot, [| 2; 3 |]) ]
+  in
+  let layout = Layout.of_array ~num_hw:16 [| 0; 1; 4; 5 |] in
+  let sched, _, _ = schedule_of c layout in
+  Alcotest.(check int) "both start at 0" 0
+    (Int.max sched.Schedule.entries.(0).Schedule.start
+       sched.Schedule.entries.(1).Schedule.start)
+
+let test_schedule_coherence_violations_on_uniform () =
+  let layout = Layout.identity ~num_prog:4 ~num_hw:16 in
+  let sched, _, _ = schedule_of bv4 layout in
+  Alcotest.(check (list (triple int int int))) "none on IBMQ16" []
+    (Schedule.coherence_violations sched calib)
+
+let test_schedule_busy_slots () =
+  let c = Circuit.make 1 [ (Gate.H, [| 0 |]); (Gate.H, [| 0 |]) ] in
+  let layout = Layout.of_array ~num_hw:16 [| 6 |] in
+  let sched, _, _ = schedule_of c layout in
+  Alcotest.(check int) "2 slots busy" 2 (Schedule.busy_slots sched 6)
+
+(* -------------------------------- Emit ----------------------------- *)
+
+let test_emit_expands_swaps () =
+  let c = Circuit.make 2 [ (Gate.Cnot, [| 0; 1 |]) ] in
+  let layout = Layout.of_array ~num_hw:16 [| 0; 2 |] in
+  let dag = Dag.of_circuit c in
+  let plan =
+    Route.plan paths ~policy:Config.One_bend ~criterion:Route.Min_hops ~layout c
+  in
+  let sched = Schedule.compute dag ~circuit:c plan in
+  let phys = Emit.physical_ops calib c sched plan in
+  (* distance 2: 1 hop out (3 cnots) + cnot + 1 hop back (3 cnots) = 7 *)
+  Alcotest.(check int) "7 physical cnots" 7 (Array.length phys);
+  Array.iter
+    (fun (p : Emit.phys) ->
+      Alcotest.(check bool) "all cnots" true (p.Emit.kind = Gate.Cnot);
+      Alcotest.(check bool) "adjacent operands" true
+        (Topology.adjacent Ibmq16.topology p.Emit.qubits.(0) p.Emit.qubits.(1)))
+    phys
+
+let test_emit_time_ordered () =
+  let r =
+    Compile.run ~config:(Config.make Config.Qiskit) ~calib
+      (Benchmarks.by_name "BV8").Benchmarks.circuit
+  in
+  let last = ref min_int in
+  Array.iter
+    (fun (p : Emit.phys) ->
+      Alcotest.(check bool) "sorted" true (p.Emit.start >= !last);
+      last := p.Emit.start)
+    r.Compile.phys
+
+let test_emit_to_circuit_valid_qasm () =
+  let r = Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib bv4 in
+  let qasm = Compile.to_qasm r in
+  let parsed = Nisq_circuit.Qasm.of_string qasm in
+  Alcotest.(check int) "16 hw qubits" 16 parsed.Circuit.num_qubits
+
+(* ----------------------------- Reliability ------------------------- *)
+
+let test_esp_in_unit_interval () =
+  List.iter
+    (fun (b : Benchmarks.t) ->
+      let r =
+        Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib
+          b.Benchmarks.circuit
+      in
+      Alcotest.(check bool) "esp in (0,1]" true
+        (r.Compile.esp > 0.0 && r.Compile.esp <= 1.0))
+    Benchmarks.all
+
+let test_esp_perfect_machine_is_one () =
+  let perfect =
+    Calibration.uniform ~cnot_error:0.0 ~readout_error:0.0 ~single_error:0.0
+      Ibmq16.topology
+  in
+  let r = Compile.run ~config:(Config.make Config.Qiskit) ~calib:perfect bv4 in
+  Alcotest.(check (float 1e-9)) "esp 1" 1.0 r.Compile.esp
+
+let test_placement_problem_dimensions () =
+  let p =
+    Reliability.placement_problem paths ~omega:0.5 ~policy:Config.One_bend bv4
+  in
+  Alcotest.(check int) "items" 4 p.Nisq_solver.Placement.num_items;
+  Alcotest.(check int) "slots" 16 p.Nisq_solver.Placement.num_slots;
+  Alcotest.(check int) "one pair per interacting pair" 3
+    (List.length p.Nisq_solver.Placement.pairwise)
+
+let test_placement_problem_omega_extremes () =
+  let p0 =
+    Reliability.placement_problem paths ~omega:0.0 ~policy:Config.One_bend bv4
+  in
+  (* omega = 0: readout ignored -> unary all zero *)
+  Array.iter
+    (Array.iter (fun v -> Alcotest.(check (float 1e-12)) "zero unary" 0.0 v))
+    p0.Nisq_solver.Placement.unary;
+  let p1 =
+    Reliability.placement_problem paths ~omega:1.0 ~policy:Config.One_bend bv4
+  in
+  (* omega = 1: CNOTs ignored -> pairwise matrices all zero off-diagonal *)
+  List.iter
+    (fun (_, _, m) ->
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j v ->
+              if i <> j then Alcotest.(check (float 1e-12)) "zero pairwise" 0.0 v)
+            row)
+        m)
+    p1.Nisq_solver.Placement.pairwise
+
+(* ------------------------------- Mappers --------------------------- *)
+
+let all_selected_hw layout n =
+  List.init n (fun p -> Layout.hw_of layout p)
+
+let test_greedy_layouts_injective () =
+  List.iter
+    (fun (b : Benchmarks.t) ->
+      List.iter
+        (fun mk ->
+          let layout = mk paths b.Benchmarks.circuit in
+          let hw =
+            all_selected_hw layout b.Benchmarks.circuit.Circuit.num_qubits
+          in
+          let sorted = List.sort_uniq compare hw in
+          Alcotest.(check int)
+            (b.Benchmarks.name ^ " injective")
+            (List.length hw) (List.length sorted))
+        [ Greedy.vertex_first; Greedy.edge_first ])
+    Benchmarks.all
+
+let test_greedy_edge_first_adjacent_pair () =
+  (* a circuit with a single dominant edge must land on coupled qubits *)
+  let c =
+    Circuit.make 2
+      [ (Gate.Cnot, [| 0; 1 |]); (Gate.Cnot, [| 0; 1 |]); (Gate.Measure, [| 0 |]);
+        (Gate.Measure, [| 1 |]) ]
+  in
+  let layout = Greedy.edge_first paths c in
+  Alcotest.(check bool) "coupled" true
+    (Topology.adjacent Ibmq16.topology (Layout.hw_of layout 0) (Layout.hw_of layout 1))
+
+let test_rsmt_optimal_beats_greedy_objective () =
+  (* the solver maximizes Eq. 12; greedy can at best match it *)
+  List.iter
+    (fun name ->
+      let b = Benchmarks.by_name name in
+      let circuit = b.Benchmarks.circuit in
+      let layout_opt, stats, _ =
+        Nisq_compiler.Rsmt.compile_layout ~decision_paths:paths ~omega:0.5
+          ~policy:Config.One_bend ~budget:(Budget.nodes 200_000) circuit
+      in
+      Alcotest.(check bool) "proven optimal" true stats.Budget.proven_optimal;
+      let objective layout =
+        let plan =
+          Route.plan paths ~policy:Config.One_bend
+            ~criterion:Route.Max_reliability ~layout circuit
+        in
+        Reliability.plan_log_reliability calib ~omega:0.5 circuit plan
+      in
+      let greedy = Greedy.edge_first paths circuit in
+      Alcotest.(check bool)
+        (name ^ ": optimal >= greedy")
+        true
+        (objective layout_opt >= objective greedy -. 1e-9))
+    [ "BV4"; "Toffoli"; "QFT2"; "HS4" ]
+
+let test_tsmt_star_duration_beats_qiskit () =
+  List.iter
+    (fun name ->
+      let b = Benchmarks.by_name name in
+      let t =
+        Compile.run ~config:(Config.make Config.T_smt_star) ~calib
+          b.Benchmarks.circuit
+      in
+      let q =
+        Compile.run ~config:(Config.make Config.Qiskit) ~calib
+          b.Benchmarks.circuit
+      in
+      Alcotest.(check bool)
+        (name ^ ": tsmt* <= qiskit duration")
+        true
+        (t.Compile.duration <= q.Compile.duration))
+    [ "BV4"; "BV8"; "Toffoli"; "Adder" ]
+
+(* --------------------------- End-to-end ---------------------------- *)
+
+(* The decisive test: whatever the configuration, the compiled physical
+   program must compute the same answer as the source program. *)
+let test_compilation_preserves_semantics () =
+  let configs =
+    [ Config.make Config.Qiskit;
+      Config.make Config.T_smt;
+      Config.make Config.T_smt_star;
+      Config.make (Config.R_smt_star 0.0);
+      Config.make (Config.R_smt_star 0.5);
+      Config.make (Config.R_smt_star 1.0);
+      Config.make Config.Greedy_v;
+      Config.make Config.Greedy_e ]
+  in
+  List.iter
+    (fun (b : Benchmarks.t) ->
+      List.iter
+        (fun config ->
+          let r = Compile.run ~config ~calib b.Benchmarks.circuit in
+          let runner = Experiments.runner_of r in
+          Alcotest.(check int)
+            (Printf.sprintf "%s under %s" b.Benchmarks.name (Config.name config))
+            b.Benchmarks.expected (Runner.ideal_answer runner);
+          Alcotest.(check bool)
+            (b.Benchmarks.name ^ " deterministic")
+            true
+            (Runner.ideal_answer_probability runner > 0.999))
+        configs)
+    Benchmarks.all
+
+(* The Move_and_stay extension must preserve semantics too — this
+   exercises the position-tracking logic through every benchmark. *)
+let test_move_and_stay_preserves_semantics () =
+  List.iter
+    (fun (b : Benchmarks.t) ->
+      List.iter
+        (fun method_ ->
+          let config = Config.make ~movement:Config.Move_and_stay method_ in
+          let r = Compile.run ~config ~calib b.Benchmarks.circuit in
+          let runner = Experiments.runner_of r in
+          Alcotest.(check int)
+            (Printf.sprintf "%s under %s" b.Benchmarks.name (Config.name config))
+            b.Benchmarks.expected (Runner.ideal_answer runner))
+        [ Config.Qiskit; Config.R_smt_star 0.5; Config.Greedy_e ])
+    Benchmarks.all
+
+let test_move_and_stay_fewer_swaps () =
+  (* dynamic routing does not undo its SWAPs: for any routed program it
+     inserts at most as many SWAPs as the static model *)
+  List.iter
+    (fun name ->
+      let b = Benchmarks.by_name name in
+      let static =
+        Compile.run ~config:(Config.make Config.Qiskit) ~calib
+          b.Benchmarks.circuit
+      in
+      let dynamic =
+        Compile.run
+          ~config:(Config.make ~movement:Config.Move_and_stay Config.Qiskit)
+          ~calib b.Benchmarks.circuit
+      in
+      Alcotest.(check bool)
+        (name ^ ": fewer or equal swaps")
+        true
+        (dynamic.Compile.swap_count <= static.Compile.swap_count);
+      Alcotest.(check bool)
+        (name ^ ": no longer duration")
+        true
+        (dynamic.Compile.duration <= static.Compile.duration))
+    [ "BV8"; "Adder"; "Fredkin"; "Toffoli" ]
+
+let test_move_and_stay_final_positions () =
+  (* BV8's star forces movement under any mapper: some program qubit must
+     end somewhere other than its initial location, and final_positions
+     must stay injective. *)
+  let b = Benchmarks.by_name "BV8" in
+  let r =
+    Compile.run
+      ~config:(Config.make ~movement:Config.Move_and_stay (Config.R_smt_star 0.5))
+      ~calib b.Benchmarks.circuit
+  in
+  let n = b.Benchmarks.circuit.Circuit.num_qubits in
+  let finals = Array.to_list r.Compile.final_positions in
+  Alcotest.(check int) "injective finals" n
+    (List.length (List.sort_uniq compare finals));
+  let moved =
+    List.exists
+      (fun p -> r.Compile.final_positions.(p) <> Layout.hw_of r.Compile.layout p)
+      (List.init n Fun.id)
+  in
+  Alcotest.(check bool) "someone moved" true moved
+
+let test_swap_back_final_positions_equal_layout () =
+  let b = Benchmarks.by_name "BV8" in
+  let r =
+    Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib
+      b.Benchmarks.circuit
+  in
+  Array.iteri
+    (fun p h ->
+      Alcotest.(check int) "static placement" (Layout.hw_of r.Compile.layout p) h)
+    r.Compile.final_positions
+
+let test_compile_rejects_oversized_program () =
+  let c = Nisq_bench.Synth.random_circuit ~qubits:17 ~gates:20 ~seed:1 () in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Compile.run ~config:(Config.make Config.Greedy_e) ~calib c); false
+     with Invalid_argument _ -> true)
+
+let test_compile_reports_solver_stats () =
+  let r = Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib bv4 in
+  Alcotest.(check bool) "has stats" true (r.Compile.solver_stats <> None);
+  let q = Compile.run ~config:(Config.make Config.Qiskit) ~calib bv4 in
+  Alcotest.(check bool) "qiskit has none" true (q.Compile.solver_stats = None)
+
+let test_compile_readout_map_complete () =
+  List.iter
+    (fun (b : Benchmarks.t) ->
+      let r =
+        Compile.run ~config:(Config.make Config.Greedy_e) ~calib
+          b.Benchmarks.circuit
+      in
+      Alcotest.(check int)
+        (b.Benchmarks.name ^ " readout size")
+        (List.length (Circuit.measured_qubits b.Benchmarks.circuit))
+        (List.length (Compile.readout_map r)))
+    Benchmarks.all
+
+let test_compile_durations_consistent_with_schedule () =
+  let r = Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib bv4 in
+  Alcotest.(check int) "duration = makespan" r.Compile.schedule.Schedule.makespan
+    r.Compile.duration
+
+(* Compilation must stay correct on non-grid topologies (best-path
+   routing fallback). *)
+let test_compile_on_graph_topologies () =
+  List.iter
+    (fun topo ->
+      let c =
+        Nisq_device.Calib_gen.generate ~topology:topo ~seed:5 ~day:0 ()
+      in
+      List.iter
+        (fun name ->
+          let b = Benchmarks.by_name name in
+          let r =
+            Compile.run ~config:(Config.make Config.Greedy_e) ~calib:c
+              b.Benchmarks.circuit
+          in
+          let runner = Experiments.runner_of r in
+          Alcotest.(check int)
+            (Format.asprintf "%s on %a" name Topology.pp topo)
+            b.Benchmarks.expected (Runner.ideal_answer runner))
+        [ "BV8"; "Toffoli"; "Adder" ])
+    [ Topology.ring 16;
+      Topology.torus ~rows:4 ~cols:4;
+      Topology.fully_connected 16 ]
+
+let test_full_connectivity_eliminates_swaps () =
+  (* on an all-to-all machine every CNOT is local: zero swaps even for
+     the movement-hungry Adder *)
+  let topo = Topology.fully_connected 16 in
+  let c = Nisq_device.Calib_gen.generate ~topology:topo ~seed:5 ~day:0 () in
+  let b = Benchmarks.by_name "Adder" in
+  let r =
+    Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib:c
+      b.Benchmarks.circuit
+  in
+  Alcotest.(check int) "zero swaps" 0 r.Compile.swap_count
+
+let test_compile_on_high_variance_day () =
+  let hv = Ibmq16.high_variance_calibration ~day:0 () in
+  let r =
+    Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib:hv bv4
+  in
+  let runner = Experiments.runner_of r in
+  Alcotest.(check int) "still correct" 0b111 (Runner.ideal_answer runner)
+
+let suite =
+  [
+    ("config defaults", `Quick, test_config_defaults);
+    ("config star marker", `Quick, test_config_star_marker);
+    ("config rejects bad omega", `Quick, test_config_rejects_bad_omega);
+    ("config names", `Quick, test_config_names);
+    ("paper suite size", `Quick, test_paper_suite_size);
+    ("layout identity", `Quick, test_layout_identity);
+    ("layout inverse", `Quick, test_layout_inverse);
+    ("layout rejects duplicates", `Quick, test_layout_rejects_duplicates);
+    ("layout rejects out of range", `Quick, test_layout_rejects_out_of_range);
+    ("layout apply", `Quick, test_layout_apply);
+    ("layout render", `Quick, test_layout_render_marks_program_qubits);
+    ("plan shapes", `Quick, test_plan_shapes);
+    ("plan rejects non-adjacent swaps", `Quick, test_plan_rejects_non_adjacent_swap_gates);
+    ("plan adjacent swap duration", `Quick, test_plan_adjacent_swap_duration);
+    ("rectangle reservation region", `Quick, test_rectangle_reservation_region);
+    ("one-bend reserves path", `Quick, test_one_bend_reserves_path_only);
+    ("min-hops is shortest", `Quick, test_min_hops_ignores_calibration);
+    ("reprice keeps path", `Quick, test_reprice_keeps_path);
+    ("duration matrix", `Quick, test_duration_matrix_consistency);
+    ("log reliability matrix negative", `Quick, test_log_reliability_matrix_negative);
+    ("swap count", `Quick, test_swap_count);
+    ("schedule respects deps", `Quick, test_schedule_respects_dependencies);
+    ("schedule no spatial overlap", `Quick, test_schedule_no_spatial_overlap);
+    ("schedule makespan", `Quick, test_schedule_makespan_is_max_finish);
+    ("schedule measures terminal", `Quick, test_schedule_measure_is_terminal_per_qubit);
+    ("schedule parallel disjoint", `Quick, test_schedule_parallel_when_disjoint);
+    ("schedule coherence ok on ibmq16", `Quick, test_schedule_coherence_violations_on_uniform);
+    ("schedule busy slots", `Quick, test_schedule_busy_slots);
+    ("emit expands swaps", `Quick, test_emit_expands_swaps);
+    ("emit time ordered", `Quick, test_emit_time_ordered);
+    ("emit to valid qasm", `Quick, test_emit_to_circuit_valid_qasm);
+    ("esp in unit interval", `Quick, test_esp_in_unit_interval);
+    ("esp perfect machine", `Quick, test_esp_perfect_machine_is_one);
+    ("placement problem dims", `Quick, test_placement_problem_dimensions);
+    ("placement problem omega extremes", `Quick, test_placement_problem_omega_extremes);
+    ("greedy layouts injective", `Quick, test_greedy_layouts_injective);
+    ("greedy edge-first adjacency", `Quick, test_greedy_edge_first_adjacent_pair);
+    ("rsmt beats greedy objective", `Quick, test_rsmt_optimal_beats_greedy_objective);
+    ("tsmt* duration beats qiskit", `Quick, test_tsmt_star_duration_beats_qiskit);
+    ("compilation preserves semantics", `Slow, test_compilation_preserves_semantics);
+    ("move-and-stay preserves semantics", `Slow, test_move_and_stay_preserves_semantics);
+    ("move-and-stay fewer swaps", `Quick, test_move_and_stay_fewer_swaps);
+    ("move-and-stay final positions", `Quick, test_move_and_stay_final_positions);
+    ("swap-back keeps placement static", `Quick, test_swap_back_final_positions_equal_layout);
+    ("compile rejects oversized", `Quick, test_compile_rejects_oversized_program);
+    ("compile solver stats", `Quick, test_compile_reports_solver_stats);
+    ("compile readout map", `Quick, test_compile_readout_map_complete);
+    ("compile duration consistency", `Quick, test_compile_durations_consistent_with_schedule);
+    ("compile on graph topologies", `Quick, test_compile_on_graph_topologies);
+    ("full connectivity eliminates swaps", `Quick, test_full_connectivity_eliminates_swaps);
+    ("compile on high-variance day", `Quick, test_compile_on_high_variance_day);
+  ]

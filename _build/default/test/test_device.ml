@@ -1,0 +1,415 @@
+(* Tests for Nisq_device: Topology, Calibration, Calib_gen, Ibmq16, Paths. *)
+
+module Topology = Nisq_device.Topology
+module Calibration = Nisq_device.Calibration
+module Calib_gen = Nisq_device.Calib_gen
+module Ibmq16 = Nisq_device.Ibmq16
+module Paths = Nisq_device.Paths
+module Stats = Nisq_util.Stats
+
+let grid28 = Topology.grid ~rows:2 ~cols:8
+
+(* ------------------------------ Topology --------------------------- *)
+
+let test_grid_size () =
+  Alcotest.(check int) "16 qubits" 16 (Topology.num_qubits grid28);
+  Alcotest.(check int) "edges" (7 * 2 + 8) (List.length (Topology.edges grid28))
+
+let test_coords_index_inverse () =
+  for h = 0 to 15 do
+    let x, y = Topology.coords grid28 h in
+    Alcotest.(check int) "roundtrip" h (Topology.index grid28 ~x ~y)
+  done
+
+let test_adjacency () =
+  Alcotest.(check bool) "0-1 adjacent" true (Topology.adjacent grid28 0 1);
+  Alcotest.(check bool) "0-8 adjacent (vertical)" true (Topology.adjacent grid28 0 8);
+  Alcotest.(check bool) "0-2 not adjacent" false (Topology.adjacent grid28 0 2);
+  Alcotest.(check bool) "7-8 not adjacent (row wrap)" false (Topology.adjacent grid28 7 8);
+  Alcotest.(check bool) "self not adjacent" false (Topology.adjacent grid28 3 3)
+
+let test_neighbors () =
+  Alcotest.(check (list int)) "corner" [ 1; 8 ] (Topology.neighbors grid28 0);
+  Alcotest.(check (list int)) "interior top" [ 2; 4; 11 ] (Topology.neighbors grid28 3)
+
+let test_distance () =
+  Alcotest.(check int) "manhattan" 8 (Topology.distance grid28 0 15);
+  Alcotest.(check int) "same" 0 (Topology.distance grid28 5 5)
+
+let test_degree () =
+  Alcotest.(check int) "corner degree" 2 (Topology.degree grid28 0);
+  Alcotest.(check int) "interior degree" 3 (Topology.degree grid28 3)
+
+let test_grid_rejects_bad_dims () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Topology.grid ~rows:0 ~cols:3); false
+     with Invalid_argument _ -> true)
+
+let test_out_of_range_qubit () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Topology.coords grid28 16); false
+     with Invalid_argument _ -> true)
+
+(* --------------------------- Graph topologies ---------------------- *)
+
+let test_ring_structure () =
+  let r = Topology.ring 6 in
+  Alcotest.(check int) "qubits" 6 (Topology.num_qubits r);
+  Alcotest.(check int) "edges" 6 (List.length (Topology.edges r));
+  Alcotest.(check bool) "0-5 adjacent (wrap)" true (Topology.adjacent r 0 5);
+  Alcotest.(check int) "opposite distance" 3 (Topology.distance r 0 3);
+  Alcotest.(check bool) "not a grid" false (Topology.is_grid r)
+
+let test_fully_connected_structure () =
+  let f = Topology.fully_connected 5 in
+  Alcotest.(check int) "edges n(n-1)/2" 10 (List.length (Topology.edges f));
+  for a = 0 to 4 do
+    for b = 0 to 4 do
+      if a <> b then begin
+        Alcotest.(check bool) "all adjacent" true (Topology.adjacent f a b);
+        Alcotest.(check int) "distance 1" 1 (Topology.distance f a b)
+      end
+    done
+  done
+
+let test_torus_structure () =
+  let t = Topology.torus ~rows:4 ~cols:4 in
+  Alcotest.(check int) "qubits" 16 (Topology.num_qubits t);
+  (* every torus node has degree 4 *)
+  for h = 0 to 15 do
+    Alcotest.(check int) "degree 4" 4 (Topology.degree t h)
+  done;
+  (* wraparound shortens distances vs the grid *)
+  let g = Topology.grid ~rows:4 ~cols:4 in
+  Alcotest.(check int) "grid corner distance" 6 (Topology.distance g 0 15);
+  Alcotest.(check int) "torus corner distance" 2 (Topology.distance t 0 15)
+
+let test_of_edges_rejects_disconnected () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Topology.of_edges ~name:"x" ~num_qubits:4 [ (0, 1); (2, 3) ]); false
+     with Invalid_argument _ -> true)
+
+let test_of_edges_rejects_self_loop () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Topology.of_edges ~name:"x" ~num_qubits:2 [ (0, 0) ]); false
+     with Invalid_argument _ -> true)
+
+let test_graph_coords_raise () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Topology.coords (Topology.ring 4) 0); false
+     with Invalid_argument _ -> true)
+
+let test_graph_bfs_distance_symmetric () =
+  let t = Topology.torus ~rows:3 ~cols:5 in
+  for a = 0 to 14 do
+    for b = 0 to 14 do
+      Alcotest.(check int) "symmetric" (Topology.distance t a b)
+        (Topology.distance t b a)
+    done
+  done
+
+(* ----------------------------- Calibration ------------------------- *)
+
+let calib = Ibmq16.calibration ~day:0 ()
+
+let test_calibration_symmetric () =
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check (float 1e-12)) "symmetric error"
+        (Calibration.cnot_error calib a b)
+        (Calibration.cnot_error calib b a))
+    (Topology.edges Ibmq16.topology)
+
+let test_calibration_rejects_non_edge () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Calibration.cnot_error calib 0 2); false
+     with Invalid_argument _ -> true)
+
+let test_calibration_probability_ranges () =
+  for h = 0 to 15 do
+    let r = Calibration.readout_error calib h in
+    Alcotest.(check bool) "readout in (0,1)" true (r > 0.0 && r < 1.0)
+  done;
+  List.iter
+    (fun (a, b) ->
+      let e = Calibration.cnot_error calib a b in
+      Alcotest.(check bool) "cnot err in (0,1)" true (e > 0.0 && e < 1.0))
+    (Topology.edges Ibmq16.topology)
+
+let test_calibration_reliability_complement () =
+  let a, b = List.hd (Topology.edges Ibmq16.topology) in
+  Alcotest.(check (float 1e-12)) "1 - err"
+    (1.0 -. Calibration.cnot_error calib a b)
+    (Calibration.cnot_reliability calib a b)
+
+let test_swap_is_three_cnots_duration () =
+  let a, b = List.hd (Topology.edges Ibmq16.topology) in
+  Alcotest.(check int) "3x" (3 * Calibration.cnot_duration calib a b)
+    (Calibration.swap_duration calib a b)
+
+let test_t2_slots_conversion () =
+  (* 80 us = 1000 slots of 80 ns *)
+  let u = Calibration.uniform Ibmq16.topology in
+  Alcotest.(check int) "1000 slots" 1000 (Calibration.t2_slots u 0)
+
+let test_worst_t2_above_300_slots () =
+  (* §7.2: the worst qubit's coherence window exceeds 300 timeslots *)
+  Alcotest.(check bool) "above 300" true (Calibration.worst_t2_slots calib > 300)
+
+let test_uniform_calibration_flat () =
+  let u = Calibration.uniform Ibmq16.topology in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check (float 1e-12)) "flat cnot" 0.04 (Calibration.cnot_error u a b))
+    (Topology.edges Ibmq16.topology);
+  Alcotest.(check (float 1e-12)) "flat readout" 0.07 (Calibration.readout_error u 3)
+
+let test_create_rejects_bad_lengths () =
+  let n = 16 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Calibration.create ~topology:Ibmq16.topology ~day:0
+            ~t1_us:(Array.make 3 1.0) ~t2_us:(Array.make n 1.0)
+            ~readout_error:(Array.make n 0.01) ~single_error:(Array.make n 0.001)
+            ~cnot_error:(Array.make_matrix n n 0.04)
+            ~cnot_duration:(Array.make_matrix n n 4));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------ Calib_gen -------------------------- *)
+
+let test_calib_gen_deterministic () =
+  let a = Calib_gen.generate ~topology:grid28 ~seed:5 ~day:3 () in
+  let b = Calib_gen.generate ~topology:grid28 ~seed:5 ~day:3 () in
+  List.iter
+    (fun (x, y) ->
+      Alcotest.(check (float 1e-15)) "same errors"
+        (Calibration.cnot_error a x y) (Calibration.cnot_error b x y))
+    (Topology.edges grid28)
+
+let test_calib_gen_day_variation () =
+  let a = Calib_gen.generate ~topology:grid28 ~seed:5 ~day:0 () in
+  let b = Calib_gen.generate ~topology:grid28 ~seed:5 ~day:1 () in
+  let e0, e1 = List.hd (Topology.edges grid28) in
+  Alcotest.(check bool) "errors differ across days" true
+    (Calibration.cnot_error a e0 e1 <> Calibration.cnot_error b e0 e1)
+
+let test_calib_gen_series_consistent_with_generate () =
+  let series = Calib_gen.series ~topology:grid28 ~seed:5 ~days:4 () in
+  let direct = Calib_gen.generate ~topology:grid28 ~seed:5 ~day:2 () in
+  let e0, e1 = List.hd (Topology.edges grid28) in
+  Alcotest.(check (float 1e-15)) "day 2 matches"
+    (Calibration.cnot_error series.(2) e0 e1)
+    (Calibration.cnot_error direct e0 e1)
+
+let test_calib_gen_statistics_match_paper () =
+  (* §2: CNOT error mean ~0.04, readout mean ~0.07, T2 mean ~70us *)
+  let series = Calib_gen.series ~topology:grid28 ~seed:Ibmq16.default_seed ~days:30 () in
+  let cnot_means = Array.map Calibration.mean_cnot_error series in
+  let readout_means = Array.map Calibration.mean_readout_error series in
+  let t2_means = Array.map Calibration.mean_t2_us series in
+  let cm = Stats.mean cnot_means in
+  let rm = Stats.mean readout_means in
+  let tm = Stats.mean t2_means in
+  Alcotest.(check bool) "cnot mean in [0.02, 0.07]" true (cm > 0.02 && cm < 0.07);
+  Alcotest.(check bool) "readout mean in [0.04, 0.11]" true (rm > 0.04 && rm < 0.11);
+  Alcotest.(check bool) "t2 mean in [45, 100]" true (tm > 45.0 && tm < 100.0)
+
+let test_calib_gen_spread_magnitude () =
+  (* the whole point of noise-adaptivity: error rates vary several-fold *)
+  let series = Calib_gen.series ~topology:grid28 ~seed:Ibmq16.default_seed ~days:25 () in
+  let all_errs =
+    Array.to_list series
+    |> List.concat_map (fun c ->
+           List.map (fun (a, b) -> Calibration.cnot_error c a b)
+             (Topology.edges grid28))
+    |> Array.of_list
+  in
+  let lo, hi = Stats.min_max all_errs in
+  Alcotest.(check bool) "at least 4x spread" true (hi /. lo > 4.0);
+  Alcotest.(check bool) "at most 60x spread" true (hi /. lo < 60.0)
+
+let test_calib_gen_t2_within_clamp () =
+  let c = Calib_gen.generate ~topology:grid28 ~seed:99 ~day:7 () in
+  Array.iter
+    (fun t2 ->
+      Alcotest.(check bool) "clamped" true (t2 >= 25.0 && t2 <= 220.0))
+    c.Calibration.t2_us
+
+let test_high_variance_wider_than_default () =
+  let spread params =
+    let series = Calib_gen.series ~params ~topology:grid28 ~seed:3 ~days:10 () in
+    let errs =
+      Array.to_list series
+      |> List.concat_map (fun c ->
+             List.map (fun (a, b) -> Calibration.cnot_error c a b)
+               (Topology.edges grid28))
+      |> Array.of_list
+    in
+    let lo, hi = Stats.min_max errs in
+    hi /. lo
+  in
+  Alcotest.(check bool) "high variance spreads more" true
+    (spread Calib_gen.high_variance > spread Calib_gen.default)
+
+(* -------------------------------- Paths ---------------------------- *)
+
+let paths = Paths.make calib
+
+let test_best_path_endpoints () =
+  let p = Paths.best_path paths 0 15 in
+  Alcotest.(check int) "starts at 0" 0 p.(0);
+  Alcotest.(check int) "ends at 15" 15 p.(Array.length p - 1)
+
+let test_best_path_steps_adjacent () =
+  let p = Paths.best_path paths 0 15 in
+  for i = 0 to Array.length p - 2 do
+    Alcotest.(check bool) "adjacent steps" true
+      (Topology.adjacent Ibmq16.topology p.(i) p.(i + 1))
+  done
+
+let test_best_path_at_least_as_reliable_as_one_bend () =
+  (* Dijkstra's path must beat or match any one-bend path under the
+     single-traversal metric it optimizes *)
+  for h1 = 0 to 15 do
+    for h2 = 0 to 15 do
+      if h1 <> h2 then begin
+        let d = Paths.path_log_reliability paths h1 h2 in
+        List.iter
+          (fun (r : Paths.route) ->
+            let single =
+              (* single-traversal log reliability of the route's path *)
+              let p = r.Paths.path in
+              let acc = ref 0.0 in
+              for i = 0 to Array.length p - 2 do
+                acc := !acc +. log (Calibration.cnot_reliability calib p.(i) p.(i + 1))
+              done;
+              !acc
+            in
+            Alcotest.(check bool) "dijkstra >= one-bend" true (d >= single -. 1e-9))
+          (Paths.one_bend_routes paths h1 h2)
+      end
+    done
+  done
+
+let test_one_bend_count () =
+  (* same row: 1 route; different row and column: 2 routes *)
+  Alcotest.(check int) "same row" 1 (List.length (Paths.one_bend_routes paths 0 3));
+  Alcotest.(check int) "corner pair" 2 (List.length (Paths.one_bend_routes paths 0 9))
+
+let test_one_bend_paths_valid () =
+  for h1 = 0 to 15 do
+    for h2 = 0 to 15 do
+      if h1 <> h2 then
+        List.iter
+          (fun (r : Paths.route) ->
+            let p = r.Paths.path in
+            Alcotest.(check int) "starts" h1 p.(0);
+            Alcotest.(check int) "ends" h2 p.(Array.length p - 1);
+            Alcotest.(check int) "length = distance + 1"
+              (Topology.distance Ibmq16.topology h1 h2 + 1)
+              (Array.length p);
+            for i = 0 to Array.length p - 2 do
+              Alcotest.(check bool) "adjacent" true
+                (Topology.adjacent Ibmq16.topology p.(i) p.(i + 1))
+            done)
+          (Paths.one_bend_routes paths h1 h2)
+    done
+  done
+
+let test_adjacent_route_is_bare_cnot () =
+  let r = Paths.best_one_bend paths 0 1 in
+  Alcotest.(check int) "path length 2" 2 (Array.length r.Paths.path);
+  Alcotest.(check (float 1e-12)) "reliability = edge reliability"
+    (log (Calibration.cnot_reliability calib 0 1))
+    r.Paths.log_reliability;
+  Alcotest.(check int) "duration = cnot duration"
+    (Calibration.cnot_duration calib 0 1) r.Paths.duration
+
+let test_route_duration_formula () =
+  (* duration = 2 * sum(swap hops) + final cnot (§4.2) *)
+  let r = Paths.route_via_path calib [| 0; 1; 2 |] in
+  let expected =
+    (2 * Calibration.swap_duration calib 0 1) + Calibration.cnot_duration calib 1 2
+  in
+  Alcotest.(check int) "two-hop duration" expected r.Paths.duration
+
+let test_route_reliability_formula () =
+  (* reliability = (1-e01)^6 * (1-e12): worked example of §3.1 *)
+  let r = Paths.route_via_path calib [| 0; 1; 2 |] in
+  let expected =
+    (6.0 *. log (Calibration.cnot_reliability calib 0 1))
+    +. log (Calibration.cnot_reliability calib 1 2)
+  in
+  Alcotest.(check (float 1e-12)) "log reliability" expected r.Paths.log_reliability
+
+let test_route_via_path_rejects_short () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Paths.route_via_path calib [| 3 |]); false
+     with Invalid_argument _ -> true)
+
+let test_route_via_path_rejects_non_adjacent () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Paths.route_via_path calib [| 0; 5 |]); false
+     with Invalid_argument _ -> true)
+
+let test_best_one_bend_picks_max () =
+  for h1 = 0 to 15 do
+    for h2 = 0 to 15 do
+      if h1 <> h2 then begin
+        let best = Paths.best_one_bend paths h1 h2 in
+        List.iter
+          (fun (r : Paths.route) ->
+            Alcotest.(check bool) "best is max" true
+              (best.Paths.log_reliability >= r.Paths.log_reliability -. 1e-12))
+          (Paths.one_bend_routes paths h1 h2)
+      end
+    done
+  done
+
+let suite =
+  [
+    ("grid size", `Quick, test_grid_size);
+    ("coords/index inverse", `Quick, test_coords_index_inverse);
+    ("adjacency", `Quick, test_adjacency);
+    ("neighbors", `Quick, test_neighbors);
+    ("manhattan distance", `Quick, test_distance);
+    ("degree", `Quick, test_degree);
+    ("grid rejects bad dims", `Quick, test_grid_rejects_bad_dims);
+    ("coords out of range", `Quick, test_out_of_range_qubit);
+    ("ring structure", `Quick, test_ring_structure);
+    ("fully connected structure", `Quick, test_fully_connected_structure);
+    ("torus structure", `Quick, test_torus_structure);
+    ("of_edges rejects disconnected", `Quick, test_of_edges_rejects_disconnected);
+    ("of_edges rejects self-loop", `Quick, test_of_edges_rejects_self_loop);
+    ("graph coords raise", `Quick, test_graph_coords_raise);
+    ("graph distance symmetric", `Quick, test_graph_bfs_distance_symmetric);
+    ("calibration symmetric", `Quick, test_calibration_symmetric);
+    ("calibration rejects non-edge", `Quick, test_calibration_rejects_non_edge);
+    ("calibration probability ranges", `Quick, test_calibration_probability_ranges);
+    ("reliability = 1 - error", `Quick, test_calibration_reliability_complement);
+    ("swap duration = 3 cnots", `Quick, test_swap_is_three_cnots_duration);
+    ("t2 slots conversion", `Quick, test_t2_slots_conversion);
+    ("worst t2 above 300 slots", `Quick, test_worst_t2_above_300_slots);
+    ("uniform calibration is flat", `Quick, test_uniform_calibration_flat);
+    ("create rejects bad lengths", `Quick, test_create_rejects_bad_lengths);
+    ("calib_gen deterministic", `Quick, test_calib_gen_deterministic);
+    ("calib_gen varies by day", `Quick, test_calib_gen_day_variation);
+    ("calib_gen series matches generate", `Quick, test_calib_gen_series_consistent_with_generate);
+    ("calib_gen statistics match paper", `Quick, test_calib_gen_statistics_match_paper);
+    ("calib_gen spread magnitude", `Quick, test_calib_gen_spread_magnitude);
+    ("calib_gen t2 clamped", `Quick, test_calib_gen_t2_within_clamp);
+    ("high variance spreads wider", `Quick, test_high_variance_wider_than_default);
+    ("best path endpoints", `Quick, test_best_path_endpoints);
+    ("best path steps adjacent", `Quick, test_best_path_steps_adjacent);
+    ("dijkstra beats one-bend", `Quick, test_best_path_at_least_as_reliable_as_one_bend);
+    ("one-bend route count", `Quick, test_one_bend_count);
+    ("one-bend paths valid", `Quick, test_one_bend_paths_valid);
+    ("adjacent route is bare cnot", `Quick, test_adjacent_route_is_bare_cnot);
+    ("route duration formula", `Quick, test_route_duration_formula);
+    ("route reliability formula", `Quick, test_route_reliability_formula);
+    ("route rejects short path", `Quick, test_route_via_path_rejects_short);
+    ("route rejects non-adjacent path", `Quick, test_route_via_path_rejects_non_adjacent);
+    ("best one-bend picks max", `Quick, test_best_one_bend_picks_max);
+  ]

@@ -1,0 +1,283 @@
+(* Tests for the extension modules: Draw, Calib_io, Compile.best_of. *)
+
+module Circuit = Nisq_circuit.Circuit
+module Gate = Nisq_circuit.Gate
+module Draw = Nisq_circuit.Draw
+module Topology = Nisq_device.Topology
+module Calibration = Nisq_device.Calibration
+module Calib_io = Nisq_device.Calib_io
+module Ibmq16 = Nisq_device.Ibmq16
+module Config = Nisq_compiler.Config
+module Compile = Nisq_compiler.Compile
+module Benchmarks = Nisq_bench.Benchmarks
+
+let contains = Astring_contains.contains
+
+(* -------------------------------- Draw ----------------------------- *)
+
+let test_draw_bell () =
+  let c =
+    Circuit.make 2
+      [ (Gate.H, [| 0 |]); (Gate.Cnot, [| 0; 1 |]); (Gate.Measure, [| 0 |]);
+        (Gate.Measure, [| 1 |]) ]
+  in
+  let s = Draw.render c in
+  Alcotest.(check int) "two wires" 2
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' s)));
+  Alcotest.(check bool) "has control" true (contains s "*");
+  Alcotest.(check bool) "has target" true (contains s "X");
+  Alcotest.(check bool) "has measure" true (contains s "M")
+
+let test_draw_vertical_connector () =
+  (* CNOT q0 -> q2 must draw a '|' across the middle wire *)
+  let c = Circuit.make 3 [ (Gate.Cnot, [| 0; 2 |]) ] in
+  let s = Draw.render c in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "middle wire crossed" true
+    (contains (List.nth lines 1) "|")
+
+let test_draw_every_benchmark () =
+  List.iter
+    (fun (b : Benchmarks.t) ->
+      let s = Draw.render b.Benchmarks.circuit in
+      Alcotest.(check bool) (b.Benchmarks.name ^ " renders") true
+        (String.length s > 0))
+    Benchmarks.extended
+
+let test_draw_rejects_wide () =
+  let c = Circuit.make 65 [ (Gate.H, [| 0 |]) ] in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Draw.render c); false with Invalid_argument _ -> true)
+
+(* ------------------------------ Calib_io --------------------------- *)
+
+let test_calib_io_roundtrip_grid () =
+  let c = Ibmq16.calibration ~day:4 () in
+  let c' = Calib_io.of_string (Calib_io.to_string c) in
+  Alcotest.(check int) "day" c.Calibration.day c'.Calibration.day;
+  for h = 0 to 15 do
+    Alcotest.(check (float 1e-9)) "t2" c.Calibration.t2_us.(h) c'.Calibration.t2_us.(h);
+    Alcotest.(check (float 1e-9)) "readout"
+      (Calibration.readout_error c h)
+      (Calibration.readout_error c' h)
+  done;
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check (float 1e-9)) "cnot err"
+        (Calibration.cnot_error c a b)
+        (Calibration.cnot_error c' a b);
+      Alcotest.(check int) "duration"
+        (Calibration.cnot_duration c a b)
+        (Calibration.cnot_duration c' a b))
+    (Topology.edges Ibmq16.topology)
+
+let test_calib_io_roundtrip_graph () =
+  let topo = Topology.ring 8 in
+  let c = Nisq_device.Calib_gen.generate ~topology:topo ~seed:3 ~day:1 () in
+  let c' = Calib_io.of_string (Calib_io.to_string c) in
+  Alcotest.(check int) "qubits" 8 (Topology.num_qubits c'.Calibration.topology);
+  Alcotest.(check (list (pair int int))) "same edges"
+    (Topology.edges topo)
+    (Topology.edges c'.Calibration.topology)
+
+let test_calib_io_file_roundtrip () =
+  let c = Ibmq16.calibration ~day:2 () in
+  let path = Filename.temp_file "calib" ".txt" in
+  Calib_io.save c ~path;
+  let c' = Calib_io.load ~path in
+  Sys.remove path;
+  Alcotest.(check (float 1e-9)) "cnot err survives disk"
+    (Calibration.cnot_error c 0 1)
+    (Calibration.cnot_error c' 0 1)
+
+let test_calib_io_comments_and_blank_lines () =
+  let c = Ibmq16.calibration ~day:0 () in
+  let src = "# archived machine state\n\n" ^ Calib_io.to_string c in
+  let c' = Calib_io.of_string src in
+  Alcotest.(check int) "parses with comments" 0 c'.Calibration.day
+
+let test_calib_io_rejects_missing_qubit () =
+  let c = Ibmq16.calibration ~day:0 () in
+  let without_q3 =
+    Calib_io.to_string c |> String.split_on_char '\n'
+    |> List.filter (fun l ->
+           not (String.length l > 7 && String.sub l 0 8 = "qubit 3 "))
+    |> String.concat "\n"
+  in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Calib_io.of_string without_q3); false with Failure _ -> true)
+
+let test_calib_io_rejects_garbage () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Calib_io.of_string "nonsense 1 2 3"); false
+     with Failure _ -> true)
+
+(* ------------------------------- best_of --------------------------- *)
+
+let test_best_of_picks_highest_esp () =
+  let calib = Ibmq16.calibration ~day:0 () in
+  let bv4 = (Benchmarks.by_name "BV4").Benchmarks.circuit in
+  let configs =
+    [ Config.make Config.Qiskit; Config.make (Config.R_smt_star 0.5);
+      Config.make Config.Greedy_e ]
+  in
+  let best = Compile.best_of ~configs ~calib bv4 in
+  List.iter
+    (fun config ->
+      let r = Compile.run ~config ~calib bv4 in
+      Alcotest.(check bool) "best is max esp" true
+        (best.Compile.esp >= r.Compile.esp -. 1e-12))
+    configs
+
+let test_best_of_rejects_empty () =
+  let calib = Ibmq16.calibration ~day:0 () in
+  let bv4 = (Benchmarks.by_name "BV4").Benchmarks.circuit in
+  Alcotest.(check bool) "raises" true
+    (try ignore (Compile.best_of ~configs:[] ~calib bv4); false
+     with Invalid_argument _ -> true)
+
+(* --------------------------- misc integration ---------------------- *)
+
+let test_layout_render_on_graph_topology () =
+  let topo = Topology.ring 8 in
+  let layout = Nisq_compiler.Layout.of_array ~num_hw:8 [| 2; 5 |] in
+  let s = Nisq_compiler.Layout.render topo layout in
+  Alcotest.(check bool) "mentions placement" true (contains s "p0 -> q2")
+
+let test_emit_phys_ops_have_positive_durations () =
+  let calib = Ibmq16.calibration ~day:0 () in
+  let b = Benchmarks.by_name "Adder" in
+  let r = Compile.run ~config:(Config.make Config.Qiskit) ~calib b.Benchmarks.circuit in
+  Array.iter
+    (fun (p : Nisq_compiler.Emit.phys) ->
+      Alcotest.(check bool) "positive duration" true (p.Nisq_compiler.Emit.duration > 0))
+    r.Compile.phys
+
+let test_emit_same_qubit_ops_do_not_overlap () =
+  (* physical ops touching the same hardware qubit must be disjoint in
+     time: the scheduler + expansion must compose correctly *)
+  let calib = Ibmq16.calibration ~day:0 () in
+  let b = Benchmarks.by_name "BV8" in
+  let r =
+    Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib
+      b.Benchmarks.circuit
+  in
+  let ops = r.Compile.phys in
+  let n = Array.length ops in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = ops.(i) and b = ops.(j) in
+      let share =
+        Array.exists
+          (fun q -> Array.exists (fun p -> p = q) b.Nisq_compiler.Emit.qubits)
+          a.Nisq_compiler.Emit.qubits
+      in
+      if share then
+        Alcotest.(check bool) "no time overlap" false
+          (a.Nisq_compiler.Emit.start
+           < b.Nisq_compiler.Emit.start + b.Nisq_compiler.Emit.duration
+          && b.Nisq_compiler.Emit.start
+             < a.Nisq_compiler.Emit.start + a.Nisq_compiler.Emit.duration)
+    done
+  done
+
+let test_iontrap_machine () =
+  let module Iontrap = Nisq_device.Iontrap in
+  Alcotest.(check bool) "all-to-all" true
+    (Topology.adjacent Iontrap.topology 0 15);
+  let c = Iontrap.calibration ~day:0 () in
+  (* ions: slower two-qubit gates, longer coherence than the transmon *)
+  let transmon = Ibmq16.calibration ~day:0 () in
+  Alcotest.(check bool) "slower gates" true
+    (Calibration.cnot_duration c 0 15 > Calibration.cnot_duration transmon 0 1);
+  Alcotest.(check bool) "longer coherence" true
+    (Calibration.mean_t2_us c > 3.0 *. Calibration.mean_t2_us transmon);
+  (* and the compiler runs on it end-to-end *)
+  let b = Benchmarks.by_name "Toffoli" in
+  let r =
+    Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib:c
+      b.Benchmarks.circuit
+  in
+  Alcotest.(check int) "no swaps ever" 0 r.Compile.swap_count
+
+let test_ablation_reports_render () =
+  let module E = Nisq_bench.Experiments in
+  List.iter
+    (fun s -> Alcotest.(check bool) "non-empty" true (String.length s > 100))
+    [
+      E.ablation_movement ~trials:32 ();
+      E.ablation_topology ~trials:32 ();
+      E.ablation_high_variance ~trials:32 ();
+    ]
+
+let test_config_movement_in_name () =
+  Alcotest.(check string) "movement suffix" "GreedyE* (BestPath+move)"
+    (Config.name (Config.make ~movement:Config.Move_and_stay Config.Greedy_e))
+
+let test_runner_ideal_distribution_sums_to_one () =
+  let calib = Ibmq16.calibration ~day:0 () in
+  let b = Benchmarks.by_name "Grover2" in
+  let r = Compile.run ~config:(Config.make Config.Greedy_e) ~calib b.Benchmarks.circuit in
+  let d = Nisq_sim.Runner.ideal_distribution (Nisq_bench.Experiments.runner_of r) in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 d in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 total
+
+let test_tsmt_coherence_penalty_on_tiny_t2 () =
+  (* a machine whose coherence window can't fit any schedule: T-SMT*
+     must still return a layout (best-effort, penalized) *)
+  let n = 16 in
+  let cnot_error = Array.make_matrix n n Float.nan in
+  let cnot_duration = Array.make_matrix n n 0 in
+  List.iter
+    (fun (a, b) ->
+      cnot_error.(a).(b) <- 0.04;
+      cnot_error.(b).(a) <- 0.04;
+      cnot_duration.(a).(b) <- 4;
+      cnot_duration.(b).(a) <- 4)
+    (Topology.edges Ibmq16.topology);
+  let tiny =
+    Calibration.create ~topology:Ibmq16.topology ~day:0
+      ~t1_us:(Array.make n 0.3) ~t2_us:(Array.make n 0.3) (* < 4 slots *)
+      ~readout_error:(Array.make n 0.05) ~single_error:(Array.make n 0.001)
+      ~cnot_error ~cnot_duration
+  in
+  let b = Benchmarks.by_name "Toffoli" in
+  let r = Compile.run ~config:(Config.make Config.T_smt_star) ~calib:tiny b.Benchmarks.circuit in
+  Alcotest.(check bool) "layout produced anyway" true
+    (r.Compile.duration > 0);
+  Alcotest.(check bool) "violations reported" true
+    (Nisq_compiler.Schedule.coherence_violations r.Compile.schedule tiny <> [])
+
+let test_swap_count_zero_for_adjacent_only () =
+  let calib = Ibmq16.calibration ~day:0 () in
+  let c =
+    Circuit.make 2
+      [ (Gate.H, [| 0 |]); (Gate.Cnot, [| 0; 1 |]); (Gate.Measure, [| 0 |]) ]
+  in
+  let r = Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib c in
+  Alcotest.(check int) "no swaps" 0 r.Compile.swap_count
+
+let suite =
+  [
+    ("draw bell", `Quick, test_draw_bell);
+    ("config movement naming", `Quick, test_config_movement_in_name);
+    ("runner ideal distribution sums to 1", `Quick, test_runner_ideal_distribution_sums_to_one);
+    ("tsmt coherence penalty best-effort", `Quick, test_tsmt_coherence_penalty_on_tiny_t2);
+    ("swap count zero when adjacent", `Quick, test_swap_count_zero_for_adjacent_only);
+    ("layout render on graph", `Quick, test_layout_render_on_graph_topology);
+    ("emit positive durations", `Quick, test_emit_phys_ops_have_positive_durations);
+    ("emit same-qubit exclusivity", `Quick, test_emit_same_qubit_ops_do_not_overlap);
+    ("ion trap machine", `Quick, test_iontrap_machine);
+    ("ablation reports render", `Slow, test_ablation_reports_render);
+    ("draw vertical connector", `Quick, test_draw_vertical_connector);
+    ("draw every benchmark", `Quick, test_draw_every_benchmark);
+    ("draw rejects wide circuits", `Quick, test_draw_rejects_wide);
+    ("calib_io grid roundtrip", `Quick, test_calib_io_roundtrip_grid);
+    ("calib_io graph roundtrip", `Quick, test_calib_io_roundtrip_graph);
+    ("calib_io file roundtrip", `Quick, test_calib_io_file_roundtrip);
+    ("calib_io comments", `Quick, test_calib_io_comments_and_blank_lines);
+    ("calib_io missing qubit", `Quick, test_calib_io_rejects_missing_qubit);
+    ("calib_io rejects garbage", `Quick, test_calib_io_rejects_garbage);
+    ("best_of picks highest esp", `Quick, test_best_of_picks_highest_esp);
+    ("best_of rejects empty", `Quick, test_best_of_rejects_empty);
+  ]

@@ -1,0 +1,186 @@
+(* Tests for the mini-Scaffold frontend. *)
+
+module Scaffold = Nisq_frontend.Scaffold
+module Circuit = Nisq_circuit.Circuit
+module Gate = Nisq_circuit.Gate
+module Calibration = Nisq_device.Calibration
+module Ibmq16 = Nisq_device.Ibmq16
+module Config = Nisq_compiler.Config
+module Compile = Nisq_compiler.Compile
+module Runner = Nisq_sim.Runner
+module Experiments = Nisq_bench.Experiments
+
+let parses src = Scaffold.parse src
+
+let rejects ?line src =
+  try
+    ignore (Scaffold.parse src);
+    Alcotest.fail "expected Parse_error"
+  with Scaffold.Parse_error { line = l; _ } -> (
+    match line with
+    | Some want -> Alcotest.(check int) "error line" want l
+    | None -> ())
+
+let test_minimal_program () =
+  let c = parses "qreg q[2]; h q[0]; cx q[0], q[1]; measure q;" in
+  Alcotest.(check int) "qubits" 2 c.Circuit.num_qubits;
+  Alcotest.(check int) "gates" 4 (Circuit.length c)
+
+let test_gate_kinds () =
+  let c =
+    parses
+      "qreg q[2]; h q[0]; x q[0]; y q[0]; z q[0]; s q[0]; sdg q[0]; t q[0]; \
+       tdg q[0]; swap q[0], q[1];"
+  in
+  Alcotest.(check int) "9 gates" 9 (Circuit.length c)
+
+let test_rotation_angles () =
+  let c = parses "qreg q[1]; rz(pi/2) q[0]; rx(0.25) q[0]; ry(2*pi) q[0]; rz(-pi) q[0];" in
+  let angle i =
+    match c.Circuit.gates.(i).Gate.kind with
+    | Gate.Rz a | Gate.Rx a | Gate.Ry a -> a
+    | _ -> Float.nan
+  in
+  Alcotest.(check (float 1e-12)) "pi/2" (Float.pi /. 2.0) (angle 0);
+  Alcotest.(check (float 1e-12)) "0.25" 0.25 (angle 1);
+  Alcotest.(check (float 1e-12)) "2pi" (2.0 *. Float.pi) (angle 2);
+  Alcotest.(check (float 1e-12)) "-pi" (-.Float.pi) (angle 3)
+
+let test_ccx_decomposes () =
+  let c = parses "qreg q[3]; ccx q[0], q[1], q[2];" in
+  Alcotest.(check int) "6 cnots" 6 (Circuit.cnot_count c);
+  Alcotest.(check bool) "no raw toffoli" true
+    (Array.for_all
+       (fun (g : Gate.t) -> Array.length g.Gate.qubits <= 2)
+       c.Circuit.gates)
+
+let test_cswap_and_peres () =
+  let c = parses "qreg q[3]; cswap q[0], q[1], q[2]; peres q[0], q[1], q[2];" in
+  Alcotest.(check int) "8 + 7 cnots" 15 (Circuit.cnot_count c)
+
+let test_repeat () =
+  let c = parses "qreg q[1]; repeat 5 { t q[0]; }" in
+  Alcotest.(check int) "5 gates" 5 (Circuit.length c)
+
+let test_repeat_zero () =
+  let c = parses "qreg q[1]; repeat 0 { t q[0]; } x q[0];" in
+  Alcotest.(check int) "only the x" 1 (Circuit.length c)
+
+let test_nested_repeat () =
+  let c = parses "qreg q[1]; repeat 2 { repeat 3 { h q[0]; } }" in
+  Alcotest.(check int) "6 gates" 6 (Circuit.length c)
+
+let test_user_gate () =
+  let c =
+    parses
+      "qreg q[3];\n\
+       gate entangle(a, b) { h a; cx a, b; }\n\
+       entangle q[0], q[1];\n\
+       entangle q[1], q[2];"
+  in
+  Alcotest.(check int) "4 gates" 4 (Circuit.length c);
+  Alcotest.(check (array int)) "second call operands" [| 1; 2 |]
+    c.Circuit.gates.(3).Gate.qubits
+
+let test_user_gate_calls_user_gate () =
+  let c =
+    parses
+      "qreg q[2];\n\
+       gate inner(a) { h a; }\n\
+       gate outer(a, b) { inner a; cx a, b; inner b; }\n\
+       outer q[0], q[1];"
+  in
+  Alcotest.(check int) "3 gates" 3 (Circuit.length c)
+
+let test_measure_whole_register () =
+  let c = parses "qreg q[3]; h q[0]; measure q;" in
+  Alcotest.(check (list int)) "all measured" [ 0; 1; 2 ] (Circuit.measured_qubits c)
+
+let test_comments_ignored () =
+  let c = parses "// leading\nqreg q[1]; // decl\nh q[0]; // gate\n" in
+  Alcotest.(check int) "1 gate" 1 (Circuit.length c)
+
+let test_barrier () =
+  let c = parses "qreg q[2]; h q[0]; barrier q[0], q[1]; x q[1];" in
+  Alcotest.(check bool) "has barrier" true
+    (Array.exists (fun (g : Gate.t) -> g.Gate.kind = Gate.Barrier) c.Circuit.gates)
+
+(* error cases, with line numbers *)
+
+let test_rejects_unknown_gate () = rejects ~line:2 "qreg q[1];\nfrob q[0];"
+
+let test_rejects_out_of_range () = rejects "qreg q[2]; h q[5];"
+
+let test_rejects_arity () = rejects "qreg q[2]; cx q[0];"
+
+let test_rejects_missing_angle () = rejects "qreg q[1]; rz q[0];"
+
+let test_rejects_spurious_angle () = rejects "qreg q[1]; h(0.5) q[0];"
+
+let test_rejects_missing_qreg () = rejects "h q[0];"
+
+let test_rejects_redefined_builtin () = rejects "qreg q[1]; gate h(a) { x a; }"
+
+let test_rejects_duplicate_definition () =
+  rejects "qreg q[1]; gate g(a) { x a; } gate g(a) { y a; }"
+
+let test_rejects_nested_definition () =
+  rejects "qreg q[1]; gate g(a) { gate h2(b) { x b; } }"
+
+let test_rejects_unknown_param () = rejects "qreg q[1]; gate g(a) { x b; } g q[0];"
+
+let test_rejects_duplicate_operands_via_macro () =
+  (* macro called with the same qubit twice -> duplicate CNOT operands *)
+  rejects "qreg q[2]; gate g(a, b) { cx a, b; } g q[0], q[0];"
+
+let test_rejects_unterminated_block () = rejects "qreg q[1]; repeat 2 { h q[0];"
+
+(* end-to-end: a mini-Scaffold adder compiles and runs correctly *)
+let test_scaffold_program_end_to_end () =
+  let src =
+    "qreg q[4];\n\
+     // compute 1 + 1: a=q0, b=q1, cin=q2, cout=q3\n\
+     x q[0];\n\
+     x q[1];\n\
+     ccx q[0], q[1], q[3];\n\
+     cx q[0], q[1];\n\
+     ccx q[1], q[2], q[3];\n\
+     cx q[1], q[2];\n\
+     cx q[0], q[1];\n\
+     measure q;"
+  in
+  let circuit = Scaffold.parse src in
+  let calib = Ibmq16.calibration ~day:0 () in
+  let r = Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib circuit in
+  let runner = Experiments.runner_of r in
+  Alcotest.(check int) "sum 0, carry 1" 0b1011 (Runner.ideal_answer runner)
+
+let suite =
+  [
+    ("minimal program", `Quick, test_minimal_program);
+    ("all simple gate kinds", `Quick, test_gate_kinds);
+    ("rotation angles", `Quick, test_rotation_angles);
+    ("ccx decomposes to 6 cnots", `Quick, test_ccx_decomposes);
+    ("cswap and peres", `Quick, test_cswap_and_peres);
+    ("repeat", `Quick, test_repeat);
+    ("repeat zero", `Quick, test_repeat_zero);
+    ("nested repeat", `Quick, test_nested_repeat);
+    ("user gate", `Quick, test_user_gate);
+    ("user gate composition", `Quick, test_user_gate_calls_user_gate);
+    ("measure whole register", `Quick, test_measure_whole_register);
+    ("comments ignored", `Quick, test_comments_ignored);
+    ("barrier", `Quick, test_barrier);
+    ("rejects unknown gate", `Quick, test_rejects_unknown_gate);
+    ("rejects out-of-range qubit", `Quick, test_rejects_out_of_range);
+    ("rejects arity mismatch", `Quick, test_rejects_arity);
+    ("rejects missing angle", `Quick, test_rejects_missing_angle);
+    ("rejects spurious angle", `Quick, test_rejects_spurious_angle);
+    ("rejects missing qreg", `Quick, test_rejects_missing_qreg);
+    ("rejects builtin redefinition", `Quick, test_rejects_redefined_builtin);
+    ("rejects duplicate definition", `Quick, test_rejects_duplicate_definition);
+    ("rejects nested definition", `Quick, test_rejects_nested_definition);
+    ("rejects unknown parameter", `Quick, test_rejects_unknown_param);
+    ("rejects aliased macro operands", `Quick, test_rejects_duplicate_operands_via_macro);
+    ("rejects unterminated block", `Quick, test_rejects_unterminated_block);
+    ("scaffold adder end-to-end", `Quick, test_scaffold_program_end_to_end);
+  ]

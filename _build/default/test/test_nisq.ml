@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "nisq"
+    [
+      ("util", Test_util.suite);
+      ("circuit", Test_circuit.suite);
+      ("device", Test_device.suite);
+      ("solver", Test_solver.suite);
+      ("sim", Test_sim.suite);
+      ("compiler", Test_compiler.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("frontend", Test_frontend.suite);
+      ("extras", Test_extras.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,299 @@
+(* Property-based tests (qcheck) on core invariants. *)
+
+module Q = QCheck
+module Gate = Nisq_circuit.Gate
+module Circuit = Nisq_circuit.Circuit
+module Dag = Nisq_circuit.Dag
+module Qasm = Nisq_circuit.Qasm
+module Topology = Nisq_device.Topology
+module Calibration = Nisq_device.Calibration
+module Ibmq16 = Nisq_device.Ibmq16
+module Paths = Nisq_device.Paths
+module Placement = Nisq_solver.Placement
+module Config = Nisq_compiler.Config
+module Layout = Nisq_compiler.Layout
+module Route = Nisq_compiler.Route
+module Schedule = Nisq_compiler.Schedule
+module Compile = Nisq_compiler.Compile
+module Greedy = Nisq_compiler.Greedy
+module Synth = Nisq_bench.Synth
+module Experiments = Nisq_bench.Experiments
+module Runner = Nisq_sim.Runner
+
+let calib = Ibmq16.calibration ~day:0 ()
+let paths = Paths.make calib
+
+(* Arbitrary circuit described by (qubits, gates, seed). *)
+let circuit_arb =
+  let gen =
+    Q.Gen.map3
+      (fun qubits gates seed -> (2 + qubits, 1 + gates, seed))
+      (Q.Gen.int_bound 6) (Q.Gen.int_bound 60) (Q.Gen.int_bound 10_000)
+  in
+  Q.make
+    ~print:(fun (q, g, s) -> Printf.sprintf "circuit(q=%d,g=%d,seed=%d)" q g s)
+    gen
+
+let build (q, g, s) = Synth.random_circuit ~qubits:q ~gates:g ~seed:s ()
+
+let prop_dag_edges_go_forward =
+  Q.Test.make ~name:"dag edges respect program order" ~count:100 circuit_arb
+    (fun spec ->
+      let c = build spec in
+      let d = Dag.of_circuit c in
+      let ok = ref true in
+      for i = 0 to Dag.num_gates d - 1 do
+        List.iter (fun p -> if p >= i then ok := false) (Dag.preds d i)
+      done;
+      !ok)
+
+let prop_dag_layers_partition =
+  Q.Test.make ~name:"dag layers partition the gates" ~count:100 circuit_arb
+    (fun spec ->
+      let c = build spec in
+      let d = Dag.of_circuit c in
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun layer -> List.iter (fun i -> Hashtbl.replace seen i ()) layer)
+        (Dag.layers d);
+      Hashtbl.length seen = Circuit.length c)
+
+let prop_qasm_roundtrip =
+  Q.Test.make ~name:"qasm roundtrip preserves gate kinds" ~count:100 circuit_arb
+    (fun spec ->
+      let c = build spec in
+      let c' = Qasm.roundtrip c in
+      Circuit.length c = Circuit.length c'
+      && Array.for_all2
+           (fun (a : Gate.t) (b : Gate.t) -> Gate.equal_kind a.kind b.kind)
+           c.Circuit.gates c'.Circuit.gates)
+
+let prop_interaction_weights_total =
+  Q.Test.make ~name:"interaction weights sum to 2q gate count" ~count:100
+    circuit_arb (fun spec ->
+      let c = build spec in
+      let total =
+        List.fold_left (fun acc (_, w) -> acc + w) 0 (Circuit.interaction_weights c)
+      in
+      total = Circuit.two_qubit_count c)
+
+let prop_greedy_layout_injective =
+  Q.Test.make ~name:"greedy layouts are injective placements" ~count:60
+    circuit_arb (fun spec ->
+      let c = build spec in
+      List.for_all
+        (fun mk ->
+          let layout = mk paths c in
+          let hw = List.init c.Circuit.num_qubits (Layout.hw_of layout) in
+          List.length (List.sort_uniq compare hw) = c.Circuit.num_qubits)
+        [ Greedy.vertex_first; Greedy.edge_first ])
+
+let prop_schedule_no_overlap =
+  Q.Test.make ~name:"schedule has no spatial-temporal overlap" ~count:40
+    circuit_arb (fun spec ->
+      let c = build spec in
+      let layout = Greedy.edge_first paths c in
+      let dag = Dag.of_circuit c in
+      let plan =
+        Route.plan paths ~policy:Config.One_bend
+          ~criterion:Route.Max_reliability ~layout c
+      in
+      let sched = Schedule.compute dag ~circuit:c plan in
+      let ok = ref true in
+      let n = Array.length plan in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = sched.Schedule.entries.(i)
+          and b = sched.Schedule.entries.(j) in
+          let share =
+            Array.exists
+              (fun q -> Array.exists (fun r -> q = r) b.Schedule.reserve)
+              a.Schedule.reserve
+          in
+          let overlap =
+            a.Schedule.duration > 0 && b.Schedule.duration > 0
+            && a.Schedule.start < b.Schedule.start + b.Schedule.duration
+            && b.Schedule.start < a.Schedule.start + a.Schedule.duration
+          in
+          if share && overlap then ok := false
+        done
+      done;
+      !ok)
+
+let prop_schedule_deps =
+  Q.Test.make ~name:"schedule respects dependencies" ~count:40 circuit_arb
+    (fun spec ->
+      let c = build spec in
+      let layout = Greedy.vertex_first paths c in
+      let dag = Dag.of_circuit c in
+      let plan =
+        Route.plan paths ~policy:Config.Best_path
+          ~criterion:Route.Max_reliability ~layout c
+      in
+      let sched = Schedule.compute dag ~circuit:c plan in
+      let ok = ref true in
+      Array.iteri
+        (fun i (e : Schedule.entry) ->
+          List.iter
+            (fun p ->
+              let pe = sched.Schedule.entries.(p) in
+              if e.Schedule.start < pe.Schedule.start + pe.Schedule.duration then
+                ok := false)
+            (Dag.preds dag i))
+        sched.Schedule.entries;
+      !ok)
+
+(* Semantics preservation: the compiled program's noiseless answer
+   distribution matches the source's, for every mapping method. *)
+let perfect =
+  Calibration.uniform ~cnot_error:0.0 ~readout_error:0.0 ~single_error:0.0
+    ~t2_us:1e12 Ibmq16.topology
+
+let distribution_of config circuit =
+  let r = Compile.run ~config ~calib:perfect circuit in
+  Runner.ideal_distribution (Experiments.runner_of r)
+
+let distributions_close a b =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, p) -> Hashtbl.replace tbl k p) a;
+  List.for_all
+    (fun (k, p) ->
+      let q = Option.value ~default:0.0 (Hashtbl.find_opt tbl k) in
+      Float.abs (p -. q) < 1e-6)
+    b
+  && List.length a = List.length b
+
+let small_circuit_arb =
+  let gen =
+    Q.Gen.map3
+      (fun qubits gates seed -> (2 + qubits, 1 + gates, seed))
+      (Q.Gen.int_bound 3) (Q.Gen.int_bound 25) (Q.Gen.int_bound 10_000)
+  in
+  Q.make
+    ~print:(fun (q, g, s) -> Printf.sprintf "circuit(q=%d,g=%d,seed=%d)" q g s)
+    gen
+
+let prop_compilation_preserves_distribution =
+  Q.Test.make
+    ~name:"compilation preserves the answer distribution (all methods)"
+    ~count:25 small_circuit_arb (fun spec ->
+      let c = build spec in
+      let reference = distribution_of (Config.make Config.Qiskit) c in
+      List.for_all
+        (fun config -> distributions_close reference (distribution_of config c))
+        [ Config.make Config.T_smt;
+          Config.make (Config.R_smt_star 0.5);
+          Config.make Config.Greedy_v;
+          Config.make Config.Greedy_e ])
+
+let prop_move_and_stay_preserves_distribution =
+  Q.Test.make
+    ~name:"move-and-stay routing preserves the answer distribution"
+    ~count:25 small_circuit_arb (fun spec ->
+      let c = build spec in
+      let reference = distribution_of (Config.make Config.Qiskit) c in
+      List.for_all
+        (fun method_ ->
+          distributions_close reference
+            (distribution_of
+               (Config.make ~movement:Config.Move_and_stay method_)
+               c))
+        [ Config.Qiskit; Config.Greedy_e ])
+
+let prop_scaffold_roundtrip_via_qasm =
+  (* a circuit emitted as QASM and re-read computes the same distribution *)
+  Q.Test.make ~name:"qasm of compiled output parses to same gate count"
+    ~count:25 small_circuit_arb (fun spec ->
+      let c = build spec in
+      let r = Compile.run ~config:(Config.make Config.Greedy_e) ~calib c in
+      let qasm = Compile.to_qasm r in
+      let parsed = Nisq_circuit.Qasm.of_string qasm in
+      Circuit.gate_count parsed = Circuit.gate_count r.Compile.hw_circuit)
+
+let prop_esp_decreases_with_more_gates =
+  Q.Test.make ~name:"ESP never increases when a circuit grows" ~count:40
+    small_circuit_arb (fun (q, g, s) ->
+      let short = Synth.random_circuit ~measure:false ~qubits:q ~gates:g ~seed:s () in
+      let long = Synth.random_circuit ~measure:false ~qubits:q ~gates:(g * 2) ~seed:s () in
+      (* Qiskit's identity layout and noise-blind routing make the long
+         circuit's physical prefix identical to the short circuit's, so
+         ESP (a product of per-gate reliabilities <= 1) can only drop. *)
+      let esp c =
+        (Compile.run ~config:(Config.make Config.Qiskit) ~calib c).Compile.esp
+      in
+      esp long <= esp short +. 1e-9)
+
+let prop_placement_solver_optimal =
+  let spec_arb =
+    Q.make
+      ~print:(fun (i, s, p, seed) ->
+        Printf.sprintf "placement(items=%d,slots=%d,pairs=%d,seed=%d)" i s p seed)
+      Q.Gen.(
+        map
+          (fun (i, extra, p, seed) -> (2 + i, 2 + i + extra, p, seed))
+          (quad (int_bound 2) (int_bound 2) (int_bound 3) (int_bound 1000)))
+  in
+  Q.Test.make ~name:"placement solver matches brute force" ~count:50 spec_arb
+    (fun (items, slots, npairs, seed) ->
+      let rng = Nisq_util.Rng.create seed in
+      let unary =
+        Array.init items (fun _ ->
+            Array.init slots (fun _ -> -.Nisq_util.Rng.float rng 2.0))
+      in
+      let pairwise =
+        List.init npairs (fun _ ->
+            let i = Nisq_util.Rng.int rng (items - 1) in
+            let j = i + 1 + Nisq_util.Rng.int rng (items - i - 1) in
+            ( i, j,
+              Array.init slots (fun _ ->
+                  Array.init slots (fun _ -> -.Nisq_util.Rng.float rng 2.0)) ))
+      in
+      let p = { Placement.num_items = items; num_slots = slots; unary; pairwise } in
+      let s = Placement.solve p in
+      let _, best = Placement.brute_force p in
+      Float.abs (s.Placement.objective -. best) < 1e-9)
+
+let prop_route_reliability_never_positive =
+  let pair_arb =
+    Q.make
+      ~print:(fun (a, b) -> Printf.sprintf "(%d,%d)" a b)
+      Q.Gen.(
+        map
+          (fun (a, b) -> (a mod 16, b mod 16))
+          (pair (int_bound 15) (int_bound 15)))
+  in
+  Q.Test.make ~name:"route log-reliabilities are non-positive" ~count:100
+    pair_arb (fun (a, b) ->
+      a = b
+      || List.for_all
+           (fun (r : Paths.route) -> r.Paths.log_reliability <= 0.0)
+           (Paths.one_bend_routes paths a b))
+
+let prop_success_rate_within_bounds =
+  Q.Test.make ~name:"success rate lies in [0,1]" ~count:10 small_circuit_arb
+    (fun spec ->
+      let c = build spec in
+      let r = Compile.run ~config:(Config.make Config.Greedy_e) ~calib c in
+      let s =
+        Runner.success_rate ~trials:64 ~seed:9 (Experiments.runner_of r)
+      in
+      s >= 0.0 && s <= 1.0)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_dag_edges_go_forward;
+      prop_dag_layers_partition;
+      prop_qasm_roundtrip;
+      prop_interaction_weights_total;
+      prop_greedy_layout_injective;
+      prop_schedule_no_overlap;
+      prop_schedule_deps;
+      prop_compilation_preserves_distribution;
+      prop_move_and_stay_preserves_distribution;
+      prop_scaffold_roundtrip_via_qasm;
+      prop_esp_decreases_with_more_gates;
+      prop_placement_solver_optimal;
+      prop_route_reliability_never_positive;
+      prop_success_rate_within_bounds;
+    ]

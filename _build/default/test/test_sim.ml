@@ -1,0 +1,396 @@
+(* Tests for Nisq_sim: State and Runner. *)
+
+module Gate = Nisq_circuit.Gate
+module State = Nisq_sim.State
+module Runner = Nisq_sim.Runner
+module Calibration = Nisq_device.Calibration
+module Ibmq16 = Nisq_device.Ibmq16
+module Rng = Nisq_util.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------- State ----------------------------- *)
+
+let test_initial_state () =
+  let st = State.create 2 in
+  let re, im = State.amplitude st 0 in
+  check_float "amp(00) re" 1.0 re;
+  check_float "amp(00) im" 0.0 im;
+  check_float "norm" 1.0 (State.norm st)
+
+let test_x_flips () =
+  let st = State.create 1 in
+  State.apply_gate st Gate.X [| 0 |];
+  check_float "prob 1" 1.0 (State.prob_one st 0)
+
+let test_h_superposition () =
+  let st = State.create 1 in
+  State.apply_gate st Gate.H [| 0 |];
+  check_float "prob half" 0.5 (State.prob_one st 0)
+
+let test_h_squared_identity () =
+  let st = State.create 1 in
+  State.apply_gate st Gate.H [| 0 |];
+  State.apply_gate st Gate.H [| 0 |];
+  check_float "back to |0>" 0.0 (State.prob_one st 0)
+
+let test_bell_state () =
+  let st = State.create 2 in
+  State.apply_gate st Gate.H [| 0 |];
+  State.apply_gate st Gate.Cnot [| 0; 1 |];
+  let p = State.probabilities st in
+  check_float "p(00)" 0.5 p.(0);
+  check_float "p(11)" 0.5 p.(3);
+  check_float "p(01)" 0.0 p.(1);
+  check_float "p(10)" 0.0 p.(2)
+
+let test_ghz_state () =
+  let st = State.create 3 in
+  State.apply_gate st Gate.H [| 0 |];
+  State.apply_gate st Gate.Cnot [| 0; 1 |];
+  State.apply_gate st Gate.Cnot [| 1; 2 |];
+  let p = State.probabilities st in
+  check_float "p(000)" 0.5 p.(0);
+  check_float "p(111)" 0.5 p.(7)
+
+let test_cnot_control_zero_inert () =
+  let st = State.create 2 in
+  State.apply_gate st Gate.Cnot [| 0; 1 |];
+  check_float "target untouched" 0.0 (State.prob_one st 1)
+
+let test_swap_gate () =
+  let st = State.create 2 in
+  State.apply_gate st Gate.X [| 0 |];
+  State.apply_gate st Gate.Swap [| 0; 1 |];
+  check_float "q0 now 0" 0.0 (State.prob_one st 0);
+  check_float "q1 now 1" 1.0 (State.prob_one st 1)
+
+let test_z_phase_invisible_in_z_basis () =
+  let st = State.create 1 in
+  State.apply_gate st Gate.X [| 0 |];
+  State.apply_gate st Gate.Z [| 0 |];
+  check_float "still 1" 1.0 (State.prob_one st 0)
+
+let test_z_between_h_flips () =
+  (* H Z H = X: dephasing mid-superposition corrupts the answer — this is
+     exactly why the T2 noise channel matters for BV-like circuits *)
+  let st = State.create 1 in
+  State.apply_gate st Gate.H [| 0 |];
+  State.apply_gate st Gate.Z [| 0 |];
+  State.apply_gate st Gate.H [| 0 |];
+  check_float "flipped to 1" 1.0 (State.prob_one st 0)
+
+let test_s_t_composition () =
+  (* T^2 = S; S^2 = Z *)
+  let a = State.create 1 in
+  State.apply_gate a Gate.H [| 0 |];
+  State.apply_gate a Gate.T [| 0 |];
+  State.apply_gate a Gate.T [| 0 |];
+  let b = State.create 1 in
+  State.apply_gate b Gate.H [| 0 |];
+  State.apply_gate b Gate.S [| 0 |];
+  check_float "T^2 = S" 1.0 (State.fidelity a b)
+
+let test_sdg_inverts_s () =
+  let st = State.create 1 in
+  State.apply_gate st Gate.H [| 0 |];
+  State.apply_gate st Gate.S [| 0 |];
+  State.apply_gate st Gate.Sdg [| 0 |];
+  let plus = State.create 1 in
+  State.apply_gate plus Gate.H [| 0 |];
+  check_float "identity" 1.0 (State.fidelity st plus)
+
+let test_rz_matches_tdg () =
+  let a = State.create 1 in
+  State.apply_gate a Gate.H [| 0 |];
+  State.apply_gate a Gate.Tdg [| 0 |];
+  let b = State.create 1 in
+  State.apply_gate b Gate.H [| 0 |];
+  State.apply_gate b (Gate.Rz (-.Float.pi /. 4.0)) [| 0 |];
+  check_float "Tdg ~ Rz(-pi/4) up to phase" 1.0 (State.fidelity a b)
+
+let test_rx_pi_is_x_up_to_phase () =
+  let a = State.create 1 in
+  State.apply_gate a (Gate.Rx Float.pi) [| 0 |];
+  let b = State.create 1 in
+  State.apply_gate b Gate.X [| 0 |];
+  check_float "Rx(pi) ~ X" 1.0 (State.fidelity a b)
+
+let test_ry_rotation () =
+  let st = State.create 1 in
+  State.apply_gate st (Gate.Ry (Float.pi /. 2.0)) [| 0 |];
+  check_float "half rotation" 0.5 (State.prob_one st 0)
+
+let test_unitarity_preserves_norm () =
+  let rng = Rng.create 5 in
+  let st = State.create 4 in
+  let kinds =
+    [| Gate.H; Gate.X; Gate.Y; Gate.Z; Gate.S; Gate.T; Gate.Rz 0.3; Gate.Rx 0.7 |]
+  in
+  for _ = 1 to 200 do
+    if Rng.int rng 4 = 0 then begin
+      let c = Rng.int rng 4 in
+      let t = (c + 1 + Rng.int rng 3) mod 4 in
+      State.apply_gate st Gate.Cnot [| c; t |]
+    end
+    else State.apply_gate st (Rng.choose rng kinds) [| Rng.int rng 4 |]
+  done;
+  check_float "norm preserved" 1.0 (State.norm st)
+
+let test_collapse () =
+  let st = State.create 2 in
+  State.apply_gate st Gate.H [| 0 |];
+  State.apply_gate st Gate.Cnot [| 0; 1 |];
+  State.collapse st 0 true;
+  check_float "q0 is 1" 1.0 (State.prob_one st 0);
+  check_float "q1 follows (entangled)" 1.0 (State.prob_one st 1);
+  check_float "renormalized" 1.0 (State.norm st)
+
+let test_collapse_zero_probability_fails () =
+  let st = State.create 1 in
+  Alcotest.(check bool) "raises" true
+    (try State.collapse st 0 true; false with Failure _ -> true)
+
+let test_measure_statistics () =
+  let rng = Rng.create 6 in
+  let ones = ref 0 in
+  for _ = 1 to 2000 do
+    let st = State.create 1 in
+    State.apply_gate st Gate.H [| 0 |];
+    if State.measure st rng 0 then incr ones
+  done;
+  Alcotest.(check bool) "about half" true (!ones > 880 && !ones < 1120)
+
+let test_sample_deterministic_state () =
+  let st = State.create 3 in
+  State.apply_gate st Gate.X [| 1 |];
+  let rng = Rng.create 7 in
+  for _ = 1 to 20 do
+    Alcotest.(check int) "always 010" 2 (State.sample st rng)
+  done
+
+let test_create_bounds () =
+  Alcotest.(check bool) "raises on 0" true
+    (try ignore (State.create 0); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "raises on 25" true
+    (try ignore (State.create 25); false with Invalid_argument _ -> true)
+
+(* ------------------------------- Runner ---------------------------- *)
+
+let calib = Ibmq16.calibration ~day:0 ()
+
+(* Simple job: X on hw qubit 2, measure it; answer should be 1. *)
+let x_job () =
+  Runner.prepare ~calib
+    ~ops:
+      [|
+        { Runner.kind = Gate.X; qubits = [| 2 |]; start = 0; duration = 1 };
+        { Runner.kind = Gate.Measure; qubits = [| 2 |]; start = 1; duration = 4 };
+      |]
+    ~readout:[ (0, 2) ]
+
+let test_runner_ideal_answer () =
+  let job = x_job () in
+  Alcotest.(check int) "answer 1" 1 (Runner.ideal_answer job);
+  check_float "deterministic" 1.0 (Runner.ideal_answer_probability job)
+
+let test_runner_success_rate_bounds () =
+  let job = x_job () in
+  let s = Runner.success_rate ~trials:2000 ~seed:1 job in
+  (* limited by readout + single-gate error + tiny dephasing: well above 0.8 *)
+  Alcotest.(check bool) "high but not perfect" true (s > 0.8 && s < 1.0)
+
+let test_runner_deterministic_in_seed () =
+  let job = x_job () in
+  check_float "same seed same rate"
+    (Runner.success_rate ~trials:500 ~seed:42 job)
+    (Runner.success_rate ~trials:500 ~seed:42 job)
+
+let test_runner_noiseless_calibration_perfect () =
+  let perfect =
+    Calibration.uniform ~cnot_error:0.0 ~readout_error:0.0 ~single_error:0.0
+      ~t2_us:1e9 Ibmq16.topology
+  in
+  let job =
+    Runner.prepare ~calib:perfect
+      ~ops:
+        [|
+          { Runner.kind = Gate.H; qubits = [| 0 |]; start = 0; duration = 1 };
+          { Runner.kind = Gate.Cnot; qubits = [| 0; 1 |]; start = 1; duration = 4 };
+          { Runner.kind = Gate.Cnot; qubits = [| 0; 1 |]; start = 5; duration = 4 };
+          { Runner.kind = Gate.H; qubits = [| 0 |]; start = 9; duration = 1 };
+          { Runner.kind = Gate.Measure; qubits = [| 0 |]; start = 10; duration = 4 };
+          { Runner.kind = Gate.Measure; qubits = [| 1 |]; start = 10; duration = 4 };
+        |]
+      ~readout:[ (0, 0); (1, 1) ]
+  in
+  check_float "perfect machine" 1.0 (Runner.success_rate ~trials:500 ~seed:3 job)
+
+let test_runner_bigger_errors_lower_success () =
+  let mk err =
+    let c = Calibration.uniform ~cnot_error:err ~readout_error:0.02 Ibmq16.topology in
+    (* deterministic circuit: |11> via X then CNOT *)
+    Runner.prepare ~calib:c
+      ~ops:
+        [|
+          { Runner.kind = Gate.X; qubits = [| 0 |]; start = 0; duration = 1 };
+          { Runner.kind = Gate.Cnot; qubits = [| 0; 1 |]; start = 1; duration = 4 };
+          { Runner.kind = Gate.Cnot; qubits = [| 0; 1 |]; start = 5; duration = 4 };
+          { Runner.kind = Gate.Cnot; qubits = [| 0; 1 |]; start = 9; duration = 4 };
+          { Runner.kind = Gate.Measure; qubits = [| 0 |]; start = 13; duration = 4 };
+          { Runner.kind = Gate.Measure; qubits = [| 1 |]; start = 13; duration = 4 };
+        |]
+      ~readout:[ (0, 0); (1, 1) ]
+  in
+  let low = Runner.success_rate ~trials:3000 ~seed:4 (mk 0.01) in
+  let high = Runner.success_rate ~trials:3000 ~seed:4 (mk 0.25) in
+  Alcotest.(check bool) "noise hurts" true (low > high +. 0.1)
+
+let test_runner_dephasing_hurts_superposition () =
+  (* H ... long idle ... H on a short-T2 qubit: dephasing flips the answer
+     with probability up to 1/2. *)
+  let n = 16 in
+  let t2 = Array.make n 1.0 (* 1 us: brutal *) in
+  let cnot_error = Array.make_matrix n n Float.nan in
+  let cnot_duration = Array.make_matrix n n 0 in
+  List.iter
+    (fun (a, b) ->
+      cnot_error.(a).(b) <- 0.0;
+      cnot_error.(b).(a) <- 0.0;
+      cnot_duration.(a).(b) <- 4;
+      cnot_duration.(b).(a) <- 4)
+    (Nisq_device.Topology.edges Ibmq16.topology);
+  let harsh =
+    Calibration.create ~topology:Ibmq16.topology ~day:0 ~t1_us:(Array.make n 1.0)
+      ~t2_us:t2 ~readout_error:(Array.make n 0.0)
+      ~single_error:(Array.make n 0.0) ~cnot_error ~cnot_duration
+  in
+  let job =
+    Runner.prepare ~calib:harsh
+      ~ops:
+        [|
+          { Runner.kind = Gate.H; qubits = [| 0 |]; start = 0; duration = 1 };
+          (* 500 slots of idling = 40 us >> T2 *)
+          { Runner.kind = Gate.H; qubits = [| 0 |]; start = 500; duration = 1 };
+          { Runner.kind = Gate.Measure; qubits = [| 0 |]; start = 501; duration = 4 };
+        |]
+      ~readout:[ (0, 0) ]
+  in
+  let s = Runner.success_rate ~trials:4000 ~seed:5 job in
+  Alcotest.(check bool) "dephased toward coin flip" true (s < 0.6)
+
+let test_runner_amplitude_damping_decays_excited_state () =
+  (* |1> idling far beyond T1 must relax to |0>: prepare X, idle, measure;
+     with T2 huge, only T1 can corrupt the answer. *)
+  let n = 16 in
+  let cnot_error = Array.make_matrix n n Float.nan in
+  let cnot_duration = Array.make_matrix n n 0 in
+  List.iter
+    (fun (a, b) ->
+      cnot_error.(a).(b) <- 0.0;
+      cnot_error.(b).(a) <- 0.0;
+      cnot_duration.(a).(b) <- 4;
+      cnot_duration.(b).(a) <- 4)
+    (Nisq_device.Topology.edges Ibmq16.topology);
+  let harsh =
+    Calibration.create ~topology:Ibmq16.topology ~day:0
+      ~t1_us:(Array.make n 1.0) (* 1 us T1 *)
+      ~t2_us:(Array.make n 1e9) ~readout_error:(Array.make n 0.0)
+      ~single_error:(Array.make n 0.0) ~cnot_error ~cnot_duration
+  in
+  let job =
+    Runner.prepare ~calib:harsh
+      ~ops:
+        [|
+          { Runner.kind = Gate.X; qubits = [| 0 |]; start = 0; duration = 1 };
+          (* 1250 slots = 100 us >> T1: relaxation nearly certain *)
+          { Runner.kind = Gate.Measure; qubits = [| 0 |]; start = 1250; duration = 4 };
+        |]
+      ~readout:[ (0, 0) ]
+  in
+  let s = Runner.success_rate ~trials:2000 ~seed:11 job in
+  Alcotest.(check bool) "decayed to ground" true (s < 0.05)
+
+let test_runner_readout_flip_rate () =
+  (* perfect gates, 20% readout error: success ~ 0.8 *)
+  let c =
+    Calibration.uniform ~cnot_error:0.0 ~readout_error:0.2 ~single_error:0.0
+      ~t2_us:1e9 Ibmq16.topology
+  in
+  let job =
+    Runner.prepare ~calib:c
+      ~ops:
+        [| { Runner.kind = Gate.Measure; qubits = [| 0 |]; start = 0; duration = 4 } |]
+      ~readout:[ (0, 0) ]
+  in
+  let s = Runner.success_rate ~trials:5000 ~seed:6 job in
+  Alcotest.(check bool) "about 0.8" true (Float.abs (s -. 0.8) < 0.03)
+
+let test_runner_rejects_unordered_ops () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Runner.prepare ~calib
+            ~ops:
+              [|
+                { Runner.kind = Gate.H; qubits = [| 0 |]; start = 5; duration = 1 };
+                { Runner.kind = Gate.H; qubits = [| 0 |]; start = 0; duration = 1 };
+              |]
+            ~readout:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_runner_rejects_use_after_measure () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Runner.prepare ~calib
+            ~ops:
+              [|
+                { Runner.kind = Gate.Measure; qubits = [| 0 |]; start = 0; duration = 4 };
+                { Runner.kind = Gate.X; qubits = [| 0 |]; start = 4; duration = 1 };
+              |]
+            ~readout:[ (0, 0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_runner_distribution_sums_to_trials () =
+  let job = x_job () in
+  let d = Runner.distribution ~trials:500 ~seed:7 job in
+  Alcotest.(check int) "total" 500 (List.fold_left (fun a (_, c) -> a + c) 0 d)
+
+let suite =
+  [
+    ("initial state", `Quick, test_initial_state);
+    ("X flips", `Quick, test_x_flips);
+    ("H superposition", `Quick, test_h_superposition);
+    ("H^2 = I", `Quick, test_h_squared_identity);
+    ("bell state", `Quick, test_bell_state);
+    ("ghz state", `Quick, test_ghz_state);
+    ("cnot inert on |0> control", `Quick, test_cnot_control_zero_inert);
+    ("swap gate", `Quick, test_swap_gate);
+    ("Z invisible in Z basis", `Quick, test_z_phase_invisible_in_z_basis);
+    ("H Z H = X", `Quick, test_z_between_h_flips);
+    ("T^2 = S", `Quick, test_s_t_composition);
+    ("Sdg inverts S", `Quick, test_sdg_inverts_s);
+    ("Tdg matches Rz(-pi/4)", `Quick, test_rz_matches_tdg);
+    ("Rx(pi) ~ X", `Quick, test_rx_pi_is_x_up_to_phase);
+    ("Ry(pi/2) half rotation", `Quick, test_ry_rotation);
+    ("unitarity preserves norm", `Quick, test_unitarity_preserves_norm);
+    ("collapse", `Quick, test_collapse);
+    ("collapse zero prob fails", `Quick, test_collapse_zero_probability_fails);
+    ("measure statistics", `Quick, test_measure_statistics);
+    ("sample deterministic state", `Quick, test_sample_deterministic_state);
+    ("state size bounds", `Quick, test_create_bounds);
+    ("runner ideal answer", `Quick, test_runner_ideal_answer);
+    ("runner success bounds", `Quick, test_runner_success_rate_bounds);
+    ("runner deterministic in seed", `Quick, test_runner_deterministic_in_seed);
+    ("runner perfect machine", `Quick, test_runner_noiseless_calibration_perfect);
+    ("runner noise monotonicity", `Quick, test_runner_bigger_errors_lower_success);
+    ("runner dephasing hurts", `Quick, test_runner_dephasing_hurts_superposition);
+    ("runner amplitude damping decays", `Quick, test_runner_amplitude_damping_decays_excited_state);
+    ("runner readout flip rate", `Quick, test_runner_readout_flip_rate);
+    ("runner rejects unordered ops", `Quick, test_runner_rejects_unordered_ops);
+    ("runner rejects use-after-measure", `Quick, test_runner_rejects_use_after_measure);
+    ("runner distribution total", `Quick, test_runner_distribution_sums_to_trials);
+  ]
