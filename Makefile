@@ -1,0 +1,23 @@
+# Convenience targets; `make check` is the tier-1 gate plus a smoke run
+# of the figure harness (compile + parallel Monte-Carlo on one figure).
+
+.PHONY: all build test check bench micro
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- fig5 256
+
+bench:
+	dune exec bench/main.exe
+
+micro:
+	dune exec bench/main.exe -- micro

@@ -21,9 +21,12 @@ module Runner = Nisq_sim.Runner
 (* Bechamel micro-benchmarks: one per table/figure compile path        *)
 (* ------------------------------------------------------------------ *)
 
+module Pool = Nisq_util.Pool
+
 let micro () =
   let open Bechamel in
   let open Toolkit in
+  let pool = Pool.default () in
   let calib = Ibmq16.calibration ~day:0 () in
   let bv4 = (Benchmarks.by_name "BV4").Benchmarks.circuit in
   let toffoli = (Benchmarks.by_name "Toffoli").Benchmarks.circuit in
@@ -72,6 +75,12 @@ let micro () =
           (stage
              (let rng = Nisq_util.Rng.create 1 in
               fun () -> Runner.run_trial runner rng));
+        (* trial-loop throughput: the domain-pool path vs the sequential
+           reference, same seed, bit-identical results *)
+        Test.make ~name:"sim:success-rate-256"
+          (stage (fun () -> Runner.success_rate ~trials:256 ~pool ~seed:1 runner));
+        Test.make ~name:"sim:success-rate-256-seq"
+          (stage (fun () -> Runner.success_rate_seq ~trials:256 ~seed:1 runner));
       ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~stabilize:false ~quota:(Time.second 0.5) () in
@@ -110,6 +119,11 @@ let () =
   let trials =
     if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2048
   in
+  (* Every figure's Monte-Carlo trials run on the shared domain pool;
+     results are bit-identical for any worker count (NISQ_DOMAINS). *)
+  Printf.eprintf "[nisq-bench] domain pool: %d workers (NISQ_DOMAINS=%s)\n%!"
+    (Pool.size (Pool.default ()))
+    (Option.value ~default:"unset" (Sys.getenv_opt "NISQ_DOMAINS"));
   match arg with
   | "table2" -> print_string (E.table2 ())
   | "fig1" -> print_string (E.fig1 ())

@@ -37,11 +37,14 @@ let runner_of (r : Compile.t) =
   in
   Runner.prepare ~calib:r.Compile.calib ~ops ~readout:(Compile.readout_map r)
 
-let evaluate ?(trials = default_trials) ?(seed = default_sim_seed) ~config
-    ~calib (bench : Benchmarks.t) =
+let evaluate ?(trials = default_trials) ?(seed = default_sim_seed) ?pool
+    ~config ~calib (bench : Benchmarks.t) =
   let result = Compile.run ~config ~calib bench.Benchmarks.circuit in
   let runner = runner_of result in
-  let success = Runner.success_rate ~trials ~seed runner in
+  let pool =
+    match pool with Some p -> p | None -> Nisq_util.Pool.default ()
+  in
+  let success = Runner.success_rate ~trials ~pool ~seed runner in
   { bench; config; result; success }
 
 let section title body =

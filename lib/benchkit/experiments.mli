@@ -18,11 +18,15 @@ val runner_of : Nisq_compiler.Compile.t -> Nisq_sim.Runner.t
 val evaluate :
   ?trials:int ->
   ?seed:int ->
+  ?pool:Nisq_util.Pool.t ->
   config:Nisq_compiler.Config.t ->
   calib:Nisq_device.Calibration.t ->
   Benchmarks.t ->
   eval
-(** Compile then measure the success rate over noisy trials. *)
+(** Compile then measure the success rate over noisy trials. Trials run
+    on [pool] (default {!Nisq_util.Pool.default}, sized by the
+    [NISQ_DOMAINS] environment variable); the estimate is bit-identical
+    for every pool size. *)
 
 val table2 : unit -> string
 (** Benchmark characteristics. *)

@@ -1,6 +1,7 @@
 module Gate = Nisq_circuit.Gate
 module Calibration = Nisq_device.Calibration
 module Rng = Nisq_util.Rng
+module Pool = Nisq_util.Pool
 
 type op = { kind : Gate.kind; qubits : int array; start : int; duration : int }
 
@@ -16,7 +17,8 @@ type site =
 type prepared_op = {
   kind : Gate.kind;
   locals : int array;  (* operands as local (compacted) indices *)
-  sites : site array;  (* dephase sites then the fault site, in order *)
+  pre : site array;  (* Dephase/Damp idle-noise sites, in order *)
+  fault : site option;  (* the gate-fault site, applied after the op *)
   readout_flip : float;  (* measure ops only *)
   answer_bit : int;  (* measure ops only: bit position in the answer *)
 }
@@ -24,6 +26,10 @@ type prepared_op = {
 type t = {
   num_local : int;
   ops : prepared_op array;
+  (* Flattened firing probabilities of every noise site, in execution
+     order (per op: pre sites then the fault site). One linear scan of
+     this array decides a whole trial's fault set. *)
+  site_probs : float array;
   ideal : int;
   ideal_prob : float;
   (* cumulative distribution over answers for the no-fault shortcut *)
@@ -44,6 +50,10 @@ let damp_prob calib ~hw ~gap_slots =
     let t1_ns = calib.Calibration.t1_us.(hw) *. 1000.0 in
     let gap_ns = Float.of_int gap_slots *. Calibration.timeslot_ns in
     1.0 -. exp (-.gap_ns /. t1_ns)
+
+let site_prob = function
+  | Dephase { prob; _ } | Damp { prob; _ } | Fault1 { prob; _ }
+  | Fault2 { prob; _ } -> prob
 
 (* Run the unitary part noiselessly (measurements deferred) and return the
    final state. *)
@@ -99,7 +109,7 @@ let prepare ~calib ~ops ~readout =
             if measured.(l) then
               invalid_arg "Runner.prepare: op touches an already-measured qubit")
           locals;
-        let dephase =
+        let pre =
           Array.to_list
             (Array.mapi
                (fun idx l ->
@@ -110,26 +120,28 @@ let prepare ~calib ~ops ~readout =
                    Damp { local = l; prob = damp_prob calib ~hw ~gap_slots };
                  ])
                locals)
-          |> List.concat
+          |> List.concat |> Array.of_list
         in
         Array.iter (fun l -> last_time.(l) <- o.start + o.duration) locals;
         let fault =
           match o.kind with
           | Gate.Cnot ->
-              [ Fault2
-                  {
-                    l0 = locals.(0);
-                    l1 = locals.(1);
-                    prob = Calibration.cnot_error calib o.qubits.(0) o.qubits.(1);
-                  } ]
-          | Gate.Measure | Gate.Barrier -> []
+              Some
+                (Fault2
+                   {
+                     l0 = locals.(0);
+                     l1 = locals.(1);
+                     prob = Calibration.cnot_error calib o.qubits.(0) o.qubits.(1);
+                   })
+          | Gate.Measure | Gate.Barrier -> None
           | Gate.Swap -> invalid_arg "Runner.prepare: lower Swap gates first"
           | _ ->
-              [ Fault1
-                  {
-                    local = locals.(0);
-                    prob = calib.Calibration.single_error.(o.qubits.(0));
-                  } ]
+              Some
+                (Fault1
+                   {
+                     local = locals.(0);
+                     prob = calib.Calibration.single_error.(o.qubits.(0));
+                   })
         in
         let readout_flip, answer_bit =
           match o.kind with
@@ -146,13 +158,7 @@ let prepare ~calib ~ops ~readout =
               (Calibration.readout_error calib hw, bit)
           | _ -> (0.0, -1)
         in
-        {
-          kind = o.kind;
-          locals;
-          sites = Array.of_list (dephase @ fault);
-          readout_flip;
-          answer_bit;
-        })
+        { kind = o.kind; locals; pre; fault; readout_flip; answer_bit })
       ops
   in
   let num_measures =
@@ -162,6 +168,16 @@ let prepare ~calib ~ops ~readout =
   in
   if num_measures <> List.length readout then
     invalid_arg "Runner.prepare: measure count does not match readout map";
+  (* Flattened site probabilities in execution order. *)
+  let site_probs =
+    let acc = ref [] in
+    Array.iter
+      (fun op ->
+        Array.iter (fun s -> acc := site_prob s :: !acc) op.pre;
+        Option.iter (fun s -> acc := site_prob s :: !acc) op.fault)
+      prepared;
+    Array.of_list (List.rev !acc)
+  in
   (* Ideal answer distribution from the noiseless final state. *)
   let final = noiseless_final_state num_local prepared in
   let probs = State.probabilities final in
@@ -205,7 +221,8 @@ let prepare ~calib ~ops ~readout =
            !acc)
          pairs)
   in
-  { num_local; ops = prepared; ideal; ideal_prob; answer_values; answer_cumulative }
+  { num_local; ops = prepared; site_probs; ideal; ideal_prob; answer_values;
+    answer_cumulative }
 
 let num_active_qubits t = t.num_local
 
@@ -248,49 +265,64 @@ let apply_random_pauli2 st rng l0 l1 =
   apply l0 p0;
   apply l1 p1
 
-(* Decide which noise sites fire this trial. Returns None when the trial
-   is fault-free (the common case), so the caller can use the precomputed
-   ideal distribution instead of simulating. *)
-let sample_faults t rng =
-  let fired = ref [] in
-  Array.iteri
-    (fun op_idx op ->
-      Array.iteri
-        (fun site_idx site ->
-          let prob =
-            match site with
-            | Dephase { prob; _ } | Damp { prob; _ } | Fault1 { prob; _ }
-            | Fault2 { prob; _ } -> prob
-          in
-          if prob > 0.0 && Rng.float rng 1.0 < prob then
-            fired := (op_idx, site_idx) :: !fired)
-        op.sites)
-    t.ops;
-  match !fired with [] -> None | l -> Some l
+(* Per-trial scratch: the sorted flat indices of the sites that fired.
+   Sized once to the total site count, so the trial loop never allocates.
+   Each domain running trials owns its own scratch; [t] itself is shared
+   read-only. *)
+type scratch = { mutable fired : int array; mutable nfired : int }
 
-let run_noisy t rng fired =
-  let fired_tbl = Hashtbl.create 8 in
-  List.iter (fun key -> Hashtbl.add fired_tbl key ()) fired;
+let create_scratch t =
+  { fired = Array.make (max 1 (Array.length t.site_probs)) 0; nfired = 0 }
+
+(* Decide which noise sites fire this trial. Fills [scratch.fired] with
+   flat site indices in increasing (execution) order; allocates nothing,
+   and on the common fault-free path leaves [scratch.nfired = 0]. *)
+let sample_faults t scratch rng =
+  let probs = t.site_probs in
+  let n = Array.length probs in
+  let fired = scratch.fired in
+  let nfired = ref 0 in
+  for i = 0 to n - 1 do
+    let p = Array.unsafe_get probs i in
+    if p > 0.0 && Rng.float rng 1.0 < p then begin
+      Array.unsafe_set fired !nfired i;
+      incr nfired
+    end
+  done;
+  scratch.nfired <- !nfired
+
+(* Replay the circuit applying the fired sites. The fired array is sorted
+   in execution order, so a single cursor walks it in lockstep with the
+   flat site counter — no per-trial hash table. *)
+let run_noisy t scratch rng =
+  let fired = scratch.fired and nfired = scratch.nfired in
   let st = State.create t.num_local in
   let answer = ref 0 in
-  Array.iteri
-    (fun op_idx op ->
-      (* dephasing (and gate faults, below) keyed by fired sites *)
-      Array.iteri
-        (fun site_idx site ->
-          match site with
-          | Dephase { local; _ } when Hashtbl.mem fired_tbl (op_idx, site_idx) ->
-              State.apply_pauli st `Z local
-          | Damp { local; _ } when Hashtbl.mem fired_tbl (op_idx, site_idx) ->
-              (* amplitude-damping jump: decay |1> -> |0> with the
-                 current excited-state probability *)
-              let p1 = State.prob_one st local in
-              if p1 > 1e-12 && Rng.float rng 1.0 < p1 then begin
-                State.collapse st local true;
-                State.apply_pauli st `X local
-              end
-          | Dephase _ | Damp _ | Fault1 _ | Fault2 _ -> ())
-        op.sites;
+  let cursor = ref 0 in
+  let flat = ref 0 in
+  let fires () =
+    !cursor < nfired && Array.unsafe_get fired !cursor = !flat
+  in
+  Array.iter
+    (fun op ->
+      Array.iter
+        (fun site ->
+          (if fires () then begin
+             incr cursor;
+             match site with
+             | Dephase { local; _ } -> State.apply_pauli st `Z local
+             | Damp { local; _ } ->
+                 (* amplitude-damping jump: decay |1> -> |0> with the
+                    current excited-state probability *)
+                 let p1 = State.prob_one st local in
+                 if p1 > 1e-12 && Rng.float rng 1.0 < p1 then begin
+                   State.collapse st local true;
+                   State.apply_pauli st `X local
+                 end
+             | Fault1 _ | Fault2 _ -> assert false
+           end);
+          incr flat)
+        op.pre;
       (match op.kind with
       | Gate.Barrier -> ()
       | Gate.Measure ->
@@ -298,14 +330,17 @@ let run_noisy t rng fired =
           let bit = if Rng.float rng 1.0 < op.readout_flip then not bit else bit in
           if bit then answer := !answer lor (1 lsl op.answer_bit)
       | k -> State.apply_gate st k op.locals);
-      Array.iteri
-        (fun site_idx site ->
-          if Hashtbl.mem fired_tbl (op_idx, site_idx) then
-            match site with
-            | Fault1 { local; _ } -> State.apply_pauli st (random_pauli rng) local
-            | Fault2 { l0; l1; _ } -> apply_random_pauli2 st rng l0 l1
-            | Dephase _ | Damp _ -> ())
-        op.sites)
+      match op.fault with
+      | None -> ()
+      | Some site ->
+          (if fires () then begin
+             incr cursor;
+             match site with
+             | Fault1 { local; _ } -> State.apply_pauli st (random_pauli rng) local
+             | Fault2 { l0; l1; _ } -> apply_random_pauli2 st rng l0 l1
+             | Dephase _ | Damp _ -> assert false
+           end);
+          incr flat)
     t.ops;
   !answer
 
@@ -317,29 +352,97 @@ let readout_flips t rng answer =
       else acc)
     answer t.ops
 
-let run_trial t rng =
-  match sample_faults t rng with
-  | None ->
-      (* Fault-free trial: the quantum part is exact, only sampling and
-         classical readout noise remain. *)
-      readout_flips t rng (sample_ideal t rng)
-  | Some fired -> run_noisy t rng fired
+let run_trial_scratch t scratch rng =
+  sample_faults t scratch rng;
+  if scratch.nfired = 0 then
+    (* Fault-free trial: the quantum part is exact, only sampling and
+       classical readout noise remain. *)
+    readout_flips t rng (sample_ideal t rng)
+  else run_noisy t scratch rng
 
-let success_rate ?(trials = 4096) ~seed t =
-  if trials <= 0 then invalid_arg "Runner.success_rate: trials must be positive";
-  let rng = Rng.create seed in
+let run_trial t rng = run_trial_scratch t (create_scratch t) rng
+
+(* ------------------------------------------------------------------ *)
+(* Chunked Monte-Carlo estimation                                      *)
+(*                                                                     *)
+(* Trials are split into fixed-size chunks; chunk [i] draws from the   *)
+(* independent stream [Rng.create (Rng.mix seed i)]. The chunk         *)
+(* decomposition depends only on [trials] and [seed] — never on the    *)
+(* pool size — so estimates are bit-for-bit identical whether chunks   *)
+(* run sequentially or across any number of domains.                   *)
+(* ------------------------------------------------------------------ *)
+
+let chunk_size = 256
+
+let num_chunks trials = (trials + chunk_size - 1) / chunk_size
+
+let chunk_trials ~trials i = min chunk_size (trials - (i * chunk_size))
+
+let chunk_hits t ~seed ~trials i =
+  let n = chunk_trials ~trials i in
+  let rng = Rng.create (Rng.mix seed i) in
+  let scratch = create_scratch t in
   let hits = ref 0 in
-  for _ = 1 to trials do
-    if run_trial t rng = t.ideal then incr hits
+  for _ = 1 to n do
+    if run_trial_scratch t scratch rng = t.ideal then incr hits
+  done;
+  !hits
+
+let check_trials fn trials =
+  if trials <= 0 then invalid_arg (fn ^ ": trials must be positive")
+
+let success_rate_seq ?(trials = 4096) ~seed t =
+  check_trials "Runner.success_rate_seq" trials;
+  let hits = ref 0 in
+  for i = 0 to num_chunks trials - 1 do
+    hits := !hits + chunk_hits t ~seed ~trials i
   done;
   Float.of_int !hits /. Float.of_int trials
 
-let distribution ?(trials = 4096) ~seed t =
-  let rng = Rng.create seed in
+let success_rate ?(trials = 4096) ?pool ~seed t =
+  check_trials "Runner.success_rate" trials;
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let hits =
+    Pool.parallel_chunks pool ~chunks:(num_chunks trials)
+      (chunk_hits t ~seed ~trials)
+    |> List.fold_left ( + ) 0
+  in
+  Float.of_int hits /. Float.of_int trials
+
+let chunk_counts t ~seed ~trials i =
+  let n = chunk_trials ~trials i in
+  let rng = Rng.create (Rng.mix seed i) in
+  let scratch = create_scratch t in
   let counts = Hashtbl.create 32 in
-  for _ = 1 to trials do
-    let a = run_trial t rng in
-    Hashtbl.replace counts a (1 + Option.value ~default:0 (Hashtbl.find_opt counts a))
+  for _ = 1 to n do
+    let a = run_trial_scratch t scratch rng in
+    Hashtbl.replace counts a
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts a))
   done;
-  Hashtbl.fold (fun a c acc -> (a, c) :: acc) counts []
-  |> List.sort (fun (_, c1) (_, c2) -> compare c2 c1)
+  counts
+
+let merge_counts per_chunk =
+  let total = Hashtbl.create 32 in
+  List.iter
+    (fun counts ->
+      Hashtbl.iter
+        (fun a c ->
+          Hashtbl.replace total a
+            (c + Option.value ~default:0 (Hashtbl.find_opt total a)))
+        counts)
+    per_chunk;
+  Hashtbl.fold (fun a c acc -> (a, c) :: acc) total []
+  |> List.sort (fun (a1, c1) (a2, c2) ->
+         if c1 <> c2 then compare c2 c1 else compare a1 a2)
+
+let distribution_seq ?(trials = 4096) ~seed t =
+  check_trials "Runner.distribution_seq" trials;
+  merge_counts
+    (List.init (num_chunks trials) (chunk_counts t ~seed ~trials))
+
+let distribution ?(trials = 4096) ?pool ~seed t =
+  check_trials "Runner.distribution" trials;
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  merge_counts
+    (Pool.parallel_chunks pool ~chunks:(num_chunks trials)
+       (chunk_counts t ~seed ~trials))

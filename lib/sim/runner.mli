@@ -19,7 +19,18 @@
 
     The success rate of a job is the fraction of trials whose outcome
     equals the noiseless most-likely outcome, exactly the paper's
-    metric. Trials are deterministic in the seed. *)
+    metric.
+
+    {2 Determinism and parallelism}
+
+    Trials are split into fixed-size chunks; chunk [i] draws every
+    random number from its own stream seeded by
+    [Rng.create (Rng.mix seed i)]. The chunk decomposition depends only
+    on [trials] and [seed], so {!success_rate} and {!distribution} are
+    bit-for-bit identical whether the chunks run sequentially
+    ({!success_rate_seq}) or across any number of domains of a
+    {!Nisq_util.Pool.t} — the same answer on a laptop, a 64-core server,
+    or with [NISQ_DOMAINS=1]. *)
 
 type op = {
   kind : Nisq_circuit.Gate.kind;
@@ -58,8 +69,23 @@ val ideal_distribution : t -> (int * float) list
 val run_trial : t -> Nisq_util.Rng.t -> int
 (** One noisy execution; returns the (possibly corrupted) answer. *)
 
-val success_rate : ?trials:int -> seed:int -> t -> float
-(** Fraction of [trials] (default 4096) matching {!ideal_answer}. *)
+val success_rate :
+  ?trials:int -> ?pool:Nisq_util.Pool.t -> seed:int -> t -> float
+(** Fraction of [trials] (default 4096) matching {!ideal_answer}.
+    Chunks run on [pool] (default {!Nisq_util.Pool.default}); the result
+    is independent of the pool size (see the determinism contract
+    above). *)
 
-val distribution : ?trials:int -> seed:int -> t -> (int * int) list
-(** Histogram of noisy outcomes, descending count. *)
+val success_rate_seq : ?trials:int -> seed:int -> t -> float
+(** The same estimate computed strictly sequentially in the calling
+    domain — bit-identical to {!success_rate} for equal arguments; kept
+    as the reference path for tests and benchmarks. *)
+
+val distribution :
+  ?trials:int -> ?pool:Nisq_util.Pool.t -> seed:int -> t -> (int * int) list
+(** Histogram of noisy outcomes, descending count (ties ascending by
+    answer). Parallel over [pool] with the same determinism contract as
+    {!success_rate}. *)
+
+val distribution_seq : ?trials:int -> seed:int -> t -> (int * int) list
+(** Sequential reference path for {!distribution}; bit-identical. *)

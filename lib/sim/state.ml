@@ -23,6 +23,10 @@ type m2 = {
   c_re : float; c_im : float; d_re : float; d_im : float;
 }
 
+(* The kernels below index with [Array.unsafe_get/set]: [check_qubit]
+   guarantees [mask < size], every index stays in [0, size), and [size]
+   is the length of both amplitude arrays by construction. *)
+
 let apply_m2 t q m =
   check_qubit t q;
   let mask = 1 lsl q in
@@ -33,12 +37,16 @@ let apply_m2 t q m =
     for off = 0 to mask - 1 do
       let i = !base + off in
       let j = i + mask in
-      let r0 = re.(i) and i0 = im.(i) in
-      let r1 = re.(j) and i1 = im.(j) in
-      re.(i) <- (m.a_re *. r0) -. (m.a_im *. i0) +. (m.b_re *. r1) -. (m.b_im *. i1);
-      im.(i) <- (m.a_re *. i0) +. (m.a_im *. r0) +. (m.b_re *. i1) +. (m.b_im *. r1);
-      re.(j) <- (m.c_re *. r0) -. (m.c_im *. i0) +. (m.d_re *. r1) -. (m.d_im *. i1);
-      im.(j) <- (m.c_re *. i0) +. (m.c_im *. r0) +. (m.d_re *. i1) +. (m.d_im *. r1)
+      let r0 = Array.unsafe_get re i and i0 = Array.unsafe_get im i in
+      let r1 = Array.unsafe_get re j and i1 = Array.unsafe_get im j in
+      Array.unsafe_set re i
+        ((m.a_re *. r0) -. (m.a_im *. i0) +. (m.b_re *. r1) -. (m.b_im *. i1));
+      Array.unsafe_set im i
+        ((m.a_re *. i0) +. (m.a_im *. r0) +. (m.b_re *. i1) +. (m.b_im *. r1));
+      Array.unsafe_set re j
+        ((m.c_re *. r0) -. (m.c_im *. i0) +. (m.d_re *. r1) -. (m.d_im *. i1));
+      Array.unsafe_set im j
+        ((m.c_re *. i0) +. (m.c_im *. r0) +. (m.d_re *. i1) +. (m.d_im *. r1))
     done;
     base := !base + (2 * mask)
   done
@@ -94,11 +102,11 @@ let apply_cnot t c tgt =
   for i = 0 to size - 1 do
     if i land cmask <> 0 && i land tmask = 0 then begin
       let j = i lor tmask in
-      let r = re.(i) and m = im.(i) in
-      re.(i) <- re.(j);
-      im.(i) <- im.(j);
-      re.(j) <- r;
-      im.(j) <- m
+      let r = Array.unsafe_get re i and m = Array.unsafe_get im i in
+      Array.unsafe_set re i (Array.unsafe_get re j);
+      Array.unsafe_set im i (Array.unsafe_get im j);
+      Array.unsafe_set re j r;
+      Array.unsafe_set im j m
     end
   done
 
@@ -128,10 +136,13 @@ let prob_one t q =
   check_qubit t q;
   let mask = 1 lsl q in
   let size = 1 lsl t.n in
+  let re = t.re and im = t.im in
   let p = ref 0.0 in
   for i = 0 to size - 1 do
-    if i land mask <> 0 then
-      p := !p +. (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i))
+    if i land mask <> 0 then begin
+      let r = Array.unsafe_get re i and m = Array.unsafe_get im i in
+      p := !p +. (r *. r) +. (m *. m)
+    end
   done;
   !p
 
@@ -164,17 +175,24 @@ let measure t rng q =
 let sample t rng =
   let u = Rng.float rng 1.0 in
   let size = 1 lsl t.n in
-  let acc = ref 0.0 and result = ref (size - 1) in
+  let re = t.re and im = t.im in
+  (* If rounding leaves the cumulative sum below [u] (norm slightly under
+     1.0), fall back to the last basis state with nonzero probability —
+     never to an unreachable amplitude-zero state. *)
+  let acc = ref 0.0 and result = ref (-1) and last_nonzero = ref 0 in
   (try
      for i = 0 to size - 1 do
-       acc := !acc +. (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i));
+       let r = Array.unsafe_get re i and m = Array.unsafe_get im i in
+       let p = (r *. r) +. (m *. m) in
+       if p > 0.0 then last_nonzero := i;
+       acc := !acc +. p;
        if u < !acc then begin
          result := i;
          raise Exit
        end
      done
    with Exit -> ());
-  !result
+  if !result >= 0 then !result else !last_nonzero
 
 let probabilities t =
   Array.init (1 lsl t.n) (fun i ->

@@ -33,7 +33,9 @@ val measure : t -> Nisq_util.Rng.t -> int -> bool
 (** Sample a computational-basis measurement of one qubit and collapse. *)
 
 val sample : t -> Nisq_util.Rng.t -> int
-(** Sample a full-register basis state (no collapse). *)
+(** Sample a full-register basis state (no collapse). Only basis states
+    with nonzero probability are ever returned, even when floating-point
+    rounding leaves the norm slightly under 1. *)
 
 val probabilities : t -> float array
 (** All [2^n] basis probabilities (fresh array). *)

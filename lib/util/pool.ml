@@ -1,0 +1,133 @@
+type task = Task of (unit -> unit) | Quit
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopped : bool;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let task = Queue.pop t.queue in
+  Mutex.unlock t.mutex;
+  match task with
+  | Quit -> ()
+  | Task f ->
+      f ();
+      worker_loop t
+
+let env_size () =
+  Option.bind (Sys.getenv_opt "NISQ_DOMAINS") (fun s ->
+      int_of_string_opt (String.trim s))
+
+let create ?size () =
+  let size =
+    match size with
+    | Some n -> n
+    | None -> (
+        match env_size () with
+        | Some n -> n
+        | None -> Domain.recommended_domain_count () - 1)
+  in
+  let size = max 0 size in
+  let t =
+    {
+      size;
+      workers = [||];
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      stopped = false;
+    }
+  in
+  if size > 1 then
+    t.workers <- Array.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.workers <- [||];
+  t.stopped <- true;
+  Array.iter (fun _ -> Queue.push Quit t.queue) workers;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join workers
+
+let default_pool = ref None
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create () in
+        default_pool := Some p;
+        at_exit (fun () -> shutdown p);
+        p
+  in
+  Mutex.unlock default_mutex;
+  p
+
+let sequential chunks f = List.init chunks f
+
+let parallel_chunks t ~chunks f =
+  if chunks <= 0 then invalid_arg "Pool.parallel_chunks: chunks must be positive";
+  if t.size <= 1 || t.stopped || chunks = 1 then sequential chunks f
+  else begin
+    let results = Array.make chunks None in
+    let remaining = ref chunks in
+    let done_mutex = Mutex.create () and done_cond = Condition.create () in
+    let run i =
+      let r = try Ok (f i) with e -> Error e in
+      Mutex.lock done_mutex;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.signal done_cond;
+      Mutex.unlock done_mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to chunks - 1 do
+      Queue.push (Task (fun () -> run i)) t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    (* The caller helps drain the queue instead of blocking idle. It must
+       not consume Quit tokens destined for the workers. *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      let task =
+        match Queue.peek_opt t.queue with
+        | Some (Task _) -> (
+            match Queue.pop t.queue with Task f -> Some f | Quit -> None)
+        | Some Quit | None -> None
+      in
+      Mutex.unlock t.mutex;
+      match task with
+      | Some f ->
+          f ();
+          help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock done_mutex;
+    while !remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    List.init chunks (fun i ->
+        match results.(i) with
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+  end

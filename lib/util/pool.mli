@@ -1,0 +1,41 @@
+(** A fixed-size pool of worker domains for embarrassingly-parallel
+    chunked work (Monte-Carlo trial batches, compile sweeps).
+
+    Domains are spawned once at {!create} and reused across every
+    {!parallel_chunks} call — spawning a domain costs far more than a
+    typical chunk, so a per-call [Domain.spawn] would erase the win for
+    the 100 µs–10 ms chunks this repository runs.
+
+    Determinism contract: [parallel_chunks] only distributes indices
+    [0 .. chunks-1]; as long as the chunk function derives all of its
+    randomness from its index (see {!Rng.mix}), results are independent
+    of the pool size and of scheduling order. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ()] spawns a pool of worker domains. The worker count is
+    [size] when given, else the [NISQ_DOMAINS] environment variable,
+    else [Domain.recommended_domain_count () - 1] (reserving one core
+    for the calling domain). A pool of size ≤ 1 spawns no domains and
+    runs every call sequentially in the caller. *)
+
+val size : t -> int
+(** Number of worker domains ([0] for a sequential pool). *)
+
+val default : unit -> t
+(** The shared process-wide pool, created on first use with the default
+    sizing and shut down automatically at exit. *)
+
+val parallel_chunks : t -> chunks:int -> (int -> 'a) -> 'a list
+(** [parallel_chunks t ~chunks f] computes [[f 0; f 1; …; f (chunks-1)]],
+    distributing the calls over the pool's workers (the caller also
+    drains the queue rather than idling). Results are returned in index
+    order. If any [f i] raises, one such exception is re-raised after
+    all chunks finish. [f] must be safe to run on any domain; do not
+    call [parallel_chunks] from inside a chunk function (the pool is
+    not re-entrant). Raises [Invalid_argument] if [chunks <= 0]. *)
+
+val shutdown : t -> unit
+(** Terminate and join the workers. Idempotent. Calls issued after
+    shutdown run sequentially. *)

@@ -18,6 +18,16 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+let mix seed i =
+  (* SplitMix64 finalizer over [seed + golden*(i+1)]: the gamma multiple is
+     injective (odd multiplier) and the finalizer is a bijection, so
+     distinct chunk indices give distinct derived seeds. *)
+  let z = Int64.add (Int64.of_int seed) (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int z
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free for our purposes: modulo bias is negligible for the

@@ -21,6 +21,13 @@ val split : t -> t
     streams are statistically independent. Used to give each qubit / day /
     trial its own stream without coupling draw orders. *)
 
+val mix : int -> int -> int
+(** [mix seed i] derives the seed of stream [i] from a base [seed] by a
+    SplitMix64-style finalizer, without any shared mutable state. Distinct
+    [i] give distinct results for a fixed [seed], so [create (mix seed i)]
+    yields decorrelated, collision-free chunk streams — the basis of the
+    Monte-Carlo engine's determinism across domain counts. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

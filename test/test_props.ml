@@ -279,6 +279,27 @@ let prop_success_rate_within_bounds =
       in
       s >= 0.0 && s <= 1.0)
 
+let prop_mix_chunk_seeds_never_collide =
+  (* the parallel engine's chunk streams: mix seed i <> mix seed j for
+     i <> j, over any base seed *)
+  Q.Test.make ~name:"chunk-seed derivation is collision-free (Rng.mix)"
+    ~count:200
+    Q.(pair int (pair (int_bound 511) (int_bound 511)))
+    (fun (seed, (i, j)) ->
+      i = j || Nisq_util.Rng.mix seed i <> Nisq_util.Rng.mix seed j)
+
+let prop_parallel_rate_matches_sequential =
+  (* the engine's determinism contract, on arbitrary compiled circuits *)
+  let pool = Nisq_util.Pool.create ~size:2 () in
+  at_exit (fun () -> Nisq_util.Pool.shutdown pool);
+  Q.Test.make ~name:"pooled success rate equals sequential bit-for-bit"
+    ~count:10 small_circuit_arb (fun spec ->
+      let c = build spec in
+      let r = Compile.run ~config:(Config.make Config.Greedy_e) ~calib c in
+      let runner = Experiments.runner_of r in
+      Runner.success_rate ~trials:300 ~pool ~seed:17 runner
+      = Runner.success_rate_seq ~trials:300 ~seed:17 runner)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -296,4 +317,6 @@ let suite =
       prop_placement_solver_optimal;
       prop_route_reliability_never_positive;
       prop_success_rate_within_bounds;
+      prop_mix_chunk_seeds_never_collide;
+      prop_parallel_rate_matches_sequential;
     ]

@@ -6,6 +6,7 @@ module Runner = Nisq_sim.Runner
 module Calibration = Nisq_device.Calibration
 module Ibmq16 = Nisq_device.Ibmq16
 module Rng = Nisq_util.Rng
+module Pool = Nisq_util.Pool
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -359,6 +360,61 @@ let test_runner_distribution_sums_to_trials () =
   let d = Runner.distribution ~trials:500 ~seed:7 job in
   Alcotest.(check int) "total" 500 (List.fold_left (fun a (_, c) -> a + c) 0 d)
 
+let paper_runner name =
+  let b = Nisq_bench.Benchmarks.by_name name in
+  let config =
+    Nisq_compiler.Config.make (Nisq_compiler.Config.R_smt_star 0.5)
+  in
+  let r = Nisq_compiler.Compile.run ~config ~calib b.Nisq_bench.Benchmarks.circuit in
+  Nisq_bench.Experiments.runner_of r
+
+let test_runner_pool_matches_seq () =
+  (* the determinism contract: the domain-pool estimate is bit-for-bit
+     the sequential estimate, for any pool size *)
+  let pool = Pool.create ~size:4 () in
+  List.iter
+    (fun name ->
+      let job = paper_runner name in
+      let seq = Runner.success_rate_seq ~trials:1111 ~seed:99 job in
+      let par = Runner.success_rate ~trials:1111 ~pool ~seed:99 job in
+      Alcotest.(check (float 0.0)) (name ^ ": pool = seq, bit-identical") seq par;
+      Alcotest.(check (list (pair int int)))
+        (name ^ ": distribution pool = seq")
+        (Runner.distribution_seq ~trials:777 ~seed:13 job)
+        (Runner.distribution ~trials:777 ~pool ~seed:13 job))
+    [ "BV4"; "Toffoli" ];
+  Pool.shutdown pool
+
+let test_runner_rate_independent_of_pool_size () =
+  let job = paper_runner "BV4" in
+  let reference = Runner.success_rate_seq ~trials:600 ~seed:5 job in
+  List.iter
+    (fun size ->
+      let pool = Pool.create ~size () in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "size %d matches" size)
+        reference
+        (Runner.success_rate ~trials:600 ~pool ~seed:5 job);
+      Pool.shutdown pool)
+    [ 0; 2; 3 ]
+
+let test_sample_only_reachable_states () =
+  (* after a long gate sequence the norm drifts by ulps; sample must
+     still never return an amplitude-zero basis state *)
+  let st = State.create 3 in
+  for _ = 1 to 50 do
+    State.apply_gate st Gate.H [| 0 |];
+    State.apply_gate st Gate.T [| 0 |];
+    State.apply_gate st Gate.H [| 0 |]
+  done;
+  (* qubits 1 and 2 never touched: any index with those bits set has
+     exactly zero amplitude *)
+  let rng = Rng.create 21 in
+  for _ = 1 to 5000 do
+    let i = State.sample st rng in
+    Alcotest.(check int) "untouched qubits stay 0" 0 (i land 0b110)
+  done
+
 let suite =
   [
     ("initial state", `Quick, test_initial_state);
@@ -393,4 +449,7 @@ let suite =
     ("runner rejects unordered ops", `Quick, test_runner_rejects_unordered_ops);
     ("runner rejects use-after-measure", `Quick, test_runner_rejects_use_after_measure);
     ("runner distribution total", `Quick, test_runner_distribution_sums_to_trials);
+    ("runner pool matches sequential", `Quick, test_runner_pool_matches_seq);
+    ("runner rate independent of pool size", `Quick, test_runner_rate_independent_of_pool_size);
+    ("sample only reachable states", `Quick, test_sample_only_reachable_states);
   ]

@@ -3,6 +3,7 @@
 module Rng = Nisq_util.Rng
 module Stats = Nisq_util.Stats
 module Table = Nisq_util.Table
+module Pool = Nisq_util.Pool
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -96,6 +97,67 @@ let test_rng_choose () =
     Alcotest.(check bool) "member" true (Array.exists (fun s -> s = v) a)
   done
 
+let test_rng_mix_distinct_streams () =
+  (* chunk seeds must not collide across a realistic index range *)
+  let seen = Hashtbl.create 4096 in
+  for i = 0 to 2047 do
+    let v = Rng.mix 424242 i in
+    Alcotest.(check bool) (Printf.sprintf "no collision at %d" i) false
+      (Hashtbl.mem seen v);
+    Hashtbl.add seen v ()
+  done
+
+let test_rng_mix_deterministic () =
+  Alcotest.(check int) "same inputs same seed" (Rng.mix 7 13) (Rng.mix 7 13);
+  Alcotest.(check bool) "seed sensitivity" false (Rng.mix 7 13 = Rng.mix 8 13)
+
+let test_pool_parallel_chunks_order () =
+  let pool = Pool.create ~size:4 () in
+  let got = Pool.parallel_chunks pool ~chunks:37 (fun i -> i * i) in
+  Alcotest.(check (list int)) "index order" (List.init 37 (fun i -> i * i)) got;
+  Pool.shutdown pool
+
+let test_pool_sequential_fallback () =
+  let pool = Pool.create ~size:0 () in
+  Alcotest.(check int) "no workers" 0 (Pool.size pool);
+  Alcotest.(check (list int)) "still computes"
+    (List.init 5 Fun.id)
+    (Pool.parallel_chunks pool ~chunks:5 Fun.id);
+  Pool.shutdown pool
+
+let test_pool_rejects_nonpositive_chunks () =
+  let pool = Pool.create ~size:0 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Pool.parallel_chunks pool ~chunks:0 Fun.id);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_propagates_exceptions () =
+  let pool = Pool.create ~size:2 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Pool.parallel_chunks pool ~chunks:8 (fun i ->
+              if i = 5 then failwith "boom" else i));
+       false
+     with Failure _ -> true);
+  Pool.shutdown pool
+
+let test_pool_reusable_across_calls () =
+  let pool = Pool.create ~size:2 () in
+  for round = 1 to 5 do
+    let total =
+      List.fold_left ( + ) 0
+        (Pool.parallel_chunks pool ~chunks:16 (fun i -> (round * 100) + i))
+    in
+    Alcotest.(check int) "sum" ((round * 1600) + 120) total
+  done;
+  Pool.shutdown pool;
+  (* post-shutdown calls degrade to sequential, not deadlock *)
+  Alcotest.(check (list int)) "after shutdown" [ 0; 1; 2 ]
+    (Pool.parallel_chunks pool ~chunks:3 Fun.id)
+
 let test_stats_mean () = check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |])
 
 let test_stats_mean_empty () =
@@ -169,6 +231,13 @@ let suite =
     ("rng shuffle is a permutation", `Quick, test_rng_shuffle_permutation);
     ("rng split streams differ", `Quick, test_rng_split_streams_differ);
     ("rng choose picks members", `Quick, test_rng_choose);
+    ("rng mix streams distinct", `Quick, test_rng_mix_distinct_streams);
+    ("rng mix deterministic", `Quick, test_rng_mix_deterministic);
+    ("pool preserves chunk order", `Quick, test_pool_parallel_chunks_order);
+    ("pool sequential fallback", `Quick, test_pool_sequential_fallback);
+    ("pool rejects non-positive chunks", `Quick, test_pool_rejects_nonpositive_chunks);
+    ("pool propagates exceptions", `Quick, test_pool_propagates_exceptions);
+    ("pool reusable across calls", `Quick, test_pool_reusable_across_calls);
     ("stats mean", `Quick, test_stats_mean);
     ("stats mean empty", `Quick, test_stats_mean_empty);
     ("stats geomean", `Quick, test_stats_geomean);
