@@ -1,5 +1,7 @@
 # Convenience targets; `make check` is the tier-1 gate plus a smoke run
-# of the figure harness (compile + parallel Monte-Carlo on one figure).
+# of the figure harness (compile + parallel Monte-Carlo on one figure)
+# and a telemetry smoke: a traced run whose Chrome trace must parse and
+# carry the expected span shape.
 
 .PHONY: all build test check bench micro
 
@@ -15,6 +17,9 @@ check:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- fig5 256
+	dune exec bin/nisqc.exe -- run BV4 -m rsmt -t 512 \
+	  --trace /tmp/nisq-smoke-trace.json --metrics > /dev/null
+	dune exec tools/jsonlint.exe -- --trace /tmp/nisq-smoke-trace.json
 
 bench:
 	dune exec bench/main.exe

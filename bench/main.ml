@@ -22,10 +22,54 @@ module Runner = Nisq_sim.Runner
 (* ------------------------------------------------------------------ *)
 
 module Pool = Nisq_util.Pool
+module Obs_metrics = Nisq_obs.Metrics
+module Obs_trace = Nisq_obs.Trace
+module Obs_json = Nisq_obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Per-figure telemetry capture                                        *)
+(*                                                                     *)
+(* Each figure run gets a fresh metrics registry + span store and      *)
+(* leaves a machine-readable summary in _telemetry/<id>.telemetry.json *)
+(* (override the directory with NISQ_TELEMETRY_DIR).                   *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_dir () =
+  Option.value (Sys.getenv_opt "NISQ_TELEMETRY_DIR") ~default:"_telemetry"
+
+let figure_telemetry name f =
+  Obs_metrics.set_enabled true;
+  Obs_trace.set_enabled true;
+  Obs_metrics.reset ();
+  Obs_trace.reset ();
+  let out = f () in
+  let doc =
+    Obs_json.Obj
+      [
+        ("figure", Obs_json.String name);
+        ("metrics", Obs_metrics.dump_json ());
+        ("spans", Obs_trace.summary_json ());
+      ]
+  in
+  Obs_metrics.set_enabled false;
+  Obs_trace.set_enabled false;
+  let dir = telemetry_dir () in
+  (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+   with Sys_error _ -> ());
+  let path = Filename.concat dir (name ^ ".telemetry.json") in
+  Obs_json.to_file ~path doc;
+  Printf.eprintf "[nisq-bench] telemetry written to %s\n%!" path;
+  out
 
 let micro () =
   let open Bechamel in
   let open Toolkit in
+  (* The obs:* benchmarks quantify the DISABLED telemetry path; make the
+     state explicit so a preceding figure run cannot leak an enabled
+     registry into the measurements. *)
+  Obs_metrics.set_enabled false;
+  Obs_trace.set_enabled false;
+  let obs_counter = Obs_metrics.counter "bench.obs.counter" in
   let pool = Pool.default () in
   let calib = Ibmq16.calibration ~day:0 () in
   let bv4 = (Benchmarks.by_name "BV4").Benchmarks.circuit in
@@ -81,6 +125,15 @@ let micro () =
           (stage (fun () -> Runner.success_rate ~trials:256 ~pool ~seed:1 runner));
         Test.make ~name:"sim:success-rate-256-seq"
           (stage (fun () -> Runner.success_rate_seq ~trials:256 ~seed:1 runner));
+        (* disabled-telemetry overhead: these three should be within
+           noise of each other (see EXPERIMENTS.md) *)
+        Test.make ~name:"obs:noop"
+          (stage (fun () -> Sys.opaque_identity 0));
+        Test.make ~name:"obs:span-overhead"
+          (stage (fun () ->
+               Obs_trace.with_span "bench" (fun () -> Sys.opaque_identity 0)));
+        Test.make ~name:"obs:counter-incr"
+          (stage (fun () -> Obs_metrics.incr obs_counter));
       ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~stabilize:false ~quota:(Time.second 0.5) () in
@@ -124,28 +177,33 @@ let () =
   Printf.eprintf "[nisq-bench] domain pool: %d workers (NISQ_DOMAINS=%s)\n%!"
     (Pool.size (Pool.default ()))
     (Option.value ~default:"unset" (Sys.getenv_opt "NISQ_DOMAINS"));
+  let figure name f = print_string (figure_telemetry name f) in
   match arg with
-  | "table2" -> print_string (E.table2 ())
-  | "fig1" -> print_string (E.fig1 ())
-  | "fig5" -> print_string (E.fig5 ~trials ())
-  | "fig6" -> print_string (E.fig6 ~trials ())
-  | "fig7" -> print_string (E.fig7 ~trials ())
-  | "fig8" -> print_string (E.fig8 ())
-  | "fig9" -> print_string (E.fig9 ())
-  | "fig10" -> print_string (E.fig10 ~trials ())
-  | "fig11" -> print_string (E.fig11 ())
+  | "table2" -> figure "table2" (fun () -> E.table2 ())
+  | "fig1" -> figure "fig1" (fun () -> E.fig1 ())
+  | "fig5" -> figure "fig5" (fun () -> E.fig5 ~trials ())
+  | "fig6" -> figure "fig6" (fun () -> E.fig6 ~trials ())
+  | "fig7" -> figure "fig7" (fun () -> E.fig7 ~trials ())
+  | "fig8" -> figure "fig8" (fun () -> E.fig8 ())
+  | "fig9" -> figure "fig9" (fun () -> E.fig9 ())
+  | "fig10" -> figure "fig10" (fun () -> E.fig10 ~trials ())
+  | "fig11" -> figure "fig11" (fun () -> E.fig11 ())
   | "ablations" ->
-      print_string (E.ablation_movement ~trials ());
-      print_string (E.ablation_topology ~trials ());
-      print_string (E.ablation_trials ());
-      print_string (E.ablation_high_variance ~trials ());
-      print_string (E.ablation_architecture ~trials ())
+      figure "ablations" (fun () ->
+          String.concat ""
+            [
+              E.ablation_movement ~trials ();
+              E.ablation_topology ~trials ();
+              E.ablation_trials ();
+              E.ablation_high_variance ~trials ();
+              E.ablation_architecture ~trials ();
+            ])
   | "micro" -> micro ()
   | "quick" ->
-      print_string (E.run_all ~trials:512 ~quick:true ());
+      figure "quick" (fun () -> E.run_all ~trials:512 ~quick:true ());
       micro ()
   | "all" ->
-      print_string (E.run_all ~trials ());
+      figure "all" (fun () -> E.run_all ~trials ());
       micro ()
   | other ->
       Printf.eprintf

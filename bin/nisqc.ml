@@ -20,6 +20,8 @@ module Budget = Nisq_solver.Budget
 module Benchmarks = Nisq_bench.Benchmarks
 module Experiments = Nisq_bench.Experiments
 module Runner = Nisq_sim.Runner
+module Telemetry = Nisq_obs.Telemetry
+module Obs_clock = Nisq_obs.Clock
 
 (* ------------------------- shared arguments ------------------------ *)
 
@@ -138,6 +140,27 @@ let load_program name =
     let b = Benchmarks.by_name name in
     (b.Benchmarks.name, b.Benchmarks.circuit, Some b.Benchmarks.expected)
 
+(* --trace/--metrics ride on compile and run; the environment variables
+   NISQ_TRACE / NISQ_METRICS arm the same collectors, flags win. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON (Perfetto-loadable) of the            compile/simulate spans to $(docv), and print the span tree.            Env: $(b,NISQ_TRACE).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Dump the metrics registry (counters, gauges, histograms) after            the command. Env: $(b,NISQ_METRICS=1).")
+
+let setup_telemetry trace metrics =
+  Telemetry.init_from_env ();
+  Telemetry.configure ?trace ?metrics:(if metrics then Some true else None) ()
+
 let config_of ?(movement = Config.Swap_back) method_ routing =
   match routing with
   | Some r -> Config.make ~routing:r ~movement method_
@@ -166,7 +189,9 @@ let describe_result name (r : Compile.t) =
 (* ------------------------------ compile ---------------------------- *)
 
 let compile_cmd =
-  let run program method_ routing movement day seed emit_qasm diagram =
+  let run program method_ routing movement day seed emit_qasm diagram trace
+      metrics =
+    setup_telemetry trace metrics;
     let name, circuit, _ = load_program program in
     let calib = Ibmq16.calibration ~seed ~day () in
     if diagram then begin
@@ -179,7 +204,8 @@ let compile_cmd =
     if emit_qasm then begin
       print_endline "compiled OpenQASM:";
       print_string (Compile.to_qasm r)
-    end
+    end;
+    Telemetry.finish ()
   in
   let qasm_arg =
     Arg.(value & flag & info [ "emit-qasm" ] ~doc:"Print the compiled OpenQASM.")
@@ -191,18 +217,23 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Map a program onto the machine")
     Term.(
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
-      $ day_arg $ seed_arg $ qasm_arg $ diagram_arg)
+      $ day_arg $ seed_arg $ qasm_arg $ diagram_arg $ trace_arg $ metrics_arg)
 
 (* -------------------------------- run ------------------------------ *)
 
 let run_cmd =
-  let run program method_ routing movement day seed trials sim_seed =
+  let run program method_ routing movement day seed trials sim_seed trace
+      metrics =
+    setup_telemetry trace metrics;
     let name, circuit, expected = load_program program in
     let calib = Ibmq16.calibration ~seed ~day () in
     let r = Compile.run ~config:(config_of ~movement method_ routing) ~calib circuit in
     describe_result name r;
     let runner = Experiments.runner_of r in
-    let success = Runner.success_rate ~trials ~seed:sim_seed runner in
+    let pool = Nisq_util.Pool.default () in
+    let t0 = Obs_clock.now_ns () in
+    let success = Runner.success_rate ~trials ~pool ~seed:sim_seed runner in
+    let wall_s = Int64.to_float (Int64.sub (Obs_clock.now_ns ()) t0) /. 1e9 in
     Printf.printf "ideal answer : %d (probability %.4f)\n"
       (Runner.ideal_answer runner)
       (Runner.ideal_answer_probability runner);
@@ -211,7 +242,16 @@ let run_cmd =
         Printf.printf "expected     : %d (%s)\n" e
           (if e = Runner.ideal_answer runner then "matches" else "MISMATCH")
     | None -> ());
-    Printf.printf "success rate : %.4f over %d trials\n" success trials
+    Printf.printf "success rate : %.4f over %d trials\n" success trials;
+    let workers =
+      match Nisq_util.Pool.size pool with
+      | n when n > 1 -> Printf.sprintf "%d worker domains" n
+      | _ -> "sequential"
+    in
+    Printf.printf "sim wall     : %.3f s (%.0f trials/s, %s)\n" wall_s
+      (Float.of_int trials /. Float.max wall_s 1e-9)
+      workers;
+    Telemetry.finish ()
   in
   let trials_arg =
     Arg.(value & opt int 4096
@@ -225,7 +265,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile then simulate noisy execution")
     Term.(
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
-      $ day_arg $ seed_arg $ trials_arg $ sim_seed_arg)
+      $ day_arg $ seed_arg $ trials_arg $ sim_seed_arg $ trace_arg
+      $ metrics_arg)
 
 (* ---------------------------- calibration -------------------------- *)
 

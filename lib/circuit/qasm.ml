@@ -109,6 +109,8 @@ let parse_angle lineno s =
   | Some v -> v
   | None -> fail lineno ("bad angle expression " ^ s)
 
+let m_statements = Nisq_obs.Metrics.counter "frontend.qasm_statements"
+
 let of_string src =
   let num_qubits = ref 0 in
   let pending = ref [] in
@@ -179,7 +181,9 @@ let of_string src =
           in
           pending := (kind, qubits) :: !pending
   in
-  List.iter (fun (lineno, stmt) -> handle lineno stmt) (statements src);
+  let stmts = statements src in
+  Nisq_obs.Metrics.add m_statements (List.length stmts);
+  List.iter (fun (lineno, stmt) -> handle lineno stmt) stmts;
   if !num_qubits = 0 then failwith "Qasm: missing qreg declaration";
   Circuit.make ~name:"qasm" !num_qubits (List.rev !pending)
 

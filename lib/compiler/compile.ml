@@ -5,6 +5,37 @@ module Qasm = Nisq_circuit.Qasm
 module Calibration = Nisq_device.Calibration
 module Topology = Nisq_device.Topology
 module Paths = Nisq_device.Paths
+module Trace = Nisq_obs.Trace
+module Metrics = Nisq_obs.Metrics
+
+let m_compiles = Metrics.counter "compiler.compiles"
+let m_swaps = Metrics.counter "compiler.swaps_inserted"
+let g_esp = Metrics.gauge "compiler.esp"
+let g_esp_cnot = Metrics.gauge "compiler.esp.cnot"
+let g_esp_readout = Metrics.gauge "compiler.esp.readout"
+let g_esp_single = Metrics.gauge "compiler.esp.single"
+
+(* ESP split by error channel (Π of per-channel reliabilities), so the
+   metrics dump shows which channel dominates the success-probability
+   loss for the last compile. *)
+let esp_by_channel calib (ops : Emit.phys array) =
+  let module Gate = Nisq_circuit.Gate in
+  let cnot = ref 1.0 and readout = ref 1.0 and single = ref 1.0 in
+  Array.iter
+    (fun (op : Emit.phys) ->
+      match op.Emit.kind with
+      | Gate.Cnot ->
+          cnot :=
+            !cnot *. Calibration.cnot_reliability calib op.qubits.(0) op.qubits.(1)
+      | Gate.Measure ->
+          readout := !readout *. Calibration.readout_reliability calib op.qubits.(0)
+      | Gate.Barrier | Gate.Swap -> ()
+      | Gate.H | Gate.X | Gate.Y | Gate.Z | Gate.S | Gate.Sdg | Gate.T
+      | Gate.Tdg | Gate.Rz _ | Gate.Rx _ | Gate.Ry _ ->
+          single :=
+            !single *. (1.0 -. calib.Calibration.single_error.(op.qubits.(0))))
+    ops;
+  (!cnot, !readout, !single)
 
 type t = {
   config : Config.t;
@@ -31,6 +62,10 @@ let criterion_of (config : Config.t) : Route.criterion =
       Route.Max_reliability
 
 let run ~(config : Config.t) ~calib circuit =
+  Trace.with_span "compile"
+    ~attrs:[ ("config", Config.name config); ("program", circuit.Circuit.name) ]
+  @@ fun () ->
+  Metrics.incr m_compiles;
   let started = Unix.gettimeofday () in
   let program = Decompose.lower_swaps circuit in
   let dag = Dag.of_circuit program in
@@ -43,6 +78,7 @@ let run ~(config : Config.t) ~calib circuit =
   let decision_paths = Paths.make decision_calib in
   let criterion = criterion_of config in
   let layout, solver_stats =
+    Trace.with_span "layout" @@ fun () ->
     match config.method_ with
     | Config.Qiskit ->
         ( Layout.identity ~num_prog:program.Circuit.num_qubits
@@ -68,6 +104,7 @@ let run ~(config : Config.t) ~calib circuit =
     if Config.uses_calibration config then decision_paths else Paths.make calib
   in
   let scheduled_circuit, plan, final_positions, swap_count, compile_seconds =
+    Trace.with_span "route" @@ fun () ->
     match config.Config.movement with
     | Config.Swap_back ->
         (* The paper's static model: plan over the program circuit, SWAPs
@@ -110,9 +147,24 @@ let run ~(config : Config.t) ~calib circuit =
   let sched_dag =
     if scheduled_circuit == program then dag else Dag.of_circuit scheduled_circuit
   in
-  let schedule = Schedule.compute sched_dag ~circuit:scheduled_circuit plan in
-  let phys = Emit.physical_ops calib scheduled_circuit schedule plan in
-  let hw_circuit = Emit.to_circuit ~num_hw phys in
+  let schedule =
+    Trace.with_span "schedule" @@ fun () ->
+    Schedule.compute sched_dag ~circuit:scheduled_circuit plan
+  in
+  let phys, hw_circuit =
+    Trace.with_span "emit" @@ fun () ->
+    let phys = Emit.physical_ops calib scheduled_circuit schedule plan in
+    (phys, Emit.to_circuit ~num_hw phys)
+  in
+  Metrics.add m_swaps swap_count;
+  let esp = Reliability.esp calib phys in
+  if Metrics.enabled () then begin
+    let c, r, s1 = esp_by_channel calib phys in
+    Metrics.set g_esp esp;
+    Metrics.set g_esp_cnot c;
+    Metrics.set g_esp_readout r;
+    Metrics.set g_esp_single s1
+  end;
   {
     config;
     program;
@@ -124,7 +176,7 @@ let run ~(config : Config.t) ~calib circuit =
     phys;
     hw_circuit;
     duration = schedule.Schedule.makespan;
-    esp = Reliability.esp calib phys;
+    esp;
     swap_count;
     compile_seconds;
     solver_stats;

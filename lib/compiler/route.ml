@@ -5,6 +5,8 @@ module Gate = Nisq_circuit.Gate
 
 type criterion = Min_hops | Min_duration | Max_reliability
 
+let m_routes = Nisq_obs.Metrics.counter "compiler.routes" 
+
 type entry = {
   hw : int array;
   duration : int;
@@ -29,6 +31,7 @@ let pick criterion routes =
   | r :: rest -> List.fold_left (fun acc r -> if better r acc then r else acc) r rest
 
 let choose_route paths ~policy ~criterion h1 h2 =
+  Nisq_obs.Metrics.incr m_routes;
   match (policy, criterion) with
   | Config.Best_path, Max_reliability -> Paths.best_path_route paths h1 h2
   | (Config.Best_path | Config.One_bend | Config.Rectangle_reservation), _ ->

@@ -13,6 +13,11 @@ type entry = {
 
 type t = { entries : entry array; makespan : int }
 
+(* A "conflict" is a gate whose start was pushed past its dependency-ready
+   time by hardware-qubit reservations — i.e. routing contention, not data
+   dependence. *)
+let m_conflicts = Nisq_obs.Metrics.counter "compiler.schedule.conflicts" 
+
 let compute dag ~(circuit : Circuit.t) (plans : Route.entry array) =
   let n = Dag.num_gates dag in
   if Array.length plans <> n then
@@ -58,6 +63,7 @@ let compute dag ~(circuit : Circuit.t) (plans : Route.entry array) =
     makespan := Int.max !makespan finish
   in
   let count = ref 0 in
+  let conflicts = ref 0 in
   (* Phase 1: every non-measure gate, earliest-ready-gate-first. *)
   while !ready <> [] do
     let best =
@@ -71,6 +77,7 @@ let compute dag ~(circuit : Circuit.t) (plans : Route.entry array) =
         None !ready
     in
     let i, start = Option.get best in
+    if start > dep_ready.(i) then Stdlib.incr conflicts;
     ready := List.filter (fun j -> j <> i) !ready;
     place i start;
     incr count;
@@ -94,12 +101,17 @@ let compute dag ~(circuit : Circuit.t) (plans : Route.entry array) =
         List.fold_left (fun acc pr -> Int.max acc finish_of.(pr)) 0
           (Dag.preds dag i)
       in
-      place i (Array.fold_left (fun acc h -> Int.max acc busy.(h)) dep
-                 plans.(i).Route.reserve);
+      let start =
+        Array.fold_left (fun acc h -> Int.max acc busy.(h)) dep
+          plans.(i).Route.reserve
+      in
+      if start > dep then Stdlib.incr conflicts;
+      place i start;
       incr count
     end
   done;
   if !count <> n then failwith "Schedule.compute: dependency cycle";
+  Nisq_obs.Metrics.add m_conflicts !conflicts;
   { entries; makespan = !makespan }
 
 let coherence_violations t calib =

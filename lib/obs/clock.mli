@@ -1,0 +1,13 @@
+(** Monotonic time source for the telemetry layer.
+
+    Span timestamps and chunk latencies must come from a clock that never
+    jumps backwards; [Unix.gettimeofday] is wall time and does. This
+    wraps the CLOCK_MONOTONIC stub already shipped with Bechamel so the
+    rest of the repository never names the dependency directly. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. Only differences are
+    meaningful; the origin is unspecified. Allocation-free. *)
+
+val ns_to_ms : int64 -> float
+(** Convenience: nanoseconds to milliseconds. *)

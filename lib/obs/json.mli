@@ -1,0 +1,36 @@
+(** Minimal self-contained JSON: a value type, a compact renderer and a
+    strict parser.
+
+    The telemetry layer exports Chrome [trace_event] files and metrics
+    dumps; the test suite and the CI smoke check parse them back. No
+    JSON library is preinstalled in the toolchain, so this module is the
+    single source of truth for both directions — anything {!to_string}
+    produces, {!of_string} accepts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). Non-finite floats
+    render as [null]: JSON has no representation for them. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** {!to_string} into an existing buffer. *)
+
+val to_file : path:string -> t -> unit
+(** Write {!to_string} plus a trailing newline to [path]. *)
+
+val of_string : string -> (t, string) result
+(** Strict RFC 8259 parser: one value, nothing after it. Numbers
+    without [.], [e] or [E] parse as [Int]; [\uXXXX] escapes decode to
+    UTF-8. Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to the first [k]; [None] on
+    a missing key or a non-object. *)

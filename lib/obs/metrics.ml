@@ -1,0 +1,212 @@
+let on = ref false
+
+let set_enabled b = on := b
+
+let enabled () = !on
+
+type counter = { cell : int Atomic.t } [@@unboxed]
+
+type gauge = { bits : int64 Atomic.t } [@@unboxed]
+
+type histogram = {
+  bounds : float array; (* ascending inclusive upper bounds *)
+  counts : int Atomic.t array; (* length bounds + 1; last is +inf *)
+  sum_bits : int64 Atomic.t; (* float accumulated via CAS *)
+}
+
+let registry_mutex = Mutex.create ()
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let registered tbl name make =
+  Mutex.lock registry_mutex;
+  let v =
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+        let v = make () in
+        Hashtbl.add tbl name v;
+        v
+  in
+  Mutex.unlock registry_mutex;
+  v
+
+(* ----------------------------- counters ---------------------------- *)
+
+let counter name =
+  registered counters name (fun () -> { cell = Atomic.make 0 })
+
+let incr c = if !on then Atomic.incr c.cell
+
+let add c n = if !on && n <> 0 then ignore (Atomic.fetch_and_add c.cell n)
+
+let value c = Atomic.get c.cell
+
+(* ------------------------------ gauges ----------------------------- *)
+
+let zero_bits = Int64.bits_of_float 0.0
+
+let gauge name =
+  registered gauges name (fun () -> { bits = Atomic.make zero_bits })
+
+let set g v = if !on then Atomic.set g.bits (Int64.bits_of_float v)
+
+let rec cas_add_float cell v =
+  let old = Atomic.get cell in
+  let next = Int64.bits_of_float (Int64.float_of_bits old +. v) in
+  if not (Atomic.compare_and_set cell old next) then cas_add_float cell v
+
+let gauge_add g v = if !on then cas_add_float g.bits v
+
+let gauge_value g = Int64.float_of_bits (Atomic.get g.bits)
+
+(* ---------------------------- histograms --------------------------- *)
+
+let default_bounds = [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+
+let histogram ?(bounds = default_bounds) name =
+  if Array.length bounds = 0 then
+    invalid_arg "Metrics.histogram: empty bounds";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && not (b > bounds.(i - 1)) then
+        invalid_arg "Metrics.histogram: bounds must be strictly ascending")
+    bounds;
+  registered histograms name (fun () ->
+      {
+        bounds = Array.copy bounds;
+        counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+        sum_bits = Atomic.make zero_bits;
+      })
+
+let observe h v =
+  if !on then begin
+    let n = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < n && v > h.bounds.(!i) do
+      Stdlib.incr i
+    done;
+    Atomic.incr h.counts.(!i);
+    cas_add_float h.sum_bits v
+  end
+
+let histogram_count h =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts
+
+let histogram_sum h = Int64.float_of_bits (Atomic.get h.sum_bits)
+
+(* --------------------------- dump / reset -------------------------- *)
+
+let sorted_bindings tbl =
+  Mutex.lock registry_mutex;
+  let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+let reset () =
+  List.iter (fun (_, c) -> Atomic.set c.cell 0) (sorted_bindings counters);
+  List.iter (fun (_, g) -> Atomic.set g.bits zero_bits) (sorted_bindings gauges);
+  List.iter
+    (fun (_, h) ->
+      Array.iter (fun c -> Atomic.set c 0) h.counts;
+      Atomic.set h.sum_bits zero_bits)
+    (sorted_bindings histograms)
+
+let counter_values () =
+  List.map (fun (name, c) -> (name, value c)) (sorted_bindings counters)
+
+let bound_label b =
+  if Float.is_integer b && Float.abs b < 1e15 then
+    Printf.sprintf "%.0f" b
+  else Printf.sprintf "%g" b
+
+let dump_json () =
+  let counters_json =
+    List.map (fun (name, c) -> (name, Json.Int (value c)))
+      (sorted_bindings counters)
+  in
+  let gauges_json =
+    List.map (fun (name, g) -> (name, Json.Float (gauge_value g)))
+      (sorted_bindings gauges)
+  in
+  let histograms_json =
+    List.map
+      (fun (name, h) ->
+        ( name,
+          Json.Obj
+            [
+              ( "bounds",
+                Json.List
+                  (Array.to_list (Array.map (fun b -> Json.Float b) h.bounds))
+              );
+              ( "counts",
+                Json.List
+                  (Array.to_list
+                     (Array.map (fun c -> Json.Int (Atomic.get c)) h.counts))
+              );
+              ("count", Json.Int (histogram_count h));
+              ("sum", Json.Float (histogram_sum h));
+            ] ))
+      (sorted_bindings histograms)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters_json);
+      ("gauges", Json.Obj gauges_json);
+      ("histograms", Json.Obj histograms_json);
+    ]
+
+let render () =
+  let buf = Buffer.create 1024 in
+  let cs = sorted_bindings counters in
+  let gs = sorted_bindings gauges in
+  let hs = sorted_bindings histograms in
+  let width =
+    List.fold_left
+      (fun acc (name, _) -> Int.max acc (String.length name))
+      0
+      (List.map (fun (n, _) -> (n, ())) cs
+      @ List.map (fun (n, _) -> (n, ())) gs
+      @ List.map (fun (n, _) -> (n, ())) hs)
+  in
+  Buffer.add_string buf "=== metrics ===\n";
+  if cs <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (name, c) ->
+        Printf.bprintf buf "  %-*s %12d\n" width name (value c))
+      cs
+  end;
+  if gs <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun (name, g) ->
+        Printf.bprintf buf "  %-*s %12.6g\n" width name (gauge_value g))
+      gs
+  end;
+  if hs <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    List.iter
+      (fun (name, h) ->
+        Printf.bprintf buf "  %-*s count=%d sum=%g\n" width name
+          (histogram_count h) (histogram_sum h);
+        Array.iteri
+          (fun i c ->
+            let n = Atomic.get c in
+            if n > 0 then
+              let label =
+                if i < Array.length h.bounds then
+                  "le " ^ bound_label h.bounds.(i)
+                else "+inf"
+              in
+              Printf.bprintf buf "  %-*s   %-12s %d\n" width "" label n)
+          h.counts)
+      hs
+  end;
+  if cs = [] && gs = [] && hs = [] then
+    Buffer.add_string buf "  (no metrics registered)\n";
+  Buffer.contents buf

@@ -1,0 +1,81 @@
+(** Process-wide metrics registry: named counters, gauges and
+    fixed-bucket histograms.
+
+    Every cell is an [Atomic.t], so any domain (pool workers included)
+    may update any metric without locks. Registration takes a mutex but
+    happens once per name — call {!counter}/{!gauge}/{!histogram} at
+    module initialization and keep the handle; updates through a handle
+    never hash or lock.
+
+    {2 Cost model}
+
+    The registry is globally disabled by default. A disabled update is
+    one mutable-ref read and a branch — no allocation, no atomic
+    traffic; the [obs:counter-incr] micro-benchmark (bench/main.exe
+    micro) pins this within noise of a no-op call.
+
+    {2 Determinism}
+
+    Counters are integer sums of deterministic per-chunk contributions,
+    so their totals are bit-identical for any [NISQ_DOMAINS] / pool size
+    (asserted by the test suite). Gauges and histograms may carry
+    wall-clock measurements (chunk latencies, busy time) and are
+    reproducible in shape but not in value. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+(** Turn the registry on or off. Off (the default) makes every update a
+    no-op. *)
+
+val enabled : unit -> bool
+(** Current state; hot paths may hoist this out of loops. *)
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+val counter : string -> counter
+(** Register (or look up) the counter named [s]. Idempotent. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+(** Reads are always live, even while the registry is disabled. *)
+
+(** {1 Gauges} — last-written (or accumulated) floats. *)
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_add : gauge -> float -> unit
+(** Atomic float accumulation (CAS loop); used for busy-time totals. *)
+
+val gauge_value : gauge -> float
+
+(** {1 Histograms} — fixed upper-bound buckets plus an overflow bucket. *)
+
+val histogram : ?bounds:float array -> string -> histogram
+(** [bounds] are ascending inclusive upper bounds; one extra [+inf]
+    bucket catches the rest. Re-registering a name returns the existing
+    histogram (its original bounds win). Raises [Invalid_argument] on
+    empty or unsorted bounds. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** {1 Dump / reset} *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive). *)
+
+val counter_values : unit -> (string * int) list
+(** All counters sorted by name — the deterministic slice of the
+    registry, compared bit-for-bit across pool sizes in tests. *)
+
+val dump_json : unit -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}], every
+    section sorted by name. *)
+
+val render : unit -> string
+(** Human-readable dump, one metric per line, sorted by name. *)

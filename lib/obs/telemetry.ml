@@ -1,0 +1,42 @@
+let trace_dest : string option ref = ref None
+
+let want_metrics = ref false
+
+let configure ?trace ?metrics () =
+  (match trace with
+  | Some path ->
+      trace_dest := Some path;
+      Trace.set_enabled true
+  | None -> ());
+  match metrics with
+  | Some b ->
+      want_metrics := b;
+      Metrics.set_enabled b
+  | None -> ()
+
+let truthy s =
+  match String.lowercase_ascii (String.trim s) with
+  | "1" | "true" | "yes" | "on" -> true
+  | _ -> false
+
+let init_from_env () =
+  (match Sys.getenv_opt "NISQ_TRACE" with
+  | Some path when String.trim path <> "" -> configure ~trace:path ()
+  | _ -> ());
+  match Sys.getenv_opt "NISQ_METRICS" with
+  | Some v when truthy v -> configure ~metrics:true ()
+  | _ -> ()
+
+let trace_path () = !trace_dest
+
+let metrics_requested () = !want_metrics
+
+let finish ?(out = stderr) () =
+  (match !trace_dest with
+  | Some path ->
+      Json.to_file ~path (Trace.export_json ());
+      Printf.fprintf out "trace written to %s\n" path;
+      output_string out (Trace.render_tree ())
+  | None -> ());
+  if !want_metrics then output_string out (Metrics.render ());
+  flush out

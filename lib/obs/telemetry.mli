@@ -1,0 +1,32 @@
+(** Session-level switchboard for the telemetry layer.
+
+    The CLI and the bench harness talk to this module instead of
+    flipping {!Trace} and {!Metrics} individually: {!configure} (from
+    [--trace FILE] / [--metrics]) or {!init_from_env} (from
+    [NISQ_TRACE] / [NISQ_METRICS]) arm the collectors before the work
+    runs, and {!finish} flushes everything afterwards — Chrome trace
+    JSON to the requested file, pass-timing tree and metrics table to
+    an output channel. *)
+
+val configure : ?trace:string -> ?metrics:bool -> unit -> unit
+(** Arm collectors. [~trace:path] enables span tracing and remembers
+    where {!finish} should write the Chrome trace; [~metrics:true]
+    enables the metrics registry. Omitted arguments leave the
+    corresponding collector untouched, so env-derived settings survive
+    a flagless CLI invocation. *)
+
+val init_from_env : unit -> unit
+(** Read [NISQ_TRACE] (a file path) and [NISQ_METRICS] (truthy:
+    "1"/"true"/"yes"/"on", case-insensitive) and {!configure}
+    accordingly. Call before CLI flags so flags win. *)
+
+val trace_path : unit -> string option
+(** Where {!finish} will write the trace, if tracing is armed. *)
+
+val metrics_requested : unit -> bool
+
+val finish : ?out:out_channel -> unit -> unit
+(** Flush: write the Chrome trace to the configured path (if any) and
+    print the span tree, then print the metrics table (if requested)
+    to [out] (default [stderr]). Collectors stay enabled; call
+    {!Trace.reset} / {!Metrics.reset} to reuse the process. *)

@@ -2,6 +2,24 @@ module Gate = Nisq_circuit.Gate
 module Calibration = Nisq_device.Calibration
 module Rng = Nisq_util.Rng
 module Pool = Nisq_util.Pool
+module Clock = Nisq_obs.Clock
+module Metrics = Nisq_obs.Metrics
+module Trace = Nisq_obs.Trace
+
+(* Fault tallies are accumulated per chunk in plain ints and batch-added
+   here, so the counter totals are sums over the fixed chunk
+   decomposition — identical for any pool size. Chunk latency is
+   wall-clock and lands in a histogram instead. *)
+let m_trials = Metrics.counter "sim.trials"
+let m_fault_t2 = Metrics.counter "sim.faults.t2_dephase"
+let m_fault_t1 = Metrics.counter "sim.faults.t1_damp"
+let m_fault_single = Metrics.counter "sim.faults.single"
+let m_fault_cnot = Metrics.counter "sim.faults.cnot"
+let m_fault_readout = Metrics.counter "sim.faults.readout"
+
+let h_chunk_ns =
+  Metrics.histogram "sim.chunk_latency_ns"
+    ~bounds:[| 1e4; 3e4; 1e5; 3e5; 1e6; 3e6; 1e7; 3e7; 1e8 |]
 
 type op = { kind : Gate.kind; qubits : int array; start : int; duration : int }
 
@@ -30,6 +48,9 @@ type t = {
      order (per op: pre sites then the fault site). One linear scan of
      this array decides a whole trial's fault set. *)
   site_probs : float array;
+  (* channel of each flat site, parallel to [site_probs]; indexes the
+     per-chunk tally (see [tally_slot]) *)
+  site_kinds : int array;
   ideal : int;
   ideal_prob : float;
   (* cumulative distribution over answers for the no-fault shortcut *)
@@ -54,6 +75,18 @@ let damp_prob calib ~hw ~gap_slots =
 let site_prob = function
   | Dephase { prob; _ } | Damp { prob; _ } | Fault1 { prob; _ }
   | Fault2 { prob; _ } -> prob
+
+(* Tally slots: 0 dephase (T2), 1 damp (T1), 2 single-qubit fault,
+   3 CNOT fault, 4 readout flip. *)
+let tally_slot = function
+  | Dephase _ -> 0
+  | Damp _ -> 1
+  | Fault1 _ -> 2
+  | Fault2 _ -> 3
+
+let tally_slots = 5
+
+let readout_slot = 4
 
 (* Run the unitary part noiselessly (measurements deferred) and return the
    final state. *)
@@ -169,14 +202,15 @@ let prepare ~calib ~ops ~readout =
   if num_measures <> List.length readout then
     invalid_arg "Runner.prepare: measure count does not match readout map";
   (* Flattened site probabilities in execution order. *)
-  let site_probs =
+  let site_probs, site_kinds =
     let acc = ref [] in
     Array.iter
       (fun op ->
-        Array.iter (fun s -> acc := site_prob s :: !acc) op.pre;
-        Option.iter (fun s -> acc := site_prob s :: !acc) op.fault)
+        Array.iter (fun s -> acc := s :: !acc) op.pre;
+        Option.iter (fun s -> acc := s :: !acc) op.fault)
       prepared;
-    Array.of_list (List.rev !acc)
+    let sites = Array.of_list (List.rev !acc) in
+    (Array.map site_prob sites, Array.map tally_slot sites)
   in
   (* Ideal answer distribution from the noiseless final state. *)
   let final = noiseless_final_state num_local prepared in
@@ -221,8 +255,8 @@ let prepare ~calib ~ops ~readout =
            !acc)
          pairs)
   in
-  { num_local; ops = prepared; site_probs; ideal; ideal_prob; answer_values;
-    answer_cumulative }
+  { num_local; ops = prepared; site_probs; site_kinds; ideal; ideal_prob;
+    answer_values; answer_cumulative }
 
 let num_active_qubits t = t.num_local
 
@@ -269,10 +303,18 @@ let apply_random_pauli2 st rng l0 l1 =
    Sized once to the total site count, so the trial loop never allocates.
    Each domain running trials owns its own scratch; [t] itself is shared
    read-only. *)
-type scratch = { mutable fired : int array; mutable nfired : int }
+type scratch = {
+  mutable fired : int array;
+  mutable nfired : int;
+  tally : int array;  (* per-channel fired-site counts, see [tally_slot] *)
+}
 
 let create_scratch t =
-  { fired = Array.make (max 1 (Array.length t.site_probs)) 0; nfired = 0 }
+  {
+    fired = Array.make (max 1 (Array.length t.site_probs)) 0;
+    nfired = 0;
+    tally = Array.make tally_slots 0;
+  }
 
 (* Decide which noise sites fire this trial. Fills [scratch.fired] with
    flat site indices in increasing (execution) order; allocates nothing,
@@ -327,7 +369,12 @@ let run_noisy t scratch rng =
       | Gate.Barrier -> ()
       | Gate.Measure ->
           let bit = State.measure st rng op.locals.(0) in
-          let bit = if Rng.float rng 1.0 < op.readout_flip then not bit else bit in
+          (* the flip draw happens unconditionally, as before, so the
+             stream of random numbers is unchanged by the tally *)
+          let flipped = Rng.float rng 1.0 < op.readout_flip in
+          if flipped then
+            scratch.tally.(readout_slot) <- scratch.tally.(readout_slot) + 1;
+          let bit = if flipped then not bit else bit in
           if bit then answer := !answer lor (1 lsl op.answer_bit)
       | k -> State.apply_gate st k op.locals);
       match op.fault with
@@ -344,11 +391,15 @@ let run_noisy t scratch rng =
     t.ops;
   !answer
 
-let readout_flips t rng answer =
+let readout_flips t scratch rng answer =
   Array.fold_left
     (fun acc op ->
-      if op.kind = Gate.Measure && Rng.float rng 1.0 < op.readout_flip then
+      (* same draw pattern as before the tally existed: one flip draw per
+         measure op, none for other ops *)
+      if op.kind = Gate.Measure && Rng.float rng 1.0 < op.readout_flip then begin
+        scratch.tally.(readout_slot) <- scratch.tally.(readout_slot) + 1;
         acc lxor (1 lsl op.answer_bit)
+      end
       else acc)
     answer t.ops
 
@@ -357,8 +408,14 @@ let run_trial_scratch t scratch rng =
   if scratch.nfired = 0 then
     (* Fault-free trial: the quantum part is exact, only sampling and
        classical readout noise remain. *)
-    readout_flips t rng (sample_ideal t rng)
-  else run_noisy t scratch rng
+    readout_flips t scratch rng (sample_ideal t rng)
+  else begin
+    for c = 0 to scratch.nfired - 1 do
+      let k = t.site_kinds.(scratch.fired.(c)) in
+      scratch.tally.(k) <- scratch.tally.(k) + 1
+    done;
+    run_noisy t scratch rng
+  end
 
 let run_trial t rng = run_trial_scratch t (create_scratch t) rng
 
@@ -378,7 +435,20 @@ let num_chunks trials = (trials + chunk_size - 1) / chunk_size
 
 let chunk_trials ~trials i = min chunk_size (trials - (i * chunk_size))
 
+(* Publish a chunk's tallies. [Metrics.add] of a deterministic per-chunk
+   quantity keeps counter totals independent of the pool size. *)
+let publish_tally scratch ~n =
+  Metrics.add m_trials n;
+  Metrics.add m_fault_t2 scratch.tally.(0);
+  Metrics.add m_fault_t1 scratch.tally.(1);
+  Metrics.add m_fault_single scratch.tally.(2);
+  Metrics.add m_fault_cnot scratch.tally.(3);
+  Metrics.add m_fault_readout scratch.tally.(readout_slot)
+
 let chunk_hits t ~seed ~trials i =
+  Trace.with_span "sim.chunk" @@ fun () ->
+  let record = Metrics.enabled () in
+  let t0 = if record then Clock.now_ns () else 0L in
   let n = chunk_trials ~trials i in
   let rng = Rng.create (Rng.mix seed i) in
   let scratch = create_scratch t in
@@ -386,6 +456,11 @@ let chunk_hits t ~seed ~trials i =
   for _ = 1 to n do
     if run_trial_scratch t scratch rng = t.ideal then incr hits
   done;
+  if record then begin
+    Metrics.observe h_chunk_ns
+      (Int64.to_float (Int64.sub (Clock.now_ns ()) t0));
+    publish_tally scratch ~n
+  end;
   !hits
 
 let check_trials fn trials =
@@ -401,6 +476,7 @@ let success_rate_seq ?(trials = 4096) ~seed t =
 
 let success_rate ?(trials = 4096) ?pool ~seed t =
   check_trials "Runner.success_rate" trials;
+  Trace.with_span "simulate" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let hits =
     Pool.parallel_chunks pool ~chunks:(num_chunks trials)
@@ -410,6 +486,9 @@ let success_rate ?(trials = 4096) ?pool ~seed t =
   Float.of_int hits /. Float.of_int trials
 
 let chunk_counts t ~seed ~trials i =
+  Trace.with_span "sim.chunk" @@ fun () ->
+  let record = Metrics.enabled () in
+  let t0 = if record then Clock.now_ns () else 0L in
   let n = chunk_trials ~trials i in
   let rng = Rng.create (Rng.mix seed i) in
   let scratch = create_scratch t in
@@ -419,6 +498,11 @@ let chunk_counts t ~seed ~trials i =
     Hashtbl.replace counts a
       (1 + Option.value ~default:0 (Hashtbl.find_opt counts a))
   done;
+  if record then begin
+    Metrics.observe h_chunk_ns
+      (Int64.to_float (Int64.sub (Clock.now_ns ()) t0));
+    publish_tally scratch ~n
+  end;
   counts
 
 let merge_counts per_chunk =
@@ -442,6 +526,7 @@ let distribution_seq ?(trials = 4096) ~seed t =
 
 let distribution ?(trials = 4096) ?pool ~seed t =
   check_trials "Runner.distribution" trials;
+  Trace.with_span "simulate" @@ fun () ->
   let pool = match pool with Some p -> p | None -> Pool.default () in
   merge_counts
     (Pool.parallel_chunks pool ~chunks:(num_chunks trials)

@@ -22,7 +22,13 @@ module Clock = struct
     mutable blown : bool;
   }
 
+  (* Node totals are deterministic unless a wall-clock budget blows; the
+     paper-scale benchmarks stay far inside the default time budget. *)
+  let m_solves = Nisq_obs.Metrics.counter "solver.solves"
+  let m_nodes = Nisq_obs.Metrics.counter "solver.nodes"
+
   let start budget =
+    Nisq_obs.Metrics.incr m_solves;
     { budget; started = Unix.gettimeofday (); count = 0; blown = false }
 
   let tick c =
@@ -48,6 +54,7 @@ module Clock = struct
     end
 
   let stats c ~exhausted =
+    Nisq_obs.Metrics.add m_nodes c.count;
     {
       nodes_visited = c.count;
       elapsed_seconds = Unix.gettimeofday () -. c.started;

@@ -8,6 +8,8 @@ type problem = {
 
 type solution = { assignment : int array; cost : int; stats : Budget.stats }
 
+let m_evals = Nisq_obs.Metrics.counter "solver.constraint_evals"
+
 let solve ?(budget = Budget.unlimited) p =
   if p.num_items <= 0 then invalid_arg "Makespan: no items";
   if p.num_slots < p.num_items then invalid_arg "Makespan: fewer slots than items";
@@ -15,6 +17,8 @@ let solve ?(budget = Budget.unlimited) p =
   let order = match p.order with Some o -> o | None -> Array.init n Fun.id in
   if Array.length order <> n then invalid_arg "Makespan: bad order length";
   let clock = Budget.Clock.start budget in
+  (* Local tally, batch-published once after the search (see Placement). *)
+  let evals = ref 0 in
   let placement = Array.make n (-1) in
   let used = Array.make s false in
   let best = Array.make n (-1) in
@@ -39,6 +43,7 @@ let solve ?(budget = Budget.unlimited) p =
           placement.(item) <- slot;
           let lb = p.lower_bound placement in
           placement.(item) <- -1;
+          Stdlib.incr evals;
           if lb < !best_cost then candidates := (slot, lb) :: !candidates
         end
       done;
@@ -69,6 +74,7 @@ let solve ?(budget = Budget.unlimited) p =
             placement.(item) <- slot;
             let lb = p.lower_bound placement in
             placement.(item) <- -1;
+            Stdlib.incr evals;
             if lb < !chosen_lb then begin
               chosen_lb := lb;
               chosen := slot
@@ -81,4 +87,5 @@ let solve ?(budget = Budget.unlimited) p =
     Array.blit placement 0 best 0 n;
     best_cost := p.leaf_cost best
   end;
+  Nisq_obs.Metrics.add m_evals !evals;
   { assignment = best; cost = !best_cost; stats = Budget.Clock.stats clock ~exhausted:(not !blown) }

@@ -61,6 +61,8 @@ let matrix_max m =
     (fun acc row -> Array.fold_left Float.max acc row)
     neg_infinity m
 
+let m_evals = Nisq_obs.Metrics.counter "solver.constraint_evals"
+
 let solve ?(budget = Budget.unlimited) p =
   validate p;
   let pairs = merged_pairs p in
@@ -111,6 +113,9 @@ let solve ?(budget = Budget.unlimited) p =
     optimistic.(pos) <- optimistic.(pos + 1) +. unary_max.(item) +. pair_max_into.(item)
   done;
   let clock = Budget.Clock.start budget in
+  (* Local tally, batch-published once — keeps the dfs inner loop free of
+     atomics and the published total deterministic. *)
+  let evals = ref 0 in
   let placed = Array.make n (-1) in
   let used = Array.make s false in
   let best = Array.make n (-1) in
@@ -141,6 +146,7 @@ let solve ?(budget = Budget.unlimited) p =
           List.iter
             (fun (partner, lookup) -> inc := !inc +. lookup placed.(partner) slot)
             earlier_pairs.(item);
+          Stdlib.incr evals;
           candidates := (slot, !inc) :: !candidates
         end
       done;
@@ -176,6 +182,7 @@ let solve ?(budget = Budget.unlimited) p =
           List.iter
             (fun (partner, lookup) -> inc := !inc +. lookup placed.(partner) slot)
             earlier_pairs.(item);
+          Stdlib.incr evals;
           if !inc > !best_inc then begin
             best_inc := !inc;
             best_slot := slot
@@ -188,6 +195,7 @@ let solve ?(budget = Budget.unlimited) p =
     end
   in
   dfs 0 0.0;
+  Nisq_obs.Metrics.add m_evals !evals;
   {
     assignment = best;
     objective = !best_score;

@@ -1,3 +1,24 @@
+module Clock = Nisq_obs.Clock
+module Metrics = Nisq_obs.Metrics
+
+(* Registered once; updates are no-ops while telemetry is disabled.
+   [pool.tasks]/[pool.parallel_calls] only count work items, so they are
+   deterministic for any pool size; busy-time gauges are wall-clock. *)
+let m_parallel_calls = Metrics.counter "pool.parallel_calls"
+let m_tasks = Metrics.counter "pool.tasks"
+let g_workers = Metrics.gauge "pool.workers"
+let g_worker_busy = Metrics.gauge "pool.worker_busy_s"
+let g_caller_busy = Metrics.gauge "pool.caller_busy_s"
+
+let timed busy f =
+  if Metrics.enabled () then begin
+    let t0 = Clock.now_ns () in
+    Fun.protect f ~finally:(fun () ->
+        let dt = Int64.sub (Clock.now_ns ()) t0 in
+        Metrics.gauge_add busy (Int64.to_float dt /. 1e9))
+  end
+  else f ()
+
 type task = Task of (unit -> unit) | Quit
 
 type t = {
@@ -19,12 +40,36 @@ let rec worker_loop t =
   match task with
   | Quit -> ()
   | Task f ->
-      f ();
+      timed g_worker_busy f;
       worker_loop t
 
+(* NISQ_DOMAINS diagnostics: a malformed value silently falling back to
+   the default worker count is invisible and has burnt people; warn once
+   per process on stderr and then use the default. *)
+let env_warned = ref false
+
+let warn_env raw reason =
+  if not !env_warned then begin
+    env_warned := true;
+    Printf.eprintf
+      "nisq: warning: ignoring NISQ_DOMAINS=%S (%s); using the default \
+       worker count\n\
+       %!"
+      raw reason
+  end
+
 let env_size () =
-  Option.bind (Sys.getenv_opt "NISQ_DOMAINS") (fun s ->
-      int_of_string_opt (String.trim s))
+  match Sys.getenv_opt "NISQ_DOMAINS" with
+  | None -> None
+  | Some raw -> (
+      match int_of_string_opt (String.trim raw) with
+      | None ->
+          warn_env raw "not an integer";
+          None
+      | Some n when n < 0 ->
+          warn_env raw "negative";
+          None
+      | Some n -> Some n)
 
 let create ?size () =
   let size =
@@ -83,6 +128,11 @@ let sequential chunks f = List.init chunks f
 
 let parallel_chunks t ~chunks f =
   if chunks <= 0 then invalid_arg "Pool.parallel_chunks: chunks must be positive";
+  (* Counted before choosing a path so the totals match for sequential
+     and pooled execution alike. *)
+  Metrics.incr m_parallel_calls;
+  Metrics.add m_tasks chunks;
+  Metrics.set g_workers (float_of_int (Array.length t.workers));
   if t.size <= 1 || t.stopped || chunks = 1 then sequential chunks f
   else begin
     let results = Array.make chunks None in
@@ -115,7 +165,7 @@ let parallel_chunks t ~chunks f =
       Mutex.unlock t.mutex;
       match task with
       | Some f ->
-          f ();
+          timed g_caller_busy f;
           help ()
       | None -> ()
     in

@@ -17,8 +17,10 @@ val create : ?size:int -> unit -> t
 (** [create ()] spawns a pool of worker domains. The worker count is
     [size] when given, else the [NISQ_DOMAINS] environment variable,
     else [Domain.recommended_domain_count () - 1] (reserving one core
-    for the calling domain). A pool of size ≤ 1 spawns no domains and
-    runs every call sequentially in the caller. *)
+    for the calling domain). A non-integer or negative [NISQ_DOMAINS]
+    is ignored with a single warning on stderr and the default sizing
+    applies. A pool of size ≤ 1 spawns no domains and runs every call
+    sequentially in the caller. *)
 
 val size : t -> int
 (** Number of worker domains ([0] for a sequential pool). *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "nisq"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("circuit", Test_circuit.suite);
       ("device", Test_device.suite);
       ("solver", Test_solver.suite);

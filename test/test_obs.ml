@@ -1,0 +1,291 @@
+(* Tests for Nisq_obs: JSON round-trips, span nesting/balance, metric
+   determinism across pool sizes, Chrome trace shape, and the no-allocation
+   guarantee of the disabled path.
+
+   The telemetry registry and span store are process-global, so every test
+   here restores the disabled/empty state on exit — other suites must not
+   observe stray spans or counts. *)
+
+module Json = Nisq_obs.Json
+module Metrics = Nisq_obs.Metrics
+module Trace = Nisq_obs.Trace
+module Pool = Nisq_util.Pool
+module Config = Nisq_compiler.Config
+module Compile = Nisq_compiler.Compile
+module Ibmq16 = Nisq_device.Ibmq16
+module Benchmarks = Nisq_bench.Benchmarks
+module Experiments = Nisq_bench.Experiments
+module Runner = Nisq_sim.Runner
+
+let obs_off () =
+  Metrics.set_enabled false;
+  Trace.set_enabled false;
+  Metrics.reset ();
+  Trace.reset ()
+
+let with_obs f =
+  obs_off ();
+  Metrics.set_enabled true;
+  Trace.set_enabled true;
+  Fun.protect ~finally:obs_off f
+
+(* ------------------------------- JSON ------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 3.140625);
+        ("tiny", Json.Float 1.25e-9);
+        ("str", Json.String "line\nquote\" tab\tback\\ end");
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+        ("nest", Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.Int 2 ]) ]);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+
+let test_json_float_roundtrip () =
+  List.iter
+    (fun f ->
+      let s = Json.to_string (Json.Float f) in
+      match Json.of_string s with
+      | Ok (Json.Float f') ->
+          Alcotest.(check (float 0.0)) ("float " ^ s) f f'
+      | Ok (Json.Int i) ->
+          Alcotest.(check (float 0.0)) ("int-coerced " ^ s) f (Float.of_int i)
+      | Ok _ -> Alcotest.failf "%s parsed to a non-number" s
+      | Error msg -> Alcotest.failf "%s failed: %s" s msg)
+    [ 0.5; -1.75; 1e300; 4.9e-324; 0.1; Float.pi ]
+
+let test_json_escapes () =
+  (match Json.of_string {|"Aé中😀"|} with
+  | Ok (Json.String s) ->
+      Alcotest.(check string) "unicode escapes" "A\xc3\xa9\xe4\xb8\xad\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "parsed to non-string"
+  | Error msg -> Alcotest.failf "failed: %s" msg);
+  (* lone surrogate must be rejected *)
+  match Json.of_string {|"\ud800"|} with
+  | Ok _ -> Alcotest.fail "lone surrogate accepted"
+  | Error _ -> ()
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun src ->
+      match Json.of_string src with
+      | Ok _ -> Alcotest.failf "accepted %S" src
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "1 2"; "nul"; "\"unterminated"; "01" ]
+
+(* ------------------------------ spans ------------------------------- *)
+
+let test_spans_nest_and_balance () =
+  with_obs @@ fun () ->
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "inner" (fun () -> ()));
+  (try
+     Trace.with_span "boom" (fun () ->
+         Trace.with_span "deep" (fun () -> failwith "kaboom"))
+   with Failure _ -> ());
+  Trace.with_span "after" (fun () -> ());
+  let spans = Trace.spans () in
+  let depth_of name =
+    match List.find_opt (fun (s : Trace.span) -> s.name = name) spans with
+    | Some s -> s.depth
+    | None -> Alcotest.failf "span %s not recorded" name
+  in
+  Alcotest.(check int) "five spans" 5 (List.length spans);
+  Alcotest.(check int) "outer depth" 1 (depth_of "outer");
+  Alcotest.(check int) "inner depth" 2 (depth_of "inner");
+  Alcotest.(check int) "boom depth" 1 (depth_of "boom");
+  Alcotest.(check int) "deep depth" 2 (depth_of "deep");
+  (* the depth counter recovered from the exception *)
+  Alcotest.(check int) "after depth" 1 (depth_of "after")
+
+let test_span_attrs_and_value () =
+  with_obs @@ fun () ->
+  let v = Trace.with_span "calc" ~attrs:[ ("k", "v") ] (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk value" 42 v;
+  match Trace.spans () with
+  | [ s ] ->
+      Alcotest.(check string) "name" "calc" s.Trace.name;
+      Alcotest.(check (list (pair string string))) "attrs" [ ("k", "v") ]
+        s.Trace.attrs;
+      Alcotest.(check bool) "duration nonnegative" true (s.Trace.dur_ns >= 0L)
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_chrome_trace_roundtrip () =
+  with_obs @@ fun () ->
+  Trace.with_span "a" (fun () -> Trace.with_span "b" (fun () -> ()));
+  let doc = Trace.export_json () in
+  let reparsed =
+    match Json.of_string (Json.to_string doc) with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "trace JSON invalid: %s" msg
+  in
+  match Json.member "traceEvents" reparsed with
+  | Some (Json.List events) ->
+      Alcotest.(check int) "two events" 2 (List.length events);
+      List.iter
+        (fun e ->
+          (match Json.member "ph" e with
+          | Some (Json.String "X") -> ()
+          | _ -> Alcotest.fail "ph is not \"X\"");
+          (match Json.member "ts" e with
+          | Some (Json.Float ts) ->
+              Alcotest.(check bool) "ts rebased to >= 0" true (ts >= 0.0)
+          | Some (Json.Int ts) ->
+              Alcotest.(check bool) "ts rebased to >= 0" true (ts >= 0)
+          | _ -> Alcotest.fail "ts missing");
+          match Json.member "name" e with
+          | Some (Json.String ("a" | "b")) -> ()
+          | _ -> Alcotest.fail "unexpected event name")
+        events
+  | _ -> Alcotest.fail "traceEvents missing"
+
+(* ----------------------------- metrics ------------------------------ *)
+
+let test_metrics_basics () =
+  with_obs @@ fun () ->
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Metrics.add c 0;
+  Alcotest.(check int) "counter" 5 (Metrics.value c);
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 2.5;
+  Metrics.gauge_add g 0.5;
+  Alcotest.(check (float 1e-12)) "gauge" 3.0 (Metrics.gauge_value g);
+  let h = Metrics.histogram "test.histo" ~bounds:[| 1.0; 10.0 |] in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 5.0; 100.0 ];
+  Alcotest.(check int) "histogram count" 4 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "histogram sum" 106.5 (Metrics.histogram_sum h);
+  (* same name returns the same cell *)
+  Metrics.incr (Metrics.counter "test.counter");
+  Alcotest.(check int) "idempotent registration" 6 (Metrics.value c);
+  (* dump parses back *)
+  match Json.of_string (Json.to_string (Metrics.dump_json ())) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "dump_json invalid: %s" msg
+
+let test_disabled_updates_are_noops () =
+  obs_off ();
+  let c = Metrics.counter "test.disabled.counter" in
+  Metrics.incr c;
+  Metrics.add c 100;
+  Alcotest.(check int) "counter unchanged" 0 (Metrics.value c);
+  Trace.with_span "invisible" (fun () -> ());
+  Alcotest.(check int) "no spans" 0 (List.length (Trace.spans ()))
+
+(* The workload run once per pool size; counter totals must match. *)
+let counter_totals_with_pool_size size =
+  obs_off ();
+  Metrics.set_enabled true;
+  let pool = Pool.create ~size () in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown pool;
+      obs_off ())
+    (fun () ->
+      let calib = Ibmq16.calibration ~day:0 () in
+      let bv4 = (Benchmarks.by_name "BV4").Benchmarks.circuit in
+      let r =
+        Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib bv4
+      in
+      let runner = Experiments.runner_of r in
+      let _rate = Runner.success_rate ~trials:1024 ~pool ~seed:7 runner in
+      Metrics.counter_values ())
+
+let test_counters_pool_size_independent () =
+  let base = counter_totals_with_pool_size 0 in
+  Alcotest.(check bool) "workload counted something" true
+    (List.exists (fun (_, v) -> v > 0) base);
+  List.iter
+    (fun size ->
+      let totals = counter_totals_with_pool_size size in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "pool size %d matches sequential" size)
+        base totals)
+    [ 1; 4 ]
+
+let test_counters_parallel_updates () =
+  with_obs @@ fun () ->
+  let c = Metrics.counter "test.parallel.counter" in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Metrics.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost updates" 40_000 (Metrics.value c)
+
+(* -------------------------- allocation ------------------------------ *)
+
+(* Top-level so the benchmark loop closes over nothing. *)
+let nop () = Sys.opaque_identity 0
+
+let minor_words_for f =
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  Gc.minor_words () -. before
+
+let test_disabled_path_no_alloc () =
+  obs_off ();
+  let c = Metrics.counter "test.alloc.counter" in
+  let baseline = minor_words_for nop in
+  let span_words =
+    minor_words_for (fun () -> Trace.with_span "t" nop)
+  in
+  let counter_words =
+    minor_words_for (fun () ->
+        Metrics.incr c;
+        0)
+  in
+  (* Identical allocation behaviour to the no-op baseline, modulo a tiny
+     slack for GC bookkeeping noise. *)
+  let slack = 256.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "span path allocates nothing (%.0f vs %.0f baseline)"
+       span_words baseline)
+    true
+    (span_words -. baseline <= slack);
+  Alcotest.(check bool)
+    (Printf.sprintf "counter path allocates nothing (%.0f vs %.0f baseline)"
+       counter_words baseline)
+    true
+    (counter_words -. baseline <= slack)
+
+let suite =
+  [
+    Alcotest.test_case "json value round-trips" `Quick test_json_roundtrip;
+    Alcotest.test_case "json floats round-trip" `Quick
+      test_json_float_roundtrip;
+    Alcotest.test_case "json unicode escapes" `Quick test_json_escapes;
+    Alcotest.test_case "json rejects malformed input" `Quick
+      test_json_rejects_garbage;
+    Alcotest.test_case "spans nest and rebalance under exceptions" `Quick
+      test_spans_nest_and_balance;
+    Alcotest.test_case "span carries attrs and thunk value" `Quick
+      test_span_attrs_and_value;
+    Alcotest.test_case "chrome trace round-trips through the parser" `Quick
+      test_chrome_trace_roundtrip;
+    Alcotest.test_case "metrics counters, gauges, histograms" `Quick
+      test_metrics_basics;
+    Alcotest.test_case "disabled telemetry is a no-op" `Quick
+      test_disabled_updates_are_noops;
+    Alcotest.test_case "counter totals independent of pool size" `Slow
+      test_counters_pool_size_independent;
+    Alcotest.test_case "atomic counters survive parallel updates" `Quick
+      test_counters_parallel_updates;
+    Alcotest.test_case "disabled path allocates nothing" `Quick
+      test_disabled_path_no_alloc;
+  ]

@@ -1,0 +1,72 @@
+(* jsonlint — validate JSON files emitted by the telemetry layer.
+
+   Usage: jsonlint [--trace] FILE...
+
+   Parses each file with the same strict parser the test suite uses.
+   With --trace, additionally checks the Chrome trace_event shape: a
+   top-level object with a non-empty "traceEvents" list whose entries
+   carry name/ph/ts/dur fields. Exits non-zero on the first failure. *)
+
+module Json = Nisq_obs.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_trace path v =
+  let fail msg =
+    Printf.eprintf "%s: not a Chrome trace: %s\n" path msg;
+    exit 1
+  in
+  match Json.member "traceEvents" v with
+  | None -> fail "missing \"traceEvents\""
+  | Some (Json.List []) -> fail "\"traceEvents\" is empty"
+  | Some (Json.List events) ->
+      List.iteri
+        (fun i e ->
+          let field name =
+            match Json.member name e with
+            | Some f -> f
+            | None -> fail (Printf.sprintf "event %d: missing %S" i name)
+          in
+          (match field "name" with
+          | Json.String _ -> ()
+          | _ -> fail (Printf.sprintf "event %d: \"name\" not a string" i));
+          (match field "ph" with
+          | Json.String _ -> ()
+          | _ -> fail (Printf.sprintf "event %d: \"ph\" not a string" i));
+          (match field "ts" with
+          | Json.Int _ | Json.Float _ -> ()
+          | _ -> fail (Printf.sprintf "event %d: \"ts\" not a number" i));
+          match field "dur" with
+          | Json.Int _ | Json.Float _ -> ()
+          | _ -> fail (Printf.sprintf "event %d: \"dur\" not a number" i))
+        events
+  | Some _ -> fail "\"traceEvents\" is not a list"
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let trace_mode = List.mem "--trace" args in
+  let files = List.filter (fun a -> a <> "--trace") args in
+  if files = [] then begin
+    prerr_endline "usage: jsonlint [--trace] FILE...";
+    exit 2
+  end;
+  List.iter
+    (fun path ->
+      let src =
+        try read_file path
+        with Sys_error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 1
+      in
+      match Json.of_string src with
+      | Error msg ->
+          Printf.eprintf "%s: invalid JSON: %s\n" path msg;
+          exit 1
+      | Ok v ->
+          if trace_mode then check_trace path v;
+          Printf.printf "%s: OK\n" path)
+    files
