@@ -20,6 +20,11 @@ check:
 	dune exec bin/nisqc.exe -- run BV4 -m rsmt -t 512 \
 	  --trace /tmp/nisq-smoke-trace.json --metrics > /dev/null
 	dune exec tools/jsonlint.exe -- --trace /tmp/nisq-smoke-trace.json
+	dune exec bin/nisqc.exe -- calibration --save /tmp/nisq-smoke-calib.txt \
+	  > /dev/null
+	dune exec tools/caliblint.exe -- --strict /tmp/nisq-smoke-calib.txt
+	dune exec bin/nisqc.exe -- run BV4 -m rsmt -t 512 --metrics \
+	  --inject "calib:nan@q3;solver:blow;pool:crash@chunk0" > /dev/null
 
 bench:
 	dune exec bench/main.exe

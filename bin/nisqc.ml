@@ -12,6 +12,9 @@ open Cmdliner
 module Circuit = Nisq_circuit.Circuit
 module Qasm = Nisq_circuit.Qasm
 module Calibration = Nisq_device.Calibration
+module Calib_io = Nisq_device.Calib_io
+module Calib_sanitize = Nisq_device.Calib_sanitize
+module Faultkit = Nisq_faultkit.Faultkit
 module Ibmq16 = Nisq_device.Ibmq16
 module Config = Nisq_compiler.Config
 module Compile = Nisq_compiler.Compile
@@ -124,16 +127,29 @@ let program_arg =
           "Benchmark name (see $(b,nisqc list)), an OpenQASM 2.0 file, or a \
            mini-Scaffold file (.scaf).")
 
+(* Parse diagnostics go to stderr as "file:line: message" (no line part
+   when the error is not tied to one) and exit with status 2, the
+   conventional usage/input-error code — never a backtrace. *)
+let die_parse file line message =
+  if line > 0 then Printf.eprintf "%s:%d: %s\n" file line message
+  else Printf.eprintf "%s: %s\n" file message;
+  exit 2
+
 let load_program name =
   if Sys.file_exists name then begin
     if Filename.check_suffix name ".scaf" then
-      (Filename.basename name, Nisq_frontend.Scaffold.parse_file name, None)
+      match Nisq_frontend.Scaffold.parse_file name with
+      | c -> (Filename.basename name, c, None)
+      | exception Nisq_frontend.Scaffold.Parse_error { line; message } ->
+          die_parse name line message
     else begin
       let ic = open_in name in
       let len = in_channel_length ic in
       let src = really_input_string ic len in
       close_in ic;
-      (Filename.basename name, Qasm.of_string src, None)
+      match Qasm.of_string src with
+      | Ok c -> (Filename.basename name, c, None)
+      | Error { Qasm.line; message } -> die_parse name line message
     end
   end
   else
@@ -157,9 +173,49 @@ let metrics_arg =
         ~doc:
           "Dump the metrics registry (counters, gauges, histograms) after            the command. Env: $(b,NISQ_METRICS=1).")
 
-let setup_telemetry trace metrics =
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministically inject faults for resilience testing, e.g.            $(b,calib:nan\\@q3;solver:blow;pool:crash\\@chunk7). Env:            $(b,NISQ_FAULTS).")
+
+let setup_telemetry ?inject trace metrics =
   Telemetry.init_from_env ();
-  Telemetry.configure ?trace ?metrics:(if metrics then Some true else None) ()
+  Telemetry.configure ?trace ?metrics:(if metrics then Some true else None) ();
+  Faultkit.init_from_env ();
+  match inject with
+  | None -> ()
+  | Some spec -> (
+      match Faultkit.configure spec with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "nisqc: bad --inject spec: %s\n" msg;
+          exit 2)
+
+(* The synthetic calibration stream, with any armed calib:* faults
+   corrupting it and the sanitizer repairing/quarantining the result —
+   exactly the path a real (possibly damaged) calibration log takes. *)
+let effective_calibration ~seed ~day () =
+  let calib = Ibmq16.calibration ~seed ~day () in
+  match Faultkit.calib_faults () with
+  | [] -> calib
+  | faults ->
+      let raw =
+        Calib_sanitize.apply_faults (Calib_sanitize.of_calibration calib) faults
+      in
+      let previous =
+        if day > 0 then Some (Ibmq16.calibration ~seed ~day:(day - 1) ())
+        else None
+      in
+      let calib, report = Calib_sanitize.sanitize ?previous raw in
+      if not (Calib_sanitize.is_clean report) then begin
+        print_endline "calibration sanitizer:";
+        print_string (Calib_sanitize.render report);
+        print_newline ()
+      end;
+      calib
 
 let config_of ?(movement = Config.Swap_back) method_ routing =
   match routing with
@@ -180,9 +236,15 @@ let describe_result name (r : Compile.t) =
   Printf.printf "compile time: %.4f s\n" r.Compile.compile_seconds;
   (match r.Compile.solver_stats with
   | Some s ->
-      Printf.printf "solver      : %d nodes, %s\n" s.Budget.nodes_visited
+      Printf.printf "solver      : %d nodes, %s%s\n" s.Budget.nodes_visited
         (if s.Budget.proven_optimal then "proven optimal" else "budget-truncated")
+        (if s.Budget.degraded then ", DEGRADED (budget blown)" else "")
   | None -> ());
+  (match r.Compile.rung with
+  | Some Compile.Rung_full | None -> ()
+  | Some rung ->
+      Printf.printf "fallback    : %s rung of the solver ladder\n"
+        (Compile.rung_name rung));
   Printf.printf "\nmapping (program qubits on the device grid):\n%s\n"
     (Layout.render Ibmq16.topology ~calib:r.Compile.calib r.Compile.layout)
 
@@ -190,10 +252,10 @@ let describe_result name (r : Compile.t) =
 
 let compile_cmd =
   let run program method_ routing movement day seed emit_qasm diagram trace
-      metrics =
-    setup_telemetry trace metrics;
+      metrics inject =
+    setup_telemetry ?inject trace metrics;
     let name, circuit, _ = load_program program in
-    let calib = Ibmq16.calibration ~seed ~day () in
+    let calib = effective_calibration ~seed ~day () in
     if diagram then begin
       print_endline "source circuit:";
       print_string (Nisq_circuit.Draw.render circuit);
@@ -217,16 +279,17 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Map a program onto the machine")
     Term.(
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
-      $ day_arg $ seed_arg $ qasm_arg $ diagram_arg $ trace_arg $ metrics_arg)
+      $ day_arg $ seed_arg $ qasm_arg $ diagram_arg $ trace_arg $ metrics_arg
+      $ inject_arg)
 
 (* -------------------------------- run ------------------------------ *)
 
 let run_cmd =
   let run program method_ routing movement day seed trials sim_seed trace
-      metrics =
-    setup_telemetry trace metrics;
+      metrics inject =
+    setup_telemetry ?inject trace metrics;
     let name, circuit, expected = load_program program in
-    let calib = Ibmq16.calibration ~seed ~day () in
+    let calib = effective_calibration ~seed ~day () in
     let r = Compile.run ~config:(config_of ~movement method_ routing) ~calib circuit in
     describe_result name r;
     let runner = Experiments.runner_of r in
@@ -266,7 +329,7 @@ let run_cmd =
     Term.(
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
       $ day_arg $ seed_arg $ trials_arg $ sim_seed_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ inject_arg)
 
 (* ---------------------------- calibration -------------------------- *)
 
@@ -274,7 +337,20 @@ let calibration_cmd =
   let run day seed save load =
     let calib =
       match load with
-      | Some path -> Nisq_device.Calib_io.load ~path
+      | Some path -> (
+          (* Lenient load: structural errors are fatal, but bad field
+             values are repaired/quarantined by the sanitizer, with the
+             repair report shown. *)
+          match Calib_io.load_raw ~path with
+          | Error { Calib_io.line; message } -> die_parse path line message
+          | Ok raw ->
+              let calib, report = Calib_sanitize.sanitize raw in
+              if not (Calib_sanitize.is_clean report) then begin
+                print_endline "sanitizer report:";
+                print_string (Calib_sanitize.render report);
+                print_newline ()
+              end;
+              calib)
       | None -> Ibmq16.calibration ~seed ~day ()
     in
     Format.printf "%a@." Calibration.pp_summary calib;

@@ -33,7 +33,7 @@ measure q[3] -> c[3];
 let () =
   print_endline "input OpenQASM:";
   print_string source;
-  let circuit = Qasm.of_string source in
+  let circuit = Qasm.of_string_exn source in
   Printf.printf "\nparsed: %d qubits, %d gates, %d CNOTs\n"
     circuit.Circuit.num_qubits (Circuit.gate_count circuit)
     (Circuit.cnot_count circuit);

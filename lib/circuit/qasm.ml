@@ -36,7 +36,11 @@ let to_string (c : Circuit.t) =
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let fail lineno msg = failwith (Printf.sprintf "Qasm: line %d: %s" lineno msg)
+type error = { line : int; message : string }
+
+exception Parse_fail of error
+
+let fail lineno msg = raise (Parse_fail { line = lineno; message = msg })
 
 let strip_comment line =
   match String.index_opt line '/' with
@@ -111,7 +115,7 @@ let parse_angle lineno s =
 
 let m_statements = Nisq_obs.Metrics.counter "frontend.qasm_statements"
 
-let of_string src =
+let parse src =
   let num_qubits = ref 0 in
   let pending = ref [] in
   let handle lineno stmt =
@@ -184,7 +188,22 @@ let of_string src =
   let stmts = statements src in
   Nisq_obs.Metrics.add m_statements (List.length stmts);
   List.iter (fun (lineno, stmt) -> handle lineno stmt) stmts;
-  if !num_qubits = 0 then failwith "Qasm: missing qreg declaration";
+  if !num_qubits = 0 then fail 0 "missing qreg declaration";
   Circuit.make ~name:"qasm" !num_qubits (List.rev !pending)
 
-let roundtrip c = of_string (to_string c)
+let of_string src =
+  match parse src with
+  | c -> Ok c
+  | exception Parse_fail e -> Error e
+  | exception Invalid_argument msg ->
+      (* Circuit.make rejections (e.g. a gate on a qubit outside the
+         declared register) carry no line number. *)
+      Error { line = 0; message = msg }
+
+let of_string_exn src =
+  match of_string src with
+  | Ok c -> c
+  | Error { line; message } ->
+      failwith (Printf.sprintf "Qasm: line %d: %s" line message)
+
+let roundtrip c = of_string_exn (to_string c)

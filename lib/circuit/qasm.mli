@@ -11,10 +11,16 @@ val to_string : Circuit.t -> string
     output uses only hardware-supported operations. Measurement of qubit
     [q] targets classical bit [c[q]]. *)
 
-val of_string : string -> Circuit.t
+type error = { line : int; message : string }
+(** [line = 0] when the diagnostic is not tied to a single line (missing
+    [qreg], a rejection from [Circuit.make]). *)
+
+val of_string : string -> (Circuit.t, error) result
 (** Parse OpenQASM 2.0 (the emitted subset: [OPENQASM 2.0], [include],
-    [qreg]/[creg], gate applications, [measure], [barrier], comments).
-    Raises [Failure] with a line-numbered message on malformed input. *)
+    [qreg]/[creg], gate applications, [measure], [barrier], comments). *)
+
+val of_string_exn : string -> Circuit.t
+(** [of_string], raising [Failure] with a ["Qasm: line N: ..."] message. *)
 
 val roundtrip : Circuit.t -> Circuit.t
-(** [of_string (to_string c)] — exposed for testing. *)
+(** [of_string_exn (to_string c)] — exposed for testing. *)

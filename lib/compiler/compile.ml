@@ -10,6 +10,8 @@ module Metrics = Nisq_obs.Metrics
 
 let m_compiles = Metrics.counter "compiler.compiles"
 let m_swaps = Metrics.counter "compiler.swaps_inserted"
+let m_fallback_capped = Metrics.counter "resilience.compiler.fallback_capped"
+let m_fallback_greedy = Metrics.counter "resilience.compiler.fallback_greedy"
 let g_esp = Metrics.gauge "compiler.esp"
 let g_esp_cnot = Metrics.gauge "compiler.esp.cnot"
 let g_esp_readout = Metrics.gauge "compiler.esp.readout"
@@ -37,6 +39,13 @@ let esp_by_channel calib (ops : Emit.phys array) =
     ops;
   (!cnot, !readout, !single)
 
+type rung = Rung_full | Rung_capped | Rung_greedy
+
+let rung_name = function
+  | Rung_full -> "full"
+  | Rung_capped -> "node-capped"
+  | Rung_greedy -> "greedy"
+
 type t = {
   config : Config.t;
   program : Circuit.t;
@@ -52,7 +61,12 @@ type t = {
   swap_count : int;
   compile_seconds : float;
   solver_stats : Nisq_solver.Budget.stats option;
+  rung : rung option;
 }
+
+(* Second-rung budget: small enough to finish fast when the configured
+   budget has already blown, node-only so the result is deterministic. *)
+let fallback_budget = Nisq_solver.Budget.nodes 20_000
 
 let criterion_of (config : Config.t) : Route.criterion =
   match config.method_ with
@@ -72,32 +86,65 @@ let run ~(config : Config.t) ~calib circuit =
   let topo = calib.Calibration.topology in
   if program.Circuit.num_qubits > Topology.num_qubits topo then
     invalid_arg "Compile.run: program needs more qubits than the machine has";
+  if program.Circuit.num_qubits > Calibration.num_live calib then
+    invalid_arg
+      (Printf.sprintf
+         "Compile.run: program needs %d qubits but only %d are live \
+          (quarantine)"
+         program.Circuit.num_qubits (Calibration.num_live calib));
   let decision_calib =
-    if Config.uses_calibration config then calib else Calibration.uniform topo
+    if Config.uses_calibration config then calib
+    else
+      (* Calibration-blind planning still must not place work on
+         quarantined hardware: propagate the masks into the uniform view. *)
+      Calibration.with_quarantine (Calibration.uniform topo)
+        ~qubit_ok:calib.Calibration.qubit_ok ~link_ok:calib.Calibration.link_ok
   in
   let decision_paths = Paths.make decision_calib in
   let criterion = criterion_of config in
-  let layout, solver_stats =
+  (* Solver-backed layouts walk a fallback ladder: the configured budget
+     first; if it blows, a small node-capped search (deterministic, no
+     wall clock); if that blows too, the greedy heuristic closest to the
+     method (§5). Each downgrade is counted. *)
+  let solver_ladder solve greedy =
+    let l1, s1 = solve config.Config.budget in
+    if not s1.Nisq_solver.Budget.degraded then (l1, Some s1, Some Rung_full)
+    else begin
+      Metrics.incr m_fallback_capped;
+      let l2, s2 = solve fallback_budget in
+      if not s2.Nisq_solver.Budget.degraded then (l2, Some s2, Some Rung_capped)
+      else begin
+        Metrics.incr m_fallback_greedy;
+        (greedy (), Some s2, Some Rung_greedy)
+      end
+    end
+  in
+  let layout, solver_stats, rung =
     Trace.with_span "layout" @@ fun () ->
     match config.method_ with
     | Config.Qiskit ->
         ( Layout.identity ~num_prog:program.Circuit.num_qubits
             ~num_hw:(Topology.num_qubits topo),
+          None,
           None )
     | Config.T_smt | Config.T_smt_star ->
-        let layout, stats =
-          Tsmt.compile_layout ~decision_paths ~policy:config.routing ~criterion
-            ~budget:config.budget program dag
-        in
-        (layout, Some stats)
+        solver_ladder
+          (fun budget ->
+            Tsmt.compile_layout ~decision_paths ~policy:config.routing
+              ~criterion ~budget program dag)
+          (fun () -> Greedy.vertex_first decision_paths program)
     | Config.R_smt_star omega ->
-        let layout, stats, _objective =
-          Rsmt.compile_layout ~decision_paths ~omega ~policy:config.routing
-            ~budget:config.budget program
-        in
-        (layout, Some stats)
-    | Config.Greedy_v -> (Greedy.vertex_first decision_paths program, None)
-    | Config.Greedy_e -> (Greedy.edge_first decision_paths program, None)
+        solver_ladder
+          (fun budget ->
+            let layout, stats, _objective =
+              Rsmt.compile_layout ~decision_paths ~omega ~policy:config.routing
+                ~budget program
+            in
+            (layout, stats))
+          (fun () -> Greedy.edge_first decision_paths program)
+    | Config.Greedy_v ->
+        (Greedy.vertex_first decision_paths program, None, None)
+    | Config.Greedy_e -> (Greedy.edge_first decision_paths program, None, None)
   in
   let num_hw = Topology.num_qubits topo in
   let eval_paths_blind () =
@@ -180,6 +227,7 @@ let run ~(config : Config.t) ~calib circuit =
     swap_count;
     compile_seconds;
     solver_stats;
+    rung;
   }
 
 let best_of ~configs ~calib circuit =

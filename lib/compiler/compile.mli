@@ -8,6 +8,13 @@
     the real calibration, which is exactly what happens when a statically
     compiled program runs on that day's machine. *)
 
+(** Which rung of the solver fallback ladder produced the layout: the
+    full configured budget, the small node-capped retry after the full
+    budget blew, or the greedy heuristic after both solver rungs blew. *)
+type rung = Rung_full | Rung_capped | Rung_greedy
+
+val rung_name : rung -> string
+
 type t = {
   config : Config.t;
   program : Nisq_circuit.Circuit.t;  (** input, swaps lowered *)
@@ -28,7 +35,9 @@ type t = {
   esp : float;  (** analytic estimated success probability *)
   swap_count : int;
   compile_seconds : float;
-  solver_stats : Nisq_solver.Budget.stats option;  (** SMT variants only *)
+  solver_stats : Nisq_solver.Budget.stats option;
+      (** SMT variants only; the stats of the last rung attempted *)
+  rung : rung option;  (** SMT variants only *)
 }
 
 val run :

@@ -18,7 +18,8 @@ let init paths (circuit : Circuit.t) =
   let topo = calib.Calibration.topology in
   let num_hw = Topology.num_qubits topo in
   let n = circuit.Circuit.num_qubits in
-  if n > num_hw then invalid_arg "Greedy: more program qubits than hardware";
+  if n > Calibration.num_live calib then
+    invalid_arg "Greedy: more program qubits than live hardware";
   let neighbors = Array.make n [] in
   List.iter
     (fun ((a, b), w) ->
@@ -36,7 +37,9 @@ let init paths (circuit : Circuit.t) =
   }
 
 let free_slots st =
-  List.filter (fun h -> not st.used.(h)) (List.init st.num_hw Fun.id)
+  List.filter
+    (fun h -> (not st.used.(h)) && Calibration.qubit_live st.calib h)
+    (List.init st.num_hw Fun.id)
 
 let assign st p h =
   st.placed.(p) <- h;
@@ -140,7 +143,10 @@ let place_fresh_edge st a b w =
   let best = ref None and best_score = ref neg_infinity in
   List.iter
     (fun (h1, h2) ->
-      if (not st.used.(h1)) && not st.used.(h2) then begin
+      if
+        (not st.used.(h1)) && (not st.used.(h2))
+        && Calibration.link_live st.calib h1 h2
+      then begin
         let s =
           (Float.of_int w *. log (Calibration.cnot_reliability st.calib h1 h2))
           +. log (Calibration.readout_reliability st.calib h1)

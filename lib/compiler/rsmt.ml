@@ -5,8 +5,12 @@ module Placement = Nisq_solver.Placement
 
 let compile_layout ~decision_paths ~omega ~policy ~budget circuit =
   let problem = Reliability.placement_problem decision_paths ~omega ~policy circuit in
-  let solution = Placement.solve ~budget problem in
   let calib = Paths.calibration decision_paths in
+  let solution =
+    Placement.solve ~budget
+      ~forbid:(fun slot -> not (Calibration.qubit_live calib slot))
+      problem
+  in
   let num_hw = Topology.num_qubits calib.Calibration.topology in
   ( Layout.of_array ~num_hw solution.Placement.assignment,
     solution.Placement.stats,

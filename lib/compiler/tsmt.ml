@@ -49,6 +49,7 @@ let compile_layout ~decision_paths ~policy ~criterion ~budget
   Array.sort (fun a b -> compare degrees.(b) degrees.(a)) order;
   let solution =
     Makespan.solve ~budget
+      ~forbid:(fun slot -> not (Calibration.qubit_live calib slot))
       {
         Makespan.num_items;
         num_slots = num_hw;

@@ -30,106 +30,157 @@ let to_string (c : Calibration.t) =
     (Topology.edges topo);
   Buffer.contents buf
 
-let fail lineno msg = failwith (Printf.sprintf "Calib_io: line %d: %s" lineno msg)
+type error = { line : int; message : string }
+
+exception Parse_fail of error
+
+let fail line message = raise (Parse_fail { line; message })
+
+(* Structural parse into an unvalidated raw record: the shape (topology,
+   one record per qubit and edge) must be right, but field values are
+   passed through untouched — NaN, negative and zero values are the
+   sanitizer's job, not the parser's. *)
+let raw_of_string src =
+  try
+    let lines = String.split_on_char '\n' src in
+    let topology = ref None in
+    let day = ref 0 in
+    let qubits = Hashtbl.create 32 in
+    let edges = Hashtbl.create 32 in
+    let parse_line lineno line =
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun s -> s <> "")
+      with
+      | [] -> ()
+      | "nisq-calibration" :: version :: _ ->
+          if version <> "1" then fail lineno ("unsupported version " ^ version)
+      | [ "topology"; "grid"; rows; cols ] -> (
+          try
+            topology :=
+              Some
+                (Topology.grid ~rows:(int_of_string rows)
+                   ~cols:(int_of_string cols))
+          with _ -> fail lineno "bad grid dimensions")
+      | "topology" :: "graph" :: n :: edge_specs -> (
+          try
+            let num_qubits = int_of_string n in
+            let parsed =
+              List.map
+                (fun spec ->
+                  match String.split_on_char '-' spec with
+                  | [ a; b ] -> (int_of_string a, int_of_string b)
+                  | _ -> failwith "edge")
+                edge_specs
+            in
+            topology := Some (Topology.of_edges ~name:"loaded" ~num_qubits parsed)
+          with _ -> fail lineno "bad graph topology")
+      | [ "day"; d ] -> (
+          try day := int_of_string d with _ -> fail lineno "bad day")
+      | [ "qubit"; h; t1; t2; readout; single ] -> (
+          try
+            Hashtbl.replace qubits (int_of_string h)
+              ( Float.of_string t1,
+                Float.of_string t2,
+                Float.of_string readout,
+                Float.of_string single )
+          with _ -> fail lineno "bad qubit record")
+      | [ "edge"; a; b; err; dur ] -> (
+          try
+            Hashtbl.replace edges
+              (int_of_string a, int_of_string b)
+              (Float.of_string err, int_of_string dur)
+          with _ -> fail lineno "bad edge record")
+      | word :: _ -> fail lineno ("unknown record " ^ word)
+    in
+    List.iteri (fun i line -> parse_line (i + 1) line) lines;
+    let topology =
+      match !topology with
+      | Some t -> t
+      | None -> fail 0 "missing topology record"
+    in
+    let n = Topology.num_qubits topology in
+    let get_qubit h =
+      match Hashtbl.find_opt qubits h with
+      | Some v -> v
+      | None -> fail 0 (Printf.sprintf "missing qubit %d" h)
+    in
+    let t1_us = Array.init n (fun h -> let a, _, _, _ = get_qubit h in a) in
+    let t2_us = Array.init n (fun h -> let _, a, _, _ = get_qubit h in a) in
+    let readout_error =
+      Array.init n (fun h -> let _, _, a, _ = get_qubit h in a)
+    in
+    let single_error =
+      Array.init n (fun h -> let _, _, _, a = get_qubit h in a)
+    in
+    let cnot_error = Array.make_matrix n n Float.nan in
+    let cnot_duration = Array.make_matrix n n 0 in
+    List.iter
+      (fun (a, b) ->
+        let err, dur =
+          match Hashtbl.find_opt edges (a, b) with
+          | Some v -> v
+          | None -> (
+              match Hashtbl.find_opt edges (b, a) with
+              | Some v -> v
+              | None -> fail 0 (Printf.sprintf "missing edge %d-%d" a b))
+        in
+        cnot_error.(a).(b) <- err;
+        cnot_error.(b).(a) <- err;
+        cnot_duration.(a).(b) <- dur;
+        cnot_duration.(b).(a) <- dur)
+      (Topology.edges topology);
+    Ok
+      {
+        Calib_sanitize.topology;
+        day = !day;
+        t1_us;
+        t2_us;
+        readout_error;
+        single_error;
+        cnot_error;
+        cnot_duration;
+      }
+  with Parse_fail e -> Error e
 
 let of_string src =
-  let lines = String.split_on_char '\n' src in
-  let topology = ref None in
-  let day = ref 0 in
-  let qubits = Hashtbl.create 32 in
-  let edges = Hashtbl.create 32 in
-  let parse_line lineno line =
-    let line =
-      match String.index_opt line '#' with
-      | Some i -> String.sub line 0 i
-      | None -> line
-    in
-    match
-      String.split_on_char ' ' (String.trim line)
-      |> List.filter (fun s -> s <> "")
-    with
-    | [] -> ()
-    | "nisq-calibration" :: version :: _ ->
-        if version <> "1" then fail lineno ("unsupported version " ^ version)
-    | [ "topology"; "grid"; rows; cols ] -> (
-        try
-          topology :=
-            Some (Topology.grid ~rows:(int_of_string rows) ~cols:(int_of_string cols))
-        with _ -> fail lineno "bad grid dimensions")
-    | "topology" :: "graph" :: n :: edge_specs -> (
-        try
-          let num_qubits = int_of_string n in
-          let parsed =
-            List.map
-              (fun spec ->
-                match String.split_on_char '-' spec with
-                | [ a; b ] -> (int_of_string a, int_of_string b)
-                | _ -> failwith "edge")
-              edge_specs
-          in
-          topology :=
-            Some (Topology.of_edges ~name:"loaded" ~num_qubits parsed)
-        with _ -> fail lineno "bad graph topology")
-    | [ "day"; d ] -> (
-        try day := int_of_string d with _ -> fail lineno "bad day")
-    | [ "qubit"; h; t1; t2; readout; single ] -> (
-        try
-          Hashtbl.replace qubits (int_of_string h)
-            ( Float.of_string t1, Float.of_string t2, Float.of_string readout,
-              Float.of_string single )
-        with _ -> fail lineno "bad qubit record")
-    | [ "edge"; a; b; err; dur ] -> (
-        try
-          Hashtbl.replace edges
-            (int_of_string a, int_of_string b)
-            (Float.of_string err, int_of_string dur)
-        with _ -> fail lineno "bad edge record")
-    | word :: _ -> fail lineno ("unknown record " ^ word)
-  in
-  List.iteri (fun i line -> parse_line (i + 1) line) lines;
-  let topology =
-    match !topology with
-    | Some t -> t
-    | None -> failwith "Calib_io: missing topology record"
-  in
-  let n = Topology.num_qubits topology in
-  let get_qubit h =
-    match Hashtbl.find_opt qubits h with
-    | Some v -> v
-    | None -> failwith (Printf.sprintf "Calib_io: missing qubit %d" h)
-  in
-  let t1_us = Array.init n (fun h -> let a, _, _, _ = get_qubit h in a) in
-  let t2_us = Array.init n (fun h -> let _, a, _, _ = get_qubit h in a) in
-  let readout_error = Array.init n (fun h -> let _, _, a, _ = get_qubit h in a) in
-  let single_error = Array.init n (fun h -> let _, _, _, a = get_qubit h in a) in
-  let cnot_error = Array.make_matrix n n Float.nan in
-  let cnot_duration = Array.make_matrix n n 0 in
-  List.iter
-    (fun (a, b) ->
-      let err, dur =
-        match Hashtbl.find_opt edges (a, b) with
-        | Some v -> v
-        | None -> (
-            match Hashtbl.find_opt edges (b, a) with
-            | Some v -> v
-            | None -> failwith (Printf.sprintf "Calib_io: missing edge %d-%d" a b))
-      in
-      cnot_error.(a).(b) <- err;
-      cnot_error.(b).(a) <- err;
-      cnot_duration.(a).(b) <- dur;
-      cnot_duration.(b).(a) <- dur)
-    (Topology.edges topology);
-  Calibration.create ~topology ~day:!day ~t1_us ~t2_us ~readout_error
-    ~single_error ~cnot_error ~cnot_duration
+  match raw_of_string src with
+  | Error _ as e -> e
+  | Ok raw -> (
+      try
+        Ok
+          (Calibration.create ~topology:raw.Calib_sanitize.topology
+             ~day:raw.Calib_sanitize.day ~t1_us:raw.Calib_sanitize.t1_us
+             ~t2_us:raw.Calib_sanitize.t2_us
+             ~readout_error:raw.Calib_sanitize.readout_error
+             ~single_error:raw.Calib_sanitize.single_error
+             ~cnot_error:raw.Calib_sanitize.cnot_error
+             ~cnot_duration:raw.Calib_sanitize.cnot_duration)
+      with Invalid_argument msg -> Error { line = 0; message = msg })
+
+let of_string_exn src =
+  match of_string src with
+  | Ok c -> c
+  | Error { line; message } ->
+      failwith (Printf.sprintf "Calib_io: line %d: %s" line message)
 
 let save c ~path =
   let oc = open_out path in
   output_string oc (to_string c);
   close_out oc
 
-let load ~path =
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  of_string src
+  src
+
+let load ~path = of_string (read_file path)
+
+let load_raw ~path = raw_of_string (read_file path)

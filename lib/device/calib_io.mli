@@ -18,10 +18,26 @@
 
 val to_string : Calibration.t -> string
 
-val of_string : string -> Calibration.t
-(** Raises [Failure] with a line-numbered message on malformed input,
-    missing qubits/edges, or values out of range. *)
+type error = { line : int; message : string }
+(** [line = 0] means the error is not tied to a single line (missing
+    record, value rejected by [Calibration.create]). *)
+
+val of_string : string -> (Calibration.t, error) result
+(** Strict: parse and validate via [Calibration.create]. For lenient
+    loading of possibly-corrupt logs, use [raw_of_string] (or [load_raw])
+    and hand the result to [Calib_sanitize.sanitize]. *)
+
+val raw_of_string : string -> (Calib_sanitize.raw, error) result
+(** Structural parse only: topology plus one record per qubit and edge
+    must be present, but field values are passed through unvalidated
+    (NaNs and out-of-range values survive for the sanitizer to repair). *)
+
+val of_string_exn : string -> Calibration.t
+(** [of_string], raising [Failure] with a ["Calib_io: line N: ..."]
+    message. *)
 
 val save : Calibration.t -> path:string -> unit
 
-val load : path:string -> Calibration.t
+val load : path:string -> (Calibration.t, error) result
+
+val load_raw : path:string -> (Calib_sanitize.raw, error) result

@@ -1,0 +1,451 @@
+module Faultkit = Nisq_faultkit.Faultkit
+module Metrics = Nisq_obs.Metrics
+
+type raw = {
+  topology : Topology.t;
+  day : int;
+  t1_us : float array;
+  t2_us : float array;
+  readout_error : float array;
+  single_error : float array;
+  cnot_error : float array array;
+  cnot_duration : int array array;
+}
+
+type action =
+  | Repaired of { value : string; source : string }
+  | Quarantined of string
+
+type issue = {
+  subject : string;
+  field : string;
+  found : string;
+  action : action;
+}
+
+type report = {
+  issues : issue list;
+  quarantined_qubits : int list;
+  quarantined_links : (int * int) list;
+}
+
+let m_repairs = Metrics.counter "resilience.calib.repairs"
+let m_quar_qubits = Metrics.counter "resilience.calib.quarantined_qubits"
+let m_quar_links = Metrics.counter "resilience.calib.quarantined_links"
+
+let of_calibration (c : Calibration.t) =
+  {
+    topology = c.Calibration.topology;
+    day = c.Calibration.day;
+    t1_us = Array.copy c.Calibration.t1_us;
+    t2_us = Array.copy c.Calibration.t2_us;
+    readout_error = Array.copy c.Calibration.readout_error;
+    single_error = Array.copy c.Calibration.single_error;
+    cnot_error = Array.map Array.copy c.Calibration.cnot_error;
+    cnot_duration = Array.map Array.copy c.Calibration.cnot_duration;
+  }
+
+let copy_raw r =
+  {
+    r with
+    t1_us = Array.copy r.t1_us;
+    t2_us = Array.copy r.t2_us;
+    readout_error = Array.copy r.readout_error;
+    single_error = Array.copy r.single_error;
+    cnot_error = Array.map Array.copy r.cnot_error;
+    cnot_duration = Array.map Array.copy r.cnot_duration;
+  }
+
+let apply_faults r faults =
+  let r = copy_raw r in
+  let n = Topology.num_qubits r.topology in
+  let corrupt_qubit q v =
+    r.t1_us.(q) <- v;
+    r.t2_us.(q) <- v
+  in
+  List.iter
+    (fun { Faultkit.target; kind } ->
+      match target with
+      | Faultkit.Qubit q when q >= 0 && q < n -> (
+          match kind with
+          | Faultkit.Nan -> corrupt_qubit q Float.nan
+          | Faultkit.Zero -> corrupt_qubit q 0.0
+          | Faultkit.Offline ->
+              corrupt_qubit q Float.nan;
+              r.readout_error.(q) <- Float.nan;
+              r.single_error.(q) <- Float.nan)
+      | Faultkit.Edge (a, b)
+        when a >= 0 && a < n && b >= 0 && b < n
+             && Topology.adjacent r.topology a b -> (
+          let set_err v =
+            r.cnot_error.(a).(b) <- v;
+            r.cnot_error.(b).(a) <- v
+          and set_dur v =
+            r.cnot_duration.(a).(b) <- v;
+            r.cnot_duration.(b).(a) <- v
+          in
+          match kind with
+          | Faultkit.Nan -> set_err Float.nan
+          | Faultkit.Zero -> set_dur 0
+          | Faultkit.Offline ->
+              set_err Float.nan;
+              set_dur 0)
+      | _ -> ())
+    faults;
+  r
+
+let is_clean r = r.issues = []
+
+let repairs r =
+  List.length
+    (List.filter (fun i -> match i.action with Repaired _ -> true | _ -> false)
+       r.issues)
+
+(* ------------------------------------------------------------------ *)
+(* Field validity                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let valid_time v = Float.is_finite v && v > 0.0 && v <= 1e6
+let valid_prob v = Float.is_finite v && v >= 0.0 && v <= 1.0
+let valid_dur d = d > 0 && d <= 100_000
+
+let median values =
+  match values with
+  | [] -> None
+  | _ ->
+      let a = Array.of_list values in
+      Array.sort compare a;
+      Some a.(Array.length a / 2)
+
+(* ------------------------------------------------------------------ *)
+(* Sanitize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize ?previous (r : raw) =
+  let n = Topology.num_qubits r.topology in
+  let check_len name a =
+    if Array.length a <> n then
+      invalid_arg
+        (Printf.sprintf "Calib_sanitize: %s has length %d, want %d" name
+           (Array.length a) n)
+  in
+  check_len "t1_us" r.t1_us;
+  check_len "t2_us" r.t2_us;
+  check_len "readout_error" r.readout_error;
+  check_len "single_error" r.single_error;
+  if
+    Array.length r.cnot_error <> n
+    || Array.length r.cnot_duration <> n
+    || Array.exists (fun row -> Array.length row <> n) r.cnot_error
+    || Array.exists (fun row -> Array.length row <> n) r.cnot_duration
+  then invalid_arg "Calib_sanitize: edge matrices must be n x n";
+  (match previous with
+  | Some p ->
+      if Topology.num_qubits p.Calibration.topology <> n then
+        invalid_arg "Calib_sanitize: previous-day topology mismatch"
+  | None -> ());
+  let edges = Topology.edges r.topology in
+  let issues = ref [] in
+  let push i = issues := i :: !issues in
+  (* --- per-qubit fields ------------------------------------------- *)
+  let bad_fields = Array.make n 0 in
+  let fix_qubit_field ~field ~valid ~prev ~default arr =
+    let med =
+      median (List.filter valid (Array.to_list arr))
+    in
+    Array.iteri
+      (fun h v ->
+        if not (valid v) then begin
+          bad_fields.(h) <- bad_fields.(h) + 1;
+          let value, source =
+            match prev with
+            | Some get when valid (get h) -> (get h, "previous day")
+            | _ -> (
+                match med with
+                | Some m -> (m, "device median")
+                | None -> (default, "default"))
+          in
+          arr.(h) <- value;
+          push
+            {
+              subject = Printf.sprintf "q%d" h;
+              field;
+              found = Printf.sprintf "%g" v;
+              action =
+                Repaired { value = Printf.sprintf "%g" value; source };
+            }
+        end)
+      arr
+  in
+  let t1_us = Array.copy r.t1_us in
+  let t2_us = Array.copy r.t2_us in
+  let readout_error = Array.copy r.readout_error in
+  let single_error = Array.copy r.single_error in
+  let prev_field f =
+    Option.map (fun p h -> (f p).(h)) previous
+  in
+  fix_qubit_field ~field:"t1_us" ~valid:valid_time
+    ~prev:(prev_field (fun p -> p.Calibration.t1_us))
+    ~default:50.0 t1_us;
+  fix_qubit_field ~field:"t2_us" ~valid:valid_time
+    ~prev:(prev_field (fun p -> p.Calibration.t2_us))
+    ~default:50.0 t2_us;
+  fix_qubit_field ~field:"readout_error" ~valid:valid_prob
+    ~prev:(prev_field (fun p -> p.Calibration.readout_error))
+    ~default:0.1 readout_error;
+  fix_qubit_field ~field:"single_error" ~valid:valid_prob
+    ~prev:(prev_field (fun p -> p.Calibration.single_error))
+    ~default:0.005 single_error;
+  (* --- per-edge fields -------------------------------------------- *)
+  let cnot_error = Array.map Array.copy r.cnot_error in
+  let cnot_duration = Array.map Array.copy r.cnot_duration in
+  let err_median =
+    median
+      (List.filter valid_prob
+         (List.concat_map
+            (fun (a, b) -> [ r.cnot_error.(a).(b); r.cnot_error.(b).(a) ])
+            edges))
+  in
+  let dur_median =
+    median
+      (List.filter valid_dur
+         (List.concat_map
+            (fun (a, b) ->
+              [ r.cnot_duration.(a).(b); r.cnot_duration.(b).(a) ])
+            edges))
+  in
+  let dead_links = Hashtbl.create 8 in
+  List.iter
+    (fun (a, b) ->
+      let subject = Printf.sprintf "e%d-%d" a b in
+      let fwd = cnot_error.(a).(b) and bwd = cnot_error.(b).(a) in
+      let err_bad = ref false in
+      let repaired_err =
+        if valid_prob fwd && valid_prob bwd then
+          if Float.abs (fwd -. bwd) > 1e-12 then begin
+            (* Both readable but disagree: keep the pessimistic one. *)
+            let v = Float.max fwd bwd in
+            push
+              {
+                subject;
+                field = "cnot_error";
+                found = Printf.sprintf "%g/%g" fwd bwd;
+                action =
+                  Repaired
+                    { value = Printf.sprintf "%g" v; source = "symmetrized" };
+              };
+            v
+          end
+          else fwd
+        else begin
+          err_bad := true;
+          let value, source =
+            if valid_prob fwd then (fwd, "symmetric partner")
+            else if valid_prob bwd then (bwd, "symmetric partner")
+            else
+              match previous with
+              | Some p when valid_prob p.Calibration.cnot_error.(a).(b) ->
+                  (p.Calibration.cnot_error.(a).(b), "previous day")
+              | _ -> (
+                  match err_median with
+                  | Some m -> (m, "device median")
+                  | None -> (0.1, "default"))
+          in
+          push
+            {
+              subject;
+              field = "cnot_error";
+              found = Printf.sprintf "%g" fwd;
+              action = Repaired { value = Printf.sprintf "%g" value; source };
+            };
+          value
+        end
+      in
+      cnot_error.(a).(b) <- repaired_err;
+      cnot_error.(b).(a) <- repaired_err;
+      let dfwd = cnot_duration.(a).(b) and dbwd = cnot_duration.(b).(a) in
+      let dur_bad = ref false in
+      let repaired_dur =
+        if valid_dur dfwd && valid_dur dbwd then
+          if dfwd <> dbwd then begin
+            let v = Int.max dfwd dbwd in
+            push
+              {
+                subject;
+                field = "cnot_duration";
+                found = Printf.sprintf "%d/%d" dfwd dbwd;
+                action =
+                  Repaired
+                    { value = string_of_int v; source = "symmetrized" };
+              };
+            v
+          end
+          else dfwd
+        else begin
+          dur_bad := true;
+          let value, source =
+            if valid_dur dfwd then (dfwd, "symmetric partner")
+            else if valid_dur dbwd then (dbwd, "symmetric partner")
+            else
+              match previous with
+              | Some p when valid_dur p.Calibration.cnot_duration.(a).(b) ->
+                  (p.Calibration.cnot_duration.(a).(b), "previous day")
+              | _ -> (
+                  match dur_median with
+                  | Some m -> (m, "device median")
+                  | None -> (4, "default"))
+          in
+          push
+            {
+              subject;
+              field = "cnot_duration";
+              found = string_of_int dfwd;
+              action = Repaired { value = string_of_int value; source };
+            };
+          value
+        end
+      in
+      cnot_duration.(a).(b) <- repaired_dur;
+      cnot_duration.(b).(a) <- repaired_dur;
+      (* A link with no readable error AND no readable duration is treated
+         as offline: the backfilled numbers keep the arrays well-formed,
+         but the compiler must not trust the link. *)
+      if !err_bad && !dur_bad then begin
+        Hashtbl.replace dead_links (Int.min a b, Int.max a b) ();
+        push
+          {
+            subject;
+            field = "link";
+            found = "no readable fields";
+            action = Quarantined "link offline";
+          }
+      end)
+    edges;
+  (* --- qubit quarantine ------------------------------------------- *)
+  let qubit_ok = Array.make n true in
+  for h = 0 to n - 1 do
+    (* 3 of 4 fields unreadable: the record is garbage, not a glitch. *)
+    if bad_fields.(h) >= 3 then begin
+      qubit_ok.(h) <- false;
+      push
+        {
+          subject = Printf.sprintf "q%d" h;
+          field = "qubit";
+          found = Printf.sprintf "%d/4 fields invalid" bad_fields.(h);
+          action = Quarantined "qubit offline";
+        }
+    end
+  done;
+  let link_ok = Array.make_matrix n n false in
+  List.iter
+    (fun (a, b) ->
+      let live =
+        qubit_ok.(a) && qubit_ok.(b)
+        && not (Hashtbl.mem dead_links (Int.min a b, Int.max a b))
+      in
+      link_ok.(a).(b) <- live;
+      link_ok.(b).(a) <- live)
+    edges;
+  (* --- connectivity: keep only the largest live component ---------- *)
+  if n > 1 then begin
+    let comp = Array.make n (-1) in
+    let comp_size = ref [] in
+    let next = ref 0 in
+    for start = 0 to n - 1 do
+      if qubit_ok.(start) && comp.(start) = -1 then begin
+        let id = !next in
+        incr next;
+        let size = ref 0 in
+        let q = Queue.create () in
+        Queue.add start q;
+        comp.(start) <- id;
+        while not (Queue.is_empty q) do
+          let u = Queue.pop q in
+          incr size;
+          List.iter
+            (fun v ->
+              if qubit_ok.(v) && link_ok.(u).(v) && comp.(v) = -1 then begin
+                comp.(v) <- id;
+                Queue.add v q
+              end)
+            (Topology.neighbors r.topology u)
+        done;
+        comp_size := (id, !size) :: !comp_size
+      end
+    done;
+    let keep =
+      (* Largest live component; ties break toward the lower id, i.e. the
+         component containing the lowest-numbered live qubit. *)
+      List.fold_left
+        (fun acc (id, size) ->
+          match acc with
+          | None -> Some (id, size)
+          | Some (_, best) when size > best -> Some (id, size)
+          | Some _ -> acc)
+        None
+        (List.rev !comp_size)
+    in
+    match keep with
+    | None -> ()
+    | Some (keep_id, _) ->
+        for h = 0 to n - 1 do
+          if qubit_ok.(h) && comp.(h) <> keep_id then begin
+            qubit_ok.(h) <- false;
+            push
+              {
+                subject = Printf.sprintf "q%d" h;
+                field = "qubit";
+                found = "unreachable";
+                action = Quarantined "disconnected from largest live component";
+              }
+          end
+        done
+  end;
+  (* --- assemble ---------------------------------------------------- *)
+  let calib =
+    Calibration.create ~topology:r.topology ~day:r.day ~t1_us ~t2_us
+      ~readout_error ~single_error ~cnot_error ~cnot_duration
+  in
+  let calib = Calibration.with_quarantine calib ~qubit_ok ~link_ok in
+  let report =
+    {
+      issues = List.rev !issues;
+      quarantined_qubits = Calibration.quarantined_qubits calib;
+      quarantined_links = Calibration.quarantined_links calib;
+    }
+  in
+  Metrics.add m_repairs (repairs report);
+  Metrics.add m_quar_qubits (List.length report.quarantined_qubits);
+  Metrics.add m_quar_links (List.length report.quarantined_links);
+  (calib, report)
+
+let render r =
+  if is_clean r then "calibration clean: all fields valid"
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "calibration sanitized: %d repairs, %d qubits and %d links quarantined\n"
+         (repairs r)
+         (List.length r.quarantined_qubits)
+         (List.length r.quarantined_links));
+    List.iter
+      (fun i ->
+        let what =
+          match i.action with
+          | Repaired { value; source } ->
+              Printf.sprintf "repaired to %s (%s)" value source
+          | Quarantined reason -> Printf.sprintf "quarantined (%s)" reason
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-6s %-14s %-22s %s\n" i.subject i.field
+             ("found " ^ i.found) what))
+      r.issues;
+    (match r.quarantined_qubits with
+    | [] -> ()
+    | qs ->
+        Buffer.add_string buf
+          ("  live set excludes qubits: "
+          ^ String.concat ", " (List.map string_of_int qs)
+          ^ "\n"));
+    Buffer.contents buf
+  end

@@ -1,0 +1,69 @@
+(** Calibration validation, repair and quarantine.
+
+    Real calibration logs contain NaNs, zeroed T1/T2 entries and qubits
+    taken offline mid-week (§2, §6.4). This module accepts an unvalidated
+    [raw] record, repairs every field it can — backfilling from the
+    previous day's calibration when available, else from same-day device
+    medians, else from conservative defaults — and {e quarantines} qubits
+    and links that are unusable (a mostly-invalid record, an isolated
+    qubit, or a fragment disconnected from the largest live component).
+    The result is always a well-formed [Calibration.t] whose quarantine
+    masks make the compiler route around dead hardware, plus a structured
+    report of everything that was touched. It never raises on bad values. *)
+
+(** A calibration candidate before validation: same shape as
+    [Calibration.t] but with no invariants — any field may be NaN,
+    negative, zero or out of range. *)
+type raw = {
+  topology : Topology.t;
+  day : int;
+  t1_us : float array;
+  t2_us : float array;
+  readout_error : float array;
+  single_error : float array;
+  cnot_error : float array array;  (** [nan] off-edge *)
+  cnot_duration : int array array;  (** [0] off-edge *)
+}
+
+val of_calibration : Calibration.t -> raw
+(** Deep copy (mutating the result never aliases the calibration). *)
+
+val apply_faults : raw -> Nisq_faultkit.Faultkit.calib_fault list -> raw
+(** A copy of [raw] with the given deterministic corruptions applied:
+    [Nan]/[Zero] corrupt a qubit's T1/T2 (or an edge's error/duration),
+    [Offline] corrupts every field of the target so the sanitizer
+    quarantines it. Out-of-range targets are ignored. *)
+
+type action =
+  | Repaired of { value : string; source : string }
+      (** field replaced; [source] is ["previous day"], ["device median"],
+          ["symmetric partner"], ["symmetrized"] or ["default"] *)
+  | Quarantined of string  (** reason *)
+
+type issue = {
+  subject : string;  (** ["q3"] or ["e0-1"] *)
+  field : string;
+  found : string;  (** offending value as printed *)
+  action : action;
+}
+
+type report = {
+  issues : issue list;  (** in device order *)
+  quarantined_qubits : int list;
+  quarantined_links : (int * int) list;
+}
+
+val is_clean : report -> bool
+
+val repairs : report -> int
+(** Number of [Repaired] issues. *)
+
+val sanitize : ?previous:Calibration.t -> raw -> Calibration.t * report
+(** Validate, repair and quarantine. [previous] is the prior day's
+    (trusted) calibration used as the first backfill source; its topology
+    must match. Increments [resilience.calib.*] metrics for every repair
+    and quarantine. Raises [Invalid_argument] only on structural
+    mismatches (array lengths vs topology), never on bad values. *)
+
+val render : report -> string
+(** Human-readable multi-line report ("all fields valid" when clean). *)

@@ -7,6 +7,8 @@ type t = {
   single_error : float array;
   cnot_error : float array array;
   cnot_duration : int array array;
+  qubit_ok : bool array;
+  link_ok : bool array array;
 }
 
 let timeslot_ns = 80.0
@@ -45,8 +47,34 @@ let create ~topology ~day ~t1_us ~t2_us ~readout_error ~single_error
       if cnot_duration.(a).(b) <= 0 || cnot_duration.(a).(b) <> cnot_duration.(b).(a)
       then invalid_arg "Calibration.create: bad CNOT duration matrix")
     (Topology.edges topology);
+  let link_ok = Array.make_matrix n n false in
+  List.iter
+    (fun (a, b) ->
+      link_ok.(a).(b) <- true;
+      link_ok.(b).(a) <- true)
+    (Topology.edges topology);
   { topology; day; t1_us; t2_us; readout_error; single_error; cnot_error;
-    cnot_duration }
+    cnot_duration; qubit_ok = Array.make n true; link_ok }
+
+let with_quarantine t ~qubit_ok ~link_ok =
+  let n = Topology.num_qubits t.topology in
+  if Array.length qubit_ok <> n then
+    invalid_arg "Calibration.with_quarantine: qubit_ok length mismatch";
+  if Array.length link_ok <> n || Array.exists (fun r -> Array.length r <> n) link_ok
+  then invalid_arg "Calibration.with_quarantine: link_ok must be n x n";
+  (* Normalize: a link is live only if it is a coupling edge, both
+     directions agree, and both endpoints are live. *)
+  let qubit_ok = Array.copy qubit_ok in
+  let norm = Array.make_matrix n n false in
+  List.iter
+    (fun (a, b) ->
+      let live =
+        link_ok.(a).(b) && link_ok.(b).(a) && qubit_ok.(a) && qubit_ok.(b)
+      in
+      norm.(a).(b) <- live;
+      norm.(b).(a) <- live)
+    (Topology.edges t.topology);
+  { t with qubit_ok; link_ok = norm }
 
 let uniform ?(cnot_error = 0.04) ?(readout_error = 0.07)
     ?(single_error = 0.002) ?(t2_us = 80.0) ?(cnot_duration = 4) topology =
@@ -87,6 +115,33 @@ let readout_error t h = t.readout_error.(h)
 
 let readout_reliability t h = 1.0 -. t.readout_error.(h)
 
+let qubit_live t h = t.qubit_ok.(h)
+
+let link_live t h1 h2 = t.link_ok.(h1).(h2)
+
+let num_live t =
+  Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 t.qubit_ok
+
+let live_qubits t =
+  let acc = ref [] in
+  for h = Array.length t.qubit_ok - 1 downto 0 do
+    if t.qubit_ok.(h) then acc := h :: !acc
+  done;
+  !acc
+
+let quarantined_qubits t =
+  let acc = ref [] in
+  for h = Array.length t.qubit_ok - 1 downto 0 do
+    if not t.qubit_ok.(h) then acc := h :: !acc
+  done;
+  !acc
+
+let quarantined_links t =
+  List.filter (fun (a, b) -> not t.link_ok.(a).(b)) (Topology.edges t.topology)
+
+let fully_live t =
+  num_live t = Topology.num_qubits t.topology && quarantined_links t = []
+
 let t2_slots t h =
   int_of_float (t.t2_us.(h) *. 1000.0 /. timeslot_ns)
 
@@ -109,4 +164,8 @@ let pp_summary ppf t =
   Format.fprintf ppf
     "day %d: mean CNOT err %.4f, mean readout err %.4f, mean T2 %.1f us, worst T2 %d slots"
     t.day (mean_cnot_error t) (mean_readout_error t) (mean_t2_us t)
-    (worst_t2_slots t)
+    (worst_t2_slots t);
+  if not (fully_live t) then
+    Format.fprintf ppf ", quarantined: %d qubits %d links"
+      (Topology.num_qubits t.topology - num_live t)
+      (List.length (quarantined_links t))

@@ -18,6 +18,8 @@ type t = {
   single_error : float array;  (** per qubit, 1q-gate error probability *)
   cnot_error : float array array;  (** per edge; [nan] off-edge *)
   cnot_duration : int array array;  (** per edge, timeslots; [0] off-edge *)
+  qubit_ok : bool array;  (** false = quarantined, compile around it *)
+  link_ok : bool array array;  (** false = quarantined link; false off-edge *)
 }
 
 val timeslot_ns : float
@@ -40,7 +42,16 @@ val create :
   cnot_duration:int array array ->
   t
 (** Validates array dimensions, probability ranges, edge symmetry and that
-    every coupling edge carries data. *)
+    every coupling edge carries data. The result has every qubit and link
+    live; quarantine is applied separately via [with_quarantine] (normally
+    by [Calib_sanitize]). *)
+
+val with_quarantine :
+  t -> qubit_ok:bool array -> link_ok:bool array array -> t
+(** A copy of [t] with the given quarantine masks, normalized so that a
+    link is live only when it is a coupling edge, both directions agree
+    and both endpoints are live. Layout and routing treat quarantined
+    elements as nonexistent hardware. *)
 
 val uniform :
   ?cnot_error:float ->
@@ -71,6 +82,22 @@ val swap_duration : t -> int -> int -> int
 
 val readout_error : t -> int -> float
 val readout_reliability : t -> int -> float
+
+val qubit_live : t -> int -> bool
+val link_live : t -> int -> int -> bool
+
+val num_live : t -> int
+(** Number of non-quarantined qubits. *)
+
+val live_qubits : t -> int list
+val quarantined_qubits : t -> int list
+
+val quarantined_links : t -> (int * int) list
+(** Coupling edges whose link is quarantined (including edges dead only
+    because an endpoint is). *)
+
+val fully_live : t -> bool
+(** True when nothing is quarantined. *)
 
 val t2_slots : t -> int -> int
 (** Coherence time of a qubit converted to whole timeslots. *)

@@ -40,7 +40,9 @@ let dijkstra calib src =
   let dist = Array.make n infinity in
   let prev = Array.make n (-1) in
   let visited = Array.make n false in
-  dist.(src) <- 0.0;
+  (* Quarantined qubits and links are nonexistent hardware: nothing routes
+     through them, so their distances stay infinite. *)
+  if Calibration.qubit_live calib src then dist.(src) <- 0.0;
   (* Simple O(n^2) scan: n <= a few hundred in every experiment. *)
   for _ = 1 to n do
     let u = ref (-1) and best = ref infinity in
@@ -54,10 +56,12 @@ let dijkstra calib src =
       visited.(!u) <- true;
       List.iter
         (fun v ->
-          let w = -.log (Calibration.cnot_reliability calib !u v) in
-          if dist.(!u) +. w < dist.(v) then begin
-            dist.(v) <- dist.(!u) +. w;
-            prev.(v) <- !u
+          if Calibration.link_live calib !u v then begin
+            let w = -.log (Calibration.cnot_reliability calib !u v) in
+            if dist.(!u) +. w < dist.(v) then begin
+              dist.(v) <- dist.(!u) +. w;
+              prev.(v) <- !u
+            end
           end)
         (Topology.neighbors topo !u)
     end
@@ -76,14 +80,42 @@ let make calib =
 
 let calibration t = t.calib
 
+let reachable t src dst = t.dist.(src).(dst) < infinity
+
 let best_path t src dst =
   if src = dst then invalid_arg "Paths.best_path: identical endpoints";
+  if not (reachable t src dst) then
+    invalid_arg
+      (Printf.sprintf "Paths.best_path: no live path from %d to %d" src dst);
   let rec collect acc v =
     if v = src then src :: acc else collect (v :: acc) t.prev.(src).(v)
   in
   Array.of_list (collect [] dst)
 
 let path_log_reliability t src dst = -.(t.dist.(src).(dst))
+
+(* Sentinel for pairs with no live path (a quarantined endpoint, or
+   endpoints in different live fragments): infinitely unreliable and very
+   slow, so no decision procedure ever prefers it. Layouts never place
+   interacting program qubits on such pairs — the sentinel only keeps
+   eagerly-built all-pairs matrices total. *)
+let dead_route h1 h2 =
+  {
+    path = [| h1; h2 |];
+    junction = h1;
+    log_reliability = neg_infinity;
+    duration = 1_000_000;
+  }
+
+let route_live t r =
+  let ok = ref true in
+  Array.iteri
+    (fun i h ->
+      if not (Calibration.qubit_live t.calib h) then ok := false
+      else if i > 0 && not (Calibration.link_live t.calib r.path.(i - 1) h)
+      then ok := false)
+    r.path;
+  !ok
 
 (* Straight grid walk from (x1,y) to (x2,y) or vertical equivalent,
    excluding the start point. *)
@@ -110,24 +142,37 @@ let one_bend_paths topo h1 h2 =
   if x1 = x2 || y1 = y2 then [ horiz_then_vert ]
   else [ horiz_then_vert; vert_then_horiz ]
 
+let best_path_route t h1 h2 =
+  if not (reachable t h1 h2) then dead_route h1 h2
+  else
+    let path = best_path t h1 h2 in
+    route_via_path ~junction:path.(0) t.calib path
+
 let one_bend_routes t h1 h2 =
   if h1 = h2 then invalid_arg "Paths.one_bend_routes: identical endpoints";
   let topo = t.calib.Calibration.topology in
-  if Topology.is_grid topo then
-    one_bend_paths topo h1 h2
-    |> List.map (fun (path, junction) -> route_via_path ~junction t.calib path)
+  if Topology.is_grid topo then begin
+    let live =
+      one_bend_paths topo h1 h2
+      |> List.map (fun (path, junction) ->
+             route_via_path ~junction t.calib path)
+      |> List.filter (route_live t)
+    in
+    match live with
+    | _ :: _ -> live
+    | [] ->
+        (* Every bounding-rectangle route crosses quarantined hardware:
+           degrade to the most reliable live path (possibly the dead-route
+           sentinel when no live path exists at all). *)
+        [ best_path_route t h1 h2 ]
+  end
   else
     (* Bounding-rectangle routes are grid-specific; on general coupling
        graphs the one-bend policy degrades to the most reliable path. *)
-    let path = best_path t h1 h2 in
-    [ route_via_path ~junction:path.(0) t.calib path ]
+    [ best_path_route t h1 h2 ]
 
 let best_one_bend t h1 h2 =
   match one_bend_routes t h1 h2 with
   | [ r ] -> r
   | [ a; b ] -> if a.log_reliability >= b.log_reliability then a else b
   | _ -> assert false
-
-let best_path_route t h1 h2 =
-  let path = best_path t h1 h2 in
-  route_via_path ~junction:path.(0) t.calib path

@@ -36,8 +36,14 @@ val make : Calibration.t -> t
 
 val calibration : t -> Calibration.t
 
+val reachable : t -> int -> int -> bool
+(** True when a live (non-quarantined) path connects the two qubits. *)
+
 val best_path : t -> int -> int -> int array
-(** Most reliable swap path between two distinct qubits. *)
+(** Most reliable swap path between two distinct qubits, avoiding
+    quarantined qubits and links. Raises [Invalid_argument] when no live
+    path exists (check {!reachable}, or use {!best_path_route} which
+    degrades to a sentinel instead). *)
 
 val path_log_reliability : t -> int -> int -> float
 (** Σ log(1 − e) over the best path's edges — the single-traversal
@@ -46,11 +52,16 @@ val path_log_reliability : t -> int -> int -> float
 val one_bend_routes : t -> int -> int -> route list
 (** The (one or two) one-bend routes between distinct qubits; two entries
     when control and target differ in both coordinates, one otherwise.
-    This is the EC/∆ lookup: [List.nth] index is the junction choice. *)
+    This is the EC/∆ lookup: [List.nth] index is the junction choice.
+    Routes crossing quarantined hardware are dropped; if none survive,
+    the list degrades to the single best live path (or, with no live
+    path at all, a sentinel with [log_reliability = neg_infinity] and a
+    huge duration that no decision procedure will ever pick). *)
 
 val best_one_bend : t -> int -> int -> route
 (** The more reliable of {!one_bend_routes}. *)
 
 val best_path_route : t -> int -> int -> route
 (** Full CNOT route priced along the Dijkstra best path — the heuristics'
-    "Best Path" routing policy (Table 1). *)
+    "Best Path" routing policy (Table 1). Degrades to the dead-route
+    sentinel when no live path exists. *)

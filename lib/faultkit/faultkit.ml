@@ -1,0 +1,168 @@
+type calib_target = Qubit of int | Edge of int * int
+type calib_kind = Nan | Zero | Offline
+type calib_fault = { target : calib_target; kind : calib_kind }
+
+exception Injected of string
+exception Domain_kill
+
+type pool_fault = Crash | Kill
+
+type spec = {
+  source : string;
+  calib : calib_fault list;
+  blow : bool;
+  (* chunk index -> fault; clauses are removed once fired (one-shot). *)
+  pool : (int, pool_fault) Hashtbl.t;
+}
+
+let m_injected = Nisq_obs.Metrics.counter "resilience.faults.injected"
+
+(* [chunk_check] runs on worker domains, so the armed spec lives behind a
+   mutex; the disarmed fast path is a single ref read. *)
+let lock = Mutex.create ()
+let armed : spec option ref = ref None
+let pool_armed = ref false
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let parse_clause clause =
+  let clause = String.trim clause in
+  let site, target =
+    match String.index_opt clause '@' with
+    | Some i ->
+        ( String.sub clause 0 i,
+          Some (String.sub clause (i + 1) (String.length clause - i - 1)) )
+    | None -> (clause, None)
+  in
+  let int_after prefix s =
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      int_of_string_opt (String.sub s plen (String.length s - plen))
+    else None
+  in
+  let calib_target () =
+    match target with
+    | None -> Error (Printf.sprintf "%s: missing @q<N> or @e<A>-<B> target" site)
+    | Some t -> (
+        let fail () = Error (Printf.sprintf "bad calibration target %S" t) in
+        match int_after "q" t with
+        | Some q when q >= 0 -> Ok (Qubit q)
+        | Some _ -> fail ()
+        | None ->
+            if String.length t < 2 || t.[0] <> 'e' then fail ()
+            else
+              let body = String.sub t 1 (String.length t - 1) in
+              (match String.index_opt body '-' with
+              | Some i -> (
+                  let a = String.sub body 0 i
+                  and b = String.sub body (i + 1) (String.length body - i - 1) in
+                  match (int_of_string_opt a, int_of_string_opt b) with
+                  | Some a, Some b when a >= 0 && b >= 0 -> Ok (Edge (a, b))
+                  | _ -> fail ())
+              | None -> fail ()))
+  in
+  match site with
+  | "calib:nan" ->
+      Result.map (fun t -> `Calib { target = t; kind = Nan }) (calib_target ())
+  | "calib:zero" ->
+      Result.map (fun t -> `Calib { target = t; kind = Zero }) (calib_target ())
+  | "calib:offline" ->
+      Result.map
+        (fun t -> `Calib { target = t; kind = Offline })
+        (calib_target ())
+  | "solver:blow" ->
+      if target = None then Ok `Blow
+      else Error "solver:blow takes no target"
+  | "pool:crash" | "pool:kill" -> (
+      let kind = if site = "pool:crash" then Crash else Kill in
+      match Option.bind target (int_after "chunk") with
+      | Some i when i >= 0 -> Ok (`Pool (i, kind))
+      | _ ->
+          Error (Printf.sprintf "%s: expected @chunk<N> target" site))
+  | _ -> Error (Printf.sprintf "unknown fault site %S" site)
+
+let parse source =
+  let clauses =
+    String.split_on_char ';' source
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  let pool = Hashtbl.create 4 in
+  let rec go calib blow = function
+    | [] -> Ok { source; calib = List.rev calib; blow; pool }
+    | c :: rest -> (
+        match parse_clause c with
+        | Ok (`Calib f) -> go (f :: calib) blow rest
+        | Ok `Blow -> go calib true rest
+        | Ok (`Pool (i, k)) ->
+            Hashtbl.replace pool i k;
+            go calib blow rest
+        | Error e -> Error (Printf.sprintf "fault clause %S: %s" c e))
+  in
+  go [] false clauses
+
+let clear () =
+  with_lock (fun () ->
+      armed := None;
+      pool_armed := false)
+
+let configure source =
+  if String.trim source = "" then (
+    clear ();
+    Ok ())
+  else
+    match parse source with
+    | Ok spec ->
+        with_lock (fun () ->
+            armed := Some spec;
+            pool_armed := Hashtbl.length spec.pool > 0);
+        Ok ()
+    | Error _ as e -> e
+
+let env_warned = ref false
+
+let init_from_env () =
+  match Sys.getenv_opt "NISQ_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      match configure spec with
+      | Ok () -> ()
+      | Error msg ->
+          if not !env_warned then (
+            env_warned := true;
+            Printf.eprintf "nisq: ignoring malformed NISQ_FAULTS: %s\n%!" msg))
+
+let active () =
+  with_lock (fun () -> Option.map (fun s -> s.source) !armed)
+
+let calib_faults () =
+  with_lock (fun () ->
+      match !armed with None -> [] | Some s -> s.calib)
+
+let solver_blow () =
+  match !armed with None -> false | Some s -> s.blow
+
+let chunk_check i =
+  if !pool_armed then
+    let fault =
+      with_lock (fun () ->
+          match !armed with
+          | None -> None
+          | Some s -> (
+              match Hashtbl.find_opt s.pool i with
+              | None -> None
+              | Some f ->
+                  Hashtbl.remove s.pool i;
+                  if Hashtbl.length s.pool = 0 then pool_armed := false;
+                  Some f))
+    in
+    match fault with
+    | None -> ()
+    | Some Crash ->
+        Nisq_obs.Metrics.incr m_injected;
+        raise (Injected (Printf.sprintf "pool:crash@chunk%d" i))
+    | Some Kill ->
+        Nisq_obs.Metrics.incr m_injected;
+        raise Domain_kill

@@ -1,0 +1,57 @@
+(** Deterministic fault injection for resilience testing.
+
+    A fault spec is a [';']-separated list of clauses, each naming an
+    injection site and an optional target:
+
+    {v
+      calib:nan@q3       NaN the per-qubit fields of qubit 3
+      calib:nan@e0-1     NaN the CNOT error of link 0-1
+      calib:zero@q3      zero out qubit 3's fields
+      calib:offline@q3   corrupt every field of qubit 3 (forces quarantine)
+      solver:blow        every Budget.Clock starts exhausted
+      pool:crash@chunk7  chunk 7 raises Injected on its first execution
+      pool:kill@chunk7   chunk 7 raises Domain_kill on its first execution
+    v}
+
+    Specs come from [nisqc --inject SPEC] or the [NISQ_FAULTS] environment
+    variable. Pool faults are one-shot: the first execution of the named
+    chunk fails, the retry succeeds, so the determinism contract
+    (bit-identical results at equal seeds) is observable end to end.
+
+    All checks are cheap when no spec is armed: a single ref read. *)
+
+type calib_target = Qubit of int | Edge of int * int
+type calib_kind = Nan | Zero | Offline
+type calib_fault = { target : calib_target; kind : calib_kind }
+
+(** Raised by an armed [pool:crash@chunkN] clause. *)
+exception Injected of string
+
+(** Raised by an armed [pool:kill@chunkN] clause; the hosting pool worker
+    treats it as a domain death (the chunk is retried, the domain exits
+    and is respawned on the next parallel call). *)
+exception Domain_kill
+
+val configure : string -> (unit, string) result
+(** Parse and arm a fault spec, replacing any previous one. The empty
+    string clears. *)
+
+val init_from_env : unit -> unit
+(** Arm from [NISQ_FAULTS] if set; warns on stderr (once) if malformed. *)
+
+val clear : unit -> unit
+(** Disarm everything, including already-fired one-shot clauses. *)
+
+val active : unit -> string option
+(** The armed spec, if any. *)
+
+val calib_faults : unit -> calib_fault list
+(** Armed calibration corruptions, to be applied by [Calib_sanitize]. *)
+
+val solver_blow : unit -> bool
+(** True when every solver budget should start exhausted. *)
+
+val chunk_check : int -> unit
+(** Injection site for pool chunk [i]: raises [Injected] or [Domain_kill]
+    the first time an armed chunk index is executed, then disarms that
+    clause so the retry succeeds. No-op (one ref read) when disarmed. *)

@@ -146,31 +146,55 @@ let prob_one t q =
   done;
   !p
 
-let collapse t q v =
+let m_renorm = Nisq_obs.Metrics.counter "resilience.sim.renorm"
+
+let collapse_outcome t q v =
   check_qubit t q;
   let p1 = prob_one t q in
   let p = if v then p1 else 1.0 -. p1 in
-  if p < 1e-12 then failwith "State.collapse: zero-probability outcome";
-  let scale = 1.0 /. sqrt p in
+  (* A requested outcome of (near-)zero probability — float underflow, or
+     a fault model asking for the impossible — degrades to the opposite
+     outcome instead of killing a whole multi-thousand-trial run. *)
+  let v, p =
+    if p >= 1e-12 then (v, p)
+    else begin
+      Nisq_obs.Metrics.incr m_renorm;
+      (not v, 1.0 -. p)
+    end
+  in
   let mask = 1 lsl q in
   let size = 1 lsl t.n in
-  for i = 0 to size - 1 do
-    let bit_set = i land mask <> 0 in
-    if bit_set = v then begin
-      t.re.(i) <- t.re.(i) *. scale;
-      t.im.(i) <- t.im.(i) *. scale
-    end
-    else begin
+  if p < 1e-12 then begin
+    (* Both outcomes vanished: the register norm itself collapsed. Reset
+       to the basis state matching the outcome rather than divide by ~0. *)
+    for i = 0 to size - 1 do
       t.re.(i) <- 0.0;
       t.im.(i) <- 0.0
-    end
-  done
+    done;
+    t.re.(if v then mask else 0) <- 1.0
+  end
+  else begin
+    let scale = 1.0 /. sqrt p in
+    for i = 0 to size - 1 do
+      let bit_set = i land mask <> 0 in
+      if bit_set = v then begin
+        t.re.(i) <- t.re.(i) *. scale;
+        t.im.(i) <- t.im.(i) *. scale
+      end
+      else begin
+        t.re.(i) <- 0.0;
+        t.im.(i) <- 0.0
+      end
+    done
+  end;
+  v
+
+let collapse t q v = ignore (collapse_outcome t q v : bool)
 
 let measure t rng q =
   let p1 = prob_one t q in
   let v = Rng.float rng 1.0 < p1 in
-  collapse t q v;
-  v
+  collapse_outcome t q v
 
 let sample t rng =
   let u = Rng.float rng 1.0 in

@@ -26,8 +26,14 @@ val prob_one : t -> int -> float
 (** Probability that measuring the qubit yields 1. *)
 
 val collapse : t -> int -> bool -> unit
-(** Project a qubit onto the given value and renormalize. Raises
-    [Failure] if the outcome has (near-)zero probability. *)
+(** Project a qubit onto the given value and renormalize. A requested
+    outcome of (near-)zero probability degrades to the opposite outcome
+    (counted under [resilience.sim.renorm]) instead of raising — use
+    {!collapse_outcome} to observe which outcome was realized. *)
+
+val collapse_outcome : t -> int -> bool -> bool
+(** Like {!collapse} but returns the outcome actually projected onto —
+    equal to the request except in the zero-probability degraded case. *)
 
 val measure : t -> Nisq_util.Rng.t -> int -> bool
 (** Sample a computational-basis measurement of one qubit and collapse. *)

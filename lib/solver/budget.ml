@@ -1,3 +1,5 @@
+module Faultkit = Nisq_faultkit.Faultkit
+
 type t = { max_nodes : int option; max_seconds : float option }
 
 let unlimited = { max_nodes = None; max_seconds = None }
@@ -12,6 +14,7 @@ type stats = {
   nodes_visited : int;
   elapsed_seconds : float;
   proven_optimal : bool;
+  degraded : bool;
 }
 
 module Clock = struct
@@ -26,10 +29,15 @@ module Clock = struct
      paper-scale benchmarks stay far inside the default time budget. *)
   let m_solves = Nisq_obs.Metrics.counter "solver.solves"
   let m_nodes = Nisq_obs.Metrics.counter "solver.nodes"
+  let m_degraded = Nisq_obs.Metrics.counter "resilience.solver.degraded"
 
   let start budget =
     Nisq_obs.Metrics.incr m_solves;
-    { budget; started = Unix.gettimeofday (); count = 0; blown = false }
+    (* A "solver:blow" fault starts the clock pre-exhausted: the search
+       falls straight through to its best-so-far/greedy completion path
+       and reports a degraded result, exercising the fallback ladder. *)
+    let blown = Faultkit.solver_blow () in
+    { budget; started = Unix.gettimeofday (); count = 0; blown }
 
   let tick c =
     if c.blown then false
@@ -55,9 +63,11 @@ module Clock = struct
 
   let stats c ~exhausted =
     Nisq_obs.Metrics.add m_nodes c.count;
+    if c.blown then Nisq_obs.Metrics.incr m_degraded;
     {
       nodes_visited = c.count;
       elapsed_seconds = Unix.gettimeofday () -. c.started;
       proven_optimal = exhausted && not c.blown;
+      degraded = c.blown;
     }
 end

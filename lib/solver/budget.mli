@@ -23,6 +23,10 @@ type stats = {
   elapsed_seconds : float;
   proven_optimal : bool;
       (** true iff the search space was exhausted within budget *)
+  degraded : bool;
+      (** true iff the budget blew: the answer is best-so-far (or a greedy
+          completion), not the search's verdict. Callers such as
+          [Compile] use this to walk their fallback ladder. *)
 }
 
 (** Internal budget-tracking clock handed to searches. *)

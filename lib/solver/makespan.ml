@@ -10,10 +10,16 @@ type solution = { assignment : int array; cost : int; stats : Budget.stats }
 
 let m_evals = Nisq_obs.Metrics.counter "solver.constraint_evals"
 
-let solve ?(budget = Budget.unlimited) p =
+let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
   if p.num_items <= 0 then invalid_arg "Makespan: no items";
   if p.num_slots < p.num_items then invalid_arg "Makespan: fewer slots than items";
   let n = p.num_items and s = p.num_slots in
+  let allowed = ref 0 in
+  for slot = 0 to s - 1 do
+    if not (forbid slot) then incr allowed
+  done;
+  if !allowed < n then
+    invalid_arg "Makespan: fewer live slots than items (quarantine)";
   let order = match p.order with Some o -> o | None -> Array.init n Fun.id in
   if Array.length order <> n then invalid_arg "Makespan: bad order length";
   let clock = Budget.Clock.start budget in
@@ -39,7 +45,7 @@ let solve ?(budget = Budget.unlimited) p =
       (* Explore slots in increasing lower-bound order. *)
       let candidates = ref [] in
       for slot = 0 to s - 1 do
-        if not used.(slot) then begin
+        if not used.(slot) && not (forbid slot) then begin
           placement.(item) <- slot;
           let lb = p.lower_bound placement in
           placement.(item) <- -1;
@@ -70,7 +76,7 @@ let solve ?(budget = Budget.unlimited) p =
       (fun item ->
         let chosen = ref (-1) and chosen_lb = ref Int.max_int in
         for slot = 0 to s - 1 do
-          if not used.(slot) then begin
+          if not used.(slot) && not (forbid slot) then begin
             placement.(item) <- slot;
             let lb = p.lower_bound placement in
             placement.(item) <- -1;

@@ -27,4 +27,7 @@ type solution = {
   stats : Budget.stats;
 }
 
-val solve : ?budget:Budget.t -> problem -> solution
+val solve : ?budget:Budget.t -> ?forbid:(int -> bool) -> problem -> solution
+(** [forbid slot] excludes a slot from every assignment (quarantined
+    hardware); raises [Invalid_argument] if fewer than [num_items] slots
+    remain. *)

@@ -63,10 +63,16 @@ let matrix_max m =
 
 let m_evals = Nisq_obs.Metrics.counter "solver.constraint_evals"
 
-let solve ?(budget = Budget.unlimited) p =
+let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
   validate p;
   let pairs = merged_pairs p in
   let n = p.num_items and s = p.num_slots in
+  let allowed = ref 0 in
+  for slot = 0 to s - 1 do
+    if not (forbid slot) then incr allowed
+  done;
+  if !allowed < n then
+    invalid_arg "Placement: fewer live slots than items (quarantine)";
   (* Item order: most pairwise involvement first, then highest degree of
      unary spread — placing constrained items early tightens the bound. *)
   let involvement = Array.make n 0.0 in
@@ -141,7 +147,7 @@ let solve ?(budget = Budget.unlimited) p =
       (* Candidate slots sorted by incremental score, best first. *)
       let candidates = ref [] in
       for slot = s - 1 downto 0 do
-        if not used.(slot) then begin
+        if not used.(slot) && not (forbid slot) then begin
           let inc = ref p.unary.(item).(slot) in
           List.iter
             (fun (partner, lookup) -> inc := !inc +. lookup placed.(partner) slot)
@@ -177,7 +183,7 @@ let solve ?(budget = Budget.unlimited) p =
       let item = order.(pos) in
       let best_slot = ref (-1) and best_inc = ref neg_infinity in
       for slot = 0 to s - 1 do
-        if not used.(slot) then begin
+        if not used.(slot) && not (forbid slot) then begin
           let inc = ref p.unary.(item).(slot) in
           List.iter
             (fun (partner, lookup) -> inc := !inc +. lookup placed.(partner) slot)

@@ -37,11 +37,13 @@ type solution = {
   stats : Budget.stats;
 }
 
-val solve : ?budget:Budget.t -> problem -> solution
+val solve : ?budget:Budget.t -> ?forbid:(int -> bool) -> problem -> solution
 (** Raises [Invalid_argument] on malformed problems (more items than
     slots, bad matrix dimensions, out-of-range pair indices). Always
     returns a feasible assignment: even when the budget is blown, the
-    first DFS descent has completed. *)
+    first DFS descent has completed. [forbid slot] excludes a slot from
+    every assignment (quarantined hardware); raises [Invalid_argument]
+    if fewer than [num_items] slots remain. *)
 
 val brute_force : problem -> int array * float
 (** Exhaustive enumeration over all injective assignments — exponential;

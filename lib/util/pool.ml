@@ -1,5 +1,6 @@
 module Clock = Nisq_obs.Clock
 module Metrics = Nisq_obs.Metrics
+module Faultkit = Nisq_faultkit.Faultkit
 
 (* Registered once; updates are no-ops while telemetry is disabled.
    [pool.tasks]/[pool.parallel_calls] only count work items, so they are
@@ -9,6 +10,9 @@ let m_tasks = Metrics.counter "pool.tasks"
 let g_workers = Metrics.gauge "pool.workers"
 let g_worker_busy = Metrics.gauge "pool.worker_busy_s"
 let g_caller_busy = Metrics.gauge "pool.caller_busy_s"
+let m_chunk_failures = Metrics.counter "resilience.pool.chunk_failures"
+let m_retry_ok = Metrics.counter "resilience.pool.retry_ok"
+let m_respawns = Metrics.counter "resilience.pool.respawns"
 
 let timed busy f =
   if Metrics.enabled () then begin
@@ -28,6 +32,10 @@ type t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
   mutable stopped : bool;
+  (* Workers that died (injected [Domain_kill] or an exception escaping a
+     task wrapper); replacements are spawned lazily at the next
+     [parallel_chunks] entry. *)
+  dead : int Atomic.t;
 }
 
 let rec worker_loop t =
@@ -39,9 +47,36 @@ let rec worker_loop t =
   Mutex.unlock t.mutex;
   match task with
   | Quit -> ()
-  | Task f ->
-      timed g_worker_busy f;
-      worker_loop t
+  | Task f -> (
+      (* Chunk results and exceptions are recorded inside the wrapper
+         ([run] below); anything escaping it means the worker itself is
+         being killed. Mark the death and exit — the queue survives, the
+         remaining workers and the helping caller keep draining it. *)
+      match timed g_worker_busy f with
+      | () -> worker_loop t
+      | exception _ -> Atomic.incr t.dead)
+
+(* Run one chunk, retrying once on failure with the same index: chunk
+   randomness derives from the index alone (Rng.mix), so a successful
+   retry is bit-identical to an undisturbed run. Returns the worker
+   death sentence alongside the result: an injected [Domain_kill] still
+   completes the chunk (via the retry) before the worker dies, so no
+   work is lost. *)
+let run_chunk f i =
+  let attempt () =
+    Faultkit.chunk_check i;
+    f i
+  in
+  match attempt () with
+  | v -> (Ok v, false)
+  | exception e ->
+      Metrics.incr m_chunk_failures;
+      let die = match e with Faultkit.Domain_kill -> true | _ -> false in
+      (match attempt () with
+      | v ->
+          Metrics.incr m_retry_ok;
+          (Ok v, die)
+      | exception e2 -> (Error e2, die))
 
 (* NISQ_DOMAINS diagnostics: a malformed value silently falling back to
    the default worker count is invisible and has burnt people; warn once
@@ -89,6 +124,7 @@ let create ?size () =
       mutex = Mutex.create ();
       nonempty = Condition.create ();
       stopped = false;
+      dead = Atomic.make 0;
     }
   in
   if size > 1 then
@@ -124,7 +160,26 @@ let default () =
   Mutex.unlock default_mutex;
   p
 
-let sequential chunks f = List.init chunks f
+let sequential chunks f =
+  List.init chunks (fun i ->
+      match run_chunk f i with
+      | Ok v, _ -> v
+      | Error e, _ -> raise e)
+
+(* Replace workers that died since the last call. Lazy respawn keeps the
+   failure path allocation-free for the dying domain and means a pool
+   that lost every worker still makes progress: the caller drains the
+   queue itself. *)
+let heal t =
+  let n = Atomic.exchange t.dead 0 in
+  if n > 0 && not t.stopped then begin
+    Metrics.add m_respawns n;
+    Mutex.lock t.mutex;
+    t.workers <-
+      Array.append t.workers
+        (Array.init n (fun _ -> Domain.spawn (fun () -> worker_loop t)));
+    Mutex.unlock t.mutex
+  end
 
 let parallel_chunks t ~chunks f =
   if chunks <= 0 then invalid_arg "Pool.parallel_chunks: chunks must be positive";
@@ -132,6 +187,7 @@ let parallel_chunks t ~chunks f =
      and pooled execution alike. *)
   Metrics.incr m_parallel_calls;
   Metrics.add m_tasks chunks;
+  if t.size > 1 then heal t;
   Metrics.set g_workers (float_of_int (Array.length t.workers));
   if t.size <= 1 || t.stopped || chunks = 1 then sequential chunks f
   else begin
@@ -139,12 +195,16 @@ let parallel_chunks t ~chunks f =
     let remaining = ref chunks in
     let done_mutex = Mutex.create () and done_cond = Condition.create () in
     let run i =
-      let r = try Ok (f i) with e -> Error e in
+      let r, die = run_chunk f i in
       Mutex.lock done_mutex;
       results.(i) <- Some r;
       decr remaining;
       if !remaining = 0 then Condition.signal done_cond;
-      Mutex.unlock done_mutex
+      Mutex.unlock done_mutex;
+      (* After the result is safely recorded: a killed worker takes no
+         chunk down with it. Escapes to [worker_loop] (domain exits, is
+         respawned next call) or to [help] (caught, the caller lives). *)
+      if die then raise Faultkit.Domain_kill
     in
     Mutex.lock t.mutex;
     for i = 0 to chunks - 1 do
@@ -165,7 +225,9 @@ let parallel_chunks t ~chunks f =
       Mutex.unlock t.mutex;
       match task with
       | Some f ->
-          timed g_caller_busy f;
+          (* The caller must survive anything a task throws at a worker —
+             including an injected [Domain_kill] it happened to pick up. *)
+          (try timed g_caller_busy f with _ -> ());
           help ()
       | None -> ()
     in

@@ -9,7 +9,17 @@
     Determinism contract: [parallel_chunks] only distributes indices
     [0 .. chunks-1]; as long as the chunk function derives all of its
     randomness from its index (see {!Rng.mix}), results are independent
-    of the pool size and of scheduling order. *)
+    of the pool size and of scheduling order.
+
+    Self-healing: a chunk that raises is retried once with the same index
+    — under the determinism contract the retry is bit-identical to an
+    undisturbed execution, so one transient failure is invisible in the
+    results. A worker domain that dies (an exception escaping the chunk
+    wrapper, e.g. an injected [Faultkit.Domain_kill]) is replaced at the
+    next [parallel_chunks] call; its in-flight chunk completes via the
+    retry before the domain exits, and the helping caller never dies.
+    Failures, successful retries and respawns are counted under
+    [resilience.pool.*]. *)
 
 type t
 
@@ -33,10 +43,12 @@ val parallel_chunks : t -> chunks:int -> (int -> 'a) -> 'a list
 (** [parallel_chunks t ~chunks f] computes [[f 0; f 1; …; f (chunks-1)]],
     distributing the calls over the pool's workers (the caller also
     drains the queue rather than idling). Results are returned in index
-    order. If any [f i] raises, one such exception is re-raised after
-    all chunks finish. [f] must be safe to run on any domain; do not
-    call [parallel_chunks] from inside a chunk function (the pool is
-    not re-entrant). Raises [Invalid_argument] if [chunks <= 0]. *)
+    order. A chunk that raises is retried once with the same index (on
+    the sequential path too); if the retry also raises, one such
+    exception is re-raised after all chunks finish. [f] must be safe to
+    run on any domain; do not call [parallel_chunks] from inside a chunk
+    function (the pool is not re-entrant). Raises [Invalid_argument] if
+    [chunks <= 0]. *)
 
 val shutdown : t -> unit
 (** Terminate and join the workers. Idempotent. Calls issued after

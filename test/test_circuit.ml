@@ -278,7 +278,7 @@ let test_qasm_parse_pi_angles () =
   let src =
     "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\ncreg c[1];\nrz(pi/2) q[0];\nrz(-pi/4) q[0];\nrz(2*pi) q[0];\n"
   in
-  let c = Qasm.of_string src in
+  let c = Qasm.of_string_exn src in
   let angle i =
     match c.Circuit.gates.(i).Gate.kind with Gate.Rz a -> a | _ -> Float.nan
   in
@@ -290,17 +290,18 @@ let test_qasm_parse_comments_and_blank_lines () =
   let src =
     "// a comment\nOPENQASM 2.0;\nqreg q[2];\ncreg c[2];\n\nh q[0]; // trailing\ncx q[0],q[1];\n"
   in
-  let c = Qasm.of_string src in
+  let c = Qasm.of_string_exn src in
   Alcotest.(check int) "2 gates" 2 (Circuit.length c)
 
 let test_qasm_parse_rejects_garbage () =
-  Alcotest.(check bool) "raises" true
-    (try ignore (Qasm.of_string "qreg q[2]; frobnicate q[0];"); false
-     with Failure _ -> true)
+  match Qasm.of_string "qreg q[2];\nfrobnicate q[0];" with
+  | Ok _ -> Alcotest.fail "garbage parsed"
+  | Error { Qasm.line; _ } -> Alcotest.(check int) "error line" 2 line
 
 let test_qasm_parse_rejects_missing_qreg () =
-  Alcotest.(check bool) "raises" true
-    (try ignore (Qasm.of_string "h q[0];"); false with Failure _ -> true)
+  match Qasm.of_string "h q[0];" with
+  | Ok _ -> Alcotest.fail "missing qreg parsed"
+  | Error { Qasm.line; _ } -> Alcotest.(check int) "no line (whole file)" 0 line
 
 let test_qasm_all_benchmarks_roundtrip () =
   List.iter

@@ -349,7 +349,7 @@ let test_emit_time_ordered () =
 let test_emit_to_circuit_valid_qasm () =
   let r = Compile.run ~config:(Config.make (Config.R_smt_star 0.5)) ~calib bv4 in
   let qasm = Compile.to_qasm r in
-  let parsed = Nisq_circuit.Qasm.of_string qasm in
+  let parsed = Nisq_circuit.Qasm.of_string_exn qasm in
   Alcotest.(check int) "16 hw qubits" 16 parsed.Circuit.num_qubits
 
 (* ----------------------------- Reliability ------------------------- *)

@@ -53,7 +53,7 @@ let test_draw_rejects_wide () =
 
 let test_calib_io_roundtrip_grid () =
   let c = Ibmq16.calibration ~day:4 () in
-  let c' = Calib_io.of_string (Calib_io.to_string c) in
+  let c' = Calib_io.of_string_exn (Calib_io.to_string c) in
   Alcotest.(check int) "day" c.Calibration.day c'.Calibration.day;
   for h = 0 to 15 do
     Alcotest.(check (float 1e-9)) "t2" c.Calibration.t2_us.(h) c'.Calibration.t2_us.(h);
@@ -74,7 +74,7 @@ let test_calib_io_roundtrip_grid () =
 let test_calib_io_roundtrip_graph () =
   let topo = Topology.ring 8 in
   let c = Nisq_device.Calib_gen.generate ~topology:topo ~seed:3 ~day:1 () in
-  let c' = Calib_io.of_string (Calib_io.to_string c) in
+  let c' = Calib_io.of_string_exn (Calib_io.to_string c) in
   Alcotest.(check int) "qubits" 8 (Topology.num_qubits c'.Calibration.topology);
   Alcotest.(check (list (pair int int))) "same edges"
     (Topology.edges topo)
@@ -84,7 +84,7 @@ let test_calib_io_file_roundtrip () =
   let c = Ibmq16.calibration ~day:2 () in
   let path = Filename.temp_file "calib" ".txt" in
   Calib_io.save c ~path;
-  let c' = Calib_io.load ~path in
+  let c' = Result.get_ok (Calib_io.load ~path) in
   Sys.remove path;
   Alcotest.(check (float 1e-9)) "cnot err survives disk"
     (Calibration.cnot_error c 0 1)
@@ -93,7 +93,7 @@ let test_calib_io_file_roundtrip () =
 let test_calib_io_comments_and_blank_lines () =
   let c = Ibmq16.calibration ~day:0 () in
   let src = "# archived machine state\n\n" ^ Calib_io.to_string c in
-  let c' = Calib_io.of_string src in
+  let c' = Calib_io.of_string_exn src in
   Alcotest.(check int) "parses with comments" 0 c'.Calibration.day
 
 let test_calib_io_rejects_missing_qubit () =
@@ -104,13 +104,16 @@ let test_calib_io_rejects_missing_qubit () =
            not (String.length l > 7 && String.sub l 0 8 = "qubit 3 "))
     |> String.concat "\n"
   in
-  Alcotest.(check bool) "raises" true
-    (try ignore (Calib_io.of_string without_q3); false with Failure _ -> true)
+  (match Calib_io.of_string without_q3 with
+  | Ok _ -> Alcotest.fail "missing qubit record parsed"
+  | Error { Calib_io.line; message } ->
+      Alcotest.(check int) "whole-file error" 0 line;
+      Alcotest.(check bool) "mentions qubit" true (contains message "qubit"))
 
 let test_calib_io_rejects_garbage () =
-  Alcotest.(check bool) "raises" true
-    (try ignore (Calib_io.of_string "nonsense 1 2 3"); false
-     with Failure _ -> true)
+  match Calib_io.of_string "nonsense 1 2 3" with
+  | Ok _ -> Alcotest.fail "garbage parsed"
+  | Error { Calib_io.line; _ } -> Alcotest.(check int) "error line" 1 line
 
 (* ------------------------------- best_of --------------------------- *)
 

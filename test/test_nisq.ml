@@ -11,5 +11,6 @@ let () =
       ("benchmarks", Test_benchmarks.suite);
       ("frontend", Test_frontend.suite);
       ("extras", Test_extras.suite);
+      ("resilience", Test_resilience.suite);
       ("properties", Test_props.suite);
     ]

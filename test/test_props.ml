@@ -207,7 +207,7 @@ let prop_scaffold_roundtrip_via_qasm =
       let c = build spec in
       let r = Compile.run ~config:(Config.make Config.Greedy_e) ~calib c in
       let qasm = Compile.to_qasm r in
-      let parsed = Nisq_circuit.Qasm.of_string qasm in
+      let parsed = Nisq_circuit.Qasm.of_string_exn qasm in
       Circuit.gate_count parsed = Circuit.gate_count r.Compile.hw_circuit)
 
 let prop_esp_decreases_with_more_gates =

@@ -1,0 +1,53 @@
+(* caliblint — validate a calibration archive.
+
+   Usage: caliblint [--strict] FILE...
+
+   Runs each file through the structural parser and the sanitizer,
+   printing the repair/quarantine report. Exit codes:
+
+     0  every file is structurally valid and every field is clean
+     1  a file needed repairs or quarantines (still loadable; with
+        --strict this is a failure, without it a warning)
+     2  a file is structurally broken (missing topology/qubit/edge
+        records, unknown syntax) and cannot be loaded at all
+
+   Without --strict, repaired files exit 0: the sanitizer makes them
+   usable, which is the point of degraded-mode loading. *)
+
+module Calib_io = Nisq_device.Calib_io
+module Calib_sanitize = Nisq_device.Calib_sanitize
+module Calibration = Nisq_device.Calibration
+
+let lint ~strict path =
+  match Calib_io.load_raw ~path with
+  | Error { Calib_io.line; message } ->
+      if line > 0 then Printf.eprintf "%s:%d: %s\n" path line message
+      else Printf.eprintf "%s: %s\n" path message;
+      2
+  | Ok raw ->
+      let calib, report = Calib_sanitize.sanitize raw in
+      if Calib_sanitize.is_clean report then begin
+        Printf.printf "%s: ok (%d qubits, day %d)\n" path
+          (Nisq_device.Topology.num_qubits calib.Calibration.topology)
+          calib.Calibration.day;
+        0
+      end
+      else begin
+        Printf.printf "%s: %d repairs, %d qubits + %d links quarantined\n"
+          path
+          (Calib_sanitize.repairs report)
+          (List.length report.Calib_sanitize.quarantined_qubits)
+          (List.length report.Calib_sanitize.quarantined_links);
+        print_string (Calib_sanitize.render report);
+        if strict then 1 else 0
+      end
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let strict = List.mem "--strict" args in
+  let files = List.filter (fun a -> a <> "--strict") args in
+  if files = [] then begin
+    prerr_endline "usage: caliblint [--strict] FILE...";
+    exit 2
+  end;
+  exit (List.fold_left (fun worst path -> max worst (lint ~strict path)) 0 files)
