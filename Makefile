@@ -1,9 +1,10 @@
 # Convenience targets; `make check` is the tier-1 gate plus a smoke run
-# of the figure harness (compile + parallel Monte-Carlo on one figure)
-# and a telemetry smoke: a traced run whose Chrome trace must parse and
-# carry the expected span shape.
+# of the figure harness (compile + parallel Monte-Carlo on one figure),
+# a telemetry smoke (a traced run whose Chrome trace must parse and
+# carry the expected span shape) and a kill-and-resume smoke (a
+# journalled run killed mid-sweep must resume to byte-identical output).
 
-.PHONY: all build test check bench micro
+.PHONY: all build test check bench micro resume-smoke
 
 all: build
 
@@ -25,6 +26,10 @@ check:
 	dune exec tools/caliblint.exe -- --strict /tmp/nisq-smoke-calib.txt
 	dune exec bin/nisqc.exe -- run BV4 -m rsmt -t 512 --metrics \
 	  --inject "calib:nan@q3;solver:blow;pool:crash@chunk0" > /dev/null
+	tools/resume_smoke.sh
+
+resume-smoke:
+	tools/resume_smoke.sh
 
 bench:
 	dune exec bench/main.exe

@@ -6,7 +6,14 @@
      main.exe                  run everything (figures + micro-benches)
      main.exe fig5 [trials]    one figure (table2, fig1, fig5..fig11)
      main.exe micro            only the Bechamel micro-benchmarks
-     main.exe quick            figures with reduced trial counts *)
+     main.exe quick            figures with reduced trial counts
+
+   Crash-safe long runs (see DESIGN.md §8):
+     --run-id ID       journal results under _runs/ID/ as they complete
+     --resume ID       replay _runs/ID's journal, recompute only the rest
+     --resume-force    resume even if the run identity does not match
+     --deadline DUR    cancel cooperatively after DUR (e.g. 30s, 5m)
+   SIGINT/SIGTERM checkpoint and exit 130/143; a blown deadline exits 3. *)
 
 module E = Nisq_bench.Experiments
 module Benchmarks = Nisq_bench.Benchmarks
@@ -16,6 +23,10 @@ module Compile = Nisq_compiler.Compile
 module Calib_gen = Nisq_device.Calib_gen
 module Ibmq16 = Nisq_device.Ibmq16
 module Runner = Nisq_sim.Runner
+module Atomic_io = Nisq_runkit.Atomic_io
+module Deadline = Nisq_runkit.Deadline
+module Run = Nisq_runkit.Run
+module Signals = Nisq_runkit.Signals
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure compile path        *)
@@ -37,29 +48,32 @@ module Obs_json = Nisq_obs.Json
 let telemetry_dir () =
   Option.value (Sys.getenv_opt "NISQ_TELEMETRY_DIR") ~default:"_telemetry"
 
+(* The telemetry summary is written in a [Fun.protect] finaliser: a
+   figure aborted by a deadline, a signal or any exception still
+   disables the registries and flushes what it measured — partial
+   telemetry from a cancelled run is exactly what you want to inspect.
+   The dump itself goes through the atomic write path in [Json.to_file]. *)
 let figure_telemetry name f =
   Obs_metrics.set_enabled true;
   Obs_trace.set_enabled true;
   Obs_metrics.reset ();
   Obs_trace.reset ();
-  let out = f () in
-  let doc =
-    Obs_json.Obj
-      [
-        ("figure", Obs_json.String name);
-        ("metrics", Obs_metrics.dump_json ());
-        ("spans", Obs_trace.summary_json ());
-      ]
-  in
-  Obs_metrics.set_enabled false;
-  Obs_trace.set_enabled false;
-  let dir = telemetry_dir () in
-  (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
-   with Sys_error _ -> ());
-  let path = Filename.concat dir (name ^ ".telemetry.json") in
-  Obs_json.to_file ~path doc;
-  Printf.eprintf "[nisq-bench] telemetry written to %s\n%!" path;
-  out
+  Fun.protect f ~finally:(fun () ->
+      let doc =
+        Obs_json.Obj
+          [
+            ("figure", Obs_json.String name);
+            ("metrics", Obs_metrics.dump_json ());
+            ("spans", Obs_trace.summary_json ());
+          ]
+      in
+      Obs_metrics.set_enabled false;
+      Obs_trace.set_enabled false;
+      let dir = telemetry_dir () in
+      Atomic_io.mkdir_p dir;
+      let path = Filename.concat dir (name ^ ".telemetry.json") in
+      Obs_json.to_file ~path doc;
+      Printf.eprintf "[nisq-bench] telemetry written to %s\n%!" path)
 
 let micro () =
   let open Bechamel in
@@ -166,30 +180,133 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Run lifecycle: argument parsing, checkpointed dispatch, shutdown     *)
+(* ------------------------------------------------------------------ *)
 
-let () =
-  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  let trials =
-    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2048
+type options = {
+  target : string;
+  trials : int;
+  resume : string option;
+  force : bool;
+  run_id : string option;
+  deadline : float option;
+}
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [TARGET] [TRIALS] [--run-id ID] [--resume ID] \
+     [--resume-force] [--deadline DUR]\n\
+     TARGET: table2|fig1|fig5..fig11|ablations|micro|quick|all\n";
+  exit 2
+
+let parse_args () =
+  let positional = ref [] in
+  let resume = ref None and force = ref false in
+  let run_id = ref None and deadline = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--resume" :: v :: rest ->
+        resume := Some v;
+        go rest
+    | "--resume-force" :: rest ->
+        force := true;
+        go rest
+    | "--run-id" :: v :: rest ->
+        run_id := Some v;
+        go rest
+    | "--deadline" :: v :: rest ->
+        (match Deadline.parse_duration v with
+        | Ok s -> deadline := Some s
+        | Error msg ->
+            Printf.eprintf "main.exe: bad --deadline %S: %s\n" v msg;
+            exit 2);
+        go rest
+    | ("--resume" | "--run-id" | "--deadline") :: [] ->
+        Printf.eprintf "main.exe: missing value for the last flag\n";
+        exit 2
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+        Printf.eprintf "main.exe: unknown flag %s\n" arg;
+        usage ()
+    | arg :: rest ->
+        positional := arg :: !positional;
+        go rest
   in
-  (* Every figure's Monte-Carlo trials run on the shared domain pool;
-     results are bit-identical for any worker count (NISQ_DOMAINS). *)
-  Printf.eprintf "[nisq-bench] domain pool: %d workers (NISQ_DOMAINS=%s)\n%!"
-    (Pool.size (Pool.default ()))
-    (Option.value ~default:"unset" (Sys.getenv_opt "NISQ_DOMAINS"));
-  let figure name f = print_string (figure_telemetry name f) in
-  match arg with
-  | "table2" -> figure "table2" (fun () -> E.table2 ())
-  | "fig1" -> figure "fig1" (fun () -> E.fig1 ())
-  | "fig5" -> figure "fig5" (fun () -> E.fig5 ~trials ())
-  | "fig6" -> figure "fig6" (fun () -> E.fig6 ~trials ())
-  | "fig7" -> figure "fig7" (fun () -> E.fig7 ~trials ())
-  | "fig8" -> figure "fig8" (fun () -> E.fig8 ())
-  | "fig9" -> figure "fig9" (fun () -> E.fig9 ())
-  | "fig10" -> figure "fig10" (fun () -> E.fig10 ~trials ())
-  | "fig11" -> figure "fig11" (fun () -> E.fig11 ())
+  go (List.tl (Array.to_list Sys.argv));
+  let target, trials =
+    match List.rev !positional with
+    | [] -> ("all", 2048)
+    | [ t ] -> (t, 2048)
+    | [ t; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> (t, n)
+        | _ ->
+            Printf.eprintf "main.exe: TRIALS must be a positive integer\n";
+            exit 2)
+    | _ -> usage ()
+  in
+  { target; trials; resume = !resume; force = !force; run_id = !run_id;
+    deadline = !deadline }
+
+(* The figures of the composite targets, in print order. Splitting
+   [run_all] per figure is what gives resume its granularity: a
+   completed figure replays from its saved table, an unfinished one
+   recomputes only the cells missing from the journal. *)
+let figure_specs ~trials ~quick : (string * (unit -> string)) list =
+  [
+    ("table2", fun () -> E.table2 ());
+    ("fig1", fun () -> E.fig1 ());
+    ("fig5", fun () -> E.fig5 ~trials ());
+    ("fig6", fun () -> E.fig6 ~trials ());
+    ("fig7", fun () -> E.fig7 ~trials ());
+    ("fig8", fun () -> E.fig8 ());
+    ("fig9", fun () -> E.fig9 ());
+    ("fig10", fun () -> E.fig10 ~trials ());
+    ("fig11", fun () -> E.fig11 ~quick ());
+    ("ablation_movement", fun () -> E.ablation_movement ~trials ());
+    ("ablation_topology", fun () -> E.ablation_topology ~trials ());
+    ("ablation_trials", fun () -> E.ablation_trials ());
+    ("ablation_high_variance", fun () -> E.ablation_high_variance ~trials ());
+    ("ablation_architecture", fun () -> E.ablation_architecture ~trials ());
+  ]
+
+(* One figure under an optional checkpointed run: replay the saved table
+   if the journal says the figure completed, otherwise compute it (its
+   cells consult the journal individually) and mark it done. *)
+let figure_text run name f =
+  match run with
+  | None -> f ()
+  | Some r -> (
+      match Run.figure_cached r name with
+      | Some text -> text
+      | None ->
+          Deadline.raise_if_cancelled ();
+          let text = f () in
+          Run.figure_done r name text;
+          text)
+
+let dispatch opts run =
+  let trials = opts.trials in
+  let single name f = print_string (figure_telemetry name (fun () -> figure_text run name f)) in
+  let composite name specs =
+    figure_telemetry name (fun () ->
+        List.iter
+          (fun (fname, f) ->
+            print_string (figure_text run fname f);
+            print_newline ())
+          specs)
+  in
+  match opts.target with
+  | "table2" -> single "table2" (fun () -> E.table2 ())
+  | "fig1" -> single "fig1" (fun () -> E.fig1 ())
+  | "fig5" -> single "fig5" (fun () -> E.fig5 ~trials ())
+  | "fig6" -> single "fig6" (fun () -> E.fig6 ~trials ())
+  | "fig7" -> single "fig7" (fun () -> E.fig7 ~trials ())
+  | "fig8" -> single "fig8" (fun () -> E.fig8 ())
+  | "fig9" -> single "fig9" (fun () -> E.fig9 ())
+  | "fig10" -> single "fig10" (fun () -> E.fig10 ~trials ())
+  | "fig11" -> single "fig11" (fun () -> E.fig11 ())
   | "ablations" ->
-      figure "ablations" (fun () ->
+      single "ablations" (fun () ->
           String.concat ""
             [
               E.ablation_movement ~trials ();
@@ -200,13 +317,88 @@ let () =
             ])
   | "micro" -> micro ()
   | "quick" ->
-      figure "quick" (fun () -> E.run_all ~trials:512 ~quick:true ());
+      composite "quick" (figure_specs ~trials:512 ~quick:true);
       micro ()
   | "all" ->
-      figure "all" (fun () -> E.run_all ~trials ());
+      composite "all" (figure_specs ~trials ~quick:false);
       micro ()
   | other ->
       Printf.eprintf
         "unknown argument %S (want table2|fig1|fig5..fig11|ablations|micro|quick|all)\n"
         other;
       exit 2
+
+let () =
+  let opts = parse_args () in
+  Nisq_faultkit.Faultkit.init_from_env ();
+  Deadline.init_from_env ();
+  Option.iter Deadline.arm_seconds opts.deadline;
+  Signals.install ();
+  (* Every figure's Monte-Carlo trials run on the shared domain pool;
+     results are bit-identical for any worker count (NISQ_DOMAINS). *)
+  Printf.eprintf "[nisq-bench] domain pool: %d workers (NISQ_DOMAINS=%s)\n%!"
+    (Pool.size (Pool.default ()))
+    (Option.value ~default:"unset" (Sys.getenv_opt "NISQ_DOMAINS"));
+  (* The run identity ties a journal to what was asked of the binary;
+     resuming under different arguments would splice answers to a
+     different question into the tables, so it is refused (unless
+     forced). Cell digests additionally pin seed, calibration and the
+     compiled circuit, so even a forced resume only ever replays cells
+     that are exactly equal. *)
+  let identity =
+    Obs_json.Obj
+      [
+        ("harness", Obs_json.String "bench/main");
+        ("target", Obs_json.String opts.target);
+        ("trials", Obs_json.Int opts.trials);
+      ]
+  in
+  let run =
+    match (opts.resume, opts.run_id) with
+    | Some id, _ -> (
+        match Run.resume ~run_id:id ~identity ~force:opts.force () with
+        | Ok r ->
+            Printf.eprintf "[nisq-bench] resuming run %s from %s\n%!" id
+              (Run.dir r);
+            Some r
+        | Error msg ->
+            Printf.eprintf "main.exe: cannot resume: %s\n" msg;
+            exit 2)
+    | None, Some id ->
+        let r = Run.start ~run_id:id ~identity () in
+        Printf.eprintf "[nisq-bench] journaling run %s under %s\n%!" id
+          (Run.dir r);
+        Some r
+    | None, None -> None
+  in
+  Option.iter Run.install run;
+  match dispatch opts run with
+  | () ->
+      Option.iter
+        (fun r ->
+          let cached, computed = Run.cache_stats r in
+          Printf.eprintf
+            "[nisq-bench] run %s completed (%d cells replayed, %d computed)\n%!"
+            (Run.id r) cached computed;
+          Run.finish r ~status:"completed")
+        run
+  | exception Deadline.Cancelled reason ->
+      let status =
+        match reason with
+        | Deadline.Deadline -> "degraded:deadline"
+        | Deadline.Sigint -> "interrupted:sigint"
+        | Deadline.Sigterm -> "interrupted:sigterm"
+      in
+      Option.iter
+        (fun r ->
+          Run.finish r ~status;
+          Printf.eprintf
+            "[nisq-bench] %s: partial results checkpointed in %s — resume \
+             with --resume %s\n\
+             %!"
+            status (Run.dir r) (Run.id r))
+        run;
+      if run = None then
+        Printf.eprintf
+          "[nisq-bench] %s: no --run-id given, nothing checkpointed\n%!" status;
+      exit (Deadline.exit_code reason)

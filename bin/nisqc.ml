@@ -25,6 +25,10 @@ module Experiments = Nisq_bench.Experiments
 module Runner = Nisq_sim.Runner
 module Telemetry = Nisq_obs.Telemetry
 module Obs_clock = Nisq_obs.Clock
+module Obs_json = Nisq_obs.Json
+module Deadline = Nisq_runkit.Deadline
+module Ledger = Nisq_runkit.Run
+module Signals = Nisq_runkit.Signals
 
 (* ------------------------- shared arguments ------------------------ *)
 
@@ -181,6 +185,91 @@ let inject_arg =
         ~doc:
           "Deterministically inject faults for resilience testing, e.g.            $(b,calib:nan\\@q3;solver:blow;pool:crash\\@chunk7). Env:            $(b,NISQ_FAULTS).")
 
+let deadline_conv =
+  let parse s =
+    match Deadline.parse_duration s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf s -> Format.fprintf ppf "%gs" s)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some deadline_conv) None
+    & info [ "deadline" ] ~docv:"DUR"
+        ~doc:
+          "Cancel cooperatively after $(docv) (e.g. 30s, 5m, 1h30m):            in-flight work drains, partial results are checkpointed when a            run ledger is active, and the exit status is 3. Env:            $(b,NISQ_DEADLINE).")
+
+let run_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "run-id" ] ~docv:"ID"
+        ~doc:
+          "Journal simulation results under $(b,_runs/)$(docv)$(b,/) as            they complete, enabling $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"ID"
+        ~doc:
+          "Replay the journal of run $(docv): completed cells are reused            (bit-identically — the simulator is deterministic), only the            remainder is computed.")
+
+let resume_force_arg =
+  Arg.(
+    value & flag
+    & info [ "resume-force" ]
+        ~doc:
+          "Resume even if the run's recorded identity (program, method,            trials, seeds) differs from this invocation. Individual cells            are still only replayed on an exact digest match.")
+
+(* Arm the cancellation token sources and run [f]; on cancellation,
+   checkpoint the ledger (if any), flush telemetry, and exit with the
+   reason's code (3 deadline / 130 SIGINT / 143 SIGTERM). *)
+let with_cancellation ?ledger deadline f =
+  Deadline.init_from_env ();
+  Option.iter Deadline.arm_seconds deadline;
+  Signals.install ();
+  match f () with
+  | v ->
+      Option.iter (fun r -> Ledger.finish r ~status:"completed") ledger;
+      v
+  | exception Deadline.Cancelled reason ->
+      let status =
+        match reason with
+        | Deadline.Deadline -> "degraded:deadline"
+        | Deadline.Sigint -> "interrupted:sigint"
+        | Deadline.Sigterm -> "interrupted:sigterm"
+      in
+      Option.iter
+        (fun r ->
+          Ledger.finish r ~status;
+          Printf.eprintf
+            "nisqc: %s — partial results checkpointed in %s; resume with \
+             --resume %s\n\
+             %!"
+            status (Ledger.dir r) (Ledger.id r))
+        ledger;
+      if ledger = None then
+        Printf.eprintf "nisqc: %s — cancelled before completion\n%!" status;
+      Telemetry.finish ();
+      exit (Deadline.exit_code reason)
+
+(* Open (or reopen) the run ledger named on the command line. *)
+let ledger_of ~identity ~run_id ~resume ~force =
+  match (resume, run_id) with
+  | Some id, _ -> (
+      match Ledger.resume ~run_id:id ~identity ~force () with
+      | Ok r ->
+          Printf.eprintf "nisqc: resuming run %s from %s\n%!" id (Ledger.dir r);
+          Some r
+      | Error msg ->
+          Printf.eprintf "nisqc: cannot resume: %s\n" msg;
+          exit 2)
+  | None, Some id -> Some (Ledger.start ~run_id:id ~identity ())
+  | None, None -> None
+
 let setup_telemetry ?inject trace metrics =
   Telemetry.init_from_env ();
   Telemetry.configure ?trace ?metrics:(if metrics then Some true else None) ();
@@ -252,8 +341,9 @@ let describe_result name (r : Compile.t) =
 
 let compile_cmd =
   let run program method_ routing movement day seed emit_qasm diagram trace
-      metrics inject =
+      metrics inject deadline =
     setup_telemetry ?inject trace metrics;
+    with_cancellation deadline @@ fun () ->
     let name, circuit, _ = load_program program in
     let calib = effective_calibration ~seed ~day () in
     if diagram then begin
@@ -280,14 +370,29 @@ let compile_cmd =
     Term.(
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
       $ day_arg $ seed_arg $ qasm_arg $ diagram_arg $ trace_arg $ metrics_arg
-      $ inject_arg)
+      $ inject_arg $ deadline_arg)
 
 (* -------------------------------- run ------------------------------ *)
 
 let run_cmd =
   let run program method_ routing movement day seed trials sim_seed trace
-      metrics inject =
+      metrics inject deadline run_id resume force =
     setup_telemetry ?inject trace metrics;
+    let identity =
+      Obs_json.Obj
+        [
+          ("harness", Obs_json.String "nisqc run");
+          ("program", Obs_json.String program);
+          ("method", Obs_json.String (Config.name (config_of method_ routing)));
+          ("day", Obs_json.Int day);
+          ("calibration_seed", Obs_json.Int seed);
+          ("trials", Obs_json.Int trials);
+          ("sim_seed", Obs_json.Int sim_seed);
+        ]
+    in
+    let ledger = ledger_of ~identity ~run_id ~resume ~force in
+    Option.iter Ledger.install ledger;
+    with_cancellation ?ledger deadline @@ fun () ->
     let name, circuit, expected = load_program program in
     let calib = effective_calibration ~seed ~day () in
     let r = Compile.run ~config:(config_of ~movement method_ routing) ~calib circuit in
@@ -295,7 +400,11 @@ let run_cmd =
     let runner = Experiments.runner_of r in
     let pool = Nisq_util.Pool.default () in
     let t0 = Obs_clock.now_ns () in
-    let success = Runner.success_rate ~trials ~pool ~seed:sim_seed runner in
+    (* Journalled when a ledger is active: a resumed run replays the
+       cell (same digest ⇒ same value) instead of re-simulating. *)
+    let success =
+      Experiments.checkpointed_success_rate ~trials ~seed:sim_seed ~pool r
+    in
     let wall_s = Int64.to_float (Int64.sub (Obs_clock.now_ns ()) t0) /. 1e9 in
     Printf.printf "ideal answer : %d (probability %.4f)\n"
       (Runner.ideal_answer runner)
@@ -329,7 +438,8 @@ let run_cmd =
     Term.(
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
       $ day_arg $ seed_arg $ trials_arg $ sim_seed_arg $ trace_arg
-      $ metrics_arg $ inject_arg)
+      $ metrics_arg $ inject_arg $ deadline_arg $ run_id_arg $ resume_arg
+      $ resume_force_arg)
 
 (* ---------------------------- calibration -------------------------- *)
 

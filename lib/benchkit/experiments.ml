@@ -37,14 +37,60 @@ let runner_of (r : Compile.t) =
   in
   Runner.prepare ~calib:r.Compile.calib ~ops ~readout:(Compile.readout_map r)
 
+(* Checkpoint-cell key for one simulation: a digest of everything that
+   determines its value — the compiled physical ops, the readout map,
+   the calibration noise the simulator reads, the trial count and the
+   seed. Two invocations that agree on the digest are guaranteed the
+   same success rate (the simulator is bit-deterministic), which is what
+   makes replaying a journalled cell on [--resume] sound. Note the
+   compile itself is {e not} part of the contract: resume re-runs the
+   cheap compile and only skips the Monte-Carlo trials. *)
+let sim_digest (r : Compile.t) ~trials ~seed =
+  let ops =
+    Array.map
+      (fun (p : Nisq_compiler.Emit.phys) ->
+        (p.Nisq_compiler.Emit.kind, p.qubits, p.start, p.duration))
+      r.Compile.phys
+  in
+  let calib = r.Compile.calib in
+  let payload =
+    Marshal.to_string
+      ( ops,
+        Compile.readout_map r,
+        calib.Calibration.t1_us,
+        calib.Calibration.t2_us,
+        calib.Calibration.readout_error,
+        calib.Calibration.single_error,
+        calib.Calibration.cnot_error,
+        trials,
+        seed )
+      []
+  in
+  Digest.to_hex (Digest.string payload)
+
+(* Success rate with checkpoint/resume: when a [Nisq_runkit.Run] is
+   installed, completed cells come straight from the journal and fresh
+   ones are journalled as they finish. Without an ambient run this is
+   exactly [Runner.success_rate]. *)
+let checkpointed_success_rate ?(trials = default_trials)
+    ?(seed = default_sim_seed) ?pool (result : Compile.t) =
+  let compute () =
+    let runner = runner_of result in
+    let pool =
+      match pool with Some p -> p | None -> Nisq_util.Pool.default ()
+    in
+    Runner.success_rate ~trials ~pool ~seed runner
+  in
+  match Nisq_runkit.Run.current () with
+  | None -> compute ()
+  | Some run ->
+      Nisq_runkit.Run.float_cell run ~key:(sim_digest result ~trials ~seed)
+        compute
+
 let evaluate ?(trials = default_trials) ?(seed = default_sim_seed) ?pool
     ~config ~calib (bench : Benchmarks.t) =
   let result = Compile.run ~config ~calib bench.Benchmarks.circuit in
-  let runner = runner_of result in
-  let pool =
-    match pool with Some p -> p | None -> Nisq_util.Pool.default ()
-  in
-  let success = Runner.success_rate ~trials ~pool ~seed runner in
+  let success = checkpointed_success_rate ~trials ~seed ?pool result in
   { bench; config; result; success }
 
 let section title body =
@@ -571,14 +617,11 @@ let ablation_trials ?seed () =
             ~config:(Config.make (Config.R_smt_star 0.5))
             ~calib b.Benchmarks.circuit
         in
-        let runner = runner_of result in
         name
         :: List.map
              (fun trials ->
                Table.fmt_float ~digits:4
-                 (Nisq_sim.Runner.success_rate ~trials
-                    ~seed:(Option.value ~default:default_sim_seed seed)
-                    runner))
+                 (checkpointed_success_rate ~trials ?seed result))
              trial_counts)
       benches
   in

@@ -15,6 +15,25 @@ type eval = {
 val runner_of : Nisq_compiler.Compile.t -> Nisq_sim.Runner.t
 (** Wrap a compiled program for the Monte-Carlo runner. *)
 
+val sim_digest : Nisq_compiler.Compile.t -> trials:int -> seed:int -> string
+(** Checkpoint-cell key for one simulation: a hex digest of the compiled
+    physical ops, readout map, calibration noise arrays, trial count and
+    seed — everything that determines the (bit-deterministic) success
+    rate. Equal digests guarantee equal results, so a journalled cell
+    can be replayed on resume in place of rerunning the trials. *)
+
+val checkpointed_success_rate :
+  ?trials:int ->
+  ?seed:int ->
+  ?pool:Nisq_util.Pool.t ->
+  Nisq_compiler.Compile.t ->
+  float
+(** [Runner.success_rate] routed through the ambient
+    {!Nisq_runkit.Run} when one is installed: a cell already in the
+    run's journal is returned without simulating; a fresh cell is
+    journalled (fsync'd) as soon as it completes. Identical to the plain
+    computation when no run is installed. *)
+
 val evaluate :
   ?trials:int ->
   ?seed:int ->

@@ -7,6 +7,7 @@ module Topology = Nisq_device.Topology
 module Paths = Nisq_device.Paths
 module Trace = Nisq_obs.Trace
 module Metrics = Nisq_obs.Metrics
+module Deadline = Nisq_runkit.Deadline
 
 let m_compiles = Metrics.counter "compiler.compiles"
 let m_swaps = Metrics.counter "compiler.swaps_inserted"
@@ -79,6 +80,9 @@ let run ~(config : Config.t) ~calib circuit =
   Trace.with_span "compile"
     ~attrs:[ ("config", Config.name config); ("program", circuit.Circuit.name) ]
   @@ fun () ->
+  (* Cancellation point: don't start a compile the run layer is already
+     tearing down. *)
+  Deadline.raise_if_cancelled ();
   Metrics.incr m_compiles;
   let started = Unix.gettimeofday () in
   let program = Decompose.lower_swaps circuit in
@@ -111,10 +115,14 @@ let run ~(config : Config.t) ~calib circuit =
     if not s1.Nisq_solver.Budget.degraded then (l1, Some s1, Some Rung_full)
     else begin
       Metrics.incr m_fallback_capped;
+      (* Between rungs: a budget that "blew" because the run was
+         cancelled must not descend the ladder — propagate instead. *)
+      Deadline.raise_if_cancelled ();
       let l2, s2 = solve fallback_budget in
       if not s2.Nisq_solver.Budget.degraded then (l2, Some s2, Some Rung_capped)
       else begin
         Metrics.incr m_fallback_greedy;
+        Deadline.raise_if_cancelled ();
         (greedy (), Some s2, Some Rung_greedy)
       end
     end

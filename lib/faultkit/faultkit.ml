@@ -11,8 +11,12 @@ type spec = {
   source : string;
   calib : calib_fault list;
   blow : bool;
+  deadline_blow : bool;
   (* chunk index -> fault; clauses are removed once fired (one-shot). *)
   pool : (int, pool_fault) Hashtbl.t;
+  (* chunk indices whose cancellation checkpoint behaves as if a SIGTERM
+     had just arrived; one-shot, like pool clauses. *)
+  kill : (int, unit) Hashtbl.t;
 }
 
 let m_injected = Nisq_obs.Metrics.counter "resilience.faults.injected"
@@ -22,6 +26,7 @@ let m_injected = Nisq_obs.Metrics.counter "resilience.faults.injected"
 let lock = Mutex.create ()
 let armed : spec option ref = ref None
 let pool_armed = ref false
+let kill_armed = ref false
 
 let with_lock f =
   Mutex.lock lock;
@@ -75,6 +80,15 @@ let parse_clause clause =
   | "solver:blow" ->
       if target = None then Ok `Blow
       else Error "solver:blow takes no target"
+  | "deadline:blow" ->
+      if target = None then Ok `Deadline_blow
+      else Error "deadline:blow takes no target"
+  | _ when int_after "kill:chunk" site <> None -> (
+      match (int_after "kill:chunk" site, target) with
+      | Some i, None when i >= 0 -> Ok (`Kill i)
+      | Some _, None -> Error "kill:chunk<N>: negative chunk index"
+      | _, Some _ -> Error "kill:chunk<N> takes no @target"
+      | None, _ -> assert false)
   | "pool:crash" | "pool:kill" -> (
       let kind = if site = "pool:crash" then Crash else Kill in
       match Option.bind target (int_after "chunk") with
@@ -90,23 +104,32 @@ let parse source =
     |> List.filter (fun c -> c <> "")
   in
   let pool = Hashtbl.create 4 in
-  let rec go calib blow = function
-    | [] -> Ok { source; calib = List.rev calib; blow; pool }
+  let kill = Hashtbl.create 4 in
+  let rec go calib blow dblow = function
+    | [] ->
+        Ok
+          { source; calib = List.rev calib; blow; deadline_blow = dblow; pool;
+            kill }
     | c :: rest -> (
         match parse_clause c with
-        | Ok (`Calib f) -> go (f :: calib) blow rest
-        | Ok `Blow -> go calib true rest
+        | Ok (`Calib f) -> go (f :: calib) blow dblow rest
+        | Ok `Blow -> go calib true dblow rest
+        | Ok `Deadline_blow -> go calib blow true rest
         | Ok (`Pool (i, k)) ->
             Hashtbl.replace pool i k;
-            go calib blow rest
+            go calib blow dblow rest
+        | Ok (`Kill i) ->
+            Hashtbl.replace kill i ();
+            go calib blow dblow rest
         | Error e -> Error (Printf.sprintf "fault clause %S: %s" c e))
   in
-  go [] false clauses
+  go [] false false clauses
 
 let clear () =
   with_lock (fun () ->
       armed := None;
-      pool_armed := false)
+      pool_armed := false;
+      kill_armed := false)
 
 let configure source =
   if String.trim source = "" then (
@@ -117,7 +140,8 @@ let configure source =
     | Ok spec ->
         with_lock (fun () ->
             armed := Some spec;
-            pool_armed := Hashtbl.length spec.pool > 0);
+            pool_armed := Hashtbl.length spec.pool > 0;
+            kill_armed := Hashtbl.length spec.kill > 0);
         Ok ()
     | Error _ as e -> e
 
@@ -143,6 +167,26 @@ let calib_faults () =
 
 let solver_blow () =
   match !armed with None -> false | Some s -> s.blow
+
+let deadline_blow () =
+  match !armed with None -> false | Some s -> s.deadline_blow
+
+(* One-shot like the pool clauses: the first checkpoint of the armed
+   chunk reports the kill, later ones don't — so a resumed run (with the
+   spec no longer armed, or the clause consumed) proceeds normally. *)
+let kill_chunk i =
+  !kill_armed
+  && with_lock (fun () ->
+         match !armed with
+         | None -> false
+         | Some s ->
+             if Hashtbl.mem s.kill i then begin
+               Hashtbl.remove s.kill i;
+               if Hashtbl.length s.kill = 0 then kill_armed := false;
+               Nisq_obs.Metrics.incr m_injected;
+               true
+             end
+             else false)
 
 let chunk_check i =
   if !pool_armed then

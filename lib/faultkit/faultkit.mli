@@ -11,6 +11,9 @@
       solver:blow        every Budget.Clock starts exhausted
       pool:crash@chunk7  chunk 7 raises Injected on its first execution
       pool:kill@chunk7   chunk 7 raises Domain_kill on its first execution
+      deadline:blow      the run deadline starts already expired
+      kill:chunk7        chunk 7's cancellation checkpoint acts as if a
+                         SIGTERM had just arrived (deterministic kill)
     v}
 
     Specs come from [nisqc --inject SPEC] or the [NISQ_FAULTS] environment
@@ -50,6 +53,17 @@ val calib_faults : unit -> calib_fault list
 
 val solver_blow : unit -> bool
 (** True when every solver budget should start exhausted. *)
+
+val deadline_blow : unit -> bool
+(** True when the run-layer deadline should start already expired
+    ([deadline:blow]); consumed by [Nisq_runkit.Deadline]. *)
+
+val kill_chunk : int -> bool
+(** True the first time chunk [i]'s cancellation checkpoint runs with an
+    armed [kill:chunk<i>] clause, then disarms that clause. The caller
+    ([Nisq_runkit.Deadline.chunk_checkpoint]) reacts exactly as to a
+    real SIGTERM, making mid-sweep kills reproducible in tests. No-op
+    (one ref read) when disarmed. *)
 
 val chunk_check : int -> unit
 (** Injection site for pool chunk [i]: raises [Injected] or [Domain_kill]

@@ -64,13 +64,28 @@ let to_string v =
   to_buffer buf v;
   Buffer.contents buf
 
+(* Write-temp-then-rename so readers (and crash recovery) only ever see
+   a complete document: a telemetry dump interrupted mid-write must not
+   leave a torn file where the previous good one stood. This duplicates
+   the tiny core of [Nisq_runkit.Atomic_io] because obs sits below
+   runkit in the dependency order. *)
 let to_file ~path v =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string v);
-      output_char oc '\n')
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (match
+     output_string oc (to_string v);
+     output_char oc '\n';
+     flush oc;
+     (try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> ());
+     close_out oc
+   with
+  | () -> ()
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
 
 (* ------------------------------ parse ------------------------------ *)
 

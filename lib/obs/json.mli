@@ -24,7 +24,10 @@ val to_buffer : Buffer.t -> t -> unit
 (** {!to_string} into an existing buffer. *)
 
 val to_file : path:string -> t -> unit
-(** Write {!to_string} plus a trailing newline to [path]. *)
+(** Write {!to_string} plus a trailing newline to [path], atomically:
+    the document is written to a temp file, fsync'd, then renamed into
+    place, so [path] never holds a torn JSON value — even if the writer
+    is killed mid-dump. *)
 
 val of_string : string -> (t, string) result
 (** Strict RFC 8259 parser: one value, nothing after it. Numbers

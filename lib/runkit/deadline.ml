@@ -1,0 +1,127 @@
+module Clock = Nisq_obs.Clock
+module Metrics = Nisq_obs.Metrics
+module Faultkit = Nisq_faultkit.Faultkit
+
+type reason = Deadline | Sigint | Sigterm
+
+exception Cancelled of reason
+
+let reason_name = function
+  | Deadline -> "deadline"
+  | Sigint -> "sigint"
+  | Sigterm -> "sigterm"
+
+(* POSIX convention: 3 is "budget exceeded, partial results on disk"
+   (documented in README), 128+N for death-by-signal after checkpoint. *)
+let exit_code = function Deadline -> 3 | Sigint -> 130 | Sigterm -> 143
+
+let m_cancellations = Metrics.counter "runkit.cancellations"
+
+(* The token. [state] is flipped exactly once per run (first reason
+   wins); every later checkpoint observes it with a single atomic read.
+   [deadline_ns] is the absolute monotonic expiry, armed by the main
+   thread before work starts. *)
+let state : reason option Atomic.t = Atomic.make None
+let deadline_ns : int64 option ref = ref None
+
+let cancel reason =
+  if Atomic.compare_and_set state None (Some reason) then
+    Metrics.incr m_cancellations
+
+let arm_seconds s =
+  deadline_ns :=
+    Some (Int64.add (Clock.now_ns ()) (Int64.of_float (s *. 1e9)))
+
+let armed () = !deadline_ns <> None
+
+let reset () =
+  deadline_ns := None;
+  Atomic.set state None
+
+let cancelled () =
+  match Atomic.get state with
+  | Some _ as r -> r
+  | None ->
+      if Faultkit.deadline_blow () then begin
+        cancel Deadline;
+        Atomic.get state
+      end
+      else (
+        match !deadline_ns with
+        | Some t when Clock.now_ns () >= t ->
+            cancel Deadline;
+            Atomic.get state
+        | _ -> None)
+
+let is_cancelled () = cancelled () <> None
+
+let raise_if_cancelled () =
+  match cancelled () with Some r -> raise (Cancelled r) | None -> ()
+
+let chunk_checkpoint i =
+  if Faultkit.kill_chunk i then cancel Sigterm;
+  raise_if_cancelled ()
+
+(* ----------------------- duration parsing ------------------------- *)
+
+let parse_duration src =
+  let src = String.trim (String.lowercase_ascii src) in
+  let n = String.length src in
+  if n = 0 then Error "empty duration"
+  else begin
+    let pos = ref 0 in
+    let total = ref 0.0 in
+    let error = ref None in
+    let fail msg = error := Some msg; pos := n in
+    while !pos < n && !error = None do
+      let start = !pos in
+      while
+        !pos < n
+        && (match src.[!pos] with '0' .. '9' | '.' -> true | _ -> false)
+      do
+        incr pos
+      done;
+      if !pos = start then
+        fail (Printf.sprintf "expected a number at %S" (String.sub src start (n - start)))
+      else
+        match float_of_string_opt (String.sub src start (!pos - start)) with
+        | None -> fail "malformed number"
+        | Some v ->
+            let unit_start = !pos in
+            while
+              !pos < n
+              && (match src.[!pos] with 'a' .. 'z' -> true | _ -> false)
+            do
+              incr pos
+            done;
+            let scale =
+              match String.sub src unit_start (!pos - unit_start) with
+              | "" | "s" | "sec" | "secs" -> Some 1.0
+              | "ms" -> Some 0.001
+              | "m" | "min" | "mins" -> Some 60.0
+              | "h" | "hr" | "hrs" -> Some 3600.0
+              | u -> fail (Printf.sprintf "unknown unit %S (want ms|s|m|h)" u); None
+            in
+            Option.iter (fun sc -> total := !total +. (v *. sc)) scale
+    done;
+    match !error with
+    | Some e -> Error e
+    | None when !total <= 0.0 -> Error "duration must be positive"
+    | None -> Ok !total
+  end
+
+let env_warned = ref false
+
+let init_from_env () =
+  match Sys.getenv_opt "NISQ_DEADLINE" with
+  | None | Some "" -> ()
+  | Some src -> (
+      match parse_duration src with
+      | Ok s -> arm_seconds s
+      | Error msg ->
+          if not !env_warned then begin
+            env_warned := true;
+            Printf.eprintf
+              "nisq: warning: ignoring malformed NISQ_DEADLINE=%S (%s)\n%!" src
+              msg
+          end)

@@ -1,0 +1,69 @@
+(** Deadline-aware cooperative cancellation.
+
+    One process-wide token, flipped at most once per run, observed at
+    explicit {e cancellation points}: pool chunk boundaries
+    ({!chunk_checkpoint} via [Nisq_util.Pool]), the solver's budget
+    clock ([Nisq_solver.Budget.Clock.tick], every 256 nodes), the
+    compiler's fallback-ladder rungs, and the run loop between figures
+    and cells. Work between two points always completes — a blown
+    deadline or a SIGINT/SIGTERM can therefore never corrupt a chunk or
+    a journal record, only stop cleanly between them.
+
+    Three sources can flip the token:
+    - an armed wall-clock deadline expiring ({!arm_seconds}, from
+      [--deadline]/[NISQ_DEADLINE]);
+    - a signal handler calling {!cancel} ({!Signals});
+    - deterministic fault injection ([deadline:blow] starts the
+      deadline expired; [kill:chunk<N>] makes chunk [N]'s checkpoint
+      behave like a SIGTERM — see {!Nisq_faultkit.Faultkit}).
+
+    A disarmed check costs one atomic read plus two ref reads —
+    negligible against a 256-trial chunk. *)
+
+type reason = Deadline | Sigint | Sigterm
+
+exception Cancelled of reason
+(** Raised by cancellation points once the token is flipped. The run
+    layer catches it at the top level, writes the final checkpoint and
+    [status.json], flushes telemetry, and exits with {!exit_code}. *)
+
+val reason_name : reason -> string
+(** ["deadline" | "sigint" | "sigterm"] — used in status files. *)
+
+val exit_code : reason -> int
+(** [Deadline] → 3; [Sigint] → 130; [Sigterm] → 143. *)
+
+val arm_seconds : float -> unit
+(** Arm a wall-clock budget of [s] seconds from now (monotonic). *)
+
+val armed : unit -> bool
+
+val init_from_env : unit -> unit
+(** Arm from [NISQ_DEADLINE] (e.g. "30s", "5m", "1h30m", "250ms", or a
+    bare number of seconds) if set; warns once on stderr if malformed. *)
+
+val parse_duration : string -> (float, string) result
+(** Parse a human duration into seconds. *)
+
+val cancel : reason -> unit
+(** Flip the token; the first reason wins, later calls are no-ops.
+    Async-signal-safe (one compare-and-set). *)
+
+val cancelled : unit -> reason option
+(** Current state, also noticing an expired deadline or an armed
+    [deadline:blow] fault. *)
+
+val is_cancelled : unit -> bool
+
+val raise_if_cancelled : unit -> unit
+(** Raise {!Cancelled} if the token is flipped: the generic
+    cancellation point. *)
+
+val chunk_checkpoint : int -> unit
+(** Cancellation point before pool chunk [i]: services an armed
+    [kill:chunk<i>] fault (flipping the token as a SIGTERM would), then
+    {!raise_if_cancelled}. *)
+
+val reset : unit -> unit
+(** Disarm the deadline and un-flip the token. For tests and in-process
+    resume; a real resumed run is a fresh process. *)

@@ -1,0 +1,87 @@
+module Json = Nisq_obs.Json
+
+type writer = {
+  path : string;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let open_writer ~truncate ~path =
+  let flags =
+    if truncate then [ Open_wronly; Open_creat; Open_trunc ]
+    else [ Open_wronly; Open_creat; Open_append ]
+  in
+  { path; oc = open_out_gen flags 0o644 path; closed = false }
+
+let create ~path = open_writer ~truncate:true ~path
+
+let append_to ~path = open_writer ~truncate:false ~path
+
+(* One record = one line, flushed and fsync'd before [append] returns:
+   after a crash the journal is a prefix of complete lines plus at most
+   one torn tail, which [load] drops. *)
+let append w json =
+  if w.closed then invalid_arg "Journal.append: closed journal";
+  output_string w.oc (Json.to_string json);
+  output_char w.oc '\n';
+  flush w.oc;
+  (try Unix.fsync (Unix.descr_of_out_channel w.oc)
+   with Unix.Unix_error _ -> ())
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out w.oc
+  end
+
+type loaded = {
+  records : Json.t list;
+  torn : bool;
+  valid_bytes : int;  (* byte length of the complete-line prefix *)
+}
+
+let load ~path =
+  match Atomic_io.read_file path with
+  | exception Sys_error msg -> Error msg
+  | src ->
+      let n = String.length src in
+      let rec go acc pos =
+        if pos >= n then Ok { records = List.rev acc; torn = false; valid_bytes = pos }
+        else
+          let nl = String.index_from_opt src pos '\n' in
+          let line_end, complete =
+            match nl with Some i -> (i, true) | None -> (n, false)
+          in
+          let line = String.sub src pos (line_end - pos) in
+          let next () = go acc (line_end + 1) in
+          if String.trim line = "" then
+            if complete then next ()
+            else Ok { records = List.rev acc; torn = false; valid_bytes = pos }
+          else
+            match Json.of_string line with
+            | Ok v when complete -> go (v :: acc) (line_end + 1)
+            | Ok _ (* missing trailing newline: treat as torn *) ->
+                Ok { records = List.rev acc; torn = true; valid_bytes = pos }
+            | Error msg ->
+                if complete then
+                  (* A corrupt line with intact lines after it is real
+                     damage, not a crash artifact: refuse. *)
+                  if String.index_from_opt src (line_end + 1) '\n' <> None
+                     || String.trim
+                          (String.sub src (line_end + 1) (n - line_end - 1))
+                        <> ""
+                  then
+                    Error
+                      (Printf.sprintf "%s: corrupt journal line at byte %d: %s"
+                         path pos msg)
+                  else Ok { records = List.rev acc; torn = true; valid_bytes = pos }
+                else Ok { records = List.rev acc; torn = true; valid_bytes = pos }
+      in
+      go [] 0
+
+(* Chop a torn tail so appends restart on a clean line boundary. *)
+let truncate_to ~path bytes =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.ftruncate fd bytes)

@@ -1,0 +1,38 @@
+(** The append-only run ledger: one JSON record per line
+    ([journal.jsonl]), flushed and fsync'd record by record.
+
+    The format is crash-safe by construction: a record is durable before
+    {!append} returns, so after any kill the file is a prefix of
+    complete lines plus at most one torn tail. {!load} ignores the torn
+    tail (it is the unit of work that was in flight — by definition not
+    yet completed) but treats a corrupt line {e followed by} intact
+    lines as real damage and refuses, since silently dropping interior
+    records would violate the resume-equals-uninterrupted contract. *)
+
+type writer
+
+val create : path:string -> writer
+(** Open a fresh journal, truncating any existing file. *)
+
+val append_to : path:string -> writer
+(** Reopen an existing journal for appending (resume). Call
+    {!truncate_to} first if {!load} reported a torn tail. *)
+
+val append : writer -> Nisq_obs.Json.t -> unit
+(** Write one record line, flush, fsync. *)
+
+val close : writer -> unit
+
+type loaded = {
+  records : Nisq_obs.Json.t list;  (** complete records, in order *)
+  torn : bool;  (** a torn/corrupt trailing line was dropped *)
+  valid_bytes : int;  (** length of the intact prefix, for {!truncate_to} *)
+}
+
+val load : path:string -> (loaded, string) result
+(** Read a journal back. [Error] on an unreadable file or a corrupt
+    interior line; a torn {e final} line is reported, not fatal. *)
+
+val truncate_to : path:string -> int -> unit
+(** Truncate the file to [valid_bytes], removing a torn tail so that
+    subsequent appends start on a line boundary. *)

@@ -1,0 +1,74 @@
+(** A checkpointed run: a directory under [_runs/<run-id>/] holding the
+    append-only {!Journal} ([journal.jsonl]), rendered tables
+    ([tables/<figure>.txt]) and a final [status.json].
+
+    The journal's first record is a {e header} carrying the run's
+    identity (seed, trial count, config and calibration digests). Each
+    completed unit of work appends a {e cell} record keyed by a digest
+    of everything that determines its value; each completed figure
+    appends a {e figure} record after its rendered table is written.
+    Because the simulator is bit-deterministic at a fixed seed
+    (fixed-size chunks, per-chunk RNG streams), replaying cached cells
+    on resume reproduces the uninterrupted run's tables exactly.
+
+    On {!resume} the header identity must match the current invocation;
+    a mismatch means the cached numbers answer a different question, so
+    it is refused unless [force] is set. A torn trailing journal line
+    (the record in flight when the process died) is dropped and the
+    file truncated to the intact prefix before appends continue. *)
+
+type t
+
+val start :
+  ?root:string -> run_id:string -> identity:Nisq_obs.Json.t -> unit -> t
+(** Create [root]/[run_id] (default root [_runs]), truncating any
+    previous journal, and write the header record. *)
+
+val resume :
+  ?root:string ->
+  run_id:string ->
+  identity:Nisq_obs.Json.t ->
+  force:bool ->
+  unit ->
+  (t, string) result
+(** Reopen an existing run for appending: load the journal, verify the
+    header identity (unless [force]), drop a torn tail, and prime the
+    cell/figure caches. *)
+
+val id : t -> string
+val dir : t -> string
+
+val float_cell : t -> key:string -> (unit -> float) -> float
+(** The memoising checkpoint: return the journalled value for [key] if
+    one exists, else run [compute], append the result, and return it.
+    [compute] runs outside any lock; a cancellation raised inside it
+    leaves the journal without the record, exactly as if the cell had
+    never started. *)
+
+val figure_cached : t -> string -> string option
+(** The rendered table for a completed figure, if the journal marks it
+    done and the table file is readable. *)
+
+val figure_done : t -> string -> string -> unit
+(** Atomically write [tables/<name>.txt], then journal the figure as
+    complete. *)
+
+val cache_stats : t -> int * int
+(** [(cells replayed from the journal, cells computed fresh)]. *)
+
+val write_status : t -> status:string -> unit
+(** Write [status.json] ([completed], [degraded:deadline],
+    [interrupted:sigint], …) without closing the journal. *)
+
+val finish : t -> status:string -> unit
+(** {!write_status} and close the journal. Idempotent on the journal. *)
+
+(** {2 Ambient run}
+
+    The benchmark harness installs the active run so that deeply nested
+    evaluation code ([Nisq_bench.Experiments]) can consult the cell
+    cache without threading a handle through every signature. *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val current : unit -> t option

@@ -1,0 +1,30 @@
+let hits = Atomic.make 0
+
+let handle reason _signo =
+  let n = Atomic.fetch_and_add hits 1 in
+  if n = 0 then begin
+    Deadline.cancel reason;
+    prerr_string
+      (Printf.sprintf
+         "\nnisq: %s received — draining in-flight chunks and writing a \
+          checkpoint (signal again to abort immediately)\n"
+         (Deadline.reason_name reason));
+    flush stderr
+  end
+  else
+    (* Second signal: the user means it. Skip at_exit (pool teardown,
+       buffered channels) — everything durable is already fsync'd. *)
+    Unix._exit (Deadline.exit_code reason)
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    let set signal reason =
+      try Sys.set_signal signal (Sys.Signal_handle (handle reason))
+      with Invalid_argument _ | Sys_error _ -> ()
+    in
+    set Sys.sigint Deadline.Sigint;
+    set Sys.sigterm Deadline.Sigterm
+  end

@@ -1,0 +1,14 @@
+(** Graceful-shutdown signal handling.
+
+    {!install} routes SIGINT and SIGTERM into the {!Deadline} token:
+    the first signal flips the token and prints a one-line notice —
+    in-flight pool chunks finish, the run layer writes its checkpoint
+    and [status.json], and the process exits with 130 (SIGINT) or 143
+    (SIGTERM). A second signal calls [Unix._exit] immediately: every
+    journal record is fsync'd before its append returns, so skipping
+    the orderly teardown loses at most the work since the last
+    checkpoint — never the journal's integrity. *)
+
+val install : unit -> unit
+(** Install the handlers once; later calls are no-ops. Safe on
+    platforms without signal support (failures are swallowed). *)

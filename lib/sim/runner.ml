@@ -470,6 +470,10 @@ let success_rate_seq ?(trials = 4096) ~seed t =
   check_trials "Runner.success_rate_seq" trials;
   let hits = ref 0 in
   for i = 0 to num_chunks trials - 1 do
+    (* Same cancellation point the pool path hits via [Pool.run_chunk],
+       so deadlines and [kill:chunk] faults behave identically at pool
+       size 0. *)
+    Nisq_runkit.Deadline.chunk_checkpoint i;
     hits := !hits + chunk_hits t ~seed ~trials i
   done;
   Float.of_int !hits /. Float.of_int trials
@@ -522,7 +526,9 @@ let merge_counts per_chunk =
 let distribution_seq ?(trials = 4096) ~seed t =
   check_trials "Runner.distribution_seq" trials;
   merge_counts
-    (List.init (num_chunks trials) (chunk_counts t ~seed ~trials))
+    (List.init (num_chunks trials) (fun i ->
+         Nisq_runkit.Deadline.chunk_checkpoint i;
+         chunk_counts t ~seed ~trials i))
 
 let distribution ?(trials = 4096) ?pool ~seed t =
   check_trials "Runner.distribution" trials;

@@ -41,6 +41,10 @@ type op = {
 
 type t
 
+val chunk_size : int
+(** Trials per Monte-Carlo chunk (256). Fixed: it is part of the
+    determinism contract, and checkpoint cell digests assume it. *)
+
 val prepare :
   calib:Nisq_device.Calibration.t ->
   ops:op array ->

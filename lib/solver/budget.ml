@@ -1,4 +1,5 @@
 module Faultkit = Nisq_faultkit.Faultkit
+module Deadline = Nisq_runkit.Deadline
 
 type t = { max_nodes : int option; max_seconds : float option }
 
@@ -36,7 +37,10 @@ module Clock = struct
     (* A "solver:blow" fault starts the clock pre-exhausted: the search
        falls straight through to its best-so-far/greedy completion path
        and reports a degraded result, exercising the fallback ladder. *)
-    let blown = Faultkit.solver_blow () in
+    (* A cancelled run (blown deadline, SIGINT/SIGTERM) likewise starts
+       exhausted: the search degrades to its fast completion path instead
+       of burning the shutdown grace period on a doomed solve. *)
+    let blown = Faultkit.solver_blow () || Deadline.is_cancelled () in
     { budget; started = Unix.gettimeofday (); count = 0; blown }
 
   let tick c =
@@ -46,13 +50,17 @@ module Clock = struct
       let over_nodes =
         match c.budget.max_nodes with Some n -> c.count > n | None -> false
       in
-      (* Check the clock only every 256 nodes: gettimeofday is not free. *)
+      (* Check the clock only every 256 nodes: gettimeofday is not free.
+         The run deadline piggybacks on the same cadence — this is the
+         solver's cancellation point, so even an unbounded search notices
+         a flipped token within 256 nodes. *)
       let over_time =
         (c.count land 255) = 0
-        &&
-        match c.budget.max_seconds with
-        | Some s -> Unix.gettimeofday () -. c.started > s
-        | None -> false
+        && (Deadline.is_cancelled ()
+           ||
+           match c.budget.max_seconds with
+           | Some s -> Unix.gettimeofday () -. c.started > s
+           | None -> false)
       in
       if over_nodes || over_time then begin
         c.blown <- true;

@@ -1,6 +1,7 @@
 module Clock = Nisq_obs.Clock
 module Metrics = Nisq_obs.Metrics
 module Faultkit = Nisq_faultkit.Faultkit
+module Deadline = Nisq_runkit.Deadline
 
 (* Registered once; updates are no-ops while telemetry is disabled.
    [pool.tasks]/[pool.parallel_calls] only count work items, so they are
@@ -63,6 +64,13 @@ let rec worker_loop t =
    completes the chunk (via the retry) before the worker dies, so no
    work is lost. *)
 let run_chunk f i =
+  (* Cancellation point, outside the retry: a flipped token (deadline,
+     signal, or an armed [kill:chunk] fault) stops the chunk before any
+     work, and a cancelled chunk is not a "failure" to retry — the
+     resumed run recomputes it from the same index, bit-identically. *)
+  match Deadline.chunk_checkpoint i with
+  | exception e -> (Error e, false)
+  | () ->
   let attempt () =
     Faultkit.chunk_check i;
     f i

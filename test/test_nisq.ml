@@ -12,5 +12,6 @@ let () =
       ("frontend", Test_frontend.suite);
       ("extras", Test_extras.suite);
       ("resilience", Test_resilience.suite);
+      ("runkit", Test_runkit.suite);
       ("properties", Test_props.suite);
     ]

@@ -1,11 +1,14 @@
 (* jsonlint — validate JSON files emitted by the telemetry layer.
 
-   Usage: jsonlint [--trace] FILE...
+   Usage: jsonlint [--trace | --jsonl] FILE...
 
    Parses each file with the same strict parser the test suite uses.
    With --trace, additionally checks the Chrome trace_event shape: a
    top-level object with a non-empty "traceEvents" list whose entries
-   carry name/ph/ts/dur fields. Exits non-zero on the first failure. *)
+   carry name/ph/ts/dur fields. With --jsonl, the file is a run journal:
+   one JSON object per line, every line (including the last) complete —
+   the shape an orderly shutdown must leave behind. Exits non-zero on
+   the first failure. *)
 
 module Json = Nisq_obs.Json
 
@@ -46,12 +49,35 @@ let check_trace path v =
         events
   | Some _ -> fail "\"traceEvents\" is not a list"
 
+(* Journal (JSONL) check: every newline-terminated line parses as one
+   JSON object. A file not ending in '\n' means a torn final record —
+   legal after a crash, but this lint runs on journals that finished an
+   orderly shutdown, where it indicates a bug. *)
+let check_jsonl path src =
+  let fail line msg =
+    Printf.eprintf "%s:%d: %s\n" path line msg;
+    exit 1
+  in
+  if String.length src > 0 && src.[String.length src - 1] <> '\n' then
+    fail (1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 src)
+      "torn final record (no trailing newline)";
+  let records = ref 0 in
+  String.split_on_char '\n' src
+  |> List.iteri (fun i line ->
+         if String.trim line <> "" then
+           match Json.of_string line with
+           | Ok (Json.Obj _) -> incr records
+           | Ok _ -> fail (i + 1) "record is not a JSON object"
+           | Error msg -> fail (i + 1) ("invalid JSON: " ^ msg));
+  if !records = 0 then fail 1 "empty journal"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let trace_mode = List.mem "--trace" args in
-  let files = List.filter (fun a -> a <> "--trace") args in
-  if files = [] then begin
-    prerr_endline "usage: jsonlint [--trace] FILE...";
+  let jsonl_mode = List.mem "--jsonl" args in
+  let files = List.filter (fun a -> a <> "--trace" && a <> "--jsonl") args in
+  if files = [] || (trace_mode && jsonl_mode) then begin
+    prerr_endline "usage: jsonlint [--trace | --jsonl] FILE...";
     exit 2
   end;
   List.iter
@@ -62,11 +88,16 @@ let () =
           Printf.eprintf "%s: %s\n" path msg;
           exit 1
       in
-      match Json.of_string src with
-      | Error msg ->
-          Printf.eprintf "%s: invalid JSON: %s\n" path msg;
-          exit 1
-      | Ok v ->
-          if trace_mode then check_trace path v;
-          Printf.printf "%s: OK\n" path)
+      if jsonl_mode then begin
+        check_jsonl path src;
+        Printf.printf "%s: OK\n" path
+      end
+      else
+        match Json.of_string src with
+        | Error msg ->
+            Printf.eprintf "%s: invalid JSON: %s\n" path msg;
+            exit 1
+        | Ok v ->
+            if trace_mode then check_trace path v;
+            Printf.printf "%s: OK\n" path)
     files

@@ -1,0 +1,90 @@
+#!/bin/sh
+# Kill-and-resume smoke test for the crash-safe run layer.
+#
+# Exercises the full crash story end to end against the real bench
+# harness binary:
+#   1. a reference run (no journaling) records the expected output;
+#   2. a victim run is killed deterministically at chunk 3 via fault
+#      injection (same code path as SIGTERM: exit 143, checkpoint);
+#   3. --resume replays the journal and must reproduce the reference
+#      output byte for byte;
+#   4. resuming under a different identity is refused (exit 2);
+#   5. a 1 ms deadline cancels with exit 3 and status degraded:deadline;
+#   6. a real SIGTERM to a long composite run exits 143 with a lintable
+#      journal and a final status.json.
+#
+# Usage: tools/resume_smoke.sh   (from the repo root; builds first)
+set -eu
+
+note() { printf '[resume-smoke] %s\n' "$*"; }
+die() { printf '[resume-smoke] FAIL: %s\n' "$*" >&2; exit 1; }
+
+# Expected exit code of "$@" (run disowning set -e).
+expect_exit() {
+  want=$1; shift
+  set +e
+  "$@"
+  got=$?
+  set -e
+  [ "$got" -eq "$want" ] || die "expected exit $want, got $got: $*"
+}
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+dune build bench/main.exe tools/jsonlint.exe
+bench=$root/_build/default/bench/main.exe
+jsonlint=$root/_build/default/tools/jsonlint.exe
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/nisq_resume_smoke.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+cd "$work"
+
+note "reference run (fig5, 2048 trials)"
+"$bench" fig5 2048 > ref.txt 2> /dev/null
+
+note "victim run killed at chunk 3 (expects exit 143)"
+expect_exit 143 env NISQ_FAULTS=kill:chunk3 "$bench" fig5 2048 \
+  --run-id smoke > /dev/null 2> victim.log
+grep -q '"status":"interrupted:sigterm"' _runs/smoke/status.json \
+  || die "victim status.json missing interrupted:sigterm"
+"$jsonlint" --jsonl _runs/smoke/journal.jsonl > /dev/null \
+  || die "victim journal does not lint"
+
+note "resume replays the journal"
+"$bench" fig5 2048 --resume smoke > resumed.txt 2> resume.log
+diff -u ref.txt resumed.txt \
+  || die "resumed output differs from the uninterrupted reference"
+grep -q 'cells replayed' resume.log || die "resume did not report cache stats"
+"$jsonlint" --jsonl _runs/smoke/journal.jsonl > /dev/null
+
+note "identity mismatch is refused (expects exit 2)"
+expect_exit 2 "$bench" fig5 512 --resume smoke > /dev/null 2> mismatch.log
+grep -q 'resume-force' mismatch.log \
+  || die "mismatch refusal does not mention --resume-force"
+
+note "blown deadline checkpoints and exits 3"
+expect_exit 3 "$bench" fig5 2048 --deadline 1ms --run-id dl \
+  > /dev/null 2> /dev/null
+grep -q '"status":"degraded:deadline"' _runs/dl/status.json \
+  || die "deadline status.json missing degraded:deadline"
+"$jsonlint" --jsonl _runs/dl/journal.jsonl > /dev/null
+
+note "real SIGTERM drains and checkpoints (expects exit 143)"
+"$bench" all 4096 --run-id sig > /dev/null 2> /dev/null &
+pid=$!
+sleep 2
+kill -TERM "$pid" 2> /dev/null || true
+set +e
+wait "$pid"
+got=$?
+set -e
+if [ "$got" -eq 0 ]; then
+  note "composite run finished before the signal landed; skipping"
+else
+  [ "$got" -eq 143 ] || die "SIGTERM victim exited $got, expected 143"
+  grep -q '"status":"interrupted:sigterm"' _runs/sig/status.json \
+    || die "signal status.json missing interrupted:sigterm"
+  "$jsonlint" --jsonl _runs/sig/journal.jsonl > /dev/null
+fi
+
+note "OK"
