@@ -1,10 +1,12 @@
 # Convenience targets; `make check` is the tier-1 gate plus a smoke run
 # of the figure harness (compile + parallel Monte-Carlo on one figure),
 # a telemetry smoke (a traced run whose Chrome trace must parse and
-# carry the expected span shape) and a kill-and-resume smoke (a
-# journalled run killed mid-sweep must resume to byte-identical output).
+# carry the expected span shape), a kill-and-resume smoke (a journalled
+# run killed mid-sweep must resume to byte-identical output) and a bench
+# smoke (the compile fast-path micro-benchmarks, schema-checked against
+# the committed BENCH_compile.json baseline).
 
-.PHONY: all build test check bench micro resume-smoke
+.PHONY: all build test check bench bench-smoke bench-compile micro resume-smoke
 
 all: build
 
@@ -27,6 +29,20 @@ check:
 	dune exec bin/nisqc.exe -- run BV4 -m rsmt -t 512 --metrics \
 	  --inject "calib:nan@q3;solver:blow;pool:crash@chunk0" > /dev/null
 	tools/resume_smoke.sh
+	$(MAKE) bench-smoke
+
+# Short-mode run of the compile fast-path micro-benchmarks; the fresh
+# baseline must have the same schema and benchmark set as the committed
+# one (ns/run drift is expected across machines and is not checked).
+bench-smoke:
+	dune exec bench/main.exe -- micro-compile \
+	  --out /tmp/nisq-bench-compile.json > /dev/null
+	dune exec tools/jsonlint.exe -- --bench /tmp/nisq-bench-compile.json \
+	  BENCH_compile.json
+
+# Refresh the committed baseline in place.
+bench-compile:
+	dune exec bench/main.exe -- micro-compile --out BENCH_compile.json
 
 resume-smoke:
 	tools/resume_smoke.sh

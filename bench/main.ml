@@ -6,6 +6,9 @@
      main.exe                  run everything (figures + micro-benches)
      main.exe fig5 [trials]    one figure (table2, fig1, fig5..fig11)
      main.exe micro            only the Bechamel micro-benchmarks
+     main.exe micro-compile [--out PATH]
+                               only the compile fast-path benches; writes
+                               a BENCH_compile.json baseline (default CWD)
      main.exe quick            figures with reduced trial counts
 
    Crash-safe long runs (see DESIGN.md §8):
@@ -75,9 +78,112 @@ let figure_telemetry name f =
       Obs_json.to_file ~path doc;
       Printf.eprintf "[nisq-bench] telemetry written to %s\n%!" path)
 
-let micro () =
+(* Shared Bechamel driver: measure a test tree, return sorted
+   (name, ns/run) rows. *)
+let measure ~quota tests =
   let open Bechamel in
   let open Toolkit in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:false ~quota:(Time.second quota) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> t
+        | _ -> Float.nan
+      in
+      (name, ns) :: acc)
+    results []
+  |> List.sort compare
+
+let print_rows rows =
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1_000_000.0 then
+        Printf.printf "%-40s %10.3f ms/run\n" name (ns /. 1_000_000.0)
+      else if ns >= 1_000.0 then
+        Printf.printf "%-40s %10.3f us/run\n" name (ns /. 1_000.0)
+      else Printf.printf "%-40s %10.1f ns/run\n" name ns)
+    rows
+
+(* The compile fast-path micro-benchmarks: the placement DFS inner loop,
+   the all-pairs routing solve a cold cache pays once per calibration,
+   and a small figure-cell sweep over the domain pool (warm route cache,
+   cells fanned out). [micro-compile] runs only these, with a short
+   quota, and writes the machine-readable baseline BENCH_compile.json
+   that tools/jsonlint --bench checks in CI. *)
+let compile_path_tests () =
+  let open Bechamel in
+  let calib = Ibmq16.calibration ~day:0 () in
+  let bv4 = Benchmarks.by_name "BV4" in
+  let adder = Benchmarks.by_name "Adder" in
+  let topo64 = Synth.grid_for ~qubits:64 in
+  let calib64 = Calib_gen.generate ~topology:topo64 ~seed:11 ~day:0 () in
+  let paths = Nisq_device.Paths.make calib in
+  let problem =
+    Nisq_compiler.Reliability.placement_problem paths ~omega:0.5
+      ~policy:Config.One_bend adder.Benchmarks.circuit
+  in
+  let stage f = Staged.stage f in
+  [
+    Test.make ~name:"solver:placement-dfs"
+      (stage (fun () -> Nisq_solver.Placement.solve problem));
+    Test.make ~name:"paths:all-pairs"
+      (stage (fun () -> Nisq_device.Paths.make calib64));
+    Test.make ~name:"bench:figure-cells"
+      (stage (fun () ->
+           E.map_cells
+             (List.concat_map
+                (fun b ->
+                  List.map
+                    (fun config () ->
+                      (E.evaluate ~trials:64 ~config ~calib b).E.success)
+                    [
+                      Config.make Config.T_smt_star;
+                      Config.make (Config.R_smt_star 0.5);
+                    ])
+                [ bv4; adder ])));
+  ]
+
+let micro_compile ~out () =
+  let open Bechamel in
+  Obs_metrics.set_enabled false;
+  Obs_trace.set_enabled false;
+  let tests =
+    Test.make_grouped ~name:"nisq" ~fmt:"%s/%s" (compile_path_tests ())
+  in
+  let rows = measure ~quota:0.25 tests in
+  print_endline "=== Bechamel micro-benchmarks: compile fast path ===";
+  print_rows rows;
+  let doc =
+    Obs_json.Obj
+      [
+        ("schema", Obs_json.String "nisq-bench-compile/1");
+        ( "benchmarks",
+          Obs_json.List
+            (List.map
+               (fun (name, ns) ->
+                 (* a pathological estimate must not turn into JSON null *)
+                 let ns = if Float.is_finite ns then ns else 0.0 in
+                 Obs_json.Obj
+                   [
+                     ("name", Obs_json.String name);
+                     ("ns_per_run", Obs_json.Float ns);
+                   ])
+               rows) );
+      ]
+  in
+  Obs_json.to_file ~path:out doc;
+  Printf.eprintf "[nisq-bench] compile baseline written to %s\n%!" out
+
+let micro () =
+  let open Bechamel in
   (* The obs:* benchmarks quantify the DISABLED telemetry path; make the
      state explicit so a preceding figure run cannot leak an enabled
      registry into the measurements. *)
@@ -99,7 +205,7 @@ let micro () =
   let stage f = Staged.stage f in
   let tests =
     Test.make_grouped ~name:"nisq" ~fmt:"%s/%s"
-      [
+      ([
         Test.make ~name:"table2:build-suite"
           (stage (fun () -> List.length Benchmarks.all));
         Test.make ~name:"fig1:one-day-calibration"
@@ -149,34 +255,11 @@ let micro () =
         Test.make ~name:"obs:counter-incr"
           (stage (fun () -> Obs_metrics.incr obs_counter));
       ]
+      @ compile_path_tests ())
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~stabilize:false ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = measure ~quota:0.5 tests in
   print_endline "=== Bechamel micro-benchmarks (monotonic clock) ===";
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some (t :: _) -> t
-          | _ -> Float.nan
-        in
-        (name, ns) :: acc)
-      results []
-    |> List.sort compare
-  in
-  List.iter
-    (fun (name, ns) ->
-      if ns >= 1_000_000.0 then
-        Printf.printf "%-40s %10.3f ms/run\n" name (ns /. 1_000_000.0)
-      else if ns >= 1_000.0 then
-        Printf.printf "%-40s %10.3f us/run\n" name (ns /. 1_000.0)
-      else Printf.printf "%-40s %10.1f ns/run\n" name ns)
-    rows;
+  print_rows rows;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -190,19 +273,21 @@ type options = {
   force : bool;
   run_id : string option;
   deadline : float option;
+  out : string option;
 }
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [TARGET] [TRIALS] [--run-id ID] [--resume ID] \
-     [--resume-force] [--deadline DUR]\n\
-     TARGET: table2|fig1|fig5..fig11|ablations|micro|quick|all\n";
+     [--resume-force] [--deadline DUR] [--out PATH]\n\
+     TARGET: table2|fig1|fig5..fig11|ablations|micro|micro-compile|quick|all\n";
   exit 2
 
 let parse_args () =
   let positional = ref [] in
   let resume = ref None and force = ref false in
   let run_id = ref None and deadline = ref None in
+  let out = ref None in
   let rec go = function
     | [] -> ()
     | "--resume" :: v :: rest ->
@@ -214,6 +299,9 @@ let parse_args () =
     | "--run-id" :: v :: rest ->
         run_id := Some v;
         go rest
+    | "--out" :: v :: rest ->
+        out := Some v;
+        go rest
     | "--deadline" :: v :: rest ->
         (match Deadline.parse_duration v with
         | Ok s -> deadline := Some s
@@ -221,7 +309,7 @@ let parse_args () =
             Printf.eprintf "main.exe: bad --deadline %S: %s\n" v msg;
             exit 2);
         go rest
-    | ("--resume" | "--run-id" | "--deadline") :: [] ->
+    | ("--resume" | "--run-id" | "--deadline" | "--out") :: [] ->
         Printf.eprintf "main.exe: missing value for the last flag\n";
         exit 2
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
@@ -245,7 +333,7 @@ let parse_args () =
     | _ -> usage ()
   in
   { target; trials; resume = !resume; force = !force; run_id = !run_id;
-    deadline = !deadline }
+    deadline = !deadline; out = !out }
 
 (* The figures of the composite targets, in print order. Splitting
    [run_all] per figure is what gives resume its granularity: a
@@ -316,6 +404,10 @@ let dispatch opts run =
               E.ablation_architecture ~trials ();
             ])
   | "micro" -> micro ()
+  | "micro-compile" ->
+      micro_compile
+        ~out:(Option.value opts.out ~default:"BENCH_compile.json")
+        ()
   | "quick" ->
       composite "quick" (figure_specs ~trials:512 ~quick:true);
       micro ()
@@ -324,7 +416,8 @@ let dispatch opts run =
       micro ()
   | other ->
       Printf.eprintf
-        "unknown argument %S (want table2|fig1|fig5..fig11|ablations|micro|quick|all)\n"
+        "unknown argument %S (want \
+         table2|fig1|fig5..fig11|ablations|micro|micro-compile|quick|all)\n"
         other;
       exit 2
 

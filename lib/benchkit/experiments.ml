@@ -68,24 +68,87 @@ let sim_digest (r : Compile.t) ~trials ~seed =
   in
   Digest.to_hex (Digest.string payload)
 
+(* --------------------- figure-cell fan-out ------------------------- *)
+
+(* A figure sweep is a list of independent (benchmark, config)
+   compile+simulate cells. [map_cells] dispatches them over the domain
+   pool, one cell per pool chunk; inside a cell the Monte-Carlo trials
+   run on the {e sequential} reference path (flagged via DLS), so the
+   pool parallelizes across cells instead of nesting inside them. Every
+   per-cell value is bit-deterministic — the compile is a pure function
+   of (config, calibration) and the sequential trial loop derives each
+   256-trial chunk's stream from the cell seed via [Rng.mix], exactly as
+   the pooled path does — and results are returned in input order, so
+   the output is byte-identical to the sequential sweep at any worker
+   count. Journalled cells keep their [sim_digest] keys regardless of
+   completion order, which is what keeps the PR-4 resume contract
+   intact (replay is key-based, not order-based). *)
+
+let in_cell : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Opt-out knob: NISQ_CELL_FANOUT=0 (or off/false) forces the
+   sequential sweep — byte-identical output, just slower. *)
+let cell_fanout_enabled () =
+  match Sys.getenv_opt "NISQ_CELL_FANOUT" with
+  | Some ("0" | "off" | "false") -> false
+  | _ -> true
+
+let map_cells ?pool (cells : (unit -> 'a) list) : 'a list =
+  let pool = match pool with Some p -> p | None -> Nisq_util.Pool.default () in
+  if
+    List.length cells <= 1
+    || (not (cell_fanout_enabled ()))
+    || Domain.DLS.get in_cell
+  then List.map (fun f -> f ()) cells
+  else begin
+    let arr = Array.of_list cells in
+    Nisq_util.Pool.parallel_chunks pool ~chunks:(Array.length arr) (fun i ->
+        Domain.DLS.set in_cell true;
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set in_cell false)
+          (fun () -> arr.(i) ()))
+  end
+
 (* Success rate with checkpoint/resume: when a [Nisq_runkit.Run] is
    installed, completed cells come straight from the journal and fresh
    ones are journalled as they finish. Without an ambient run this is
-   exactly [Runner.success_rate]. *)
+   exactly [Runner.success_rate] (or its bit-identical sequential
+   reference when already running inside a fanned-out figure cell). *)
 let checkpointed_success_rate ?(trials = default_trials)
     ?(seed = default_sim_seed) ?pool (result : Compile.t) =
   let compute () =
     let runner = runner_of result in
-    let pool =
-      match pool with Some p -> p | None -> Nisq_util.Pool.default ()
-    in
-    Runner.success_rate ~trials ~pool ~seed runner
+    if Domain.DLS.get in_cell then Runner.success_rate_seq ~trials ~seed runner
+    else
+      let pool =
+        match pool with Some p -> p | None -> Nisq_util.Pool.default ()
+      in
+      Runner.success_rate ~trials ~pool ~seed runner
   in
   match Nisq_runkit.Run.current () with
   | None -> compute ()
   | Some run ->
       Nisq_runkit.Run.float_cell run ~key:(sim_digest result ~trials ~seed)
         compute
+
+(* Regroup a flat, input-ordered cell-result list back into per-name
+   rows of a fixed width. *)
+let regroup names ~width flat =
+  let rec split n acc l =
+    if n = 0 then (List.rev acc, l)
+    else
+      match l with
+      | x :: tl -> split (n - 1) (x :: acc) tl
+      | [] -> invalid_arg "Experiments.regroup: short result list"
+  in
+  let rec go names flat =
+    match names with
+    | [] -> []
+    | name :: rest ->
+        let row, flat = split width [] flat in
+        (name, row) :: go rest flat
+  in
+  go names flat
 
 let evaluate ?(trials = default_trials) ?(seed = default_sim_seed) ?pool
     ~config ~calib (bench : Benchmarks.t) =
@@ -184,16 +247,21 @@ let fig5_configs =
     Config.make Config.T_smt_star;
     Config.make (Config.R_smt_star 0.5) ]
 
-let fig5_data ?trials ?seed ?(day = 0) () =
+let fig5_data ?trials ?seed ?(day = 0) ?pool () =
   let calib = Ibmq16.calibration ~day () in
-  List.map
-    (fun b ->
-      ( b.Benchmarks.name,
+  let cells =
+    List.concat_map
+      (fun b ->
         List.map
-          (fun config ->
+          (fun config () ->
             (Config.name config, evaluate ?trials ?seed ~config ~calib b))
-          fig5_configs ))
-    Benchmarks.all
+          fig5_configs)
+      Benchmarks.all
+  in
+  regroup
+    (List.map (fun b -> b.Benchmarks.name) Benchmarks.all)
+    ~width:(List.length fig5_configs)
+    (map_cells ?pool cells)
 
 let headline data =
   let get name =
@@ -260,12 +328,13 @@ let fig6_benches () =
 
 let fig6_data ?trials ?seed ?(days = 7) () =
   let calibs = Ibmq16.calibration_series ~days () in
-  List.map
-    (fun b ->
-      ( b.Benchmarks.name,
+  let benches = fig6_benches () in
+  let cells =
+    List.concat_map
+      (fun b ->
         Array.to_list
           (Array.mapi
-             (fun day calib ->
+             (fun day calib () ->
                let t =
                  evaluate ?trials ?seed ~config:(Config.make Config.T_smt_star)
                    ~calib b
@@ -276,8 +345,12 @@ let fig6_data ?trials ?seed ?(days = 7) () =
                    ~calib b
                in
                (day, t.success, r.success))
-             calibs) ))
-    (fig6_benches ())
+             calibs))
+      benches
+  in
+  regroup
+    (List.map (fun b -> b.Benchmarks.name) benches)
+    ~width:(Array.length calibs) (map_cells cells)
 
 let fig6 ?trials ?seed ?days () =
   let data = fig6_data ?trials ?seed ?days () in
@@ -320,15 +393,21 @@ let fig7_configs =
 
 let fig7 ?trials ?seed ?(day = 0) () =
   let calib = Ibmq16.calibration ~day () in
-  let data =
-    List.map
+  let benches = fig6_benches () in
+  let cells =
+    List.concat_map
       (fun b ->
-        ( b.Benchmarks.name,
-          List.map
-            (fun config ->
-              (Config.name config, evaluate ?trials ?seed ~config ~calib b))
-            fig7_configs ))
-      (fig6_benches ())
+        List.map
+          (fun config () ->
+            (Config.name config, evaluate ?trials ?seed ~config ~calib b))
+          fig7_configs)
+      benches
+  in
+  let data =
+    regroup
+      (List.map (fun b -> b.Benchmarks.name) benches)
+      ~width:(List.length fig7_configs)
+      (map_cells cells)
   in
   let configs = List.map Config.name fig7_configs in
   let mk f fmt =
@@ -445,14 +524,19 @@ let fig10_configs =
 
 let fig10_data ?trials ?seed ?(day = 0) () =
   let calib = Ibmq16.calibration ~day () in
-  List.map
-    (fun b ->
-      ( b.Benchmarks.name,
+  let cells =
+    List.concat_map
+      (fun b ->
         List.map
-          (fun config ->
+          (fun config () ->
             (Config.name config, evaluate ?trials ?seed ~config ~calib b))
-          fig10_configs ))
-    Benchmarks.all
+          fig10_configs)
+      Benchmarks.all
+  in
+  regroup
+    (List.map (fun b -> b.Benchmarks.name) Benchmarks.all)
+    ~width:(List.length fig10_configs)
+    (map_cells cells)
 
 let fig10 ?trials ?seed ?day () =
   let data = fig10_data ?trials ?seed ?day () in
@@ -535,27 +619,28 @@ let ablation_movement ?trials ?seed ?(day = 0) () =
   let calib = Ibmq16.calibration ~day () in
   let benches = [ "BV8"; "Toffoli"; "Fredkin"; "Peres"; "Or"; "Adder" ] in
   let rows =
-    List.concat_map
-      (fun name ->
-        let b = Benchmarks.by_name name in
-        List.map
-          (fun movement ->
-            let config =
-              Config.make ~movement (Config.R_smt_star 0.5)
-            in
-            let e = evaluate ?trials ?seed ~config ~calib b in
-            [
-              name;
-              (match movement with
-              | Config.Swap_back -> "swap-back (paper)"
-              | Config.Move_and_stay -> "move-and-stay");
-              string_of_int e.result.Compile.swap_count;
-              string_of_int e.result.Compile.duration;
-              Table.fmt_float ~digits:3 e.result.Compile.esp;
-              Table.fmt_float ~digits:3 e.success;
-            ])
-          [ Config.Swap_back; Config.Move_and_stay ])
-      benches
+    map_cells
+      (List.concat_map
+         (fun name ->
+           let b = Benchmarks.by_name name in
+           List.map
+             (fun movement () ->
+               let config =
+                 Config.make ~movement (Config.R_smt_star 0.5)
+               in
+               let e = evaluate ?trials ?seed ~config ~calib b in
+               [
+                 name;
+                 (match movement with
+                 | Config.Swap_back -> "swap-back (paper)"
+                 | Config.Move_and_stay -> "move-and-stay");
+                 string_of_int e.result.Compile.swap_count;
+                 string_of_int e.result.Compile.duration;
+                 Table.fmt_float ~digits:3 e.result.Compile.esp;
+                 Table.fmt_float ~digits:3 e.success;
+               ])
+             [ Config.Swap_back; Config.Move_and_stay ])
+         benches)
   in
   section "Ablation: movement model (R-SMT* w=0.5, swap-needing benchmarks)"
     (Table.render
@@ -573,29 +658,36 @@ let ablation_topology ?trials ?seed () =
       ("full-16", Topology.fully_connected 16) ]
   in
   let benches = [ "BV8"; "Toffoli"; "Fredkin"; "Adder" ] in
+  (* Generate each topology's calibration once, outside the cells, so all
+     benchmarks on a topology share one cached [Paths.t]. *)
+  let calibs =
+    List.map
+      (fun (tname, topo) ->
+        ( tname,
+          Calib_gen.generate ~topology:topo ~seed:Ibmq16.default_seed ~day:0 ()
+        ))
+      topologies
+  in
   let rows =
-    List.concat_map
-      (fun name ->
-        let b = Benchmarks.by_name name in
-        List.map
-          (fun (tname, topo) ->
-            let calib =
-              Calib_gen.generate ~topology:topo ~seed:Ibmq16.default_seed
-                ~day:0 ()
-            in
-            let e =
-              evaluate ?trials ?seed
-                ~config:(Config.make (Config.R_smt_star 0.5))
-                ~calib b
-            in
-            [
-              name; tname;
-              string_of_int e.result.Compile.swap_count;
-              string_of_int e.result.Compile.duration;
-              Table.fmt_float ~digits:3 e.success;
-            ])
-          topologies)
-      benches
+    map_cells
+      (List.concat_map
+         (fun name ->
+           let b = Benchmarks.by_name name in
+           List.map
+             (fun (tname, calib) () ->
+               let e =
+                 evaluate ?trials ?seed
+                   ~config:(Config.make (Config.R_smt_star 0.5))
+                   ~calib b
+               in
+               [
+                 name; tname;
+                 string_of_int e.result.Compile.swap_count;
+                 string_of_int e.result.Compile.duration;
+                 Table.fmt_float ~digits:3 e.success;
+               ])
+             calibs)
+         benches)
   in
   section
     "Ablation: topology richness (R-SMT* w=0.5; richer coupling removes SWAPs)"
@@ -633,15 +725,20 @@ let ablation_trials ?seed () =
 
 let ablation_high_variance ?trials ?seed () =
   let calib = Ibmq16.high_variance_calibration ~day:0 () in
-  let data =
-    List.map
+  let cells =
+    List.concat_map
       (fun b ->
-        ( b.Benchmarks.name,
-          List.map
-            (fun config ->
-              (Config.name config, evaluate ?trials ?seed ~config ~calib b))
-            fig5_configs ))
+        List.map
+          (fun config () ->
+            (Config.name config, evaluate ?trials ?seed ~config ~calib b))
+          fig5_configs)
       Benchmarks.all
+  in
+  let data =
+    regroup
+      (List.map (fun b -> b.Benchmarks.name) Benchmarks.all)
+      ~width:(List.length fig5_configs)
+      (map_cells cells)
   in
   section
     "Ablation: high-variance machine state (the regime of the paper's 9.25x claim)"
@@ -656,25 +753,28 @@ let ablation_architecture ?trials ?seed () =
       ("ion trap (full-16)", Nisq_device.Iontrap.calibration ~day:0 ()) ]
   in
   let rows =
-    List.concat_map
-      (fun b ->
-        List.map
-          (fun (mname, calib) ->
-            let e =
-              evaluate ?trials ?seed
-                ~config:(Config.make (Config.R_smt_star 0.5))
-                ~calib b
-            in
-            [
-              b.Benchmarks.name; mname;
-              string_of_int e.result.Compile.swap_count;
-              string_of_int e.result.Compile.duration;
-              Table.fmt_float ~digits:3 e.success;
-            ])
-          machines)
-      (List.filter
-         (fun b -> List.mem b.Benchmarks.name [ "BV8"; "HS6"; "Toffoli"; "Fredkin"; "Adder" ])
-         Benchmarks.all)
+    map_cells
+      (List.concat_map
+         (fun b ->
+           List.map
+             (fun (mname, calib) () ->
+               let e =
+                 evaluate ?trials ?seed
+                   ~config:(Config.make (Config.R_smt_star 0.5))
+                   ~calib b
+               in
+               [
+                 b.Benchmarks.name; mname;
+                 string_of_int e.result.Compile.swap_count;
+                 string_of_int e.result.Compile.duration;
+                 Table.fmt_float ~digits:3 e.success;
+               ])
+             machines)
+         (List.filter
+            (fun b ->
+              List.mem b.Benchmarks.name
+                [ "BV8"; "HS6"; "Toffoli"; "Fredkin"; "Adder" ])
+            Benchmarks.all))
   in
   section
     "Ablation: architecture comparison (connectivity vs gate speed, cf. Linke et al.)"

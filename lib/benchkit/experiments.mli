@@ -22,6 +22,23 @@ val sim_digest : Nisq_compiler.Compile.t -> trials:int -> seed:int -> string
     rate. Equal digests guarantee equal results, so a journalled cell
     can be replayed on resume in place of rerunning the trials. *)
 
+val cell_fanout_enabled : unit -> bool
+(** Whether figure-cell fan-out is on. Disabled when the
+    [NISQ_CELL_FANOUT] environment variable is ["0"], ["off"] or
+    ["false"]; on by default. *)
+
+val map_cells : ?pool:Nisq_util.Pool.t -> (unit -> 'a) list -> 'a list
+(** Run independent figure cells (one compile + simulate each) over the
+    domain pool, returning results in input order. Byte-deterministic:
+    each cell's value is a pure function of its inputs and the
+    Monte-Carlo trials inside a cell run on the bit-identical sequential
+    reference path, so the result list — and hence every rendered
+    table — is identical to [List.map (fun f -> f ())] at any worker
+    count. Falls back to the plain sequential map when the list has at
+    most one cell, when {!cell_fanout_enabled} is off, or when already
+    running inside a cell (no nested fan-out). [pool] defaults to
+    {!Nisq_util.Pool.default}. *)
+
 val checkpointed_success_rate :
   ?trials:int ->
   ?seed:int ->
@@ -57,8 +74,11 @@ val fig1_data :
 val fig1 : ?days:int -> ?seed:int -> unit -> string
 
 val fig5_data :
-  ?trials:int -> ?seed:int -> ?day:int -> unit -> (string * (string * eval) list) list
-(** Per benchmark: evals for Qiskit, T-SMT⋆ and R-SMT⋆(ω=0.5). *)
+  ?trials:int -> ?seed:int -> ?day:int -> ?pool:Nisq_util.Pool.t -> unit ->
+  (string * (string * eval) list) list
+(** Per benchmark: evals for Qiskit, T-SMT⋆ and R-SMT⋆(ω=0.5). The
+    (benchmark, config) cells are fanned out over [pool] via
+    {!map_cells}; the data is identical for every pool size. *)
 
 val fig5 : ?trials:int -> ?seed:int -> ?day:int -> unit -> string
 (** Includes the §7 headline numbers: geomean and max success-rate gain

@@ -105,30 +105,52 @@ let reprice paths entries =
 let num_hw paths =
   Topology.num_qubits (Paths.calibration paths).Calibration.topology
 
+(* The all-pairs route matrices are pure functions of the calibration
+   (which determines [paths]) plus the policy/criterion pair, so they
+   memoize in the calibration-keyed cache with the pair as the salt.
+   Every solver-backed compile of a figure shares one matrix build. *)
+
+let criterion_salt = function
+  | Min_hops -> "min-hops"
+  | Min_duration -> "min-duration"
+  | Max_reliability -> "max-reliability"
+
+let duration_memo : int array array Nisq_device.Calib_cache.memo =
+  Nisq_device.Calib_cache.memo "route.duration_matrix"
+
+let reliability_memo : float array array Nisq_device.Calib_cache.memo =
+  Nisq_device.Calib_cache.memo "route.log_reliability_matrix"
+
 let duration_matrix paths ~policy ~criterion =
-  let n = num_hw paths in
-  let m = Array.make_matrix n n 0 in
-  for h1 = 0 to n - 1 do
-    for h2 = 0 to n - 1 do
-      if h1 <> h2 then
-        m.(h1).(h2) <-
-          (choose_route paths ~policy ~criterion h1 h2).Paths.duration
-    done
-  done;
-  m
+  let salt = Config.routing_name policy ^ "/" ^ criterion_salt criterion in
+  Nisq_device.Calib_cache.find duration_memo ~salt (Paths.calibration paths)
+    ~compute:(fun () ->
+      let n = num_hw paths in
+      let m = Array.make_matrix n n 0 in
+      for h1 = 0 to n - 1 do
+        for h2 = 0 to n - 1 do
+          if h1 <> h2 then
+            m.(h1).(h2) <-
+              (choose_route paths ~policy ~criterion h1 h2).Paths.duration
+        done
+      done;
+      m)
 
 let log_reliability_matrix paths ~policy =
-  let n = num_hw paths in
-  let m = Array.make_matrix n n 0.0 in
-  for h1 = 0 to n - 1 do
-    for h2 = 0 to n - 1 do
-      if h1 <> h2 then
-        m.(h1).(h2) <-
-          (choose_route paths ~policy ~criterion:Max_reliability h1 h2)
-            .Paths.log_reliability
-    done
-  done;
-  m
+  let salt = Config.routing_name policy ^ "/log-reliability" in
+  Nisq_device.Calib_cache.find reliability_memo ~salt (Paths.calibration paths)
+    ~compute:(fun () ->
+      let n = num_hw paths in
+      let m = Array.make_matrix n n 0.0 in
+      for h1 = 0 to n - 1 do
+        for h2 = 0 to n - 1 do
+          if h1 <> h2 then
+            m.(h1).(h2) <-
+              (choose_route paths ~policy ~criterion:Max_reliability h1 h2)
+                .Paths.log_reliability
+        done
+      done;
+      m)
 
 (* Dynamic routing: SWAPs permanently move qubit state instead of
    swapping back (Config.Move_and_stay). Returns the routed circuit over

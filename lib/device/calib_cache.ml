@@ -1,0 +1,202 @@
+module Metrics = Nisq_obs.Metrics
+
+let m_hit = Metrics.counter "cache.hit"
+let m_miss = Metrics.counter "cache.miss"
+
+(* One lock for the digest ring and every memo table. Compute runs under
+   it (see the .mli's concurrency note): one compute per key, counter
+   totals deterministic for any pool size. *)
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock lock)
+
+(* ------------------------------ digest ----------------------------- *)
+
+let digest_uncached (c : Calibration.t) =
+  (* Every field a derived table reads; [day] deliberately excluded (it
+     names the record but influences no derived value). The quarantine
+     masks are part of the key: same noise + different masks = different
+     reachability. *)
+  let payload =
+    Marshal.to_string
+      ( c.Calibration.topology,
+        c.Calibration.t1_us,
+        c.Calibration.t2_us,
+        c.Calibration.readout_error,
+        c.Calibration.single_error,
+        c.Calibration.cnot_error,
+        c.Calibration.cnot_duration,
+        c.Calibration.qubit_ok,
+        c.Calibration.link_ok )
+      []
+  in
+  Digest.to_hex (Digest.string payload)
+
+(* Small ring of physically-known records: figures reuse one calibration
+   value across ~36 compiles, so the marshal+MD5 runs once per record,
+   not once per compile. Guarded by [lock]. *)
+let ring_size = 8
+let ring : (Calibration.t * string) option array = Array.make ring_size None
+let ring_next = ref 0
+
+let digest c =
+  with_lock @@ fun () ->
+  let found = ref None in
+  for i = 0 to ring_size - 1 do
+    match ring.(i) with
+    | Some (c', d) when c' == c -> found := Some d
+    | _ -> ()
+  done;
+  match !found with
+  | Some d -> d
+  | None ->
+      let d = digest_uncached c in
+      ring.(!ring_next) <- Some (c, d);
+      ring_next := (!ring_next + 1) mod ring_size;
+      d
+
+(* ------------------------------- memos ----------------------------- *)
+
+(* Bounded: when a table fills up it is flushed wholesale. Calibration
+   streams are short (a few dozen days per figure run at most), so
+   recency bookkeeping would cost more than the rare recompute. *)
+let capacity = 64
+
+type 'a memo = { name : string; tbl : (string, 'a) Hashtbl.t }
+
+let memos : (unit -> unit) list ref = ref []
+
+let memo name =
+  let m = { name; tbl = Hashtbl.create 16 } in
+  with_lock (fun () -> memos := (fun () -> Hashtbl.reset m.tbl) :: !memos);
+  m
+
+let _ = fun (m : _ memo) -> m.name
+
+let find m ?salt calib ~compute =
+  (* [digest] takes the lock itself; key construction stays outside so
+     the ring scan and the table lookup are two short critical
+     sections around one (rare) marshal. *)
+  let key =
+    match salt with
+    | None -> digest calib
+    | Some s -> digest calib ^ "|" ^ s
+  in
+  with_lock @@ fun () ->
+  match Hashtbl.find_opt m.tbl key with
+  | Some v ->
+      Metrics.incr m_hit;
+      v
+  | None ->
+      Metrics.incr m_miss;
+      let v = compute () in
+      if Hashtbl.length m.tbl >= capacity then Hashtbl.reset m.tbl;
+      Hashtbl.replace m.tbl key v;
+      v
+
+(* --------------------------- shared memos --------------------------- *)
+
+(* Like [memo], but [compute] runs OUTSIDE the global lock: the first
+   requester of a key installs a build cell and computes; concurrent
+   requesters of the same key block on the cell's condition instead of
+   holding up every other cache user. One compute per key either way, so
+   counter totals stay deterministic for any pool size. *)
+
+type 'a outcome = Pending | Ready of 'a | Failed
+
+type 'a build = {
+  bm : Mutex.t;
+  bc : Condition.t;
+  mutable outcome : 'a outcome;
+}
+
+type 'a shared_entry = Done of 'a | Building of 'a build
+
+type 'a shared_memo = {
+  sname : string;
+  stbl : (string, 'a shared_entry) Hashtbl.t;
+}
+
+let shared_memo name =
+  let m = { sname = name; stbl = Hashtbl.create 16 } in
+  with_lock (fun () -> memos := (fun () -> Hashtbl.reset m.stbl) :: !memos);
+  m
+
+let _ = fun (m : _ shared_memo) -> m.sname
+
+let rec find_shared_key m key ~compute =
+  let role =
+    with_lock @@ fun () ->
+    match Hashtbl.find_opt m.stbl key with
+    | Some (Done v) ->
+        Metrics.incr m_hit;
+        `Hit v
+    | Some (Building b) ->
+        Metrics.incr m_hit;
+        `Wait b
+    | None ->
+        Metrics.incr m_miss;
+        let b =
+          { bm = Mutex.create (); bc = Condition.create (); outcome = Pending }
+        in
+        if Hashtbl.length m.stbl >= capacity then Hashtbl.reset m.stbl;
+        Hashtbl.replace m.stbl key (Building b);
+        `Build b
+  in
+  match role with
+  | `Hit v -> v
+  | `Wait b -> (
+      Mutex.lock b.bm;
+      let rec await () =
+        match b.outcome with
+        | Pending ->
+            Condition.wait b.bc b.bm;
+            await ()
+        | (Ready _ | Failed) as o -> o
+      in
+      let o = await () in
+      Mutex.unlock b.bm;
+      match o with
+      | Ready v -> v
+      (* The builder raised (cancellation, fault injection): its entry is
+         gone, so retry from the top — we may become the new builder. *)
+      | Failed | Pending -> find_shared_key m key ~compute)
+  | `Build b ->
+      let finish outcome =
+        with_lock (fun () ->
+            match outcome with
+            | Ready v -> Hashtbl.replace m.stbl key (Done v)
+            | Failed | Pending -> Hashtbl.remove m.stbl key);
+        Mutex.lock b.bm;
+        b.outcome <- outcome;
+        Condition.broadcast b.bc;
+        Mutex.unlock b.bm
+      in
+      (match compute () with
+      | v ->
+          finish (Ready v);
+          v
+      | exception e ->
+          finish Failed;
+          raise e)
+
+let find_shared m ?salt calib ~compute =
+  let key =
+    match salt with
+    | None -> digest calib
+    | Some s -> digest calib ^ "|" ^ s
+  in
+  find_shared_key m key ~compute
+
+let clear () =
+  with_lock @@ fun () ->
+  List.iter (fun f -> f ()) !memos;
+  Array.fill ring 0 ring_size None
+
+(* ------------------------------ paths ------------------------------ *)
+
+let paths_memo : Paths.t memo = memo "device.paths"
+
+let paths calib = find paths_memo calib ~compute:(fun () -> Paths.make calib)

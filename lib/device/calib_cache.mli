@@ -1,0 +1,87 @@
+(** Calibration-keyed memoization of derived routing tables.
+
+    A figure regeneration compiles every benchmark under ~10 configs
+    against the {e same} calibration day, and each compile used to
+    rebuild the all-pairs Dijkstra tables (and, downstream, the per-pair
+    route matrices) from scratch. Everything those tables contain is a
+    pure function of the calibration record — noise fields, topology and
+    the [qubit_ok]/[link_ok] quarantine masks — so this module keys a
+    process-wide cache on a digest of exactly those fields and shares
+    one solve across all compiles of the day.
+
+    {2 Keying}
+
+    {!digest} hashes every field of the calibration that any derived
+    table reads: topology, T1/T2, readout/single/CNOT error, CNOT
+    duration, and both quarantine masks. The masks are load-bearing: two
+    records with identical noise but different quarantine produce
+    different reachability (dead rows, dead routes), so they must never
+    share tables. The [day] label is deliberately excluded — it names
+    the record but influences no derived value, and blind configs
+    rebuild an identical uniform view each compile whose cache hit
+    depends on it being ignored.
+
+    {2 Concurrency and determinism}
+
+    A single global mutex protects every memo table, and the [compute]
+    closure runs {e while the lock is held}: concurrent compiles (the
+    bench harness's figure-cell fan-out) agree on exactly one compute
+    per key, which keeps the [cache.hit]/[cache.miss] counter totals —
+    and the cached values themselves — deterministic for any pool size.
+    The corollary: a [compute] closure must not call back into this
+    module (the lock is not reentrant). The built-in {!paths} memo and
+    the compiler's route-matrix memos satisfy this by construction.
+
+    Each memo holds at most a bounded number of entries and is flushed
+    wholesale when full — calibration streams are short (days, not
+    millions), so anything smarter is dead weight. *)
+
+val digest : Calibration.t -> string
+(** Hex digest of the noise fields, topology and quarantine masks (not
+    [day]). Physically-equal records short-circuit through a small ring
+    memo, so repeated digests of the same record cost a pointer scan. *)
+
+type 'a memo
+(** A named table from calibration digest (plus an optional salt) to a
+    derived value. *)
+
+val memo : string -> 'a memo
+(** Create a memo. The name labels it in [clear]-style debugging only;
+    distinct memos never share entries even under equal names. *)
+
+val find : 'a memo -> ?salt:string -> Calibration.t -> compute:(unit -> 'a) -> 'a
+(** [find m calib ~compute] returns the cached value for [digest calib]
+    (extended with [salt] when given — use it to key per-policy or
+    per-criterion variants), computing and caching it on first use.
+    Bumps [cache.hit] or [cache.miss] accordingly. [compute] runs under
+    the global cache lock; it must be pure and must not re-enter the
+    cache. *)
+
+type 'a shared_memo
+(** Like {!memo}, but built for expensive values: [compute] runs outside
+    the global cache lock. *)
+
+val shared_memo : string -> 'a shared_memo
+(** Create a shared memo; same naming semantics as {!memo}. *)
+
+val find_shared :
+  'a shared_memo -> ?salt:string -> Calibration.t -> compute:(unit -> 'a) -> 'a
+(** Like {!find}, except that [compute] runs {e outside} the global lock:
+    the first requester of a key becomes its builder while concurrent
+    requesters of the {e same} key block on a per-entry condition until
+    the value is ready — requests for other keys (and every other memo)
+    proceed unblocked. Exactly one compute per key either way, so the
+    [cache.hit]/[cache.miss] totals stay deterministic for any pool size
+    (waiters count as hits). If the builder raises — a cancelled run, an
+    injected fault — the pending entry is dropped, the exception
+    propagates to the builder, and each waiter retries from scratch (one
+    becomes the new builder). Intended for multi-millisecond computes
+    like solver-backed layouts; use {!find} for cheap derived tables. *)
+
+val paths : Calibration.t -> Paths.t
+(** Memoized {!Paths.make}: every caller with an equal-valued
+    calibration gets the {e physically same} table. *)
+
+val clear : unit -> unit
+(** Drop every entry in every memo (counters are untouched). Tests use
+    this to isolate hit/miss accounting. *)

@@ -34,16 +34,16 @@ type t = {
   prev : int array array;
 }
 
-let dijkstra calib src =
-  let topo = calib.Calibration.topology in
-  let n = Topology.num_qubits topo in
-  let dist = Array.make n infinity in
-  let prev = Array.make n (-1) in
+(* Both Dijkstra variants below settle vertices in (distance, index)
+   lexicographic order and relax with strict [<], so they produce
+   bit-identical [dist]/[prev] arrays: the scan picks the lowest-index
+   minimum explicitly, the heap orders its entries the same way and
+   skips stale ones lazily. Which one runs is purely a size question. *)
+
+let scan_dijkstra ~adj ~wgt n src dist prev =
   let visited = Array.make n false in
-  (* Quarantined qubits and links are nonexistent hardware: nothing routes
-     through them, so their distances stay infinite. *)
-  if Calibration.qubit_live calib src then dist.(src) <- 0.0;
-  (* Simple O(n^2) scan: n <= a few hundred in every experiment. *)
+  dist.(src) <- 0.0;
+  (* O(n^2) scan: cheapest for the small device topologies. *)
   for _ = 1 to n do
     let u = ref (-1) and best = ref infinity in
     for v = 0 to n - 1 do
@@ -54,29 +54,136 @@ let dijkstra calib src =
     done;
     if !u >= 0 then begin
       visited.(!u) <- true;
-      List.iter
-        (fun v ->
-          if Calibration.link_live calib !u v then begin
-            let w = -.log (Calibration.cnot_reliability calib !u v) in
-            if dist.(!u) +. w < dist.(v) then begin
-              dist.(v) <- dist.(!u) +. w;
-              prev.(v) <- !u
-            end
-          end)
-        (Topology.neighbors topo !u)
+      let vs : int array = adj.(!u) and ws : float array = wgt.(!u) in
+      let du = dist.(!u) in
+      for k = 0 to Array.length vs - 1 do
+        let v = vs.(k) in
+        let d = du +. ws.(k) in
+        if d < dist.(v) then begin
+          dist.(v) <- d;
+          prev.(v) <- !u
+        end
+      done
     end
-  done;
-  (dist, prev)
+  done
+
+(* Binary-heap Dijkstra with lazy deletion for the larger synthetic
+   topologies (fig11's 64–128-qubit machines). Heap order is
+   (distance, vertex index) lexicographic — ties settle lowest index
+   first, matching the scan exactly. *)
+let heap_dijkstra ~adj ~wgt n src dist prev =
+  let visited = Array.make n false in
+  let cap = ref (Int.max 16 n) in
+  let hd = ref (Array.make !cap 0.0) in
+  let hv = ref (Array.make !cap 0) in
+  let size = ref 0 in
+  let less i j =
+    let di = !hd.(i) and dj = !hd.(j) in
+    di < dj || (di = dj && !hv.(i) < !hv.(j))
+  in
+  let swap i j =
+    let d = !hd.(i) and v = !hv.(i) in
+    !hd.(i) <- !hd.(j);
+    !hv.(i) <- !hv.(j);
+    !hd.(j) <- d;
+    !hv.(j) <- v
+  in
+  let push d v =
+    if !size = !cap then begin
+      let cap' = 2 * !cap in
+      let hd' = Array.make cap' 0.0 and hv' = Array.make cap' 0 in
+      Array.blit !hd 0 hd' 0 !size;
+      Array.blit !hv 0 hv' 0 !size;
+      hd := hd';
+      hv := hv';
+      cap := cap'
+    end;
+    !hd.(!size) <- d;
+    !hv.(!size) <- v;
+    incr size;
+    let i = ref (!size - 1) in
+    while !i > 0 && less !i ((!i - 1) / 2) do
+      swap !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+  in
+  let pop () =
+    let v = !hv.(0) in
+    decr size;
+    if !size > 0 then begin
+      !hd.(0) <- !hd.(!size);
+      !hv.(0) <- !hv.(!size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < !size && less l !m then m := l;
+        if r < !size && less r !m then m := r;
+        if !m = !i then continue := false
+        else begin
+          swap !i !m;
+          i := !m
+        end
+      done
+    end;
+    v
+  in
+  dist.(src) <- 0.0;
+  push 0.0 src;
+  while !size > 0 do
+    let u = pop () in
+    if not visited.(u) then begin
+      visited.(u) <- true;
+      let vs : int array = adj.(u) and ws : float array = wgt.(u) in
+      let du = dist.(u) in
+      for k = 0 to Array.length vs - 1 do
+        let v = vs.(k) in
+        let d = du +. ws.(k) in
+        if d < dist.(v) then begin
+          dist.(v) <- d;
+          prev.(v) <- u;
+          push d v
+        end
+      done
+    end
+  done
+
+(* Above this many qubits the heap wins; below it the scan's tight loop
+   does. Either choice returns identical tables (see above). *)
+let heap_threshold = 48
 
 let make calib =
-  let n = Topology.num_qubits calib.Calibration.topology in
+  let topo = calib.Calibration.topology in
+  let n = Topology.num_qubits topo in
+  (* Live adjacency and -log(1-e) edge weights, computed once and shared
+     by every source's Dijkstra instead of re-deriving them per
+     relaxation. Quarantined qubits keep empty rows. *)
+  let adj = Array.make n [||] and wgt = Array.make n [||] in
+  for u = 0 to n - 1 do
+    if Calibration.qubit_live calib u then begin
+      let vs =
+        List.filter
+          (fun v -> Calibration.link_live calib u v)
+          (Topology.neighbors topo u)
+      in
+      let vs = Array.of_list vs in
+      adj.(u) <- vs;
+      wgt.(u) <-
+        Array.map (fun v -> -.log (Calibration.cnot_reliability calib u v)) vs
+    end
+  done;
+  let dijkstra = if n > heap_threshold then heap_dijkstra else scan_dijkstra in
   let dist = Array.make n [||] and prev = Array.make n [||] in
   for src = 0 to n - 1 do
-    let d, p = dijkstra calib src in
+    let d = Array.make n infinity and p = Array.make n (-1) in
+    (* Quarantined sources route nowhere: their rows are all-infinity by
+       construction, so skip the solve entirely. *)
+    if Calibration.qubit_live calib src then dijkstra ~adj ~wgt n src d p;
     dist.(src) <- d;
     prev.(src) <- p
   done;
-  { calib; dist = Array.map Fun.id dist; prev = Array.map Fun.id prev }
+  { calib; dist; prev }
 
 let calibration t = t.calib
 

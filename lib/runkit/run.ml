@@ -8,11 +8,21 @@ type t = {
   figures : (string, unit) Hashtbl.t;
   mutable cached : int;
   mutable computed : int;
+  (* Guards the tables, counters and journal appends: with the bench
+     harness's figure-cell fan-out, cells complete on pool workers
+     concurrently. Cell [compute] closures run OUTSIDE the lock — two
+     racing computes of the same digest are benign (equal digests imply
+     equal values) and cost at most one duplicate journal record. *)
+  lock : Mutex.t;
 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
 
 let id t = t.id
 let dir t = t.dir
-let cache_stats t = (t.cached, t.computed)
+let cache_stats t = with_lock t (fun () -> (t.cached, t.computed))
 
 let journal_path dir = Filename.concat dir "journal.jsonl"
 let tables_dir dir = Filename.concat dir "tables"
@@ -36,7 +46,7 @@ let start ?(root = "_runs") ~run_id ~identity () =
   let t =
     { id = run_id; dir; journal = Some journal;
       cells = Hashtbl.create 64; figures = Hashtbl.create 16;
-      cached = 0; computed = 0 }
+      cached = 0; computed = 0; lock = Mutex.create () }
   in
   append t (header_record ~run_id ~identity);
   t
@@ -103,7 +113,7 @@ let resume ?(root = "_runs") ~run_id ~identity ~force () =
             let t =
               { id = run_id; dir; journal = None;
                 cells = Hashtbl.create 64; figures = Hashtbl.create 16;
-                cached = 0; computed = 0 }
+                cached = 0; computed = 0; lock = Mutex.create () }
             in
             replay t rest;
             Atomic_io.mkdir_p (tables_dir dir);
@@ -111,23 +121,32 @@ let resume ?(root = "_runs") ~run_id ~identity ~force () =
             Ok t)
 
 let float_cell t ~key compute =
-  match Hashtbl.find_opt t.cells key with
-  | Some v ->
-      t.cached <- t.cached + 1;
-      v
+  let cached =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.cells key with
+        | Some v ->
+            t.cached <- t.cached + 1;
+            Some v
+        | None -> None)
+  in
+  match cached with
+  | Some v -> v
   | None ->
+      (* Computed outside the lock so concurrent cells overlap; see the
+         note on [lock] for why a racing duplicate is benign. *)
       let v = compute () in
-      append t
-        (Json.Obj
-           [ ("kind", Json.String "cell");
-             ("key", Json.String key);
-             ("value", Json.Float v) ]);
-      Hashtbl.replace t.cells key v;
-      t.computed <- t.computed + 1;
+      with_lock t (fun () ->
+          append t
+            (Json.Obj
+               [ ("kind", Json.String "cell");
+                 ("key", Json.String key);
+                 ("value", Json.Float v) ]);
+          Hashtbl.replace t.cells key v;
+          t.computed <- t.computed + 1);
       v
 
 let figure_cached t name =
-  if not (Hashtbl.mem t.figures name) then None
+  if not (with_lock t (fun () -> Hashtbl.mem t.figures name)) then None
   else
     match Atomic_io.read_file (table_path t name) with
     | text -> Some text
@@ -137,27 +156,28 @@ let figure_done t name text =
   (* table file first, journal record second: the record implies the
      rendered table exists *)
   Atomic_io.write_file ~path:(table_path t name) text;
-  append t
-    (Json.Obj
-       [ ("kind", Json.String "figure"); ("name", Json.String name) ]);
-  Hashtbl.replace t.figures name ()
+  with_lock t (fun () ->
+      append t
+        (Json.Obj
+           [ ("kind", Json.String "figure"); ("name", Json.String name) ]);
+      Hashtbl.replace t.figures name ())
 
 let write_status t ~status =
+  let cached, computed = cache_stats t in
   Atomic_io.write_json
     ~path:(Filename.concat t.dir "status.json")
     (Json.Obj
        [ ("run_id", Json.String t.id);
          ("status", Json.String status);
-         ("cells_cached", Json.Int t.cached);
-         ("cells_computed", Json.Int t.computed) ])
+         ("cells_cached", Json.Int cached);
+         ("cells_computed", Json.Int computed) ])
 
 let finish t ~status =
   write_status t ~status;
-  match t.journal with
+  let w = with_lock t (fun () -> let w = t.journal in t.journal <- None; w) in
+  match w with
   | None -> ()
-  | Some w ->
-      t.journal <- None;
-      Journal.close w
+  | Some w -> Journal.close w
 
 (* ------------------------- ambient run ----------------------------- *)
 

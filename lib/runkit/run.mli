@@ -41,9 +41,13 @@ val dir : t -> string
 val float_cell : t -> key:string -> (unit -> float) -> float
 (** The memoising checkpoint: return the journalled value for [key] if
     one exists, else run [compute], append the result, and return it.
-    [compute] runs outside any lock; a cancellation raised inside it
-    leaves the journal without the record, exactly as if the cell had
-    never started. *)
+    Thread-safe: concurrent cells (the bench harness's figure-cell
+    fan-out) serialize on an internal lock for the table lookup and the
+    journal append, while [compute] itself runs outside it — two racing
+    computes of one key cost a duplicate journal record with the same
+    (digest-determined) value, which replay treats as idempotent. A
+    cancellation raised inside [compute] leaves the journal without the
+    record, exactly as if the cell had never started. *)
 
 val figure_cached : t -> string -> string option
 (** The rendered table for a completed figure, if the journal marks it

@@ -30,6 +30,13 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
   let best = Array.make n (-1) in
   let best_cost = ref Int.max_int in
   let blown = ref false in
+  (* Preallocated per-depth candidate arrays, filled and sorted in place.
+     Candidates are gathered in descending slot order and sorted with a
+     stable insertion sort on the bound, which reproduces — entry for
+     entry — the order the old cons-and-[List.sort] loop explored
+     (ascending bound, ties by descending slot). *)
+  let cand_slot = Array.init n (fun _ -> Array.make s 0) in
+  let cand_lb = Array.init n (fun _ -> Array.make s 0) in
   let rec dfs pos =
     if !blown then ()
     else if not (Budget.Clock.tick clock) then blown := true
@@ -43,27 +50,43 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
     else begin
       let item = order.(pos) in
       (* Explore slots in increasing lower-bound order. *)
-      let candidates = ref [] in
-      for slot = 0 to s - 1 do
+      let slots = cand_slot.(pos) and lbs = cand_lb.(pos) in
+      let k = ref 0 in
+      for slot = s - 1 downto 0 do
         if not used.(slot) && not (forbid slot) then begin
           placement.(item) <- slot;
           let lb = p.lower_bound placement in
           placement.(item) <- -1;
           Stdlib.incr evals;
-          if lb < !best_cost then candidates := (slot, lb) :: !candidates
+          if lb < !best_cost then begin
+            slots.(!k) <- slot;
+            lbs.(!k) <- lb;
+            incr k
+          end
         end
       done;
-      let sorted = List.sort (fun (_, a) (_, b) -> compare a b) !candidates in
-      List.iter
-        (fun (slot, lb) ->
-          if (not !blown) && lb < !best_cost then begin
-            placement.(item) <- slot;
-            used.(slot) <- true;
-            dfs (pos + 1);
-            used.(slot) <- false;
-            placement.(item) <- -1
-          end)
-        sorted
+      let k = !k in
+      for i = 1 to k - 1 do
+        let lb = lbs.(i) and sl = slots.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && lb < lbs.(!j) do
+          lbs.(!j + 1) <- lbs.(!j);
+          slots.(!j + 1) <- slots.(!j);
+          decr j
+        done;
+        lbs.(!j + 1) <- lb;
+        slots.(!j + 1) <- sl
+      done;
+      for c = 0 to k - 1 do
+        let slot = slots.(c) and lb = lbs.(c) in
+        if (not !blown) && lb < !best_cost then begin
+          placement.(item) <- slot;
+          used.(slot) <- true;
+          dfs (pos + 1);
+          used.(slot) <- false;
+          placement.(item) <- -1
+        end
+      done
     end
   in
   dfs 0;

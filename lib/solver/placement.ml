@@ -67,9 +67,22 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
   validate p;
   let pairs = merged_pairs p in
   let n = p.num_items and s = p.num_slots in
+  (* Everything past validation counts constraint evaluations, and
+     [forbid] is caller code that may raise (fault injection, a live-slot
+     probe hitting corrupted state). Publish the tally on every exit so
+     the counter never undercounts. *)
+  let evals = ref 0 in
+  Fun.protect ~finally:(fun () -> Nisq_obs.Metrics.add m_evals !evals)
+  @@ fun () ->
+  (* banned.(slot) snapshots [forbid] once for the bound computations
+     below; the candidate fill keeps probing the live closure, which is
+     the authoritative legality check (and the hook fault injection
+     relies on). *)
+  let banned = Array.make s false in
   let allowed = ref 0 in
   for slot = 0 to s - 1 do
-    if not (forbid slot) then incr allowed
+    banned.(slot) <- forbid slot;
+    if not banned.(slot) then incr allowed
   done;
   if !allowed < n then
     invalid_arg "Placement: fewer live slots than items (quarantine)";
@@ -90,20 +103,32 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
   (* Pair bookkeeping, from the perspective of the later-placed item:
      when we place item [i], every pair (i, j) with rank.(j) < rank.(i)
      contributes exactly, and every pair with rank.(j) > rank.(i) is
-     bounded by its row maximum. *)
-  let earlier_pairs = Array.make n [] (* (partner, matrix_lookup) *) in
+     bounded by its row maximum. Each pair is flattened into one
+     row-major array oriented (earlier slot, later slot), replacing the
+     per-pair closures of the old inner loop with an indexed load; the
+     per-item traversal order (and with it the float summation order)
+     matches the old closure lists exactly. *)
+  let earlier_pairs = Array.make n [] (* (partner, oriented flat matrix) *) in
   let unary_max =
     Array.map (fun row -> Array.fold_left Float.max neg_infinity row) p.unary
   in
   List.iter
     (fun (i, j, m) ->
-      let earlier, later, lookup =
-        if rank.(i) < rank.(j) then
-          (i, j, fun s_earlier s_later -> m.(s_earlier).(s_later))
-        else (j, i, fun s_earlier s_later -> m.(s_later).(s_earlier))
-      in
-      earlier_pairs.(later) <- (earlier, lookup) :: earlier_pairs.(later))
+      let earlier, later = if rank.(i) < rank.(j) then (i, j) else (j, i) in
+      let flat = Array.make (s * s) 0.0 in
+      for se = 0 to s - 1 do
+        for sl = 0 to s - 1 do
+          flat.((se * s) + sl) <-
+            (if earlier = i then m.(se).(sl) else m.(sl).(se))
+        done
+      done;
+      earlier_pairs.(later) <- (earlier, flat) :: earlier_pairs.(later))
     pairs;
+  let ep_partner = Array.make n [||] and ep_mat = Array.make n [||] in
+  for item = 0 to n - 1 do
+    ep_partner.(item) <- Array.of_list (List.map fst earlier_pairs.(item));
+    ep_mat.(item) <- Array.of_list (List.map snd earlier_pairs.(item))
+  done;
   (* optimistic.(pos) = admissible upper bound on the total score of items
      order.(pos..n-1): their best unary plus, for each pair whose later
      endpoint is among them, the pair's global max. *)
@@ -119,15 +144,83 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
     optimistic.(pos) <- optimistic.(pos + 1) +. unary_max.(item) +. pair_max_into.(item)
   done;
   let clock = Budget.Clock.start budget in
-  (* Local tally, batch-published once — keeps the dfs inner loop free of
-     atomics and the published total deterministic. *)
-  let evals = ref 0 in
   let placed = Array.make n (-1) in
   let used = Array.make s false in
   let best = Array.make n (-1) in
   let best_score = ref neg_infinity in
   let have_solution = ref false in
   let blown = ref false in
+  (* Preallocated per-depth candidate arrays: the DFS inner loop fills
+     and sorts them in place instead of consing and List.sorting a fresh
+     list per node. *)
+  let cand_slot = Array.init n (fun _ -> Array.make s 0) in
+  let cand_score = Array.init n (fun _ -> Array.make s 0.0) in
+  (* Incremental score of placing [item] on [slot] given the current
+     partial assignment: unary plus every already-placed partner's pair
+     entry, summed in the original pair-list order. *)
+  let incremental item slot =
+    let inc = ref p.unary.(item).(slot) in
+    let partners = ep_partner.(item) and mats = ep_mat.(item) in
+    for k = 0 to Array.length partners - 1 do
+      inc := !inc +. Array.unsafe_get mats.(k) ((placed.(partners.(k)) * s) + slot)
+    done;
+    Stdlib.incr evals;
+    !inc
+  in
+  (* Stable in-place insertion sort by (score desc, slot asc) — the same
+     order List.sort gave the ascending-slot candidate list. Candidate
+     counts are <= num_slots, where insertion sort beats allocation. *)
+  let sort_candidates slots scores k =
+    for i = 1 to k - 1 do
+      let sc = scores.(i) and sl = slots.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && scores.(!j) < sc do
+        scores.(!j + 1) <- scores.(!j);
+        slots.(!j + 1) <- slots.(!j);
+        decr j
+      done;
+      scores.(!j + 1) <- sc;
+      slots.(!j + 1) <- sl
+    done
+  in
+  (* unary_rank.(item): slot indices sorted by unary score descending
+     (ties by ascending slot). The dynamic bound needs "best unary over
+     the slots still free", which this turns from an O(s) scan with a
+     closure call per slot into a walk of the first few entries. *)
+  let unary_rank =
+    Array.init n (fun item ->
+        let slots = Array.init s Fun.id in
+        let row = p.unary.(item) in
+        Array.sort
+          (fun a b ->
+            let c = Float.compare row.(b) row.(a) in
+            if c <> 0 then c else compare a b)
+          slots;
+        slots)
+  in
+  (* Tighter admissible bound for the subtree below [pos]: per remaining
+     item, its best unary over the slots still free *at this node* (the
+     static bound uses the global unary max) plus the same pairwise
+     ceiling. Computed at most once per node, and only when the static
+     bound fails to prune — nodes the static bound kills pay nothing. *)
+  let dynamic_rest pos =
+    let total = ref 0.0 in
+    for q = pos to n - 1 do
+      let item = order.(q) in
+      let row = p.unary.(item) in
+      let ranked = unary_rank.(item) in
+      let idx = ref 0 in
+      while
+        let slot = Array.unsafe_get ranked !idx in
+        used.(slot) || banned.(slot)
+      do
+        incr idx
+      done;
+      total :=
+        !total +. row.(Array.unsafe_get ranked !idx) +. pair_max_into.(item)
+    done;
+    !total
+  in
   let rec dfs pos acc =
     if !blown then ()
     else if not (Budget.Clock.tick clock) then begin
@@ -144,32 +237,39 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
     end
     else begin
       let item = order.(pos) in
-      (* Candidate slots sorted by incremental score, best first. *)
-      let candidates = ref [] in
-      for slot = s - 1 downto 0 do
+      let slots = cand_slot.(pos) and scores = cand_score.(pos) in
+      let k = ref 0 in
+      for slot = 0 to s - 1 do
         if not used.(slot) && not (forbid slot) then begin
-          let inc = ref p.unary.(item).(slot) in
-          List.iter
-            (fun (partner, lookup) -> inc := !inc +. lookup placed.(partner) slot)
-            earlier_pairs.(item);
-          Stdlib.incr evals;
-          candidates := (slot, !inc) :: !candidates
+          slots.(!k) <- slot;
+          scores.(!k) <- incremental item slot;
+          incr k
         end
       done;
-      let sorted =
-        List.sort (fun (_, a) (_, b) -> Float.compare b a) !candidates
+      let k = !k in
+      sort_candidates slots scores k;
+      (* Lazily computed, memoized for the node: every candidate shares
+         the same free-slot set at this depth. *)
+      let dyn = ref nan in
+      let dyn_rest () =
+        if Float.is_nan !dyn then dyn := dynamic_rest (pos + 1);
+        !dyn
       in
-      List.iter
-        (fun (slot, inc) ->
-          let bound = acc +. inc +. optimistic.(pos + 1) in
-          if bound > !best_score || not !have_solution then begin
-            placed.(item) <- slot;
-            used.(slot) <- true;
-            dfs (pos + 1) (acc +. inc);
-            used.(slot) <- false;
-            placed.(item) <- -1
-          end)
-        sorted
+      for c = 0 to k - 1 do
+        let slot = slots.(c) and inc = scores.(c) in
+        let static_bound = acc +. inc +. optimistic.(pos + 1) in
+        if
+          (not !have_solution)
+          || (static_bound > !best_score
+             && acc +. inc +. dyn_rest () > !best_score)
+        then begin
+          placed.(item) <- slot;
+          used.(slot) <- true;
+          dfs (pos + 1) (acc +. inc);
+          used.(slot) <- false;
+          placed.(item) <- -1
+        end
+      done
     end
   and complete_greedily pos acc =
     (* Budget blown before any leaf: finish by taking the best slot at
@@ -184,13 +284,9 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
       let best_slot = ref (-1) and best_inc = ref neg_infinity in
       for slot = 0 to s - 1 do
         if not used.(slot) && not (forbid slot) then begin
-          let inc = ref p.unary.(item).(slot) in
-          List.iter
-            (fun (partner, lookup) -> inc := !inc +. lookup placed.(partner) slot)
-            earlier_pairs.(item);
-          Stdlib.incr evals;
-          if !inc > !best_inc then begin
-            best_inc := !inc;
+          let inc = incremental item slot in
+          if inc > !best_inc then begin
+            best_inc := inc;
             best_slot := slot
           end
         end
@@ -201,7 +297,6 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
     end
   in
   dfs 0 0.0;
-  Nisq_obs.Metrics.add m_evals !evals;
   {
     assignment = best;
     objective = !best_score;

@@ -77,6 +77,11 @@ let run_chunk f i =
   in
   match attempt () with
   | v -> (Ok v, false)
+  | exception (Deadline.Cancelled _ as e) ->
+      (* Cancellation surfacing mid-chunk (a deadline or signal landing
+         inside the work) is a shutdown, not a chunk failure: retrying
+         would re-run the whole chunk only to be cancelled again. *)
+      (Error e, false)
   | exception e ->
       Metrics.incr m_chunk_failures;
       let die = match e with Faultkit.Domain_kill -> true | _ -> false in

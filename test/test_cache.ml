@@ -1,0 +1,255 @@
+(* Tests for Nisq_device.Calib_cache: calibration-keyed memoization of
+   routing structures. The keying contract under test: two calibrations
+   share a cache entry iff they agree on every noise array, the topology
+   and the quarantine masks — the [day] label is deliberately excluded,
+   while anything a [Calib_sanitize] repair or a quarantine decision
+   touches must change the key. *)
+
+module Topology = Nisq_device.Topology
+module Calibration = Nisq_device.Calibration
+module Calib_gen = Nisq_device.Calib_gen
+module Calib_sanitize = Nisq_device.Calib_sanitize
+module Ibmq16 = Nisq_device.Ibmq16
+module Calib_cache = Nisq_device.Calib_cache
+module Paths = Nisq_device.Paths
+module Metrics = Nisq_obs.Metrics
+module Faultkit = Nisq_faultkit.Faultkit
+
+let calib0 () = Ibmq16.calibration ~day:0 ()
+
+(* Deep copy of the mutable noise arrays so a test can perturb one field
+   without aliasing the original. *)
+let copy (c : Calibration.t) =
+  {
+    c with
+    Calibration.t1_us = Array.copy c.Calibration.t1_us;
+    t2_us = Array.copy c.Calibration.t2_us;
+    readout_error = Array.copy c.Calibration.readout_error;
+    single_error = Array.copy c.Calibration.single_error;
+    cnot_error = Array.map Array.copy c.Calibration.cnot_error;
+    cnot_duration = Array.map Array.copy c.Calibration.cnot_duration;
+    qubit_ok = Array.copy c.Calibration.qubit_ok;
+    link_ok = Array.map Array.copy c.Calibration.link_ok;
+  }
+
+let test_same_calibration_pointer_equal () =
+  Calib_cache.clear ();
+  let calib = calib0 () in
+  let p1 = Calib_cache.paths calib in
+  let p2 = Calib_cache.paths calib in
+  Alcotest.(check bool) "same record hits" true (p1 == p2);
+  (* an equal record rebuilt from scratch digests identically *)
+  let rebuilt = calib0 () in
+  Alcotest.(check bool) "not the same record" true (rebuilt != calib);
+  let p3 = Calib_cache.paths rebuilt in
+  Alcotest.(check bool) "equal noise hits" true (p1 == p3)
+
+let test_day_excluded_from_digest () =
+  let calib = calib0 () in
+  let relabeled = { (copy calib) with Calibration.day = 99 } in
+  Alcotest.(check string) "day does not change the key"
+    (Calib_cache.digest calib)
+    (Calib_cache.digest relabeled)
+
+let test_cnot_error_changes_digest () =
+  Calib_cache.clear ();
+  let calib = calib0 () in
+  let p1 = Calib_cache.paths calib in
+  let perturbed = copy calib in
+  (* symmetric edit of one edge, as a fresh calibration day would be *)
+  perturbed.Calibration.cnot_error.(0).(1) <- 0.123;
+  perturbed.Calibration.cnot_error.(1).(0) <- 0.123;
+  Alcotest.(check bool) "digest differs" true
+    (Calib_cache.digest calib <> Calib_cache.digest perturbed);
+  let p2 = Calib_cache.paths perturbed in
+  Alcotest.(check bool) "changed noise misses" true (p1 != p2)
+
+let test_quarantine_changes_digest () =
+  Calib_cache.clear ();
+  let calib = calib0 () in
+  let p1 = Calib_cache.paths calib in
+  let n = Topology.num_qubits calib.Calibration.topology in
+  let qubit_ok = Array.make n true in
+  qubit_ok.(3) <- false;
+  let link_ok =
+    Array.init n (fun u ->
+        Array.init n (fun v -> Topology.adjacent calib.Calibration.topology u v))
+  in
+  let quarantined = Calibration.with_quarantine calib ~qubit_ok ~link_ok in
+  Alcotest.(check bool) "digest differs" true
+    (Calib_cache.digest calib <> Calib_cache.digest quarantined);
+  let p2 = Calib_cache.paths quarantined in
+  Alcotest.(check bool) "quarantined view misses" true (p1 != p2);
+  Alcotest.(check bool) "quarantined source unreachable" false
+    (Paths.reachable p2 3 0)
+
+let test_sanitize_repair_changes_digest () =
+  let calib = calib0 () in
+  let raw = Calib_sanitize.of_calibration calib in
+  let corrupted =
+    Calib_sanitize.apply_faults raw
+      [ { Faultkit.target = Faultkit.Qubit 2; kind = Faultkit.Nan } ]
+  in
+  let repaired, report = Calib_sanitize.sanitize corrupted in
+  Alcotest.(check bool) "sanitizer acted" false (Calib_sanitize.is_clean report);
+  Alcotest.(check bool) "repair changes the key" true
+    (Calib_cache.digest calib <> Calib_cache.digest repaired)
+
+let test_random_calibrations_distinct_digests () =
+  (* property-style: every generated day keys its own entry *)
+  let topo = Topology.grid ~rows:2 ~cols:8 in
+  let digests =
+    List.init 12 (fun day ->
+        Calib_cache.digest (Calib_gen.generate ~topology:topo ~seed:5 ~day ()))
+  in
+  let distinct = List.sort_uniq compare digests in
+  Alcotest.(check int) "12 days, 12 keys" 12 (List.length distinct)
+
+let test_salt_separates_entries () =
+  Calib_cache.clear ();
+  let calib = calib0 () in
+  let memo : int Calib_cache.memo = Calib_cache.memo "test.salted" in
+  let a = Calib_cache.find memo ~salt:"a" calib ~compute:(fun () -> 1) in
+  let b = Calib_cache.find memo ~salt:"b" calib ~compute:(fun () -> 2) in
+  let a' = Calib_cache.find memo ~salt:"a" calib ~compute:(fun () -> 3) in
+  Alcotest.(check int) "salt a" 1 a;
+  Alcotest.(check int) "salt b" 2 b;
+  Alcotest.(check int) "salt a cached" 1 a'
+
+let test_hit_miss_counters () =
+  Calib_cache.clear ();
+  let calib = calib0 () in
+  let m_hit = Metrics.counter "cache.hit" in
+  let m_miss = Metrics.counter "cache.miss" in
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) @@ fun () ->
+  let _ = Calib_cache.paths calib in
+  Alcotest.(check int) "first lookup misses" 1 (Metrics.value m_miss);
+  Alcotest.(check int) "no hit yet" 0 (Metrics.value m_hit);
+  let _ = Calib_cache.paths calib in
+  let _ = Calib_cache.paths calib in
+  Alcotest.(check int) "still one miss" 1 (Metrics.value m_miss);
+  Alcotest.(check int) "two hits" 2 (Metrics.value m_hit)
+
+let test_clear_forces_recompute () =
+  Calib_cache.clear ();
+  let calib = calib0 () in
+  let p1 = Calib_cache.paths calib in
+  Calib_cache.clear ();
+  let p2 = Calib_cache.paths calib in
+  Alcotest.(check bool) "clear drops the entry" true (p1 != p2)
+
+let test_cached_paths_equal_fresh () =
+  (* the cache must be transparent: a cached [Paths.t] answers every
+     query exactly like a freshly built one *)
+  Calib_cache.clear ();
+  let calib = calib0 () in
+  let cached = Calib_cache.paths calib in
+  let fresh = Paths.make calib in
+  let n = Topology.num_qubits calib.Calibration.topology in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b then begin
+        Alcotest.(check bool) "reachable agrees"
+          (Paths.reachable fresh a b)
+          (Paths.reachable cached a b);
+        Alcotest.(check (float 0.0)) "log-reliability agrees"
+          (Paths.path_log_reliability fresh a b)
+          (Paths.path_log_reliability cached a b)
+      end
+    done
+  done
+
+let test_shared_compute_once_across_domains () =
+  (* N domains race for the same key: exactly one compute, everyone gets
+     the same (physically equal) value, and the counter totals are
+     miss=1/hit=N-1 regardless of how the race interleaves. *)
+  Calib_cache.clear ();
+  let calib = calib0 () in
+  let memo : int array Calib_cache.shared_memo =
+    Calib_cache.shared_memo "test.shared_race"
+  in
+  let m_hit = Metrics.counter "cache.hit" in
+  let m_miss = Metrics.counter "cache.miss" in
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) @@ fun () ->
+  let computes = Atomic.make 0 in
+  let compute () =
+    Atomic.incr computes;
+    (* Linger so any concurrent requester arrives while the build is
+       still pending and has to take the waiter path. *)
+    Unix.sleepf 0.02;
+    [| 42 |]
+  in
+  let worker () = Calib_cache.find_shared memo calib ~compute in
+  let domains = List.init 3 (fun _ -> Domain.spawn worker) in
+  let v0 = worker () in
+  let values = v0 :: List.map Domain.join domains in
+  Alcotest.(check int) "one compute" 1 (Atomic.get computes);
+  List.iter
+    (fun v -> Alcotest.(check bool) "shared value" true (v == v0))
+    values;
+  Alcotest.(check int) "one miss" 1 (Metrics.value m_miss);
+  Alcotest.(check int) "waiters count as hits" 3 (Metrics.value m_hit)
+
+let test_shared_builder_failure_drops_entry () =
+  (* A builder that raises must not poison the key: the exception
+     reaches the caller, and the next request recomputes from scratch. *)
+  Calib_cache.clear ();
+  let calib = calib0 () in
+  let memo : int Calib_cache.shared_memo =
+    Calib_cache.shared_memo "test.shared_fail"
+  in
+  let boom () = failwith "injected" in
+  (match Calib_cache.find_shared memo calib ~compute:boom with
+  | _ -> Alcotest.fail "builder exception swallowed"
+  | exception Failure m -> Alcotest.(check string) "propagates" "injected" m);
+  let v = Calib_cache.find_shared memo calib ~compute:(fun () -> 7) in
+  Alcotest.(check int) "retry recomputes" 7 v;
+  let v' = Calib_cache.find_shared memo calib ~compute:(fun () -> 8) in
+  Alcotest.(check int) "success is cached" 7 v'
+
+let test_shared_clear_flushes () =
+  Calib_cache.clear ();
+  let calib = calib0 () in
+  let memo : int Calib_cache.shared_memo =
+    Calib_cache.shared_memo "test.shared_clear"
+  in
+  let a = Calib_cache.find_shared memo calib ~compute:(fun () -> 1) in
+  Calib_cache.clear ();
+  let b = Calib_cache.find_shared memo calib ~compute:(fun () -> 2) in
+  Alcotest.(check int) "before clear" 1 a;
+  Alcotest.(check int) "clear drops shared entries" 2 b
+
+let test_shared_salt_separates_entries () =
+  Calib_cache.clear ();
+  let calib = calib0 () in
+  let memo : int Calib_cache.shared_memo =
+    Calib_cache.shared_memo "test.shared_salted"
+  in
+  let a = Calib_cache.find_shared memo ~salt:"a" calib ~compute:(fun () -> 1) in
+  let b = Calib_cache.find_shared memo ~salt:"b" calib ~compute:(fun () -> 2) in
+  let a' = Calib_cache.find_shared memo ~salt:"a" calib ~compute:(fun () -> 3) in
+  Alcotest.(check int) "salt a" 1 a;
+  Alcotest.(check int) "salt b" 2 b;
+  Alcotest.(check int) "salt a cached" 1 a'
+
+let suite =
+  [
+    ("same calibration is pointer-equal", `Quick, test_same_calibration_pointer_equal);
+    ("day excluded from digest", `Quick, test_day_excluded_from_digest);
+    ("cnot error change misses", `Quick, test_cnot_error_changes_digest);
+    ("quarantine change misses", `Quick, test_quarantine_changes_digest);
+    ("sanitize repair misses", `Quick, test_sanitize_repair_changes_digest);
+    ("random calibrations distinct", `Quick, test_random_calibrations_distinct_digests);
+    ("salt separates entries", `Quick, test_salt_separates_entries);
+    ("hit/miss counters", `Quick, test_hit_miss_counters);
+    ("clear forces recompute", `Quick, test_clear_forces_recompute);
+    ("cached paths transparent", `Quick, test_cached_paths_equal_fresh);
+    ("shared: one compute across domains", `Quick, test_shared_compute_once_across_domains);
+    ("shared: builder failure drops entry", `Quick, test_shared_builder_failure_drops_entry);
+    ("shared: clear flushes", `Quick, test_shared_clear_flushes);
+    ("shared: salt separates entries", `Quick, test_shared_salt_separates_entries);
+  ]

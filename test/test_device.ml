@@ -368,6 +368,88 @@ let test_best_one_bend_picks_max () =
     done
   done
 
+(* Above Paths' size threshold the all-pairs solve switches to a binary
+   heap; the claim is bit-identical tables. Check an 80-qubit quarantined
+   grid against a test-local O(n²) scan with the same (distance, index)
+   tie-break and strict-< relaxation. *)
+let test_heap_dijkstra_matches_scan_reference () =
+  let topo = Topology.grid ~rows:8 ~cols:10 in
+  let n = Topology.num_qubits topo in
+  let base = Calib_gen.generate ~topology:topo ~seed:21 ~day:0 () in
+  let qubit_ok = Array.make n true in
+  qubit_ok.(7) <- false;
+  qubit_ok.(33) <- false;
+  qubit_ok.(54) <- false;
+  let link_ok =
+    Array.init n (fun u -> Array.init n (fun v -> Topology.adjacent topo u v))
+  in
+  link_ok.(12).(13) <- false;
+  link_ok.(13).(12) <- false;
+  let calib = Calibration.with_quarantine base ~qubit_ok ~link_ok in
+  let paths = Paths.make calib in
+  (* reference solve *)
+  let neighbors u =
+    if not (Calibration.qubit_live calib u) then []
+    else
+      List.filter (fun v -> Calibration.link_live calib u v)
+        (Topology.neighbors topo u)
+  in
+  let scan src =
+    let dist = Array.make n infinity and prev = Array.make n (-1) in
+    let visited = Array.make n false in
+    dist.(src) <- 0.0;
+    for _ = 1 to n do
+      let u = ref (-1) and best = ref infinity in
+      for v = 0 to n - 1 do
+        if (not visited.(v)) && dist.(v) < !best then begin
+          u := v;
+          best := dist.(v)
+        end
+      done;
+      if !u >= 0 then begin
+        visited.(!u) <- true;
+        List.iter
+          (fun v ->
+            let d =
+              dist.(!u) -. log (Calibration.cnot_reliability calib !u v)
+            in
+            if d < dist.(v) then begin
+              dist.(v) <- d;
+              prev.(v) <- !u
+            end)
+          (neighbors !u)
+      end
+    done;
+    (dist, prev)
+  in
+  for src = 0 to n - 1 do
+    let dist, prev =
+      if Calibration.qubit_live calib src then scan src
+      else (Array.make n infinity, Array.make n (-1))
+    in
+    for dst = 0 to n - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "reachable %d->%d" src dst)
+        (dist.(dst) < infinity)
+        (Paths.reachable paths src dst);
+      if dist.(dst) < infinity then
+        (* bit-identical, hence the zero tolerance *)
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "log-reliability %d->%d" src dst)
+          (-.dist.(dst))
+          (Paths.path_log_reliability paths src dst);
+      if src <> dst && dist.(dst) < infinity then begin
+        let rec collect acc v =
+          if v = src then src :: acc else collect (v :: acc) prev.(v)
+        in
+        Alcotest.(check (list int))
+          (Printf.sprintf "best path %d->%d" src dst)
+          (collect [] dst)
+          (Array.to_list (Paths.best_path paths src dst))
+      end
+    done
+  done
+
 let suite =
   [
     ("grid size", `Quick, test_grid_size);
@@ -412,4 +494,5 @@ let suite =
     ("route rejects short path", `Quick, test_route_via_path_rejects_short);
     ("route rejects non-adjacent path", `Quick, test_route_via_path_rejects_non_adjacent);
     ("best one-bend picks max", `Quick, test_best_one_bend_picks_max);
+    ("heap dijkstra matches scan", `Quick, test_heap_dijkstra_matches_scan_reference);
   ]

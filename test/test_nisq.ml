@@ -5,10 +5,12 @@ let () =
       ("obs", Test_obs.suite);
       ("circuit", Test_circuit.suite);
       ("device", Test_device.suite);
+      ("cache", Test_cache.suite);
       ("solver", Test_solver.suite);
       ("sim", Test_sim.suite);
       ("compiler", Test_compiler.suite);
       ("benchmarks", Test_benchmarks.suite);
+      ("cells", Test_cells.suite);
       ("frontend", Test_frontend.suite);
       ("extras", Test_extras.suite);
       ("resilience", Test_resilience.suite);

@@ -182,10 +182,14 @@ let test_disabled_updates_are_noops () =
   Trace.with_span "invisible" (fun () -> ());
   Alcotest.(check int) "no spans" 0 (List.length (Trace.spans ()))
 
-(* The workload run once per pool size; counter totals must match. *)
+(* The workload run once per pool size; counter totals must match. The
+   calibration cache is process-global, so it is cleared per run — a
+   warm cache would (correctly) report hits where the cold run reported
+   misses. *)
 let counter_totals_with_pool_size size =
   obs_off ();
   Metrics.set_enabled true;
+  Nisq_device.Calib_cache.clear ();
   let pool = Pool.create ~size () in
   Fun.protect
     ~finally:(fun () ->

@@ -234,6 +234,88 @@ let test_makespan_rejects_bad_problem () =
   Alcotest.(check bool) "raises" true
     (try ignore (Makespan.solve p); false with Invalid_argument _ -> true)
 
+(* Forbid-aware exhaustive reference: [brute_force] with quarantined
+   slots excluded. Random float scores make ties measure-zero, so the
+   DFS and the reference must agree on the optimum exactly. *)
+let brute_force_forbid p ~forbid =
+  let n = p.Placement.num_items and s = p.Placement.num_slots in
+  let assignment = Array.make n (-1) in
+  let used = Array.make s false in
+  let best = Array.make n (-1) in
+  let best_score = ref neg_infinity in
+  let rec go i =
+    if i = n then begin
+      let v = Placement.score p assignment in
+      if v > !best_score then begin
+        best_score := v;
+        Array.blit assignment 0 best 0 n
+      end
+    end
+    else
+      for slot = 0 to s - 1 do
+        if (not used.(slot)) && not (forbid slot) then begin
+          assignment.(i) <- slot;
+          used.(slot) <- true;
+          go (i + 1);
+          used.(slot) <- false;
+          assignment.(i) <- -1
+        end
+      done
+  in
+  go 0;
+  (best, !best_score)
+
+let test_placement_matches_reference_with_forbid () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 20 do
+    let items = 2 + Rng.int rng 3 in
+    let slots = items + 1 + Rng.int rng 3 in
+    let p = random_problem rng ~items ~slots ~pairs:(Rng.int rng 5) in
+    (* quarantine one slot, keeping at least [items] live *)
+    let banned = Rng.int rng slots in
+    let forbid slot = slot = banned in
+    let sol = Placement.solve ~forbid p in
+    let ref_assign, ref_score = brute_force_forbid p ~forbid in
+    Alcotest.(check (float 1e-9)) "objective equals reference" ref_score
+      sol.Placement.objective;
+    Alcotest.(check (float 1e-9)) "objective consistent with assignment"
+      sol.Placement.objective
+      (Placement.score p sol.Placement.assignment);
+    Alcotest.(check bool) "banned slot unused" false
+      (Array.exists (fun sl -> sl = banned) sol.Placement.assignment);
+    Alcotest.(check bool) "assignment is the unique optimum" true
+      (sol.Placement.assignment = ref_assign);
+    Alcotest.(check bool) "proven optimal" true
+      sol.Placement.stats.Budget.proven_optimal
+  done
+
+let test_placement_evals_published_when_forbid_raises () =
+  (* The constraint-eval counter must be published even when the search
+     dies mid-DFS in caller code (a fault-injected [forbid]). The raise
+     is timed to land after the first node's candidate evaluations, so a
+     lost batch would be visible as a zero. *)
+  let rng = Rng.create 12 in
+  let slots = 6 in
+  let p = random_problem rng ~items:4 ~slots ~pairs:4 in
+  let m = Nisq_obs.Metrics.counter "solver.constraint_evals" in
+  Nisq_obs.Metrics.set_enabled true;
+  Nisq_obs.Metrics.reset ();
+  Fun.protect ~finally:(fun () -> Nisq_obs.Metrics.set_enabled false)
+  @@ fun () ->
+  let calls = ref 0 in
+  let forbid _ =
+    incr calls;
+    (* calls 1..slots: the live-slot count; calls slots+1..2*slots: the
+       first DFS node's candidate fill, which interleaves incremental
+       evaluations — raise at the end of it *)
+    if !calls >= 2 * slots then failwith "injected forbid fault" else false
+  in
+  (match Placement.solve ~forbid p with
+  | _ -> Alcotest.fail "expected the injected fault to escape"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "evals published on raise" true
+    (Nisq_obs.Metrics.value m > 0)
+
 let suite =
   [
     ("budget clock node limit", `Quick, test_budget_clock_nodes);
@@ -248,6 +330,10 @@ let suite =
     ("placement rejects items > slots", `Quick, test_placement_rejects_too_many_items);
     ("placement rejects bad pairs", `Quick, test_placement_rejects_bad_pair_indices);
     ("placement score", `Quick, test_placement_score_function);
+    ("placement matches reference with forbid", `Quick,
+      test_placement_matches_reference_with_forbid);
+    ("placement evals published on raising forbid", `Quick,
+      test_placement_evals_published_when_forbid_raises);
     ("makespan exact assignment", `Quick, test_makespan_finds_exact_assignment);
     ("makespan conflicting targets", `Quick, test_makespan_handles_conflicts);
     ("makespan custom order", `Quick, test_makespan_respects_order);

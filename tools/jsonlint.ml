@@ -1,14 +1,18 @@
 (* jsonlint — validate JSON files emitted by the telemetry layer.
 
-   Usage: jsonlint [--trace | --jsonl] FILE...
+   Usage: jsonlint [--trace | --jsonl | --bench] FILE...
 
    Parses each file with the same strict parser the test suite uses.
    With --trace, additionally checks the Chrome trace_event shape: a
    top-level object with a non-empty "traceEvents" list whose entries
    carry name/ph/ts/dur fields. With --jsonl, the file is a run journal:
    one JSON object per line, every line (including the last) complete —
-   the shape an orderly shutdown must leave behind. Exits non-zero on
-   the first failure. *)
+   the shape an orderly shutdown must leave behind. With --bench, each
+   file is a BENCH_compile.json baseline (schema nisq-bench-compile/1,
+   non-empty "benchmarks" of {name, ns_per_run}); given two or more
+   files, their benchmark-name sets must also agree, so CI catches a
+   baseline that silently lost a benchmark. Exits non-zero on the first
+   failure. *)
 
 module Json = Nisq_obs.Json
 
@@ -71,15 +75,56 @@ let check_jsonl path src =
            | Error msg -> fail (i + 1) ("invalid JSON: " ^ msg));
   if !records = 0 then fail 1 "empty journal"
 
+(* Bench baseline check: schema tag, non-empty benchmark list, each
+   entry a {name: string, ns_per_run: number}. Returns the sorted name
+   list for cross-file comparison. *)
+let check_bench path v =
+  let fail msg =
+    Printf.eprintf "%s: not a bench baseline: %s\n" path msg;
+    exit 1
+  in
+  (match Json.member "schema" v with
+  | Some (Json.String "nisq-bench-compile/1") -> ()
+  | Some (Json.String s) -> fail (Printf.sprintf "unknown schema %S" s)
+  | Some _ -> fail "\"schema\" is not a string"
+  | None -> fail "missing \"schema\"");
+  match Json.member "benchmarks" v with
+  | None -> fail "missing \"benchmarks\""
+  | Some (Json.List []) -> fail "\"benchmarks\" is empty"
+  | Some (Json.List entries) ->
+      let names =
+        List.mapi
+          (fun i e ->
+            (match Json.member "ns_per_run" e with
+            | Some (Json.Int _ | Json.Float _) -> ()
+            | Some _ ->
+                fail (Printf.sprintf "benchmark %d: \"ns_per_run\" not a number" i)
+            | None -> fail (Printf.sprintf "benchmark %d: missing \"ns_per_run\"" i));
+            match Json.member "name" e with
+            | Some (Json.String s) -> s
+            | Some _ -> fail (Printf.sprintf "benchmark %d: \"name\" not a string" i)
+            | None -> fail (Printf.sprintf "benchmark %d: missing \"name\"" i))
+          entries
+      in
+      List.sort_uniq compare names
+  | Some _ -> fail "\"benchmarks\" is not a list"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let trace_mode = List.mem "--trace" args in
   let jsonl_mode = List.mem "--jsonl" args in
-  let files = List.filter (fun a -> a <> "--trace" && a <> "--jsonl") args in
-  if files = [] || (trace_mode && jsonl_mode) then begin
-    prerr_endline "usage: jsonlint [--trace | --jsonl] FILE...";
+  let bench_mode = List.mem "--bench" args in
+  let files =
+    List.filter (fun a -> a <> "--trace" && a <> "--jsonl" && a <> "--bench") args
+  in
+  let modes = List.filter Fun.id [ trace_mode; jsonl_mode; bench_mode ] in
+  if files = [] || List.length modes > 1 then begin
+    prerr_endline "usage: jsonlint [--trace | --jsonl | --bench] FILE...";
     exit 2
   end;
+  (* (path, sorted benchmark names) per --bench file, for the
+     equal-name-set check across files *)
+  let bench_names = ref [] in
   List.iter
     (fun path ->
       let src =
@@ -99,5 +144,21 @@ let () =
             exit 1
         | Ok v ->
             if trace_mode then check_trace path v;
+            if bench_mode then
+              bench_names := (path, check_bench path v) :: !bench_names;
             Printf.printf "%s: OK\n" path)
-    files
+    files;
+  match List.rev !bench_names with
+  | [] | [ _ ] -> ()
+  | (ref_path, ref_names) :: rest ->
+      List.iter
+        (fun (path, names) ->
+          if names <> ref_names then begin
+            Printf.eprintf
+              "%s: benchmark set differs from %s\n  %s: %s\n  %s: %s\n" path
+              ref_path ref_path
+              (String.concat ", " ref_names)
+              path (String.concat ", " names);
+            exit 1
+          end)
+        rest

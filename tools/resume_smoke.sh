@@ -11,7 +11,11 @@
 #   4. resuming under a different identity is refused (exit 2);
 #   5. a 1 ms deadline cancels with exit 3 and status degraded:deadline;
 #   6. a real SIGTERM to a long composite run exits 143 with a lintable
-#      journal and a final status.json.
+#      journal and a final status.json;
+#   7. figure-cell fan-out determinism: NISQ_CELL_FANOUT=0 and a
+#      4-worker fanned-out run both reproduce the reference bytes;
+#   8. a fanned-out victim killed mid-sweep resumes (under fan-out) to
+#      the reference bytes with a lintable journal.
 #
 # Usage: tools/resume_smoke.sh   (from the repo root; builds first)
 set -eu
@@ -86,5 +90,30 @@ else
     || die "signal status.json missing interrupted:sigterm"
   "$jsonlint" --jsonl _runs/sig/journal.jsonl > /dev/null
 fi
+
+note "cell fan-out disabled reproduces the reference bytes"
+env NISQ_CELL_FANOUT=0 "$bench" fig5 2048 > nofan.txt 2> /dev/null
+diff -u ref.txt nofan.txt \
+  || die "NISQ_CELL_FANOUT=0 output differs from the reference"
+
+note "cell fan-out at 4 domains reproduces the reference bytes"
+env NISQ_DOMAINS=4 "$bench" fig5 2048 > fan4.txt 2> /dev/null
+diff -u ref.txt fan4.txt \
+  || die "fanned-out output differs from the reference"
+
+note "fanned-out victim killed mid-sweep (expects exit 143)"
+expect_exit 143 env NISQ_DOMAINS=4 NISQ_FAULTS=kill:chunk2 "$bench" fig5 2048 \
+  --run-id cellkill > /dev/null 2> /dev/null
+grep -q '"status":"interrupted:sigterm"' _runs/cellkill/status.json \
+  || die "cell-kill status.json missing interrupted:sigterm"
+"$jsonlint" --jsonl _runs/cellkill/journal.jsonl > /dev/null \
+  || die "cell-kill journal does not lint"
+
+note "resume under fan-out replays the journal"
+env NISQ_DOMAINS=4 "$bench" fig5 2048 --resume cellkill \
+  > cellkill_resumed.txt 2> /dev/null
+diff -u ref.txt cellkill_resumed.txt \
+  || die "fanned-out resume differs from the uninterrupted reference"
+"$jsonlint" --jsonl _runs/cellkill/journal.jsonl > /dev/null
 
 note "OK"
