@@ -32,15 +32,19 @@ check:
 	$(MAKE) bench-smoke
 
 # Short-mode run of the compile fast-path micro-benchmarks; the fresh
-# baseline must have the same schema and benchmark set as the committed
-# one (ns/run drift is expected across machines and is not checked).
+# baseline must have the same schema and latest benchmark set as the
+# committed one (ns/run drift is expected across machines and is not
+# checked), and the parallel solver must agree with the sequential one
+# (objective parity, pool-size determinism, seeding never adds nodes).
 bench-smoke:
+	rm -f /tmp/nisq-bench-compile.json
 	dune exec bench/main.exe -- micro-compile \
 	  --out /tmp/nisq-bench-compile.json > /dev/null
 	dune exec tools/jsonlint.exe -- --bench /tmp/nisq-bench-compile.json \
 	  BENCH_compile.json
+	dune exec bench/main.exe -- solver-par-check
 
-# Refresh the committed baseline in place.
+# Append today's entry to the committed baseline trajectory.
 bench-compile:
 	dune exec bench/main.exe -- micro-compile --out BENCH_compile.json
 

@@ -9,6 +9,9 @@
      main.exe micro-compile [--out PATH]
                                only the compile fast-path benches; writes
                                a BENCH_compile.json baseline (default CWD)
+     main.exe solver-par-check assert the parallel solver matches the
+                               sequential one (objective parity, pool-size
+                               determinism, seeding never adds nodes)
      main.exe quick            figures with reduced trial counts
 
    Crash-safe long runs (see DESIGN.md §8):
@@ -130,10 +133,26 @@ let compile_path_tests () =
     Nisq_compiler.Reliability.placement_problem paths ~omega:0.5
       ~policy:Config.One_bend adder.Benchmarks.circuit
   in
+  let bv8 = Benchmarks.by_name "BV8" in
+  let forbid slot = not (Nisq_device.Calibration.qubit_live calib slot) in
+  let problem_bv8 =
+    Nisq_compiler.Reliability.placement_problem paths ~omega:0.5
+      ~policy:Config.One_bend bv8.Benchmarks.circuit
+  in
+  let seed_bv8 =
+    Nisq_compiler.Layout.to_array
+      (Nisq_compiler.Greedy.edge_first paths bv8.Benchmarks.circuit)
+  in
+  (* The parallel micro runs on its own 4-worker pool, created on first
+     use and left to die with the process: Bechamel replays the staged
+     closure long after this constructor returns. *)
+  let solver_pool = lazy (Pool.create ~size:4 ()) in
   let stage f = Staged.stage f in
   [
     Test.make ~name:"solver:placement-dfs"
       (stage (fun () -> Nisq_solver.Placement.solve problem));
+    Test.make ~name:"solver:placement-dfs-bv8"
+      (stage (fun () -> Nisq_solver.Placement.solve ~forbid problem_bv8));
     Test.make ~name:"paths:all-pairs"
       (stage (fun () -> Nisq_device.Paths.make calib64));
     Test.make ~name:"bench:figure-cells"
@@ -149,7 +168,57 @@ let compile_path_tests () =
                       Config.make (Config.R_smt_star 0.5);
                     ])
                 [ bv4; adder ])));
+    (* Keep this one LAST: once its lazy pool spins up, the extra
+       domains join every minor-GC barrier and visibly slow whatever
+       single-domain benchmark runs next to it on small machines. *)
+    Test.make ~name:"solver:placement-parallel"
+      (stage (fun () ->
+           Nisq_solver.Parallel.solve_placement ~forbid ~seed:seed_bv8
+             ~pool:(Lazy.force solver_pool) problem_bv8));
   ]
+
+let today_utc () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+(* Prior trajectory entries of an existing baseline at [path]: a /2 file
+   contributes its trajectory as-is, a legacy /1 file becomes a single
+   entry dated "legacy", anything unreadable starts the trajectory over
+   (with a note — growth must never make `make bench-compile` fail). *)
+let read_trajectory path =
+  if not (Sys.file_exists path) then []
+  else
+    let parsed =
+      try Obs_json.of_string (In_channel.with_open_text path In_channel.input_all)
+      with Sys_error msg -> Error msg
+    in
+    match parsed with
+    | Error msg ->
+        Printf.eprintf "[nisq-bench] %s unreadable (%s); starting a fresh trajectory\n%!"
+          path msg;
+        []
+    | Ok v -> (
+        match (Obs_json.member "schema" v, Obs_json.member "trajectory" v) with
+        | Some (Obs_json.String "nisq-bench-compile/2"), Some (Obs_json.List entries)
+          ->
+            entries
+        | Some (Obs_json.String "nisq-bench-compile/1"), _ -> (
+            match Obs_json.member "benchmarks" v with
+            | Some benchmarks ->
+                [
+                  Obs_json.Obj
+                    [
+                      ("date", Obs_json.String "legacy");
+                      ("benchmarks", benchmarks);
+                    ];
+                ]
+            | None -> [])
+        | _ ->
+            Printf.eprintf
+              "[nisq-bench] %s has an unknown schema; starting a fresh trajectory\n%!"
+              path;
+            [])
 
 let micro_compile ~out () =
   let open Bechamel in
@@ -161,10 +230,11 @@ let micro_compile ~out () =
   let rows = measure ~quota:0.25 tests in
   print_endline "=== Bechamel micro-benchmarks: compile fast path ===";
   print_rows rows;
-  let doc =
+  let today = today_utc () in
+  let entry =
     Obs_json.Obj
       [
-        ("schema", Obs_json.String "nisq-bench-compile/1");
+        ("date", Obs_json.String today);
         ( "benchmarks",
           Obs_json.List
             (List.map
@@ -179,8 +249,27 @@ let micro_compile ~out () =
                rows) );
       ]
   in
+  (* Append today's entry to the trajectory; a same-day rerun replaces
+     its previous entry so repeated local runs stay idempotent. *)
+  let prior =
+    List.filter
+      (fun e ->
+        match Obs_json.member "date" e with
+        | Some (Obs_json.String d) -> d <> today
+        | _ -> true)
+      (read_trajectory out)
+  in
+  let doc =
+    Obs_json.Obj
+      [
+        ("schema", Obs_json.String "nisq-bench-compile/2");
+        ("trajectory", Obs_json.List (prior @ [ entry ]));
+      ]
+  in
   Obs_json.to_file ~path:out doc;
-  Printf.eprintf "[nisq-bench] compile baseline written to %s\n%!" out
+  Printf.eprintf "[nisq-bench] compile baseline appended to %s (%d entries)\n%!"
+    out
+    (List.length prior + 1)
 
 let micro () =
   let open Bechamel in
@@ -263,6 +352,95 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* solver-par-check: the CI assertion behind the parallel-solver claims *)
+(* ------------------------------------------------------------------ *)
+
+(* Asserts, per instance: (1) the parallel fan-out returns the
+   sequential objective; (2) its trajectory is byte-identical at pool
+   sizes 0, 1 and 4 (assignment, objective bits, nodes_visited,
+   proven_optimal); (3) Greedy incumbent seeding never increases the
+   sequential node count. Exits 1 on any violation. *)
+let solver_par_check () =
+  let module Placement = Nisq_solver.Placement in
+  let module Parallel = Nisq_solver.Parallel in
+  let calib = Ibmq16.calibration ~day:0 () in
+  let paths = Nisq_device.Paths.make calib in
+  let forbid slot = not (Nisq_device.Calibration.qubit_live calib slot) in
+  let failures = ref 0 in
+  let check cond msg =
+    if not cond then begin
+      Printf.printf "  FAIL %s\n" msg;
+      incr failures
+    end
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  List.iter
+    (fun name ->
+      let b = Benchmarks.by_name name in
+      let problem =
+        Nisq_compiler.Reliability.placement_problem paths ~omega:0.5
+          ~policy:Config.One_bend b.Benchmarks.circuit
+      in
+      let seed =
+        Nisq_compiler.Layout.to_array
+          (Nisq_compiler.Greedy.edge_first paths b.Benchmarks.circuit)
+      in
+      let seq, seq_ms = time (fun () -> Placement.solve ~forbid problem) in
+      let seeded =
+        Placement.solve ~forbid
+          ~incumbent:(seed, Placement.score problem seed)
+          problem
+      in
+      let par_at size =
+        let pool = Pool.create ~size () in
+        Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+        time (fun () -> Parallel.solve_placement ~forbid ~seed ~pool problem)
+      in
+      let (p0, _), (p1, _), (p4, p4_ms) = (par_at 0, par_at 1, par_at 4) in
+      Printf.printf
+        "%-4s seq %6d nodes %7.1f ms obj %.6f | fanout@4 %6d nodes %7.1f ms \
+         obj %.6f\n"
+        name seq.Placement.stats.Nisq_solver.Budget.nodes_visited seq_ms
+        seq.Placement.objective
+        p4.Placement.stats.Nisq_solver.Budget.nodes_visited p4_ms
+        p4.Placement.objective;
+      check
+        (p4.Placement.objective = seq.Placement.objective)
+        "parallel objective differs from sequential";
+      check
+        (seeded.Placement.stats.Nisq_solver.Budget.nodes_visited
+        <= seq.Placement.stats.Nisq_solver.Budget.nodes_visited)
+        "greedy seeding increased the sequential node count";
+      List.iter
+        (fun (p : Placement.solution) ->
+          check
+            (p.Placement.assignment = p4.Placement.assignment)
+            "assignment differs across pool sizes";
+          check
+            (Int64.bits_of_float p.Placement.objective
+            = Int64.bits_of_float p4.Placement.objective)
+            "objective bits differ across pool sizes";
+          check
+            (p.Placement.stats.Nisq_solver.Budget.nodes_visited
+            = p4.Placement.stats.Nisq_solver.Budget.nodes_visited)
+            "nodes_visited differs across pool sizes";
+          check
+            (p.Placement.stats.Nisq_solver.Budget.proven_optimal
+            = p4.Placement.stats.Nisq_solver.Budget.proven_optimal)
+            "proven_optimal differs across pool sizes")
+        [ p0; p1 ])
+    [ "BV4"; "BV8" ];
+  if !failures > 0 then begin
+    Printf.printf "solver-par-check: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "solver-par-check: OK"
+
+(* ------------------------------------------------------------------ *)
 (* Run lifecycle: argument parsing, checkpointed dispatch, shutdown     *)
 (* ------------------------------------------------------------------ *)
 
@@ -280,7 +458,7 @@ let usage () =
   Printf.eprintf
     "usage: main.exe [TARGET] [TRIALS] [--run-id ID] [--resume ID] \
      [--resume-force] [--deadline DUR] [--out PATH]\n\
-     TARGET: table2|fig1|fig5..fig11|ablations|micro|micro-compile|quick|all\n";
+     TARGET: table2|fig1|fig5..fig11|ablations|micro|micro-compile|solver-par-check|quick|all\n";
   exit 2
 
 let parse_args () =
@@ -404,6 +582,7 @@ let dispatch opts run =
               E.ablation_architecture ~trials ();
             ])
   | "micro" -> micro ()
+  | "solver-par-check" -> solver_par_check ()
   | "micro-compile" ->
       micro_compile
         ~out:(Option.value opts.out ~default:"BENCH_compile.json")
@@ -417,13 +596,17 @@ let dispatch opts run =
   | other ->
       Printf.eprintf
         "unknown argument %S (want \
-         table2|fig1|fig5..fig11|ablations|micro|micro-compile|quick|all)\n"
+         table2|fig1|fig5..fig11|ablations|micro|micro-compile|solver-par-check|quick|all)\n"
         other;
       exit 2
 
 let () =
   let opts = parse_args () in
   Nisq_faultkit.Faultkit.init_from_env ();
+  (* NISQ_SOLVER_DOMAINS/NISQ_SOLVER_PORTFOLIO switch the compile paths
+     inside figure cells onto the parallel solver, exactly as in nisqc;
+     the CI bench-smoke matrix runs this binary at 0, 1 and 4. *)
+  Nisq_solver.Parallel.init_from_env ();
   Deadline.init_from_env ();
   Option.iter Deadline.arm_seconds opts.deadline;
   Signals.install ();

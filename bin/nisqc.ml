@@ -270,9 +270,21 @@ let ledger_of ~identity ~run_id ~resume ~force =
   | None, Some id -> Some (Ledger.start ~run_id:id ~identity ())
   | None, None -> None
 
-let setup_telemetry ?inject trace metrics =
+let solver_domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "solver-domains" ] ~docv:"N"
+        ~doc:
+          "Enable the deterministic parallel solver with $(docv) dedicated            worker domains ($(docv) = 0 runs the same parallel algorithm            on a sequential pool — assignment, objective and node counts            are byte-identical for every $(docv)). Env:            $(b,NISQ_SOLVER_DOMAINS); set $(b,NISQ_SOLVER_PORTFOLIO=1) to            race variable orderings instead of fanning out subtrees.")
+
+let setup_telemetry ?inject ?solver_domains trace metrics =
   Telemetry.init_from_env ();
   Telemetry.configure ?trace ?metrics:(if metrics then Some true else None) ();
+  Nisq_solver.Parallel.init_from_env ();
+  (match solver_domains with
+  | Some n -> Nisq_solver.Parallel.configure ~domains:n ()
+  | None -> ());
   Faultkit.init_from_env ();
   match inject with
   | None -> ()
@@ -341,8 +353,8 @@ let describe_result name (r : Compile.t) =
 
 let compile_cmd =
   let run program method_ routing movement day seed emit_qasm diagram trace
-      metrics inject deadline =
-    setup_telemetry ?inject trace metrics;
+      metrics inject deadline solver_domains =
+    setup_telemetry ?inject ?solver_domains trace metrics;
     with_cancellation deadline @@ fun () ->
     let name, circuit, _ = load_program program in
     let calib = effective_calibration ~seed ~day () in
@@ -370,14 +382,14 @@ let compile_cmd =
     Term.(
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
       $ day_arg $ seed_arg $ qasm_arg $ diagram_arg $ trace_arg $ metrics_arg
-      $ inject_arg $ deadline_arg)
+      $ inject_arg $ deadline_arg $ solver_domains_arg)
 
 (* -------------------------------- run ------------------------------ *)
 
 let run_cmd =
   let run program method_ routing movement day seed trials sim_seed trace
-      metrics inject deadline run_id resume force =
-    setup_telemetry ?inject trace metrics;
+      metrics inject deadline run_id resume force solver_domains =
+    setup_telemetry ?inject ?solver_domains trace metrics;
     let identity =
       Obs_json.Obj
         [
@@ -439,7 +451,7 @@ let run_cmd =
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
       $ day_arg $ seed_arg $ trials_arg $ sim_seed_arg $ trace_arg
       $ metrics_arg $ inject_arg $ deadline_arg $ run_id_arg $ resume_arg
-      $ resume_force_arg)
+      $ resume_force_arg $ solver_domains_arg)
 
 (* ---------------------------- calibration -------------------------- *)
 

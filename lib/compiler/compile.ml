@@ -68,14 +68,19 @@ let layout_memo :
 let layout_salt (config : Config.t) (program : Circuit.t) =
   Digest.to_hex
     (Digest.string
-       (Marshal.to_string
-          ( config.Config.method_,
-            config.Config.routing,
-            config.Config.budget,
-            program.Circuit.name,
-            program.Circuit.num_qubits,
-            program.Circuit.gates )
-          []))
+       (* The solver mode is part of the key: parallel (seeded) and
+          sequential solves tie-break differently, so a layout cached
+          under one mode must not be replayed under another. Pool sizes
+          share entries — trajectories agree across them by design. *)
+       (Nisq_solver.Parallel.mode_tag ()
+       ^ Marshal.to_string
+           ( config.Config.method_,
+             config.Config.routing,
+             config.Config.budget,
+             program.Circuit.name,
+             program.Circuit.num_qubits,
+             program.Circuit.gates )
+           []))
 
 type t = {
   config : Config.t;

@@ -5,6 +5,7 @@ module Calibration = Nisq_device.Calibration
 module Topology = Nisq_device.Topology
 module Paths = Nisq_device.Paths
 module Makespan = Nisq_solver.Makespan
+module Parallel = Nisq_solver.Parallel
 
 let coherence_penalty = 1_000_000
 
@@ -56,7 +57,6 @@ let compile_layout ~decision_paths ~policy ~criterion ~budget
       dur_flat.((h1 * num_hw) + h2) <- dur.(h1).(h2)
     done
   done;
-  let finish = Array.make (Int.max ng 1) 0 in
   (* first_dep.(q): the earliest gate whose duration can change when
      program qubit [q] moves — its first CNOT. Finish times strictly
      before that gate cannot depend on [q]'s slot. *)
@@ -68,6 +68,17 @@ let compile_layout ~decision_paths ~policy ~criterion ~budget
           (fun q -> if g.id < first_dep.(q) then first_dep.(q) <- g.id)
           g.qubits)
     gates;
+  (* Place high-CNOT-degree qubits first: their routing dominates the
+     critical path, so bounds bite early. *)
+  let degrees = Circuit.qubit_degrees circuit in
+  let order = Array.init num_items Fun.id in
+  Array.sort (fun a b -> compare degrees.(b) degrees.(a)) order;
+  (* Everything above is immutable once built and shared freely across
+     domains. The bound evaluator below is stateful (placement diffing,
+     reused finish/prefix buffers), so each caller — the sequential
+     solve, and every parallel subtree worker — gets a private instance
+     from this thunk. *)
+  let make_problem () =
   (* The branch-and-bound probes sibling candidates that differ from the
      previous probe in one or two entries, so the evaluator diffs the
      placement against the last one it saw and recomputes finish times
@@ -75,6 +86,7 @@ let compile_layout ~decision_paths ~policy ~criterion ~budget
      memoizes running maxima so the untouched prefix still contributes to
      the critical path. Recomputing the identical integer recurrence over
      a suffix yields the exact value a full pass would. *)
+  let finish = Array.make (Int.max ng 1) 0 in
   let last_placement = Array.make num_items Int.min_int in
   let prefix_best = Array.make (ng + 1) 0 in
   (* Finish times below this index are valid; 0 until the first pass. *)
@@ -123,20 +135,22 @@ let compile_layout ~decision_paths ~policy ~criterion ~budget
     if violations = [] then sched.Schedule.makespan
     else sched.Schedule.makespan + coherence_penalty
   in
-  (* Place high-CNOT-degree qubits first: their routing dominates the
-     critical path, so bounds bite early. *)
-  let degrees = Circuit.qubit_degrees circuit in
-  let order = Array.init num_items Fun.id in
-  Array.sort (fun a b -> compare degrees.(b) degrees.(a)) order;
+  {
+    Makespan.num_items;
+    num_slots = num_hw;
+    order = Some order;
+    lower_bound;
+    leaf_cost;
+  }
+  in
+  let forbid slot = not (Calibration.qubit_live calib slot) in
   let solution =
-    Makespan.solve ~budget
-      ~forbid:(fun slot -> not (Calibration.qubit_live calib slot))
-      {
-        Makespan.num_items;
-        num_slots = num_hw;
-        order = Some order;
-        lower_bound;
-        leaf_cost;
-      }
+    if Parallel.enabled () then
+      (* Method-matched incumbent: GreedyV⋆ chases the same critical-path
+         objective. Opt-in, as with R-SMT⋆ (the seed wins exact ties). *)
+      let seed = Layout.to_array (Greedy.vertex_first decision_paths circuit) in
+      Parallel.solve_makespan ~budget ~forbid ~seed ~pool:(Parallel.pool ())
+        make_problem
+    else Makespan.solve ~budget ~forbid (make_problem ())
   in
   (Layout.of_array ~num_hw solution.Makespan.assignment, solution.Makespan.stats)

@@ -20,7 +20,19 @@ val make : ?max_nodes:int -> ?max_seconds:float -> unit -> t
 
 type stats = {
   nodes_visited : int;
+      (** Search-tree nodes expanded. For a parallel solve
+          ({!Parallel}), this is the {e sum} over all subtree searches —
+          a work count, not a wall-clock proxy — and is byte-identical
+          across pool sizes because the subtree decomposition and every
+          incumbent handoff are pool-size-independent. *)
   elapsed_seconds : float;
+      (** Wall-clock duration of the whole solve, start to finish. For a
+          parallel solve this is measured once around the entire fan-out
+          — {e not} the sum of per-subtree clocks, which would
+          double-count overlapping work and shrink with pool size. The
+          two fields deliberately diverge under parallelism:
+          [nodes_visited] stays deterministic while [elapsed_seconds]
+          reflects real time. *)
   proven_optimal : bool;
       (** true iff the search space was exhausted within budget *)
   degraded : bool;

@@ -1,0 +1,410 @@
+module Pool = Nisq_util.Pool
+module Metrics = Nisq_obs.Metrics
+module Trace = Nisq_obs.Trace
+
+type mode = Fanout | Portfolio
+
+(* Work counters are deterministic (subtree/wave/racer counts depend
+   only on the problem and split depth); the worker gauge is
+   configuration. *)
+let m_solves = Metrics.counter "solver.parallel.solves"
+let m_subtrees = Metrics.counter "solver.parallel.subtrees"
+let m_waves = Metrics.counter "solver.parallel.waves"
+let m_racers = Metrics.counter "solver.parallel.racers"
+let g_workers = Metrics.gauge "solver.parallel.workers"
+
+(* Wave width is a fixed constant, NOT the pool size: the incumbent
+   handoff points (wave barriers) must fall at the same subtree indices
+   for every pool size, or the node counts would diverge. 16 keeps a
+   4-worker pool busy four deep while still propagating bounds often. *)
+let default_wave_size = 16
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide switchboard (mirrors Telemetry/Faultkit).              *)
+
+let cfg_domains = ref (None : int option)
+let cfg_portfolio = ref false
+
+let configure ?domains ?portfolio () =
+  (match domains with
+  | Some d -> cfg_domains := Some (Int.max 0 d)
+  | None -> ());
+  match portfolio with Some b -> cfg_portfolio := b | None -> ()
+
+let disable () =
+  cfg_domains := None;
+  cfg_portfolio := false
+
+let env_warned = ref false
+
+let warn_env raw reason =
+  if not !env_warned then begin
+    env_warned := true;
+    Printf.eprintf
+      "nisq: warning: ignoring NISQ_SOLVER_DOMAINS=%S (%s); solver stays \
+       sequential\n\
+       %!"
+      raw reason
+  end
+
+let truthy v =
+  match String.lowercase_ascii (String.trim v) with
+  | "1" | "true" | "yes" | "on" -> true
+  | _ -> false
+
+let init_from_env () =
+  (match Sys.getenv_opt "NISQ_SOLVER_DOMAINS" with
+  | None -> ()
+  | Some raw -> (
+      match int_of_string_opt (String.trim raw) with
+      | None -> warn_env raw "not an integer"
+      | Some n when n < 0 -> warn_env raw "negative"
+      | Some n -> cfg_domains := Some n));
+  match Sys.getenv_opt "NISQ_SOLVER_PORTFOLIO" with
+  | Some v when truthy v -> cfg_portfolio := true
+  | _ -> ()
+
+let enabled () = !cfg_domains <> None
+
+let mode_tag () =
+  match !cfg_domains with
+  | None -> "seq"
+  | Some _ -> if !cfg_portfolio then "portfolio" else "fanout"
+
+let default_mode () = if !cfg_portfolio then Portfolio else Fanout
+
+(* The dedicated solver pool. Separate from [Pool.default] so a figure
+   cell running as a default-pool task can submit its solve here without
+   tripping the same-pool re-entrancy guard, and sized independently
+   (NISQ_SOLVER_DOMAINS vs NISQ_DOMAINS). Rebuilt when the configured
+   size changes; the stale pool is shut down so its workers don't leak. *)
+let pool_state = ref (None : (int * Pool.t) option)
+let pool_mutex = Mutex.create ()
+let pool_at_exit = ref false
+
+let pool () =
+  let want = match !cfg_domains with Some n -> n | None -> 0 in
+  Mutex.lock pool_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock pool_mutex) @@ fun () ->
+  match !pool_state with
+  | Some (sz, p) when sz = want -> p
+  | prev ->
+      (match prev with Some (_, p) -> Pool.shutdown p | None -> ());
+      let p = Pool.create ~size:want () in
+      pool_state := Some (want, p);
+      if not !pool_at_exit then begin
+        pool_at_exit := true;
+        at_exit (fun () ->
+            match !pool_state with
+            | Some (_, p) -> Pool.shutdown p
+            | None -> ())
+      end;
+      p
+
+(* ------------------------------------------------------------------ *)
+(* Shared wave machinery.                                              *)
+
+(* Remaining node allowance across waves; [max_int] encodes "unlimited"
+   so the per-wave arithmetic stays branch-light. *)
+let initial_nodes (budget : Budget.t) =
+  match budget.max_nodes with Some n -> n | None -> max_int
+
+let wave_budget (budget : Budget.t) ~t0 ~remaining =
+  let max_nodes = if remaining = max_int then None else Some remaining in
+  let max_seconds =
+    match budget.max_seconds with
+    | None -> None
+    | Some total -> Some (total -. (Unix.gettimeofday () -. t0))
+  in
+  (Budget.make ?max_nodes ?max_seconds (), match max_seconds with
+   | Some s -> s <= 0.0
+   | None -> false)
+
+let merged_stats ~t0 ~nodes ~proven ~degraded =
+  {
+    Budget.nodes_visited = nodes;
+    elapsed_seconds = Unix.gettimeofday () -. t0;
+    proven_optimal = proven && not degraded;
+    degraded;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Placement (maximizing).                                             *)
+
+let placement_fanout ~split_depth ~wave_size ~budget ~forbid ~seed ~pool p =
+  let t0 = Unix.gettimeofday () in
+  let depth = Int.max 0 (Int.min split_depth (p.Placement.num_items - 1)) in
+  (* One shared bound-table build for the frontier and every subtree:
+     the tables are immutable, each subtree search allocates only its
+     own scratch. *)
+  let tables = Placement.prepare ~forbid p in
+  let prefixes = Placement.frontier_prepared ~depth tables in
+  let k = Array.length prefixes in
+  Metrics.add m_subtrees k;
+  let incumbent =
+    Atomic.make
+      (Option.map (fun a -> (Array.copy a, Placement.score p a)) seed)
+  in
+  let nodes = ref 0 and degraded = ref false and proven = ref true in
+  let remaining = ref (initial_nodes budget) in
+  let start = ref 0 in
+  while !start < k do
+    let sub_budget, out_of_time = wave_budget budget ~t0 ~remaining:!remaining in
+    if !remaining <= 0 || out_of_time then begin
+      (* Whole waves are skipped, never partial ones: a mid-wave cut
+         would make the incumbent handoff timing-dependent. *)
+      degraded := true;
+      proven := false;
+      start := k
+    end
+    else begin
+      Metrics.incr m_waves;
+      let w = Int.min wave_size (k - !start) in
+      let base = !start in
+      let results =
+        Pool.parallel_chunks pool ~chunks:w (fun i ->
+            (* No writer runs during the wave, so this read is the
+               wave-start value on every domain. *)
+            Placement.solve_prepared ~budget:sub_budget
+              ?incumbent:(Atomic.get incumbent) ~prefix:prefixes.(base + i)
+              tables)
+      in
+      (* Barrier reached: commit results in submission order. Ties keep
+         the earliest subtree — the order the sequential DFS would have
+         found them. *)
+      List.iter
+        (fun (sol : Placement.solution) ->
+          nodes := !nodes + sol.stats.nodes_visited;
+          if !remaining <> max_int then
+            remaining := Int.max 0 (!remaining - sol.stats.nodes_visited);
+          if sol.stats.degraded then begin
+            degraded := true;
+            proven := false
+          end;
+          let improved =
+            match Atomic.get incumbent with
+            | None -> true
+            | Some (_, obj) -> sol.objective > obj
+          in
+          if improved then
+            Atomic.set incumbent (Some (Array.copy sol.assignment, sol.objective)))
+        results;
+      start := base + w
+    end
+  done;
+  match Atomic.get incumbent with
+  | None -> assert false (* every subtree returns a feasible assignment *)
+  | Some (assignment, objective) ->
+      {
+        Placement.assignment;
+        objective;
+        stats = merged_stats ~t0 ~nodes:!nodes ~proven:!proven ~degraded:!degraded;
+      }
+
+(* Portfolio orderings: the sequential involvement order, a
+   unary-spread order (items whose readout reliabilities differ most
+   across slots first), its reverse, and a fixed-seed shuffle. All
+   deterministic functions of the problem. *)
+let placement_orderings (p : Placement.problem) =
+  let base = Placement.default_order p in
+  let n = Array.length base in
+  let spread =
+    Array.init n (fun i ->
+        let row = p.unary.(i) in
+        Array.fold_left Float.max neg_infinity row
+        -. Array.fold_left Float.min infinity row)
+  in
+  let unary = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare spread.(b) spread.(a) in
+      if c <> 0 then c else compare a b)
+    unary;
+  let rev = Array.init n (fun i -> base.(n - 1 - i)) in
+  let shuffled =
+    let a = Array.init n Fun.id in
+    Nisq_util.Rng.shuffle (Nisq_util.Rng.create 0x50F7) a;
+    a
+  in
+  [| base; unary; rev; shuffled |]
+
+let placement_portfolio ~budget ~forbid ~seed ~pool p =
+  let t0 = Unix.gettimeofday () in
+  let incumbent =
+    Option.map (fun a -> (Array.copy a, Placement.score p a)) seed
+  in
+  let orders = placement_orderings p in
+  let k = Array.length orders in
+  Metrics.add m_racers k;
+  (* Each racer gets its own tables (the order changes every bound
+     table), built up front so racer wall time is pure search. *)
+  let tables =
+    Array.map (fun order -> Placement.prepare ~forbid ~order p) orders
+  in
+  let sols =
+    Pool.parallel_chunks pool ~chunks:k (fun i ->
+        Placement.solve_prepared ~budget ?incumbent tables.(i))
+  in
+  let nodes =
+    List.fold_left (fun acc (s : Placement.solution) ->
+        acc + s.stats.nodes_visited)
+      0 sols
+  in
+  (* First proof wins; with no proof, best objective at the lowest racer
+     index. Both rules are submission-order deterministic. *)
+  let winner =
+    match
+      List.find_opt (fun (s : Placement.solution) -> s.stats.proven_optimal) sols
+    with
+    | Some s -> s
+    | None ->
+        List.fold_left
+          (fun (best : Placement.solution) (s : Placement.solution) ->
+            if s.objective > best.objective then s else best)
+          (List.hd sols) (List.tl sols)
+  in
+  let proven = winner.stats.proven_optimal in
+  {
+    winner with
+    stats = merged_stats ~t0 ~nodes ~proven ~degraded:(not proven);
+  }
+
+let solve_placement ?mode ?(split_depth = 2) ?(wave_size = default_wave_size)
+    ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) ?seed ~pool p =
+  let mode = match mode with Some m -> m | None -> default_mode () in
+  Metrics.incr m_solves;
+  Metrics.set g_workers (float_of_int (Pool.size pool));
+  let tag = match mode with Fanout -> "fanout" | Portfolio -> "portfolio" in
+  Trace.with_span "solve.parallel" ~attrs:[ ("mode", tag) ] @@ fun () ->
+  match mode with
+  | Fanout -> placement_fanout ~split_depth ~wave_size ~budget ~forbid ~seed ~pool p
+  | Portfolio -> placement_portfolio ~budget ~forbid ~seed ~pool p
+
+(* ------------------------------------------------------------------ *)
+(* Makespan (minimizing). Same protocol with [<] in place of [>]; the
+   problem arrives as a thunk because T-SMT⋆'s incremental lower bound
+   is stateful, so every worker needs a private instance.              *)
+
+let makespan_fanout ~split_depth ~wave_size ~budget ~forbid ~seed ~pool make_problem =
+  let t0 = Unix.gettimeofday () in
+  let p0 = make_problem () in
+  let depth = Int.max 0 (Int.min split_depth (p0.Makespan.num_items - 1)) in
+  let prefixes = Makespan.frontier ~forbid ~depth p0 in
+  let k = Array.length prefixes in
+  Metrics.add m_subtrees k;
+  let incumbent =
+    Atomic.make
+      (Option.map (fun a -> (Array.copy a, p0.Makespan.leaf_cost a)) seed)
+  in
+  let nodes = ref 0 and degraded = ref false and proven = ref true in
+  let remaining = ref (initial_nodes budget) in
+  let start = ref 0 in
+  while !start < k do
+    let sub_budget, out_of_time = wave_budget budget ~t0 ~remaining:!remaining in
+    if !remaining <= 0 || out_of_time then begin
+      degraded := true;
+      proven := false;
+      start := k
+    end
+    else begin
+      Metrics.incr m_waves;
+      let w = Int.min wave_size (k - !start) in
+      let base = !start in
+      let results =
+        Pool.parallel_chunks pool ~chunks:w (fun i ->
+            let p = make_problem () in
+            Makespan.solve ~budget:sub_budget ~forbid
+              ?incumbent:(Atomic.get incumbent) ~prefix:prefixes.(base + i) p)
+      in
+      List.iter
+        (fun (sol : Makespan.solution) ->
+          nodes := !nodes + sol.stats.nodes_visited;
+          if !remaining <> max_int then
+            remaining := Int.max 0 (!remaining - sol.stats.nodes_visited);
+          if sol.stats.degraded then begin
+            degraded := true;
+            proven := false
+          end;
+          let improved =
+            match Atomic.get incumbent with
+            | None -> true
+            | Some (_, cost) -> sol.cost < cost
+          in
+          if improved then
+            Atomic.set incumbent (Some (Array.copy sol.assignment, sol.cost)))
+        results;
+      start := base + w
+    end
+  done;
+  match Atomic.get incumbent with
+  | None -> assert false
+  | Some (assignment, cost) ->
+      {
+        Makespan.assignment;
+        cost;
+        stats = merged_stats ~t0 ~nodes:!nodes ~proven:!proven ~degraded:!degraded;
+      }
+
+let makespan_orderings (p : Makespan.problem) =
+  let n = p.num_items in
+  let base =
+    match p.order with Some o -> Array.copy o | None -> Array.init n Fun.id
+  in
+  let rev = Array.init n (fun i -> base.(n - 1 - i)) in
+  let shuffle seed =
+    let a = Array.init n Fun.id in
+    Nisq_util.Rng.shuffle (Nisq_util.Rng.create seed) a;
+    a
+  in
+  [| base; rev; shuffle 0x5EED1; shuffle 0x5EED2 |]
+
+let makespan_portfolio ~budget ~forbid ~seed ~pool make_problem =
+  let t0 = Unix.gettimeofday () in
+  let p0 = make_problem () in
+  let incumbent =
+    Option.map (fun a -> (Array.copy a, p0.Makespan.leaf_cost a)) seed
+  in
+  let orders = makespan_orderings p0 in
+  let k = Array.length orders in
+  Metrics.add m_racers k;
+  let sols =
+    Pool.parallel_chunks pool ~chunks:k (fun i ->
+        let p = make_problem () in
+        Makespan.solve ~budget ~forbid ?incumbent
+          { p with Makespan.order = Some orders.(i) })
+  in
+  let nodes =
+    List.fold_left (fun acc (s : Makespan.solution) ->
+        acc + s.stats.nodes_visited)
+      0 sols
+  in
+  let winner =
+    match
+      List.find_opt (fun (s : Makespan.solution) -> s.stats.proven_optimal) sols
+    with
+    | Some s -> s
+    | None ->
+        List.fold_left
+          (fun (best : Makespan.solution) (s : Makespan.solution) ->
+            if s.cost < best.cost then s else best)
+          (List.hd sols) (List.tl sols)
+  in
+  let proven = winner.stats.proven_optimal in
+  {
+    winner with
+    stats = merged_stats ~t0 ~nodes ~proven ~degraded:(not proven);
+  }
+
+let solve_makespan ?mode ?(split_depth = 2) ?(wave_size = default_wave_size)
+    ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) ?seed ~pool
+    make_problem =
+  let mode = match mode with Some m -> m | None -> default_mode () in
+  Metrics.incr m_solves;
+  Metrics.set g_workers (float_of_int (Pool.size pool));
+  let tag = match mode with Fanout -> "fanout" | Portfolio -> "portfolio" in
+  Trace.with_span "solve.parallel" ~attrs:[ ("mode", tag) ] @@ fun () ->
+  match mode with
+  | Fanout ->
+      makespan_fanout ~split_depth ~wave_size ~budget ~forbid ~seed ~pool
+        make_problem
+  | Portfolio -> makespan_portfolio ~budget ~forbid ~seed ~pool make_problem

@@ -1,0 +1,117 @@
+(** Trajectory-deterministic parallel branch-and-bound.
+
+    The sequential {!Placement}/{!Makespan} searches are wall-clock
+    bound at paper scale (R-SMT⋆ takes hours at 32 qubits, §7.4) while
+    [Nisq_util.Pool] sits idle. This module fans the search out over a
+    dedicated solver pool without giving up the repository's determinism
+    contract: the returned assignment, objective, [proven_optimal]
+    verdict and [nodes_visited] total are byte-identical at pool sizes
+    0, 1 and 4.
+
+    {2 Deterministic merge protocol}
+
+    Naive work-stealing B&B is timing-dependent: whichever subtree
+    finishes first publishes its incumbent and changes how much the
+    others prune. We instead:
+
+    + enumerate the search frontier at a fixed split depth into
+      independent subtree prefixes ({!Placement.frontier}), an
+      enumeration that depends only on the problem;
+    + solve the subtrees in fixed-size {e waves}. Within a wave every
+      subtree reads the same wave-start incumbent from a shared
+      [Atomic]; the incumbent is only updated at the wave barrier, in
+      submission order. Per-subtree work is therefore a pure function of
+      (problem, prefix, wave-start incumbent) — independent of pool
+      size and scheduling — while later waves still prune against the
+      best of all earlier waves;
+    + seed the initial incumbent from the method-matched [Greedy]
+      solution, so pruning bites from node one even in wave one.
+
+    Because the sequential search accepts only {e strictly} better
+    leaves, a seeded search returns the seed assignment on an exact
+    objective tie — a different tie-break than the unseeded sequential
+    solver. The parallel path is therefore opt-in (NISQ_SOLVER_DOMAINS):
+    the default compile path remains byte-identical to the sequential
+    solver, and the parallel path is byte-identical to itself at every
+    pool size.
+
+    Node budgets are a pacing device here, not an exact ceiling: each
+    subtree in a wave is individually capped by the nodes remaining at
+    the wave start, so the total can overshoot by up to one wave before
+    the next barrier notices and degrades. Wall-clock budgets cut over
+    whole waves only (checking mid-wave would reintroduce timing into
+    the trajectory). *)
+
+type mode =
+  | Fanout  (** subtree decomposition, shared incumbent (the default) *)
+  | Portfolio
+      (** race independent variable orderings, keep the first proof *)
+
+val solve_placement :
+  ?mode:mode ->
+  ?split_depth:int ->
+  ?wave_size:int ->
+  ?budget:Budget.t ->
+  ?forbid:(int -> bool) ->
+  ?seed:int array ->
+  pool:Nisq_util.Pool.t ->
+  Placement.problem ->
+  Placement.solution
+(** Maximizing parallel solve. [seed] is a feasible assignment (e.g.
+    [Greedy.edge_first]) used as the initial incumbent; without it, wave
+    one runs unseeded exactly like the sequential first descent.
+    [split_depth] (default 2, clamped to [num_items - 1]) picks the
+    frontier depth: [16]-ish slots at depth 2 gives a few hundred
+    subtrees, enough to feed any realistic pool. The merged stats carry
+    summed [nodes_visited] and whole-solve [elapsed_seconds] (see
+    {!Budget.stats}). *)
+
+val solve_makespan :
+  ?mode:mode ->
+  ?split_depth:int ->
+  ?wave_size:int ->
+  ?budget:Budget.t ->
+  ?forbid:(int -> bool) ->
+  ?seed:int array ->
+  pool:Nisq_util.Pool.t ->
+  (unit -> Makespan.problem) ->
+  Makespan.solution
+(** Minimizing parallel solve. Takes a thunk, not a problem: the T-SMT⋆
+    [lower_bound] is a stateful incremental closure, so every subtree
+    worker gets a private instance from [make_problem ()]. The thunk
+    must be pure up to that private state (same problem every call). *)
+
+(** {2 Process-wide switchboard}
+
+    Mirrors [Telemetry]/[Faultkit]: compilation call sites consult this
+    module instead of threading a mode through every signature, and the
+    CLI/environment configure it once at startup. *)
+
+val configure : ?domains:int -> ?portfolio:bool -> unit -> unit
+(** [configure ~domains:n ()] enables the parallel path with a dedicated
+    [n]-worker solver pool ([n = 0] or [1] keeps the same algorithm on
+    the sequential pool path — determinism checks diff exactly this).
+    [portfolio] selects {!Portfolio} as the default mode. *)
+
+val disable : unit -> unit
+(** Back to the sequential solver (the default state). *)
+
+val init_from_env : unit -> unit
+(** Read [NISQ_SOLVER_DOMAINS] (worker count; malformed values warn once
+    on stderr and leave the path disabled) and [NISQ_SOLVER_PORTFOLIO]
+    ([1]/[true]/[yes]/[on] select portfolio mode). *)
+
+val enabled : unit -> bool
+
+val mode_tag : unit -> string
+(** ["seq"], ["fanout"] or ["portfolio"] — folded into the layout-cache
+    salt so cached layouts never leak across solver modes (the modes
+    tie-break differently). Deliberately excludes the pool size:
+    trajectories agree across pool sizes, so sharing cache entries
+    between them is sound. *)
+
+val pool : unit -> Nisq_util.Pool.t
+(** The dedicated solver pool, created lazily at the configured size and
+    rebuilt if the size changes. Separate from [Pool.default] so a
+    figure cell running on the default pool can hand its solve to this
+    one without tripping the same-pool re-entrancy guard. *)

@@ -63,17 +63,107 @@ let matrix_max m =
 
 let m_evals = Nisq_obs.Metrics.counter "solver.constraint_evals"
 
-let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
+(* Item order: most pairwise involvement first — placing constrained
+   items early tightens the bound. *)
+let involvement_order pairs n =
+  let involvement = Array.make n 0.0 in
+  List.iter
+    (fun (i, j, m) ->
+      let span = Float.abs (matrix_max m) in
+      involvement.(i) <- involvement.(i) +. span +. 1.0;
+      involvement.(j) <- involvement.(j) +. span +. 1.0)
+    pairs;
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare involvement.(b) involvement.(a)) order;
+  order
+
+let default_order p =
+  validate p;
+  involvement_order (merged_pairs p) p.num_items
+
+let check_order n = function
+  | None -> ()
+  | Some o ->
+      if Array.length o <> n then invalid_arg "Placement: bad order length";
+      let seen = Array.make n false in
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= n || seen.(i) then
+            invalid_arg "Placement: order is not a permutation";
+          seen.(i) <- true)
+        o
+
+(* Immutable, shareable half of the search state: the variable order and
+   every admissible-bound table. Building these costs a stack of sorts
+   (unary ranks, pair-cell rankings); one [tables] value can serve many
+   searches — including concurrent subtree searches on other domains,
+   which only need their own [engine] scratch. [t_forbid] is shared too:
+   it must be safe to call from any domain (the calibration lookups the
+   compiler passes are pure). *)
+type tables = {
+  t_p : problem;
+  t_n : int;
+  t_s : int;
+  t_forbid : int -> bool;
+  t_banned : bool array;
+  t_order : int array;
+  t_optimistic : float array;
+  t_pair_max_into : float array;
+  t_unary_rank : int array array;
+  t_ep_partner : int array array;
+  t_ep_mat : float array array array;
+  t_ep_rowmax : float array array array;
+  t_ep_gmax : float array array;
+}
+
+(* Precomputed search state shared by [solve] and [frontier]: the
+   variable order, the admissible bound tables, and the preallocated
+   per-depth scratch of the allocation-free DFS. One engine serves one
+   search — [placed]/[used] are mutable scratch, not shared state. *)
+type engine = {
+  p : problem;
+  n : int;
+  s : int;
+  forbid : int -> bool;
+  banned : bool array;
+  order : int array;
+  optimistic : float array;
+  pair_max_into : float array;
+  unary_rank : int array array;
+  ep_partner : int array array;
+  ep_mat : float array array array;
+  (* Per earlier-pair bound tables. Cheap level (O(1) per pair):
+     [ep_rowmax.(item).(k).(se)] is the max over the later item's slots
+     with the earlier partner on [se]; [ep_gmax.(item).(k)] the
+     whole-matrix max. Both levels are admissible, so tightening prunes
+     nodes without ever changing the returned assignment (leaves are
+     only accepted on strict improvement). *)
+  ep_rowmax : float array array array;
+  ep_gmax : float array array;
+  placed : int array;
+  used : bool array;
+  cand_slot : int array array;
+  cand_score : float array array;
+  (* Preallocated scratch for the exact-assignment bound
+     [dynamic_rest_matching] (shortest-augmenting-path Hungarian):
+     [mt_free] the free-slot list, [mt_w] the (remaining item × free
+     slot) weight matrix flattened by [s], the rest the standard
+     potential/augmenting-path arrays. *)
+  mt_free : int array;
+  mt_w : float array;
+  mt_u : float array;
+  mt_v : float array;
+  mt_match : int array;
+  mt_way : int array;
+  mt_minv : float array;
+  mt_used : bool array;
+  evals : int ref;
+}
+
+let make_tables ?(forbid = fun _ -> false) ?order p =
   validate p;
   let pairs = merged_pairs p in
   let n = p.num_items and s = p.num_slots in
-  (* Everything past validation counts constraint evaluations, and
-     [forbid] is caller code that may raise (fault injection, a live-slot
-     probe hitting corrupted state). Publish the tally on every exit so
-     the counter never undercounts. *)
-  let evals = ref 0 in
-  Fun.protect ~finally:(fun () -> Nisq_obs.Metrics.add m_evals !evals)
-  @@ fun () ->
   (* banned.(slot) snapshots [forbid] once for the bound computations
      below; the candidate fill keeps probing the live closure, which is
      the authoritative legality check (and the hook fault injection
@@ -86,17 +176,12 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
   done;
   if !allowed < n then
     invalid_arg "Placement: fewer live slots than items (quarantine)";
-  (* Item order: most pairwise involvement first, then highest degree of
-     unary spread — placing constrained items early tightens the bound. *)
-  let involvement = Array.make n 0.0 in
-  List.iter
-    (fun (i, j, m) ->
-      let span = Float.abs (matrix_max m) in
-      involvement.(i) <- involvement.(i) +. span +. 1.0;
-      involvement.(j) <- involvement.(j) +. span +. 1.0)
-    pairs;
-  let order = Array.init n Fun.id in
-  Array.sort (fun a b -> Float.compare involvement.(b) involvement.(a)) order;
+  check_order n order;
+  let order =
+    match order with
+    | Some o -> Array.copy o
+    | None -> involvement_order pairs n
+  in
   (* rank.(item) = position in placement order *)
   let rank = Array.make n 0 in
   Array.iteri (fun pos item -> rank.(item) <- pos) order;
@@ -129,6 +214,21 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
     ep_partner.(item) <- Array.of_list (List.map fst earlier_pairs.(item));
     ep_mat.(item) <- Array.of_list (List.map snd earlier_pairs.(item))
   done;
+  let ep_rowmax =
+    Array.map
+      (Array.map (fun flat ->
+           Array.init s (fun se ->
+               let m = ref neg_infinity in
+               for sl = 0 to s - 1 do
+                 let v = flat.((se * s) + sl) in
+                 if v > !m then m := v
+               done;
+               !m)))
+      ep_mat
+  in
+  let ep_gmax =
+    Array.map (Array.map (Array.fold_left Float.max neg_infinity)) ep_rowmax
+  in
   (* optimistic.(pos) = admissible upper bound on the total score of items
      order.(pos..n-1): their best unary plus, for each pair whose later
      endpoint is among them, the pair's global max. *)
@@ -143,46 +243,6 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
     let item = order.(pos) in
     optimistic.(pos) <- optimistic.(pos + 1) +. unary_max.(item) +. pair_max_into.(item)
   done;
-  let clock = Budget.Clock.start budget in
-  let placed = Array.make n (-1) in
-  let used = Array.make s false in
-  let best = Array.make n (-1) in
-  let best_score = ref neg_infinity in
-  let have_solution = ref false in
-  let blown = ref false in
-  (* Preallocated per-depth candidate arrays: the DFS inner loop fills
-     and sorts them in place instead of consing and List.sorting a fresh
-     list per node. *)
-  let cand_slot = Array.init n (fun _ -> Array.make s 0) in
-  let cand_score = Array.init n (fun _ -> Array.make s 0.0) in
-  (* Incremental score of placing [item] on [slot] given the current
-     partial assignment: unary plus every already-placed partner's pair
-     entry, summed in the original pair-list order. *)
-  let incremental item slot =
-    let inc = ref p.unary.(item).(slot) in
-    let partners = ep_partner.(item) and mats = ep_mat.(item) in
-    for k = 0 to Array.length partners - 1 do
-      inc := !inc +. Array.unsafe_get mats.(k) ((placed.(partners.(k)) * s) + slot)
-    done;
-    Stdlib.incr evals;
-    !inc
-  in
-  (* Stable in-place insertion sort by (score desc, slot asc) — the same
-     order List.sort gave the ascending-slot candidate list. Candidate
-     counts are <= num_slots, where insertion sort beats allocation. *)
-  let sort_candidates slots scores k =
-    for i = 1 to k - 1 do
-      let sc = scores.(i) and sl = slots.(i) in
-      let j = ref (i - 1) in
-      while !j >= 0 && scores.(!j) < sc do
-        scores.(!j + 1) <- scores.(!j);
-        slots.(!j + 1) <- slots.(!j);
-        decr j
-      done;
-      scores.(!j + 1) <- sc;
-      slots.(!j + 1) <- sl
-    done
-  in
   (* unary_rank.(item): slot indices sorted by unary score descending
      (ties by ascending slot). The dynamic bound needs "best unary over
      the slots still free", which this turns from an O(s) scan with a
@@ -198,29 +258,329 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
           slots;
         slots)
   in
-  (* Tighter admissible bound for the subtree below [pos]: per remaining
-     item, its best unary over the slots still free *at this node* (the
-     static bound uses the global unary max) plus the same pairwise
-     ceiling. Computed at most once per node, and only when the static
-     bound fails to prune — nodes the static bound kills pay nothing. *)
-  let dynamic_rest pos =
-    let total = ref 0.0 in
-    for q = pos to n - 1 do
-      let item = order.(q) in
-      let row = p.unary.(item) in
-      let ranked = unary_rank.(item) in
-      let idx = ref 0 in
-      while
-        let slot = Array.unsafe_get ranked !idx in
-        used.(slot) || banned.(slot)
-      do
-        incr idx
+  {
+    t_p = p;
+    t_n = n;
+    t_s = s;
+    t_forbid = forbid;
+    t_banned = banned;
+    t_order = order;
+    t_optimistic = optimistic;
+    t_pair_max_into = pair_max_into;
+    t_unary_rank = unary_rank;
+    t_ep_partner = ep_partner;
+    t_ep_mat = ep_mat;
+    t_ep_rowmax = ep_rowmax;
+    t_ep_gmax = ep_gmax;
+  }
+
+(* Per-search mutable scratch around shared tables; cheap (a handful of
+   small array allocations) next to the sorts [make_tables] pays. *)
+let engine_of_tables ~evals t =
+  let n = t.t_n and s = t.t_s in
+  {
+    p = t.t_p;
+    n;
+    s;
+    forbid = t.t_forbid;
+    banned = t.t_banned;
+    order = t.t_order;
+    optimistic = t.t_optimistic;
+    pair_max_into = t.t_pair_max_into;
+    unary_rank = t.t_unary_rank;
+    ep_partner = t.t_ep_partner;
+    ep_mat = t.t_ep_mat;
+    ep_rowmax = t.t_ep_rowmax;
+    ep_gmax = t.t_ep_gmax;
+    placed = Array.make n (-1);
+    used = Array.make s false;
+    (* Preallocated per-depth candidate arrays: the DFS inner loop fills
+       and sorts them in place instead of consing and List.sorting a
+       fresh list per node. *)
+    cand_slot = Array.init n (fun _ -> Array.make s 0);
+    cand_score = Array.init n (fun _ -> Array.make s 0.0);
+    mt_free = Array.make s 0;
+    mt_w = Array.make (n * s) 0.0;
+    mt_u = Array.make (n + 1) 0.0;
+    mt_v = Array.make (s + 1) 0.0;
+    mt_match = Array.make (s + 1) 0;
+    mt_way = Array.make (s + 1) 0;
+    mt_minv = Array.make (s + 1) 0.0;
+    mt_used = Array.make (s + 1) false;
+    evals;
+  }
+
+(* Incremental score of placing [item] on [slot] given the current
+   partial assignment: unary plus every already-placed partner's pair
+   entry, summed in the original pair-list order. *)
+let incremental eng item slot =
+  let inc = ref eng.p.unary.(item).(slot) in
+  let partners = eng.ep_partner.(item) and mats = eng.ep_mat.(item) in
+  let placed = eng.placed and s = eng.s in
+  for k = 0 to Array.length partners - 1 do
+    inc := !inc +. Array.unsafe_get mats.(k) ((placed.(partners.(k)) * s) + slot)
+  done;
+  Stdlib.incr eng.evals;
+  !inc
+
+(* Stable in-place insertion sort by (score desc, slot asc) — the same
+   order List.sort gave the ascending-slot candidate list. Candidate
+   counts are <= num_slots, where insertion sort beats allocation. *)
+let sort_candidates slots scores k =
+  for i = 1 to k - 1 do
+    let sc = scores.(i) and sl = slots.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && scores.(!j) < sc do
+      scores.(!j + 1) <- scores.(!j);
+      slots.(!j + 1) <- slots.(!j);
+      decr j
+    done;
+    scores.(!j + 1) <- sc;
+    slots.(!j + 1) <- sl
+  done
+
+(* Fill and sort the candidate arrays for depth [pos]; returns the
+   candidate count. Probes the live [forbid] closure per slot, exactly
+   as the DFS always has. *)
+let fill_candidates eng pos =
+  let item = eng.order.(pos) in
+  let slots = eng.cand_slot.(pos) and scores = eng.cand_score.(pos) in
+  let k = ref 0 in
+  for slot = 0 to eng.s - 1 do
+    if not eng.used.(slot) && not (eng.forbid slot) then begin
+      slots.(!k) <- slot;
+      scores.(!k) <- incremental eng item slot;
+      incr k
+    end
+  done;
+  let k = !k in
+  sort_candidates slots scores k;
+  k
+
+(* Cheap admissible bound for the subtree below [pos]: per remaining
+   item, its best unary over the slots still free *at this node* (the
+   static bound uses the global unary max) plus an O(1)-per-pair
+   ceiling — the partner's row max when the partner is committed, the
+   whole-matrix max otherwise. Dominates [dynamic_rest_tight], so a
+   prune here implies the tight bound would prune too: filtering with
+   the cheap level first changes cost, never the node set. *)
+let dynamic_rest_cheap eng pos =
+  let total = ref 0.0 in
+  let used = eng.used and banned = eng.banned and placed = eng.placed in
+  for q = pos to eng.n - 1 do
+    let item = eng.order.(q) in
+    let row = eng.p.unary.(item) in
+    let ranked = eng.unary_rank.(item) in
+    let idx = ref 0 in
+    while
+      let slot = Array.unsafe_get ranked !idx in
+      used.(slot) || banned.(slot)
+    do
+      incr idx
+    done;
+    let partners = eng.ep_partner.(item) in
+    let rowmaxes = eng.ep_rowmax.(item) and gmaxes = eng.ep_gmax.(item) in
+    let pairs_bound = ref 0.0 in
+    for k = 0 to Array.length partners - 1 do
+      let ps = placed.(partners.(k)) in
+      pairs_bound :=
+        !pairs_bound
+        +.
+        if ps >= 0 then Array.unsafe_get (Array.unsafe_get rowmaxes k) ps
+        else Array.unsafe_get gmaxes k
+    done;
+    total := !total +. row.(Array.unsafe_get ranked !idx) +. !pairs_bound
+  done;
+  !total
+
+(* Tight admissible bound, consulted only when the cheap level fails to
+   prune. Per remaining item it maximizes the item's unary term JOINTLY
+   with all committed-partner pair terms over the slots still free —
+   coupling terms the cheap bound maximizes independently. Pairs whose
+   partner is still unplaced keep the whole-matrix ceiling: they only
+   occur at shallow nodes, where tightening buys little. Every candidate
+   completion places the item on some currently-free slot, so each
+   summand dominates its true contribution: admissible. *)
+let dynamic_rest_tight eng pos =
+  let total = ref 0.0 in
+  let used = eng.used and banned = eng.banned and placed = eng.placed in
+  let s = eng.s in
+  for q = pos to eng.n - 1 do
+    let item = eng.order.(q) in
+    let row = eng.p.unary.(item) in
+    let partners = eng.ep_partner.(item) in
+    let mats = eng.ep_mat.(item) in
+    let deg = Array.length partners in
+    let joint = ref neg_infinity in
+    for sl = 0 to s - 1 do
+      if not (used.(sl) || banned.(sl)) then begin
+        let v = ref (Array.unsafe_get row sl) in
+        for k = 0 to deg - 1 do
+          let ps = placed.(partners.(k)) in
+          if ps >= 0 then
+            v := !v +. Array.unsafe_get (Array.unsafe_get mats k) ((ps * s) + sl)
+        done;
+        if !v > !joint then joint := !v
+      end
+    done;
+    let unplaced_bound = ref 0.0 in
+    let gmaxes = eng.ep_gmax.(item) in
+    for k = 0 to deg - 1 do
+      if placed.(partners.(k)) < 0 then
+        unplaced_bound := !unplaced_bound +. Array.unsafe_get gmaxes k
+    done;
+    total := !total +. !joint +. !unplaced_bound
+  done;
+  !total
+
+(* Exact-assignment bound (the last rung of the Gilmore–Lawler ladder),
+   consulted only when [dynamic_rest_tight] fails to prune. The tight
+   bound still lets two remaining items claim the same free slot; here
+   we solve the max-weight assignment of remaining items to free slots
+   exactly (shortest-augmenting-path Hungarian on negated weights,
+   O(m²·k) for m items × k slots), with weight(item, slot) = unary +
+   committed-partner pair terms. Unplaced-partner pairs keep the
+   additive whole-matrix ceiling. When every partner of every
+   remaining item is committed — e.g. deep in a star-shaped interaction
+   graph — this bound is the exact best completion, so the search
+   expands little beyond the optimal descent plus its proof.
+   Dominance: tight takes each item's best slot independently, the
+   matching constrains those choices to be injective, so
+   cheap ≥ tight ≥ matching ≥ truth — admissible, and filtering with
+   the cheaper levels first never changes the node set. *)
+let dynamic_rest_matching eng pos =
+  let n = eng.n and s = eng.s in
+  let used = eng.used and banned = eng.banned and placed = eng.placed in
+  let m = n - pos in
+  if m = 0 then 0.0
+  else begin
+    let free = eng.mt_free in
+    let k = ref 0 in
+    for sl = 0 to s - 1 do
+      if not (used.(sl) || banned.(sl)) then begin
+        free.(!k) <- sl;
+        incr k
+      end
+    done;
+    let k = !k in
+    let w = eng.mt_w in
+    let unplaced_bound = ref 0.0 in
+    for r = 0 to m - 1 do
+      let item = eng.order.(pos + r) in
+      let row = eng.p.unary.(item) in
+      let partners = eng.ep_partner.(item) in
+      let mats = eng.ep_mat.(item) in
+      let deg = Array.length partners in
+      for c = 0 to k - 1 do
+        let sl = Array.unsafe_get free c in
+        let v = ref (Array.unsafe_get row sl) in
+        for j = 0 to deg - 1 do
+          let ps = placed.(partners.(j)) in
+          if ps >= 0 then
+            v := !v +. Array.unsafe_get (Array.unsafe_get mats j) ((ps * s) + sl)
+        done;
+        w.((r * s) + c) <- !v
       done;
-      total :=
-        !total +. row.(Array.unsafe_get ranked !idx) +. pair_max_into.(item)
+      let gmaxes = eng.ep_gmax.(item) in
+      for j = 0 to deg - 1 do
+        if placed.(partners.(j)) < 0 then
+          unplaced_bound := !unplaced_bound +. Array.unsafe_get gmaxes j
+      done
+    done;
+    (* Min-cost assignment on negated weights; 1-indexed potentials,
+       [mt_match.(j)] = row currently matched to column [j] (0 = none). *)
+    let u = eng.mt_u and v = eng.mt_v in
+    let mt = eng.mt_match and way = eng.mt_way in
+    let minv = eng.mt_minv and usedc = eng.mt_used in
+    Array.fill u 0 (m + 1) 0.0;
+    Array.fill v 0 (k + 1) 0.0;
+    Array.fill mt 0 (k + 1) 0;
+    let cost i j = -.w.(((i - 1) * s) + (j - 1)) in
+    for i = 1 to m do
+      mt.(0) <- i;
+      let j0 = ref 0 in
+      Array.fill minv 0 (k + 1) infinity;
+      Array.fill usedc 0 (k + 1) false;
+      let break = ref false in
+      while not !break do
+        usedc.(!j0) <- true;
+        let i0 = mt.(!j0) in
+        let delta = ref infinity and j1 = ref (-1) in
+        for j = 1 to k do
+          if not usedc.(j) then begin
+            let cur = cost i0 j -. u.(i0) -. v.(j) in
+            if cur < minv.(j) then begin
+              minv.(j) <- cur;
+              way.(j) <- !j0
+            end;
+            if minv.(j) < !delta then begin
+              delta := minv.(j);
+              j1 := j
+            end
+          end
+        done;
+        for j = 0 to k do
+          if usedc.(j) then begin
+            u.(mt.(j)) <- u.(mt.(j)) +. !delta;
+            v.(j) <- v.(j) -. !delta
+          end
+          else minv.(j) <- minv.(j) -. !delta
+        done;
+        j0 := !j1;
+        if mt.(!j0) = 0 then break := true
+      done;
+      let j0 = ref !j0 in
+      while !j0 <> 0 do
+        let j1 = way.(!j0) in
+        mt.(!j0) <- mt.(j1);
+        j0 := j1
+      done
+    done;
+    let total = ref !unplaced_bound in
+    for j = 1 to k do
+      if mt.(j) > 0 then total := !total +. w.(((mt.(j) - 1) * s) + (j - 1))
     done;
     !total
-  in
+  end
+
+(* Replay a frontier prefix: slot [pre.(pos)] for item [eng.order.(pos)].
+   Prefix placements are bookkeeping, not search — they pay constraint
+   evaluations (deterministically) but no budget ticks. *)
+let apply_prefix eng prefix =
+  match prefix with
+  | None -> (0, 0.0)
+  | Some pre ->
+      let d = Array.length pre in
+      if d > eng.n then invalid_arg "Placement: prefix longer than item count";
+      let acc = ref 0.0 in
+      for pos = 0 to d - 1 do
+        let slot = pre.(pos) in
+        if slot < 0 || slot >= eng.s || eng.used.(slot) || eng.forbid slot then
+          invalid_arg "Placement: bad prefix slot";
+        let item = eng.order.(pos) in
+        let inc = incremental eng item slot in
+        eng.placed.(item) <- slot;
+        eng.used.(slot) <- true;
+        acc := !acc +. inc
+      done;
+      (d, !acc)
+
+let run eng ~budget ~incumbent ~prefix =
+  let n = eng.n and s = eng.s in
+  let clock = Budget.Clock.start budget in
+  let placed = eng.placed and used = eng.used in
+  let best = Array.make n (-1) in
+  let best_score = ref neg_infinity in
+  let have_solution = ref false in
+  (match incumbent with
+  | None -> ()
+  | Some (a, obj) ->
+      if Array.length a <> n then
+        invalid_arg "Placement: incumbent length mismatch";
+      Array.blit a 0 best 0 n;
+      best_score := obj;
+      have_solution := true);
+  let blown = ref false in
   let rec dfs pos acc =
     if !blown then ()
     else if not (Budget.Clock.tick clock) then begin
@@ -236,32 +596,34 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
       end
     end
     else begin
-      let item = order.(pos) in
-      let slots = cand_slot.(pos) and scores = cand_score.(pos) in
-      let k = ref 0 in
-      for slot = 0 to s - 1 do
-        if not used.(slot) && not (forbid slot) then begin
-          slots.(!k) <- slot;
-          scores.(!k) <- incremental item slot;
-          incr k
-        end
-      done;
-      let k = !k in
-      sort_candidates slots scores k;
+      let item = eng.order.(pos) in
+      let slots = eng.cand_slot.(pos) and scores = eng.cand_score.(pos) in
+      let k = fill_candidates eng pos in
       (* Lazily computed, memoized for the node: every candidate shares
          the same free-slot set at this depth. *)
-      let dyn = ref nan in
-      let dyn_rest () =
-        if Float.is_nan !dyn then dyn := dynamic_rest (pos + 1);
-        !dyn
+      let cheap = ref nan and tight = ref nan and matching = ref nan in
+      let dyn_cheap () =
+        if Float.is_nan !cheap then cheap := dynamic_rest_cheap eng (pos + 1);
+        !cheap
+      in
+      let dyn_tight () =
+        if Float.is_nan !tight then tight := dynamic_rest_tight eng (pos + 1);
+        !tight
+      in
+      let dyn_matching () =
+        if Float.is_nan !matching then
+          matching := dynamic_rest_matching eng (pos + 1);
+        !matching
       in
       for c = 0 to k - 1 do
         let slot = slots.(c) and inc = scores.(c) in
-        let static_bound = acc +. inc +. optimistic.(pos + 1) in
+        let static_bound = acc +. inc +. eng.optimistic.(pos + 1) in
         if
           (not !have_solution)
           || (static_bound > !best_score
-             && acc +. inc +. dyn_rest () > !best_score)
+             && acc +. inc +. dyn_cheap () > !best_score
+             && acc +. inc +. dyn_tight () > !best_score
+             && acc +. inc +. dyn_matching () > !best_score)
         then begin
           placed.(item) <- slot;
           used.(slot) <- true;
@@ -280,11 +642,11 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
       have_solution := true
     end
     else begin
-      let item = order.(pos) in
+      let item = eng.order.(pos) in
       let best_slot = ref (-1) and best_inc = ref neg_infinity in
       for slot = 0 to s - 1 do
-        if not used.(slot) && not (forbid slot) then begin
-          let inc = incremental item slot in
+        if not used.(slot) && not (eng.forbid slot) then begin
+          let inc = incremental eng item slot in
           if inc > !best_inc then begin
             best_inc := inc;
             best_slot := slot
@@ -296,12 +658,69 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) p =
       complete_greedily (pos + 1) (acc +. !best_inc)
     end
   in
-  dfs 0 0.0;
+  let start_pos, start_acc = apply_prefix eng prefix in
+  dfs start_pos start_acc;
   {
     assignment = best;
     objective = !best_score;
     stats = Budget.Clock.stats clock ~exhausted:(not !blown);
   }
+
+let prepare ?forbid ?order p = make_tables ?forbid ?order p
+
+let solve_prepared ?(budget = Budget.unlimited) ?incumbent ?prefix t =
+  (* Everything past validation counts constraint evaluations, and
+     [forbid] is caller code that may raise (fault injection, a live-slot
+     probe hitting corrupted state). Publish the tally on every exit so
+     the counter never undercounts. *)
+  let evals = ref 0 in
+  Fun.protect ~finally:(fun () -> Nisq_obs.Metrics.add m_evals !evals)
+  @@ fun () ->
+  let eng = engine_of_tables ~evals t in
+  run eng ~budget ~incumbent ~prefix
+
+let solve ?budget ?(forbid = fun _ -> false) ?order ?incumbent ?prefix p =
+  solve_prepared ?budget ?incumbent ?prefix (make_tables ~forbid ?order p)
+
+let frontier_prepared ~depth t =
+  let evals = ref 0 in
+  Fun.protect ~finally:(fun () -> Nisq_obs.Metrics.add m_evals !evals)
+  @@ fun () ->
+  let eng = engine_of_tables ~evals t in
+  let depth = Int.max 0 (Int.min depth eng.n) in
+  if depth = 0 then [| [||] |]
+  else begin
+    (* Enumerate every feasible prefix of the first [depth] order
+       positions, in exactly the (score desc, slot asc) order the DFS
+       explores children — so solving the subtrees in frontier order and
+       merging in submission order reproduces the sequential anytime
+       trajectory. No pruning here: the union of subtrees must cover the
+       whole space for the merged [proven_optimal] verdict to be sound. *)
+    let out = ref [] in
+    let pre = Array.make depth (-1) in
+    let rec go pos =
+      if pos = depth then out := Array.copy pre :: !out
+      else begin
+        let k = fill_candidates eng pos in
+        let slots = eng.cand_slot.(pos) in
+        let item = eng.order.(pos) in
+        for c = 0 to k - 1 do
+          let slot = slots.(c) in
+          pre.(pos) <- slot;
+          eng.placed.(item) <- slot;
+          eng.used.(slot) <- true;
+          go (pos + 1);
+          eng.used.(slot) <- false;
+          eng.placed.(item) <- -1
+        done
+      end
+    in
+    go 0;
+    Array.of_list (List.rev !out)
+  end
+
+let frontier ?(forbid = fun _ -> false) ?order ~depth p =
+  frontier_prepared ~depth (make_tables ~forbid ?order p)
 
 let brute_force p =
   validate p;

@@ -27,6 +27,7 @@ let timed busy f =
 type task = Task of (unit -> unit) | Quit
 
 type t = {
+  id : int;
   size : int;
   mutable workers : unit Domain.t array;
   queue : task Queue.t;
@@ -56,6 +57,26 @@ let rec worker_loop t =
       match timed g_worker_busy f with
       | () -> worker_loop t
       | exception _ -> Atomic.incr t.dead)
+
+(* Re-entrancy guard: the ids of the pools whose chunk functions are
+   executing on the current domain. A chunk that resubmits to its own
+   pool can deadlock it (every worker blocked waiting for queue slots
+   only they can drain) or, on the sequential path, recurse silently —
+   the docs have always forbidden it; this enforces the ban with a clear
+   error on every execution path (worker, helping caller, sequential).
+   Distinct pools nest fine: a figure-cell task on the default pool may
+   submit a solve to the dedicated solver pool. *)
+let next_id = Atomic.make 0
+
+let entered_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let entered t = List.mem t.id !(Domain.DLS.get entered_key)
+
+let with_entered t f =
+  let stack = Domain.DLS.get entered_key in
+  stack := t.id :: !stack;
+  Fun.protect f ~finally:(fun () -> stack := List.tl !stack)
 
 (* Run one chunk, retrying once on failure with the same index: chunk
    randomness derives from the index alone (Rng.mix), so a successful
@@ -131,6 +152,7 @@ let create ?size () =
   let size = max 0 size in
   let t =
     {
+      id = Atomic.fetch_and_add next_id 1;
       size;
       workers = [||];
       queue = Queue.create ();
@@ -196,19 +218,24 @@ let heal t =
 
 let parallel_chunks t ~chunks f =
   if chunks <= 0 then invalid_arg "Pool.parallel_chunks: chunks must be positive";
+  if entered t then
+    invalid_arg
+      "Pool.parallel_chunks: nested call on the same pool (chunk functions \
+       must not resubmit to the pool running them)";
   (* Counted before choosing a path so the totals match for sequential
      and pooled execution alike. *)
   Metrics.incr m_parallel_calls;
   Metrics.add m_tasks chunks;
   if t.size > 1 then heal t;
   Metrics.set g_workers (float_of_int (Array.length t.workers));
-  if t.size <= 1 || t.stopped || chunks = 1 then sequential chunks f
+  if t.size <= 1 || t.stopped || chunks = 1 then
+    with_entered t (fun () -> sequential chunks f)
   else begin
     let results = Array.make chunks None in
     let remaining = ref chunks in
     let done_mutex = Mutex.create () and done_cond = Condition.create () in
     let run i =
-      let r, die = run_chunk f i in
+      let r, die = with_entered t (fun () -> run_chunk f i) in
       Mutex.lock done_mutex;
       results.(i) <- Some r;
       decr remaining;

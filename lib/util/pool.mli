@@ -46,8 +46,13 @@ val parallel_chunks : t -> chunks:int -> (int -> 'a) -> 'a list
     order. A chunk that raises is retried once with the same index (on
     the sequential path too); if the retry also raises, one such
     exception is re-raised after all chunks finish. [f] must be safe to
-    run on any domain; do not call [parallel_chunks] from inside a chunk
-    function (the pool is not re-entrant). Raises [Invalid_argument] if
+    run on any domain. The pool is not re-entrant: a chunk function that
+    calls [parallel_chunks] on the {e same} pool gets a chunk-level
+    [Invalid_argument] on every execution path (worker, helping caller,
+    and the sequential size ≤ 1 path alike — so the bug cannot hide in
+    small configurations). Submitting to a {e different} pool from
+    inside a chunk is fine; that is how a figure cell hands a solve to
+    the dedicated solver pool. Raises [Invalid_argument] if
     [chunks <= 0]. *)
 
 val shutdown : t -> unit

@@ -7,6 +7,7 @@ let () =
       ("device", Test_device.suite);
       ("cache", Test_cache.suite);
       ("solver", Test_solver.suite);
+      ("parallel", Test_parallel.suite);
       ("sim", Test_sim.suite);
       ("compiler", Test_compiler.suite);
       ("benchmarks", Test_benchmarks.suite);

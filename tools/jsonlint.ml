@@ -78,36 +78,65 @@ let check_jsonl path src =
 (* Bench baseline check: schema tag, non-empty benchmark list, each
    entry a {name: string, ns_per_run: number}. Returns the sorted name
    list for cross-file comparison. *)
+(* Returns the sorted benchmark names of the LATEST entry: /1 files have
+   one implicit entry; /2 files carry a trajectory of dated entries and
+   the cross-file name-set comparison below applies to the most recent
+   one (older entries may predate a benchmark's introduction). *)
 let check_bench path v =
   let fail msg =
     Printf.eprintf "%s: not a bench baseline: %s\n" path msg;
     exit 1
   in
-  (match Json.member "schema" v with
-  | Some (Json.String "nisq-bench-compile/1") -> ()
+  let check_benchmarks ctx e =
+    match Json.member "benchmarks" e with
+    | None -> fail (ctx ^ "missing \"benchmarks\"")
+    | Some (Json.List []) -> fail (ctx ^ "\"benchmarks\" is empty")
+    | Some (Json.List entries) ->
+        let names =
+          List.mapi
+            (fun i b ->
+              (match Json.member "ns_per_run" b with
+              | Some (Json.Int _ | Json.Float _) -> ()
+              | Some _ ->
+                  fail
+                    (Printf.sprintf "%sbenchmark %d: \"ns_per_run\" not a number"
+                       ctx i)
+              | None ->
+                  fail
+                    (Printf.sprintf "%sbenchmark %d: missing \"ns_per_run\"" ctx i));
+              match Json.member "name" b with
+              | Some (Json.String s) -> s
+              | Some _ ->
+                  fail (Printf.sprintf "%sbenchmark %d: \"name\" not a string" ctx i)
+              | None ->
+                  fail (Printf.sprintf "%sbenchmark %d: missing \"name\"" ctx i))
+            entries
+        in
+        List.sort_uniq compare names
+    | Some _ -> fail (ctx ^ "\"benchmarks\" is not a list")
+  in
+  match Json.member "schema" v with
+  | Some (Json.String "nisq-bench-compile/1") -> check_benchmarks "" v
+  | Some (Json.String "nisq-bench-compile/2") -> (
+      match Json.member "trajectory" v with
+      | None -> fail "missing \"trajectory\""
+      | Some (Json.List []) -> fail "\"trajectory\" is empty"
+      | Some (Json.List entries) ->
+          let last = ref [] in
+          List.iteri
+            (fun i e ->
+              let ctx = Printf.sprintf "trajectory entry %d: " i in
+              (match Json.member "date" e with
+              | Some (Json.String _) -> ()
+              | Some _ -> fail (ctx ^ "\"date\" is not a string")
+              | None -> fail (ctx ^ "missing \"date\""));
+              last := check_benchmarks ctx e)
+            entries;
+          !last
+      | Some _ -> fail "\"trajectory\" is not a list")
   | Some (Json.String s) -> fail (Printf.sprintf "unknown schema %S" s)
   | Some _ -> fail "\"schema\" is not a string"
-  | None -> fail "missing \"schema\"");
-  match Json.member "benchmarks" v with
-  | None -> fail "missing \"benchmarks\""
-  | Some (Json.List []) -> fail "\"benchmarks\" is empty"
-  | Some (Json.List entries) ->
-      let names =
-        List.mapi
-          (fun i e ->
-            (match Json.member "ns_per_run" e with
-            | Some (Json.Int _ | Json.Float _) -> ()
-            | Some _ ->
-                fail (Printf.sprintf "benchmark %d: \"ns_per_run\" not a number" i)
-            | None -> fail (Printf.sprintf "benchmark %d: missing \"ns_per_run\"" i));
-            match Json.member "name" e with
-            | Some (Json.String s) -> s
-            | Some _ -> fail (Printf.sprintf "benchmark %d: \"name\" not a string" i)
-            | None -> fail (Printf.sprintf "benchmark %d: missing \"name\"" i))
-          entries
-      in
-      List.sort_uniq compare names
-  | Some _ -> fail "\"benchmarks\" is not a list"
+  | None -> fail "missing \"schema\""
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
