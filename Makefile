@@ -1,12 +1,14 @@
 # Convenience targets; `make check` is the tier-1 gate plus a smoke run
 # of the figure harness (compile + parallel Monte-Carlo on one figure),
 # a telemetry smoke (a traced run whose Chrome trace must parse and
-# carry the expected span shape), a kill-and-resume smoke (a journalled
-# run killed mid-sweep must resume to byte-identical output) and a bench
-# smoke (the compile fast-path micro-benchmarks, schema-checked against
-# the committed BENCH_compile.json baseline).
+# carry the expected span shape), an observability smoke (event ledger,
+# explain report and Prometheus scrape, each linted), a kill-and-resume
+# smoke (a journalled run killed mid-sweep must resume to byte-identical
+# output), a bench smoke (the compile fast-path micro-benchmarks,
+# schema-checked against the committed BENCH_compile.json baseline) and
+# the bench-gate regression sentinel over that baseline's trajectory.
 
-.PHONY: all build test check bench bench-smoke bench-compile micro resume-smoke
+.PHONY: all build test check bench bench-smoke bench-compile bench-gate micro resume-smoke
 
 all: build
 
@@ -27,9 +29,17 @@ check:
 	  > /dev/null
 	dune exec tools/caliblint.exe -- --strict /tmp/nisq-smoke-calib.txt
 	dune exec bin/nisqc.exe -- run BV4 -m rsmt -t 512 --metrics \
+	  --events /tmp/nisq-smoke-events.jsonl \
 	  --inject "calib:nan@q3;solver:blow;pool:crash@chunk0" > /dev/null
+	dune exec tools/jsonlint.exe -- --jsonl /tmp/nisq-smoke-events.jsonl
+	dune exec bin/nisqc.exe -- compile Adder -m rsmt \
+	  --report /tmp/nisq-smoke-report.json \
+	  --prom /tmp/nisq-smoke-prom.txt > /dev/null
+	dune exec tools/jsonlint.exe -- --report /tmp/nisq-smoke-report.json
+	dune exec tools/jsonlint.exe -- --prom /tmp/nisq-smoke-prom.txt
 	tools/resume_smoke.sh
 	$(MAKE) bench-smoke
+	$(MAKE) bench-gate
 
 # Short-mode run of the compile fast-path micro-benchmarks; the fresh
 # baseline must have the same schema and latest benchmark set as the
@@ -47,6 +57,12 @@ bench-smoke:
 # Append today's entry to the committed baseline trajectory.
 bench-compile:
 	dune exec bench/main.exe -- micro-compile --out BENCH_compile.json
+
+# Regression sentinel: the latest trajectory entry of the committed
+# baseline must stay within the noise threshold of the trailing median
+# per micro-benchmark (see lib/benchkit/benchwatch.mli for the policy).
+bench-gate:
+	dune exec tools/benchwatch.exe -- BENCH_compile.json
 
 resume-smoke:
 	tools/resume_smoke.sh

@@ -278,6 +278,7 @@ let micro () =
      registry into the measurements. *)
   Obs_metrics.set_enabled false;
   Obs_trace.set_enabled false;
+  Nisq_obs.Events.set_enabled false;
   let obs_counter = Obs_metrics.counter "bench.obs.counter" in
   let pool = Pool.default () in
   let calib = Ibmq16.calibration ~day:0 () in
@@ -343,6 +344,10 @@ let micro () =
                Obs_trace.with_span "bench" (fun () -> Sys.opaque_identity 0)));
         Test.make ~name:"obs:counter-incr"
           (stage (fun () -> Obs_metrics.incr obs_counter));
+        Test.make ~name:"obs:event-disabled"
+          (stage (fun () ->
+               Nisq_obs.Events.emit ~domain:"bench" Nisq_obs.Events.Debug
+                 "tick"));
       ]
       @ compile_path_tests ())
   in
@@ -602,6 +607,8 @@ let dispatch opts run =
 
 let () =
   let opts = parse_args () in
+  Nisq_obs.Telemetry.set_sink Atomic_io.write_file;
+  Nisq_obs.Telemetry.init_from_env ();
   Nisq_faultkit.Faultkit.init_from_env ();
   (* NISQ_SOLVER_DOMAINS/NISQ_SOLVER_PORTFOLIO switch the compile paths
      inside figure cells onto the parallel solver, exactly as in nisqc;
@@ -657,7 +664,12 @@ let () =
             "[nisq-bench] run %s completed (%d cells replayed, %d computed)\n%!"
             (Run.id r) cached computed;
           Run.finish r ~status:"completed")
-        run
+        run;
+      (* Flush any NISQ_EVENTS/NISQ_PROM destinations armed above. *)
+      if
+        Nisq_obs.Telemetry.events_path () <> None
+        || Nisq_obs.Telemetry.prom_path () <> None
+      then Nisq_obs.Telemetry.finish ()
   | exception Deadline.Cancelled reason ->
       let status =
         match reason with

@@ -26,6 +26,9 @@ module Runner = Nisq_sim.Runner
 module Telemetry = Nisq_obs.Telemetry
 module Obs_clock = Nisq_obs.Clock
 module Obs_json = Nisq_obs.Json
+module Obs_metrics = Nisq_obs.Metrics
+module Report = Nisq_obs.Report
+module Atomic_io = Nisq_runkit.Atomic_io
 module Deadline = Nisq_runkit.Deadline
 module Ledger = Nisq_runkit.Run
 module Signals = Nisq_runkit.Signals
@@ -177,6 +180,30 @@ let metrics_arg =
         ~doc:
           "Dump the metrics registry (counters, gauges, histograms) after            the command. Env: $(b,NISQ_METRICS=1).")
 
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Record the structured event ledger (warnings, cache and            sanitizer notices) and write it to $(docv) as JSONL at exit.            Env: $(b,NISQ_EVENTS).")
+
+let prom_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"FILE"
+        ~doc:
+          "Write a Prometheus text-format scrape of the metrics registry            to $(docv) at exit. Env: $(b,NISQ_PROM).")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured explain report (JSON) of the compile to            $(docv): ESP decomposition per qubit and link, solver evidence            (rung, nodes, bound-ladder prunes), cache provenance and            per-phase timings. Collection never changes the compile —            output is byte-identical either way.")
+
 let inject_arg =
   Arg.(
     value
@@ -278,9 +305,22 @@ let solver_domains_arg =
         ~doc:
           "Enable the deterministic parallel solver with $(docv) dedicated            worker domains ($(docv) = 0 runs the same parallel algorithm            on a sequential pool — assignment, objective and node counts            are byte-identical for every $(docv)). Env:            $(b,NISQ_SOLVER_DOMAINS); set $(b,NISQ_SOLVER_PORTFOLIO=1) to            race variable orderings instead of fanning out subtrees.")
 
-let setup_telemetry ?inject ?solver_domains trace metrics =
+let setup_telemetry ?inject ?solver_domains ?events ?prom ?report trace metrics =
+  (* The obs layer cannot link runkit; upgrade its file writer to the
+     crash-safe one here, once, before anything can flush. *)
+  Telemetry.set_sink Atomic_io.write_file;
   Telemetry.init_from_env ();
-  Telemetry.configure ?trace ?metrics:(if metrics then Some true else None) ();
+  Telemetry.configure ?trace
+    ?metrics:(if metrics then Some true else None)
+    ?events ?prom ();
+  (match report with
+  | Some _ ->
+      (* Cache provenance in the report is counter deltas, so the
+         registry must collect; --report alone does not print the
+         metrics table. *)
+      Report.set_enabled true;
+      Obs_metrics.set_enabled true
+  | None -> ());
   Nisq_solver.Parallel.init_from_env ();
   (match solver_domains with
   | Some n -> Nisq_solver.Parallel.configure ~domains:n ()
@@ -353,8 +393,8 @@ let describe_result name (r : Compile.t) =
 
 let compile_cmd =
   let run program method_ routing movement day seed emit_qasm diagram trace
-      metrics inject deadline solver_domains =
-    setup_telemetry ?inject ?solver_domains trace metrics;
+      metrics events prom report inject deadline solver_domains =
+    setup_telemetry ?inject ?solver_domains ?events ?prom ?report trace metrics;
     with_cancellation deadline @@ fun () ->
     let name, circuit, _ = load_program program in
     let calib = effective_calibration ~seed ~day () in
@@ -369,6 +409,11 @@ let compile_cmd =
       print_endline "compiled OpenQASM:";
       print_string (Compile.to_qasm r)
     end;
+    (match (report, r.Compile.report) with
+    | Some path, Some rep ->
+        Atomic_io.write_json ~path (Report.to_json rep);
+        Printf.eprintf "explain report written to %s\n%!" path
+    | _ -> ());
     Telemetry.finish ()
   in
   let qasm_arg =
@@ -382,14 +427,18 @@ let compile_cmd =
     Term.(
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
       $ day_arg $ seed_arg $ qasm_arg $ diagram_arg $ trace_arg $ metrics_arg
-      $ inject_arg $ deadline_arg $ solver_domains_arg)
+      $ events_arg $ prom_arg $ report_arg $ inject_arg $ deadline_arg
+      $ solver_domains_arg)
 
 (* -------------------------------- run ------------------------------ *)
 
 let run_cmd =
   let run program method_ routing movement day seed trials sim_seed trace
-      metrics inject deadline run_id resume force solver_domains =
-    setup_telemetry ?inject ?solver_domains trace metrics;
+      metrics events prom inject deadline run_id resume force solver_domains =
+    setup_telemetry ?inject ?solver_domains ?events ?prom trace metrics;
+    (* The summary's chunk-latency percentiles read the sim histogram,
+       so the registry collects during `run` regardless of --metrics. *)
+    Obs_metrics.set_enabled true;
     let identity =
       Obs_json.Obj
         [
@@ -427,14 +476,19 @@ let run_cmd =
           (if e = Runner.ideal_answer runner then "matches" else "MISMATCH")
     | None -> ());
     Printf.printf "success rate : %.4f over %d trials\n" success trials;
-    let workers =
-      match Nisq_util.Pool.size pool with
-      | n when n > 1 -> Printf.sprintf "%d worker domains" n
-      | _ -> "sequential"
-    in
-    Printf.printf "sim wall     : %.3f s (%.0f trials/s, %s)\n" wall_s
-      (Float.of_int trials /. Float.max wall_s 1e-9)
-      workers;
+    (* Pool-size-independent summary: throughput plus chunk-latency
+       percentiles from the sim histogram — the worker count lives in
+       the metrics/trace output, not here. *)
+    Printf.printf "sim wall     : %.3f s (%.0f trials/s)\n" wall_s
+      (Float.of_int trials /. Float.max wall_s 1e-9);
+    let h = Obs_metrics.histogram "sim.chunk_latency_ns" in
+    let chunks = Obs_metrics.histogram_count h in
+    if chunks > 0 then begin
+      let q p = Obs_metrics.quantile h p /. 1e6 in
+      Printf.printf
+        "chunk latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms (%d chunks)\n"
+        (q 0.5) (q 0.95) (q 0.99) chunks
+    end;
     Telemetry.finish ()
   in
   let trials_arg =
@@ -450,8 +504,8 @@ let run_cmd =
     Term.(
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
       $ day_arg $ seed_arg $ trials_arg $ sim_seed_arg $ trace_arg
-      $ metrics_arg $ inject_arg $ deadline_arg $ run_id_arg $ resume_arg
-      $ resume_force_arg $ solver_domains_arg)
+      $ metrics_arg $ events_arg $ prom_arg $ inject_arg $ deadline_arg
+      $ run_id_arg $ resume_arg $ resume_force_arg $ solver_domains_arg)
 
 (* ---------------------------- calibration -------------------------- *)
 

@@ -1,0 +1,157 @@
+module Json = Nisq_obs.Json
+
+type verdict = {
+  name : string;
+  latest_ns : float;
+  baseline_ns : float option;
+  ratio : float option;
+  regressed : bool;
+}
+
+type analysis = {
+  latest_date : string;
+  baseline_entries : int;
+  threshold : float;
+  verdicts : verdict list;
+  failures : int;
+}
+
+let ( let* ) = Result.bind
+
+(* One trajectory entry, decoded: date plus (name, ns_per_run) rows in
+   file order. *)
+let decode_entry i e =
+  let ctx = Printf.sprintf "trajectory entry %d" i in
+  let* date =
+    match Json.member "date" e with
+    | Some (Json.String d) -> Ok d
+    | _ -> Error (ctx ^ ": missing or non-string \"date\"")
+  in
+  let* rows =
+    match Json.member "benchmarks" e with
+    | Some (Json.List bs) ->
+        List.fold_left
+          (fun acc b ->
+            let* acc = acc in
+            let* name =
+              match Json.member "name" b with
+              | Some (Json.String s) -> Ok s
+              | _ -> Error (ctx ^ ": benchmark missing a string \"name\"")
+            in
+            let* ns =
+              match Json.member "ns_per_run" b with
+              | Some (Json.Float f) -> Ok f
+              | Some (Json.Int n) -> Ok (Float.of_int n)
+              | _ ->
+                  Error
+                    (Printf.sprintf "%s: %s: missing numeric \"ns_per_run\""
+                       ctx name)
+            in
+            Ok ((name, ns) :: acc))
+          (Ok []) bs
+        |> Result.map List.rev
+    | _ -> Error (ctx ^ ": missing \"benchmarks\" list")
+  in
+  Ok (date, rows)
+
+let decode_trajectory v =
+  match Json.member "schema" v with
+  | Some (Json.String "nisq-bench-compile/2") -> (
+      match Json.member "trajectory" v with
+      | Some (Json.List (_ :: _ as entries)) ->
+          List.fold_left
+            (fun (acc, i) e ->
+              match acc with
+              | Error _ -> (acc, i)
+              | Ok rest ->
+                  ( (let* d = decode_entry i e in
+                     Ok (d :: rest)),
+                    i + 1 ))
+            (Ok [], 0) entries
+          |> fst
+          |> Result.map List.rev
+      | Some (Json.List []) -> Error "\"trajectory\" is empty"
+      | _ -> Error "missing \"trajectory\" list")
+  | Some (Json.String "nisq-bench-compile/1") ->
+      (* One implicit, undated entry: no history, vacuous pass. *)
+      let* d = decode_entry 0 (Json.Obj [ ("date", Json.String "legacy"); ("benchmarks", Option.value ~default:Json.Null (Json.member "benchmarks" v)) ]) in
+      Ok [ d ]
+  | Some (Json.String s) -> Error (Printf.sprintf "unknown schema %S" s)
+  | _ -> Error "missing \"schema\""
+
+let median = function
+  | [] -> None
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      Some
+        (if n mod 2 = 1 then a.(n / 2)
+         else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0)
+
+let analyze ?(threshold = 1.5) ?(window = 5) v =
+  if not (threshold > 0.0) then invalid_arg "Benchwatch.analyze: threshold";
+  if window < 1 then invalid_arg "Benchwatch.analyze: window";
+  let* entries = decode_trajectory v in
+  let latest_date, latest = List.nth entries (List.length entries - 1) in
+  let prior =
+    (* trailing [window] entries just before the latest, newest first *)
+    let before = List.filteri (fun i _ -> i < List.length entries - 1) entries in
+    let rev = List.rev before in
+    List.filteri (fun i _ -> i < window) rev
+  in
+  let baseline name =
+    median
+      (List.filter_map
+         (fun (_, rows) -> List.assoc_opt name rows)
+         prior)
+  in
+  let verdicts =
+    List.map
+      (fun (name, latest_ns) ->
+        match baseline name with
+        | Some b when b > 0.0 ->
+            let ratio = latest_ns /. b in
+            {
+              name;
+              latest_ns;
+              baseline_ns = Some b;
+              ratio = Some ratio;
+              regressed = ratio > threshold;
+            }
+        | _ ->
+            { name; latest_ns; baseline_ns = None; ratio = None; regressed = false })
+      latest
+  in
+  Ok
+    {
+      latest_date;
+      baseline_entries = List.length prior;
+      threshold;
+      verdicts;
+      failures =
+        List.length (List.filter (fun v -> v.regressed) verdicts);
+    }
+
+let render a =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf
+    "benchwatch: latest entry %s vs median of %d prior entr%s (threshold %.2fx)\n"
+    a.latest_date a.baseline_entries
+    (if a.baseline_entries = 1 then "y" else "ies")
+    a.threshold;
+  List.iter
+    (fun v ->
+      match (v.baseline_ns, v.ratio) with
+      | Some b, Some r ->
+          Printf.bprintf buf "  %-36s %12.0f ns  baseline %12.0f ns  %5.2fx  %s\n"
+            v.name v.latest_ns b r
+            (if v.regressed then "REGRESSED" else "ok")
+      | _ ->
+          Printf.bprintf buf "  %-36s %12.0f ns  (new benchmark, no baseline)\n"
+            v.name v.latest_ns)
+    a.verdicts;
+  Printf.bprintf buf "benchwatch: %s (%d of %d benchmarks regressed)\n"
+    (if a.failures = 0 then "PASS" else "FAIL")
+    a.failures (List.length a.verdicts);
+  Buffer.contents buf

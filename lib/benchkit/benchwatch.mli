@@ -1,0 +1,56 @@
+(** Bench-trajectory regression sentinel.
+
+    [BENCH_compile.json] (schema [nisq-bench-compile/2]) carries a
+    dated trajectory of micro-benchmark entries, appended by
+    [make bench-compile]. This module compares the {e latest} entry
+    against a trailing baseline — per benchmark, the median of its
+    [ns_per_run] over up to [window] prior entries — and flags any
+    benchmark whose latest/baseline ratio exceeds [threshold].
+
+    The median baseline absorbs single-run noise and machine drift;
+    the threshold (default 1.5×) is deliberately loose, because
+    Bechamel estimates on shared CI hardware wobble — the sentinel is
+    for the 2× cliffs a bad commit causes, not 5% regressions.
+
+    Policy decisions, all vacuously passing rather than failing:
+    - a trajectory with fewer than two entries has no baseline;
+    - a benchmark appearing only in the latest entry is {e new} and is
+      reported but never failed;
+    - a benchmark present earlier but missing from the latest entry is
+      ignored here — the [jsonlint --bench] name-set check owns that;
+    - non-positive baselines (a pathological 0 estimate) are skipped.
+
+    [tools/benchwatch] wraps {!analyze} as the [make bench-gate] CI
+    command; the test suite drives it with synthetic trajectories. *)
+
+type verdict = {
+  name : string;
+  latest_ns : float;
+  baseline_ns : float option;  (** [None]: new benchmark, no history *)
+  ratio : float option;  (** [latest_ns /. baseline] when both exist *)
+  regressed : bool;  (** [ratio > threshold] *)
+}
+
+type analysis = {
+  latest_date : string;
+  baseline_entries : int;  (** prior entries feeding the baselines *)
+  threshold : float;
+  verdicts : verdict list;  (** latest entry's benchmarks, file order *)
+  failures : int;  (** count of [regressed] verdicts *)
+}
+
+val analyze :
+  ?threshold:float ->
+  ?window:int ->
+  Nisq_obs.Json.t ->
+  (analysis, string) result
+(** Analyze a parsed baseline document. [threshold] (default [1.5]) is
+    the latest/baseline ratio above which a benchmark fails; [window]
+    (default [5]) caps how many trailing prior entries feed the median.
+    [Error] on a document that is not a [nisq-bench-compile/1] or [/2]
+    baseline ([/1] files have one implicit entry and therefore always
+    pass). *)
+
+val render : analysis -> string
+(** Human-readable table: one line per verdict (name, latest,
+    baseline, ratio, status) plus a PASS/FAIL summary line. *)

@@ -7,6 +7,8 @@ module Topology = Nisq_device.Topology
 module Paths = Nisq_device.Paths
 module Trace = Nisq_obs.Trace
 module Metrics = Nisq_obs.Metrics
+module Report = Nisq_obs.Report
+module Events = Nisq_obs.Events
 module Deadline = Nisq_runkit.Deadline
 
 let m_compiles = Metrics.counter "compiler.compiles"
@@ -98,11 +100,64 @@ type t = {
   compile_seconds : float;
   solver_stats : Nisq_solver.Budget.stats option;
   rung : rung option;
+  report : Report.t option;
 }
 
 (* Second-rung budget: small enough to finish fast when the configured
    budget has already blown, node-only so the result is deterministic. *)
 let fallback_budget = Nisq_solver.Budget.nodes 20_000
+
+(* ------------------------- explain reports ------------------------- *)
+
+let movement_name = function
+  | Config.Swap_back -> "swap-back"
+  | Config.Move_and_stay -> "move-and-stay"
+
+let config_kvs (config : Config.t) =
+  [
+    ("name", Config.name config);
+    ("routing", Config.routing_name config.Config.routing);
+    ("movement", movement_name config.Config.movement);
+    ("uses_calibration", string_of_bool (Config.uses_calibration config));
+  ]
+
+(* Cache provenance is attributed by counter deltas around the compile:
+   the registry is armed whenever reports are, and report assembly only
+   ever reads counters, so the deltas are exactly this compile's. *)
+let cache_counter_snapshot () =
+  if not (Report.enabled ()) then []
+  else Metrics.counter_values ()
+
+let caches_of_delta before after =
+  let delta name =
+    Option.value (List.assoc_opt name after) ~default:0
+    - Option.value (List.assoc_opt name before) ~default:0
+  in
+  let table n =
+    {
+      Report.cache = n;
+      hits = delta (Printf.sprintf "cache.%s.hit" n);
+      misses = delta (Printf.sprintf "cache.%s.miss" n);
+    }
+  in
+  { Report.cache = "total"; hits = delta "cache.hit"; misses = delta "cache.miss" }
+  :: List.map table (Nisq_device.Calib_cache.registered_names ())
+
+let solver_report solver_stats rung =
+  match solver_stats with
+  | None -> None
+  | Some (s : Nisq_solver.Budget.stats) ->
+      Some
+        {
+          Report.rung =
+            (match rung with Some r -> rung_name r | None -> "-");
+          mode = Nisq_solver.Parallel.mode_tag ();
+          nodes_visited = s.Nisq_solver.Budget.nodes_visited;
+          elapsed_seconds = s.Nisq_solver.Budget.elapsed_seconds;
+          proven_optimal = s.Nisq_solver.Budget.proven_optimal;
+          degraded = s.Nisq_solver.Budget.degraded;
+          bound_hits = s.Nisq_solver.Budget.bound_hits;
+        }
 
 let criterion_of (config : Config.t) : Route.criterion =
   match config.method_ with
@@ -119,6 +174,30 @@ let run ~(config : Config.t) ~calib circuit =
      tearing down. *)
   Deadline.raise_if_cancelled ();
   Metrics.incr m_compiles;
+  let cache_before = cache_counter_snapshot () in
+  let phase_log = ref [] in
+  (* [measured name f] is [Trace.with_span name f] plus, when a report
+     is being assembled, per-phase wall and GC accounting. *)
+  let measured name f =
+    if not (Report.enabled ()) then Trace.with_span name f
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let g0 = Gc.quick_stat () in
+      Fun.protect
+        ~finally:(fun () ->
+          let g1 = Gc.quick_stat () in
+          phase_log :=
+            {
+              Report.phase = name;
+              wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+              minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+              major_words = g1.Gc.major_words -. g0.Gc.major_words;
+            }
+            :: !phase_log)
+        (fun () -> Trace.with_span name f)
+    end
+  in
+  let cache_bypassed = ref false in
   let started = Unix.gettimeofday () in
   let program = Decompose.lower_swaps circuit in
   let dag = Dag.of_circuit program in
@@ -171,7 +250,18 @@ let run ~(config : Config.t) ~calib circuit =
      injected blow always exercises the live ladder instead of replaying
      a healthy cached layout. *)
   let cached_ladder solve greedy =
-    if Nisq_faultkit.Faultkit.solver_blow () then solver_ladder solve greedy
+    if Nisq_faultkit.Faultkit.solver_blow () then begin
+      cache_bypassed := true;
+      Events.emit ~domain:"cache" Events.Info
+        "layout cache bypassed: solver fault injection active"
+        ~fields:
+          [
+            ("memo", "compiler.layout");
+            ("program", program.Circuit.name);
+            ("config", Config.name config);
+          ];
+      solver_ladder solve greedy
+    end
     else
       let assignment, stats, rung =
         Nisq_device.Calib_cache.find_shared layout_memo
@@ -185,7 +275,7 @@ let run ~(config : Config.t) ~calib circuit =
         rung )
   in
   let layout, solver_stats, rung =
-    Trace.with_span "layout" @@ fun () ->
+    measured "layout" @@ fun () ->
     match config.method_ with
     | Config.Qiskit ->
         ( Layout.identity ~num_prog:program.Circuit.num_qubits
@@ -217,7 +307,7 @@ let run ~(config : Config.t) ~calib circuit =
     else Nisq_device.Calib_cache.paths calib
   in
   let scheduled_circuit, plan, final_positions, swap_count, compile_seconds =
-    Trace.with_span "route" @@ fun () ->
+    measured "route" @@ fun () ->
     match config.Config.movement with
     | Config.Swap_back ->
         (* The paper's static model: plan over the program circuit, SWAPs
@@ -261,11 +351,11 @@ let run ~(config : Config.t) ~calib circuit =
     if scheduled_circuit == program then dag else Dag.of_circuit scheduled_circuit
   in
   let schedule =
-    Trace.with_span "schedule" @@ fun () ->
+    measured "schedule" @@ fun () ->
     Schedule.compute sched_dag ~circuit:scheduled_circuit plan
   in
   let phys, hw_circuit =
-    Trace.with_span "emit" @@ fun () ->
+    measured "emit" @@ fun () ->
     let phys = Emit.physical_ops calib scheduled_circuit schedule plan in
     (phys, Emit.to_circuit ~num_hw phys)
   in
@@ -278,6 +368,25 @@ let run ~(config : Config.t) ~calib circuit =
     Metrics.set g_esp_readout r;
     Metrics.set g_esp_single s1
   end;
+  let report =
+    if not (Report.enabled ()) then None
+    else
+      Some
+        {
+          Report.program = program.Circuit.name;
+          qubits = program.Circuit.num_qubits;
+          hw_qubits = num_hw;
+          config = config_kvs config;
+          duration = schedule.Schedule.makespan;
+          swap_count;
+          compile_seconds;
+          esp = Reliability.esp_breakdown calib phys;
+          solver = solver_report solver_stats rung;
+          cache_bypassed = !cache_bypassed;
+          caches = caches_of_delta cache_before (cache_counter_snapshot ());
+          phases = List.rev !phase_log;
+        }
+  in
   {
     config;
     program;
@@ -294,6 +403,7 @@ let run ~(config : Config.t) ~calib circuit =
     compile_seconds;
     solver_stats;
     rung;
+    report;
   }
 
 let best_of ~configs ~calib circuit =

@@ -38,6 +38,12 @@ type t = {
   solver_stats : Nisq_solver.Budget.stats option;
       (** SMT variants only; the stats of the last rung attempted *)
   rung : rung option;  (** SMT variants only *)
+  report : Nisq_obs.Report.t option;
+      (** Explain report, assembled iff [Nisq_obs.Report.enabled ()] at
+          compile time: ESP decomposition, solver evidence (rung, bound
+          ladder, parallel mode), cache hit/miss provenance and
+          per-phase wall/GC stats. Collection never changes the compile
+          itself — output and metrics are byte-identical either way. *)
 }
 
 val run :

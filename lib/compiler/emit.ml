@@ -9,14 +9,19 @@ type phys = {
   start : int;
   duration : int;
   src_gate : int;
+  routing : bool;
 }
 
 (* A SWAP on edge (a,b) lasting [dur] = 3 sequential CNOTs of dur/3. *)
 let emit_swap acc ~src ~start ~dur a b =
   let d = dur / 3 in
-  acc := { kind = Gate.Cnot; qubits = [| a; b |]; start; duration = d; src_gate = src } :: !acc;
-  acc := { kind = Gate.Cnot; qubits = [| b; a |]; start = start + d; duration = d; src_gate = src } :: !acc;
-  acc := { kind = Gate.Cnot; qubits = [| a; b |]; start = start + (2 * d); duration = d; src_gate = src } :: !acc
+  let cnot qubits start =
+    { kind = Gate.Cnot; qubits; start; duration = d; src_gate = src;
+      routing = true }
+  in
+  acc := cnot [| a; b |] start :: !acc;
+  acc := cnot [| b; a |] (start + d) :: !acc;
+  acc := cnot [| a; b |] (start + (2 * d)) :: !acc
 
 let expand_cnot acc ~src ~start calib (route : Paths.route) =
   let path = route.Paths.path in
@@ -33,7 +38,8 @@ let expand_cnot acc ~src ~start calib (route : Paths.route) =
   let a = path.(k - 1) and b = path.(k) in
   let d = Calibration.cnot_duration calib a b in
   acc :=
-    { kind = Gate.Cnot; qubits = [| a; b |]; start = !t; duration = d; src_gate = src }
+    { kind = Gate.Cnot; qubits = [| a; b |]; start = !t; duration = d;
+      src_gate = src; routing = false }
     :: !acc;
   t := !t + d;
   (* backward swaps restore the placement *)
@@ -63,7 +69,7 @@ let physical_ops calib (circuit : Circuit.t) (sched : Schedule.t)
       | kind, _ ->
           acc :=
             { kind; qubits = Array.copy p.Route.hw; start = e.Schedule.start;
-              duration = e.Schedule.duration; src_gate = i }
+              duration = e.Schedule.duration; src_gate = i; routing = false }
             :: !acc)
     circuit.Circuit.gates;
   let ops = Array.of_list (List.rev !acc) in

@@ -12,6 +12,12 @@ type phys = {
   start : int;  (** timeslot *)
   duration : int;
   src_gate : int;  (** originating program gate id *)
+  routing : bool;
+      (** [true] for CNOTs that exist only to move states — the 3-CNOT
+          expansions of route SWAPs and movement SWAPs. The core CNOT
+          of a routed interaction and every other hardware op carry
+          [false]. The ESP decomposition splits on this flag: the
+          product over non-routing ops is the untouched-circuit bound. *)
 }
 
 val physical_ops :

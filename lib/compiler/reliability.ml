@@ -74,3 +74,82 @@ let esp ?(include_single = true) calib (ops : Emit.phys array) =
             acc *. (1.0 -. calib.Calibration.single_error.(op.qubits.(0)))
           else acc)
     1.0 ops
+
+(* ----------------------- ESP decomposition ------------------------ *)
+
+type group = {
+  mutable g_ops : int;
+  g_reliability : float; (* first occurrence, representative *)
+  mutable g_contribution : float;
+}
+
+(* Per-(channel, site) reliability terms of the compiled stream, plus
+   the untouched-circuit bound: the ESP the same stream would have if
+   every routing SWAP were free. Groups appear in stream order of
+   first occurrence — deterministic because the phys stream is. *)
+let esp_breakdown ?(include_single = true) calib (ops : Emit.phys array) =
+  let tbl : (string * string, group) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let touch channel site r =
+    let key = (channel, site) in
+    match Hashtbl.find_opt tbl key with
+    | Some g ->
+        g.g_ops <- g.g_ops + 1;
+        g.g_contribution <- g.g_contribution *. r
+    | None ->
+        Hashtbl.add tbl key
+          { g_ops = 1; g_reliability = r; g_contribution = r };
+        order := key :: !order
+  in
+  let qubit_site q = Printf.sprintf "q%d" q in
+  let link_site a b =
+    Printf.sprintf "e%d-%d" (Int.min a b) (Int.max a b)
+  in
+  let untouched = ref 1.0 in
+  Array.iter
+    (fun (op : Emit.phys) ->
+      match op.Emit.kind with
+      | Gate.Cnot ->
+          let a = op.qubits.(0) and b = op.qubits.(1) in
+          let r = Calibration.cnot_reliability calib a b in
+          if op.routing then touch "swap" (link_site a b) r
+          else begin
+            touch "cnot" (link_site a b) r;
+            untouched := !untouched *. r
+          end
+      | Gate.Measure ->
+          let q = op.qubits.(0) in
+          let r = Calibration.readout_reliability calib q in
+          touch "readout" (qubit_site q) r;
+          untouched := !untouched *. r
+      | Gate.Barrier | Gate.Swap -> ()
+      | Gate.H | Gate.X | Gate.Y | Gate.Z | Gate.S | Gate.Sdg | Gate.T
+      | Gate.Tdg | Gate.Rz _ | Gate.Rx _ | Gate.Ry _ ->
+          if include_single then begin
+            let q = op.qubits.(0) in
+            let r = 1.0 -. calib.Calibration.single_error.(q) in
+            touch "single" (qubit_site q) r;
+            untouched := !untouched *. r
+          end)
+    ops;
+  let predicted = esp ~include_single calib ops in
+  let terms =
+    List.rev_map
+      (fun ((channel, site) as key) ->
+        let g = Hashtbl.find tbl key in
+        {
+          Nisq_obs.Report.channel;
+          site;
+          ops = g.g_ops;
+          reliability = g.g_reliability;
+          contribution = g.g_contribution;
+        })
+      !order
+  in
+  {
+    Nisq_obs.Report.predicted;
+    untouched_bound = !untouched;
+    routing_overhead =
+      (if predicted > 0.0 then !untouched /. predicted else 1.0);
+    terms;
+  }

@@ -40,3 +40,17 @@ val esp :
 (** Estimated success probability: Π (1 − error) over the physical gate
     stream — CNOTs and readouts always, single-qubit gates when
     [include_single] (default true). *)
+
+val esp_breakdown :
+  ?include_single:bool ->
+  Nisq_device.Calibration.t ->
+  Emit.phys array ->
+  Nisq_obs.Report.esp
+(** {!esp} decomposed for the explain report: one term per
+    [(channel, site)] group — per-qubit readout and single-qubit
+    terms, per-link core-CNOT terms, per-link routing-SWAP terms
+    ([Emit.phys.routing]) — in stream order of first occurrence. The
+    terms multiply back to [predicted] (which equals {!esp} exactly)
+    up to float reassociation; [untouched_bound] is the product over
+    non-routing ops only, the ESP no routing could beat;
+    [routing_overhead] is their ratio (>= 1). *)

@@ -64,12 +64,39 @@ let digest c =
    recency bookkeeping would cost more than the rare recompute. *)
 let capacity = 64
 
-type 'a memo = { name : string; tbl : (string, 'a) Hashtbl.t }
+type 'a memo = {
+  name : string;
+  tbl : (string, 'a) Hashtbl.t;
+  c_hit : Metrics.counter; (* per-memo provenance for explain reports *)
+  c_miss : Metrics.counter;
+}
 
 let memos : (unit -> unit) list ref = ref []
 
+(* Every memo keeps per-table "cache.<name>.{hit,miss}" counters next
+   to the global pair, so an explain report can attribute which tables
+   served a compile. Registered names are recorded for the report
+   assembly to enumerate. *)
+let memo_names : string list ref = ref []
+
+let register_name name =
+  with_lock (fun () ->
+      if not (List.mem name !memo_names) then
+        memo_names := name :: !memo_names)
+
+let registered_names () =
+  with_lock (fun () -> List.sort compare !memo_names)
+
 let memo name =
-  let m = { name; tbl = Hashtbl.create 16 } in
+  let m =
+    {
+      name;
+      tbl = Hashtbl.create 16;
+      c_hit = Metrics.counter ("cache." ^ name ^ ".hit");
+      c_miss = Metrics.counter ("cache." ^ name ^ ".miss");
+    }
+  in
+  register_name name;
   with_lock (fun () -> memos := (fun () -> Hashtbl.reset m.tbl) :: !memos);
   m
 
@@ -88,9 +115,11 @@ let find m ?salt calib ~compute =
   match Hashtbl.find_opt m.tbl key with
   | Some v ->
       Metrics.incr m_hit;
+      Metrics.incr m.c_hit;
       v
   | None ->
       Metrics.incr m_miss;
+      Metrics.incr m.c_miss;
       let v = compute () in
       if Hashtbl.length m.tbl >= capacity then Hashtbl.reset m.tbl;
       Hashtbl.replace m.tbl key v;
@@ -117,10 +146,20 @@ type 'a shared_entry = Done of 'a | Building of 'a build
 type 'a shared_memo = {
   sname : string;
   stbl : (string, 'a shared_entry) Hashtbl.t;
+  sc_hit : Metrics.counter;
+  sc_miss : Metrics.counter;
 }
 
 let shared_memo name =
-  let m = { sname = name; stbl = Hashtbl.create 16 } in
+  let m =
+    {
+      sname = name;
+      stbl = Hashtbl.create 16;
+      sc_hit = Metrics.counter ("cache." ^ name ^ ".hit");
+      sc_miss = Metrics.counter ("cache." ^ name ^ ".miss");
+    }
+  in
+  register_name name;
   with_lock (fun () -> memos := (fun () -> Hashtbl.reset m.stbl) :: !memos);
   m
 
@@ -132,12 +171,15 @@ let rec find_shared_key m key ~compute =
     match Hashtbl.find_opt m.stbl key with
     | Some (Done v) ->
         Metrics.incr m_hit;
+        Metrics.incr m.sc_hit;
         `Hit v
     | Some (Building b) ->
         Metrics.incr m_hit;
+        Metrics.incr m.sc_hit;
         `Wait b
     | None ->
         Metrics.incr m_miss;
+        Metrics.incr m.sc_miss;
         let b =
           { bm = Mutex.create (); bc = Condition.create (); outcome = Pending }
         in

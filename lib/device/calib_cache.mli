@@ -46,8 +46,14 @@ type 'a memo
     derived value. *)
 
 val memo : string -> 'a memo
-(** Create a memo. The name labels it in [clear]-style debugging only;
+(** Create a memo. The name labels the per-table
+    ["cache.<name>.hit"]/["cache.<name>.miss"] counters feeding explain
+    reports (alongside the global ["cache.hit"]/["cache.miss"] pair);
     distinct memos never share entries even under equal names. *)
+
+val registered_names : unit -> string list
+(** Every memo/shared-memo name registered so far, sorted — the tables
+    a report's cache-provenance section should enumerate. *)
 
 val find : 'a memo -> ?salt:string -> Calibration.t -> compute:(unit -> 'a) -> 'a
 (** [find m calib ~compute] returns the cached value for [digest calib]

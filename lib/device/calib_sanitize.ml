@@ -417,6 +417,34 @@ let sanitize ?previous (r : raw) =
   Metrics.add m_repairs (repairs report);
   Metrics.add m_quar_qubits (List.length report.quarantined_qubits);
   Metrics.add m_quar_links (List.length report.quarantined_links);
+  (* Ledger-only notices (info severity — the CLI already prints the
+     rendered summary on stdout, so no new stderr text appears): one
+     per quarantined resource plus a summary for an unclean pass. *)
+  if not (is_clean report) then begin
+    let module Events = Nisq_obs.Events in
+    List.iter
+      (fun q ->
+        Events.emit ~domain:"sanitize" Events.Info
+          (Printf.sprintf "quarantined qubit %d" q)
+          ~fields:[ ("qubit", string_of_int q); ("day", string_of_int r.day) ])
+      report.quarantined_qubits;
+    List.iter
+      (fun (a, b) ->
+        Events.emit ~domain:"sanitize" Events.Info
+          (Printf.sprintf "quarantined link %d-%d" a b)
+          ~fields:
+            [ ("link", Printf.sprintf "%d-%d" a b);
+              ("day", string_of_int r.day) ])
+      report.quarantined_links;
+    Events.emit ~domain:"sanitize" Events.Info
+      (Printf.sprintf
+         "calibration sanitized: %d repairs, %d qubits and %d links \
+          quarantined"
+         (repairs report)
+         (List.length report.quarantined_qubits)
+         (List.length report.quarantined_links))
+      ~fields:[ ("day", string_of_int r.day) ]
+  end;
   (calib, report)
 
 let render r =

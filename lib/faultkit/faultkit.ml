@@ -156,7 +156,9 @@ let init_from_env () =
       | Error msg ->
           if not !env_warned then (
             env_warned := true;
-            Printf.eprintf "nisq: ignoring malformed NISQ_FAULTS: %s\n%!" msg))
+            Nisq_obs.Events.emit ~domain:"faultkit" Nisq_obs.Events.Warn
+              (Printf.sprintf "nisq: ignoring malformed NISQ_FAULTS: %s" msg)
+              ~fields:[ ("env", "NISQ_FAULTS"); ("reason", msg) ]))
 
 let active () =
   with_lock (fun () -> Option.map (fun s -> s.source) !armed)

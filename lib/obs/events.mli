@@ -1,0 +1,90 @@
+(** Structured event ledger: bounded per-domain ring buffers.
+
+    Libraries report notable conditions (a malformed environment
+    variable, a cache bypassed under fault injection, a quarantined
+    qubit) as structured events instead of bare [Printf.eprintf]
+    calls. Each OCaml domain owns a fixed-capacity ring; a full ring
+    drops its {e oldest} event and bumps a drop counter, so a noisy
+    run degrades to "most recent N events per domain" instead of
+    unbounded memory. At flush time the rings are merged and sorted
+    into one timeline (see {!events} / {!export_jsonl}).
+
+    {2 Cost model}
+
+    The ledger is disabled by default. A disabled {!emit} below
+    {!Warn} severity is one mutable-ref read, one branch and a
+    severity comparison — no allocation, no atomic traffic; the
+    [obs:event-disabled] micro-benchmark pins it within noise of a
+    no-op call. [Warn]/[Error] events additionally echo their message
+    to stderr {e even while disabled}, so user-facing warning text
+    does not depend on telemetry being armed.
+
+    {2 Merge protocol}
+
+    Rings need no synchronization on the emit path: each domain
+    mutates only its own ring (found via [Domain.DLS]). A global list
+    of rings, guarded by a mutex, exists solely so readers can find
+    them; {!events} snapshots every ring and sorts by
+    [(ts_ns, tid, seq)] — [seq] is a per-ring monotonic counter, so
+    same-timestamp events from one domain keep emission order. *)
+
+type severity = Debug | Info | Warn | Error
+
+val severity_name : severity -> string
+(** ["debug"] / ["info"] / ["warn"] / ["error"]. *)
+
+type event = {
+  seq : int;  (** per-ring emission index, monotonic within [tid] *)
+  ts_ns : int64;  (** monotonic clock, same base as {!Trace} spans *)
+  tid : int;  (** OCaml domain id that emitted the event *)
+  domain : string;  (** component name: ["pool"], ["cache"], ... *)
+  severity : severity;
+  message : string;
+  fields : (string * string) list;  (** key=value details *)
+}
+
+val set_enabled : bool -> unit
+(** Turn recording on or off (default off). Echoing of [Warn]+
+    messages to stderr is unconditional and unaffected. *)
+
+val enabled : unit -> bool
+
+val configure : ?capacity:int -> unit -> unit
+(** Set the per-domain ring capacity (default 512). Takes effect
+    lazily: every ring is reallocated (empty) at its owner's next
+    {!emit}. Raises [Invalid_argument] on [capacity < 1]. *)
+
+val capacity : unit -> int
+
+val emit :
+  ?fields:(string * string) list ->
+  domain:string ->
+  severity ->
+  string ->
+  unit
+(** [emit ~domain sev msg] records an event on the calling domain's
+    ring (when enabled) and, for [Warn] or [Error], echoes [msg] plus
+    a newline to stderr (always). [msg] should not end in a newline. *)
+
+val events : unit -> event list
+(** Merged snapshot of every ring, sorted by [(ts_ns, tid, seq)].
+    Dropped events are gone — only the newest [capacity] per domain
+    survive. *)
+
+val total : unit -> int
+(** Events recorded since the last {!reset} (dropped ones included). *)
+
+val dropped : unit -> int
+(** Events evicted from full rings since the last {!reset}. *)
+
+val export_jsonl : unit -> string
+(** One compact JSON object per line, in {!events} order, each
+    [{"ts_ns":…,"tid":…,"domain":…,"severity":…,"msg":…,"fields":{…}}].
+    Ends with a trailing newline when nonempty. *)
+
+val export_json : unit -> Json.t
+(** The same data as one document:
+    [{"schema":"nisq-events/1","dropped":…,"events":[…]}]. *)
+
+val reset : unit -> unit
+(** Empty every ring and zero the counters (capacity survives). *)

@@ -69,12 +69,11 @@ let to_string v =
    leave a torn file where the previous good one stood. This duplicates
    the tiny core of [Nisq_runkit.Atomic_io] because obs sits below
    runkit in the dependency order. *)
-let to_file ~path v =
+let write_atomic ~path content =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out tmp in
   (match
-     output_string oc (to_string v);
-     output_char oc '\n';
+     output_string oc content;
      flush oc;
      (try Unix.fsync (Unix.descr_of_out_channel oc)
       with Unix.Unix_error _ -> ());
@@ -86,6 +85,8 @@ let to_file ~path v =
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e);
   Sys.rename tmp path
+
+let to_file ~path v = write_atomic ~path (to_string v ^ "\n")
 
 (* ------------------------------ parse ------------------------------ *)
 

@@ -23,6 +23,11 @@ val to_string : t -> string
 val to_buffer : Buffer.t -> t -> unit
 (** {!to_string} into an existing buffer. *)
 
+val write_atomic : path:string -> string -> unit
+(** Write raw [content] to [path] atomically (temp file, fsync,
+    rename) — the same discipline as {!to_file}, for non-JSON or
+    pre-rendered payloads (JSONL ledgers, Prometheus text). *)
+
 val to_file : path:string -> t -> unit
 (** Write {!to_string} plus a trailing newline to [path], atomically:
     the document is written to a temp file, fsync'd, then renamed into

@@ -160,6 +160,121 @@ let dump_json () =
       ("histograms", Json.Obj histograms_json);
     ]
 
+(* --------------------------- prometheus ---------------------------- *)
+
+(* Metric names here use dots ("cache.hit"); Prometheus names must
+   match [a-zA-Z_:][a-zA-Z0-9_:]*. Map every other byte to '_' and
+   prefix the exporter namespace. *)
+let prom_name name =
+  let buf = Buffer.create (String.length name + 5) in
+  Buffer.add_string buf "nisq_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' ->
+          Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+let to_prometheus () =
+  let buf = Buffer.create 2048 in
+  let header name kind =
+    let pname = prom_name name in
+    Printf.bprintf buf "# HELP %s nisq metric %s\n" pname
+      (escape_help name);
+    Printf.bprintf buf "# TYPE %s %s\n" pname kind;
+    pname
+  in
+  List.iter
+    (fun (name, c) ->
+      let pname = header name "counter" in
+      Printf.bprintf buf "%s %d\n" pname (value c))
+    (sorted_bindings counters);
+  List.iter
+    (fun (name, g) ->
+      let pname = header name "gauge" in
+      Printf.bprintf buf "%s %s\n" pname (prom_float (gauge_value g)))
+    (sorted_bindings gauges);
+  List.iter
+    (fun (name, h) ->
+      let pname = header name "histogram" in
+      let n = Array.length h.bounds in
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + Atomic.get c;
+          let le =
+            if i < n then bound_label h.bounds.(i) else "+Inf"
+          in
+          Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" pname
+            (escape_label_value le) !cum)
+        h.counts;
+      Printf.bprintf buf "%s_sum %s\n" pname (prom_float (histogram_sum h));
+      Printf.bprintf buf "%s_count %d\n" pname !cum)
+    (sorted_bindings histograms);
+  Buffer.contents buf
+
+let quantile h q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Metrics.quantile: q must be within [0, 1]";
+  let n = Array.length h.bounds in
+  let counts = Array.map Atomic.get h.counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then Float.nan
+  else begin
+    let target = q *. float_of_int total in
+    let rec go i cum =
+      let c = counts.(i) in
+      let cum' = cum + c in
+      if float_of_int cum' >= target || i = n then begin
+        (* Linear interpolation inside the winning bucket; the +inf
+           bucket clamps to the last finite bound — there is no upper
+           edge to interpolate toward. *)
+        let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+        let hi = if i < n then h.bounds.(i) else h.bounds.(n - 1) in
+        if c = 0 || i = n then hi
+        else
+          lo +. ((hi -. lo) *. ((target -. float_of_int cum) /. float_of_int c))
+      end
+      else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
 let render () =
   let buf = Buffer.create 1024 in
   let cs = sorted_bindings counters in

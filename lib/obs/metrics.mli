@@ -73,6 +73,27 @@ val counter_values : unit -> (string * int) list
 (** All counters sorted by name — the deterministic slice of the
     registry, compared bit-for-bit across pool sizes in tests. *)
 
+val to_prometheus : unit -> string
+(** Prometheus text exposition (format 0.0.4) of the whole registry:
+    [# HELP]/[# TYPE] per metric, names mapped to
+    [nisq_<name with non-[a-zA-Z0-9_:] bytes as '_'>], histogram
+    buckets rendered {e cumulatively} with [le] labels (last bucket
+    [le="+Inf"]) plus [_sum]/[_count] series. Sections and metrics are
+    sorted by name, so output is deterministic for a deterministic
+    registry. *)
+
+val escape_label_value : string -> string
+(** Prometheus label-value escaping: backslash, double quote and
+    newline become backslash-escaped two-byte sequences. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1]) of the
+    observed distribution by linear interpolation inside the first
+    bucket whose cumulative count reaches [q * count]. Observations
+    landing in the [+inf] bucket clamp the estimate to the last finite
+    bound. Returns [nan] on an empty histogram; raises
+    [Invalid_argument] on [q] outside [0, 1]. *)
+
 val dump_json : unit -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}], every
     section sorted by name. *)

@@ -1,0 +1,301 @@
+let schema = "nisq-report/1"
+
+let on = ref false
+
+let set_enabled b = on := b
+
+let enabled () = !on
+
+type esp_term = {
+  channel : string;
+  site : string;
+  ops : int;
+  reliability : float;
+  contribution : float;
+}
+
+type esp = {
+  predicted : float;
+  untouched_bound : float;
+  routing_overhead : float;
+  terms : esp_term list;
+}
+
+type solver = {
+  rung : string;
+  mode : string;
+  nodes_visited : int;
+  elapsed_seconds : float;
+  proven_optimal : bool;
+  degraded : bool;
+  bound_hits : (string * int) list;
+}
+
+type cache = { cache : string; hits : int; misses : int }
+
+type phase = {
+  phase : string;
+  wall_ms : float;
+  minor_words : float;
+  major_words : float;
+}
+
+type t = {
+  program : string;
+  qubits : int;
+  hw_qubits : int;
+  config : (string * string) list;
+  duration : int;
+  swap_count : int;
+  compile_seconds : float;
+  esp : esp;
+  solver : solver option;
+  cache_bypassed : bool;
+  caches : cache list;
+  phases : phase list;
+}
+
+(* ------------------------------ export ----------------------------- *)
+
+let term_json t =
+  Json.Obj
+    [
+      ("channel", Json.String t.channel);
+      ("site", Json.String t.site);
+      ("ops", Json.Int t.ops);
+      ("reliability", Json.Float t.reliability);
+      ("contribution", Json.Float t.contribution);
+    ]
+
+let esp_json e =
+  Json.Obj
+    [
+      ("predicted", Json.Float e.predicted);
+      ("untouched_bound", Json.Float e.untouched_bound);
+      ("routing_overhead", Json.Float e.routing_overhead);
+      ("terms", Json.List (List.map term_json e.terms));
+    ]
+
+let solver_json = function
+  | None -> Json.Null
+  | Some s ->
+      Json.Obj
+        [
+          ("rung", Json.String s.rung);
+          ("mode", Json.String s.mode);
+          ("nodes_visited", Json.Int s.nodes_visited);
+          ("elapsed_seconds", Json.Float s.elapsed_seconds);
+          ("proven_optimal", Json.Bool s.proven_optimal);
+          ("degraded", Json.Bool s.degraded);
+          ( "bound_hits",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.bound_hits)
+          );
+        ]
+
+let cache_json c =
+  Json.Obj
+    [
+      ("cache", Json.String c.cache);
+      ("hits", Json.Int c.hits);
+      ("misses", Json.Int c.misses);
+    ]
+
+let phase_json p =
+  Json.Obj
+    [
+      ("phase", Json.String p.phase);
+      ("wall_ms", Json.Float p.wall_ms);
+      ("minor_words", Json.Float p.minor_words);
+      ("major_words", Json.Float p.major_words);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("program", Json.String t.program);
+      ("qubits", Json.Int t.qubits);
+      ("hw_qubits", Json.Int t.hw_qubits);
+      ( "config",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) t.config) );
+      ("duration", Json.Int t.duration);
+      ("swap_count", Json.Int t.swap_count);
+      ("compile_seconds", Json.Float t.compile_seconds);
+      ("esp", esp_json t.esp);
+      ("solver", solver_json t.solver);
+      ("cache_bypassed", Json.Bool t.cache_bypassed);
+      ("caches", Json.List (List.map cache_json t.caches));
+      ("phases", Json.List (List.map phase_json t.phases));
+    ]
+
+(* ----------------------------- validate ---------------------------- *)
+
+let ( let* ) = Result.bind
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let need ctx key doc =
+  match Json.member key doc with
+  | Some v -> Ok v
+  | None -> fail "%s: missing key %S" ctx key
+
+let as_number ctx = function
+  | Json.Int i -> Ok (float_of_int i)
+  | Json.Float f -> Ok f
+  | _ -> fail "%s: expected a number" ctx
+
+let as_int ctx = function
+  | Json.Int i -> Ok i
+  | _ -> fail "%s: expected an integer" ctx
+
+let as_string ctx = function
+  | Json.String s -> Ok s
+  | _ -> fail "%s: expected a string" ctx
+
+let as_bool ctx = function
+  | Json.Bool b -> Ok b
+  | _ -> fail "%s: expected a bool" ctx
+
+let as_list ctx = function
+  | Json.List l -> Ok l
+  | _ -> fail "%s: expected a list" ctx
+
+let as_obj ctx = function
+  | Json.Obj kvs -> Ok kvs
+  | _ -> fail "%s: expected an object" ctx
+
+let number ctx key doc =
+  let* v = need ctx key doc in
+  as_number (ctx ^ "." ^ key) v
+
+let string_ ctx key doc =
+  let* v = need ctx key doc in
+  as_string (ctx ^ "." ^ key) v
+
+let int_ ctx key doc =
+  let* v = need ctx key doc in
+  as_int (ctx ^ "." ^ key) v
+
+let bool_ ctx key doc =
+  let* v = need ctx key doc in
+  as_bool (ctx ^ "." ^ key) v
+
+let rec each ctx i f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f (Printf.sprintf "%s[%d]" ctx i) x in
+      each ctx (i + 1) f rest
+
+let close ctx ~expect ~got =
+  if Float.abs (expect -. got) <= 1e-9 then Ok ()
+  else fail "%s: expected %.17g, document says %.17g (|diff| > 1e-9)" ctx
+      expect got
+
+let validate_term ctx t =
+  let* channel = string_ ctx "channel" t in
+  let* _ = string_ ctx "site" t in
+  let* ops = int_ ctx "ops" t in
+  let* _ = number ctx "reliability" t in
+  let* contribution = number ctx "contribution" t in
+  if ops < 1 then fail "%s: ops must be >= 1" ctx
+  else
+    match channel with
+    | "readout" | "single" | "cnot" | "swap" -> Ok (channel, contribution)
+    | other -> fail "%s: unknown channel %S" ctx other
+
+let validate_esp ctx e =
+  let* predicted = number ctx "predicted" e in
+  let* untouched = number ctx "untouched_bound" e in
+  let* overhead = number ctx "routing_overhead" e in
+  let* terms = need ctx "terms" e in
+  let* terms = as_list (ctx ^ ".terms") terms in
+  let parsed = ref [] in
+  let* () =
+    each (ctx ^ ".terms") 0
+      (fun tctx t ->
+        let* p = validate_term tctx t in
+        parsed := p :: !parsed;
+        Ok ())
+      terms
+  in
+  let product = List.fold_left (fun acc (_, c) -> acc *. c) 1.0 !parsed in
+  let untouched_product =
+    List.fold_left
+      (fun acc (channel, c) -> if channel = "swap" then acc else acc *. c)
+      1.0 !parsed
+  in
+  let* () = close (ctx ^ ".terms product vs predicted") ~expect:product
+      ~got:predicted
+  in
+  let* () =
+    close (ctx ^ ".non-swap terms vs untouched_bound")
+      ~expect:untouched_product ~got:untouched
+  in
+  if predicted > 0.0 then
+    close (ctx ^ ".routing_overhead") ~expect:(untouched /. predicted)
+      ~got:overhead
+  else Ok ()
+
+let validate_solver ctx = function
+  | Json.Null -> Ok ()
+  | s ->
+      let* _ = string_ ctx "rung" s in
+      let* _ = string_ ctx "mode" s in
+      let* nodes = int_ ctx "nodes_visited" s in
+      let* _ = number ctx "elapsed_seconds" s in
+      let* _ = bool_ ctx "proven_optimal" s in
+      let* _ = bool_ ctx "degraded" s in
+      let* hits = need ctx "bound_hits" s in
+      let* hits = as_obj (ctx ^ ".bound_hits") hits in
+      let* () =
+        each (ctx ^ ".bound_hits") 0
+          (fun hctx (_, v) ->
+            let* n = as_int hctx v in
+            if n < 0 then fail "%s: negative hit count" hctx else Ok ())
+          hits
+      in
+      if nodes < 0 then fail "%s: negative nodes_visited" ctx else Ok ()
+
+let validate doc =
+  let ctx = "report" in
+  let* s = string_ ctx "schema" doc in
+  if s <> schema then fail "%s: schema is %S, expected %S" ctx s schema
+  else
+    let* _ = string_ ctx "program" doc in
+    let* _ = int_ ctx "qubits" doc in
+    let* _ = int_ ctx "hw_qubits" doc in
+    let* config = need ctx "config" doc in
+    let* _ = as_obj (ctx ^ ".config") config in
+    let* _ = int_ ctx "duration" doc in
+    let* swaps = int_ ctx "swap_count" doc in
+    let* _ = number ctx "compile_seconds" doc in
+    let* _ = bool_ ctx "cache_bypassed" doc in
+    let* esp = need ctx "esp" doc in
+    let* () = validate_esp (ctx ^ ".esp") esp in
+    let* solver = need ctx "solver" doc in
+    let* () = validate_solver (ctx ^ ".solver") solver in
+    let* caches = need ctx "caches" doc in
+    let* caches = as_list (ctx ^ ".caches") caches in
+    let* () =
+      each (ctx ^ ".caches") 0
+        (fun cctx c ->
+          let* _ = string_ cctx "cache" c in
+          let* h = int_ cctx "hits" c in
+          let* m = int_ cctx "misses" c in
+          if h < 0 || m < 0 then fail "%s: negative cache stats" cctx
+          else Ok ())
+        caches
+    in
+    let* phases = need ctx "phases" doc in
+    let* phases = as_list (ctx ^ ".phases") phases in
+    let* () =
+      each (ctx ^ ".phases") 0
+        (fun pctx p ->
+          let* _ = string_ pctx "phase" p in
+          let* wall = number pctx "wall_ms" p in
+          let* _ = number pctx "minor_words" p in
+          let* _ = number pctx "major_words" p in
+          if wall < 0.0 then fail "%s: negative wall_ms" pctx else Ok ())
+        phases
+    in
+    if swaps < 0 then fail "%s: negative swap_count" ctx else Ok ()

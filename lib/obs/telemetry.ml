@@ -1,17 +1,42 @@
 let trace_dest : string option ref = ref None
 
+let events_dest : string option ref = ref None
+
+let prom_dest : string option ref = ref None
+
 let want_metrics = ref false
 
-let configure ?trace ?metrics () =
+(* Export sink: how [finish] puts bytes on disk. The default is the
+   local atomic write; binaries that link runkit upgrade it to
+   [Nisq_runkit.Atomic_io.write_file] at startup so ledger and scrape
+   files share the journaled-run write discipline. *)
+let sink : (path:string -> string -> unit) ref =
+  ref (fun ~path content -> Json.write_atomic ~path content)
+
+let set_sink f = sink := f
+
+let configure ?trace ?metrics ?events ?prom () =
   (match trace with
   | Some path ->
       trace_dest := Some path;
       Trace.set_enabled true
   | None -> ());
-  match metrics with
+  (match metrics with
   | Some b ->
       want_metrics := b;
       Metrics.set_enabled b
+  | None -> ());
+  (match events with
+  | Some path ->
+      events_dest := Some path;
+      Events.set_enabled true
+  | None -> ());
+  match prom with
+  | Some path ->
+      prom_dest := Some path;
+      (* a scrape file without data is useless — arm the registry, but
+         leave [want_metrics] alone so no table prints uninvited *)
+      Metrics.set_enabled true
   | None -> ()
 
 let truthy s =
@@ -19,15 +44,30 @@ let truthy s =
   | "1" | "true" | "yes" | "on" -> true
   | _ -> false
 
+let env_path name =
+  match Sys.getenv_opt name with
+  | Some path when String.trim path <> "" -> Some path
+  | _ -> None
+
 let init_from_env () =
-  (match Sys.getenv_opt "NISQ_TRACE" with
-  | Some path when String.trim path <> "" -> configure ~trace:path ()
-  | _ -> ());
-  match Sys.getenv_opt "NISQ_METRICS" with
+  (match env_path "NISQ_TRACE" with
+  | Some path -> configure ~trace:path ()
+  | None -> ());
+  (match Sys.getenv_opt "NISQ_METRICS" with
   | Some v when truthy v -> configure ~metrics:true ()
-  | _ -> ()
+  | _ -> ());
+  (match env_path "NISQ_EVENTS" with
+  | Some path -> configure ~events:path ()
+  | None -> ());
+  match env_path "NISQ_PROM" with
+  | Some path -> configure ~prom:path ()
+  | None -> ()
 
 let trace_path () = !trace_dest
+
+let events_path () = !events_dest
+
+let prom_path () = !prom_dest
 
 let metrics_requested () = !want_metrics
 
@@ -38,5 +78,16 @@ let finish ?(out = stderr) () =
       Printf.fprintf out "trace written to %s\n" path;
       output_string out (Trace.render_tree ())
   | None -> ());
+  (match !events_dest with
+  | Some path ->
+      !sink ~path (Events.export_jsonl ());
+      Printf.fprintf out "events written to %s (%d recorded, %d dropped)\n"
+        path (Events.total ()) (Events.dropped ())
+  | None -> ());
   if !want_metrics then output_string out (Metrics.render ());
+  (match !prom_dest with
+  | Some path ->
+      !sink ~path (Metrics.to_prometheus ());
+      Printf.fprintf out "prometheus metrics written to %s\n" path
+  | None -> ());
   flush out

@@ -121,7 +121,10 @@ let init_from_env () =
       | Error msg ->
           if not !env_warned then begin
             env_warned := true;
-            Printf.eprintf
-              "nisq: warning: ignoring malformed NISQ_DEADLINE=%S (%s)\n%!" src
-              msg
+            Nisq_obs.Events.emit ~domain:"deadline" Nisq_obs.Events.Warn
+              (Printf.sprintf
+                 "nisq: warning: ignoring malformed NISQ_DEADLINE=%S (%s)" src
+                 msg)
+              ~fields:
+                [ ("env", "NISQ_DEADLINE"); ("value", src); ("reason", msg) ]
           end)

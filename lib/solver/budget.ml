@@ -16,7 +16,19 @@ type stats = {
   elapsed_seconds : float;
   proven_optimal : bool;
   degraded : bool;
+  bound_hits : (string * int) list;
 }
+
+(* Keyed sum of two hit lists; key order follows [a] with [b]'s extra
+   keys appended, so merging preserves the ladder's level order. *)
+let merge_hits a b =
+  let merged =
+    List.map
+      (fun (k, va) ->
+        (k, va + Option.value (List.assoc_opt k b) ~default:0))
+      a
+  in
+  merged @ List.filter (fun (k, _) -> not (List.mem_assoc k a)) b
 
 module Clock = struct
   type nonrec t = {
@@ -69,7 +81,7 @@ module Clock = struct
       else true
     end
 
-  let stats c ~exhausted =
+  let stats ?(bound_hits = []) c ~exhausted =
     Nisq_obs.Metrics.add m_nodes c.count;
     if c.blown then Nisq_obs.Metrics.incr m_degraded;
     {
@@ -77,5 +89,6 @@ module Clock = struct
       elapsed_seconds = Unix.gettimeofday () -. c.started;
       proven_optimal = exhausted && not c.blown;
       degraded = c.blown;
+      bound_hits;
     }
 end

@@ -39,7 +39,19 @@ type stats = {
       (** true iff the budget blew: the answer is best-so-far (or a greedy
           completion), not the search's verdict. Callers such as
           [Compile] use this to walk their fallback ladder. *)
+  bound_hits : (string * int) list;
+      (** Per-level admissible-bound prune counts, in ladder order
+          (for {!Placement}: ["static"], ["cheap"], ["tight"],
+          ["matching"]). Searches without a bound ladder report [[]].
+          Like [nodes_visited], these are sums of deterministic
+          per-subtree counts, byte-identical across pool sizes. *)
 }
+
+val merge_hits :
+  (string * int) list -> (string * int) list -> (string * int) list
+(** Keyed elementwise sum; key order follows the first argument (extra
+    keys from the second are appended). Used by [Parallel] to fold
+    per-subtree ladders into one. *)
 
 (** Internal budget-tracking clock handed to searches. *)
 module Clock : sig
@@ -50,5 +62,7 @@ module Clock : sig
   val tick : t -> bool
   (** Count one node; [false] when the budget is exhausted. *)
 
-  val stats : t -> exhausted:bool -> stats
+  val stats : ?bound_hits:(string * int) list -> t -> exhausted:bool -> stats
+  (** [bound_hits] (default [[]]) is threaded into the result verbatim;
+      the search that owns the ladder supplies its counts. *)
 end

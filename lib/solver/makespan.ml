@@ -9,6 +9,7 @@ type problem = {
 type solution = { assignment : int array; cost : int; stats : Budget.stats }
 
 let m_evals = Nisq_obs.Metrics.counter "solver.constraint_evals"
+let m_bound_lower = Nisq_obs.Metrics.counter "solver.bound.lower_bound"
 
 let validate ~forbid p =
   if p.num_items <= 0 then invalid_arg "Makespan: no items";
@@ -34,6 +35,9 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) ?incumbent
   let clock = Budget.Clock.start budget in
   (* Local tally, batch-published once after the search (see Placement). *)
   let evals = ref 0 in
+  (* Candidates discarded because their makespan lower bound could not
+     beat the incumbent — the report's single-rung "bound ladder". *)
+  let hit_lower = ref 0 in
   let placement = Array.make n (-1) in
   let used = Array.make s false in
   let best = Array.make n (-1) in
@@ -82,6 +86,7 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) ?incumbent
             lbs.(!k) <- lb;
             incr k
           end
+          else Stdlib.incr hit_lower
         end
       done;
       let k = !k in
@@ -98,12 +103,15 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) ?incumbent
       done;
       for c = 0 to k - 1 do
         let slot = slots.(c) and lb = lbs.(c) in
-        if (not !blown) && lb < !best_cost then begin
-          placement.(item) <- slot;
-          used.(slot) <- true;
-          dfs (pos + 1);
-          used.(slot) <- false;
-          placement.(item) <- -1
+        if not !blown then begin
+          if lb < !best_cost then begin
+            placement.(item) <- slot;
+            used.(slot) <- true;
+            dfs (pos + 1);
+            used.(slot) <- false;
+            placement.(item) <- -1
+          end
+          else Stdlib.incr hit_lower
         end
       done
     end
@@ -154,7 +162,14 @@ let solve ?(budget = Budget.unlimited) ?(forbid = fun _ -> false) ?incumbent
     best_cost := p.leaf_cost best
   end;
   Nisq_obs.Metrics.add m_evals !evals;
-  { assignment = best; cost = !best_cost; stats = Budget.Clock.stats clock ~exhausted:(not !blown) }
+  Nisq_obs.Metrics.add m_bound_lower !hit_lower;
+  {
+    assignment = best;
+    cost = !best_cost;
+    stats =
+      Budget.Clock.stats clock ~exhausted:(not !blown)
+        ~bound_hits:[ ("lower_bound", !hit_lower) ];
+  }
 
 let frontier ?(forbid = fun _ -> false) ~depth p =
   let n = p.num_items and s = p.num_slots in

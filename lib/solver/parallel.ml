@@ -40,11 +40,13 @@ let env_warned = ref false
 let warn_env raw reason =
   if not !env_warned then begin
     env_warned := true;
-    Printf.eprintf
-      "nisq: warning: ignoring NISQ_SOLVER_DOMAINS=%S (%s); solver stays \
-       sequential\n\
-       %!"
-      raw reason
+    Nisq_obs.Events.emit ~domain:"solver" Nisq_obs.Events.Warn
+      (Printf.sprintf
+         "nisq: warning: ignoring NISQ_SOLVER_DOMAINS=%S (%s); solver stays \
+          sequential"
+         raw reason)
+      ~fields:
+        [ ("env", "NISQ_SOLVER_DOMAINS"); ("value", raw); ("reason", reason) ]
   end
 
 let truthy v =
@@ -120,13 +122,18 @@ let wave_budget (budget : Budget.t) ~t0 ~remaining =
    | Some s -> s <= 0.0
    | None -> false)
 
-let merged_stats ~t0 ~nodes ~proven ~degraded =
+let merged_stats ?(hits = []) ~t0 ~nodes ~proven ~degraded () =
   {
     Budget.nodes_visited = nodes;
     elapsed_seconds = Unix.gettimeofday () -. t0;
     proven_optimal = proven && not degraded;
     degraded;
+    bound_hits = hits;
   }
+
+let sum_hits stats_of sols =
+  List.fold_left
+    (fun acc s -> Budget.merge_hits acc (stats_of s)) [] sols
 
 (* ------------------------------------------------------------------ *)
 (* Placement (maximizing).                                             *)
@@ -146,6 +153,7 @@ let placement_fanout ~split_depth ~wave_size ~budget ~forbid ~seed ~pool p =
       (Option.map (fun a -> (Array.copy a, Placement.score p a)) seed)
   in
   let nodes = ref 0 and degraded = ref false and proven = ref true in
+  let hits = ref [] in
   let remaining = ref (initial_nodes budget) in
   let start = ref 0 in
   while !start < k do
@@ -175,6 +183,7 @@ let placement_fanout ~split_depth ~wave_size ~budget ~forbid ~seed ~pool p =
       List.iter
         (fun (sol : Placement.solution) ->
           nodes := !nodes + sol.stats.nodes_visited;
+          hits := Budget.merge_hits !hits sol.stats.bound_hits;
           if !remaining <> max_int then
             remaining := Int.max 0 (!remaining - sol.stats.nodes_visited);
           if sol.stats.degraded then begin
@@ -198,7 +207,9 @@ let placement_fanout ~split_depth ~wave_size ~budget ~forbid ~seed ~pool p =
       {
         Placement.assignment;
         objective;
-        stats = merged_stats ~t0 ~nodes:!nodes ~proven:!proven ~degraded:!degraded;
+        stats =
+          merged_stats ~hits:!hits ~t0 ~nodes:!nodes ~proven:!proven
+            ~degraded:!degraded ();
       }
 
 (* Portfolio orderings: the sequential involvement order, a
@@ -266,7 +277,11 @@ let placement_portfolio ~budget ~forbid ~seed ~pool p =
   let proven = winner.stats.proven_optimal in
   {
     winner with
-    stats = merged_stats ~t0 ~nodes ~proven ~degraded:(not proven);
+    stats =
+      merged_stats
+        ~hits:
+          (sum_hits (fun (s : Placement.solution) -> s.stats.bound_hits) sols)
+        ~t0 ~nodes ~proven ~degraded:(not proven) ();
   }
 
 let solve_placement ?mode ?(split_depth = 2) ?(wave_size = default_wave_size)
@@ -297,6 +312,7 @@ let makespan_fanout ~split_depth ~wave_size ~budget ~forbid ~seed ~pool make_pro
       (Option.map (fun a -> (Array.copy a, p0.Makespan.leaf_cost a)) seed)
   in
   let nodes = ref 0 and degraded = ref false and proven = ref true in
+  let hits = ref [] in
   let remaining = ref (initial_nodes budget) in
   let start = ref 0 in
   while !start < k do
@@ -319,6 +335,7 @@ let makespan_fanout ~split_depth ~wave_size ~budget ~forbid ~seed ~pool make_pro
       List.iter
         (fun (sol : Makespan.solution) ->
           nodes := !nodes + sol.stats.nodes_visited;
+          hits := Budget.merge_hits !hits sol.stats.bound_hits;
           if !remaining <> max_int then
             remaining := Int.max 0 (!remaining - sol.stats.nodes_visited);
           if sol.stats.degraded then begin
@@ -342,7 +359,9 @@ let makespan_fanout ~split_depth ~wave_size ~budget ~forbid ~seed ~pool make_pro
       {
         Makespan.assignment;
         cost;
-        stats = merged_stats ~t0 ~nodes:!nodes ~proven:!proven ~degraded:!degraded;
+        stats =
+          merged_stats ~hits:!hits ~t0 ~nodes:!nodes ~proven:!proven
+            ~degraded:!degraded ();
       }
 
 let makespan_orderings (p : Makespan.problem) =
@@ -392,7 +411,11 @@ let makespan_portfolio ~budget ~forbid ~seed ~pool make_problem =
   let proven = winner.stats.proven_optimal in
   {
     winner with
-    stats = merged_stats ~t0 ~nodes ~proven ~degraded:(not proven);
+    stats =
+      merged_stats
+        ~hits:
+          (sum_hits (fun (s : Makespan.solution) -> s.stats.bound_hits) sols)
+        ~t0 ~nodes ~proven ~degraded:(not proven) ();
   }
 
 let solve_makespan ?mode ?(split_depth = 2) ?(wave_size = default_wave_size)

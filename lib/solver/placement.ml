@@ -63,6 +63,13 @@ let matrix_max m =
 
 let m_evals = Nisq_obs.Metrics.counter "solver.constraint_evals"
 
+(* Per-level bound-ladder prune tallies; deterministic for the same
+   reason node counts are (the subtree trajectories are). *)
+let m_bound_static = Nisq_obs.Metrics.counter "solver.bound.static"
+let m_bound_cheap = Nisq_obs.Metrics.counter "solver.bound.cheap"
+let m_bound_tight = Nisq_obs.Metrics.counter "solver.bound.tight"
+let m_bound_matching = Nisq_obs.Metrics.counter "solver.bound.matching"
+
 (* Item order: most pairwise involvement first — placing constrained
    items early tightens the bound. *)
 let involvement_order pairs n =
@@ -581,6 +588,10 @@ let run eng ~budget ~incumbent ~prefix =
       best_score := obj;
       have_solution := true);
   let blown = ref false in
+  let hit_static = ref 0
+  and hit_cheap = ref 0
+  and hit_tight = ref 0
+  and hit_matching = ref 0 in
   let rec dfs pos acc =
     if !blown then ()
     else if not (Budget.Clock.tick clock) then begin
@@ -618,13 +629,30 @@ let run eng ~budget ~incumbent ~prefix =
       for c = 0 to k - 1 do
         let slot = slots.(c) and inc = scores.(c) in
         let static_bound = acc +. inc +. eng.optimistic.(pos + 1) in
-        if
+        (* Same ladder, same lazy evaluation order as the old `&&`
+           chain — only the pruning level is now attributed. *)
+        let descend =
           (not !have_solution)
-          || (static_bound > !best_score
-             && acc +. inc +. dyn_cheap () > !best_score
-             && acc +. inc +. dyn_tight () > !best_score
-             && acc +. inc +. dyn_matching () > !best_score)
-        then begin
+          ||
+          if not (static_bound > !best_score) then begin
+            Stdlib.incr hit_static;
+            false
+          end
+          else if not (acc +. inc +. dyn_cheap () > !best_score) then begin
+            Stdlib.incr hit_cheap;
+            false
+          end
+          else if not (acc +. inc +. dyn_tight () > !best_score) then begin
+            Stdlib.incr hit_tight;
+            false
+          end
+          else if not (acc +. inc +. dyn_matching () > !best_score) then begin
+            Stdlib.incr hit_matching;
+            false
+          end
+          else true
+        in
+        if descend then begin
           placed.(item) <- slot;
           used.(slot) <- true;
           dfs (pos + 1) (acc +. inc);
@@ -660,10 +688,22 @@ let run eng ~budget ~incumbent ~prefix =
   in
   let start_pos, start_acc = apply_prefix eng prefix in
   dfs start_pos start_acc;
+  Nisq_obs.Metrics.add m_bound_static !hit_static;
+  Nisq_obs.Metrics.add m_bound_cheap !hit_cheap;
+  Nisq_obs.Metrics.add m_bound_tight !hit_tight;
+  Nisq_obs.Metrics.add m_bound_matching !hit_matching;
   {
     assignment = best;
     objective = !best_score;
-    stats = Budget.Clock.stats clock ~exhausted:(not !blown);
+    stats =
+      Budget.Clock.stats clock ~exhausted:(not !blown)
+        ~bound_hits:
+          [
+            ("static", !hit_static);
+            ("cheap", !hit_cheap);
+            ("tight", !hit_tight);
+            ("matching", !hit_matching);
+          ];
   }
 
 let prepare ?forbid ?order p = make_tables ?forbid ?order p

@@ -120,11 +120,14 @@ let env_warned = ref false
 let warn_env raw reason =
   if not !env_warned then begin
     env_warned := true;
-    Printf.eprintf
-      "nisq: warning: ignoring NISQ_DOMAINS=%S (%s); using the default \
-       worker count\n\
-       %!"
-      raw reason
+    (* Warn-severity events echo to stderr even with the ledger off, so
+       the user-visible text is unchanged from the old eprintf. *)
+    Nisq_obs.Events.emit ~domain:"pool" Nisq_obs.Events.Warn
+      (Printf.sprintf
+         "nisq: warning: ignoring NISQ_DOMAINS=%S (%s); using the default \
+          worker count"
+         raw reason)
+      ~fields:[ ("env", "NISQ_DOMAINS"); ("value", raw); ("reason", reason) ]
   end
 
 let env_size () =

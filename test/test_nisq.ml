@@ -16,5 +16,6 @@ let () =
       ("extras", Test_extras.suite);
       ("resilience", Test_resilience.suite);
       ("runkit", Test_runkit.suite);
+      ("observability", Test_observability.suite);
       ("properties", Test_props.suite);
     ]

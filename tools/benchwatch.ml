@@ -1,0 +1,68 @@
+(* benchwatch — the bench-trajectory regression sentinel behind
+   `make bench-gate`.
+
+   Usage: benchwatch [--threshold R] [--window N] FILE...
+
+   Each FILE is a BENCH_compile.json baseline; the latest trajectory
+   entry is compared against the median of up to N (default 5) prior
+   entries per micro-benchmark, and any benchmark slower than R
+   (default 1.5) times its baseline fails the gate. Exit 0 when every
+   file passes, 1 on any regression or unreadable file, 2 on usage
+   errors. *)
+
+module Json = Nisq_obs.Json
+module Benchwatch = Nisq_bench.Benchwatch
+
+let usage () =
+  prerr_endline "usage: benchwatch [--threshold R] [--window N] FILE...";
+  exit 2
+
+let () =
+  let threshold = ref 1.5 and window = ref 5 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match Float.of_string_opt v with
+        | Some f when f > 0.0 -> threshold := f
+        | _ -> usage ());
+        parse rest
+    | "--window" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> window := n
+        | _ -> usage ());
+        parse rest
+    | ("--threshold" | "--window") :: [] -> usage ()
+    | f :: rest ->
+        if String.length f > 1 && f.[0] = '-' then usage ();
+        files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
+  if files = [] then usage ();
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      let src =
+        try In_channel.with_open_bin path In_channel.input_all
+        with Sys_error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 1
+      in
+      match Json.of_string src with
+      | Error msg ->
+          Printf.eprintf "%s: invalid JSON: %s\n" path msg;
+          exit 1
+      | Ok v -> (
+          match
+            Benchwatch.analyze ~threshold:!threshold ~window:!window v
+          with
+          | Error msg ->
+              Printf.eprintf "%s: %s\n" path msg;
+              exit 1
+          | Ok a ->
+              Printf.printf "%s:\n%s" path (Benchwatch.render a);
+              if a.Benchwatch.failures > 0 then failed := true))
+    files;
+  if !failed then exit 1

@@ -1,17 +1,23 @@
 (* jsonlint — validate JSON files emitted by the telemetry layer.
 
-   Usage: jsonlint [--trace | --jsonl | --bench] FILE...
+   Usage: jsonlint [--trace | --jsonl | --bench | --report | --prom] FILE...
 
    Parses each file with the same strict parser the test suite uses.
    With --trace, additionally checks the Chrome trace_event shape: a
    top-level object with a non-empty "traceEvents" list whose entries
-   carry name/ph/ts/dur fields. With --jsonl, the file is a run journal:
-   one JSON object per line, every line (including the last) complete —
-   the shape an orderly shutdown must leave behind. With --bench, each
-   file is a BENCH_compile.json baseline (schema nisq-bench-compile/1,
-   non-empty "benchmarks" of {name, ns_per_run}); given two or more
-   files, their benchmark-name sets must also agree, so CI catches a
-   baseline that silently lost a benchmark. Exits non-zero on the first
+   carry name/ph/ts/dur fields. With --jsonl, the file is a run journal
+   or event ledger: one JSON object per line, every line (including the
+   last) complete — the shape an orderly shutdown must leave behind.
+   With --bench, each file is a BENCH_compile.json baseline (schema
+   nisq-bench-compile/1 or /2, non-empty "benchmarks" of
+   {name, ns_per_run}); given two or more files, their benchmark-name
+   sets must also agree, so CI catches a baseline that silently lost a
+   benchmark. With --report, each file is a compile explain report and
+   is checked by Nisq_obs.Report.validate (schema, types, and the ESP
+   arithmetic invariants). With --prom, each file is a Prometheus
+   text-format scrape: every series must follow a # TYPE declaration
+   for its family, histogram buckets must be cumulative with a final
+   le="+Inf" equal to the _count series. Exits non-zero on the first
    failure. *)
 
 module Json = Nisq_obs.Json
@@ -138,17 +144,175 @@ let check_bench path v =
   | Some _ -> fail "\"schema\" is not a string"
   | None -> fail "missing \"schema\""
 
+(* Prometheus text-exposition (0.0.4) lint. Line-oriented: comments
+   declare metadata, series lines carry samples. Beyond well-formedness
+   this enforces what a scraper relies on: a # TYPE before the first
+   sample of each family, parseable values, histogram buckets cumulative
+   (non-decreasing in file order) ending in le="+Inf", and that +Inf
+   bucket equal to the family's _count sample. *)
+let check_prom path src =
+  let fail line msg =
+    Printf.eprintf "%s:%d: %s\n" path line msg;
+    exit 1
+  in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  (* per histogram family: (le, count) samples in file order *)
+  let buckets : (string, (string * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let counts : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let family name =
+    let strip suffix =
+      if Filename.check_suffix name suffix then
+        Some (String.sub name 0 (String.length name - String.length suffix))
+      else None
+    in
+    let base =
+      match strip "_bucket" with
+      | Some b -> Some b
+      | None -> (
+          match strip "_sum" with Some b -> Some b | None -> strip "_count")
+    in
+    match base with
+    | Some b when Hashtbl.find_opt types b = Some "histogram" -> b
+    | _ -> name
+  in
+  let le_of labels ln =
+    match String.index_opt labels '"' with
+    | Some _ ->
+        let marker = "le=\"" in
+        let rec find i =
+          if i + String.length marker > String.length labels then
+            fail ln "bucket without an le label"
+          else if String.sub labels i (String.length marker) = marker then
+            let start = i + String.length marker in
+            let stop =
+              match String.index_from_opt labels start '"' with
+              | Some j -> j
+              | None -> fail ln "unterminated le label"
+            in
+            String.sub labels start (stop - start)
+          else find (i + 1)
+        in
+        find 0
+    | None -> fail ln "bucket without labels"
+  in
+  let seen_series = ref 0 in
+  String.split_on_char '\n' src
+  |> List.iteri (fun i line ->
+         let ln = i + 1 in
+         if line = "" then ()
+         else if line.[0] = '#' then
+           match String.split_on_char ' ' line with
+           | "#" :: "TYPE" :: name :: [ ty ] ->
+               if
+                 not
+                   (List.mem ty
+                      [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+               then fail ln (Printf.sprintf "unknown TYPE %S" ty);
+               if Hashtbl.mem types name then
+                 fail ln (Printf.sprintf "duplicate TYPE for %s" name);
+               Hashtbl.replace types name ty
+           | "#" :: "TYPE" :: _ -> fail ln "malformed TYPE line"
+           | "#" :: "HELP" :: _ :: _ -> ()
+           | _ -> fail ln "malformed comment line"
+         else begin
+           let value_sep =
+             match String.rindex_opt line ' ' with
+             | Some j -> j
+             | None -> fail ln "series line without a value"
+           in
+           let series = String.sub line 0 value_sep in
+           let value = String.sub line (value_sep + 1) (String.length line - value_sep - 1) in
+           let value =
+             match Float.of_string_opt value with
+             | Some f -> f
+             | None -> fail ln (Printf.sprintf "unparseable value %S" value)
+           in
+           let name, labels =
+             match String.index_opt series '{' with
+             | Some j ->
+                 if series.[String.length series - 1] <> '}' then
+                   fail ln "unterminated label set";
+                 ( String.sub series 0 j,
+                   String.sub series (j + 1) (String.length series - j - 2) )
+             | None -> (series, "")
+           in
+           let base = family name in
+           (match Hashtbl.find_opt types base with
+           | Some _ -> ()
+           | None -> fail ln (Printf.sprintf "series %s has no # TYPE" name));
+           incr seen_series;
+           if Hashtbl.find_opt types base = Some "histogram" then
+             if name = base ^ "_bucket" then begin
+               let le = le_of labels ln in
+               let cell =
+                 match Hashtbl.find_opt buckets base with
+                 | Some r -> r
+                 | None ->
+                     let r = ref [] in
+                     Hashtbl.replace buckets base r;
+                     r
+               in
+               (match !cell with
+               | (_, prev) :: _ when value < prev ->
+                   fail ln
+                     (Printf.sprintf "%s buckets not cumulative at le=%S" base
+                        le)
+               | _ -> ());
+               cell := (le, value) :: !cell
+             end
+             else if name = base ^ "_count" then
+               Hashtbl.replace counts base value
+         end);
+  if !seen_series = 0 then fail 1 "no series in scrape";
+  Hashtbl.iter
+    (fun base cell ->
+      (match !cell with
+      | ("+Inf", total) :: _ -> (
+          match Hashtbl.find_opt counts base with
+          | Some c when c <> total ->
+              Printf.eprintf "%s: %s le=\"+Inf\" bucket (%g) != _count (%g)\n"
+                path base total c;
+              exit 1
+          | Some _ -> ()
+          | None ->
+              Printf.eprintf "%s: %s has buckets but no _count\n" path base;
+              exit 1)
+      | (le, _) :: _ ->
+          Printf.eprintf "%s: %s last bucket is le=%S, want +Inf\n" path base le;
+          exit 1
+      | [] -> ()))
+    buckets
+
+let check_report path v =
+  match Nisq_obs.Report.validate v with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "%s: not a valid explain report: %s\n" path msg;
+      exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let trace_mode = List.mem "--trace" args in
   let jsonl_mode = List.mem "--jsonl" args in
   let bench_mode = List.mem "--bench" args in
+  let report_mode = List.mem "--report" args in
+  let prom_mode = List.mem "--prom" args in
   let files =
-    List.filter (fun a -> a <> "--trace" && a <> "--jsonl" && a <> "--bench") args
+    List.filter
+      (fun a ->
+        not (List.mem a [ "--trace"; "--jsonl"; "--bench"; "--report"; "--prom" ]))
+      args
   in
-  let modes = List.filter Fun.id [ trace_mode; jsonl_mode; bench_mode ] in
+  let modes =
+    List.filter Fun.id
+      [ trace_mode; jsonl_mode; bench_mode; report_mode; prom_mode ]
+  in
   if files = [] || List.length modes > 1 then begin
-    prerr_endline "usage: jsonlint [--trace | --jsonl | --bench] FILE...";
+    prerr_endline
+      "usage: jsonlint [--trace | --jsonl | --bench | --report | --prom] \
+       FILE...";
     exit 2
   end;
   (* (path, sorted benchmark names) per --bench file, for the
@@ -166,6 +330,10 @@ let () =
         check_jsonl path src;
         Printf.printf "%s: OK\n" path
       end
+      else if prom_mode then begin
+        check_prom path src;
+        Printf.printf "%s: OK\n" path
+      end
       else
         match Json.of_string src with
         | Error msg ->
@@ -173,6 +341,7 @@ let () =
             exit 1
         | Ok v ->
             if trace_mode then check_trace path v;
+            if report_mode then check_report path v;
             if bench_mode then
               bench_names := (path, check_bench path v) :: !bench_names;
             Printf.printf "%s: OK\n" path)
