@@ -5,10 +5,12 @@
 # explain report and Prometheus scrape, each linted), a kill-and-resume
 # smoke (a journalled run killed mid-sweep must resume to byte-identical
 # output), a bench smoke (the compile fast-path micro-benchmarks,
-# schema-checked against the committed BENCH_compile.json baseline) and
-# the bench-gate regression sentinel over that baseline's trajectory.
+# schema-checked against the committed BENCH_compile.json baseline), the
+# bench-gate regression sentinel over that baseline's trajectory, and a
+# daemon smoke (nisqd served through injected network/handler faults,
+# overload shedding, wire-capture lint and both drain paths).
 
-.PHONY: all build test check bench bench-smoke bench-compile bench-gate micro resume-smoke
+.PHONY: all build test check bench bench-smoke bench-compile bench-gate micro resume-smoke serve-smoke
 
 all: build
 
@@ -38,6 +40,7 @@ check:
 	dune exec tools/jsonlint.exe -- --report /tmp/nisq-smoke-report.json
 	dune exec tools/jsonlint.exe -- --prom /tmp/nisq-smoke-prom.txt
 	tools/resume_smoke.sh
+	tools/serve_smoke.sh
 	$(MAKE) bench-smoke
 	$(MAKE) bench-gate
 
@@ -66,6 +69,9 @@ bench-gate:
 
 resume-smoke:
 	tools/resume_smoke.sh
+
+serve-smoke:
+	tools/serve_smoke.sh
 
 bench:
 	dune exec bench/main.exe

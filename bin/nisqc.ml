@@ -32,6 +32,8 @@ module Atomic_io = Nisq_runkit.Atomic_io
 module Deadline = Nisq_runkit.Deadline
 module Ledger = Nisq_runkit.Run
 module Signals = Nisq_runkit.Signals
+module Serve_client = Nisq_serve.Client
+module Serve_protocol = Nisq_serve.Protocol
 
 (* ------------------------- shared arguments ------------------------ *)
 
@@ -358,6 +360,49 @@ let effective_calibration ~seed ~day () =
       end;
       calib
 
+(* ------------------------- daemon client --------------------------- *)
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCK"
+        ~doc:
+          "Route the request through a running $(b,nisqd) listening on            the Unix socket $(docv) instead of compiling in-process, and            print the daemon's JSON reply payload. Retries with capped            exponential backoff, honoring the server's            $(b,retry_after_ms) hint when it sheds load. Exit codes: 4 on            a non-retryable server error, 5 when the daemon stays            unavailable.")
+
+(* Benchmark names travel by name; OpenQASM files travel as source.
+   mini-Scaffold needs the local frontend, so it stays local. *)
+let remote_program program =
+  if Sys.file_exists program then begin
+    if Filename.check_suffix program ".scaf" then begin
+      Printf.eprintf
+        "nisqc: --connect does not support .scaf files; compile locally\n";
+      exit 2
+    end;
+    let ic = open_in program in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    Serve_protocol.Qasm src
+  end
+  else Serve_protocol.Named program
+
+let remote_call ~socket ?deadline verb =
+  let deadline_ms =
+    Option.map (fun s -> max 1 (int_of_float (s *. 1000.0))) deadline
+  in
+  let req = { Serve_protocol.id = 1; deadline_ms; verb } in
+  match Serve_client.call_with_retry ~socket req with
+  | Ok payload ->
+      print_endline (Obs_json.to_string payload);
+      Telemetry.finish ()
+  | Error (Serve_client.Remote { code; message }) ->
+      Printf.eprintf "nisqc: server error [%s]: %s\n" code message;
+      exit 4
+  | Error (Serve_client.Unavailable msg) ->
+      Printf.eprintf "nisqc: daemon unavailable: %s\n" msg;
+      exit 5
+
 let config_of ?(movement = Config.Swap_back) method_ routing =
   match routing with
   | Some r -> Config.make ~routing:r ~movement method_
@@ -393,8 +438,22 @@ let describe_result name (r : Compile.t) =
 
 let compile_cmd =
   let run program method_ routing movement day seed emit_qasm diagram trace
-      metrics events prom report inject deadline solver_domains =
+      metrics events prom report inject deadline solver_domains connect =
     setup_telemetry ?inject ?solver_domains ?events ?prom ?report trace metrics;
+    match connect with
+    | Some socket ->
+        remote_call ~socket ?deadline
+          (Serve_protocol.Compile
+             {
+               program = remote_program program;
+               method_;
+               routing;
+               movement;
+               day;
+               calib_seed = seed;
+               emit_qasm;
+             })
+    | None ->
     with_cancellation deadline @@ fun () ->
     let name, circuit, _ = load_program program in
     let calib = effective_calibration ~seed ~day () in
@@ -428,14 +487,35 @@ let compile_cmd =
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
       $ day_arg $ seed_arg $ qasm_arg $ diagram_arg $ trace_arg $ metrics_arg
       $ events_arg $ prom_arg $ report_arg $ inject_arg $ deadline_arg
-      $ solver_domains_arg)
+      $ solver_domains_arg $ connect_arg)
 
 (* -------------------------------- run ------------------------------ *)
 
 let run_cmd =
   let run program method_ routing movement day seed trials sim_seed trace
-      metrics events prom inject deadline run_id resume force solver_domains =
+      metrics events prom inject deadline run_id resume force solver_domains
+      connect =
     setup_telemetry ?inject ?solver_domains ?events ?prom trace metrics;
+    (match connect with
+    | Some socket ->
+        remote_call ~socket ?deadline
+          (Serve_protocol.Run
+             {
+               compile =
+                 {
+                   program = remote_program program;
+                   method_;
+                   routing;
+                   movement;
+                   day;
+                   calib_seed = seed;
+                   emit_qasm = false;
+                 };
+               trials;
+               sim_seed;
+             });
+        exit 0
+    | None -> ());
     (* The summary's chunk-latency percentiles read the sim histogram,
        so the registry collects during `run` regardless of --metrics. *)
     Obs_metrics.set_enabled true;
@@ -505,7 +585,8 @@ let run_cmd =
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
       $ day_arg $ seed_arg $ trials_arg $ sim_seed_arg $ trace_arg
       $ metrics_arg $ events_arg $ prom_arg $ inject_arg $ deadline_arg
-      $ run_id_arg $ resume_arg $ resume_force_arg $ solver_domains_arg)
+      $ run_id_arg $ resume_arg $ resume_force_arg $ solver_domains_arg
+      $ connect_arg)
 
 (* ---------------------------- calibration -------------------------- *)
 
@@ -616,7 +697,7 @@ let experiment_cmd =
 
 let () =
   let doc = "noise-adaptive compiler mappings for NISQ computers" in
-  let info = Cmd.info "nisqc" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "nisqc" ~version:Serve_protocol.build_id ~doc in
   exit
     (Cmd.eval
        (Cmd.group info

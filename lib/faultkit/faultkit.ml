@@ -7,6 +7,8 @@ exception Domain_kill
 
 type pool_fault = Crash | Kill
 
+type server_fault = Net_torn | Net_close | Slow | Crash_handler
+
 type spec = {
   source : string;
   calib : calib_fault list;
@@ -17,6 +19,9 @@ type spec = {
   (* chunk indices whose cancellation checkpoint behaves as if a SIGTERM
      had just arrived; one-shot, like pool clauses. *)
   kill : (int, unit) Hashtbl.t;
+  (* daemon request index -> fault; one-shot, so the client's retry of
+     the damaged request observes an undisturbed server. *)
+  server : (int, server_fault) Hashtbl.t;
 }
 
 let m_injected = Nisq_obs.Metrics.counter "resilience.faults.injected"
@@ -27,6 +32,7 @@ let lock = Mutex.create ()
 let armed : spec option ref = ref None
 let pool_armed = ref false
 let kill_armed = ref false
+let server_armed = ref false
 
 let with_lock f =
   Mutex.lock lock;
@@ -95,6 +101,17 @@ let parse_clause clause =
       | Some i when i >= 0 -> Ok (`Pool (i, kind))
       | _ ->
           Error (Printf.sprintf "%s: expected @chunk<N> target" site))
+  | "net:torn" | "net:close" | "server:slow" | "server:crash-handler" -> (
+      let kind =
+        match site with
+        | "net:torn" -> Net_torn
+        | "net:close" -> Net_close
+        | "server:slow" -> Slow
+        | _ -> Crash_handler
+      in
+      match Option.bind target (int_after "req") with
+      | Some i when i >= 0 -> Ok (`Server (i, kind))
+      | _ -> Error (Printf.sprintf "%s: expected @req<N> target" site))
   | _ -> Error (Printf.sprintf "unknown fault site %S" site)
 
 let parse source =
@@ -105,11 +122,12 @@ let parse source =
   in
   let pool = Hashtbl.create 4 in
   let kill = Hashtbl.create 4 in
+  let server = Hashtbl.create 4 in
   let rec go calib blow dblow = function
     | [] ->
         Ok
           { source; calib = List.rev calib; blow; deadline_blow = dblow; pool;
-            kill }
+            kill; server }
     | c :: rest -> (
         match parse_clause c with
         | Ok (`Calib f) -> go (f :: calib) blow dblow rest
@@ -121,6 +139,9 @@ let parse source =
         | Ok (`Kill i) ->
             Hashtbl.replace kill i ();
             go calib blow dblow rest
+        | Ok (`Server (i, k)) ->
+            Hashtbl.replace server i k;
+            go calib blow dblow rest
         | Error e -> Error (Printf.sprintf "fault clause %S: %s" c e))
   in
   go [] false false clauses
@@ -129,7 +150,8 @@ let clear () =
   with_lock (fun () ->
       armed := None;
       pool_armed := false;
-      kill_armed := false)
+      kill_armed := false;
+      server_armed := false)
 
 let configure source =
   if String.trim source = "" then (
@@ -141,7 +163,8 @@ let configure source =
         with_lock (fun () ->
             armed := Some spec;
             pool_armed := Hashtbl.length spec.pool > 0;
-            kill_armed := Hashtbl.length spec.kill > 0);
+            kill_armed := Hashtbl.length spec.kill > 0;
+            server_armed := Hashtbl.length spec.server > 0);
         Ok ()
     | Error _ as e -> e
 
@@ -189,6 +212,25 @@ let kill_chunk i =
                true
              end
              else false)
+
+(* One-shot, like the pool clauses: request [i]'s fault fires once and
+   disarms, so the client's retry (a fresh request index, or the same
+   request replayed) sees a healthy server — the determinism contract for
+   retry-eventually-succeeds smoke tests. *)
+let server_fault i =
+  if not !server_armed then None
+  else
+    with_lock (fun () ->
+        match !armed with
+        | None -> None
+        | Some s -> (
+            match Hashtbl.find_opt s.server i with
+            | None -> None
+            | Some f ->
+                Hashtbl.remove s.server i;
+                if Hashtbl.length s.server = 0 then server_armed := false;
+                Nisq_obs.Metrics.incr m_injected;
+                Some f))
 
 let chunk_check i =
   if !pool_armed then

@@ -14,6 +14,15 @@
       deadline:blow      the run deadline starts already expired
       kill:chunk7        chunk 7's cancellation checkpoint acts as if a
                          SIGTERM had just arrived (deterministic kill)
+      net:torn@req3      the daemon writes half of request 3's reply
+                         frame, then severs the connection
+      net:close@req3     the daemon severs the connection instead of
+                         writing request 3's reply
+      server:slow@req3   request 3's handler stalls until its deadline
+                         cancels it
+      server:crash-handler@req3
+                         request 3's handler raises Injected (the worker
+                         must survive and answer request 4)
     v}
 
     Specs come from [nisqc --inject SPEC] or the [NISQ_FAULTS] environment
@@ -26,6 +35,10 @@
 type calib_target = Qubit of int | Edge of int * int
 type calib_kind = Nan | Zero | Offline
 type calib_fault = { target : calib_target; kind : calib_kind }
+
+(** Daemon-side faults, targeted at a request index (arrival order,
+    counted by the server across all connections). *)
+type server_fault = Net_torn | Net_close | Slow | Crash_handler
 
 (** Raised by an armed [pool:crash@chunkN] clause. *)
 exception Injected of string
@@ -64,6 +77,12 @@ val kill_chunk : int -> bool
     ([Nisq_runkit.Deadline.chunk_checkpoint]) reacts exactly as to a
     real SIGTERM, making mid-sweep kills reproducible in tests. No-op
     (one ref read) when disarmed. *)
+
+val server_fault : int -> server_fault option
+(** The armed fault for daemon request [i], if any — one-shot: the
+    clause disarms when first looked up, so the retry of a damaged
+    request finds a healthy server. No-op (one ref read) when no server
+    clause is armed. Consumed by [Nisq_serve.Server]. *)
 
 val chunk_check : int -> unit
 (** Injection site for pool chunk [i]: raises [Injected] or [Domain_kill]

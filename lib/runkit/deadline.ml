@@ -24,6 +24,17 @@ let m_cancellations = Metrics.counter "runkit.cancellations"
 let state : reason option Atomic.t = Atomic.make None
 let deadline_ns : int64 option ref = ref None
 
+(* Per-domain scoped deadline ({!with_scoped}): the serving layer runs
+   many requests concurrently, one per worker domain, and a process-wide
+   token cannot expire one request without killing its neighbours. The
+   scoped expiry lives in domain-local storage, is consulted by
+   [cancelled] after the global sources, and never flips the global
+   token — an expired scope cancels exactly the domain that armed it. *)
+let scoped_key : int64 option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let m_scoped_expired = Metrics.counter "runkit.scoped_deadline_expired"
+
 let cancel reason =
   if Atomic.compare_and_set state None (Some reason) then
     Metrics.incr m_cancellations
@@ -36,9 +47,13 @@ let armed () = !deadline_ns <> None
 
 let reset () =
   deadline_ns := None;
+  Domain.DLS.get scoped_key := None;
   Atomic.set state None
 
-let cancelled () =
+(* The global sources only: token, deadline:blow fault, armed wall
+   clock. Used by [with_scoped] to tell a scope-local expiry apart from
+   a process-wide cancellation that must keep propagating. *)
+let global_cancelled () =
   match Atomic.get state with
   | Some _ as r -> r
   | None ->
@@ -52,6 +67,37 @@ let cancelled () =
             cancel Deadline;
             Atomic.get state
         | _ -> None)
+
+let cancelled () =
+  match global_cancelled () with
+  | Some _ as r -> r
+  | None -> (
+      match !(Domain.DLS.get scoped_key) with
+      | Some t when Clock.now_ns () >= t -> Some Deadline
+      | _ -> None)
+
+let with_scoped ~seconds f =
+  let cell = Domain.DLS.get scoped_key in
+  let saved = !cell in
+  let expiry = Int64.add (Clock.now_ns ()) (Int64.of_float (seconds *. 1e9)) in
+  (* Nested scopes tighten, never loosen: an outer 1 s budget is not
+     escaped by arming an inner 10 s one. *)
+  let expiry =
+    match saved with Some outer when outer < expiry -> outer | _ -> expiry
+  in
+  cell := Some expiry;
+  let restore () = cell := saved in
+  match f () with
+  | v ->
+      restore ();
+      Ok v
+  | exception Cancelled Deadline when global_cancelled () = None ->
+      restore ();
+      Metrics.incr m_scoped_expired;
+      Error Deadline
+  | exception e ->
+      restore ();
+      raise e
 
 let is_cancelled () = cancelled () <> None
 
@@ -107,6 +153,10 @@ let parse_duration src =
     match !error with
     | Some e -> Error e
     | None when !total <= 0.0 -> Error "duration must be positive"
+    | None when not (Float.is_finite !total) ->
+        (* "1e999h"-style inputs overflow to infinity; arming an infinite
+           deadline would feed Int64.of_float an undefined conversion. *)
+        Error "duration overflows"
     | None -> Ok !total
   end
 

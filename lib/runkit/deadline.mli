@@ -43,7 +43,20 @@ val init_from_env : unit -> unit
     bare number of seconds) if set; warns once on stderr if malformed. *)
 
 val parse_duration : string -> (float, string) result
-(** Parse a human duration into seconds. *)
+(** Parse a human duration into seconds. Rejects empty, non-positive,
+    malformed and overflowing (non-finite) inputs. *)
+
+val with_scoped : seconds:float -> (unit -> 'a) -> ('a, reason) result
+(** [with_scoped ~seconds f] runs [f] under a {e per-domain} deadline of
+    [seconds] from now, observed by the same cancellation points as the
+    process-wide token. When the scope expires, the next point raises
+    {!Cancelled}[ Deadline] and [with_scoped] converts it to
+    [Error Deadline] — the process-wide token is {e never} flipped, so
+    other domains (the serving layer's sibling workers) are untouched.
+    A process-wide cancellation (signal, global deadline, fault) still
+    wins: it re-raises through [with_scoped] untouched. Nested scopes
+    tighten — the inner scope cannot outlive the outer one. The scope is
+    restored on every exit path. *)
 
 val cancel : reason -> unit
 (** Flip the token; the first reason wins, later calls are no-ops.

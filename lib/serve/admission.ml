@@ -1,0 +1,156 @@
+module Metrics = Nisq_obs.Metrics
+module Events = Nisq_obs.Events
+
+let m_admitted = Metrics.counter "serve.admitted"
+let m_coalesced = Metrics.counter "serve.coalesced"
+let m_shed = Metrics.counter "serve.shed"
+let g_depth = Metrics.gauge "serve.queue_depth"
+
+type entry = {
+  key : string option;
+  verb : Protocol.verb;
+  deadline_ms : int option;
+  req_index : int;
+  enqueued_ns : int64;
+  mutable waiters : (Protocol.reply_body -> unit) list;
+}
+
+type t = {
+  capacity : int;
+  workers : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : entry Queue.t;
+  (* queued (not yet popped) coalescable entries, by key *)
+  by_key : (string, entry) Hashtbl.t;
+  mutable intake_open : bool;
+  mutable stopped : bool;
+  (* EWMA of request service time, for the shed reply's retry hint.
+     Starts at a compile-scale guess; refined by [note_service_ms]. *)
+  mutable service_ms : float;
+}
+
+let create ?(capacity = 64) ?(workers = 1) () =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  {
+    capacity;
+    workers = max 1 workers;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    by_key = Hashtbl.create 64;
+    intake_open = true;
+    stopped = false;
+    service_ms = 20.0;
+  }
+
+type admit =
+  | Admitted
+  | Coalesced
+  | Shed of { retry_after_ms : int; queue_depth : int }
+  | Draining
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Expected wait for a fresh slot: the whole queue plus the in-flight
+   request ahead of it, spread over the workers. Clamped to something a
+   client can reasonably sleep. *)
+let retry_after t depth =
+  let ms = t.service_ms *. float_of_int (depth + 1) /. float_of_int t.workers in
+  min 5000 (max 25 (int_of_float ms))
+
+let submit ?(coalescable = true) t ~verb ~deadline_ms ~req_index ~deliver =
+  let verdict =
+    locked t (fun () ->
+        if t.stopped || not t.intake_open then Draining
+        else
+          let key =
+            if coalescable then Protocol.coalesce_key verb else None
+          in
+          match Option.bind key (Hashtbl.find_opt t.by_key) with
+          | Some entry ->
+              entry.waiters <- deliver :: entry.waiters;
+              Coalesced
+          | None ->
+              let depth = Queue.length t.queue in
+              if depth >= t.capacity then
+                Shed { retry_after_ms = retry_after t depth; queue_depth = depth }
+              else begin
+                let entry =
+                  {
+                    key;
+                    verb;
+                    deadline_ms;
+                    req_index;
+                    enqueued_ns = Nisq_obs.Clock.now_ns ();
+                    waiters = [ deliver ];
+                  }
+                in
+                Queue.push entry t.queue;
+                Option.iter (fun k -> Hashtbl.replace t.by_key k entry) key;
+                Metrics.set g_depth (float_of_int (Queue.length t.queue));
+                Condition.signal t.nonempty;
+                Admitted
+              end)
+  in
+  (match verdict with
+  | Admitted -> Metrics.incr m_admitted
+  | Coalesced ->
+      Metrics.incr m_coalesced;
+      Events.emit ~domain:"serve" Events.Info
+        (Printf.sprintf "coalesced duplicate %s request"
+           (Protocol.verb_name verb))
+        ~fields:[ ("verb", Protocol.verb_name verb) ]
+  | Shed { retry_after_ms; queue_depth } ->
+      Metrics.incr m_shed;
+      Events.emit ~domain:"serve" Events.Warn
+        (Printf.sprintf
+           "nisqd: admission queue full (%d queued) — shedding %s request \
+            (retry_after_ms=%d)"
+           queue_depth (Protocol.verb_name verb) retry_after_ms)
+        ~fields:
+          [
+            ("verb", Protocol.verb_name verb);
+            ("queue_depth", string_of_int queue_depth);
+            ("retry_after_ms", string_of_int retry_after_ms);
+          ]
+  | Draining -> ());
+  verdict
+
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        match Queue.take_opt t.queue with
+        | Some entry ->
+            (* From here on the entry is in flight: a duplicate arriving
+               now starts its own entry rather than racing delivery. *)
+            Option.iter (fun k -> Hashtbl.remove t.by_key k) entry.key;
+            Metrics.set g_depth (float_of_int (Queue.length t.queue));
+            (* Waiters accumulated in reverse submission order. *)
+            entry.waiters <- List.rev entry.waiters;
+            Some entry
+        | None ->
+            if t.stopped then None
+            else begin
+              Condition.wait t.nonempty t.mutex;
+              wait ()
+            end
+      in
+      wait ())
+
+let depth t = locked t (fun () -> Queue.length t.queue)
+
+let note_service_ms t ms =
+  locked t (fun () -> t.service_ms <- (0.8 *. t.service_ms) +. (0.2 *. ms))
+
+let close_intake t = locked t (fun () -> t.intake_open <- false)
+
+let stop t =
+  locked t (fun () ->
+      t.intake_open <- false;
+      t.stopped <- true;
+      Condition.broadcast t.nonempty)
+
+let is_empty t = locked t (fun () -> Queue.is_empty t.queue)

@@ -1,0 +1,76 @@
+(** Bounded admission queue with request coalescing and load shedding.
+
+    The daemon's backpressure point. Work requests ([compile]/[run])
+    enter here; worker domains pop them. Three things can happen to a
+    submission:
+
+    - {b admitted}: a slot was free — the request queues FIFO;
+    - {b coalesced}: an identical request (equal {!Protocol.coalesce_key})
+      is already {e queued} (not yet started); the new waiter piggybacks
+      on that entry and both receive the same — byte-identical — reply
+      body from one execution. In-flight entries never coalesce: their
+      reply may already be partially delivered;
+    - {b shed}: the queue is full — the caller must send the client a
+      structured [overloaded] reply carrying [retry_after_ms], an
+      estimate of when a slot will open (queue depth × a service-time
+      EWMA over the worker count).
+
+    All operations are mutex-protected; {!pop} blocks on a condition
+    until work arrives, intake closes, or {!stop}. *)
+
+type entry = {
+  key : string option;
+  verb : Protocol.verb;
+  deadline_ms : int option;
+  req_index : int;  (** arrival index of the {e first} waiter *)
+  enqueued_ns : int64;
+  mutable waiters : (Protocol.reply_body -> unit) list;
+      (** delivery callbacks, submission order *)
+}
+
+type t
+
+val create : ?capacity:int -> ?workers:int -> unit -> t
+(** [capacity] (default 64) bounds queued entries (waiters on a
+    coalesced entry don't consume extra slots — they occupy none).
+    [workers] (default 1) scales the [retry_after_ms] estimate. *)
+
+type admit =
+  | Admitted
+  | Coalesced
+  | Shed of { retry_after_ms : int; queue_depth : int }
+  | Draining  (** intake closed; the daemon is shutting down *)
+
+val submit :
+  ?coalescable:bool ->
+  t ->
+  verb:Protocol.verb ->
+  deadline_ms:int option ->
+  req_index:int ->
+  deliver:(Protocol.reply_body -> unit) ->
+  admit
+(** [coalescable] (default [true]): pass [false] to force a private
+    entry even when an identical request is queued — the server does
+    this for requests that drew a handler-level injected fault, so the
+    fault lands on exactly the arrival index its clause names (and
+    cannot poison coalesced bystanders). *)
+
+val pop : t -> entry option
+(** Blocking. [None] once {!stop} was called and the queue is empty —
+    the worker's signal to exit. A popped entry stops coalescing. *)
+
+val depth : t -> int
+(** Queued (not yet popped) entries. *)
+
+val note_service_ms : t -> float -> unit
+(** Feed one request's service time into the shed estimate's EWMA. *)
+
+val close_intake : t -> unit
+(** Drain stage 1: every later {!submit} returns {!Draining}; queued
+    entries still drain through {!pop}. *)
+
+val stop : t -> unit
+(** Drain stage 2: wake every blocked {!pop}; once the queue empties,
+    pops return [None]. Implies {!close_intake}. *)
+
+val is_empty : t -> bool

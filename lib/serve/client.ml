@@ -1,0 +1,91 @@
+module Json = Nisq_obs.Json
+module Metrics = Nisq_obs.Metrics
+
+let m_retries = Metrics.counter "serve.client.retries"
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok { fd; closed = false }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" socket
+           (Unix.error_message e))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let call ?record t req =
+  match
+    let wire = Frame.write t.fd (Protocol.request_to_json req) in
+    Option.iter (fun f -> f wire) record;
+    Frame.read ?record t.fd
+  with
+  | Ok json -> (
+      match Protocol.reply_of_json json with
+      | Ok reply when reply.Protocol.id = req.Protocol.id -> Ok reply
+      | Ok reply ->
+          Error
+            (Printf.sprintf "reply id %d for request id %d" reply.Protocol.id
+               req.Protocol.id)
+      | Error msg -> Error ("bad reply: " ^ msg))
+  | Error e -> Error (Frame.error_message e)
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* Deterministic: Hashtbl.hash is a pure function of its argument, so
+   one (seed, attempt) pair always jitters the same way — tests can
+   assert the whole schedule. Distinct seeds (one per client) decorrelate
+   the herd. *)
+let backoff_ms ?(base_ms = 50) ?(cap_ms = 2000) ~seed ~attempt ~retry_after_ms
+    () =
+  let expo = min cap_ms (base_ms * (1 lsl min attempt 10)) in
+  let lo = max expo (Option.value retry_after_ms ~default:0) in
+  let jitter_span = max 1 (lo / 4) in
+  lo + (Hashtbl.hash (seed, attempt, lo) mod jitter_span)
+
+type failure =
+  | Remote of { code : string; message : string }
+  | Unavailable of string
+
+let call_with_retry ?(attempts = 5) ?base_ms ?cap_ms ?(seed = 0)
+    ?(sleep = Unix.sleepf) ~socket req =
+  if attempts < 1 then invalid_arg "call_with_retry: attempts must be >= 1";
+  let rec go attempt =
+    let retry ~hint err =
+      if attempt + 1 >= attempts then
+        Error
+          (Unavailable
+             (Printf.sprintf "gave up after %d attempts; last: %s" attempts err))
+      else begin
+        Metrics.incr m_retries;
+        let ms = backoff_ms ?base_ms ?cap_ms ~seed ~attempt ~retry_after_ms:hint () in
+        sleep (float_of_int ms /. 1000.0);
+        go (attempt + 1)
+      end
+    in
+    match connect ~socket with
+    | Error msg -> retry ~hint:None msg
+    | Ok conn -> (
+        let result = call conn req in
+        close conn;
+        match result with
+        | Ok { Protocol.body = Protocol.Result v; _ } -> Ok v
+        | Ok { body = Protocol.Overloaded { retry_after_ms; queue_depth }; _ }
+          ->
+            retry ~hint:(Some retry_after_ms)
+              (Printf.sprintf "overloaded (queue %d)" queue_depth)
+        | Ok { body = Protocol.Failed { code; message; retryable = true }; _ }
+          ->
+            retry ~hint:None (Printf.sprintf "%s: %s" code message)
+        | Ok { body = Protocol.Failed { code; message; retryable = false }; _ }
+          ->
+            Error (Remote { code; message })
+        | Error msg -> retry ~hint:None msg)
+  in
+  go 0

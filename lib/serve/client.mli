@@ -1,0 +1,65 @@
+(** Client side of the daemon protocol: one-shot calls and the retry
+    loop `nisqc --connect` uses.
+
+    The retry policy is capped exponential backoff with deterministic
+    jitter, and it {e honors the server}: an [overloaded] reply carries
+    [retry_after_ms], the server's own estimate of when a queue slot
+    opens, and the backoff never sleeps less than that hint. Jitter is
+    derived from [(seed, attempt)] — no wall clock, no global RNG — so
+    a retry schedule is reproducible in tests. *)
+
+type t
+(** One connected socket. Not thread-safe: one caller at a time. *)
+
+val connect : socket:string -> (t, string) result
+val close : t -> unit
+
+val call :
+  ?record:(string -> unit) ->
+  t ->
+  Protocol.request ->
+  (Protocol.reply, string) result
+(** One round-trip: write the request frame, read one reply frame.
+    [record] receives the raw wire bytes of both frames (request then
+    reply) — the [--record] capture that [jsonlint --frame] checks.
+    [Error] means the connection is unusable (refused, torn frame,
+    unparseable reply) — reconnect before retrying. *)
+
+val backoff_ms :
+  ?base_ms:int ->
+  ?cap_ms:int ->
+  seed:int ->
+  attempt:int ->
+  retry_after_ms:int option ->
+  unit ->
+  int
+(** The pause before retry number [attempt+1] (attempts count from 0):
+    [base_ms * 2^attempt] capped at [cap_ms] (defaults 50/2000),
+    raised to [retry_after_ms] when the server sent one, plus
+    deterministic jitter of up to 25% on top. Pure — exposed so tests
+    can check the whole schedule without sleeping. *)
+
+type failure =
+  | Remote of { code : string; message : string }
+      (** the server answered with a non-retryable error — retrying is
+          pointless (bad request, deadline, unknown benchmark) *)
+  | Unavailable of string
+      (** could not get an answer within the attempt budget: connection
+          refused/torn every time, or persistent overload/draining *)
+
+val call_with_retry :
+  ?attempts:int ->
+  ?base_ms:int ->
+  ?cap_ms:int ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  socket:string ->
+  Protocol.request ->
+  (Nisq_obs.Json.t, failure) result
+(** Call until a definitive answer or [attempts] (default 5) tries are
+    spent. Each attempt opens a fresh connection — a daemon that tore
+    the last one mid-reply is healthy again for the next. Retries on:
+    connect failure, torn/short reply, [overloaded] (honoring its
+    hint), and [error] replies marked [retryable] (a draining server).
+    [sleep] is injectable for tests (default [Unix.sleepf]). On
+    success, returns the reply's [result] payload. *)

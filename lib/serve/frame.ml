@@ -1,0 +1,116 @@
+module Json = Nisq_obs.Json
+
+let max_payload_bytes = 16 * 1024 * 1024
+
+let encode json =
+  let payload = Json.to_string json in
+  let n = String.length payload in
+  if n > max_payload_bytes then
+    invalid_arg (Printf.sprintf "Frame.encode: %d-byte payload" n);
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let write fd json =
+  let wire = encode json in
+  write_all fd wire 0 (String.length wire);
+  wire
+
+let write_torn fd json =
+  let wire = encode json in
+  write_all fd wire 0 (String.length wire / 2)
+
+type error =
+  | Eof
+  | Torn of string
+  | Too_large of int
+  | Malformed of string
+
+let error_message = function
+  | Eof -> "end of stream"
+  | Torn what -> Printf.sprintf "torn frame (stream ended inside %s)" what
+  | Too_large n ->
+      Printf.sprintf "frame length %d exceeds the %d-byte cap" n
+        max_payload_bytes
+  | Malformed msg -> Printf.sprintf "malformed payload: %s" msg
+
+(* Read exactly [len] bytes; [`Eof n] reports how many arrived before
+   the stream ended. A remote hard close can also surface as
+   ECONNRESET/EPIPE — to a frame reader that is the same event as a
+   mid-frame EOF, so it maps to the same result. *)
+let read_exact fd buf len =
+  let rec go pos =
+    if pos >= len then `Ok
+    else
+      match Unix.read fd buf pos (len - pos) with
+      | 0 -> `Eof pos
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception
+          Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          `Eof pos
+  in
+  go 0
+
+let read ?record fd =
+  let header = Bytes.create 4 in
+  match read_exact fd header 4 with
+  | `Eof 0 -> Error Eof
+  | `Eof _ -> Error (Torn "the length prefix")
+  | `Ok -> (
+      let n =
+        (Bytes.get_uint8 header 0 lsl 24)
+        lor (Bytes.get_uint8 header 1 lsl 16)
+        lor (Bytes.get_uint8 header 2 lsl 8)
+        lor Bytes.get_uint8 header 3
+      in
+      if n > max_payload_bytes then Error (Too_large n)
+      else
+        let payload = Bytes.create n in
+        match read_exact fd payload n with
+        | `Eof _ -> Error (Torn "the payload")
+        | `Ok -> (
+            let s = Bytes.unsafe_to_string payload in
+            (match record with
+            | Some f -> f (Bytes.to_string header ^ s)
+            | None -> ());
+            match Json.of_string s with
+            | Ok v -> Ok v
+            | Error msg -> Error (Malformed msg)))
+
+let scan_string src =
+  let len = String.length src in
+  let rec go acc pos =
+    if pos = len then Ok (List.rev acc)
+    else if pos + 4 > len then Error "torn length prefix"
+    else
+      let n =
+        (Char.code src.[pos] lsl 24)
+        lor (Char.code src.[pos + 1] lsl 16)
+        lor (Char.code src.[pos + 2] lsl 8)
+        lor Char.code src.[pos + 3]
+      in
+      if n > max_payload_bytes then
+        Error (Printf.sprintf "frame length %d exceeds the cap" n)
+      else if pos + 4 + n > len then
+        Error (Printf.sprintf "torn payload at byte %d" pos)
+      else
+        match Json.of_string (String.sub src (pos + 4) n) with
+        | Ok v -> go (v :: acc) (pos + 4 + n)
+        | Error msg ->
+            Error (Printf.sprintf "frame at byte %d: invalid JSON: %s" pos msg)
+  in
+  go [] 0

@@ -1,0 +1,287 @@
+module Json = Nisq_obs.Json
+module Config = Nisq_compiler.Config
+
+let protocol_version = 1
+
+let build_id = Printf.sprintf "nisq 1.1.0 proto/%d" protocol_version
+
+type program = Named of string | Qasm of string
+
+type compile_params = {
+  program : program;
+  method_ : Config.method_;
+  routing : Config.routing option;
+  movement : Config.movement;
+  day : int;
+  calib_seed : int;
+  emit_qasm : bool;
+}
+
+type run_params = { compile : compile_params; trials : int; sim_seed : int }
+
+type verb =
+  | Ping
+  | Stats
+  | Drain
+  | Compile of compile_params
+  | Run of run_params
+
+let verb_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Drain -> "drain"
+  | Compile _ -> "compile"
+  | Run _ -> "run"
+
+type request = { id : int; deadline_ms : int option; verb : verb }
+
+type reply_body =
+  | Result of Json.t
+  | Overloaded of { retry_after_ms : int; queue_depth : int }
+  | Failed of { code : string; message : string; retryable : bool }
+
+type reply = { id : int; body : reply_body }
+
+(* --------------------------- method names --------------------------- *)
+
+let method_to_string = function
+  | Config.Qiskit -> "qiskit"
+  | Config.T_smt -> "tsmt"
+  | Config.T_smt_star -> "tsmt*"
+  | Config.R_smt_star w -> Printf.sprintf "rsmt:%g" w
+  | Config.Greedy_v -> "greedyv"
+  | Config.Greedy_e -> "greedye"
+
+let method_of_string s =
+  match String.lowercase_ascii s with
+  | "qiskit" -> Ok Config.Qiskit
+  | "tsmt" | "t-smt" -> Ok Config.T_smt
+  | "tsmt*" | "t-smt*" | "tsmt-star" -> Ok Config.T_smt_star
+  | "rsmt" | "rsmt*" | "r-smt*" -> Ok (Config.R_smt_star 0.5)
+  | s when String.length s > 5 && String.sub s 0 5 = "rsmt:" -> (
+      match Float.of_string_opt (String.sub s 5 (String.length s - 5)) with
+      | Some w when w >= 0.0 && w <= 1.0 -> Ok (Config.R_smt_star w)
+      | _ -> Error "bad omega in rsmt:<omega>")
+  | "greedyv" | "greedyv*" -> Ok Config.Greedy_v
+  | "greedye" | "greedye*" -> Ok Config.Greedy_e
+  | other -> Error (Printf.sprintf "unknown method %S" other)
+
+let routing_to_string = function
+  | Config.Rectangle_reservation -> "rr"
+  | Config.One_bend -> "1bp"
+  | Config.Best_path -> "bestpath"
+
+let routing_of_string s =
+  match String.lowercase_ascii s with
+  | "rr" -> Ok Config.Rectangle_reservation
+  | "1bp" -> Ok Config.One_bend
+  | "bestpath" | "best-path" -> Ok Config.Best_path
+  | other -> Error (Printf.sprintf "unknown routing %S" other)
+
+let movement_to_string = function
+  | Config.Swap_back -> "swap-back"
+  | Config.Move_and_stay -> "move-and-stay"
+
+let movement_of_string s =
+  match String.lowercase_ascii s with
+  | "swap-back" | "swapback" | "static" -> Ok Config.Swap_back
+  | "move" | "move-and-stay" | "dynamic" -> Ok Config.Move_and_stay
+  | other -> Error (Printf.sprintf "unknown movement %S" other)
+
+(* ------------------------------ encode ------------------------------ *)
+
+let compile_params_to_json p =
+  let program =
+    match p.program with
+    | Named n -> ("program", Json.String n)
+    | Qasm src -> ("qasm", Json.String src)
+  in
+  Json.Obj
+    (program
+    :: [
+         ("method", Json.String (method_to_string p.method_));
+         ( "routing",
+           match p.routing with
+           | None -> Json.Null
+           | Some r -> Json.String (routing_to_string r) );
+         ("movement", Json.String (movement_to_string p.movement));
+         ("day", Json.Int p.day);
+         ("calibration_seed", Json.Int p.calib_seed);
+         ("emit_qasm", Json.Bool p.emit_qasm);
+       ])
+
+let params_to_json = function
+  | Ping | Stats | Drain -> []
+  | Compile p -> [ ("params", compile_params_to_json p) ]
+  | Run { compile; trials; sim_seed } ->
+      let base =
+        match compile_params_to_json compile with
+        | Json.Obj kvs -> kvs
+        | _ -> assert false
+      in
+      [
+        ( "params",
+          Json.Obj
+            (base @ [ ("trials", Json.Int trials); ("sim_seed", Json.Int sim_seed) ])
+        );
+      ]
+
+let request_to_json (r : request) =
+  Json.Obj
+    ([
+       ("nisqd", Json.Int protocol_version);
+       ("id", Json.Int r.id);
+       ("verb", Json.String (verb_name r.verb));
+     ]
+    @ (match r.deadline_ms with
+      | None -> []
+      | Some ms -> [ ("deadline_ms", Json.Int ms) ])
+    @ params_to_json r.verb)
+
+let reply_to_json r =
+  let body =
+    match r.body with
+    | Result v -> [ ("status", Json.String "ok"); ("result", v) ]
+    | Overloaded { retry_after_ms; queue_depth } ->
+        [
+          ("status", Json.String "overloaded");
+          ("retry_after_ms", Json.Int retry_after_ms);
+          ("queue_depth", Json.Int queue_depth);
+        ]
+    | Failed { code; message; retryable } ->
+        [
+          ("status", Json.String "error");
+          ("code", Json.String code);
+          ("message", Json.String message);
+          ("retryable", Json.Bool retryable);
+        ]
+  in
+  Json.Obj (("id", Json.Int r.id) :: body)
+
+(* ------------------------------ decode ------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let int_member name ?default v =
+  match Json.member name v with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "%S is not an integer" name)
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None -> Error (Printf.sprintf "missing %S" name))
+
+let string_member name v =
+  match Json.member name v with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "%S is not a string" name)
+  | None -> Error (Printf.sprintf "missing %S" name)
+
+let bool_member name ~default v =
+  match Json.member name v with
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "%S is not a boolean" name)
+  | None -> Ok default
+
+let compile_params_of_json v =
+  let* program =
+    match (Json.member "program" v, Json.member "qasm" v) with
+    | Some (Json.String n), None -> Ok (Named n)
+    | None, Some (Json.String src) -> Ok (Qasm src)
+    | Some _, Some _ -> Error "both \"program\" and \"qasm\" given"
+    | None, None -> Error "missing \"program\" or \"qasm\""
+    | _ -> Error "\"program\"/\"qasm\" is not a string"
+  in
+  let* method_ = Result.bind (string_member "method" v) method_of_string in
+  let* routing =
+    match Json.member "routing" v with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.String s) -> Result.map Option.some (routing_of_string s)
+    | Some _ -> Error "\"routing\" is not a string"
+  in
+  let* movement =
+    match Json.member "movement" v with
+    | None -> Ok Config.Swap_back
+    | Some (Json.String s) -> movement_of_string s
+    | Some _ -> Error "\"movement\" is not a string"
+  in
+  let* day = int_member "day" ~default:0 v in
+  let* calib_seed =
+    int_member "calibration_seed" ~default:Nisq_device.Ibmq16.default_seed v
+  in
+  let* emit_qasm = bool_member "emit_qasm" ~default:false v in
+  Ok { program; method_; routing; movement; day; calib_seed; emit_qasm }
+
+let request_of_json v =
+  let* id = int_member "id" v in
+  let* deadline_ms =
+    match Json.member "deadline_ms" v with
+    | None -> Ok None
+    | Some (Json.Int ms) when ms > 0 -> Ok (Some ms)
+    | Some (Json.Int _) -> Error "\"deadline_ms\" must be positive"
+    | Some _ -> Error "\"deadline_ms\" is not an integer"
+  in
+  let* name = string_member "verb" v in
+  let params () =
+    match Json.member "params" v with
+    | Some (Json.Obj _ as p) -> Ok p
+    | Some _ -> Error "\"params\" is not an object"
+    | None -> Error "missing \"params\""
+  in
+  let* verb =
+    match name with
+    | "ping" -> Ok Ping
+    | "stats" -> Ok Stats
+    | "drain" -> Ok Drain
+    | "compile" ->
+        let* p = params () in
+        Result.map (fun c -> Compile c) (compile_params_of_json p)
+    | "run" ->
+        let* p = params () in
+        let* compile = compile_params_of_json p in
+        let* trials = int_member "trials" ~default:4096 p in
+        let* sim_seed = int_member "sim_seed" ~default:424242 p in
+        if trials <= 0 then Error "\"trials\" must be positive"
+        else Ok (Run { compile; trials; sim_seed })
+    | other -> Error (Printf.sprintf "unknown verb %S" other)
+  in
+  Ok { id; deadline_ms; verb }
+
+let reply_of_json v =
+  let* id = int_member "id" v in
+  let* status = string_member "status" v in
+  let* body =
+    match status with
+    | "ok" -> (
+        match Json.member "result" v with
+        | Some r -> Ok (Result r)
+        | None -> Error "missing \"result\"")
+    | "overloaded" ->
+        let* retry_after_ms = int_member "retry_after_ms" v in
+        let* queue_depth = int_member "queue_depth" ~default:0 v in
+        Ok (Overloaded { retry_after_ms; queue_depth })
+    | "error" ->
+        let* code = string_member "code" v in
+        let* message = string_member "message" v in
+        let* retryable = bool_member "retryable" ~default:false v in
+        Ok (Failed { code; message; retryable })
+    | other -> Error (Printf.sprintf "unknown status %S" other)
+  in
+  Ok { id; body }
+
+(* --------------------------- coalesce key --------------------------- *)
+
+let coalesce_key verb =
+  match verb with
+  | Ping | Stats | Drain -> None
+  | Compile _ | Run _ ->
+      (* The canonical JSON of the work-defining params (the request id
+         and deadline are delivery concerns, not work) digested to a
+         fixed-size key. *)
+      let work =
+        match params_to_json verb with
+        | [ (_, p) ] -> p
+        | _ -> assert false
+      in
+      let tag = verb_name verb in
+      Some (Digest.to_hex (Digest.string (tag ^ ":" ^ Json.to_string work)))

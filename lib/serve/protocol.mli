@@ -1,0 +1,75 @@
+(** The daemon's request/reply vocabulary and its JSON codecs.
+
+    Requests and replies are single JSON objects carried in
+    length-prefixed frames ({!Frame}). Every request carries a
+    client-chosen [id] echoed verbatim in the reply, so a client may
+    pipeline. Reply payloads for [compile]/[run] contain only
+    deterministic fields (no wall-clock) — two requests for the same
+    work get byte-identical [result] objects whether or not the
+    admission queue coalesced them. *)
+
+val protocol_version : int
+(** Bumped on any wire-incompatible change; exchanged in [ping]. *)
+
+val build_id : string
+(** Build identifier printed by [nisqc --version] / [nisqd --version]
+    and returned by the [ping] verb, e.g. ["nisq 1.1.0 proto/1"]. *)
+
+type program =
+  | Named of string  (** a built-in benchmark, by name *)
+  | Qasm of string  (** inline OpenQASM 2.0 source *)
+
+type compile_params = {
+  program : program;
+  method_ : Nisq_compiler.Config.method_;
+  routing : Nisq_compiler.Config.routing option;
+      (** [None]: the paper's default for the method *)
+  movement : Nisq_compiler.Config.movement;
+  day : int;
+  calib_seed : int;
+  emit_qasm : bool;
+      (** include the compiled OpenQASM text in the reply *)
+}
+
+type run_params = { compile : compile_params; trials : int; sim_seed : int }
+
+type verb =
+  | Ping
+  | Stats
+  | Drain
+  | Compile of compile_params
+  | Run of run_params
+
+val verb_name : verb -> string
+(** ["ping" | "stats" | "drain" | "compile" | "run"]. *)
+
+type request = {
+  id : int;
+  deadline_ms : int option;  (** [None]: the server's default *)
+  verb : verb;
+}
+
+type reply_body =
+  | Result of Nisq_obs.Json.t  (** status ["ok"] *)
+  | Overloaded of { retry_after_ms : int; queue_depth : int }
+  | Failed of { code : string; message : string; retryable : bool }
+
+type reply = { id : int; body : reply_body }
+
+val request_to_json : request -> Nisq_obs.Json.t
+val request_of_json : Nisq_obs.Json.t -> (request, string) result
+val reply_to_json : reply -> Nisq_obs.Json.t
+val reply_of_json : Nisq_obs.Json.t -> (reply, string) result
+
+val method_to_string : Nisq_compiler.Config.method_ -> string
+val method_of_string : string -> (Nisq_compiler.Config.method_, string) result
+(** The CLI's method grammar: [qiskit | tsmt | tsmt* | rsmt |
+    rsmt:<omega> | greedyv | greedye]. *)
+
+val coalesce_key : verb -> string option
+(** Stable digest of everything that determines a [compile]/[run]
+    reply payload: program text or name, method, routing, movement,
+    calibration day and seed, trials and simulation seed. Two requests
+    with equal keys would produce byte-identical [Result] payloads, so
+    the admission queue may serve both from one execution. [None] for
+    the administrative verbs, which are never coalesced. *)

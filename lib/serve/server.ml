@@ -1,0 +1,640 @@
+module Json = Nisq_obs.Json
+module Metrics = Nisq_obs.Metrics
+module Events = Nisq_obs.Events
+module Clock = Nisq_obs.Clock
+module Deadline = Nisq_runkit.Deadline
+module Faultkit = Nisq_faultkit.Faultkit
+module Config = Nisq_compiler.Config
+module Compile = Nisq_compiler.Compile
+module Layout = Nisq_compiler.Layout
+module Budget = Nisq_solver.Budget
+module Circuit = Nisq_circuit.Circuit
+module Qasm = Nisq_circuit.Qasm
+module Ibmq16 = Nisq_device.Ibmq16
+module Benchmarks = Nisq_bench.Benchmarks
+module Experiments = Nisq_bench.Experiments
+module Runner = Nisq_sim.Runner
+module Pool = Nisq_util.Pool
+
+type config = {
+  socket : string;
+  workers : int;
+  queue_capacity : int;
+  default_deadline_ms : int;
+  drain_grace_s : float;
+}
+
+let default_config ~socket =
+  {
+    socket;
+    workers = 2;
+    queue_capacity = 64;
+    default_deadline_ms = 30_000;
+    drain_grace_s = 5.0;
+  }
+
+type outcome = Drained of Deadline.reason option
+
+exception Startup_error of string
+
+let m_requests = Metrics.counter "serve.requests"
+let m_served = Metrics.counter "serve.served"
+let m_handler_crashes = Metrics.counter "resilience.serve.handler_crashes"
+let m_deadline_expired = Metrics.counter "serve.deadline_expired"
+let m_conns = Metrics.counter "serve.connections"
+let g_in_flight = Metrics.gauge "serve.in_flight"
+
+(* One latency histogram per verb, shared across server instances —
+   metrics names are process-global anyway. *)
+let latency_hist =
+  let table = Hashtbl.create 8 in
+  fun verb_name ->
+    match Hashtbl.find_opt table verb_name with
+    | Some h -> h
+    | None ->
+        let h = Metrics.histogram ("serve.latency_ms." ^ verb_name) in
+        Hashtbl.replace table verb_name h;
+        h
+
+(* ------------------------------ handler ----------------------------- *)
+
+(* Request-level failures that are the client's fault, not ours. *)
+exception Bad_request of string
+
+let circuit_of (p : Protocol.compile_params) =
+  match p.program with
+  | Protocol.Named n -> (
+      match Benchmarks.by_name n with
+      | b -> (b.Benchmarks.name, b.Benchmarks.circuit)
+      | exception Not_found ->
+          raise (Bad_request (Printf.sprintf "unknown benchmark %S" n)))
+  | Protocol.Qasm src -> (
+      match Qasm.of_string src with
+      | Ok c -> ("<qasm>", c)
+      | Error { Qasm.line; message } ->
+          raise (Bad_request (Printf.sprintf "qasm:%d: %s" line message)))
+
+let config_of (p : Protocol.compile_params) =
+  match p.routing with
+  | Some r -> Config.make ~routing:r ~movement:p.movement p.method_
+  | None -> Config.make ~movement:p.movement p.method_
+
+(* The compile reply payload. Deterministic by construction: every
+   field is a pure function of the request params — wall-clock values
+   (compile_seconds) are deliberately left out so coalesced waiters and
+   repeated requests get byte-identical bytes. *)
+let compile_result (p : Protocol.compile_params) =
+  let name, circuit = circuit_of p in
+  let calib = Ibmq16.calibration ~seed:p.calib_seed ~day:p.day () in
+  let r = Compile.run ~config:(config_of p) ~calib circuit in
+  let solver =
+    match r.Compile.solver_stats with
+    | None -> []
+    | Some s ->
+        [
+          ( "solver",
+            Json.Obj
+              ([
+                 ("nodes", Json.Int s.Budget.nodes_visited);
+                 ("proven_optimal", Json.Bool s.Budget.proven_optimal);
+               ]
+              @
+              match r.Compile.rung with
+              | None -> []
+              | Some rung ->
+                  [ ("rung", Json.String (Compile.rung_name rung)) ]) );
+        ]
+  in
+  let qasm =
+    if p.emit_qasm then [ ("qasm", Json.String (Compile.to_qasm r)) ] else []
+  in
+  ( r,
+    Json.Obj
+      ([
+         ("program", Json.String name);
+         ("qubits", Json.Int r.Compile.program.Circuit.num_qubits);
+         ("gates", Json.Int (Circuit.gate_count r.Compile.program));
+         ("cnots", Json.Int (Circuit.cnot_count r.Compile.program));
+         ("config", Json.String (Config.name r.Compile.config));
+         ("day", Json.Int p.day);
+         ("swaps", Json.Int r.Compile.swap_count);
+         ("duration_slots", Json.Int r.Compile.duration);
+         ("esp", Json.Float r.Compile.esp);
+         ( "layout",
+           Json.List
+             (Array.to_list
+                (Array.map (fun h -> Json.Int h)
+                   (Layout.to_array r.Compile.layout))) );
+       ]
+      @ solver @ qasm) )
+
+let run_result (p : Protocol.run_params) =
+  let r, compile_json = compile_result p.Protocol.compile in
+  let runner = Experiments.runner_of r in
+  let success =
+    Runner.success_rate ~trials:p.Protocol.trials ~pool:(Pool.default ())
+      ~seed:p.Protocol.sim_seed runner
+  in
+  let extra =
+    [
+      ("trials", Json.Int p.Protocol.trials);
+      ("sim_seed", Json.Int p.Protocol.sim_seed);
+      ("ideal_answer", Json.Int (Runner.ideal_answer runner));
+      ("success_rate", Json.Float success);
+    ]
+  in
+  match compile_json with
+  | Json.Obj kvs -> Json.Obj (kvs @ extra)
+  | _ -> assert false
+
+let handle_work verb =
+  match verb with
+  | Protocol.Compile p -> Protocol.Result (snd (compile_result p))
+  | Protocol.Run p -> Protocol.Result (run_result p)
+  | Protocol.Ping | Protocol.Stats | Protocol.Drain ->
+      Protocol.Failed
+        {
+          code = "not-work";
+          message =
+            Printf.sprintf "%S is answered inline, not queued"
+              (Protocol.verb_name verb);
+          retryable = false;
+        }
+
+(* --------------------------- server state --------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;
+  (* No more writes: the peer is gone or the reply stream was severed. *)
+  mutable dead : bool;
+  (* The reader closed the fd and is terminating: the connection can be
+     reaped (joined) without blocking, and the fd number may be reused. *)
+  mutable closed : bool;
+}
+
+type drain_cause = Running | By_signal of Deadline.reason | By_verb
+
+type t = {
+  cfg : config;
+  queue : Admission.t;
+  drain : drain_cause Atomic.t;
+  req_counter : int Atomic.t;
+  in_flight : int Atomic.t;
+  served : int Atomic.t;
+  crashes : int Atomic.t;
+  started_ns : int64;
+  conns_mutex : Mutex.t;
+  mutable conns : (conn * unit Domain.t) list;
+  (* server:slow / server:crash-handler clauses consumed by the reader
+     at arrival (the faultkit is one-shot) but acted on by the worker. *)
+  faults_mutex : Mutex.t;
+  handler_faults : (int, Faultkit.server_fault) Hashtbl.t;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ------------------------------ replies ----------------------------- *)
+
+(* Deliver one reply frame, honoring a one-shot net:* fault. Never
+   raises: a peer that vanished mid-reply is that peer's problem — the
+   connection is marked dead and the server moves on. *)
+let send_reply ?net_fault conn (reply : Protocol.reply) =
+  locked conn.wmutex (fun () ->
+      if not (conn.dead || conn.closed) then
+        let json = Protocol.reply_to_json reply in
+        try
+          match net_fault with
+          | Some Faultkit.Net_torn ->
+              Frame.write_torn conn.fd json;
+              (* Sever so the client sees the tear now, not on its next
+                 request. *)
+              Unix.shutdown conn.fd Unix.SHUTDOWN_SEND
+          | Some Faultkit.Net_close ->
+              Unix.shutdown conn.fd Unix.SHUTDOWN_SEND
+          | _ -> ignore (Frame.write conn.fd json)
+        with Unix.Unix_error _ -> conn.dead <- true)
+
+(* ------------------------------ workers ----------------------------- *)
+
+let take_handler_fault t idx =
+  locked t.faults_mutex (fun () ->
+      match Hashtbl.find_opt t.handler_faults idx with
+      | Some f ->
+          Hashtbl.remove t.handler_faults idx;
+          Some f
+      | None -> None)
+
+(* The server:slow fault: burn the request's whole deadline budget,
+   cooperatively — the scoped deadline (or a drain's global cancel)
+   ends the stall. *)
+let rec stall () =
+  (match Deadline.cancelled () with
+  | Some r -> raise (Deadline.Cancelled r)
+  | None -> ());
+  Unix.sleepf 0.005;
+  stall ()
+
+let deliver_all entry body =
+  List.iter (fun deliver -> deliver body) entry.Admission.waiters
+
+let work_one t (entry : Admission.entry) =
+  Atomic.incr t.in_flight;
+  Metrics.set g_in_flight (float_of_int (Atomic.get t.in_flight));
+  let t0 = Clock.now_ns () in
+  let deadline_ms =
+    Option.value entry.deadline_ms ~default:t.cfg.default_deadline_ms
+  in
+  let fault = take_handler_fault t entry.req_index in
+  let verb_name = Protocol.verb_name entry.verb in
+  let body =
+    match
+      Deadline.with_scoped
+        ~seconds:(float_of_int deadline_ms /. 1000.0)
+        (fun () ->
+          (match fault with
+          | Some Faultkit.Crash_handler ->
+              failwith "injected handler crash (server:crash-handler)"
+          | Some Faultkit.Slow -> stall ()
+          | _ -> ());
+          handle_work entry.verb)
+    with
+    | Ok body -> body
+    | Error _ ->
+        Metrics.incr m_deadline_expired;
+        Protocol.Failed
+          {
+            code = "deadline";
+            message =
+              Printf.sprintf "request exceeded its %d ms deadline" deadline_ms;
+            retryable = false;
+          }
+    | exception Deadline.Cancelled _ ->
+        (* Drain stage 2: the global token is flipped. Fail the request
+           as retryable — a restarted daemon will serve it — and keep
+           looping; the queue is stopped, so the worker exits once the
+           backlog of instantly-cancelling entries is delivered. *)
+        Protocol.Failed
+          {
+            code = "draining";
+            message = "server is draining; retry against the next instance";
+            retryable = true;
+          }
+    | exception Bad_request message ->
+        Protocol.Failed { code = "bad-request"; message; retryable = false }
+    | exception exn ->
+        (* The resilience contract: a crashing handler produces a
+           structured error reply and a metric tick; the worker domain
+           survives to serve the next request. *)
+        Atomic.incr t.crashes;
+        Metrics.incr m_handler_crashes;
+        Events.emit ~domain:"serve" Events.Warn
+          (Printf.sprintf "nisqd: %s handler crashed: %s" verb_name
+             (Printexc.to_string exn))
+          ~fields:[ ("verb", verb_name) ];
+        Protocol.Failed
+          {
+            code = "internal";
+            message = Printexc.to_string exn;
+            retryable = true;
+          }
+  in
+  let ms = Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e6 in
+  Admission.note_service_ms t.queue ms;
+  Metrics.observe (latency_hist verb_name) ms;
+  deliver_all entry body;
+  Atomic.incr t.served;
+  Metrics.incr m_served;
+  Atomic.decr t.in_flight;
+  Metrics.set g_in_flight (float_of_int (Atomic.get t.in_flight))
+
+let rec worker_loop t =
+  match Admission.pop t.queue with
+  | None -> ()
+  | Some entry ->
+      work_one t entry;
+      worker_loop t
+
+(* ---------------------------- admin verbs --------------------------- *)
+
+let ping_json =
+  Json.Obj
+    [
+      ("pong", Json.Bool true);
+      ("build", Json.String Protocol.build_id);
+      ("protocol", Json.Int Protocol.protocol_version);
+    ]
+
+let stats_json t =
+  let uptime_s =
+    Int64.to_float (Int64.sub (Clock.now_ns ()) t.started_ns) /. 1e9
+  in
+  Json.Obj
+    [
+      ("build", Json.String Protocol.build_id);
+      ("protocol", Json.Int Protocol.protocol_version);
+      ("workers", Json.Int t.cfg.workers);
+      ("queue_capacity", Json.Int t.cfg.queue_capacity);
+      ("queue_depth", Json.Int (Admission.depth t.queue));
+      ("in_flight", Json.Int (Atomic.get t.in_flight));
+      ("served", Json.Int (Atomic.get t.served));
+      ("handler_crashes", Json.Int (Atomic.get t.crashes));
+      ("uptime_s", Json.Float uptime_s);
+      ( "draining",
+        Json.Bool (match Atomic.get t.drain with Running -> false | _ -> true)
+      );
+    ]
+
+(* ------------------------------ readers ----------------------------- *)
+
+let request_drain t cause =
+  ignore (Atomic.compare_and_set t.drain Running cause)
+
+let dispatch t conn (req : Protocol.request) =
+  Metrics.incr m_requests;
+  match req.verb with
+  | Protocol.Ping -> send_reply conn { id = req.id; body = Result ping_json }
+  | Protocol.Stats ->
+      send_reply conn { id = req.id; body = Result (stats_json t) }
+  | Protocol.Drain ->
+      send_reply conn
+        { id = req.id; body = Result (Json.Obj [ ("draining", Json.Bool true) ]) };
+      request_drain t By_verb
+  | Protocol.Compile _ | Protocol.Run _ ->
+      (* Work verbs consume arrival indices — the faultkit's @req<N>
+         targets count these, not pings. *)
+      let idx = Atomic.fetch_and_add t.req_counter 1 in
+      let net_fault, handler_faulted =
+        match Faultkit.server_fault idx with
+        | Some (Faultkit.Net_torn | Faultkit.Net_close) as f -> (f, false)
+        | Some ((Faultkit.Slow | Faultkit.Crash_handler) as fault) ->
+            locked t.faults_mutex (fun () ->
+                Hashtbl.replace t.handler_faults idx fault);
+            (None, true)
+        | None -> (None, false)
+      in
+      let deliver body = send_reply ?net_fault conn { id = req.id; body } in
+      (* A handler-faulted request must own its entry: coalescing onto
+         a clean twin would both dodge the fault (the worker consumes it
+         by the entry's index) and blast the twin's waiters with it. *)
+      let verdict =
+        Admission.submit ~coalescable:(not handler_faulted) t.queue
+          ~verb:req.verb ~deadline_ms:req.deadline_ms ~req_index:idx ~deliver
+      in
+      (match verdict with
+      | Admission.Admitted | Admission.Coalesced -> ()
+      | Admission.Shed { retry_after_ms; queue_depth } ->
+          deliver (Protocol.Overloaded { retry_after_ms; queue_depth })
+      | Admission.Draining ->
+          deliver
+            (Protocol.Failed
+               {
+                 code = "draining";
+                 message = "server is draining; not accepting new work";
+                 retryable = true;
+               }))
+
+let reader_loop t conn =
+  let rec loop () =
+    match Frame.read conn.fd with
+    | Error Frame.Eof -> ()
+    | Error ((Frame.Torn _ | Frame.Too_large _ | Frame.Malformed _) as e) ->
+        (* The stream is unframed from here on; answer what we can and
+           hang up. id 0 is reserved for "could not even parse the
+           request". *)
+        send_reply conn
+          {
+            id = 0;
+            body =
+              Protocol.Failed
+                {
+                  code = "bad-frame";
+                  message = Frame.error_message e;
+                  retryable = false;
+                };
+          }
+    | Ok json ->
+        (match Protocol.request_of_json json with
+        | Error message ->
+            send_reply conn
+              {
+                id = 0;
+                body =
+                  Protocol.Failed
+                    { code = "bad-request"; message; retryable = false };
+              }
+        | Ok req -> dispatch t conn req);
+        loop ()
+  in
+  loop ();
+  (* The reader owns the fd: close exactly once, here, whatever state
+     the writers left the connection in. *)
+  locked conn.wmutex (fun () ->
+      conn.dead <- true;
+      if not conn.closed then begin
+        conn.closed <- true;
+        (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+      end)
+
+(* ------------------------------- drain ------------------------------ *)
+
+(* Reap connections whose reader has finished: join costs nothing once
+   [closed] is set, and eager joins keep a long-lived daemon's domain
+   count proportional to live connections, not total ones. *)
+let reap_finished t =
+  let finished =
+    locked t.conns_mutex (fun () ->
+        let gone, live =
+          List.partition (fun (conn, _) -> conn.closed) t.conns
+        in
+        t.conns <- live;
+        gone)
+  in
+  List.iter (fun (_, d) -> Domain.join d) finished
+
+let sever_connections t =
+  let conns = locked t.conns_mutex (fun () -> t.conns) in
+  List.iter
+    (fun (conn, _) ->
+      locked conn.wmutex (fun () ->
+          conn.dead <- true;
+          (* shutdown, not close: unblocks a reader parked in
+             [Frame.read]; the reader closes the fd on its way out. *)
+          if not conn.closed then
+            try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ()))
+    conns;
+  List.iter (fun (_, d) -> Domain.join d) conns
+
+let fail_leftovers t =
+  let rec loop () =
+    match Admission.pop t.queue with
+    | None -> ()
+    | Some entry ->
+        deliver_all entry
+          (Protocol.Failed
+             {
+               code = "draining";
+               message = "server drained before this request was served";
+               retryable = true;
+             });
+        loop ()
+  in
+  loop ()
+
+(* -------------------------------- run ------------------------------- *)
+
+let assert_socket_free path =
+  if Sys.file_exists path then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if live then
+      raise
+        (Startup_error
+           (Printf.sprintf "socket %s is already served by a live daemon" path));
+    (* Stale socket from a crashed daemon: reclaim it. *)
+    try Unix.unlink path
+    with Unix.Unix_error (e, _, _) ->
+      raise
+        (Startup_error
+           (Printf.sprintf "cannot reclaim stale socket %s: %s" path
+              (Unix.error_message e)))
+  end
+
+let run ?(on_ready = fun () -> ()) ?(signals = false) cfg =
+  if cfg.workers < 0 then invalid_arg "Server.run: workers must be >= 0";
+  (* A client hanging up mid-reply must be an EPIPE result, not a
+     process-killing signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  assert_socket_free cfg.socket;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise
+       (Startup_error
+          (Printf.sprintf "cannot bind %s: %s" cfg.socket (Unix.error_message e))));
+  Unix.listen listen_fd 64;
+  let t =
+    {
+      cfg;
+      queue =
+        Admission.create ~capacity:cfg.queue_capacity
+          ~workers:(max 1 cfg.workers) ();
+      drain = Atomic.make Running;
+      req_counter = Atomic.make 0;
+      in_flight = Atomic.make 0;
+      served = Atomic.make 0;
+      crashes = Atomic.make 0;
+      started_ns = Clock.now_ns ();
+      conns_mutex = Mutex.create ();
+      conns = [];
+      faults_mutex = Mutex.create ();
+      handler_faults = Hashtbl.create 8;
+    }
+  in
+  let old_term = ref Sys.Signal_default and old_int = ref Sys.Signal_default in
+  if signals then begin
+    let on_signal reason _ =
+      match Atomic.get t.drain with
+      | Running -> request_drain t (By_signal reason)
+      | _ ->
+          (* Second signal: the operator means it. *)
+          Stdlib.exit (Deadline.exit_code reason)
+    in
+    old_term := Sys.signal Sys.sigterm (Sys.Signal_handle (on_signal Deadline.Sigterm));
+    old_int := Sys.signal Sys.sigint (Sys.Signal_handle (on_signal Deadline.Sigint))
+  end;
+  let workers = List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t)) in
+  Events.emit ~domain:"serve" Events.Info
+    (Printf.sprintf "nisqd listening on %s (%d workers, queue %d)" cfg.socket
+       cfg.workers cfg.queue_capacity)
+    ~fields:[ ("socket", cfg.socket) ];
+  on_ready ();
+  (* Accept loop: select with a short timeout so a drain request (from
+     a signal or the drain verb, either delivered on another domain) is
+     noticed promptly. *)
+  let rec accept_loop () =
+    match Atomic.get t.drain with
+    | Running ->
+        let readable =
+          match Unix.select [ listen_fd ] [] [] 0.1 with
+          | r, _, _ -> r <> []
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+        in
+        reap_finished t;
+        (if readable then
+           match Unix.accept listen_fd with
+           | fd, _ ->
+               Metrics.incr m_conns;
+               let conn =
+                 { fd; wmutex = Mutex.create (); dead = false; closed = false }
+               in
+               let d = Domain.spawn (fun () -> reader_loop t conn) in
+               locked t.conns_mutex (fun () -> t.conns <- (conn, d) :: t.conns)
+           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR | Unix.EWOULDBLOCK), _, _)
+             ->
+               ());
+        accept_loop ()
+    | _ -> ()
+  in
+  accept_loop ();
+  let cause = Atomic.get t.drain in
+  (* Stage 1: stop accepting. New connects fail, queued submissions get
+     "draining", queued + in-flight work keeps going. *)
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  Admission.close_intake t.queue;
+  Events.emit ~domain:"serve" Events.Info "nisqd drain stage 1: intake closed";
+  let grace_deadline =
+    Int64.add (Clock.now_ns ()) (Int64.of_float (cfg.drain_grace_s *. 1e9))
+  in
+  let rec await_idle () =
+    if Admission.is_empty t.queue && Atomic.get t.in_flight = 0 then true
+    else if Clock.now_ns () >= grace_deadline then false
+    else begin
+      Unix.sleepf 0.01;
+      await_idle ()
+    end
+  in
+  let drained_in_grace = await_idle () in
+  (* Stage 2: cancel stragglers. Flipping the global token makes every
+     cooperative checkpoint (solver ticks, pool chunk boundaries, the
+     injected-slow stall) raise; their requests answer "draining". *)
+  let flipped =
+    if drained_in_grace then false
+    else begin
+      Events.emit ~domain:"serve" Events.Warn
+        (Printf.sprintf
+           "nisqd drain stage 2: grace (%.1fs) expired with work in flight — \
+            cancelling"
+           cfg.drain_grace_s);
+      Deadline.cancel
+        (match cause with By_signal r -> r | _ -> Deadline.Sigterm);
+      true
+    end
+  in
+  Admission.stop t.queue;
+  List.iter Domain.join workers;
+  (* With zero workers (or a worker lost to the grace cutoff) the queue
+     can still hold undelivered entries — every waiter gets an answer. *)
+  fail_leftovers t;
+  sever_connections t;
+  if signals then begin
+    (try Sys.set_signal Sys.sigterm !old_term with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigint !old_int with Invalid_argument _ -> ())
+  end;
+  (* In-process callers (tests) reuse the domain: leave the token as
+     clean as we found it. The daemon binary exits right after anyway. *)
+  if flipped then Deadline.reset ();
+  Events.emit ~domain:"serve" Events.Info
+    (Printf.sprintf "nisqd drained (%d served, %d crashes handled)"
+       (Atomic.get t.served) (Atomic.get t.crashes));
+  Drained (match cause with By_signal r -> Some r | _ -> None)

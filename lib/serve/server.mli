@@ -1,0 +1,71 @@
+(** The `nisqd` daemon: accept loop, worker pool, graceful drain.
+
+    {2 Architecture}
+
+    One listener (the calling domain) accepts connections on a Unix
+    socket and spawns a reader domain per connection. Readers decode
+    frames; administrative verbs ([ping]/[stats]/[drain]) are answered
+    inline, work verbs ([compile]/[run]) go through the bounded
+    {!Admission} queue — or come straight back as [overloaded] when it
+    is full. A fixed pool of worker domains pops entries, runs each
+    handler under a per-request {!Nisq_runkit.Deadline.with_scoped}
+    deadline, and delivers one reply body to every (possibly coalesced)
+    waiter. A handler that raises produces a structured [error] reply
+    and a [resilience.serve.handler_crashes] tick; the worker survives.
+
+    {2 Drain}
+
+    SIGTERM (when [~signals:true]), SIGINT, or the [drain] verb starts
+    a two-stage drain: stage 1 stops accepting (socket closed and
+    unlinked, intake closed — late submissions get a retryable
+    [draining] error) and lets queued + in-flight work finish for up to
+    [drain_grace_s]; stage 2 flips the process-wide cancellation token
+    so stubborn handlers cancel at their next cooperative checkpoint,
+    then undelivered queued entries are failed with [draining], reader
+    connections are severed, and {!run} returns. A second signal exits
+    immediately ([Unix._exit]) with the signal's conventional code.
+
+    {2 Fault injection}
+
+    [Nisq_faultkit] server clauses are serviced here, keyed by the
+    arrival index of {e work} requests (administrative verbs do not
+    consume indices): [net:torn@req<N>] / [net:close@req<N>] damage the
+    reply write; [server:slow@req<N>] stalls the handler until its
+    deadline; [server:crash-handler@req<N>] raises inside it. All are
+    one-shot, so a client retry observes a healthy server. *)
+
+type config = {
+  socket : string;  (** Unix socket path; created, and unlinked on exit *)
+  workers : int;  (** worker domains (>= 0; 0 admits but never serves) *)
+  queue_capacity : int;  (** admission slots before shedding *)
+  default_deadline_ms : int;  (** per-request deadline when unspecified *)
+  drain_grace_s : float;  (** stage-1 drain budget *)
+}
+
+val default_config : socket:string -> config
+(** 2 workers, 64 slots, 30 s deadline, 5 s drain grace. *)
+
+type outcome = Drained of Nisq_runkit.Deadline.reason option
+(** Why {!run} returned: [Some Sigterm]/[Some Sigint] for a signal,
+    [None] for the [drain] verb. The daemon binary maps these to exit
+    codes 143/130/0. *)
+
+exception Startup_error of string
+(** Raised before serving begins: socket already served by a live
+    daemon, bind failure, unwritable path. *)
+
+val run : ?on_ready:(unit -> unit) -> ?signals:bool -> config -> outcome
+(** Serve until drained. [on_ready] fires once the socket is
+    listening (tests use it to connect without polling). [signals]
+    (default [false]) installs the two-stage SIGTERM/SIGINT drain
+    handlers — the daemon binary turns it on; in-process tests leave it
+    off. Blocks the calling domain. *)
+
+val handle_work : Protocol.verb -> Protocol.reply_body
+(** The [compile]/[run] handler the workers run, exposed for the
+    determinism tests: a pure function of the verb (modulo the shared
+    calibration caches, which never change a cached value), so calling
+    it twice — or once, delivering the body to two coalesced waiters —
+    yields byte-identical [Result] payloads. Administrative verbs
+    return a non-retryable [error]; the daemon answers those inline on
+    the connection reader, never here. *)

@@ -17,5 +17,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("runkit", Test_runkit.suite);
       ("observability", Test_observability.suite);
+      ("serve", Test_serve.suite);
       ("properties", Test_props.suite);
     ]

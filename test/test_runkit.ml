@@ -88,6 +88,9 @@ let test_parse_duration_ok () =
       ("30s", 30.0); ("42", 42.0); (" 2s ", 2.0); ("5m", 300.0);
       ("1h30m", 5400.0); ("250ms", 0.25); ("1.5h", 5400.0);
       ("2min", 120.0); ("1H", 3600.0);
+      (* fractional, with and without a unit *)
+      ("0.5s", 0.5); ("0.5", 0.5); (".5s", 0.5); ("1.25h", 4500.0);
+      ("500ms", 0.5); ("0.5ms", 0.0005);
     ]
 
 let test_parse_duration_rejects () =
@@ -96,7 +99,16 @@ let test_parse_duration_rejects () =
       match Deadline.parse_duration src with
       | Ok v -> Alcotest.failf "%S accepted as %g" src v
       | Error _ -> ())
-    [ ""; "abc"; "-5s"; "0"; "3x"; "10 20"; "s" ]
+    [
+      ""; "abc"; "-5s"; "0"; "3x"; "10 20"; "s";
+      (* zero in every spelling: a deadline must be positive *)
+      "0s"; "0.0"; "0ms"; "0h0m0s";
+      (* negatives with units and fractions *)
+      "-0.5h"; "-250ms";
+      (* a finite-looking literal that overflows float to infinity;
+         arming it would feed Int64.of_float an undefined conversion *)
+      String.make 400 '9' ^ "h";
+    ]
 
 (* ----------------------------- journal ----------------------------- *)
 
@@ -145,6 +157,41 @@ let test_journal_torn_tail_dropped () =
   | Ok { Journal.records; torn; _ } ->
       Alcotest.(check bool) "clean after repair" false torn;
       Alcotest.(check int) "three records" 3 (List.length records)
+
+(* truncate_to at exactly a record boundary: the full-file length is a
+   no-op, an interior boundary keeps precisely the records before it,
+   and appends ride the repaired boundary without a stray separator. *)
+let test_journal_truncate_at_boundary () =
+  let path = Filename.concat (fresh_dir ()) "j.jsonl" in
+  write_journal path [ obj_a; obj_b ];
+  let size = (Unix.stat path).Unix.st_size in
+  Journal.truncate_to ~path size;
+  (match Journal.load ~path with
+  | Error msg -> Alcotest.fail msg
+  | Ok { Journal.records; torn; valid_bytes } ->
+      Alcotest.(check bool) "full length: still clean" false torn;
+      Alcotest.(check int) "full length: nothing lost" 2 (List.length records);
+      Alcotest.(check int) "full length: valid_bytes" size valid_bytes);
+  let first = String.length (Json.to_string obj_a) + 1 in
+  Journal.truncate_to ~path first;
+  (match Journal.load ~path with
+  | Error msg -> Alcotest.fail msg
+  | Ok { Journal.records; torn; valid_bytes } ->
+      Alcotest.(check bool) "boundary: clean" false torn;
+      Alcotest.(check (list string)) "boundary: first record survives intact"
+        [ Json.to_string obj_a ]
+        (List.map Json.to_string records);
+      Alcotest.(check int) "boundary: valid_bytes" first valid_bytes);
+  let w = Journal.append_to ~path in
+  Journal.append w obj_b;
+  Journal.close w;
+  match Journal.load ~path with
+  | Error msg -> Alcotest.fail msg
+  | Ok { Journal.records; torn; _ } ->
+      Alcotest.(check bool) "append after repair: clean" false torn;
+      Alcotest.(check (list string)) "append after repair: records"
+        [ Json.to_string obj_a; Json.to_string obj_b ]
+        (List.map Json.to_string records)
 
 let test_journal_corrupt_middle_is_fatal () =
   let path = Filename.concat (fresh_dir ()) "j.jsonl" in
@@ -245,6 +292,62 @@ let test_armed_deadline_expires () =
   match Deadline.cancelled () with
   | Some Deadline.Deadline -> ()
   | _ -> Alcotest.fail "expected a deadline cancellation"
+
+let test_scoped_deadline_expires_locally () =
+  with_clean_token @@ fun () ->
+  (match
+     Deadline.with_scoped ~seconds:0.005 (fun () ->
+         let stop = Unix.gettimeofday () +. 2.0 in
+         while Unix.gettimeofday () < stop do
+           Unix.sleepf 0.001;
+           Deadline.raise_if_cancelled ()
+         done;
+         "finished")
+   with
+  | Error Deadline.Deadline -> ()
+  | Error _ -> Alcotest.fail "wrong scoped reason"
+  | Ok _ -> Alcotest.fail "scoped deadline never fired");
+  (* the process-wide token must be untouched: sibling workers live on *)
+  Alcotest.(check bool) "global token untouched" false
+    (Deadline.is_cancelled ())
+
+let test_scoped_deadline_ok_passthrough () =
+  with_clean_token @@ fun () ->
+  match Deadline.with_scoped ~seconds:60.0 (fun () -> 42) with
+  | Ok n -> Alcotest.(check int) "value through" 42 n
+  | Error _ -> Alcotest.fail "an idle scope expired"
+
+let test_scoped_deadline_nested_tightens () =
+  with_clean_token @@ fun () ->
+  match
+    Deadline.with_scoped ~seconds:0.005 (fun () ->
+        (* the inner scope asks for more time than the outer has left;
+           the outer bound must win *)
+        Deadline.with_scoped ~seconds:60.0 (fun () ->
+            let stop = Unix.gettimeofday () +. 2.0 in
+            while Unix.gettimeofday () < stop do
+              Unix.sleepf 0.001;
+              Deadline.raise_if_cancelled ()
+            done))
+  with
+  | Error Deadline.Deadline -> ()
+  | Error _ -> Alcotest.fail "wrong reason"
+  | Ok (Error Deadline.Deadline) -> ()
+  | Ok (Error _) -> Alcotest.fail "wrong inner reason"
+  | Ok (Ok ()) -> Alcotest.fail "nested scope outlived its parent"
+
+let test_scoped_deadline_global_cancel_wins () =
+  with_clean_token @@ fun () ->
+  match
+    Deadline.with_scoped ~seconds:60.0 (fun () ->
+        Deadline.cancel Deadline.Sigterm;
+        Deadline.raise_if_cancelled ();
+        "unreachable")
+  with
+  | exception Deadline.Cancelled Deadline.Sigterm ->
+      (* the process-wide reason re-raises through the scope untouched *)
+      ()
+  | Ok _ | Error _ -> Alcotest.fail "global cancellation was swallowed"
 
 let test_exit_codes () =
   Alcotest.(check int) "deadline" 3 (Deadline.exit_code Deadline.Deadline);
@@ -357,6 +460,8 @@ let suite =
     qt "parse_duration rejects garbage" test_parse_duration_rejects;
     qt "journal roundtrips records" test_journal_roundtrip;
     qt "journal drops a torn tail, truncate repairs" test_journal_torn_tail_dropped;
+    qt "journal truncate_to at exact record boundaries"
+      test_journal_truncate_at_boundary;
     qt "journal refuses interior corruption" test_journal_corrupt_middle_is_fatal;
     qt "journal tolerates blank lines" test_journal_blank_lines_tolerated;
     qt "run cells replay on resume (incl. integral floats)"
@@ -367,6 +472,12 @@ let suite =
     qt "completed figures replay their tables" test_run_figure_replay;
     qt "deadline:blow cancels at the first checkpoint" test_deadline_blow_cancels;
     qt "an armed deadline expires" test_armed_deadline_expires;
+    qt "scoped deadline expires without flipping the token"
+      test_scoped_deadline_expires_locally;
+    qt "scoped deadline passes values through" test_scoped_deadline_ok_passthrough;
+    qt "nested scopes tighten" test_scoped_deadline_nested_tightens;
+    qt "global cancel re-raises through a scope"
+      test_scoped_deadline_global_cancel_wins;
     qt "exit codes follow convention" test_exit_codes;
     qt "kill:chunk is one-shot" test_kill_chunk_is_one_shot;
     qt "kill:chunk cancels (pool 0)" (test_kill_chunk_cancels 0);

@@ -1,6 +1,7 @@
 (* jsonlint — validate JSON files emitted by the telemetry layer.
 
-   Usage: jsonlint [--trace | --jsonl | --bench | --report | --prom] FILE...
+   Usage: jsonlint [--trace | --jsonl | --bench | --report | --prom |
+                    --frame] FILE...
 
    Parses each file with the same strict parser the test suite uses.
    With --trace, additionally checks the Chrome trace_event shape: a
@@ -17,8 +18,11 @@
    arithmetic invariants). With --prom, each file is a Prometheus
    text-format scrape: every series must follow a # TYPE declaration
    for its family, histogram buckets must be cumulative with a final
-   le="+Inf" equal to the _count series. Exits non-zero on the first
-   failure. *)
+   le="+Inf" equal to the _count series. With --frame, each file is a
+   wire capture from nisqd call --record: zero or more length-prefixed
+   JSON frames, each payload a complete JSON object — a torn trailing
+   frame, an oversized length prefix, or a non-object payload fails.
+   Exits non-zero on the first failure. *)
 
 module Json = Nisq_obs.Json
 
@@ -285,6 +289,26 @@ let check_prom path src =
       | [] -> ()))
     buckets
 
+(* Frame capture check: the file must decode as concatenated
+   length-prefixed frames (the daemon's wire format), every payload a
+   JSON object. *)
+let check_frames path src =
+  let fail msg =
+    Printf.eprintf "%s: bad frame capture: %s\n" path msg;
+    exit 1
+  in
+  match Nisq_serve.Frame.scan_string src with
+  | Error msg -> fail msg
+  | Ok [] -> fail "no frames in capture"
+  | Ok frames ->
+      List.iteri
+        (fun i v ->
+          match v with
+          | Json.Obj _ -> ()
+          | _ -> fail (Printf.sprintf "frame %d payload is not an object" i))
+        frames;
+      Printf.printf "%s: %d frames\n" path (List.length frames)
+
 let check_report path v =
   match Nisq_obs.Report.validate v with
   | Ok () -> ()
@@ -299,20 +323,23 @@ let () =
   let bench_mode = List.mem "--bench" args in
   let report_mode = List.mem "--report" args in
   let prom_mode = List.mem "--prom" args in
+  let frame_mode = List.mem "--frame" args in
   let files =
     List.filter
       (fun a ->
-        not (List.mem a [ "--trace"; "--jsonl"; "--bench"; "--report"; "--prom" ]))
+        not
+          (List.mem a
+             [ "--trace"; "--jsonl"; "--bench"; "--report"; "--prom"; "--frame" ]))
       args
   in
   let modes =
     List.filter Fun.id
-      [ trace_mode; jsonl_mode; bench_mode; report_mode; prom_mode ]
+      [ trace_mode; jsonl_mode; bench_mode; report_mode; prom_mode; frame_mode ]
   in
   if files = [] || List.length modes > 1 then begin
     prerr_endline
-      "usage: jsonlint [--trace | --jsonl | --bench | --report | --prom] \
-       FILE...";
+      "usage: jsonlint [--trace | --jsonl | --bench | --report | --prom | \
+       --frame] FILE...";
     exit 2
   end;
   (* (path, sorted benchmark names) per --bench file, for the
@@ -334,6 +361,7 @@ let () =
         check_prom path src;
         Printf.printf "%s: OK\n" path
       end
+      else if frame_mode then check_frames path src
       else
         match Json.of_string src with
         | Error msg ->
