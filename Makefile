@@ -6,11 +6,14 @@
 # smoke (a journalled run killed mid-sweep must resume to byte-identical
 # output), a bench smoke (the compile fast-path micro-benchmarks,
 # schema-checked against the committed BENCH_compile.json baseline), the
-# bench-gate regression sentinel over that baseline's trajectory, and a
+# bench-gate regression sentinel over that baseline's trajectory, a
 # daemon smoke (nisqd served through injected network/handler faults,
-# overload shedding, wire-capture lint and both drain paths).
+# overload shedding, wire-capture lint and both drain paths), and a
+# reload smoke (calibration hot-reload under concurrent clients with
+# faulted candidates: byte-identical replies, rollback accounting, and
+# a schema-checked nisq-reload/1 report).
 
-.PHONY: all build test check bench bench-smoke bench-compile bench-gate micro resume-smoke serve-smoke
+.PHONY: all build test check bench bench-smoke bench-compile bench-gate micro resume-smoke serve-smoke reload-smoke
 
 all: build
 
@@ -41,6 +44,7 @@ check:
 	dune exec tools/jsonlint.exe -- --prom /tmp/nisq-smoke-prom.txt
 	tools/resume_smoke.sh
 	tools/serve_smoke.sh
+	tools/reload_smoke.sh
 	$(MAKE) bench-smoke
 	$(MAKE) bench-gate
 
@@ -72,6 +76,9 @@ resume-smoke:
 
 serve-smoke:
 	tools/serve_smoke.sh
+
+reload-smoke:
+	tools/reload_smoke.sh
 
 bench:
 	dune exec bench/main.exe

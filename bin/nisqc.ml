@@ -127,6 +127,22 @@ let seed_arg =
     & info [ "calibration-seed" ] ~docv:"SEED"
         ~doc:"Seed of the synthetic calibration stream.")
 
+let calib_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "calib" ] ~docv:"FILE"
+        ~doc:
+          "Compile against the archived calibration in $(docv) (the            format of $(b,nisqc calibration --save)) instead of the            synthetic stream; $(b,--day) and $(b,--calibration-seed) are            then ignored.")
+
+let calib_prev_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "calib-prev" ] ~docv:"FILE"
+        ~doc:
+          "Previous-day calibration seeding the sanitizer's backfill            chain when loading $(b,--calib).")
+
 let program_arg =
   Arg.(
     required
@@ -360,6 +376,46 @@ let effective_calibration ~seed ~day () =
       end;
       calib
 
+(* File-backed calibration for local compiles: the same lenient
+   raw-parse + sanitize path the daemon's epoch loading uses, so a file
+   that boots nisqd compiles identically here. *)
+let file_calibration ?prev path =
+  let parse p =
+    match Calib_io.load_raw ~path:p with
+    | Ok raw -> raw
+    | Error { Calib_io.line; message } -> die_parse p line message
+  in
+  let previous =
+    Option.map (fun p -> fst (Calib_sanitize.sanitize (parse p))) prev
+  in
+  match Calib_sanitize.sanitize ?previous (parse path) with
+  | calib, report ->
+      if not (Calib_sanitize.is_clean report) then begin
+        print_endline "calibration sanitizer:";
+        print_string (Calib_sanitize.render report);
+        print_newline ()
+      end;
+      calib
+  | exception Invalid_argument msg -> die_parse path 0 msg
+
+let local_calibration ?calib_file ?calib_prev ~seed ~day () =
+  match calib_file with
+  | Some path -> file_calibration ?prev:calib_prev path
+  | None ->
+      if Option.is_some calib_prev then begin
+        Printf.eprintf "nisqc: --calib-prev needs --calib\n";
+        exit 2
+      end;
+      effective_calibration ~seed ~day ()
+
+let reject_remote_calib calib_file calib_prev =
+  if Option.is_some calib_file || Option.is_some calib_prev then begin
+    Printf.eprintf
+      "nisqc: --calib/--calib-prev are local-only; a daemon serves its own \
+       --calib file\n";
+    exit 2
+  end
+
 (* ------------------------- daemon client --------------------------- *)
 
 let connect_arg =
@@ -438,10 +494,12 @@ let describe_result name (r : Compile.t) =
 
 let compile_cmd =
   let run program method_ routing movement day seed emit_qasm diagram trace
-      metrics events prom report inject deadline solver_domains connect =
+      metrics events prom report inject deadline solver_domains connect
+      calib_file calib_prev =
     setup_telemetry ?inject ?solver_domains ?events ?prom ?report trace metrics;
     match connect with
     | Some socket ->
+        reject_remote_calib calib_file calib_prev;
         remote_call ~socket ?deadline
           (Serve_protocol.Compile
              {
@@ -456,7 +514,7 @@ let compile_cmd =
     | None ->
     with_cancellation deadline @@ fun () ->
     let name, circuit, _ = load_program program in
-    let calib = effective_calibration ~seed ~day () in
+    let calib = local_calibration ?calib_file ?calib_prev ~seed ~day () in
     if diagram then begin
       print_endline "source circuit:";
       print_string (Nisq_circuit.Draw.render circuit);
@@ -487,17 +545,18 @@ let compile_cmd =
       const run $ program_arg $ method_arg $ routing_arg $ movement_arg
       $ day_arg $ seed_arg $ qasm_arg $ diagram_arg $ trace_arg $ metrics_arg
       $ events_arg $ prom_arg $ report_arg $ inject_arg $ deadline_arg
-      $ solver_domains_arg $ connect_arg)
+      $ solver_domains_arg $ connect_arg $ calib_file_arg $ calib_prev_arg)
 
 (* -------------------------------- run ------------------------------ *)
 
 let run_cmd =
   let run program method_ routing movement day seed trials sim_seed trace
       metrics events prom inject deadline run_id resume force solver_domains
-      connect =
+      connect calib_file calib_prev =
     setup_telemetry ?inject ?solver_domains ?events ?prom trace metrics;
     (match connect with
     | Some socket ->
+        reject_remote_calib calib_file calib_prev;
         remote_call ~socket ?deadline
           (Serve_protocol.Run
              {
@@ -535,7 +594,7 @@ let run_cmd =
     Option.iter Ledger.install ledger;
     with_cancellation ?ledger deadline @@ fun () ->
     let name, circuit, expected = load_program program in
-    let calib = effective_calibration ~seed ~day () in
+    let calib = local_calibration ?calib_file ?calib_prev ~seed ~day () in
     let r = Compile.run ~config:(config_of ~movement method_ routing) ~calib circuit in
     describe_result name r;
     let runner = Experiments.runner_of r in
@@ -586,7 +645,7 @@ let run_cmd =
       $ day_arg $ seed_arg $ trials_arg $ sim_seed_arg $ trace_arg
       $ metrics_arg $ events_arg $ prom_arg $ inject_arg $ deadline_arg
       $ run_id_arg $ resume_arg $ resume_force_arg $ solver_domains_arg
-      $ connect_arg)
+      $ connect_arg $ calib_file_arg $ calib_prev_arg)
 
 (* ---------------------------- calibration -------------------------- *)
 

@@ -32,7 +32,8 @@ let socket_arg =
 (* ------------------------------- serve ------------------------------ *)
 
 let serve_cmd =
-  let run socket workers queue deadline_ms grace inject events prom metrics =
+  let run socket workers queue deadline_ms grace inject events prom metrics
+      calib calib_prev calib_watch reload_report max_drift =
     Telemetry.set_sink Atomic_io.write_file;
     Telemetry.init_from_env ();
     Telemetry.configure
@@ -49,6 +50,29 @@ let serve_cmd =
         | Error msg ->
             Printf.eprintf "nisqd: bad --inject spec: %s\n" msg;
             exit 2));
+    (match (calib, calib_prev, calib_watch, reload_report) with
+    | None, Some _, _, _ | None, _, Some _, _ | None, _, _, Some _ ->
+        Printf.eprintf
+          "nisqd: --calib-prev/--calib-watch/--reload-report need --calib\n";
+        exit 2
+    | _ -> ());
+    let calib =
+      Option.map
+        (fun path ->
+          let thresholds =
+            match max_drift with
+            | None -> Nisq_device.Calib_diff.default_thresholds
+            | Some d ->
+                {
+                  Nisq_device.Calib_diff.default_thresholds with
+                  max_mean_cnot_drift = d;
+                  max_mean_readout_drift = d;
+                }
+          in
+          Server.calib_config ?prev:calib_prev ?watch_s:calib_watch
+            ~thresholds ?report:reload_report path)
+        calib
+    in
     let cfg =
       {
         (Server.default_config ~socket) with
@@ -56,6 +80,7 @@ let serve_cmd =
         queue_capacity = queue;
         default_deadline_ms = deadline_ms;
         drain_grace_s = grace;
+        calib;
       }
     in
     match Server.run ~signals:true cfg with
@@ -118,11 +143,53 @@ let serve_cmd =
       value & flag
       & info [ "metrics" ] ~doc:"Dump the metrics registry at exit.")
   in
+  let calib_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "calib" ] ~docv:"FILE"
+          ~doc:
+            "Serve the calibration in $(docv) (epoch 0) instead of            synthetic per-request calibration; enables the $(b,reload)            verb, SIGHUP reload, and $(b,--calib-watch).")
+  in
+  let calib_prev_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "calib-prev" ] ~docv:"FILE"
+          ~doc:
+            "Previous-day calibration seeding the sanitizer's backfill            chain for the initial load (reloads backfill from the live            epoch automatically).")
+  in
+  let calib_watch_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "calib-watch" ] ~docv:"SECONDS"
+          ~doc:
+            "Poll the $(b,--calib) file's mtime every $(docv) seconds            and reload when it changes.")
+  in
+  let reload_report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reload-report" ] ~docv:"FILE"
+          ~doc:
+            "Write each reload attempt's $(b,nisq-reload/1) JSON report            to $(docv) (overwritten per attempt); check with            $(b,jsonlint --reload).")
+  in
+  let max_drift_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-drift" ] ~docv:"FRACTION"
+          ~doc:
+            "Reload drift gate: reject a candidate whose mean CNOT or            readout error drifted by more than $(docv) relative to the            live epoch (default 0.5).")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve compile/run requests on a Unix socket")
     Term.(
       const run $ socket_arg $ workers_arg $ queue_arg $ deadline_arg
-      $ grace_arg $ inject_arg $ events_arg $ prom_arg $ metrics_arg)
+      $ grace_arg $ inject_arg $ events_arg $ prom_arg $ metrics_arg
+      $ calib_arg $ calib_prev_arg $ calib_watch_arg $ reload_report_arg
+      $ max_drift_arg)
 
 (* ------------------------------- call ------------------------------- *)
 
@@ -151,6 +218,11 @@ let call_cmd =
       | "ping", _ -> Protocol.Ping
       | "stats", _ -> Protocol.Stats
       | "drain", _ -> Protocol.Drain
+      | "reload", path ->
+          (* PATH overrides the daemon's configured calibration file for
+             this one attempt; exit 0 on any decision — the RPC
+             succeeded, the report says promoted or rolled-back. *)
+          Protocol.Reload { path }
       | "compile", Some p -> Protocol.Compile (params (Protocol.Named p))
       | "run", Some p ->
           Protocol.Run
@@ -164,7 +236,8 @@ let call_cmd =
           exit 2
       | other, _ ->
           Printf.eprintf
-            "nisqd: unknown verb %S (ping | stats | drain | compile | run)\n"
+            "nisqd: unknown verb %S (ping | stats | drain | reload | compile \
+             | run)\n"
             other;
           exit 2
     in
@@ -215,13 +288,16 @@ let call_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"VERB" ~doc:"ping, stats, drain, compile or run.")
+      & info [] ~docv:"VERB"
+          ~doc:"ping, stats, drain, reload, compile or run.")
   in
   let program_arg =
     Arg.(
       value
       & pos 1 (some string) None
-      & info [] ~docv:"PROGRAM" ~doc:"Benchmark name for compile/run.")
+      & info [] ~docv:"PROGRAM"
+          ~doc:
+            "Benchmark name for compile/run; candidate calibration file            path for reload (defaults to the daemon's $(b,--calib)            file).")
   in
   let method_arg =
     Arg.(

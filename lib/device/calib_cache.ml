@@ -71,7 +71,26 @@ type 'a memo = {
   c_miss : Metrics.counter;
 }
 
-let memos : (unit -> unit) list ref = ref []
+(* Per-memo hooks: [reset] drops everything (wholesale [clear]), [drop]
+   removes only the entries keyed under one calibration digest — the
+   epoch store calls it when a retired epoch's last pin is released. *)
+type hooks = { reset : unit -> unit; drop : string -> unit }
+
+let memos : hooks list ref = ref []
+
+(* Keys are [digest] or [digest ^ "|" ^ salt]; digests are fixed-width
+   MD5 hex, so a prefix match is unambiguous. *)
+let key_under digest key =
+  let dl = String.length digest in
+  String.length key >= dl && String.sub key 0 dl = digest
+
+let drop_keys tbl digest =
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc -> if key_under digest k then k :: acc else acc)
+      tbl []
+  in
+  List.iter (Hashtbl.remove tbl) doomed
 
 (* Every memo keeps per-table "cache.<name>.{hit,miss}" counters next
    to the global pair, so an explain report can attribute which tables
@@ -97,7 +116,13 @@ let memo name =
     }
   in
   register_name name;
-  with_lock (fun () -> memos := (fun () -> Hashtbl.reset m.tbl) :: !memos);
+  with_lock (fun () ->
+      memos :=
+        {
+          reset = (fun () -> Hashtbl.reset m.tbl);
+          drop = (fun digest -> drop_keys m.tbl digest);
+        }
+        :: !memos);
   m
 
 let _ = fun (m : _ memo) -> m.name
@@ -160,7 +185,27 @@ let shared_memo name =
     }
   in
   register_name name;
-  with_lock (fun () -> memos := (fun () -> Hashtbl.reset m.stbl) :: !memos);
+  with_lock (fun () ->
+      memos :=
+        {
+          reset = (fun () -> Hashtbl.reset m.stbl);
+          drop =
+            (fun digest ->
+              (* Skip in-flight builds: their builder will [finish] by
+                 key and the entry is dropped at the next flush. A
+                 refcount-zero epoch has no in-flight requests, so in
+                 practice nothing is skipped. *)
+              let doomed =
+                Hashtbl.fold
+                  (fun k v acc ->
+                    match v with
+                    | Done _ when key_under digest k -> k :: acc
+                    | _ -> acc)
+                  m.stbl []
+              in
+              List.iter (Hashtbl.remove m.stbl) doomed);
+        }
+        :: !memos);
   m
 
 let _ = fun (m : _ shared_memo) -> m.sname
@@ -234,8 +279,17 @@ let find_shared m ?salt calib ~compute =
 
 let clear () =
   with_lock @@ fun () ->
-  List.iter (fun f -> f ()) !memos;
+  List.iter (fun h -> h.reset ()) !memos;
   Array.fill ring 0 ring_size None
+
+let flush_digest digest =
+  with_lock @@ fun () ->
+  List.iter (fun h -> h.drop digest) !memos;
+  for i = 0 to ring_size - 1 do
+    match ring.(i) with
+    | Some (_, d) when d = digest -> ring.(i) <- None
+    | _ -> ()
+  done
 
 (* ------------------------------ paths ------------------------------ *)
 

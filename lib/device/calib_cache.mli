@@ -91,3 +91,12 @@ val paths : Calibration.t -> Paths.t
 val clear : unit -> unit
 (** Drop every entry in every memo (counters are untouched). Tests use
     this to isolate hit/miss accounting. *)
+
+val flush_digest : string -> unit
+(** Drop every entry — in every memo — keyed under one calibration
+    digest (the bare digest and every salted [digest ^ "|" ^ salt]
+    variant). The epoch store ({!Calib_store}) calls this when a retired
+    calibration epoch's pin count drains to zero, so a long-lived daemon
+    retains derived tables per live epoch instead of forever. In-flight
+    shared-memo builds are left alone (their epoch is pinned, so a
+    refcount-zero flush never sees one). Counters are untouched. *)

@@ -1,0 +1,228 @@
+module Json = Nisq_obs.Json
+
+type thresholds = {
+  max_new_quarantined : int;
+  max_mean_cnot_drift : float;
+  max_mean_readout_drift : float;
+  min_canary_esp_ratio : float;
+}
+
+let default_thresholds =
+  {
+    max_new_quarantined = 3;
+    max_mean_cnot_drift = 0.5;
+    max_mean_readout_drift = 0.5;
+    min_canary_esp_ratio = 0.5;
+  }
+
+type field_summary = {
+  field : string;
+  changed : int;
+  max_rel : float;
+  worst_subject : string;
+  mean_old : float;
+  mean_new : float;
+}
+
+type t = {
+  day_old : int;
+  day_new : int;
+  new_quarantined_qubits : int list;
+  revived_qubits : int list;
+  new_quarantined_links : (int * int) list;
+  revived_links : (int * int) list;
+  fields : field_summary list;
+  mean_cnot_drift : float;
+  mean_readout_drift : float;
+}
+
+(* Relative change with a floor so a 0 -> x flip still registers:
+   |new - old| / max(|old|, eps). NaNs (possible only in a raw record
+   that dodged sanitize, but be defensive) count as "changed" with an
+   infinite-like magnitude clamped to a large finite value. *)
+let rel_delta o n =
+  if Float.is_nan o || Float.is_nan n then if o = n then 0.0 else 1e9
+  else if o = n then 0.0
+  else Float.abs (n -. o) /. Float.max (Float.abs o) 1e-9
+
+let summarize field subjects values_old values_new =
+  let changed = ref 0 in
+  let max_rel = ref 0.0 in
+  let worst = ref "" in
+  let sum_old = ref 0.0 and sum_new = ref 0.0 in
+  let count = List.length subjects in
+  List.iteri
+    (fun i subject ->
+      let o = values_old i and n = values_new i in
+      sum_old := !sum_old +. o;
+      sum_new := !sum_new +. n;
+      let r = rel_delta o n in
+      if r > 0.0 then incr changed;
+      if r > !max_rel then begin
+        max_rel := r;
+        worst := subject
+      end)
+    subjects;
+  let mean s = if count = 0 then 0.0 else s /. float_of_int count in
+  {
+    field;
+    changed = !changed;
+    max_rel = !max_rel;
+    worst_subject = !worst;
+    mean_old = mean !sum_old;
+    mean_new = mean !sum_new;
+  }
+
+let diff ~(old_ : Calibration.t) ~(candidate : Calibration.t) =
+  if old_.Calibration.topology <> candidate.Calibration.topology then
+    invalid_arg "Calib_diff.diff: topologies differ";
+  let n = Topology.num_qubits old_.Calibration.topology in
+  let edges = Topology.edges old_.Calibration.topology in
+  let qubit_subjects = List.init n (fun q -> Printf.sprintf "q%d" q) in
+  let edge_subjects =
+    List.map (fun (a, b) -> Printf.sprintf "e%d-%d" a b) edges
+  in
+  let edge_arr = Array.of_list edges in
+  let qfield field (ao : float array) (an : float array) =
+    summarize field qubit_subjects (fun i -> ao.(i)) (fun i -> an.(i))
+  in
+  let efield field read =
+    summarize field edge_subjects
+      (fun i ->
+        let a, b = edge_arr.(i) in
+        read old_ a b)
+      (fun i ->
+        let a, b = edge_arr.(i) in
+        read candidate a b)
+  in
+  let fields =
+    [
+      qfield "t1_us" old_.Calibration.t1_us candidate.Calibration.t1_us;
+      qfield "t2_us" old_.Calibration.t2_us candidate.Calibration.t2_us;
+      qfield "readout_error" old_.Calibration.readout_error
+        candidate.Calibration.readout_error;
+      qfield "single_error" old_.Calibration.single_error
+        candidate.Calibration.single_error;
+      efield "cnot_error" (fun c a b ->
+          c.Calibration.cnot_error.(a).(b));
+      efield "cnot_duration" (fun c a b ->
+          float_of_int c.Calibration.cnot_duration.(a).(b));
+    ]
+  in
+  let old_dead_q = Calibration.quarantined_qubits old_ in
+  let new_dead_q = Calibration.quarantined_qubits candidate in
+  let old_dead_l = Calibration.quarantined_links old_ in
+  let new_dead_l = Calibration.quarantined_links candidate in
+  {
+    day_old = old_.Calibration.day;
+    day_new = candidate.Calibration.day;
+    new_quarantined_qubits =
+      List.filter (fun q -> not (List.mem q old_dead_q)) new_dead_q;
+    revived_qubits =
+      List.filter (fun q -> not (List.mem q new_dead_q)) old_dead_q;
+    new_quarantined_links =
+      List.filter (fun l -> not (List.mem l old_dead_l)) new_dead_l;
+    revived_links =
+      List.filter (fun l -> not (List.mem l new_dead_l)) old_dead_l;
+    fields;
+    mean_cnot_drift =
+      rel_delta
+        (Calibration.mean_cnot_error old_)
+        (Calibration.mean_cnot_error candidate);
+    mean_readout_drift =
+      rel_delta
+        (Calibration.mean_readout_error old_)
+        (Calibration.mean_readout_error candidate);
+  }
+
+let gate ?(thresholds = default_thresholds) d =
+  let reasons = ref [] in
+  let reject fmt = Printf.ksprintf (fun s -> reasons := s :: !reasons) fmt in
+  let growth =
+    List.length d.new_quarantined_qubits
+    + List.length d.new_quarantined_links
+  in
+  if growth > thresholds.max_new_quarantined then
+    reject
+      "quarantine set grew by %d (%d qubits, %d links; threshold %d)"
+      growth
+      (List.length d.new_quarantined_qubits)
+      (List.length d.new_quarantined_links)
+      thresholds.max_new_quarantined;
+  if d.mean_cnot_drift > thresholds.max_mean_cnot_drift then
+    reject "mean CNOT error drifted %.0f%% (threshold %.0f%%)"
+      (100.0 *. d.mean_cnot_drift)
+      (100.0 *. thresholds.max_mean_cnot_drift);
+  if d.mean_readout_drift > thresholds.max_mean_readout_drift then
+    reject "mean readout error drifted %.0f%% (threshold %.0f%%)"
+      (100.0 *. d.mean_readout_drift)
+      (100.0 *. thresholds.max_mean_readout_drift);
+  List.rev !reasons
+
+let to_json d =
+  let ints l = Json.List (List.map (fun i -> Json.Int i) l) in
+  let links l =
+    Json.List
+      (List.map (fun (a, b) -> Json.List [ Json.Int a; Json.Int b ]) l)
+  in
+  let field f =
+    Json.Obj
+      [
+        ("field", Json.String f.field);
+        ("changed", Json.Int f.changed);
+        ("max_rel", Json.Float f.max_rel);
+        ("worst_subject", Json.String f.worst_subject);
+        ("mean_old", Json.Float f.mean_old);
+        ("mean_new", Json.Float f.mean_new);
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "nisq-calib-diff/1");
+      ("day_old", Json.Int d.day_old);
+      ("day_new", Json.Int d.day_new);
+      ("new_quarantined_qubits", ints d.new_quarantined_qubits);
+      ("revived_qubits", ints d.revived_qubits);
+      ("new_quarantined_links", links d.new_quarantined_links);
+      ("revived_links", links d.revived_links);
+      ("fields", Json.List (List.map field d.fields));
+      ("mean_cnot_drift", Json.Float d.mean_cnot_drift);
+      ("mean_readout_drift", Json.Float d.mean_readout_drift);
+    ]
+
+let render d =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "calibration drift: day %d -> day %d\n" d.day_old d.day_new;
+  let show_q label = function
+    | [] -> ()
+    | qs ->
+        Printf.bprintf b "  %s qubits: %s\n" label
+          (String.concat ", " (List.map string_of_int qs))
+  in
+  let show_l label = function
+    | [] -> ()
+    | ls ->
+        Printf.bprintf b "  %s links: %s\n" label
+          (String.concat ", "
+             (List.map (fun (x, y) -> Printf.sprintf "%d-%d" x y) ls))
+  in
+  show_q "newly quarantined" d.new_quarantined_qubits;
+  show_q "revived" d.revived_qubits;
+  show_l "newly quarantined" d.new_quarantined_links;
+  show_l "revived" d.revived_links;
+  List.iter
+    (fun f ->
+      if f.changed = 0 then
+        Printf.bprintf b "  %-13s unchanged (mean %.6g)\n" f.field f.mean_old
+      else
+        Printf.bprintf b
+          "  %-13s %d changed, worst %+.1f%% at %s, mean %.6g -> %.6g\n"
+          f.field f.changed
+          (100.0 *. f.max_rel)
+          f.worst_subject f.mean_old f.mean_new)
+    d.fields;
+  Printf.bprintf b "  mean cnot error drift    %.1f%%\n"
+    (100.0 *. d.mean_cnot_drift);
+  Printf.bprintf b "  mean readout error drift %.1f%%\n"
+    (100.0 *. d.mean_readout_drift);
+  Buffer.contents b

@@ -1,0 +1,64 @@
+(** Structured per-field drift between two calibration days.
+
+    The reload pipeline's drift gate and [caliblint --diff] both consume
+    this module: {!diff} computes a field-by-field comparison of a live
+    calibration against a candidate, {!gate} turns it into a verdict
+    under configurable thresholds, and {!to_json}/{!render} serialize
+    the same structure for the [nisq-reload/1] report and the terminal.
+
+    The comparison is purely structural — no wall-clock, no randomness —
+    so the same pair of calibrations always produces byte-identical
+    reports. *)
+
+type thresholds = {
+  max_new_quarantined : int;
+      (** newly quarantined qubits + links tolerated before rejection *)
+  max_mean_cnot_drift : float;
+      (** relative drift of the mean CNOT error, e.g. [0.5] = ±50% *)
+  max_mean_readout_drift : float;  (** likewise for mean readout error *)
+  min_canary_esp_ratio : float;
+      (** canary stage: candidate ESP must be at least this fraction of
+          the live epoch's ESP on every probe *)
+}
+
+val default_thresholds : thresholds
+(** 3 new quarantines, 50% mean-error drift, 0.5 ESP ratio. *)
+
+(** Per-field aggregate: how many entries changed, the worst relative
+    change and where it happened, and both means — one record for each
+    of [t1_us], [t2_us], [readout_error], [single_error], [cnot_error],
+    [cnot_duration]. *)
+type field_summary = {
+  field : string;
+  changed : int;
+  max_rel : float;  (** 0 when nothing changed *)
+  worst_subject : string;  (** ["q3"] / ["e0-1"], [""] when unchanged *)
+  mean_old : float;
+  mean_new : float;
+}
+
+type t = {
+  day_old : int;
+  day_new : int;
+  new_quarantined_qubits : int list;  (** live before, dead after *)
+  revived_qubits : int list;
+  new_quarantined_links : (int * int) list;
+  revived_links : (int * int) list;
+  fields : field_summary list;  (** fixed order, all six fields *)
+  mean_cnot_drift : float;  (** relative, >= 0 *)
+  mean_readout_drift : float;
+}
+
+val diff : old_:Calibration.t -> candidate:Calibration.t -> t
+(** Raises [Invalid_argument] when the topologies differ (a candidate
+    for a different machine is never comparable). *)
+
+val gate : ?thresholds:thresholds -> t -> string list
+(** Rejection reasons under the thresholds; [[]] means the candidate
+    passes the drift gate. *)
+
+val to_json : t -> Nisq_obs.Json.t
+(** Schema [nisq-calib-diff/1]. *)
+
+val render : t -> string
+(** Human-readable multi-line report for [caliblint --diff]. *)

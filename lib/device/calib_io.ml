@@ -43,10 +43,15 @@ let fail line message = raise (Parse_fail { line; message })
 let raw_of_string src =
   try
     let lines = String.split_on_char '\n' src in
+    let header = ref false in
     let topology = ref None in
-    let day = ref 0 in
+    let day = ref None in
     let qubits = Hashtbl.create 32 in
     let edges = Hashtbl.create 32 in
+    (* Duplicate records are rejected, not last-one-wins: a file with
+       two values for the same qubit is ambiguous (likely a bad merge
+       or a re-appended archive), and silently preferring either one
+       would compile against data nobody chose. *)
     let parse_line lineno line =
       let line =
         match String.index_opt line '#' with
@@ -59,8 +64,12 @@ let raw_of_string src =
       with
       | [] -> ()
       | "nisq-calibration" :: version :: _ ->
+          if !header then fail lineno "duplicate nisq-calibration header";
+          header := true;
           if version <> "1" then fail lineno ("unsupported version " ^ version)
       | [ "topology"; "grid"; rows; cols ] -> (
+          if Option.is_some !topology then
+            fail lineno "duplicate topology record";
           try
             topology :=
               Some
@@ -68,6 +77,8 @@ let raw_of_string src =
                    ~cols:(int_of_string cols))
           with _ -> fail lineno "bad grid dimensions")
       | "topology" :: "graph" :: n :: edge_specs -> (
+          if Option.is_some !topology then
+            fail lineno "duplicate topology record";
           try
             let num_qubits = int_of_string n in
             let parsed =
@@ -81,21 +92,34 @@ let raw_of_string src =
             topology := Some (Topology.of_edges ~name:"loaded" ~num_qubits parsed)
           with _ -> fail lineno "bad graph topology")
       | [ "day"; d ] -> (
-          try day := int_of_string d with _ -> fail lineno "bad day")
+          if Option.is_some !day then fail lineno "duplicate day record";
+          try day := Some (int_of_string d)
+          with _ -> fail lineno "bad day")
       | [ "qubit"; h; t1; t2; readout; single ] -> (
-          try
-            Hashtbl.replace qubits (int_of_string h)
-              ( Float.of_string t1,
-                Float.of_string t2,
-                Float.of_string readout,
-                Float.of_string single )
-          with _ -> fail lineno "bad qubit record")
+          match
+            ( int_of_string h,
+              Float.of_string t1,
+              Float.of_string t2,
+              Float.of_string readout,
+              Float.of_string single )
+          with
+          | h, t1, t2, readout, single ->
+              if Hashtbl.mem qubits h then
+                fail lineno (Printf.sprintf "duplicate qubit %d record" h);
+              Hashtbl.replace qubits h (t1, t2, readout, single)
+          | exception _ -> fail lineno "bad qubit record")
       | [ "edge"; a; b; err; dur ] -> (
-          try
-            Hashtbl.replace edges
-              (int_of_string a, int_of_string b)
-              (Float.of_string err, int_of_string dur)
-          with _ -> fail lineno "bad edge record")
+          match
+            ( int_of_string a,
+              int_of_string b,
+              Float.of_string err,
+              int_of_string dur )
+          with
+          | a, b, err, dur ->
+              if Hashtbl.mem edges (a, b) || Hashtbl.mem edges (b, a) then
+                fail lineno (Printf.sprintf "duplicate edge %d-%d record" a b);
+              Hashtbl.replace edges (a, b) (err, dur)
+          | exception _ -> fail lineno "bad edge record")
       | word :: _ -> fail lineno ("unknown record " ^ word)
     in
     List.iteri (fun i line -> parse_line (i + 1) line) lines;
@@ -138,7 +162,7 @@ let raw_of_string src =
     Ok
       {
         Calib_sanitize.topology;
-        day = !day;
+        day = Option.value ~default:0 !day;
         t1_us;
         t2_us;
         readout_error;

@@ -1,0 +1,102 @@
+type epoch = {
+  id : int;
+  calib : Calibration.t;
+  source : string;
+  digest : string;
+}
+
+(* Retired epochs are tracked only while pinned: id -> (epoch, pins). *)
+type t = {
+  mutex : Mutex.t;
+  mutable cur : epoch;
+  mutable cur_pins : int;
+  retired : (int, epoch * int ref) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let make_epoch ~id ~calib ~source =
+  { id; calib; source; digest = Calib_cache.digest calib }
+
+let create ~calib ~source =
+  {
+    mutex = Mutex.create ();
+    cur = make_epoch ~id:0 ~calib ~source;
+    cur_pins = 0;
+    retired = Hashtbl.create 4;
+    next_id = 1;
+  }
+
+let current t = locked t (fun () -> t.cur)
+
+let acquire t =
+  locked t (fun () ->
+      t.cur_pins <- t.cur_pins + 1;
+      t.cur)
+
+(* A retired epoch's digest may still be live elsewhere: the current
+   epoch (identical-file reload) or another pinned retiree. Flushing
+   then would evict tables a live epoch is using. *)
+let digest_still_live t digest =
+  t.cur.digest = digest
+  || Hashtbl.fold
+       (fun _ (e, _) acc -> acc || e.digest = digest)
+       t.retired false
+
+let release t (e : epoch) =
+  let flush =
+    locked t (fun () ->
+        if e.id = t.cur.id then begin
+          t.cur_pins <- max 0 (t.cur_pins - 1);
+          None
+        end
+        else
+          match Hashtbl.find_opt t.retired e.id with
+          | None -> None
+          | Some (_, pins) ->
+              decr pins;
+              if !pins <= 0 then begin
+                Hashtbl.remove t.retired e.id;
+                if digest_still_live t e.digest then None else Some e.digest
+              end
+              else None)
+  in
+  Option.iter Calib_cache.flush_digest flush
+
+let allocate_candidate t =
+  locked t (fun () ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      id)
+
+let swap t ~id ~calib ~source =
+  let epoch, flush =
+    locked t (fun () ->
+        if id <= t.cur.id || id >= t.next_id then
+          invalid_arg
+            (Printf.sprintf
+               "Calib_store.swap: id %d not a live candidate (current %d, \
+                next %d)"
+               id t.cur.id t.next_id);
+        let e = make_epoch ~id ~calib ~source in
+        let old = t.cur and old_pins = t.cur_pins in
+        t.cur <- e;
+        t.cur_pins <- 0;
+        if old_pins > 0 then begin
+          Hashtbl.replace t.retired old.id (old, ref old_pins);
+          (e, None)
+        end
+        else if digest_still_live t old.digest then (e, None)
+        else (e, Some old.digest))
+  in
+  Option.iter Calib_cache.flush_digest flush;
+  epoch
+
+let live_epochs t = locked t (fun () -> 1 + Hashtbl.length t.retired)
+
+let pins t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ (_, p) acc -> acc + !p) t.retired t.cur_pins)

@@ -1,0 +1,67 @@
+(** Epoch-versioned calibration registry with atomic swap.
+
+    A long-lived daemon serves every request against {e some} day's
+    calibration; a hot reload must never change the calibration under a
+    request that has already been admitted. This module gives each
+    loaded calibration an {e epoch}: a monotonically increasing id, the
+    sanitized record, and its provenance. Requests {!acquire} the
+    current epoch at admission and {!release} it after their reply is
+    delivered; {!swap} atomically promotes a new epoch for {e future}
+    acquisitions while already-pinned epochs keep serving their
+    in-flight requests unchanged — replies stay byte-identical across a
+    concurrent reload.
+
+    {2 Cache retention}
+
+    Derived tables ({!Calib_cache}) are keyed by calibration digest.
+    When a {e retired} epoch's pin count drains to zero its digest is
+    flushed from every memo — unless another live epoch shares the
+    digest (a reload of an identical file must not flush the tables the
+    new epoch is using). The current epoch is never flushed.
+
+    All operations are mutex-protected and O(live epochs); the store
+    never blocks on I/O. *)
+
+type epoch = {
+  id : int;  (** monotonic; promotion takes the candidate's id *)
+  calib : Calibration.t;
+  source : string;  (** file path, or ["synthetic"] for generated data *)
+  digest : string;  (** {!Calib_cache.digest} of [calib] *)
+}
+
+type t
+
+val create : calib:Calibration.t -> source:string -> t
+(** The store starts serving [calib] as epoch 0. *)
+
+val current : t -> epoch
+(** The serving epoch, without pinning it — for stats and for the
+    reload pipeline's read of the live side. *)
+
+val acquire : t -> epoch
+(** Pin and return the current epoch. Every [acquire] must be paired
+    with exactly one {!release}. *)
+
+val release : t -> epoch -> unit
+(** Unpin. When this was the last pin of a {e retired} epoch, its
+    cache entries are flushed (see the digest-sharing caveat above).
+    Releasing an unknown epoch is a no-op. *)
+
+val allocate_candidate : t -> int
+(** Reserve the next epoch id for a reload attempt. Ids are consumed
+    whether or not the attempt promotes, so faultkit's [@epoch<N>]
+    clauses name attempts unambiguously even across rollbacks. *)
+
+val swap : t -> id:int -> calib:Calibration.t -> source:string -> epoch
+(** Atomically promote [calib] as epoch [id] (from
+    {!allocate_candidate}). The old current epoch is retired: if it has
+    no pins its caches flush immediately, otherwise on its last
+    {!release}. Raises [Invalid_argument] if [id] was not allocated
+    after the current epoch's id (stale candidate). *)
+
+val live_epochs : t -> int
+(** Current epoch plus retired epochs still holding pins — the value a
+    test asserts to see retention drain. *)
+
+val pins : t -> int
+(** Total outstanding pins across all epochs. *)

@@ -9,6 +9,8 @@ type pool_fault = Crash | Kill
 
 type server_fault = Net_torn | Net_close | Slow | Crash_handler
 
+type reload_fault = Reload_torn | Reload_drift | Reload_poison | Reload_slow
+
 type spec = {
   source : string;
   calib : calib_fault list;
@@ -22,6 +24,9 @@ type spec = {
   (* daemon request index -> fault; one-shot, so the client's retry of
      the damaged request observes an undisturbed server. *)
   server : (int, server_fault) Hashtbl.t;
+  (* candidate epoch id -> reload-pipeline fault; one-shot, so the next
+     reload attempt observes a healthy pipeline. *)
+  reload : (int, reload_fault) Hashtbl.t;
 }
 
 let m_injected = Nisq_obs.Metrics.counter "resilience.faults.injected"
@@ -33,6 +38,7 @@ let armed : spec option ref = ref None
 let pool_armed = ref false
 let kill_armed = ref false
 let server_armed = ref false
+let reload_armed = ref false
 
 let with_lock f =
   Mutex.lock lock;
@@ -101,6 +107,18 @@ let parse_clause clause =
       | Some i when i >= 0 -> Ok (`Pool (i, kind))
       | _ ->
           Error (Printf.sprintf "%s: expected @chunk<N> target" site))
+  | "calib:reload-torn" | "calib:reload-drift" | "calib:reload-poison"
+  | "server:slow-reload" -> (
+      let kind =
+        match site with
+        | "calib:reload-torn" -> Reload_torn
+        | "calib:reload-drift" -> Reload_drift
+        | "calib:reload-poison" -> Reload_poison
+        | _ -> Reload_slow
+      in
+      match Option.bind target (int_after "epoch") with
+      | Some i when i >= 0 -> Ok (`Reload (i, kind))
+      | _ -> Error (Printf.sprintf "%s: expected @epoch<N> target" site))
   | "net:torn" | "net:close" | "server:slow" | "server:crash-handler" -> (
       let kind =
         match site with
@@ -123,11 +141,12 @@ let parse source =
   let pool = Hashtbl.create 4 in
   let kill = Hashtbl.create 4 in
   let server = Hashtbl.create 4 in
+  let reload = Hashtbl.create 4 in
   let rec go calib blow dblow = function
     | [] ->
         Ok
           { source; calib = List.rev calib; blow; deadline_blow = dblow; pool;
-            kill; server }
+            kill; server; reload }
     | c :: rest -> (
         match parse_clause c with
         | Ok (`Calib f) -> go (f :: calib) blow dblow rest
@@ -142,6 +161,9 @@ let parse source =
         | Ok (`Server (i, k)) ->
             Hashtbl.replace server i k;
             go calib blow dblow rest
+        | Ok (`Reload (i, k)) ->
+            Hashtbl.replace reload i k;
+            go calib blow dblow rest
         | Error e -> Error (Printf.sprintf "fault clause %S: %s" c e))
   in
   go [] false false clauses
@@ -151,7 +173,8 @@ let clear () =
       armed := None;
       pool_armed := false;
       kill_armed := false;
-      server_armed := false)
+      server_armed := false;
+      reload_armed := false)
 
 let configure source =
   if String.trim source = "" then (
@@ -164,7 +187,8 @@ let configure source =
             armed := Some spec;
             pool_armed := Hashtbl.length spec.pool > 0;
             kill_armed := Hashtbl.length spec.kill > 0;
-            server_armed := Hashtbl.length spec.server > 0);
+            server_armed := Hashtbl.length spec.server > 0;
+            reload_armed := Hashtbl.length spec.reload > 0);
         Ok ()
     | Error _ as e -> e
 
@@ -229,6 +253,24 @@ let server_fault i =
             | Some f ->
                 Hashtbl.remove s.server i;
                 if Hashtbl.length s.server = 0 then server_armed := false;
+                Nisq_obs.Metrics.incr m_injected;
+                Some f))
+
+(* One-shot like the server clauses: the reload attempt whose candidate
+   epoch id matches consumes the clause; the operator's next attempt
+   (a fresh id) observes a healthy pipeline. *)
+let reload_fault i =
+  if not !reload_armed then None
+  else
+    with_lock (fun () ->
+        match !armed with
+        | None -> None
+        | Some s -> (
+            match Hashtbl.find_opt s.reload i with
+            | None -> None
+            | Some f ->
+                Hashtbl.remove s.reload i;
+                if Hashtbl.length s.reload = 0 then reload_armed := false;
                 Nisq_obs.Metrics.incr m_injected;
                 Some f))
 

@@ -23,6 +23,18 @@
       server:crash-handler@req3
                          request 3's handler raises Injected (the worker
                          must survive and answer request 4)
+      calib:reload-torn@epoch2
+                         the reload attempt allocating candidate epoch 2
+                         reads a torn (truncated) candidate file
+      calib:reload-drift@epoch2
+                         the candidate's error rates are scaled past the
+                         drift gate's thresholds
+      calib:reload-poison@epoch2
+                         several qubits of the candidate are corrupted
+                         offline-style, growing the quarantine set
+      server:slow-reload@epoch2
+                         the reload pipeline stalls before deciding,
+                         widening the concurrent-serving window
     v}
 
     Specs come from [nisqc --inject SPEC] or the [NISQ_FAULTS] environment
@@ -39,6 +51,11 @@ type calib_fault = { target : calib_target; kind : calib_kind }
 (** Daemon-side faults, targeted at a request index (arrival order,
     counted by the server across all connections). *)
 type server_fault = Net_torn | Net_close | Slow | Crash_handler
+
+(** Reload-pipeline faults, targeted at the candidate epoch id a reload
+    attempt allocates (ids are consumed by every attempt, promoted or
+    rolled back, so clauses name attempts unambiguously). *)
+type reload_fault = Reload_torn | Reload_drift | Reload_poison | Reload_slow
 
 (** Raised by an armed [pool:crash@chunkN] clause. *)
 exception Injected of string
@@ -83,6 +100,13 @@ val server_fault : int -> server_fault option
     clause disarms when first looked up, so the retry of a damaged
     request finds a healthy server. No-op (one ref read) when no server
     clause is armed. Consumed by [Nisq_serve.Server]. *)
+
+val reload_fault : int -> reload_fault option
+(** The armed fault for the reload attempt whose candidate epoch id is
+    [i], if any — one-shot: the clause disarms when first looked up, so
+    the operator's next attempt observes a healthy pipeline. No-op (one
+    ref read) when no reload clause is armed. Consumed by
+    [Nisq_serve.Reload]. *)
 
 val chunk_check : int -> unit
 (** Injection site for pool chunk [i]: raises [Injected] or [Domain_kill]

@@ -12,6 +12,7 @@ type entry = {
   deadline_ms : int option;
   req_index : int;
   enqueued_ns : int64;
+  epoch : Nisq_device.Calib_store.epoch option;
   mutable waiters : (Protocol.reply_body -> unit) list;
 }
 
@@ -28,6 +29,11 @@ type t = {
   (* EWMA of request service time, for the shed reply's retry hint.
      Starts at a compile-scale guess; refined by [note_service_ms]. *)
   mutable service_ms : float;
+  (* Per-queue verdict totals for the stats verb (the serve.* metric
+     counters are process-global and would bleed across servers). *)
+  mutable n_admitted : int;
+  mutable n_coalesced : int;
+  mutable n_shed : int;
 }
 
 let create ?(capacity = 64) ?(workers = 1) () =
@@ -42,6 +48,9 @@ let create ?(capacity = 64) ?(workers = 1) () =
     intake_open = true;
     stopped = false;
     service_ms = 20.0;
+    n_admitted = 0;
+    n_coalesced = 0;
+    n_shed = 0;
   }
 
 type admit =
@@ -61,22 +70,37 @@ let retry_after t depth =
   let ms = t.service_ms *. float_of_int (depth + 1) /. float_of_int t.workers in
   min 5000 (max 25 (int_of_float ms))
 
-let submit ?(coalescable = true) t ~verb ~deadline_ms ~req_index ~deliver =
+let submit ?(coalescable = true) ?epoch t ~verb ~deadline_ms ~req_index
+    ~deliver =
   let verdict =
     locked t (fun () ->
         if t.stopped || not t.intake_open then Draining
         else
           let key =
-            if coalescable then Protocol.coalesce_key verb else None
+            if coalescable then
+              (* The calibration epoch is part of what determines the
+                 reply bytes: a request admitted after a promotion must
+                 never piggyback on an entry pinned to the old epoch. *)
+              Option.map
+                (fun k ->
+                  match epoch with
+                  | None -> k
+                  | Some e ->
+                      k ^ Printf.sprintf "@epoch%d" e.Nisq_device.Calib_store.id)
+                (Protocol.coalesce_key verb)
+            else None
           in
           match Option.bind key (Hashtbl.find_opt t.by_key) with
           | Some entry ->
               entry.waiters <- deliver :: entry.waiters;
+              t.n_coalesced <- t.n_coalesced + 1;
               Coalesced
           | None ->
               let depth = Queue.length t.queue in
-              if depth >= t.capacity then
+              if depth >= t.capacity then begin
+                t.n_shed <- t.n_shed + 1;
                 Shed { retry_after_ms = retry_after t depth; queue_depth = depth }
+              end
               else begin
                 let entry =
                   {
@@ -85,6 +109,7 @@ let submit ?(coalescable = true) t ~verb ~deadline_ms ~req_index ~deliver =
                     deadline_ms;
                     req_index;
                     enqueued_ns = Nisq_obs.Clock.now_ns ();
+                    epoch;
                     waiters = [ deliver ];
                   }
                 in
@@ -92,6 +117,7 @@ let submit ?(coalescable = true) t ~verb ~deadline_ms ~req_index ~deliver =
                 Option.iter (fun k -> Hashtbl.replace t.by_key k entry) key;
                 Metrics.set g_depth (float_of_int (Queue.length t.queue));
                 Condition.signal t.nonempty;
+                t.n_admitted <- t.n_admitted + 1;
                 Admitted
               end)
   in
@@ -141,6 +167,9 @@ let pop t =
       wait ())
 
 let depth t = locked t (fun () -> Queue.length t.queue)
+
+let counts t =
+  locked t (fun () -> (t.n_admitted, t.n_coalesced, t.n_shed))
 
 let note_service_ms t ms =
   locked t (fun () -> t.service_ms <- (0.8 *. t.service_ms) +. (0.2 *. ms))

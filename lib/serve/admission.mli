@@ -24,6 +24,11 @@ type entry = {
   deadline_ms : int option;
   req_index : int;  (** arrival index of the {e first} waiter *)
   enqueued_ns : int64;
+  epoch : Nisq_device.Calib_store.epoch option;
+      (** the calibration epoch the request was admitted under; the
+          worker compiles against it and releases the pin after
+          delivery. [None] when the daemon serves synthetic
+          calibration. *)
   mutable waiters : (Protocol.reply_body -> unit) list;
       (** delivery callbacks, submission order *)
 }
@@ -43,6 +48,7 @@ type admit =
 
 val submit :
   ?coalescable:bool ->
+  ?epoch:Nisq_device.Calib_store.epoch ->
   t ->
   verb:Protocol.verb ->
   deadline_ms:int option ->
@@ -53,7 +59,13 @@ val submit :
     entry even when an identical request is queued — the server does
     this for requests that drew a handler-level injected fault, so the
     fault lands on exactly the arrival index its clause names (and
-    cannot poison coalesced bystanders). *)
+    cannot poison coalesced bystanders).
+
+    [epoch]: the already-acquired calibration epoch this request is
+    pinned to. The epoch id is folded into the coalesce key, so
+    requests admitted on either side of a hot reload never share an
+    entry. The queue takes ownership of the pin only on [Admitted]; on
+    every other verdict the caller must release it. *)
 
 val pop : t -> entry option
 (** Blocking. [None] once {!stop} was called and the queue is empty —
@@ -61,6 +73,11 @@ val pop : t -> entry option
 
 val depth : t -> int
 (** Queued (not yet popped) entries. *)
+
+val counts : t -> int * int * int
+(** [(admitted, coalesced, shed)] totals for this queue since creation —
+    the stats verb's source (the [serve.*] metric counters are
+    process-global and bleed across server instances in tests). *)
 
 val note_service_ms : t -> float -> unit
 (** Feed one request's service time into the shed estimate's EWMA. *)

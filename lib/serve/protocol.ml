@@ -1,9 +1,9 @@
 module Json = Nisq_obs.Json
 module Config = Nisq_compiler.Config
 
-let protocol_version = 1
+let protocol_version = 2
 
-let build_id = Printf.sprintf "nisq 1.1.0 proto/%d" protocol_version
+let build_id = Printf.sprintf "nisq 1.2.0 proto/%d" protocol_version
 
 type program = Named of string | Qasm of string
 
@@ -23,6 +23,7 @@ type verb =
   | Ping
   | Stats
   | Drain
+  | Reload of { path : string option }
   | Compile of compile_params
   | Run of run_params
 
@@ -30,6 +31,7 @@ let verb_name = function
   | Ping -> "ping"
   | Stats -> "stats"
   | Drain -> "drain"
+  | Reload _ -> "reload"
   | Compile _ -> "compile"
   | Run _ -> "run"
 
@@ -112,6 +114,9 @@ let compile_params_to_json p =
 
 let params_to_json = function
   | Ping | Stats | Drain -> []
+  | Reload { path = None } -> []
+  | Reload { path = Some p } ->
+      [ ("params", Json.Obj [ ("path", Json.String p) ]) ]
   | Compile p -> [ ("params", compile_params_to_json p) ]
   | Run { compile; trials; sim_seed } ->
       let base =
@@ -233,6 +238,14 @@ let request_of_json v =
     | "ping" -> Ok Ping
     | "stats" -> Ok Stats
     | "drain" -> Ok Drain
+    | "reload" -> (
+        match Json.member "params" v with
+        | None -> Ok (Reload { path = None })
+        | Some p -> (
+            match Json.member "path" p with
+            | None | Some Json.Null -> Ok (Reload { path = None })
+            | Some (Json.String s) -> Ok (Reload { path = Some s })
+            | Some _ -> Error "\"path\" is not a string"))
     | "compile" ->
         let* p = params () in
         Result.map (fun c -> Compile c) (compile_params_of_json p)
@@ -273,7 +286,7 @@ let reply_of_json v =
 
 let coalesce_key verb =
   match verb with
-  | Ping | Stats | Drain -> None
+  | Ping | Stats | Drain | Reload _ -> None
   | Compile _ | Run _ ->
       (* The canonical JSON of the work-defining params (the request id
          and deadline are delivery concerns, not work) digested to a

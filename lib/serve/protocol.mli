@@ -37,11 +37,15 @@ type verb =
   | Ping
   | Stats
   | Drain
+  | Reload of { path : string option }
+      (** hot-reload the daemon's calibration; [path] overrides the
+          configured candidate file for this attempt. Answered with the
+          [nisq-reload/1] decision report once the pipeline finishes. *)
   | Compile of compile_params
   | Run of run_params
 
 val verb_name : verb -> string
-(** ["ping" | "stats" | "drain" | "compile" | "run"]. *)
+(** ["ping" | "stats" | "drain" | "reload" | "compile" | "run"]. *)
 
 type request = {
   id : int;

@@ -1,0 +1,347 @@
+module Json = Nisq_obs.Json
+module Metrics = Nisq_obs.Metrics
+module Events = Nisq_obs.Events
+module Faultkit = Nisq_faultkit.Faultkit
+module Calib_io = Nisq_device.Calib_io
+module Calib_sanitize = Nisq_device.Calib_sanitize
+module Calib_diff = Nisq_device.Calib_diff
+module Calib_store = Nisq_device.Calib_store
+module Config = Nisq_compiler.Config
+module Compile = Nisq_compiler.Compile
+module Benchmarks = Nisq_bench.Benchmarks
+
+type outcome =
+  | Promoted of Calib_store.epoch
+  | Rolled_back of { stage : string; reasons : string list }
+
+type result = { outcome : outcome; report : Json.t }
+
+let m_attempts = Metrics.counter "resilience.reload.attempts"
+let m_promotions = Metrics.counter "resilience.reload.promotions"
+let m_rollbacks = Metrics.counter "resilience.reload.rollbacks"
+let g_epoch = Metrics.gauge "resilience.reload.epoch"
+
+let probe_names = [ "BV4"; "HS2"; "Peres" ]
+
+let probe_config = Config.make (Config.R_smt_star 0.5)
+
+(* ------------------------- injected damage ------------------------- *)
+
+(* Each fault fabricates the real-world failure it names, applied to the
+   candidate only — the pipeline then detects it through the ordinary
+   stages, which is the point: no stage special-cases injection. *)
+
+let tear text = String.sub text 0 (String.length text / 2)
+
+let poison_targets = [ 0; 1; 2; 3 ]
+
+let poison raw =
+  Calib_sanitize.apply_faults raw
+    (List.map
+       (fun q ->
+         { Faultkit.target = Faultkit.Qubit q; kind = Faultkit.Offline })
+       poison_targets)
+
+let drift (raw : Calib_sanitize.raw) =
+  let scale x = Float.min 0.9 (3.0 *. x) in
+  {
+    raw with
+    Calib_sanitize.readout_error = Array.map scale raw.Calib_sanitize.readout_error;
+    cnot_error =
+      Array.map (Array.map (fun e -> if Float.is_nan e then e else scale e))
+        raw.Calib_sanitize.cnot_error;
+  }
+
+(* ------------------------------ canary ----------------------------- *)
+
+let rung_rank = function
+  | Some Compile.Rung_full -> 0
+  | Some Compile.Rung_capped -> 1
+  | Some Compile.Rung_greedy -> 2
+  | None -> 0
+
+let rung_label = function
+  | Some r -> Compile.rung_name r
+  | None -> "none"
+
+type probe_result = {
+  probe : string;
+  live_esp : float;
+  cand_esp : float;
+  live_rung : Compile.rung option;
+  cand_rung : Compile.rung option;
+  probe_ok : bool;
+}
+
+let run_canary ~live_calib ~cand_calib ~(thresholds : Calib_diff.thresholds) =
+  List.map
+    (fun name ->
+      let circuit = (Benchmarks.by_name name).Benchmarks.circuit in
+      let live_r = Compile.run ~config:probe_config ~calib:live_calib circuit in
+      let cand_r = Compile.run ~config:probe_config ~calib:cand_calib circuit in
+      let ratio =
+        if live_r.Compile.esp <= 0.0 then 1.0
+        else cand_r.Compile.esp /. live_r.Compile.esp
+      in
+      let rung_degraded =
+        rung_rank cand_r.Compile.rung = 2 && rung_rank live_r.Compile.rung < 2
+      in
+      {
+        probe = name;
+        live_esp = live_r.Compile.esp;
+        cand_esp = cand_r.Compile.esp;
+        live_rung = live_r.Compile.rung;
+        cand_rung = cand_r.Compile.rung;
+        probe_ok =
+          ratio >= thresholds.Calib_diff.min_canary_esp_ratio
+          && not rung_degraded;
+      })
+    probe_names
+
+(* ------------------------------ report ----------------------------- *)
+
+let report_json ~path ~live ~candidate_id ~injected ~stages ~sanitize ~drift_d
+    ~canary ~outcome =
+  let decision, failed_stage, reasons =
+    match outcome with
+    | Promoted _ -> ("promoted", Json.Null, [])
+    | Rolled_back { stage; reasons } ->
+        ("rolled-back", Json.String stage, reasons)
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "nisq-reload/1");
+      ("path", Json.String path);
+      ("live_epoch", Json.Int live.Calib_store.id);
+      ( "live_day",
+        Json.Int live.Calib_store.calib.Nisq_device.Calibration.day );
+      ("candidate_epoch", Json.Int candidate_id);
+      ("decision", Json.String decision);
+      ("failed_stage", failed_stage);
+      ("reasons", Json.List (List.map (fun r -> Json.String r) reasons));
+      ( "injected",
+        match injected with
+        | None -> Json.Null
+        | Some f -> Json.String f );
+      ( "stages",
+        Json.List
+          (List.rev_map
+             (fun (stage, ok, detail) ->
+               Json.Obj
+                 [
+                   ("stage", Json.String stage);
+                   ("ok", Json.Bool ok);
+                   ("detail", Json.String detail);
+                 ])
+             stages) );
+      ( "sanitize",
+        match sanitize with
+        | None -> Json.Null
+        | Some (r : Calib_sanitize.report) ->
+            Json.Obj
+              [
+                ("repairs", Json.Int (Calib_sanitize.repairs r));
+                ( "quarantined_qubits",
+                  Json.Int (List.length r.Calib_sanitize.quarantined_qubits) );
+                ( "quarantined_links",
+                  Json.Int (List.length r.Calib_sanitize.quarantined_links) );
+              ] );
+      ( "drift",
+        match drift_d with None -> Json.Null | Some d -> Calib_diff.to_json d );
+      ( "canary",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.Obj
+                 [
+                   ("probe", Json.String p.probe);
+                   ("live_esp", Json.Float p.live_esp);
+                   ("candidate_esp", Json.Float p.cand_esp);
+                   ("live_rung", Json.String (rung_label p.live_rung));
+                   ("candidate_rung", Json.String (rung_label p.cand_rung));
+                   ("ok", Json.Bool p.probe_ok);
+                 ])
+             canary) );
+    ]
+
+let fault_name = function
+  | Faultkit.Reload_torn -> "calib:reload-torn"
+  | Faultkit.Reload_drift -> "calib:reload-drift"
+  | Faultkit.Reload_poison -> "calib:reload-poison"
+  | Faultkit.Reload_slow -> "server:slow-reload"
+
+(* -------------------------------- run ------------------------------ *)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> Ok text
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let run ~store ~path ?(thresholds = Calib_diff.default_thresholds) () =
+  Metrics.incr m_attempts;
+  let live = Calib_store.current store in
+  let candidate_id = Calib_store.allocate_candidate store in
+  let injected = Faultkit.reload_fault candidate_id in
+  (* The slow clause stalls the whole pipeline — serving must continue
+     unaffected, which the smoke test observes through byte-identical
+     replies to requests admitted during the stall. *)
+  (match injected with
+  | Some Faultkit.Reload_slow -> Unix.sleepf 0.75
+  | _ -> ());
+  let stages = ref [] in
+  let stage name ok detail = stages := (name, ok, detail) :: !stages in
+  let sanitize_report = ref None in
+  let drift_report = ref None in
+  let canary_results = ref [] in
+  let ( let* ) r k = match r with Ok v -> k v | Error e -> Error e in
+  let pipeline () =
+    (* parse *)
+    let* raw =
+      let attempt =
+        let* text = read_file path in
+        let text =
+          match injected with
+          | Some Faultkit.Reload_torn -> tear text
+          | _ -> text
+        in
+        match Calib_io.raw_of_string text with
+        | Ok raw -> Ok raw
+        | Error { Calib_io.line; message } ->
+            Error
+              (if line > 0 then Printf.sprintf "line %d: %s" line message
+               else message)
+      in
+      match attempt with
+      | Ok raw ->
+          stage "parse" true
+            (Printf.sprintf "%d qubits, day %d"
+               (Nisq_device.Topology.num_qubits raw.Calib_sanitize.topology)
+               raw.Calib_sanitize.day);
+          Ok raw
+      | Error msg ->
+          stage "parse" false msg;
+          Error ("parse", [ msg ])
+    in
+    let raw =
+      match injected with
+      | Some Faultkit.Reload_poison -> poison raw
+      | Some Faultkit.Reload_drift -> drift raw
+      | _ -> raw
+    in
+    (* sanitize, with the live epoch as the previous-day backfill *)
+    let* calib =
+      match Calib_sanitize.sanitize ~previous:live.Calib_store.calib raw with
+      | calib, report ->
+          sanitize_report := Some report;
+          stage "sanitize" true
+            (Printf.sprintf "%d repairs, %d qubits + %d links quarantined"
+               (Calib_sanitize.repairs report)
+               (List.length report.Calib_sanitize.quarantined_qubits)
+               (List.length report.Calib_sanitize.quarantined_links));
+          Ok calib
+      | exception Invalid_argument msg ->
+          stage "sanitize" false msg;
+          Error ("sanitize", [ msg ])
+    in
+    (* drift gate *)
+    let* () =
+      match Calib_diff.diff ~old_:live.Calib_store.calib ~candidate:calib with
+      | d -> (
+          drift_report := Some d;
+          match Calib_diff.gate ~thresholds d with
+          | [] ->
+              stage "drift" true "within thresholds";
+              Ok ()
+          | reasons ->
+              stage "drift" false (String.concat "; " reasons);
+              Error ("drift", reasons))
+      | exception Invalid_argument msg ->
+          stage "drift" false msg;
+          Error ("drift", [ msg ])
+    in
+    (* canary *)
+    let* () =
+      match
+        run_canary ~live_calib:live.Calib_store.calib ~cand_calib:calib
+          ~thresholds
+      with
+      | probes -> (
+          canary_results := probes;
+          match List.filter (fun p -> not p.probe_ok) probes with
+          | [] ->
+              stage "canary" true
+                (Printf.sprintf "%d probes ok" (List.length probes));
+              Ok ()
+          | bad ->
+              let reasons =
+                List.map
+                  (fun p ->
+                    Printf.sprintf
+                      "probe %s: esp %.4g -> %.4g, rung %s -> %s" p.probe
+                      p.live_esp p.cand_esp (rung_label p.live_rung)
+                      (rung_label p.cand_rung))
+                  bad
+              in
+              stage "canary" false (String.concat "; " reasons);
+              Error ("canary", reasons))
+      | exception exn ->
+          let msg = Printexc.to_string exn in
+          stage "canary" false msg;
+          Error ("canary", [ msg ])
+    in
+    Ok calib
+  in
+  let outcome =
+    match pipeline () with
+    | Ok calib ->
+        let epoch =
+          Calib_store.swap store ~id:candidate_id ~calib ~source:path
+        in
+        stage "promote" true (Printf.sprintf "epoch %d live" epoch.id);
+        Promoted epoch
+    | Error (failed, reasons) -> Rolled_back { stage = failed; reasons }
+    | exception exn ->
+        (* Crash-only: whatever blew up, the live epoch was never
+           touched — swap is the last step and is atomic. *)
+        let msg = Printexc.to_string exn in
+        stage "internal" false msg;
+        Rolled_back { stage = "internal"; reasons = [ msg ] }
+  in
+  (match outcome with
+  | Promoted epoch ->
+      Metrics.incr m_promotions;
+      Metrics.set g_epoch (float_of_int epoch.Calib_store.id);
+      Events.emit ~domain:"reload" Events.Info
+        (Printf.sprintf
+           "calibration epoch %d promoted (day %d, %s) replacing epoch %d"
+           epoch.Calib_store.id
+           epoch.Calib_store.calib.Nisq_device.Calibration.day path
+           live.Calib_store.id)
+        ~fields:
+          [
+            ("epoch", string_of_int epoch.Calib_store.id);
+            ("path", path);
+          ]
+  | Rolled_back { stage = failed; reasons } ->
+      Metrics.incr m_rollbacks;
+      Events.emit ~domain:"reload" Events.Warn
+        (Printf.sprintf
+           "calibration reload rolled back at %s stage (epoch %d stays \
+            live): %s"
+           failed live.Calib_store.id
+           (String.concat "; " reasons))
+        ~fields:
+          [
+            ("stage", failed);
+            ("epoch", string_of_int live.Calib_store.id);
+            ("path", path);
+          ]);
+  {
+    outcome;
+    report =
+      report_json ~path ~live ~candidate_id
+        ~injected:(Option.map fault_name injected)
+        ~stages:!stages ~sanitize:!sanitize_report ~drift_d:!drift_report
+        ~canary:!canary_results ~outcome;
+  }

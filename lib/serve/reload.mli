@@ -1,0 +1,54 @@
+(** The calibration hot-reload pipeline: parse, sanitize, drift gate,
+    canary, promote-or-rollback.
+
+    {!run} takes a candidate calibration file through four stages
+    against a {!Nisq_device.Calib_store}:
+
+    + {b parse} — read the file and [Calib_io.raw_of_string] it;
+    + {b sanitize} — [Calib_sanitize.sanitize ~previous:<live epoch>],
+      so the previous-day backfill chain applies to reloads
+      automatically;
+    + {b drift gate} — [Calib_diff.diff] vs the live epoch, rejected by
+      [Calib_diff.gate] on quarantine growth or mean-error drift beyond
+      the thresholds;
+    + {b canary} — compile a small probe suite under the candidate and
+      the live epoch and compare ESP / solver-ladder-rung evidence; a
+      candidate that collapses ESP below
+      [thresholds.min_canary_esp_ratio] of live, or falls to the greedy
+      rung where live did not, is rejected.
+
+    Passing all four promotes the candidate via [Calib_store.swap];
+    failing {e any} stage leaves the live epoch untouched — crash-only
+    semantics: no partial state, nothing to repair, the next attempt
+    starts from the same live epoch. Every attempt emits
+    [resilience.reload.{attempts,promotions,rollbacks}] metric ticks, a
+    [reload]-domain {!Nisq_obs.Events} entry for the decision, and a
+    [nisq-reload/1] JSON report (checkable with [jsonlint --reload]).
+
+    Faultkit clauses [calib:reload-torn@epoch<N>],
+    [calib:reload-drift@epoch<N>], [calib:reload-poison@epoch<N>] and
+    [server:slow-reload@epoch<N>] — keyed by the candidate epoch id the
+    attempt allocates — deterministically damage the candidate (or
+    stall the pipeline) to exercise each rollback path. {!run} never
+    raises. *)
+
+type outcome =
+  | Promoted of Nisq_device.Calib_store.epoch
+  | Rolled_back of { stage : string; reasons : string list }
+      (** [stage] is ["parse"], ["sanitize"], ["drift"], ["canary"] or
+          ["internal"] (unexpected exception, still contained) *)
+
+type result = { outcome : outcome; report : Nisq_obs.Json.t }
+
+val probe_names : string list
+(** The canary suite — small, fast benchmarks ([BV4], [HS2], [Peres]). *)
+
+val run :
+  store:Nisq_device.Calib_store.t ->
+  path:string ->
+  ?thresholds:Nisq_device.Calib_diff.thresholds ->
+  unit ->
+  result
+(** One reload attempt of the candidate file at [path]. Blocking (the
+    canary compiles); callers run it off the serving path — the daemon
+    uses a dedicated reload domain. *)

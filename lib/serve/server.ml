@@ -11,10 +11,23 @@ module Budget = Nisq_solver.Budget
 module Circuit = Nisq_circuit.Circuit
 module Qasm = Nisq_circuit.Qasm
 module Ibmq16 = Nisq_device.Ibmq16
+module Calibration = Nisq_device.Calibration
+module Calib_io = Nisq_device.Calib_io
+module Calib_sanitize = Nisq_device.Calib_sanitize
+module Calib_diff = Nisq_device.Calib_diff
+module Calib_store = Nisq_device.Calib_store
 module Benchmarks = Nisq_bench.Benchmarks
 module Experiments = Nisq_bench.Experiments
 module Runner = Nisq_sim.Runner
 module Pool = Nisq_util.Pool
+
+type calib_config = {
+  calib_path : string;
+  calib_prev : string option;
+  watch_s : float option;
+  thresholds : Calib_diff.thresholds;
+  reload_report : string option;
+}
 
 type config = {
   socket : string;
@@ -22,6 +35,7 @@ type config = {
   queue_capacity : int;
   default_deadline_ms : int;
   drain_grace_s : float;
+  calib : calib_config option;
 }
 
 let default_config ~socket =
@@ -31,6 +45,17 @@ let default_config ~socket =
     queue_capacity = 64;
     default_deadline_ms = 30_000;
     drain_grace_s = 5.0;
+    calib = None;
+  }
+
+let calib_config ?prev ?watch_s ?(thresholds = Calib_diff.default_thresholds)
+    ?report path =
+  {
+    calib_path = path;
+    calib_prev = prev;
+    watch_s;
+    thresholds;
+    reload_report = report;
   }
 
 type outcome = Drained of Deadline.reason option
@@ -80,12 +105,19 @@ let config_of (p : Protocol.compile_params) =
   | None -> Config.make ~movement:p.movement p.method_
 
 (* The compile reply payload. Deterministic by construction: every
-   field is a pure function of the request params — wall-clock values
-   (compile_seconds) are deliberately left out so coalesced waiters and
-   repeated requests get byte-identical bytes. *)
-let compile_result (p : Protocol.compile_params) =
+   field is a pure function of the request params and the calibration —
+   wall-clock values (compile_seconds) are deliberately left out so
+   coalesced waiters and repeated requests get byte-identical bytes.
+   [calib] overrides the synthetic per-request calibration when the
+   daemon serves file-backed epochs; the reply's [day] then reports the
+   epoch's day, not the (ignored) request parameter. *)
+let compile_result ?calib (p : Protocol.compile_params) =
   let name, circuit = circuit_of p in
-  let calib = Ibmq16.calibration ~seed:p.calib_seed ~day:p.day () in
+  let calib =
+    match calib with
+    | Some c -> c
+    | None -> Ibmq16.calibration ~seed:p.calib_seed ~day:p.day ()
+  in
   let r = Compile.run ~config:(config_of p) ~calib circuit in
   let solver =
     match r.Compile.solver_stats with
@@ -116,7 +148,7 @@ let compile_result (p : Protocol.compile_params) =
          ("gates", Json.Int (Circuit.gate_count r.Compile.program));
          ("cnots", Json.Int (Circuit.cnot_count r.Compile.program));
          ("config", Json.String (Config.name r.Compile.config));
-         ("day", Json.Int p.day);
+         ("day", Json.Int calib.Calibration.day);
          ("swaps", Json.Int r.Compile.swap_count);
          ("duration_slots", Json.Int r.Compile.duration);
          ("esp", Json.Float r.Compile.esp);
@@ -128,8 +160,8 @@ let compile_result (p : Protocol.compile_params) =
        ]
       @ solver @ qasm) )
 
-let run_result (p : Protocol.run_params) =
-  let r, compile_json = compile_result p.Protocol.compile in
+let run_result ?calib (p : Protocol.run_params) =
+  let r, compile_json = compile_result ?calib p.Protocol.compile in
   let runner = Experiments.runner_of r in
   let success =
     Runner.success_rate ~trials:p.Protocol.trials ~pool:(Pool.default ())
@@ -147,11 +179,11 @@ let run_result (p : Protocol.run_params) =
   | Json.Obj kvs -> Json.Obj (kvs @ extra)
   | _ -> assert false
 
-let handle_work verb =
+let handle_work ?calib verb =
   match verb with
-  | Protocol.Compile p -> Protocol.Result (snd (compile_result p))
-  | Protocol.Run p -> Protocol.Result (run_result p)
-  | Protocol.Ping | Protocol.Stats | Protocol.Drain ->
+  | Protocol.Compile p -> Protocol.Result (snd (compile_result ?calib p))
+  | Protocol.Run p -> Protocol.Result (run_result ?calib p)
+  | Protocol.Ping | Protocol.Stats | Protocol.Drain | Protocol.Reload _ ->
       Protocol.Failed
         {
           code = "not-work";
@@ -175,6 +207,14 @@ type conn = {
 
 type drain_cause = Running | By_signal of Deadline.reason | By_verb
 
+(* One queued reload attempt: [rpath] overrides the configured file,
+   [rdeliver] answers the triggering connection (None for SIGHUP /
+   watcher attempts, which have no one to answer). *)
+type reload_request = {
+  rpath : string option;
+  rdeliver : (Protocol.reply_body -> unit) option;
+}
+
 type t = {
   cfg : config;
   queue : Admission.t;
@@ -190,6 +230,16 @@ type t = {
      at arrival (the faultkit is one-shot) but acted on by the worker. *)
   faults_mutex : Mutex.t;
   handler_faults : (int, Faultkit.server_fault) Hashtbl.t;
+  (* Calibration epochs: None = synthetic per-request calibration (the
+     pre-reload behaviour); Some = file-backed, hot-reloadable. *)
+  store : Calib_store.t option;
+  reload_mutex : Mutex.t;
+  reload_pending : reload_request Queue.t;
+  reload_stop : bool Atomic.t;
+  hup : bool Atomic.t;
+  r_attempts : int Atomic.t;
+  r_promotions : int Atomic.t;
+  r_rollbacks : int Atomic.t;
 }
 
 let locked m f =
@@ -240,6 +290,11 @@ let rec stall () =
 let deliver_all entry body =
   List.iter (fun deliver -> deliver body) entry.Admission.waiters
 
+let release_pin t epoch =
+  match (t.store, epoch) with
+  | Some store, Some e -> Calib_store.release store e
+  | _ -> ()
+
 let work_one t (entry : Admission.entry) =
   Atomic.incr t.in_flight;
   Metrics.set g_in_flight (float_of_int (Atomic.get t.in_flight));
@@ -249,6 +304,12 @@ let work_one t (entry : Admission.entry) =
   in
   let fault = take_handler_fault t entry.req_index in
   let verb_name = Protocol.verb_name entry.verb in
+  (* The request compiles against the epoch it was admitted under, not
+     whatever is current by the time a worker picks it up — that is the
+     byte-identity contract across a concurrent reload. *)
+  let calib =
+    Option.map (fun e -> e.Calib_store.calib) entry.Admission.epoch
+  in
   let body =
     match
       Deadline.with_scoped
@@ -259,7 +320,7 @@ let work_one t (entry : Admission.entry) =
               failwith "injected handler crash (server:crash-handler)"
           | Some Faultkit.Slow -> stall ()
           | _ -> ());
-          handle_work entry.verb)
+          handle_work ?calib entry.verb)
     with
     | Ok body -> body
     | Error _ ->
@@ -304,9 +365,12 @@ let work_one t (entry : Admission.entry) =
   let ms = Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e6 in
   Admission.note_service_ms t.queue ms;
   Metrics.observe (latency_hist verb_name) ms;
-  deliver_all entry body;
+  (* Count before delivering: a client that sees its reply and
+     immediately asks for stats must find this request in [served]. *)
   Atomic.incr t.served;
   Metrics.incr m_served;
+  deliver_all entry body;
+  release_pin t entry.Admission.epoch;
   Atomic.decr t.in_flight;
   Metrics.set g_in_flight (float_of_int (Atomic.get t.in_flight))
 
@@ -316,6 +380,85 @@ let rec worker_loop t =
   | Some entry ->
       work_one t entry;
       worker_loop t
+
+(* ------------------------------ reload ------------------------------ *)
+
+let draining_reply =
+  Protocol.Failed
+    {
+      code = "draining";
+      message = "server is draining; not accepting reloads";
+      retryable = true;
+    }
+
+let enqueue_reload t req =
+  if Atomic.get t.reload_stop then
+    Option.iter (fun deliver -> deliver draining_reply) req.rdeliver
+  else
+    locked t.reload_mutex (fun () -> Queue.push req t.reload_pending)
+
+let run_reload t ccfg store req =
+  Atomic.incr t.r_attempts;
+  let path = Option.value req.rpath ~default:ccfg.calib_path in
+  let res = Reload.run ~store ~path ~thresholds:ccfg.thresholds () in
+  (match res.Reload.outcome with
+  | Reload.Promoted _ -> Atomic.incr t.r_promotions
+  | Reload.Rolled_back _ -> Atomic.incr t.r_rollbacks);
+  Option.iter
+    (fun path -> Json.to_file ~path res.Reload.report)
+    ccfg.reload_report;
+  Option.iter
+    (fun deliver -> deliver (Protocol.Result res.Reload.report))
+    req.rdeliver
+
+(* The reload domain: one pipeline at a time, fed by the reload verb,
+   SIGHUP (the handler only flips an atomic — Events/Metrics take locks
+   a signal could deadlock on), and the --calib-watch mtime poller.
+   Serving never blocks on it; it never blocks serving. *)
+let reload_loop t ccfg store =
+  let mtime () =
+    match Unix.stat ccfg.calib_path with
+    | st -> st.Unix.st_mtime
+    | exception Unix.Unix_error _ -> 0.0
+  in
+  let watch_last = ref (mtime ()) in
+  let watch_next =
+    ref
+      (match ccfg.watch_s with
+      | None -> Float.infinity
+      | Some w -> Unix.gettimeofday () +. w)
+  in
+  let rec loop () =
+    if Atomic.get t.reload_stop then
+      (* Answer every still-queued trigger; nobody is left hanging. *)
+      locked t.reload_mutex (fun () ->
+          Queue.iter
+            (fun req ->
+              Option.iter (fun d -> d draining_reply) req.rdeliver)
+            t.reload_pending;
+          Queue.clear t.reload_pending)
+    else begin
+      if Atomic.exchange t.hup false then
+        enqueue_reload t { rpath = None; rdeliver = None };
+      (match ccfg.watch_s with
+      | Some w when Unix.gettimeofday () >= !watch_next ->
+          watch_next := Unix.gettimeofday () +. w;
+          let m = mtime () in
+          if m <> !watch_last then begin
+            watch_last := m;
+            enqueue_reload t { rpath = None; rdeliver = None }
+          end
+      | _ -> ());
+      let req =
+        locked t.reload_mutex (fun () -> Queue.take_opt t.reload_pending)
+      in
+      (match req with
+      | Some req -> run_reload t ccfg store req
+      | None -> Unix.sleepf 0.02);
+      loop ()
+    end
+  in
+  loop ()
 
 (* ---------------------------- admin verbs --------------------------- *)
 
@@ -331,21 +474,50 @@ let stats_json t =
   let uptime_s =
     Int64.to_float (Int64.sub (Clock.now_ns ()) t.started_ns) /. 1e9
   in
+  let admitted, coalesced, shed = Admission.counts t.queue in
+  let calib =
+    match t.store with
+    | None -> [ ("calib", Json.Null) ]
+    | Some store ->
+        let e = Calib_store.current store in
+        [
+          ( "calib",
+            Json.Obj
+              [
+                ("epoch", Json.Int e.Calib_store.id);
+                ("day", Json.Int e.Calib_store.calib.Calibration.day);
+                ("source", Json.String e.Calib_store.source);
+                ("live_epochs", Json.Int (Calib_store.live_epochs store));
+                ("pins", Json.Int (Calib_store.pins store));
+              ] );
+        ]
+  in
   Json.Obj
-    [
-      ("build", Json.String Protocol.build_id);
-      ("protocol", Json.Int Protocol.protocol_version);
-      ("workers", Json.Int t.cfg.workers);
-      ("queue_capacity", Json.Int t.cfg.queue_capacity);
-      ("queue_depth", Json.Int (Admission.depth t.queue));
-      ("in_flight", Json.Int (Atomic.get t.in_flight));
-      ("served", Json.Int (Atomic.get t.served));
-      ("handler_crashes", Json.Int (Atomic.get t.crashes));
-      ("uptime_s", Json.Float uptime_s);
-      ( "draining",
-        Json.Bool (match Atomic.get t.drain with Running -> false | _ -> true)
-      );
-    ]
+    ([
+       ("build", Json.String Protocol.build_id);
+       ("protocol", Json.Int Protocol.protocol_version);
+       ("workers", Json.Int t.cfg.workers);
+       ("queue_capacity", Json.Int t.cfg.queue_capacity);
+       ("queue_depth", Json.Int (Admission.depth t.queue));
+       ("in_flight", Json.Int (Atomic.get t.in_flight));
+       ("served", Json.Int (Atomic.get t.served));
+       ("admitted", Json.Int admitted);
+       ("coalesced", Json.Int coalesced);
+       ("shed", Json.Int shed);
+       ("handler_crashes", Json.Int (Atomic.get t.crashes));
+       ( "reloads",
+         Json.Obj
+           [
+             ("attempts", Json.Int (Atomic.get t.r_attempts));
+             ("promotions", Json.Int (Atomic.get t.r_promotions));
+             ("rollbacks", Json.Int (Atomic.get t.r_rollbacks));
+           ] );
+       ("uptime_s", Json.Float uptime_s);
+       ( "draining",
+         Json.Bool
+           (match Atomic.get t.drain with Running -> false | _ -> true) );
+     ]
+    @ calib)
 
 (* ------------------------------ readers ----------------------------- *)
 
@@ -362,6 +534,28 @@ let dispatch t conn (req : Protocol.request) =
       send_reply conn
         { id = req.id; body = Result (Json.Obj [ ("draining", Json.Bool true) ]) };
       request_drain t By_verb
+  | Protocol.Reload { path } -> (
+      match t.store with
+      | None ->
+          send_reply conn
+            {
+              id = req.id;
+              body =
+                Protocol.Failed
+                  {
+                    code = "no-calibration";
+                    message =
+                      "daemon serves synthetic calibration; start with \
+                       --calib FILE to enable reload";
+                    retryable = false;
+                  };
+            }
+      | Some _ ->
+          (* Queued to the reload domain; the reply arrives once the
+             pipeline decides. The reader keeps reading — other requests
+             on this connection are served meanwhile. *)
+          let deliver body = send_reply conn { id = req.id; body } in
+          enqueue_reload t { rpath = path; rdeliver = Some deliver })
   | Protocol.Compile _ | Protocol.Run _ ->
       (* Work verbs consume arrival indices — the faultkit's @req<N>
          targets count these, not pings. *)
@@ -376,18 +570,27 @@ let dispatch t conn (req : Protocol.request) =
         | None -> (None, false)
       in
       let deliver body = send_reply ?net_fault conn { id = req.id; body } in
+      (* Pin the serving epoch at admission: a reload promoted a moment
+         later must not change this request's reply bytes. *)
+      let epoch = Option.map Calib_store.acquire t.store in
       (* A handler-faulted request must own its entry: coalescing onto
          a clean twin would both dodge the fault (the worker consumes it
          by the entry's index) and blast the twin's waiters with it. *)
       let verdict =
-        Admission.submit ~coalescable:(not handler_faulted) t.queue
+        Admission.submit ~coalescable:(not handler_faulted) ?epoch t.queue
           ~verb:req.verb ~deadline_ms:req.deadline_ms ~req_index:idx ~deliver
       in
       (match verdict with
-      | Admission.Admitted | Admission.Coalesced -> ()
+      | Admission.Admitted -> ()
+      | Admission.Coalesced ->
+          (* The queued twin holds its own pin on the same epoch (the
+             epoch id is part of the coalesce key). *)
+          release_pin t epoch
       | Admission.Shed { retry_after_ms; queue_depth } ->
+          release_pin t epoch;
           deliver (Protocol.Overloaded { retry_after_ms; queue_depth })
       | Admission.Draining ->
+          release_pin t epoch;
           deliver
             (Protocol.Failed
                {
@@ -480,9 +683,56 @@ let fail_leftovers t =
                message = "server drained before this request was served";
                retryable = true;
              });
+        (* The entry owned its epoch pin from admission; an unserved
+           entry must still release it or the epoch leaks forever. *)
+        release_pin t entry.Admission.epoch;
         loop ()
   in
   loop ()
+
+(* ------------------------- initial calibration ---------------------- *)
+
+(* Load the file the daemon will serve. Startup is strict — a daemon
+   that cannot establish epoch 0 must not come up — but routes through
+   the same raw-parse + sanitize pipeline reloads use, so a file good
+   enough to promote is good enough to boot from. [calib_prev] seeds
+   the sanitizer's previous-day backfill chain exactly as the live
+   epoch does for later reloads. *)
+let load_initial_calib ccfg =
+  let parse path =
+    match Calib_io.load_raw ~path with
+    | Ok raw -> raw
+    | Error { Calib_io.line; message } ->
+        raise
+          (Startup_error
+             (if line > 0 then Printf.sprintf "%s:%d: %s" path line message
+              else Printf.sprintf "%s: %s" path message))
+  in
+  let previous =
+    Option.map
+      (fun path -> fst (Calib_sanitize.sanitize (parse path)))
+      ccfg.calib_prev
+  in
+  let raw = parse ccfg.calib_path in
+  match
+    match previous with
+    | Some previous -> Calib_sanitize.sanitize ~previous raw
+    | None -> Calib_sanitize.sanitize raw
+  with
+  | calib, report ->
+      if not (Calib_sanitize.is_clean report) then
+        Events.emit ~domain:"serve" Events.Info
+          (Printf.sprintf
+             "calibration %s sanitized at startup: %d repairs, %d qubits + \
+              %d links quarantined"
+             ccfg.calib_path
+             (Calib_sanitize.repairs report)
+             (List.length report.Calib_sanitize.quarantined_qubits)
+             (List.length report.Calib_sanitize.quarantined_links))
+          ~fields:[ ("path", ccfg.calib_path) ];
+      calib
+  | exception Invalid_argument msg ->
+      raise (Startup_error (Printf.sprintf "%s: %s" ccfg.calib_path msg))
 
 (* -------------------------------- run ------------------------------- *)
 
@@ -522,6 +772,19 @@ let run ?(on_ready = fun () -> ()) ?(signals = false) cfg =
        (Startup_error
           (Printf.sprintf "cannot bind %s: %s" cfg.socket (Unix.error_message e))));
   Unix.listen listen_fd 64;
+  let store =
+    match cfg.calib with
+    | None -> None
+    | Some ccfg ->
+        let calib =
+          try load_initial_calib ccfg
+          with Startup_error _ as e ->
+            (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+            (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+            raise e
+        in
+        Some (Calib_store.create ~calib ~source:ccfg.calib_path)
+  in
   let t =
     {
       cfg;
@@ -538,9 +801,18 @@ let run ?(on_ready = fun () -> ()) ?(signals = false) cfg =
       conns = [];
       faults_mutex = Mutex.create ();
       handler_faults = Hashtbl.create 8;
+      store;
+      reload_mutex = Mutex.create ();
+      reload_pending = Queue.create ();
+      reload_stop = Atomic.make false;
+      hup = Atomic.make false;
+      r_attempts = Atomic.make 0;
+      r_promotions = Atomic.make 0;
+      r_rollbacks = Atomic.make 0;
     }
   in
   let old_term = ref Sys.Signal_default and old_int = ref Sys.Signal_default in
+  let old_hup = ref Sys.Signal_default in
   if signals then begin
     let on_signal reason _ =
       match Atomic.get t.drain with
@@ -550,8 +822,20 @@ let run ?(on_ready = fun () -> ()) ?(signals = false) cfg =
           Stdlib.exit (Deadline.exit_code reason)
     in
     old_term := Sys.signal Sys.sigterm (Sys.Signal_handle (on_signal Deadline.Sigterm));
-    old_int := Sys.signal Sys.sigint (Sys.Signal_handle (on_signal Deadline.Sigint))
+    old_int := Sys.signal Sys.sigint (Sys.Signal_handle (on_signal Deadline.Sigint));
+    if Option.is_some t.store then
+      (* The handler only flips an atomic: Events/Metrics take mutexes
+         a signal handler could deadlock on. The reload domain notices
+         the flag within one poll tick. *)
+      old_hup :=
+        Sys.signal Sys.sighup (Sys.Signal_handle (fun _ -> Atomic.set t.hup true))
   end;
+  let reload_domain =
+    match (t.store, cfg.calib) with
+    | Some store, Some ccfg ->
+        Some (Domain.spawn (fun () -> reload_loop t ccfg store))
+    | _ -> None
+  in
   let workers = List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t)) in
   Events.emit ~domain:"serve" Events.Info
     (Printf.sprintf "nisqd listening on %s (%d workers, queue %d)" cfg.socket
@@ -622,6 +906,10 @@ let run ?(on_ready = fun () -> ()) ?(signals = false) cfg =
     end
   in
   Admission.stop t.queue;
+  (* The reload domain finishes its in-flight pipeline (sub-second),
+     answers anything still queued with "draining", and exits. *)
+  Atomic.set t.reload_stop true;
+  Option.iter Domain.join reload_domain;
   List.iter Domain.join workers;
   (* With zero workers (or a worker lost to the grace cutoff) the queue
      can still hold undelivered entries — every waiter gets an answer. *)
@@ -629,7 +917,9 @@ let run ?(on_ready = fun () -> ()) ?(signals = false) cfg =
   sever_connections t;
   if signals then begin
     (try Sys.set_signal Sys.sigterm !old_term with Invalid_argument _ -> ());
-    (try Sys.set_signal Sys.sigint !old_int with Invalid_argument _ -> ())
+    (try Sys.set_signal Sys.sigint !old_int with Invalid_argument _ -> ());
+    if Option.is_some t.store then
+      try Sys.set_signal Sys.sighup !old_hup with Invalid_argument _ -> ()
   end;
   (* In-process callers (tests) reuse the domain: leave the token as
      clean as we found it. The daemon binary exits right after anyway. *)

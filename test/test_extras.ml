@@ -115,6 +115,78 @@ let test_calib_io_rejects_garbage () =
   | Ok _ -> Alcotest.fail "garbage parsed"
   | Error { Calib_io.line; _ } -> Alcotest.(check int) "error line" 1 line
 
+(* Fuzz table: systematically damaged archives — truncations at every
+   line boundary, duplicated records, severed fields — must come back
+   as [Error {line; message}], never as an exception and never as a
+   silently-wrong [Ok]. This is the guarantee the reload pipeline's
+   parse stage builds on: a torn or corrupted candidate file always
+   produces a structured rollback reason. *)
+let test_calib_io_fuzz_structured_errors () =
+  let good = Calib_io.to_string (Ibmq16.calibration ~day:0 ()) in
+  let lines = String.split_on_char '\n' good in
+  let n_lines = List.length lines in
+  let take k = List.filteri (fun i _ -> i < k) lines |> String.concat "\n" in
+  let parse tag src =
+    (* Both entry points must agree that the damage is structural. *)
+    (match Calib_io.of_string src with
+    | Ok _ -> Alcotest.failf "%s: strict parser accepted damaged input" tag
+    | Error { Calib_io.message; _ } ->
+        Alcotest.(check bool)
+          (tag ^ ": error message not empty")
+          true
+          (String.length message > 0)
+    | exception e ->
+        Alcotest.failf "%s: of_string raised %s" tag (Printexc.to_string e));
+    match Calib_io.raw_of_string src with
+    | Ok _ -> Alcotest.failf "%s: raw parser accepted damaged input" tag
+    | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "%s: raw_of_string raised %s" tag (Printexc.to_string e)
+  in
+  (* Truncation at every prefix that drops at least one record. The
+     empty prefix and mid-file cuts exercise missing-header,
+     missing-qubit and missing-edge paths. *)
+  for k = 0 to n_lines - 2 do
+    parse (Printf.sprintf "truncated to %d lines" k) (take k)
+  done;
+  (* Byte-level tear in the middle of a record (what a torn write or a
+     half-transferred file looks like). *)
+  parse "torn mid-byte" (String.sub good 0 (String.length good / 2));
+  (* Duplicated records: the same qubit or edge appearing twice must be
+     flagged, not last-one-wins. *)
+  let dup prefix =
+    match List.find_opt (fun l -> String.starts_with ~prefix l) lines with
+    | Some l -> good ^ l ^ "\n"
+    | None -> Alcotest.failf "no %S record in the archive" prefix
+  in
+  parse "duplicated qubit record" (dup "qubit 3 ");
+  parse "duplicated edge record" (dup "edge 0 1 ");
+  parse "duplicated header" ("nisq-calibration 1\n" ^ good);
+  (* Severed fields within a line: a qubit record missing its last
+     columns. *)
+  let sever prefix keep =
+    match List.find_opt (fun l -> String.starts_with ~prefix l) lines with
+    | Some l ->
+        let cut =
+          String.concat " "
+            (List.filteri (fun i _ -> i < keep) (String.split_on_char ' ' l))
+        in
+        String.concat "\n"
+          (List.map (fun x -> if x = l then cut else x) lines)
+    | None -> Alcotest.failf "no %S record in the archive" prefix
+  in
+  parse "qubit record missing fields" (sever "qubit 3 " 3);
+  parse "edge record missing fields" (sever "edge 0 1 " 3);
+  (* Unparseable numbers survive neither entry point. *)
+  parse "qubit field not a number"
+    (String.concat "\n"
+       (List.map
+          (fun l ->
+            if String.starts_with ~prefix:"qubit 5 " l then
+              "qubit 5 sixty 70 0.05 0.001"
+            else l)
+          lines))
+
 (* ------------------------------- best_of --------------------------- *)
 
 let test_best_of_picks_highest_esp () =
@@ -281,6 +353,8 @@ let suite =
     ("calib_io comments", `Quick, test_calib_io_comments_and_blank_lines);
     ("calib_io missing qubit", `Quick, test_calib_io_rejects_missing_qubit);
     ("calib_io rejects garbage", `Quick, test_calib_io_rejects_garbage);
+    ("calib_io fuzz: structured errors", `Quick,
+     test_calib_io_fuzz_structured_errors);
     ("best_of picks highest esp", `Quick, test_best_of_picks_highest_esp);
     ("best_of rejects empty", `Quick, test_best_of_rejects_empty);
   ]

@@ -18,5 +18,6 @@ let () =
       ("runkit", Test_runkit.suite);
       ("observability", Test_observability.suite);
       ("serve", Test_serve.suite);
+      ("reload", Test_reload.suite);
       ("properties", Test_props.suite);
     ]

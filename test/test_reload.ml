@@ -1,0 +1,412 @@
+(* Calibration hot reload: the epoch store's pin/retire/flush
+   lifecycle, the drift gate, the reload pipeline's promote and
+   rollback paths (clean and under every injected fault), and the
+   daemon end-to-end — byte-identical compile replies across a
+   concurrent promotion.
+
+   Like test_serve's determinism tests, every payload comparison is
+   byte-level and runs at all NISQ_DOMAINS pool sizes. *)
+
+module Json = Nisq_obs.Json
+module Calibration = Nisq_device.Calibration
+module Calib_io = Nisq_device.Calib_io
+module Calib_sanitize = Nisq_device.Calib_sanitize
+module Calib_diff = Nisq_device.Calib_diff
+module Calib_store = Nisq_device.Calib_store
+module Ibmq16 = Nisq_device.Ibmq16
+module Faultkit = Nisq_faultkit.Faultkit
+module Reload = Nisq_serve.Reload
+module Server = Nisq_serve.Server
+module Protocol = Nisq_serve.Protocol
+
+let calib ?(day = 0) () = Ibmq16.calibration ~day ()
+
+let tmp_calib ?(day = 0) () =
+  let path = Filename.temp_file "nisq-reload" ".calib" in
+  Calib_io.save (calib ~day ()) ~path;
+  path
+
+let with_faults spec f =
+  (match Faultkit.configure spec with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "bad fault spec %S: %s" spec msg);
+  Fun.protect ~finally:Faultkit.clear f
+
+(* ------------------------------ store ------------------------------- *)
+
+let test_store_pin_lifecycle () =
+  let store = Calib_store.create ~calib:(calib ()) ~source:"t" in
+  let e0 = Calib_store.current store in
+  Alcotest.(check int) "epoch 0 first" 0 e0.Calib_store.id;
+  let p = Calib_store.acquire store in
+  Alcotest.(check int) "pin counted" 1 (Calib_store.pins store);
+  (* A promotion while e0 is pinned keeps e0 alive (retired, pinned). *)
+  let id1 = Calib_store.allocate_candidate store in
+  let e1 = Calib_store.swap store ~id:id1 ~calib:(calib ~day:1 ()) ~source:"t" in
+  Alcotest.(check int) "promoted id" id1 e1.Calib_store.id;
+  Alcotest.(check int) "current moved"
+    id1 (Calib_store.current store).Calib_store.id;
+  Alcotest.(check int) "retiree retained while pinned" 2
+    (Calib_store.live_epochs store);
+  (* The pinned request still sees epoch 0's calibration. *)
+  Alcotest.(check int) "pinned epoch unchanged" 0 p.Calib_store.id;
+  Calib_store.release store p;
+  Alcotest.(check int) "retiree flushed at zero pins" 1
+    (Calib_store.live_epochs store);
+  Alcotest.(check int) "no pins left" 0 (Calib_store.pins store);
+  (* Releasing an unknown epoch is a no-op, not a crash. *)
+  Calib_store.release store p
+
+let test_store_candidate_ids_consumed () =
+  let store = Calib_store.create ~calib:(calib ()) ~source:"t" in
+  let a = Calib_store.allocate_candidate store in
+  let b = Calib_store.allocate_candidate store in
+  Alcotest.(check bool) "ids monotonic" true (b > a);
+  (* A stale candidate (allocated, then superseded) cannot promote over
+     a newer one. *)
+  let _ = Calib_store.swap store ~id:b ~calib:(calib ~day:1 ()) ~source:"t" in
+  (match Calib_store.swap store ~id:a ~calib:(calib ()) ~source:"t" with
+  | _ -> Alcotest.fail "stale candidate promoted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "current unchanged by the stale attempt" b
+    (Calib_store.current store).Calib_store.id
+
+let test_store_identical_digest_shared () =
+  (* Reloading a byte-identical file: old and new epoch share a digest;
+     retiring the old one must NOT flush the caches the new one uses.
+     Observable here as: the store knows the digests match. *)
+  let c = calib () in
+  let store = Calib_store.create ~calib:c ~source:"t" in
+  let e0 = Calib_store.current store in
+  let id1 = Calib_store.allocate_candidate store in
+  let e1 = Calib_store.swap store ~id:id1 ~calib:c ~source:"t" in
+  Alcotest.(check string) "same calibration, same digest"
+    e0.Calib_store.digest e1.Calib_store.digest;
+  Alcotest.(check int) "unpinned retiree dropped" 1
+    (Calib_store.live_epochs store)
+
+(* --------------------------- drift gate ----------------------------- *)
+
+let test_diff_identical_passes () =
+  let c = calib () in
+  let d = Calib_diff.diff ~old_:c ~candidate:c in
+  Alcotest.(check (list string)) "no rejection reasons" [] (Calib_diff.gate d);
+  Alcotest.(check int) "no changed fields" 0
+    (List.fold_left (fun n f -> n + f.Calib_diff.changed) 0 d.Calib_diff.fields)
+
+let test_diff_day_to_day_within_gate () =
+  (* Consecutive synthetic days drift mildly — the gate must not reject
+     routine daily refreshes, or reload would be useless in practice. *)
+  let d =
+    Calib_diff.diff ~old_:(calib ~day:0 ()) ~candidate:(calib ~day:1 ())
+  in
+  Alcotest.(check (list string)) "daily drift passes" [] (Calib_diff.gate d)
+
+let test_gate_rejects_error_drift () =
+  let c = calib () in
+  let raw = Calib_sanitize.of_calibration c in
+  let scale x = Float.min 0.9 (3.0 *. x) in
+  let drifted =
+    {
+      raw with
+      Calib_sanitize.readout_error = Array.map scale raw.Calib_sanitize.readout_error;
+      cnot_error =
+        Array.map
+          (Array.map (fun e -> if Float.is_nan e then e else scale e))
+          raw.Calib_sanitize.cnot_error;
+    }
+  in
+  let candidate, _ = Calib_sanitize.sanitize ~previous:c drifted in
+  let d = Calib_diff.diff ~old_:c ~candidate in
+  let reasons = Calib_diff.gate d in
+  Alcotest.(check bool) "3x errors rejected" true (reasons <> []);
+  Alcotest.(check bool) "names the cnot drift" true
+    (List.exists (fun r -> Astring_contains.contains r "CNOT") reasons)
+
+let test_gate_rejects_quarantine_growth () =
+  let c = calib () in
+  let raw = Calib_sanitize.of_calibration c in
+  let poisoned =
+    Calib_sanitize.apply_faults raw
+      (List.map
+         (fun q -> { Faultkit.target = Faultkit.Qubit q; kind = Faultkit.Offline })
+         [ 0; 1; 2; 3 ])
+  in
+  let candidate, _ = Calib_sanitize.sanitize ~previous:c poisoned in
+  let d = Calib_diff.diff ~old_:c ~candidate in
+  Alcotest.(check bool) "4 dead qubits exceed the quarantine budget" true
+    (List.length d.Calib_diff.new_quarantined_qubits >= 4);
+  Alcotest.(check bool) "gate rejects" true (Calib_diff.gate d <> [])
+
+let test_diff_json_schema () =
+  let d = Calib_diff.diff ~old_:(calib ()) ~candidate:(calib ~day:1 ()) in
+  match Json.member "schema" (Calib_diff.to_json d) with
+  | Some (Json.String "nisq-calib-diff/1") -> ()
+  | _ -> Alcotest.fail "diff json must carry schema nisq-calib-diff/1"
+
+(* --------------------------- faultkit ------------------------------- *)
+
+let test_faultkit_reload_clauses () =
+  with_faults
+    "calib:reload-torn@epoch1;calib:reload-drift@epoch2;calib:reload-poison@epoch3;server:slow-reload@epoch4"
+    (fun () ->
+      let kind i =
+        match Faultkit.reload_fault i with
+        | Some Faultkit.Reload_torn -> "torn"
+        | Some Faultkit.Reload_drift -> "drift"
+        | Some Faultkit.Reload_poison -> "poison"
+        | Some Faultkit.Reload_slow -> "slow"
+        | None -> "none"
+      in
+      Alcotest.(check string) "epoch1" "torn" (kind 1);
+      Alcotest.(check string) "one-shot" "none" (kind 1);
+      Alcotest.(check string) "epoch2" "drift" (kind 2);
+      Alcotest.(check string) "epoch3" "poison" (kind 3);
+      Alcotest.(check string) "epoch4" "slow" (kind 4);
+      Alcotest.(check string) "unarmed epoch" "none" (kind 5))
+
+let test_faultkit_reload_parse_errors () =
+  match Faultkit.configure "calib:reload-torn@req3" with
+  | Ok () ->
+      Faultkit.clear ();
+      Alcotest.fail "reload clause must demand an @epoch target"
+  | Error _ -> ()
+
+(* --------------------------- pipeline ------------------------------- *)
+
+let run_store path = Calib_store.create ~calib:(calib ()) ~source:path
+
+let test_pipeline_promotes_clean_file () =
+  let path = tmp_calib () in
+  let store = run_store path in
+  let res = Reload.run ~store ~path () in
+  (match res.Reload.outcome with
+  | Reload.Promoted e ->
+      Alcotest.(check int) "epoch 1 live" 1 e.Calib_store.id;
+      Alcotest.(check int) "store current follows" 1
+        (Calib_store.current store).Calib_store.id
+  | Reload.Rolled_back { stage; reasons } ->
+      Alcotest.failf "clean reload rolled back at %s: %s" stage
+        (String.concat "; " reasons));
+  match Json.member "decision" res.Reload.report with
+  | Some (Json.String "promoted") -> ()
+  | _ -> Alcotest.fail "report decision must be promoted"
+
+let test_pipeline_missing_file_rolls_back () =
+  let store = run_store "/nonexistent/calib" in
+  let res = Reload.run ~store ~path:"/nonexistent/calib" () in
+  match res.Reload.outcome with
+  | Reload.Rolled_back { stage = "parse"; _ } ->
+      Alcotest.(check int) "live epoch untouched" 0
+        (Calib_store.current store).Calib_store.id
+  | Reload.Rolled_back { stage; _ } -> Alcotest.failf "wrong stage %s" stage
+  | Reload.Promoted _ -> Alcotest.fail "missing file promoted"
+
+let expect_rollback ~fault ~stage:want =
+  let path = tmp_calib () in
+  let store = run_store path in
+  with_faults (Printf.sprintf "%s@epoch1" fault) (fun () ->
+      let res = Reload.run ~store ~path () in
+      (match res.Reload.outcome with
+      | Reload.Rolled_back { stage; _ } ->
+          Alcotest.(check string) (fault ^ " stage") want stage
+      | Reload.Promoted _ -> Alcotest.failf "%s promoted" fault);
+      Alcotest.(check int) "live epoch untouched" 0
+        (Calib_store.current store).Calib_store.id;
+      (* The report names the injected clause. *)
+      match Json.member "injected" res.Reload.report with
+      | Some (Json.String s) ->
+          Alcotest.(check string) "injected clause" fault s
+      | _ -> Alcotest.fail "report must name the injected fault");
+  Sys.remove path
+
+let test_pipeline_torn_fault () =
+  expect_rollback ~fault:"calib:reload-torn" ~stage:"parse"
+
+let test_pipeline_poison_fault () =
+  expect_rollback ~fault:"calib:reload-poison" ~stage:"drift"
+
+let test_pipeline_drift_fault () =
+  expect_rollback ~fault:"calib:reload-drift" ~stage:"drift"
+
+let test_pipeline_slow_fault_still_promotes () =
+  let path = tmp_calib () in
+  let store = run_store path in
+  with_faults "server:slow-reload@epoch1" (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let res = Reload.run ~store ~path () in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      (match res.Reload.outcome with
+      | Reload.Promoted _ -> ()
+      | Reload.Rolled_back { stage; reasons } ->
+          Alcotest.failf "slow reload rolled back at %s: %s" stage
+            (String.concat "; " reasons));
+      Alcotest.(check bool) "the stall actually happened" true (elapsed > 0.5));
+  Sys.remove path
+
+let test_pipeline_attempts_consume_epoch_ids () =
+  (* Three rollbacks then a success: the promotion takes id 4, proving
+     failed attempts consume ids (so @epoch clauses stay unambiguous). *)
+  let path = tmp_calib () in
+  let store = run_store path in
+  with_faults
+    "calib:reload-torn@epoch1;calib:reload-poison@epoch2;calib:reload-drift@epoch3"
+    (fun () ->
+      for _ = 1 to 3 do
+        match (Reload.run ~store ~path ()).Reload.outcome with
+        | Reload.Rolled_back _ -> ()
+        | Reload.Promoted _ -> Alcotest.fail "faulted attempt promoted"
+      done;
+      match (Reload.run ~store ~path ()).Reload.outcome with
+      | Reload.Promoted e ->
+          Alcotest.(check int) "fourth attempt is epoch 4" 4 e.Calib_store.id
+      | Reload.Rolled_back { stage; _ } ->
+          Alcotest.failf "clean fourth attempt failed at %s" stage);
+  Sys.remove path
+
+(* ------------------------- daemon end-to-end ------------------------ *)
+
+let compile_req id =
+  {
+    Protocol.id;
+    deadline_ms = None;
+    verb = Protocol.Compile (Test_serve.compile_params "bv4");
+  }
+
+let result_bytes = function
+  | Ok { Protocol.body = Protocol.Result v; _ } -> Json.to_string v
+  | Ok { Protocol.body = Protocol.Failed { code; message; _ }; _ } ->
+      Alcotest.failf "request failed [%s]: %s" code message
+  | Ok _ -> Alcotest.fail "unexpected reply body"
+  | Error msg -> Alcotest.failf "call failed: %s" msg
+
+let call socket req =
+  match Nisq_serve.Client.connect ~socket with
+  | Error msg -> Alcotest.failf "connect: %s" msg
+  | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Nisq_serve.Client.close conn)
+        (fun () -> Nisq_serve.Client.call conn req)
+
+let test_e2e_reload_byte_identity () =
+  let path = tmp_calib () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Test_serve.with_server ~calib:(Server.calib_config path) (fun socket ->
+      let before = result_bytes (call socket (compile_req 1)) in
+      (* Reload the same file: promotion with identical content. *)
+      let reload = call socket { Protocol.id = 2; deadline_ms = None;
+                                 verb = Protocol.Reload { path = None } } in
+      (match reload with
+      | Ok { Protocol.body = Protocol.Result v; _ } -> (
+          match Json.member "decision" v with
+          | Some (Json.String "promoted") -> ()
+          | _ -> Alcotest.fail "same-file reload must promote")
+      | _ -> Alcotest.fail "reload verb must answer with a report");
+      let after = result_bytes (call socket (compile_req 3)) in
+      Alcotest.(check string)
+        "identical calibration content, identical reply bytes" before after;
+      (* Stats reflect the attempt and the promoted epoch. *)
+      match call socket { Protocol.id = 4; deadline_ms = None; verb = Protocol.Stats } with
+      | Ok { Protocol.body = Protocol.Result v; _ } ->
+          let int_at path_keys =
+            List.fold_left
+              (fun acc k -> Option.bind acc (Json.member k))
+              (Some v) path_keys
+          in
+          (match int_at [ "reloads"; "promotions" ] with
+          | Some (Json.Int 1) -> ()
+          | _ -> Alcotest.fail "stats must count 1 promotion");
+          (match int_at [ "calib"; "epoch" ] with
+          | Some (Json.Int 1) -> ()
+          | _ -> Alcotest.fail "stats must report epoch 1");
+          (match int_at [ "calib"; "pins" ] with
+          | Some (Json.Int 0) -> ()
+          | _ -> Alcotest.fail "no pins may leak after delivery")
+      | _ -> Alcotest.fail "stats failed")
+
+let test_e2e_rollback_leaves_replies_unchanged () =
+  let path = tmp_calib () in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Test_serve.with_server ~calib:(Server.calib_config path) (fun socket ->
+      let before = result_bytes (call socket (compile_req 1)) in
+      with_faults "calib:reload-poison@epoch1" (fun () ->
+          match call socket { Protocol.id = 2; deadline_ms = None;
+                              verb = Protocol.Reload { path = None } } with
+          | Ok { Protocol.body = Protocol.Result v; _ } -> (
+              match Json.member "decision" v with
+              | Some (Json.String "rolled-back") -> ()
+              | _ -> Alcotest.fail "poisoned candidate must roll back")
+          | _ -> Alcotest.fail "reload verb must answer");
+      let after = result_bytes (call socket (compile_req 3)) in
+      Alcotest.(check string) "rollback leaves epoch 0 serving" before after)
+
+let test_e2e_reload_without_store_fails () =
+  Test_serve.with_server (fun socket ->
+      match call socket { Protocol.id = 1; deadline_ms = None;
+                          verb = Protocol.Reload { path = None } } with
+      | Ok { Protocol.body = Protocol.Failed { code; retryable; _ }; _ } ->
+          Alcotest.(check string) "code" "no-calibration" code;
+          Alcotest.(check bool) "not retryable" false retryable
+      | _ -> Alcotest.fail "synthetic daemon must refuse reload")
+
+let test_e2e_bad_initial_calib_is_startup_error () =
+  let path = Filename.temp_file "nisq-reload-bad" ".calib" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "nisq-calibration 1\nnonsense\n");
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nisq-badcal-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    { (Server.default_config ~socket) with calib = Some (Server.calib_config path) }
+  in
+  (match Server.run cfg with
+  | _ -> Alcotest.fail "unparseable initial calibration must refuse startup"
+  | exception Server.Startup_error _ -> ());
+  Alcotest.(check bool) "no socket left behind" false (Sys.file_exists socket)
+
+let suite =
+  [
+    Alcotest.test_case "store: pin lifecycle across swap" `Quick
+      test_store_pin_lifecycle;
+    Alcotest.test_case "store: candidate ids are consumed" `Quick
+      test_store_candidate_ids_consumed;
+    Alcotest.test_case "store: identical reload shares digest" `Quick
+      test_store_identical_digest_shared;
+    Alcotest.test_case "diff: identical calibrations pass" `Quick
+      test_diff_identical_passes;
+    Alcotest.test_case "diff: routine daily drift passes" `Quick
+      test_diff_day_to_day_within_gate;
+    Alcotest.test_case "gate: rejects 3x error drift" `Quick
+      test_gate_rejects_error_drift;
+    Alcotest.test_case "gate: rejects quarantine growth" `Quick
+      test_gate_rejects_quarantine_growth;
+    Alcotest.test_case "diff: json schema tag" `Quick test_diff_json_schema;
+    Alcotest.test_case "faultkit: reload clauses parse and one-shot" `Quick
+      test_faultkit_reload_clauses;
+    Alcotest.test_case "faultkit: reload clause needs @epoch" `Quick
+      test_faultkit_reload_parse_errors;
+    Alcotest.test_case "pipeline: clean file promotes" `Quick
+      test_pipeline_promotes_clean_file;
+    Alcotest.test_case "pipeline: missing file rolls back at parse" `Quick
+      test_pipeline_missing_file_rolls_back;
+    Alcotest.test_case "pipeline: torn candidate rolls back" `Quick
+      test_pipeline_torn_fault;
+    Alcotest.test_case "pipeline: poisoned candidate rolls back" `Quick
+      test_pipeline_poison_fault;
+    Alcotest.test_case "pipeline: drifted candidate rolls back" `Quick
+      test_pipeline_drift_fault;
+    Alcotest.test_case "pipeline: slow reload still promotes" `Quick
+      test_pipeline_slow_fault_still_promotes;
+    Alcotest.test_case "pipeline: attempts consume epoch ids" `Quick
+      test_pipeline_attempts_consume_epoch_ids;
+    Alcotest.test_case "e2e: reload keeps replies byte-identical" `Quick
+      test_e2e_reload_byte_identity;
+    Alcotest.test_case "e2e: rollback leaves serving unchanged" `Quick
+      test_e2e_rollback_leaves_replies_unchanged;
+    Alcotest.test_case "e2e: reload refused without --calib" `Quick
+      test_e2e_reload_without_store_fails;
+    Alcotest.test_case "e2e: bad initial calibration refuses startup" `Quick
+      test_e2e_bad_initial_calib_is_startup_error;
+  ]

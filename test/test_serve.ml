@@ -112,6 +112,99 @@ let test_frame_too_large () =
       | Ok _ -> Alcotest.fail "oversized frame accepted"
       | Error e -> Alcotest.failf "want Too_large, got %s" (Frame.error_message e))
 
+(* A peer that trickles one byte at a time (Nagle off, tiny writes, a
+   slow link): [Frame.read] must assemble the frame across arbitrarily
+   fragmented reads — both inside the 4-byte length prefix and inside
+   the payload. *)
+let test_frame_one_byte_dribble () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      let docs =
+        [
+          Json.Obj [ ("first", Json.Int 1) ];
+          Json.Obj [ ("second", Json.String (String.make 100 'y')) ];
+        ]
+      in
+      let wire = String.concat "" (List.map Frame.encode docs) in
+      let writer =
+        Domain.spawn (fun () ->
+            String.iter
+              (fun c ->
+                ignore (Unix.write_substring w (String.make 1 c) 0 1);
+                (* Yield so the reader usually wakes per byte. *)
+                Unix.sleepf 0.0002)
+              wire;
+            Unix.close w)
+      in
+      let got =
+        List.map
+          (fun _ ->
+            match Frame.read r with
+            | Ok v -> Json.to_string v
+            | Error e -> Alcotest.failf "read: %s" (Frame.error_message e))
+          docs
+      in
+      Domain.join writer;
+      Alcotest.(check (list string))
+        "frames survive 1-byte fragmentation"
+        (List.map Json.to_string docs)
+        got;
+      match Frame.read r with
+      | Error Frame.Eof -> ()
+      | _ -> Alcotest.fail "stream must end cleanly")
+
+(* The same dribble with a SIGALRM interval timer peppering the process:
+   blocking reads and writes keep getting interrupted, and Frame must
+   resume rather than fail. The assertion is round-trip correctness —
+   the test is meaningful whether or not a given read actually took the
+   EINTR path (on most runs many do), and never flaky either way. *)
+let test_frame_eintr_interleaved () =
+  let alarms = ref 0 in
+  let old_alrm =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> incr alarms))
+  in
+  let old_timer =
+    Unix.setitimer Unix.ITIMER_REAL
+      { Unix.it_value = 0.001; it_interval = 0.001 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_value = 0.0; it_interval = 0.0 });
+      ignore old_timer;
+      Sys.set_signal Sys.sigalrm old_alrm)
+    (fun () ->
+      let r, w = Unix.pipe () in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close r with Unix.Unix_error _ -> ());
+          try Unix.close w with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Big enough to overflow the pipe buffer, so the writer also
+             blocks (and gets interrupted) mid-frame. *)
+          let doc = Json.Obj [ ("blob", Json.String (String.make 300_000 'z')) ] in
+          let writer =
+            Domain.spawn (fun () ->
+                ignore (Frame.write w doc);
+                Unix.close w)
+          in
+          let got =
+            match Frame.read r with
+            | Ok v -> Json.to_string v
+            | Error e -> Alcotest.failf "read: %s" (Frame.error_message e)
+          in
+          Domain.join writer;
+          Alcotest.(check string)
+            "large frame survives signal interruption"
+            (Json.to_string doc) got;
+          (* ~0.3 s of 1 ms alarms: the timer demonstrably fired. *)
+          Alcotest.(check bool) "alarms actually fired" true (!alarms > 0)))
+
 let test_frame_malformed () =
   let payload = "{\"key\": nope}" in
   let wire =
@@ -377,7 +470,7 @@ let fresh_socket =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "nisq-serve-%d-%d.sock" (Unix.getpid ()) !n)
 
-let with_server ?(workers = 1) ?(queue = 8) ?(deadline_ms = 10_000) f =
+let with_server ?(workers = 1) ?(queue = 8) ?(deadline_ms = 10_000) ?calib f =
   let socket = fresh_socket () in
   let cfg =
     {
@@ -386,6 +479,7 @@ let with_server ?(workers = 1) ?(queue = 8) ?(deadline_ms = 10_000) f =
       queue_capacity = queue;
       default_deadline_ms = deadline_ms;
       drain_grace_s = 10.0;
+      calib;
     }
   in
   let ready = Atomic.make false in
@@ -675,6 +769,10 @@ let suite =
       test_frame_too_large;
     Alcotest.test_case "frame: malformed payload rejected" `Quick
       test_frame_malformed;
+    Alcotest.test_case "frame: 1-byte partial reads reassemble" `Quick
+      test_frame_one_byte_dribble;
+    Alcotest.test_case "frame: EINTR-peppered round-trip" `Quick
+      test_frame_eintr_interleaved;
     Alcotest.test_case "frame: torn capture rejected by scan" `Quick
       test_scan_torn_capture;
     Alcotest.test_case "protocol: request round-trip" `Quick

@@ -1,9 +1,10 @@
-(* caliblint — validate a calibration archive.
+(* caliblint — validate a calibration archive, or diff two of them.
 
    Usage: caliblint [--strict] FILE...
+          caliblint --diff [--json] OLD NEW
 
-   Runs each file through the structural parser and the sanitizer,
-   printing the repair/quarantine report. Exit codes:
+   Lint mode runs each file through the structural parser and the
+   sanitizer, printing the repair/quarantine report. Exit codes:
 
      0  every file is structurally valid and every field is clean
      1  a file needed repairs or quarantines (still loadable; with
@@ -12,10 +13,21 @@
         records, unknown syntax) and cannot be loaded at all
 
    Without --strict, repaired files exit 0: the sanitizer makes them
-   usable, which is the point of degraded-mode loading. *)
+   usable, which is the point of degraded-mode loading.
+
+   Diff mode prints the reload pipeline's drift report for NEW against
+   OLD — the same Calib_diff the daemon's drift gate runs, so an exit-1
+   here predicts a reload rollback at the drift stage. Exit codes:
+
+     0  NEW passes the drift gate against OLD
+     1  drift exceeds the default thresholds (reasons on stdout)
+     2  either file is unloadable or the topologies differ
+
+   --json emits the nisq-calib-diff/1 report instead of text. *)
 
 module Calib_io = Nisq_device.Calib_io
 module Calib_sanitize = Nisq_device.Calib_sanitize
+module Calib_diff = Nisq_device.Calib_diff
 module Calibration = Nisq_device.Calibration
 
 let lint ~strict path =
@@ -42,12 +54,50 @@ let lint ~strict path =
         if strict then 1 else 0
       end
 
+(* Diff mode loads leniently — a repaired file is comparable; what
+   matters is what the daemon would end up serving. *)
+let load_sanitized path =
+  match Calib_io.load_raw ~path with
+  | Error { Calib_io.line; message } ->
+      if line > 0 then Printf.eprintf "%s:%d: %s\n" path line message
+      else Printf.eprintf "%s: %s\n" path message;
+      exit 2
+  | Ok raw -> fst (Calib_sanitize.sanitize raw)
+
+let diff ~json old_path new_path =
+  let old_ = load_sanitized old_path in
+  let candidate = load_sanitized new_path in
+  match Calib_diff.diff ~old_ ~candidate with
+  | exception Invalid_argument msg ->
+      Printf.eprintf "caliblint: %s vs %s: %s\n" old_path new_path msg;
+      2
+  | d ->
+      let reasons = Calib_diff.gate d in
+      if json then print_endline (Nisq_obs.Json.to_string (Calib_diff.to_json d))
+      else begin
+        Printf.printf "%s -> %s\n" old_path new_path;
+        print_string (Calib_diff.render d)
+      end;
+      if reasons = [] then 0
+      else begin
+        List.iter (fun r -> Printf.printf "drift gate: %s\n" r) reasons;
+        1
+      end
+
+let usage () =
+  prerr_endline "usage: caliblint [--strict] FILE...";
+  prerr_endline "       caliblint --diff [--json] OLD NEW";
+  exit 2
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  if List.mem "--diff" args then begin
+    let json = List.mem "--json" args in
+    match List.filter (fun a -> a <> "--diff" && a <> "--json") args with
+    | [ old_path; new_path ] -> exit (diff ~json old_path new_path)
+    | _ -> usage ()
+  end;
   let strict = List.mem "--strict" args in
   let files = List.filter (fun a -> a <> "--strict") args in
-  if files = [] then begin
-    prerr_endline "usage: caliblint [--strict] FILE...";
-    exit 2
-  end;
+  if files = [] then usage ();
   exit (List.fold_left (fun worst path -> max worst (lint ~strict path)) 0 files)

@@ -1,7 +1,7 @@
 (* jsonlint — validate JSON files emitted by the telemetry layer.
 
    Usage: jsonlint [--trace | --jsonl | --bench | --report | --prom |
-                    --frame] FILE...
+                    --frame | --reload] FILE...
 
    Parses each file with the same strict parser the test suite uses.
    With --trace, additionally checks the Chrome trace_event shape: a
@@ -22,7 +22,10 @@
    wire capture from nisqd call --record: zero or more length-prefixed
    JSON frames, each payload a complete JSON object — a torn trailing
    frame, an oversized length prefix, or a non-object payload fails.
-   Exits non-zero on the first failure. *)
+   With --reload, each file is a nisq-reload/1 attempt report from
+   nisqd serve --reload-report (or the reload verb's reply payload);
+   the decision/failed-stage/stages cross-consistency is enforced, not
+   just field shapes. Exits non-zero on the first failure. *)
 
 module Json = Nisq_obs.Json
 
@@ -316,6 +319,90 @@ let check_report path v =
       Printf.eprintf "%s: not a valid explain report: %s\n" path msg;
       exit 1
 
+(* nisq-reload/1: the daemon's reload-attempt report. Checks the
+   decision/stage cross-consistency the smoke test greps for, not just
+   field presence: a promoted report must have no failed stage and every
+   stage ok; a rolled-back one must name its failed stage in "stages"
+   with ok=false and carry at least one reason. *)
+let check_reload path v =
+  let fail msg =
+    Printf.eprintf "%s: not a valid reload report: %s\n" path msg;
+    exit 1
+  in
+  let str name =
+    match Json.member name v with
+    | Some (Json.String s) -> s
+    | Some _ -> fail (Printf.sprintf "%S is not a string" name)
+    | None -> fail (Printf.sprintf "missing %S" name)
+  in
+  let int name =
+    match Json.member name v with
+    | Some (Json.Int i) -> i
+    | Some _ -> fail (Printf.sprintf "%S is not an int" name)
+    | None -> fail (Printf.sprintf "missing %S" name)
+  in
+  (match str "schema" with
+  | "nisq-reload/1" -> ()
+  | s -> fail (Printf.sprintf "unknown schema %S" s));
+  ignore (str "path");
+  let live = int "live_epoch" in
+  ignore (int "live_day");
+  let candidate = int "candidate_epoch" in
+  if candidate <= live then
+    fail
+      (Printf.sprintf "candidate_epoch %d not newer than live_epoch %d"
+         candidate live);
+  let stages =
+    match Json.member "stages" v with
+    | Some (Json.List l) -> l
+    | Some _ -> fail "\"stages\" is not a list"
+    | None -> fail "missing \"stages\""
+  in
+  if stages = [] then fail "\"stages\" is empty";
+  let stage_status =
+    List.map
+      (fun s ->
+        let name =
+          match Json.member "stage" s with
+          | Some (Json.String n) -> n
+          | _ -> fail "stage entry without a \"stage\" name"
+        in
+        let ok =
+          match Json.member "ok" s with
+          | Some (Json.Bool b) -> b
+          | _ -> fail (Printf.sprintf "stage %S without a boolean \"ok\"" name)
+        in
+        (name, ok))
+      stages
+  in
+  let reasons =
+    match Json.member "reasons" v with
+    | Some (Json.List l) -> l
+    | Some _ -> fail "\"reasons\" is not a list"
+    | None -> fail "missing \"reasons\""
+  in
+  match str "decision" with
+  | "promoted" ->
+      (match Json.member "failed_stage" v with
+      | Some Json.Null -> ()
+      | _ -> fail "promoted report names a failed_stage");
+      if List.exists (fun (_, ok) -> not ok) stage_status then
+        fail "promoted report contains a failed stage";
+      if not (List.mem_assoc "promote" stage_status) then
+        fail "promoted report without a \"promote\" stage"
+  | "rolled-back" -> (
+      if reasons = [] then fail "rolled-back report with no reasons";
+      match Json.member "failed_stage" v with
+      | Some (Json.String stage) -> (
+          match List.assoc_opt stage stage_status with
+          | Some false -> ()
+          | Some true ->
+              fail (Printf.sprintf "failed_stage %S has ok=true" stage)
+          | None ->
+              fail (Printf.sprintf "failed_stage %S missing from stages" stage))
+      | _ -> fail "rolled-back report without a failed_stage string")
+  | d -> fail (Printf.sprintf "unknown decision %S" d)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let trace_mode = List.mem "--trace" args in
@@ -324,22 +411,39 @@ let () =
   let report_mode = List.mem "--report" args in
   let prom_mode = List.mem "--prom" args in
   let frame_mode = List.mem "--frame" args in
+  let reload_mode = List.mem "--reload" args in
   let files =
     List.filter
       (fun a ->
         not
           (List.mem a
-             [ "--trace"; "--jsonl"; "--bench"; "--report"; "--prom"; "--frame" ]))
+             [
+               "--trace";
+               "--jsonl";
+               "--bench";
+               "--report";
+               "--prom";
+               "--frame";
+               "--reload";
+             ]))
       args
   in
   let modes =
     List.filter Fun.id
-      [ trace_mode; jsonl_mode; bench_mode; report_mode; prom_mode; frame_mode ]
+      [
+        trace_mode;
+        jsonl_mode;
+        bench_mode;
+        report_mode;
+        prom_mode;
+        frame_mode;
+        reload_mode;
+      ]
   in
   if files = [] || List.length modes > 1 then begin
     prerr_endline
       "usage: jsonlint [--trace | --jsonl | --bench | --report | --prom | \
-       --frame] FILE...";
+       --frame | --reload] FILE...";
     exit 2
   end;
   (* (path, sorted benchmark names) per --bench file, for the
@@ -370,6 +474,7 @@ let () =
         | Ok v ->
             if trace_mode then check_trace path v;
             if report_mode then check_report path v;
+            if reload_mode then check_reload path v;
             if bench_mode then
               bench_names := (path, check_bench path v) :: !bench_names;
             Printf.printf "%s: OK\n" path)

@@ -1,0 +1,172 @@
+#!/bin/sh
+# End-to-end smoke test for calibration hot-reload.
+#
+# Exercises the reload pipeline against the real binaries:
+#   1. a reference daemon (no reloads) serves a benchmark suite to 4
+#      concurrent clients — the replies are the byte-level ground truth;
+#   2. a second daemon on the same calibration file takes 4 reload
+#      triggers while those same 4 clients are in flight, with one-shot
+#      faults poisoning the first three candidates (drift, poison, torn)
+#      and stalling the fourth (slow-reload, which must still promote):
+#      every client's replies must be byte-identical to the reference —
+#      in-flight requests stay pinned to the epoch that admitted them,
+#      and the promoted epoch comes from the same file;
+#   3. `stats` must account for every attempt: 4 attempts, 1 promotion,
+#      3 rollbacks, live epoch 4, zero leaked pins;
+#   4. the nisq-reload/1 report round-trips through jsonlint --reload;
+#   5. the reload verb with a nonexistent path rolls back (exit 0, the
+#      decision is in the reply) and leaves the live epoch untouched;
+#   6. drain exits 0 and no socket survives.
+#
+# Usage: tools/reload_smoke.sh   (from the repo root; builds first)
+set -eu
+
+note() { printf '[reload-smoke] %s\n' "$*"; }
+die() { printf '[reload-smoke] FAIL: %s\n' "$*" >&2; exit 1; }
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+dune build bin/nisqd.exe bin/nisqc.exe tools/jsonlint.exe
+nisqd=$root/_build/default/bin/nisqd.exe
+nisqc=$root/_build/default/bin/nisqc.exe
+jsonlint=$root/_build/default/tools/jsonlint.exe
+
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/reload-smoke.XXXXXX")
+daemon_pid=
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+sock=$tmp/nisqd.sock
+benchmarks="bv4 bv6 bv8 hs2 hs4 hs6 fredkin or peres toffoli adder qft2"
+
+wait_ready() {
+  i=0
+  while ! "$nisqd" call -s "$sock" ping >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || die "daemon did not become ready on $sock"
+    sleep 0.1
+  done
+}
+
+wait_daemon() {
+  want=$1
+  set +e
+  wait "$daemon_pid"
+  got=$?
+  set -e
+  daemon_pid=
+  [ "$got" -eq "$want" ] || die "daemon exited $got, expected $want"
+  [ ! -e "$sock" ] || die "daemon left its socket behind: $sock"
+}
+
+run_clients() {
+  prefix=$1
+  for c in 1 2 3 4; do
+    (
+      : > "$tmp/$prefix$c.out"
+      for b in $benchmarks; do
+        "$nisqc" compile "$b" --connect "$sock" >> "$tmp/$prefix$c.out" \
+          || exit 1
+      done
+    ) &
+    eval "client$c=\$!"
+  done
+}
+
+wait_clients() {
+  for c in 1 2 3 4; do
+    eval "pid=\$client$c"
+    wait "$pid" || die "client $c failed"
+  done
+}
+
+stat_has() {
+  grep -q "$1" "$tmp/stats.json" \
+    || die "stats missing $1: $(cat "$tmp/stats.json")"
+}
+
+"$nisqc" calibration --save "$tmp/calib.txt" >/dev/null
+
+# ---- 1. reference run: same calibration, no reloads -------------------
+
+note "leg 1: reference replies from a reload-free daemon"
+"$nisqd" serve -s "$sock" --workers 2 --calib "$tmp/calib.txt" &
+daemon_pid=$!
+wait_ready
+run_clients ref
+wait_clients
+"$nisqd" call -s "$sock" drain >/dev/null
+wait_daemon 0
+
+# ---- 2. reload storm under 4 concurrent clients -----------------------
+
+note "leg 2: 4 reloads (3 faulted, 1 slow-promote) under 4 live clients"
+"$nisqd" serve -s "$sock" --workers 2 --calib "$tmp/calib.txt" \
+  --reload-report "$tmp/report.json" \
+  --events "$tmp/events.jsonl" \
+  --inject 'calib:reload-drift@epoch1;calib:reload-poison@epoch2;calib:reload-torn@epoch3;server:slow-reload@epoch4' &
+daemon_pid=$!
+wait_ready
+
+run_clients live
+sleep 0.2
+# Candidates 1-3 eat their injected faults and roll back; candidate 4
+# stalls on slow-reload and then promotes. All four block until the
+# pipeline's decision and exit 0 — the decision is data, not a failure.
+for i in 1 2 3 4; do
+  "$nisqd" call -s "$sock" reload >/dev/null \
+    || die "reload trigger $i did not return a decision"
+done
+wait_clients
+
+for c in 2 3 4; do
+  cmp -s "$tmp/live1.out" "$tmp/live$c.out" \
+    || die "client $c replies differ from client 1 under reload"
+done
+cmp -s "$tmp/ref1.out" "$tmp/live1.out" \
+  || die "replies under reload differ from the reload-free reference"
+[ "$(wc -l < "$tmp/live1.out")" -eq 12 ] || die "expected 12 replies"
+note "4 clients byte-identical to reference through 4 concurrent reloads"
+
+# ---- 3. stats accounting ----------------------------------------------
+
+"$nisqd" call -s "$sock" stats > "$tmp/stats.json"
+stat_has '"reloads":{"attempts":4,"promotions":1,"rollbacks":3}'
+stat_has '"epoch":4'
+stat_has '"live_epochs":1'
+stat_has '"pins":0'
+note "stats: 4 attempts, 1 promotion, 3 rollbacks, epoch 4, no leaked pins"
+
+# ---- 4. reload report schema ------------------------------------------
+
+"$jsonlint" --reload "$tmp/report.json" >/dev/null \
+  || die "reload report failed jsonlint --reload"
+grep -q '"decision":"promoted"' "$tmp/report.json" \
+  || die "final report should record the slow promotion"
+note "nisq-reload/1 report passes jsonlint --reload"
+
+# ---- 5. reload of a missing file rolls back ---------------------------
+
+"$nisqd" call -s "$sock" reload "$tmp/no-such-file.txt" > "$tmp/missing.json"
+grep -q '"decision":"rolled-back"' "$tmp/missing.json" \
+  || die "reload of a missing file should roll back"
+"$nisqd" call -s "$sock" stats > "$tmp/stats.json"
+stat_has '"epoch":4'
+stat_has '"rollbacks":4'
+note "missing-file reload rolled back; live epoch untouched"
+
+# ---- 6. drain ---------------------------------------------------------
+
+"$nisqd" call -s "$sock" drain >/dev/null
+wait_daemon 0
+"$jsonlint" --jsonl "$tmp/events.jsonl" >/dev/null
+grep -q 'rolled back' "$tmp/events.jsonl" \
+  || die "no rollback event in the ledger"
+grep -q 'promoted' "$tmp/events.jsonl" \
+  || die "no promotion event in the ledger"
+note "drain: exit 0, socket removed, reload decisions in the ledger"
+
+note "OK"
