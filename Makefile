@@ -5,15 +5,17 @@
 # explain report and Prometheus scrape, each linted), a kill-and-resume
 # smoke (a journalled run killed mid-sweep must resume to byte-identical
 # output), a bench smoke (the compile fast-path micro-benchmarks,
-# schema-checked against the committed BENCH_compile.json baseline), the
-# bench-gate regression sentinel over that baseline's trajectory, a
+# schema-checked against the committed BENCH_compile.json baseline), a
+# simulator-scaling smoke (a 2-point scale sweep whose BENCH_sim.json
+# entry must lint), the bench-gate regression sentinel over both
+# committed baseline trajectories, a
 # daemon smoke (nisqd served through injected network/handler faults,
 # overload shedding, wire-capture lint and both drain paths), and a
 # reload smoke (calibration hot-reload under concurrent clients with
 # faulted candidates: byte-identical replies, rollback accounting, and
 # a schema-checked nisq-reload/1 report).
 
-.PHONY: all build test check bench bench-smoke bench-compile bench-gate micro resume-smoke serve-smoke reload-smoke
+.PHONY: all build test check bench bench-smoke bench-compile bench-scale bench-scale-smoke bench-gate micro resume-smoke serve-smoke reload-smoke
 
 all: build
 
@@ -46,6 +48,7 @@ check:
 	tools/serve_smoke.sh
 	tools/reload_smoke.sh
 	$(MAKE) bench-smoke
+	$(MAKE) bench-scale-smoke
 	$(MAKE) bench-gate
 
 # Short-mode run of the compile fast-path micro-benchmarks; the fresh
@@ -65,11 +68,26 @@ bench-smoke:
 bench-compile:
 	dune exec bench/main.exe -- micro-compile --out BENCH_compile.json
 
-# Regression sentinel: the latest trajectory entry of the committed
+# Simulator weak/strong scaling sweep (domains x qubits x trials, both
+# backends): appends today's entry to the committed BENCH_sim.json
+# trajectory, printing the stabilizer-vs-dense speedup per size.
+bench-scale:
+	dune exec bench/main.exe -- scale --out BENCH_sim.json
+
+# CI smoke: a 2-point sweep at whatever NISQ_DOMAINS the job selects,
+# written to a scratch file (its name set depends on the pool size, so
+# it must never be appended to the committed trajectory) and linted.
+bench-scale-smoke:
+	rm -f /tmp/nisq-bench-sim.json
+	dune exec bench/main.exe -- scale --smoke \
+	  --out /tmp/nisq-bench-sim.json > /dev/null
+	dune exec tools/jsonlint.exe -- --bench /tmp/nisq-bench-sim.json
+
+# Regression sentinel: the latest trajectory entry of each committed
 # baseline must stay within the noise threshold of the trailing median
-# per micro-benchmark (see lib/benchkit/benchwatch.mli for the policy).
+# per benchmark (see lib/benchkit/benchwatch.mli for the policy).
 bench-gate:
-	dune exec tools/benchwatch.exe -- BENCH_compile.json
+	dune exec tools/benchwatch.exe -- BENCH_compile.json BENCH_sim.json
 
 resume-smoke:
 	tools/resume_smoke.sh

@@ -9,6 +9,10 @@
      main.exe micro-compile [--out PATH]
                                only the compile fast-path benches; writes
                                a BENCH_compile.json baseline (default CWD)
+     main.exe scale [--smoke] [--out PATH]
+                               simulator weak/strong scaling sweep over
+                               domains x qubits x trials; appends a dated
+                               entry to BENCH_sim.json (default CWD)
      main.exe solver-par-check assert the parallel solver matches the
                                sequential one (objective parity, pool-size
                                determinism, seeding never adds nodes)
@@ -121,6 +125,26 @@ let print_rows rows =
    cells fanned out). [micro-compile] runs only these, with a short
    quota, and writes the machine-readable baseline BENCH_compile.json
    that tools/jsonlint --bench checks in CI. *)
+(* The parallel-solver micro must run LAST: once its lazy pool spins
+   up, the extra domains join every minor-GC barrier and visibly slow
+   whatever single-domain benchmark runs next to it on small machines.
+   Every micro list flows through this assertion so a reordering (or an
+   appended benchmark) fails loudly at startup instead of silently
+   skewing the published numbers. *)
+let parallel_micro_name = "solver:placement-parallel"
+
+let assert_parallel_last tests =
+  (match List.rev tests with
+  | [] -> invalid_arg "bench: empty micro-benchmark list"
+  | last :: _ ->
+      let name = Bechamel.Test.name last in
+      if name <> parallel_micro_name then
+        invalid_arg
+          (Printf.sprintf
+             "bench: %s must be the last micro-benchmark, found %S last"
+             parallel_micro_name name));
+  tests
+
 let compile_path_tests () =
   let open Bechamel in
   let calib = Ibmq16.calibration ~day:0 () in
@@ -168,25 +192,25 @@ let compile_path_tests () =
                       Config.make (Config.R_smt_star 0.5);
                     ])
                 [ bv4; adder ])));
-    (* Keep this one LAST: once its lazy pool spins up, the extra
-       domains join every minor-GC barrier and visibly slow whatever
-       single-domain benchmark runs next to it on small machines. *)
-    Test.make ~name:"solver:placement-parallel"
+    (* Keep this one LAST — [assert_parallel_last] enforces it. *)
+    Test.make ~name:parallel_micro_name
       (stage (fun () ->
            Nisq_solver.Parallel.solve_placement ~forbid ~seed:seed_bv8
              ~pool:(Lazy.force solver_pool) problem_bv8));
   ]
+  |> assert_parallel_last
 
 let today_utc () =
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday
 
-(* Prior trajectory entries of an existing baseline at [path]: a /2 file
-   contributes its trajectory as-is, a legacy /1 file becomes a single
-   entry dated "legacy", anything unreadable starts the trajectory over
-   (with a note — growth must never make `make bench-compile` fail). *)
-let read_trajectory path =
+(* Prior trajectory entries of an existing baseline at [path] carrying
+   the given [schema]: a matching trajectory file contributes its
+   entries as-is, a legacy compile/1 file becomes a single entry dated
+   "legacy", anything unreadable starts the trajectory over (with a
+   note — growth must never make `make bench-compile` fail). *)
+let read_trajectory ~schema path =
   if not (Sys.file_exists path) then []
   else
     let parsed =
@@ -200,10 +224,11 @@ let read_trajectory path =
         []
     | Ok v -> (
         match (Obs_json.member "schema" v, Obs_json.member "trajectory" v) with
-        | Some (Obs_json.String "nisq-bench-compile/2"), Some (Obs_json.List entries)
+        | Some (Obs_json.String s), Some (Obs_json.List entries) when s = schema
           ->
             entries
-        | Some (Obs_json.String "nisq-bench-compile/1"), _ -> (
+        | Some (Obs_json.String "nisq-bench-compile/1"), _
+          when schema = "nisq-bench-compile/2" -> (
             match Obs_json.member "benchmarks" v with
             | Some benchmarks ->
                 [
@@ -220,6 +245,32 @@ let read_trajectory path =
               path;
             [])
 
+(* Append today's entry to the trajectory at [out]; a same-day rerun
+   replaces its previous entry so repeated local runs stay idempotent. *)
+let append_trajectory ~schema ~out benchmarks =
+  let today = today_utc () in
+  let entry =
+    Obs_json.Obj
+      [ ("date", Obs_json.String today); ("benchmarks", benchmarks) ]
+  in
+  let prior =
+    List.filter
+      (fun e ->
+        match Obs_json.member "date" e with
+        | Some (Obs_json.String d) -> d <> today
+        | _ -> true)
+      (read_trajectory ~schema out)
+  in
+  let doc =
+    Obs_json.Obj
+      [
+        ("schema", Obs_json.String schema);
+        ("trajectory", Obs_json.List (prior @ [ entry ]));
+      ]
+  in
+  Obs_json.to_file ~path:out doc;
+  List.length prior + 1
+
 let micro_compile ~out () =
   let open Bechamel in
   Obs_metrics.set_enabled false;
@@ -230,46 +281,172 @@ let micro_compile ~out () =
   let rows = measure ~quota:0.25 tests in
   print_endline "=== Bechamel micro-benchmarks: compile fast path ===";
   print_rows rows;
-  let today = today_utc () in
-  let entry =
-    Obs_json.Obj
-      [
-        ("date", Obs_json.String today);
-        ( "benchmarks",
-          Obs_json.List
-            (List.map
-               (fun (name, ns) ->
-                 (* a pathological estimate must not turn into JSON null *)
-                 let ns = if Float.is_finite ns then ns else 0.0 in
-                 Obs_json.Obj
-                   [
-                     ("name", Obs_json.String name);
-                     ("ns_per_run", Obs_json.Float ns);
-                   ])
-               rows) );
-      ]
+  let benchmarks =
+    Obs_json.List
+      (List.map
+         (fun (name, ns) ->
+           (* a pathological estimate must not turn into JSON null *)
+           let ns = if Float.is_finite ns then ns else 0.0 in
+           Obs_json.Obj
+             [
+               ("name", Obs_json.String name);
+               ("ns_per_run", Obs_json.Float ns);
+             ])
+         rows)
   in
-  (* Append today's entry to the trajectory; a same-day rerun replaces
-     its previous entry so repeated local runs stay idempotent. *)
-  let prior =
-    List.filter
-      (fun e ->
-        match Obs_json.member "date" e with
-        | Some (Obs_json.String d) -> d <> today
-        | _ -> true)
-      (read_trajectory out)
+  let entries =
+    append_trajectory ~schema:"nisq-bench-compile/2" ~out benchmarks
   in
-  let doc =
-    Obs_json.Obj
-      [
-        ("schema", Obs_json.String "nisq-bench-compile/2");
-        ("trajectory", Obs_json.List (prior @ [ entry ]));
-      ]
-  in
-  Obs_json.to_file ~path:out doc;
   Printf.eprintf "[nisq-bench] compile baseline appended to %s (%d entries)\n%!"
-    out
-    (List.length prior + 1)
+    out entries
+
+(* ------------------------------------------------------------------ *)
+(* scale: the simulator weak/strong scaling sweep (make bench-scale)   *)
+(* ------------------------------------------------------------------ *)
+
+(* GHZ chain over [qubits]: H then a CNOT ladder — pure Clifford, so
+   the stabilizer fast path owns every noisy trial. [poison] inserts a
+   single T gate, which disqualifies the whole job and routes every
+   trial to the dense backend: the pair measures both simulator tiers
+   over the same topology and noise model. *)
+let scale_runner ~calib ~qubits ~poison =
+  let module B = Nisq_circuit.Circuit.Builder in
+  let b =
+    B.create
+      ~name:(Printf.sprintf "GHZ%d%s" qubits (if poison then "t" else ""))
+      qubits
+  in
+  B.h b 0;
+  for q = 1 to qubits - 1 do
+    B.cnot b (q - 1) q
+  done;
+  if poison then B.t_gate b 0;
+  B.measure_all b;
+  E.runner_of
+    (Compile.run ~config:(Config.make Config.Greedy_e) ~calib (B.build b))
+
+let scale ~out ~smoke () =
+  Obs_metrics.set_enabled false;
+  Obs_trace.set_enabled false;
+  let strong_trials = if smoke then 256 else 4096 in
+  let weak_base = if smoke then 128 else 1024 in
+  let qubit_counts = if smoke then [ 4; 6 ] else [ 4; 8; 12 ] in
+  (* The committed sweep always covers the same pool sizes so every
+     trajectory entry carries one benchmark-name set; the CI smoke
+     instead probes the single size NISQ_DOMAINS selected for its job
+     (and writes to a scratch file the gate never reads). *)
+  let pool_sizes =
+    if smoke then [ Pool.size (Pool.default ()) ] else [ 0; 1; 4 ]
+  in
+  let seed = 7 in
+  let calib = Ibmq16.calibration ~day:0 () in
+  let rows = ref [] in
+  let push name ns extras = rows := (name, ns, extras) :: !rows in
+  (* Wall clock over one full success_rate call. The minor-GC word
+     delta only counts this domain's allocation, so it is published
+     solely for d0 rows, where every chunk runs right here. *)
+  let timed ~size ~trials runner =
+    let pool = Pool.create ~size () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    (* one small untimed run first: pool spin-up, scratch-arena
+       creation and lazy code paths must not bill the first row *)
+    let (_ : float) = Runner.success_rate ~trials:64 ~pool ~seed runner in
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let (_ : float) = Runner.success_rate ~trials ~pool ~seed runner in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, Gc.minor_words () -. w0)
+  in
+  let record ~name ~qubits ~domains ~mode ~trials (dt, words) =
+    let ns = dt *. 1e9 /. float_of_int trials in
+    let extras =
+      [
+        ("trials_per_sec", Obs_json.Float (float_of_int trials /. dt));
+        ("qubits", Obs_json.Int qubits);
+        ("domains", Obs_json.Int domains);
+        ("mode", Obs_json.String mode);
+        ("trials", Obs_json.Int trials);
+      ]
+      @
+      if domains = 0 then
+        [
+          ( "minor_words_per_trial",
+            Obs_json.Float (words /. float_of_int trials) );
+        ]
+      else []
+    in
+    push name ns extras
+  in
+  List.iter
+    (fun qubits ->
+      let clifford = scale_runner ~calib ~qubits ~poison:false in
+      let dense = scale_runner ~calib ~qubits ~poison:true in
+      List.iter
+        (fun d ->
+          (* strong scaling: fixed total work, growing pool *)
+          record
+            ~name:(Printf.sprintf "scale:ghz%d:d%d:strong" qubits d)
+            ~qubits ~domains:d ~mode:"strong" ~trials:strong_trials
+            (timed ~size:d ~trials:strong_trials clifford);
+          (* weak scaling: work grows with the pool *)
+          let wt = weak_base * max 1 d in
+          record
+            ~name:(Printf.sprintf "scale:ghz%d:d%d:weak" qubits d)
+            ~qubits ~domains:d ~mode:"weak" ~trials:wt
+            (timed ~size:d ~trials:wt clifford))
+        pool_sizes;
+      (* The fast-off reference: identical job, stabilizer path forced
+         off — the committed before/after evidence for the Clifford
+         tier (results stay bit-identical either way). *)
+      Runner.set_stabilizer_enabled (Some false);
+      Fun.protect
+        ~finally:(fun () -> Runner.set_stabilizer_enabled None)
+        (fun () ->
+          record
+            ~name:(Printf.sprintf "scale:ghz%d:d0:fastoff" qubits)
+            ~qubits ~domains:0 ~mode:"fastoff" ~trials:strong_trials
+            (timed ~size:0 ~trials:strong_trials clifford));
+      (* The T-poisoned twin exercises the dense Bigarray kernels via
+         the per-job fallback. *)
+      record
+        ~name:(Printf.sprintf "scale:ghzt%d:d0:strong" qubits)
+        ~qubits ~domains:0 ~mode:"dense" ~trials:strong_trials
+        (timed ~size:0 ~trials:strong_trials dense))
+    qubit_counts;
+  let rows = List.rev !rows in
+  print_endline "=== simulator scaling sweep (wall clock) ===";
+  print_rows (List.map (fun (n, ns, _) -> (n, ns)) rows);
+  List.iter
+    (fun qubits ->
+      let find suffix =
+        List.find_map
+          (fun (n, ns, _) ->
+            if n = Printf.sprintf "scale:ghz%d:%s" qubits suffix then Some ns
+            else None)
+          rows
+      in
+      match (find "d0:strong", find "d0:fastoff") with
+      | Some fast, Some off when fast > 0.0 ->
+          Printf.printf
+            "ghz%-2d stabilizer speedup: %4.1fx (%.0f -> %.0f ns/trial)\n"
+            qubits (off /. fast) off fast
+      | _ -> ())
+    qubit_counts;
+  let benchmarks =
+    Obs_json.List
+      (List.map
+         (fun (name, ns, extras) ->
+           let ns = if Float.is_finite ns then ns else 0.0 in
+           Obs_json.Obj
+             (("name", Obs_json.String name)
+             :: ("ns_per_run", Obs_json.Float ns)
+             :: extras))
+         rows)
+  in
+  let entries = append_trajectory ~schema:"nisq-bench-sim/1" ~out benchmarks in
+  Printf.eprintf
+    "[nisq-bench] sim scaling baseline appended to %s (%d entries)\n%!" out
+    entries
 
 let micro () =
   let open Bechamel in
@@ -349,7 +526,8 @@ let micro () =
                Nisq_obs.Events.emit ~domain:"bench" Nisq_obs.Events.Debug
                  "tick"));
       ]
-      @ compile_path_tests ())
+      @ compile_path_tests ()
+      |> assert_parallel_last)
   in
   let rows = measure ~quota:0.5 tests in
   print_endline "=== Bechamel micro-benchmarks (monotonic clock) ===";
@@ -457,13 +635,14 @@ type options = {
   run_id : string option;
   deadline : float option;
   out : string option;
+  smoke : bool;
 }
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [TARGET] [TRIALS] [--run-id ID] [--resume ID] \
-     [--resume-force] [--deadline DUR] [--out PATH]\n\
-     TARGET: table2|fig1|fig5..fig11|ablations|micro|micro-compile|solver-par-check|quick|all\n";
+     [--resume-force] [--deadline DUR] [--out PATH] [--smoke]\n\
+     TARGET: table2|fig1|fig5..fig11|ablations|micro|micro-compile|scale|solver-par-check|quick|all\n";
   exit 2
 
 let parse_args () =
@@ -471,6 +650,7 @@ let parse_args () =
   let resume = ref None and force = ref false in
   let run_id = ref None and deadline = ref None in
   let out = ref None in
+  let smoke = ref false in
   let rec go = function
     | [] -> ()
     | "--resume" :: v :: rest ->
@@ -478,6 +658,9 @@ let parse_args () =
         go rest
     | "--resume-force" :: rest ->
         force := true;
+        go rest
+    | "--smoke" :: rest ->
+        smoke := true;
         go rest
     | "--run-id" :: v :: rest ->
         run_id := Some v;
@@ -516,7 +699,7 @@ let parse_args () =
     | _ -> usage ()
   in
   { target; trials; resume = !resume; force = !force; run_id = !run_id;
-    deadline = !deadline; out = !out }
+    deadline = !deadline; out = !out; smoke = !smoke }
 
 (* The figures of the composite targets, in print order. Splitting
    [run_all] per figure is what gives resume its granularity: a
@@ -592,6 +775,10 @@ let dispatch opts run =
       micro_compile
         ~out:(Option.value opts.out ~default:"BENCH_compile.json")
         ()
+  | "scale" ->
+      scale
+        ~out:(Option.value opts.out ~default:"BENCH_sim.json")
+        ~smoke:opts.smoke ()
   | "quick" ->
       composite "quick" (figure_specs ~trials:512 ~quick:true);
       micro ()
@@ -601,7 +788,7 @@ let dispatch opts run =
   | other ->
       Printf.eprintf
         "unknown argument %S (want \
-         table2|fig1|fig5..fig11|ablations|micro|micro-compile|solver-par-check|quick|all)\n"
+         table2|fig1|fig5..fig11|ablations|micro|micro-compile|scale|solver-par-check|quick|all)\n"
         other;
       exit 2
 

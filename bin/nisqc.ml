@@ -628,6 +628,35 @@ let run_cmd =
         "chunk latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms (%d chunks)\n"
         (q 0.5) (q 0.95) (q 0.99) chunks
     end;
+    (* Fast-path routing: how many noisy trials the exact stabilizer
+       backend took vs the dense fallback, with per-backend chunk
+       latencies — the evidence that the Clifford tier engaged (ideal
+       no-fault trials skip both backends and appear in neither). *)
+    let hits = Obs_metrics.value (Obs_metrics.counter "sim.clifford.hit") in
+    let falls =
+      Obs_metrics.value (Obs_metrics.counter "sim.clifford.fallback")
+    in
+    if hits + falls > 0 then begin
+      Printf.printf
+        "sim backends : %d tableau trials, %d dense trials (job %s)\n" hits
+        falls
+        (if Runner.clifford_capable runner then "clifford"
+         else "non-clifford");
+      List.iter
+        (fun (label, name) ->
+          let h = Obs_metrics.histogram name in
+          let n = Obs_metrics.histogram_count h in
+          if n > 0 then begin
+            let q p = Obs_metrics.quantile h p /. 1e6 in
+            Printf.printf
+              "  %-7s    : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms (%d chunks)\n"
+              label (q 0.5) (q 0.95) (q 0.99) n
+          end)
+        [
+          ("tableau", "sim.chunk_latency_tableau_ns");
+          ("dense", "sim.chunk_latency_dense_ns");
+        ]
+    end;
     Telemetry.finish ()
   in
   let trials_arg =

@@ -56,7 +56,7 @@ let decode_entry i e =
 
 let decode_trajectory v =
   match Json.member "schema" v with
-  | Some (Json.String "nisq-bench-compile/2") -> (
+  | Some (Json.String ("nisq-bench-compile/2" | "nisq-bench-sim/1")) -> (
       match Json.member "trajectory" v with
       | Some (Json.List (_ :: _ as entries)) ->
           List.fold_left

@@ -1,8 +1,11 @@
 (** Bench-trajectory regression sentinel.
 
-    [BENCH_compile.json] (schema [nisq-bench-compile/2]) carries a
-    dated trajectory of micro-benchmark entries, appended by
-    [make bench-compile]. This module compares the {e latest} entry
+    [BENCH_compile.json] (schema [nisq-bench-compile/2], appended by
+    [make bench-compile]) and [BENCH_sim.json] (schema
+    [nisq-bench-sim/1], appended by [make bench-scale]) carry dated
+    trajectories of benchmark entries — sim entries add fields like
+    [trials_per_sec], which the gate ignores; only [ns_per_run] is
+    compared. This module compares the {e latest} entry
     against a trailing baseline — per benchmark, the median of its
     [ns_per_run] over up to [window] prior entries — and flags any
     benchmark whose latest/baseline ratio exceeds [threshold].
@@ -47,9 +50,9 @@ val analyze :
 (** Analyze a parsed baseline document. [threshold] (default [1.5]) is
     the latest/baseline ratio above which a benchmark fails; [window]
     (default [5]) caps how many trailing prior entries feed the median.
-    [Error] on a document that is not a [nisq-bench-compile/1] or [/2]
-    baseline ([/1] files have one implicit entry and therefore always
-    pass). *)
+    [Error] on a document that is not a [nisq-bench-compile/1], [/2]
+    or [nisq-bench-sim/1] baseline ([compile/1] files have one implicit
+    entry and therefore always pass). *)
 
 val render : analysis -> string
 (** Human-readable table: one line per verdict (name, latest,

@@ -365,12 +365,14 @@ let work_one t (entry : Admission.entry) =
   let ms = Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e6 in
   Admission.note_service_ms t.queue ms;
   Metrics.observe (latency_hist verb_name) ms;
-  (* Count before delivering: a client that sees its reply and
-     immediately asks for stats must find this request in [served]. *)
+  (* Count and unpin before delivering: a client that sees its reply and
+     immediately asks for stats must find this request in [served] and
+     must not observe its epoch pin. The epoch was only needed while
+     computing [body], so releasing here is safe. *)
   Atomic.incr t.served;
   Metrics.incr m_served;
-  deliver_all entry body;
   release_pin t entry.Admission.epoch;
+  deliver_all entry body;
   Atomic.decr t.in_flight;
   Metrics.set g_in_flight (float_of_int (Atomic.get t.in_flight))
 

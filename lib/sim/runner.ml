@@ -17,9 +17,24 @@ let m_fault_single = Metrics.counter "sim.faults.single"
 let m_fault_cnot = Metrics.counter "sim.faults.cnot"
 let m_fault_readout = Metrics.counter "sim.faults.readout"
 
-let h_chunk_ns =
-  Metrics.histogram "sim.chunk_latency_ns"
-    ~bounds:[| 1e4; 3e4; 1e5; 3e5; 1e6; 3e6; 1e7; 3e7; 1e8 |]
+(* Noisy-trial routing between the stabilizer tableau and the dense
+   state vector (fault-free trials take the ideal-distribution shortcut
+   and count under neither). Tallied per chunk like the fault counters,
+   so the split is pool-size-independent. *)
+let m_clifford_hit = Metrics.counter "sim.clifford.hit"
+let m_clifford_fallback = Metrics.counter "sim.clifford.fallback"
+
+let chunk_bounds = [| 1e4; 3e4; 1e5; 3e5; 1e6; 3e6; 1e7; 3e7; 1e8 |]
+
+let h_chunk_ns = Metrics.histogram "sim.chunk_latency_ns" ~bounds:chunk_bounds
+
+(* The same latency, split by which backend the chunk's noisy trials ran
+   on, so tableau and dense chunk costs are separately observable. *)
+let h_chunk_tab_ns =
+  Metrics.histogram "sim.chunk_latency_tableau_ns" ~bounds:chunk_bounds
+
+let h_chunk_dense_ns =
+  Metrics.histogram "sim.chunk_latency_dense_ns" ~bounds:chunk_bounds
 
 type op = { kind : Gate.kind; qubits : int array; start : int; duration : int }
 
@@ -56,7 +71,29 @@ type t = {
   (* cumulative distribution over answers for the no-fault shortcut *)
   answer_values : int array;
   answer_cumulative : float array;
+  (* every unitary in [ops] is a Clifford generator, so noisy trials may
+     run on the stabilizer tableau (see [run_trial_scratch]) *)
+  clifford_ok : bool;
 }
+
+(* The stabilizer fast path is on by default; NISQ_STABILIZER=0 (or
+   "off"/"false") forces every noisy trial onto the dense path, and the
+   programmatic override exists for equivalence tests that compare the
+   two backends in one process. *)
+let stabilizer_override = Atomic.make None
+
+let set_stabilizer_enabled v = Atomic.set stabilizer_override v
+
+(* read once at load: a lazy would race when worker domains force it *)
+let stabilizer_env =
+  match Sys.getenv_opt "NISQ_STABILIZER" with
+  | Some ("0" | "off" | "false" | "no") -> false
+  | _ -> true
+
+let stabilizer_enabled () =
+  match Atomic.get stabilizer_override with
+  | Some v -> v
+  | None -> stabilizer_env
 
 let dephase_prob calib ~hw ~gap_slots =
   if gap_slots <= 0 then 0.0
@@ -255,10 +292,20 @@ let prepare ~calib ~ops ~readout =
            !acc)
          pairs)
   in
+  let clifford_ok =
+    Array.for_all
+      (fun (o : prepared_op) ->
+        match o.kind with
+        | Gate.Measure | Gate.Barrier -> true
+        | k -> Stabilizer.is_clifford k)
+      prepared
+  in
   { num_local; ops = prepared; site_probs; site_kinds; ideal; ideal_prob;
-    answer_values; answer_cumulative }
+    answer_values; answer_cumulative; clifford_ok }
 
 let num_active_qubits t = t.num_local
+
+let clifford_capable t = t.clifford_ok
 
 let ideal_answer t = t.ideal
 
@@ -299,14 +346,33 @@ let apply_random_pauli2 st rng l0 l1 =
   apply l0 p0;
   apply l1 p1
 
-(* Per-trial scratch: the sorted flat indices of the sites that fired.
-   Sized once to the total site count, so the trial loop never allocates.
-   Each domain running trials owns its own scratch; [t] itself is shared
+(* The tableau twin, drawing the same random numbers. *)
+let apply_random_pauli2_tab st rng l0 l1 =
+  let k = 1 + Rng.int rng 15 in
+  let p0 = k land 3 and p1 = (k lsr 2) land 3 in
+  let apply l = function
+    | 1 -> Stabilizer.apply_pauli st `X l
+    | 2 -> Stabilizer.apply_pauli st `Y l
+    | 3 -> Stabilizer.apply_pauli st `Z l
+    | _ -> ()
+  in
+  apply l0 p0;
+  apply l1 p1
+
+(* Per-trial scratch: the sorted flat indices of the sites that fired,
+   plus the reusable simulator registers. Sized once per job, cached per
+   domain in [arena] and reused across every chunk the domain runs for
+   that job, so the chunk loop performs no per-trial or per-chunk buffer
+   allocation. Each domain owns its own scratch; [t] itself is shared
    read-only. *)
 type scratch = {
-  mutable fired : int array;
+  fired : int array;
   mutable nfired : int;
   tally : int array;  (* per-channel fired-site counts, see [tally_slot] *)
+  state : State.t;  (* dense register, [State.reset] per noisy trial *)
+  tableau : Stabilizer.t option;  (* Some iff [t.clifford_ok] *)
+  mutable tab_trials : int;  (* per-chunk: noisy trials on the tableau *)
+  mutable dense_trials : int;  (* per-chunk: noisy trials on dense *)
 }
 
 let create_scratch t =
@@ -314,7 +380,24 @@ let create_scratch t =
     fired = Array.make (max 1 (Array.length t.site_probs)) 0;
     nfired = 0;
     tally = Array.make tally_slots 0;
+    state = State.create t.num_local;
+    tableau = (if t.clifford_ok then Some (Stabilizer.create t.num_local) else None);
+    tab_trials = 0;
+    dense_trials = 0;
   }
+
+let arena : (t, scratch) Nisq_util.Scratch.t = Nisq_util.Scratch.create ()
+
+(* The domain's cached scratch for [t], with the per-chunk accumulators
+   cleared. Pool chunks never nest on a domain, so the value is exclusive
+   to the caller for the duration of the chunk. *)
+let scratch_for t =
+  let s = Nisq_util.Scratch.get arena ~key:t ~make:create_scratch in
+  s.nfired <- 0;
+  Array.fill s.tally 0 tally_slots 0;
+  s.tab_trials <- 0;
+  s.dense_trials <- 0;
+  s
 
 (* Decide which noise sites fire this trial. Fills [scratch.fired] with
    flat site indices in increasing (execution) order; allocates nothing,
@@ -338,7 +421,8 @@ let sample_faults t scratch rng =
    flat site counter — no per-trial hash table. *)
 let run_noisy t scratch rng =
   let fired = scratch.fired and nfired = scratch.nfired in
-  let st = State.create t.num_local in
+  let st = scratch.state in
+  State.reset st;
   let answer = ref 0 in
   let cursor = ref 0 in
   let flat = ref 0 in
@@ -391,6 +475,74 @@ let run_noisy t scratch rng =
     t.ops;
   !answer
 
+(* The tableau replay: structurally identical to [run_noisy] — same op
+   walk, same cursor discipline, and draw-for-draw the same RNG
+   consumption (each measure takes one float draw on both backends, see
+   Stabilizer's RNG contract; a fired damp site takes one gated draw on
+   both) — so a trial produces bit-identical answers on either
+   backend. *)
+let run_noisy_tab t scratch rng =
+  let fired = scratch.fired and nfired = scratch.nfired in
+  let st =
+    match scratch.tableau with Some st -> st | None -> assert false
+  in
+  Stabilizer.reset st;
+  let answer = ref 0 in
+  let cursor = ref 0 in
+  let flat = ref 0 in
+  let fires () =
+    !cursor < nfired && Array.unsafe_get fired !cursor = !flat
+  in
+  Array.iter
+    (fun op ->
+      Array.iter
+        (fun site ->
+          (if fires () then begin
+             incr cursor;
+             match site with
+             | Dephase { local; _ } -> Stabilizer.apply_pauli st `Z local
+             | Damp { local; _ } ->
+                 (* the damp jump is a projective collapse + X decay —
+                    a stabilizer operation, simulated exactly with the
+                    same draw-gating rule as the dense path (tableau
+                    probabilities are exactly 0, 1/2 or 1, and the
+                    dense amplitudes of a stabilizer state are exact
+                    zeros off its support, so the p1 > 1e-12 gate
+                    agrees on whether the draw happens) *)
+                 let p1 = Stabilizer.prob_one st local in
+                 if p1 > 1e-12 && Rng.float rng 1.0 < p1 then begin
+                   Stabilizer.collapse_one st local;
+                   Stabilizer.apply_pauli st `X local
+                 end
+             | Fault1 _ | Fault2 _ -> assert false
+           end);
+          incr flat)
+        op.pre;
+      (match op.kind with
+      | Gate.Barrier -> ()
+      | Gate.Measure ->
+          let bit = Stabilizer.measure st rng op.locals.(0) in
+          let flipped = Rng.float rng 1.0 < op.readout_flip in
+          if flipped then
+            scratch.tally.(readout_slot) <- scratch.tally.(readout_slot) + 1;
+          let bit = if flipped then not bit else bit in
+          if bit then answer := !answer lor (1 lsl op.answer_bit)
+      | k -> Stabilizer.apply_gate st k op.locals);
+      match op.fault with
+      | None -> ()
+      | Some site ->
+          (if fires () then begin
+             incr cursor;
+             match site with
+             | Fault1 { local; _ } ->
+                 Stabilizer.apply_pauli st (random_pauli rng) local
+             | Fault2 { l0; l1; _ } -> apply_random_pauli2_tab st rng l0 l1
+             | Dephase _ | Damp _ -> assert false
+           end);
+          incr flat)
+    t.ops;
+  !answer
+
 let readout_flips t scratch rng answer =
   Array.fold_left
     (fun acc op ->
@@ -403,7 +555,14 @@ let readout_flips t scratch rng answer =
       else acc)
     answer t.ops
 
-let run_trial_scratch t scratch rng =
+(* Per-trial dispatch (DESIGN.md §14): a fault-free trial samples the
+   exact ideal distribution; a noisy trial replays on the stabilizer
+   tableau when every unitary of the job is Clifford (the sampled error
+   channels — Pauli faults, dephasing, damp jumps, readout flips — are
+   all stabilizer operations and never disqualify a trial), and on the
+   dense vector otherwise. The decision depends only on the job and the
+   trial's own fault sample, so it is identical at every pool size. *)
+let run_trial_scratch t ~use_tab scratch rng =
   sample_faults t scratch rng;
   if scratch.nfired = 0 then
     (* Fault-free trial: the quantum part is exact, only sampling and
@@ -414,10 +573,19 @@ let run_trial_scratch t scratch rng =
       let k = t.site_kinds.(scratch.fired.(c)) in
       scratch.tally.(k) <- scratch.tally.(k) + 1
     done;
-    run_noisy t scratch rng
+    if use_tab then begin
+      scratch.tab_trials <- scratch.tab_trials + 1;
+      run_noisy_tab t scratch rng
+    end
+    else begin
+      scratch.dense_trials <- scratch.dense_trials + 1;
+      run_noisy t scratch rng
+    end
   end
 
-let run_trial t rng = run_trial_scratch t (create_scratch t) rng
+let run_trial t rng =
+  let use_tab = t.clifford_ok && stabilizer_enabled () in
+  run_trial_scratch t ~use_tab (scratch_for t) rng
 
 (* ------------------------------------------------------------------ *)
 (* Chunked Monte-Carlo estimation                                      *)
@@ -443,7 +611,14 @@ let publish_tally scratch ~n =
   Metrics.add m_fault_t1 scratch.tally.(1);
   Metrics.add m_fault_single scratch.tally.(2);
   Metrics.add m_fault_cnot scratch.tally.(3);
-  Metrics.add m_fault_readout scratch.tally.(readout_slot)
+  Metrics.add m_fault_readout scratch.tally.(readout_slot);
+  Metrics.add m_clifford_hit scratch.tab_trials;
+  Metrics.add m_clifford_fallback scratch.dense_trials
+
+let observe_chunk ~use_tab t0 =
+  let ns = Int64.to_float (Int64.sub (Clock.now_ns ()) t0) in
+  Metrics.observe h_chunk_ns ns;
+  Metrics.observe (if use_tab then h_chunk_tab_ns else h_chunk_dense_ns) ns
 
 let chunk_hits t ~seed ~trials i =
   Trace.with_span "sim.chunk" @@ fun () ->
@@ -451,14 +626,14 @@ let chunk_hits t ~seed ~trials i =
   let t0 = if record then Clock.now_ns () else 0L in
   let n = chunk_trials ~trials i in
   let rng = Rng.create (Rng.mix seed i) in
-  let scratch = create_scratch t in
+  let use_tab = t.clifford_ok && stabilizer_enabled () in
+  let scratch = scratch_for t in
   let hits = ref 0 in
   for _ = 1 to n do
-    if run_trial_scratch t scratch rng = t.ideal then incr hits
+    if run_trial_scratch t ~use_tab scratch rng = t.ideal then incr hits
   done;
   if record then begin
-    Metrics.observe h_chunk_ns
-      (Int64.to_float (Int64.sub (Clock.now_ns ()) t0));
+    observe_chunk ~use_tab t0;
     publish_tally scratch ~n
   end;
   !hits
@@ -495,16 +670,16 @@ let chunk_counts t ~seed ~trials i =
   let t0 = if record then Clock.now_ns () else 0L in
   let n = chunk_trials ~trials i in
   let rng = Rng.create (Rng.mix seed i) in
-  let scratch = create_scratch t in
+  let use_tab = t.clifford_ok && stabilizer_enabled () in
+  let scratch = scratch_for t in
   let counts = Hashtbl.create 32 in
   for _ = 1 to n do
-    let a = run_trial_scratch t scratch rng in
+    let a = run_trial_scratch t ~use_tab scratch rng in
     Hashtbl.replace counts a
       (1 + Option.value ~default:0 (Hashtbl.find_opt counts a))
   done;
   if record then begin
-    Metrics.observe h_chunk_ns
-      (Int64.to_float (Int64.sub (Clock.now_ns ()) t0));
+    observe_chunk ~use_tab t0;
     publish_tally scratch ~n
   end;
   counts

@@ -59,6 +59,24 @@ val prepare :
 val num_active_qubits : t -> int
 (** Hardware qubits the job actually touches (simulation width). *)
 
+val clifford_capable : t -> bool
+(** Whether every unitary in the job is a Clifford generator, making its
+    noisy trials eligible for the stabilizer fast path. The injected
+    error channels (Pauli faults, dephasing, readout flips) never
+    disqualify a job; a fired amplitude-damping site only reroutes that
+    single trial to the dense backend. *)
+
+val set_stabilizer_enabled : bool option -> unit
+(** Override the stabilizer fast path: [Some false] forces every noisy
+    trial onto the dense backend, [Some true] forces the path on for
+    Clifford-capable jobs, [None] restores the default (on, unless the
+    process started with [NISQ_STABILIZER=0]). Either way the simulated
+    results are bit-for-bit identical — this switch exists for the
+    equivalence tests and for benchmarking the dense path. *)
+
+val stabilizer_enabled : unit -> bool
+(** The switch's current effective value. *)
+
 val ideal_answer : t -> int
 (** Most likely noiseless outcome, as a bit-packed answer. *)
 

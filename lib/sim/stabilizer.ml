@@ -1,0 +1,268 @@
+module Gate = Nisq_circuit.Gate
+module Rng = Nisq_util.Rng
+
+(* CHP tableau (Aaronson & Gottesman, "Improved simulation of stabilizer
+   circuits"): rows 0..n-1 are destabilizers, n..2n-1 stabilizers, row 2n
+   is scratch for deterministic measurements. Row i's X and Z Pauli
+   components are bit-packed into x.(i) and z.(i) (bit q = qubit q);
+   r.(i) is the sign bit (0 = +, 1 = -). *)
+type t = { n : int; x : int array; z : int array; r : int array }
+
+let init t =
+  let n = t.n in
+  Array.fill t.x 0 ((2 * n) + 1) 0;
+  Array.fill t.z 0 ((2 * n) + 1) 0;
+  Array.fill t.r 0 ((2 * n) + 1) 0;
+  for i = 0 to n - 1 do
+    t.x.(i) <- 1 lsl i;
+    t.z.(n + i) <- 1 lsl i
+  done
+
+let create n =
+  if n < 1 || n > 24 then invalid_arg "Stabilizer.create: need 1..24 qubits";
+  let rows = (2 * n) + 1 in
+  let t = { n; x = Array.make rows 0; z = Array.make rows 0; r = Array.make rows 0 } in
+  init t;
+  t
+
+let reset = init
+
+let num_qubits t = t.n
+
+let check_qubit t q =
+  if q < 0 || q >= t.n then invalid_arg "Stabilizer: qubit out of range"
+
+(* Rows hold at most 24 bits, so 32-bit SWAR popcount suffices. *)
+let popcount v =
+  let v = v - ((v lsr 1) land 0x55555555) in
+  let v = (v land 0x33333333) + ((v lsr 2) land 0x33333333) in
+  let v = (v + (v lsr 4)) land 0x0F0F0F0F in
+  (v * 0x01010101) lsr 24
+
+(* Row h := row i · row h. The phase of the product accumulates, per
+   qubit, the exponent g ∈ {-1, 0, 1} of the i factor picked up when
+   commuting single-qubit Paulis past each other; the packed masks below
+   select the qubits contributing +i and -i respectively. *)
+let rowsum t h i =
+  let x1 = t.x.(i) and z1 = t.z.(i) and x2 = t.x.(h) and z2 = t.z.(h) in
+  let plus =
+    (x1 land z1 land z2 land lnot x2)
+    lor (x1 land lnot z1 land x2 land z2)
+    lor (lnot x1 land z1 land x2 land lnot z2)
+  in
+  let minus =
+    (x1 land z1 land x2 land lnot z2)
+    lor (x1 land lnot z1 land lnot x2 land z2)
+    lor (lnot x1 land z1 land x2 land z2)
+  in
+  let total =
+    (2 * t.r.(h)) + (2 * t.r.(i)) + popcount plus - popcount minus
+  in
+  (* the product of commuting generators has a real sign: total mod 4 is
+     0 or 2 *)
+  t.r.(h) <- (((total mod 4) + 4) mod 4) / 2;
+  t.x.(h) <- x2 lxor x1;
+  t.z.(h) <- z2 lxor z1
+
+let apply_h t q =
+  check_qubit t q;
+  let b = 1 lsl q in
+  let x = t.x and z = t.z and r = t.r in
+  for i = 0 to (2 * t.n) - 1 do
+    let xi = x.(i) and zi = z.(i) in
+    if xi land zi land b <> 0 then r.(i) <- r.(i) lxor 1;
+    (* swap the X and Z bits at q *)
+    if (xi lxor zi) land b <> 0 then begin
+      x.(i) <- xi lxor b;
+      z.(i) <- zi lxor b
+    end
+  done
+
+let apply_s t q =
+  check_qubit t q;
+  let b = 1 lsl q in
+  let x = t.x and z = t.z and r = t.r in
+  for i = 0 to (2 * t.n) - 1 do
+    let xi = x.(i) in
+    if xi land b <> 0 then begin
+      if z.(i) land b <> 0 then r.(i) <- r.(i) lxor 1;
+      z.(i) <- z.(i) lxor b
+    end
+  done
+
+let apply_sdg t q =
+  check_qubit t q;
+  let b = 1 lsl q in
+  let x = t.x and z = t.z and r = t.r in
+  for i = 0 to (2 * t.n) - 1 do
+    let xi = x.(i) in
+    if xi land b <> 0 then begin
+      if z.(i) land b = 0 then r.(i) <- r.(i) lxor 1;
+      z.(i) <- z.(i) lxor b
+    end
+  done
+
+let apply_x t q =
+  check_qubit t q;
+  let b = 1 lsl q in
+  let z = t.z and r = t.r in
+  for i = 0 to (2 * t.n) - 1 do
+    if z.(i) land b <> 0 then r.(i) <- r.(i) lxor 1
+  done
+
+let apply_z t q =
+  check_qubit t q;
+  let b = 1 lsl q in
+  let x = t.x and r = t.r in
+  for i = 0 to (2 * t.n) - 1 do
+    if x.(i) land b <> 0 then r.(i) <- r.(i) lxor 1
+  done
+
+let apply_y t q =
+  check_qubit t q;
+  let b = 1 lsl q in
+  let x = t.x and z = t.z and r = t.r in
+  for i = 0 to (2 * t.n) - 1 do
+    if (x.(i) lxor z.(i)) land b <> 0 then r.(i) <- r.(i) lxor 1
+  done
+
+let apply_cnot t c tgt =
+  check_qubit t c;
+  check_qubit t tgt;
+  if c = tgt then invalid_arg "Stabilizer.apply_cnot: identical operands";
+  let cb = 1 lsl c and tb = 1 lsl tgt in
+  let x = t.x and z = t.z and r = t.r in
+  for i = 0 to (2 * t.n) - 1 do
+    let xi = x.(i) and zi = z.(i) in
+    if
+      xi land cb <> 0
+      && zi land tb <> 0
+      && (xi land tb <> 0) = (zi land cb <> 0)
+    then r.(i) <- r.(i) lxor 1;
+    if xi land cb <> 0 then x.(i) <- x.(i) lxor tb;
+    if zi land tb <> 0 then z.(i) <- z.(i) lxor cb
+  done
+
+(* SWAP relabels the qubits: exchange bits a and b of every row, no
+   phase change. *)
+let apply_swap t a b =
+  check_qubit t a;
+  check_qubit t b;
+  if a = b then invalid_arg "Stabilizer.apply_swap: identical operands";
+  let swap_bits v =
+    let ba = (v lsr a) land 1 and bb = (v lsr b) land 1 in
+    if ba <> bb then v lxor ((1 lsl a) lor (1 lsl b)) else v
+  in
+  let x = t.x and z = t.z in
+  for i = 0 to (2 * t.n) - 1 do
+    x.(i) <- swap_bits x.(i);
+    z.(i) <- swap_bits z.(i)
+  done
+
+let is_clifford = function
+  | Gate.H | Gate.X | Gate.Y | Gate.Z | Gate.S | Gate.Sdg | Gate.Cnot
+  | Gate.Swap ->
+      true
+  | Gate.T | Gate.Tdg | Gate.Rz _ | Gate.Rx _ | Gate.Ry _ | Gate.Measure
+  | Gate.Barrier ->
+      false
+
+let apply_gate t kind qubits =
+  match kind with
+  | Gate.H -> apply_h t qubits.(0)
+  | Gate.X -> apply_x t qubits.(0)
+  | Gate.Y -> apply_y t qubits.(0)
+  | Gate.Z -> apply_z t qubits.(0)
+  | Gate.S -> apply_s t qubits.(0)
+  | Gate.Sdg -> apply_sdg t qubits.(0)
+  | Gate.Cnot -> apply_cnot t qubits.(0) qubits.(1)
+  | Gate.Swap -> apply_swap t qubits.(0) qubits.(1)
+  | Gate.T | Gate.Tdg | Gate.Rz _ | Gate.Rx _ | Gate.Ry _ | Gate.Measure
+  | Gate.Barrier ->
+      invalid_arg "Stabilizer.apply_gate: not a Clifford unitary"
+
+let apply_pauli t p q =
+  match p with
+  | `X -> apply_x t q
+  | `Y -> apply_y t q
+  | `Z -> apply_z t q
+
+(* First stabilizer row (n..2n-1) anticommuting with Z_q, i.e. with an X
+   component on q — its presence means the measurement outcome is
+   uniformly random. *)
+let anticommuting_stabilizer t q =
+  let b = 1 lsl q in
+  let n = t.n in
+  let rec find i =
+    if i >= 2 * n then -1 else if t.x.(i) land b <> 0 then i else find (i + 1)
+  in
+  find n
+
+(* Deterministic outcome: multiply into the scratch row every stabilizer
+   whose destabilizer partner anticommutes with Z_q; the resulting sign
+   is the outcome. Leaves the tableau unchanged apart from scratch. *)
+let deterministic_one t q =
+  let b = 1 lsl q in
+  let n = t.n in
+  let s = 2 * n in
+  t.x.(s) <- 0;
+  t.z.(s) <- 0;
+  t.r.(s) <- 0;
+  for i = 0 to n - 1 do
+    if t.x.(i) land b <> 0 then rowsum t s (i + n)
+  done;
+  t.r.(s) = 1
+
+let prob_one t q =
+  check_qubit t q;
+  if anticommuting_stabilizer t q >= 0 then 0.5
+  else if deterministic_one t q then 1.0
+  else 0.0
+
+(* Project qubit q onto |1⟩ (no renormalization bookkeeping needed: a
+   stabilizer state projected onto a nonzero-probability outcome is
+   again a stabilizer state). Caller guarantees [prob_one t q > 0]. *)
+let collapse_one t q =
+  check_qubit t q;
+  let p = anticommuting_stabilizer t q in
+  if p >= 0 then begin
+    let b = 1 lsl q in
+    let n = t.n in
+    for i = 0 to (2 * n) - 1 do
+      if i <> p && t.x.(i) land b <> 0 then rowsum t i p
+    done;
+    t.x.(p - n) <- t.x.(p);
+    t.z.(p - n) <- t.z.(p);
+    t.r.(p - n) <- t.r.(p);
+    t.x.(p) <- 0;
+    t.z.(p) <- b;
+    t.r.(p) <- 1
+  end
+  (* else the outcome is already deterministic-1: nothing to project *)
+
+let measure t rng q =
+  check_qubit t q;
+  let p = anticommuting_stabilizer t q in
+  if p >= 0 then begin
+    let v = Rng.float rng 1.0 < 0.5 in
+    let b = 1 lsl q in
+    let n = t.n in
+    for i = 0 to (2 * n) - 1 do
+      if i <> p && t.x.(i) land b <> 0 then rowsum t i p
+    done;
+    (* the old stabilizer p becomes the destabilizer of the new Z_q
+       stabilizer installed in its place *)
+    t.x.(p - n) <- t.x.(p);
+    t.z.(p - n) <- t.z.(p);
+    t.r.(p - n) <- t.r.(p);
+    t.x.(p) <- 0;
+    t.z.(p) <- b;
+    t.r.(p) <- (if v then 1 else 0);
+    v
+  end
+  else begin
+    let p1 = if deterministic_one t q then 1.0 else 0.0 in
+    (* the draw is consumed even though the outcome is fixed, so the
+       random stream stays aligned with the dense path (RNG contract) *)
+    Rng.float rng 1.0 < p1
+  end

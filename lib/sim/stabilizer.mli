@@ -1,0 +1,63 @@
+(** Exact stabilizer (tableau) simulation — the Clifford fast path.
+
+    An [n]-qubit stabilizer state is represented by the Aaronson–Gottesman
+    CHP tableau: [n] destabilizer and [n] stabilizer generators, each a
+    Pauli string with a sign. Because {!Runner} compacts jobs to at most
+    24 active qubits, each generator's X and Z components fit in a single
+    OCaml int as bit masks, so every gate is a handful of word operations
+    per generator — O(n) per gate instead of the dense path's O(2^n) per
+    gate.
+
+    The state space is exact, not approximate: any circuit built from
+    {H, S, S†, X, Y, Z, CNOT, SWAP} plus Pauli error injections and
+    computational-basis measurement is simulated with the same outcome
+    probabilities as the dense state vector. Measurement probabilities in
+    a stabilizer state are always exactly 0, 1/2 or 1.
+
+    {2 RNG contract}
+
+    {!measure} consumes exactly one [Rng.float rng 1.0] draw per call —
+    including deterministic measurements — and decides the outcome by
+    [draw < p1], mirroring {!State.measure} draw-for-draw. This is what
+    lets {!Runner} route individual trials of one job to either backend
+    without perturbing the shared random stream (see DESIGN.md §14). *)
+
+type t
+
+val create : int -> t
+(** [create n] is |0…0⟩ over [n] qubits. Raises [Invalid_argument] for
+    [n < 1] or [n > 24] (the packed rows need one bit per qubit). *)
+
+val reset : t -> unit
+(** Reinitialize to |0…0⟩ in place — no allocation. *)
+
+val num_qubits : t -> int
+
+val is_clifford : Nisq_circuit.Gate.kind -> bool
+(** Whether {!apply_gate} accepts the gate kind. True exactly for the
+    unitary Clifford generators {H, X, Y, Z, S, S†, CNOT, SWAP}; false
+    for T/T†/rotations and for the non-unitary Measure/Barrier. *)
+
+val apply_gate : t -> Nisq_circuit.Gate.kind -> int array -> unit
+(** Apply a Clifford unitary to the given qubit operands. Raises
+    [Invalid_argument] when [is_clifford kind] is false or on bad
+    operands. *)
+
+val apply_pauli : t -> [ `X | `Y | `Z ] -> int -> unit
+(** Inject a Pauli error on one qubit (phase-only tableau update). *)
+
+val prob_one : t -> int -> float
+(** Probability that measuring the qubit yields 1 — exactly 0.0, 0.5 or
+    1.0 for a stabilizer state. Does not collapse and draws nothing. *)
+
+val collapse_one : t -> int -> unit
+(** Project the qubit onto |1⟩ — the first half of an amplitude-damping
+    jump (the caller applies the X decay afterwards). Projection onto a
+    nonzero-probability computational outcome maps stabilizer states to
+    stabilizer states, so the jump is exact here too. The caller must
+    ensure [prob_one t q > 0]. *)
+
+val measure : t -> Nisq_util.Rng.t -> int -> bool
+(** Sample a computational-basis measurement and collapse. Always
+    consumes exactly one [Rng.float rng 1.0] (see the RNG contract
+    above). *)

@@ -1,18 +1,38 @@
 module Gate = Nisq_circuit.Gate
 module Rng = Nisq_util.Rng
+module A1 = Bigarray.Array1
 
-type t = { n : int; re : float array; im : float array }
+(* Amplitudes live in flat float64 Bigarrays: the buffers sit outside the
+   OCaml heap, so a reused register adds nothing to minor-GC pressure no
+   matter the qubit count, and element access compiles to direct unboxed
+   loads/stores. *)
+type vec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { n : int; re : vec; im : vec }
+
+let make_vec size : vec =
+  Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout size
+
+let reset t =
+  Bigarray.Array1.fill t.re 0.0;
+  Bigarray.Array1.fill t.im 0.0;
+  Bigarray.Array1.set t.re 0 1.0
 
 let create n =
   if n < 1 || n > 24 then invalid_arg "State.create: need 1..24 qubits";
   let size = 1 lsl n in
-  let re = Array.make size 0.0 and im = Array.make size 0.0 in
-  re.(0) <- 1.0;
-  { n; re; im }
+  let t = { n; re = make_vec size; im = make_vec size } in
+  reset t;
+  t
 
 let num_qubits t = t.n
 
-let copy t = { n = t.n; re = Array.copy t.re; im = Array.copy t.im }
+let copy t =
+  let size = 1 lsl t.n in
+  let re = make_vec size and im = make_vec size in
+  Bigarray.Array1.blit t.re re;
+  Bigarray.Array1.blit t.im im;
+  { n = t.n; re; im }
 
 let check_qubit t q =
   if q < 0 || q >= t.n then invalid_arg "State: qubit out of range"
@@ -23,9 +43,11 @@ type m2 = {
   c_re : float; c_im : float; d_re : float; d_im : float;
 }
 
-(* The kernels below index with [Array.unsafe_get/set]: [check_qubit]
+(* The kernels below index with [A1.unsafe_get/set] applied directly —
+   never through an alias binding, which would de-specialize the
+   bigarray primitives into generic (boxing) calls: [check_qubit]
    guarantees [mask < size], every index stays in [0, size), and [size]
-   is the length of both amplitude arrays by construction. *)
+   is the length of both amplitude buffers by construction. *)
 
 let apply_m2 t q m =
   check_qubit t q;
@@ -37,15 +59,15 @@ let apply_m2 t q m =
     for off = 0 to mask - 1 do
       let i = !base + off in
       let j = i + mask in
-      let r0 = Array.unsafe_get re i and i0 = Array.unsafe_get im i in
-      let r1 = Array.unsafe_get re j and i1 = Array.unsafe_get im j in
-      Array.unsafe_set re i
+      let r0 = A1.unsafe_get re i and i0 = A1.unsafe_get im i in
+      let r1 = A1.unsafe_get re j and i1 = A1.unsafe_get im j in
+      A1.unsafe_set re i
         ((m.a_re *. r0) -. (m.a_im *. i0) +. (m.b_re *. r1) -. (m.b_im *. i1));
-      Array.unsafe_set im i
+      A1.unsafe_set im i
         ((m.a_re *. i0) +. (m.a_im *. r0) +. (m.b_re *. i1) +. (m.b_im *. r1));
-      Array.unsafe_set re j
+      A1.unsafe_set re j
         ((m.c_re *. r0) -. (m.c_im *. i0) +. (m.d_re *. r1) -. (m.d_im *. i1));
-      Array.unsafe_set im j
+      A1.unsafe_set im j
         ((m.c_re *. i0) +. (m.c_im *. r0) +. (m.d_re *. i1) +. (m.d_im *. r1))
     done;
     base := !base + (2 * mask)
@@ -53,44 +75,55 @@ let apply_m2 t q m =
 
 let s2 = 1.0 /. sqrt 2.0
 
-let m2_of_kind = function
-  | Gate.H ->
-      Some { a_re = s2; a_im = 0.; b_re = s2; b_im = 0.;
-             c_re = s2; c_im = 0.; d_re = -.s2; d_im = 0. }
-  | Gate.X ->
-      Some { a_re = 0.; a_im = 0.; b_re = 1.; b_im = 0.;
-             c_re = 1.; c_im = 0.; d_re = 0.; d_im = 0. }
-  | Gate.Y ->
-      Some { a_re = 0.; a_im = 0.; b_re = 0.; b_im = -1.;
-             c_re = 0.; c_im = 1.; d_re = 0.; d_im = 0. }
-  | Gate.Z ->
-      Some { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
-             c_re = 0.; c_im = 0.; d_re = -1.; d_im = 0. }
-  | Gate.S ->
-      Some { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
-             c_re = 0.; c_im = 0.; d_re = 0.; d_im = 1. }
-  | Gate.Sdg ->
-      Some { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
-             c_re = 0.; c_im = 0.; d_re = 0.; d_im = -1. }
-  | Gate.T ->
-      Some { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
-             c_re = 0.; c_im = 0.; d_re = s2; d_im = s2 }
-  | Gate.Tdg ->
-      Some { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
-             c_re = 0.; c_im = 0.; d_re = s2; d_im = -.s2 }
-  | Gate.Rz a ->
-      let h = a /. 2.0 in
-      Some { a_re = cos h; a_im = -.sin h; b_re = 0.; b_im = 0.;
-             c_re = 0.; c_im = 0.; d_re = cos h; d_im = sin h }
-  | Gate.Rx a ->
-      let h = a /. 2.0 in
-      Some { a_re = cos h; a_im = 0.; b_re = 0.; b_im = -.sin h;
-             c_re = 0.; c_im = -.sin h; d_re = cos h; d_im = 0. }
-  | Gate.Ry a ->
-      let h = a /. 2.0 in
-      Some { a_re = cos h; a_im = 0.; b_re = -.sin h; b_im = 0.;
-             c_re = sin h; c_im = 0.; d_re = cos h; d_im = 0. }
-  | Gate.Cnot | Gate.Swap | Gate.Measure | Gate.Barrier -> None
+(* The fixed gate matrices are preallocated so the trial loop's gate
+   dispatch allocates nothing; only parameterized rotations build a
+   matrix per application. *)
+let m_h =
+  { a_re = s2; a_im = 0.; b_re = s2; b_im = 0.;
+    c_re = s2; c_im = 0.; d_re = -.s2; d_im = 0. }
+
+let m_x =
+  { a_re = 0.; a_im = 0.; b_re = 1.; b_im = 0.;
+    c_re = 1.; c_im = 0.; d_re = 0.; d_im = 0. }
+
+let m_y =
+  { a_re = 0.; a_im = 0.; b_re = 0.; b_im = -1.;
+    c_re = 0.; c_im = 1.; d_re = 0.; d_im = 0. }
+
+let m_z =
+  { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
+    c_re = 0.; c_im = 0.; d_re = -1.; d_im = 0. }
+
+let m_s =
+  { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
+    c_re = 0.; c_im = 0.; d_re = 0.; d_im = 1. }
+
+let m_sdg =
+  { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
+    c_re = 0.; c_im = 0.; d_re = 0.; d_im = -1. }
+
+let m_t =
+  { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
+    c_re = 0.; c_im = 0.; d_re = s2; d_im = s2 }
+
+let m_tdg =
+  { a_re = 1.; a_im = 0.; b_re = 0.; b_im = 0.;
+    c_re = 0.; c_im = 0.; d_re = s2; d_im = -.s2 }
+
+let m_rz a =
+  let h = a /. 2.0 in
+  { a_re = cos h; a_im = -.sin h; b_re = 0.; b_im = 0.;
+    c_re = 0.; c_im = 0.; d_re = cos h; d_im = sin h }
+
+let m_rx a =
+  let h = a /. 2.0 in
+  { a_re = cos h; a_im = 0.; b_re = 0.; b_im = -.sin h;
+    c_re = 0.; c_im = -.sin h; d_re = cos h; d_im = 0. }
+
+let m_ry a =
+  let h = a /. 2.0 in
+  { a_re = cos h; a_im = 0.; b_re = -.sin h; b_im = 0.;
+    c_re = sin h; c_im = 0.; d_re = cos h; d_im = 0. }
 
 let apply_cnot t c tgt =
   check_qubit t c;
@@ -102,11 +135,11 @@ let apply_cnot t c tgt =
   for i = 0 to size - 1 do
     if i land cmask <> 0 && i land tmask = 0 then begin
       let j = i lor tmask in
-      let r = Array.unsafe_get re i and m = Array.unsafe_get im i in
-      Array.unsafe_set re i (Array.unsafe_get re j);
-      Array.unsafe_set im i (Array.unsafe_get im j);
-      Array.unsafe_set re j r;
-      Array.unsafe_set im j m
+      let r = A1.unsafe_get re i and m = A1.unsafe_get im i in
+      A1.unsafe_set re i (A1.unsafe_get re j);
+      A1.unsafe_set im i (A1.unsafe_get im j);
+      A1.unsafe_set re j r;
+      A1.unsafe_set im j m
     end
   done
 
@@ -117,20 +150,27 @@ let apply_swap t a b =
 
 let apply_gate t kind qubits =
   match kind with
+  | Gate.H -> apply_m2 t qubits.(0) m_h
+  | Gate.X -> apply_m2 t qubits.(0) m_x
+  | Gate.Y -> apply_m2 t qubits.(0) m_y
+  | Gate.Z -> apply_m2 t qubits.(0) m_z
+  | Gate.S -> apply_m2 t qubits.(0) m_s
+  | Gate.Sdg -> apply_m2 t qubits.(0) m_sdg
+  | Gate.T -> apply_m2 t qubits.(0) m_t
+  | Gate.Tdg -> apply_m2 t qubits.(0) m_tdg
+  | Gate.Rz a -> apply_m2 t qubits.(0) (m_rz a)
+  | Gate.Rx a -> apply_m2 t qubits.(0) (m_rx a)
+  | Gate.Ry a -> apply_m2 t qubits.(0) (m_ry a)
   | Gate.Cnot -> apply_cnot t qubits.(0) qubits.(1)
   | Gate.Swap -> apply_swap t qubits.(0) qubits.(1)
   | Gate.Measure | Gate.Barrier ->
       invalid_arg "State.apply_gate: non-unitary gate"
-  | k -> (
-      match m2_of_kind k with
-      | Some m -> apply_m2 t qubits.(0) m
-      | None -> assert false)
 
 let apply_pauli t p q =
   match p with
-  | `X -> apply_gate t Gate.X [| q |]
-  | `Y -> apply_gate t Gate.Y [| q |]
-  | `Z -> apply_gate t Gate.Z [| q |]
+  | `X -> apply_m2 t q m_x
+  | `Y -> apply_m2 t q m_y
+  | `Z -> apply_m2 t q m_z
 
 let prob_one t q =
   check_qubit t q;
@@ -140,7 +180,7 @@ let prob_one t q =
   let p = ref 0.0 in
   for i = 0 to size - 1 do
     if i land mask <> 0 then begin
-      let r = Array.unsafe_get re i and m = Array.unsafe_get im i in
+      let r = A1.unsafe_get re i and m = A1.unsafe_get im i in
       p := !p +. (r *. r) +. (m *. m)
     end
   done;
@@ -164,26 +204,25 @@ let collapse_outcome t q v =
   in
   let mask = 1 lsl q in
   let size = 1 lsl t.n in
+  let re = t.re and im = t.im in
   if p < 1e-12 then begin
     (* Both outcomes vanished: the register norm itself collapsed. Reset
        to the basis state matching the outcome rather than divide by ~0. *)
-    for i = 0 to size - 1 do
-      t.re.(i) <- 0.0;
-      t.im.(i) <- 0.0
-    done;
-    t.re.(if v then mask else 0) <- 1.0
+    Bigarray.Array1.fill re 0.0;
+    Bigarray.Array1.fill im 0.0;
+    A1.unsafe_set re (if v then mask else 0) 1.0
   end
   else begin
     let scale = 1.0 /. sqrt p in
     for i = 0 to size - 1 do
       let bit_set = i land mask <> 0 in
       if bit_set = v then begin
-        t.re.(i) <- t.re.(i) *. scale;
-        t.im.(i) <- t.im.(i) *. scale
+        A1.unsafe_set re i (A1.unsafe_get re i *. scale);
+        A1.unsafe_set im i (A1.unsafe_get im i *. scale)
       end
       else begin
-        t.re.(i) <- 0.0;
-        t.im.(i) <- 0.0
+        A1.unsafe_set re i 0.0;
+        A1.unsafe_set im i 0.0
       end
     done
   end;
@@ -206,7 +245,7 @@ let sample t rng =
   let acc = ref 0.0 and result = ref (-1) and last_nonzero = ref 0 in
   (try
      for i = 0 to size - 1 do
-       let r = Array.unsafe_get re i and m = Array.unsafe_get im i in
+       let r = A1.unsafe_get re i and m = A1.unsafe_get im i in
        let p = (r *. r) +. (m *. m) in
        if p > 0.0 then last_nonzero := i;
        acc := !acc +. p;
@@ -220,23 +259,25 @@ let sample t rng =
 
 let probabilities t =
   Array.init (1 lsl t.n) (fun i ->
-      (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i)))
+      let r = A1.unsafe_get t.re i and m = A1.unsafe_get t.im i in
+      (r *. r) +. (m *. m))
 
-let amplitude t i = (t.re.(i), t.im.(i))
+let amplitude t i = (Bigarray.Array1.get t.re i, Bigarray.Array1.get t.im i)
 
 let fidelity a b =
   if a.n <> b.n then invalid_arg "State.fidelity: size mismatch";
   let re = ref 0.0 and im = ref 0.0 in
   for i = 0 to (1 lsl a.n) - 1 do
     (* conj(a) * b *)
-    re := !re +. (a.re.(i) *. b.re.(i)) +. (a.im.(i) *. b.im.(i));
-    im := !im +. (a.re.(i) *. b.im.(i)) -. (a.im.(i) *. b.re.(i))
+    re := !re +. (A1.unsafe_get a.re i *. A1.unsafe_get b.re i) +. (A1.unsafe_get a.im i *. A1.unsafe_get b.im i);
+    im := !im +. (A1.unsafe_get a.re i *. A1.unsafe_get b.im i) -. (A1.unsafe_get a.im i *. A1.unsafe_get b.re i)
   done;
   (!re *. !re) +. (!im *. !im)
 
 let norm t =
   let s = ref 0.0 in
   for i = 0 to (1 lsl t.n) - 1 do
-    s := !s +. (t.re.(i) *. t.re.(i)) +. (t.im.(i) *. t.im.(i))
+    let r = A1.unsafe_get t.re i and m = A1.unsafe_get t.im i in
+    s := !s +. (r *. r) +. (m *. m)
   done;
   !s

@@ -1,15 +1,20 @@
 (** Dense state-vector simulation.
 
     A register of [n] qubits holds [2^n] complex amplitudes (separate
-    real/imaginary float arrays for speed). Basis index bit [q] is the
-    value of qubit [q] (little-endian). Practical to ~20 qubits; the
-    compiled paper benchmarks touch at most a dozen hardware qubits. *)
+    real/imaginary flat [Bigarray] float64 buffers: off the OCaml heap,
+    unboxed access, reusable via {!reset} so a hot trial loop allocates
+    nothing). Basis index bit [q] is the value of qubit [q]
+    (little-endian). Practical to ~20 qubits; the compiled paper
+    benchmarks touch at most a dozen hardware qubits. *)
 
 type t
 
 val create : int -> t
 (** [create n] is |0…0⟩ over [n] qubits. Raises [Invalid_argument] for
     [n < 1] or [n > 24]. *)
+
+val reset : t -> unit
+(** Reinitialize to |0…0⟩ in place — no allocation. *)
 
 val num_qubits : t -> int
 

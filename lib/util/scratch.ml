@@ -1,0 +1,12 @@
+type ('k, 'v) t = { slot : ('k * 'v) option ref Domain.DLS.key }
+
+let create () = { slot = Domain.DLS.new_key (fun () -> ref None) }
+
+let get t ~key ~make =
+  let cell = Domain.DLS.get t.slot in
+  match !cell with
+  | Some (k, v) when k == key -> v
+  | _ ->
+      let v = make key in
+      cell := Some (key, v);
+      v

@@ -1,0 +1,27 @@
+(** Per-domain scratch arenas.
+
+    A hot chunk loop wants to reuse its working buffers (simulator
+    registers, fired-site arrays, tallies) across chunks instead of
+    reallocating them per chunk — but the loop runs on whichever pool
+    worker picked the chunk up, and scratch must never be shared between
+    domains. An arena gives each domain one cached slot, keyed by the
+    (physically equal) job the scratch was built for: successive chunks
+    of the same job on the same domain hit the cache, a chunk of a
+    different job rebuilds the slot.
+
+    Values are handed out to exactly one domain and never migrate, so no
+    synchronization is needed. The cache is intentionally single-slot:
+    jobs interleaving on one domain degrade to per-chunk allocation
+    (correct, just slower), and a dropped job's scratch is reclaimed as
+    soon as the domain moves on to another job. *)
+
+type ('k, 'v) t
+
+val create : unit -> ('k, 'v) t
+(** A fresh arena with an empty slot on every domain. *)
+
+val get : ('k, 'v) t -> key:'k -> make:('k -> 'v) -> 'v
+(** The calling domain's cached value when its slot holds [key]
+    (physical equality), otherwise [make key], which replaces the slot.
+    The caller is responsible for re-initializing any per-use state —
+    the arena returns the cached value as the last use left it. *)

@@ -9,6 +9,7 @@ let () =
       ("solver", Test_solver.suite);
       ("parallel", Test_parallel.suite);
       ("sim", Test_sim.suite);
+      ("stabilizer", Test_stabilizer.suite);
       ("compiler", Test_compiler.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("cells", Test_cells.suite);

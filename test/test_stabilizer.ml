@@ -1,0 +1,371 @@
+(* Tests for the stabilizer (Clifford tableau) fast path.
+
+   The contract under test is DESIGN.md §14: routing a noisy trial to
+   the tableau backend must be invisible in the results — success rates
+   and distributions are bit-for-bit identical with the fast path on or
+   off, at any pool size — and a job containing any non-Clifford
+   unitary must route every trial to the dense backend. *)
+
+module Gate = Nisq_circuit.Gate
+module State = Nisq_sim.State
+module Stabilizer = Nisq_sim.Stabilizer
+module Runner = Nisq_sim.Runner
+module Calibration = Nisq_device.Calibration
+module Ibmq16 = Nisq_device.Ibmq16
+module Topology = Nisq_device.Topology
+module Rng = Nisq_util.Rng
+module Pool = Nisq_util.Pool
+module Scratch = Nisq_util.Scratch
+module Metrics = Nisq_obs.Metrics
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let with_stabilizer v f =
+  Runner.set_stabilizer_enabled v;
+  Fun.protect ~finally:(fun () -> Runner.set_stabilizer_enabled None) f
+
+(* ---------------------- tableau unit behaviour --------------------- *)
+
+let test_clifford_classifier () =
+  List.iter
+    (fun k -> Alcotest.(check bool) "clifford" true (Stabilizer.is_clifford k))
+    [ Gate.H; Gate.X; Gate.Y; Gate.Z; Gate.S; Gate.Sdg; Gate.Cnot; Gate.Swap ];
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "not clifford" false (Stabilizer.is_clifford k))
+    [
+      Gate.T; Gate.Tdg; Gate.Rz 0.1; Gate.Rx 0.1; Gate.Ry 0.1; Gate.Measure;
+      Gate.Barrier;
+    ]
+
+(* A random Clifford word over [n] qubits, identically applied to both
+   backends. *)
+let random_clifford_step rng n st tab =
+  let kind =
+    match Rng.int rng 8 with
+    | 0 -> Gate.H
+    | 1 -> Gate.X
+    | 2 -> Gate.Y
+    | 3 -> Gate.Z
+    | 4 -> Gate.S
+    | 5 -> Gate.Sdg
+    | 6 -> Gate.Cnot
+    | _ -> Gate.Swap
+  in
+  let qubits =
+    match kind with
+    | Gate.Cnot | Gate.Swap ->
+        let a = Rng.int rng n in
+        let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+        [| a; b |]
+    | _ -> [| Rng.int rng n |]
+  in
+  State.apply_gate st kind qubits;
+  Stabilizer.apply_gate tab kind qubits
+
+let test_tableau_matches_dense_probs () =
+  let n = 5 in
+  let rng = Rng.create 2024 in
+  for _trial = 1 to 50 do
+    let st = State.create n in
+    let tab = Stabilizer.create n in
+    for _step = 1 to 30 do
+      random_clifford_step rng n st tab
+    done;
+    for q = 0 to n - 1 do
+      (* stabilizer probabilities are exactly {0, 1/2, 1}; the dense
+         amplitudes of the same state agree to rounding *)
+      check_float "prob_one agrees" (State.prob_one st q)
+        (Stabilizer.prob_one tab q)
+    done
+  done
+
+let test_measure_stream_parity () =
+  (* Same circuit, same seed: outcomes agree AND both backends consume
+     exactly one draw per measurement, so the streams stay aligned. *)
+  let n = 4 in
+  let gen = Rng.create 7 in
+  for _trial = 1 to 40 do
+    let st = State.create n in
+    let tab = Stabilizer.create n in
+    for _step = 1 to 20 do
+      random_clifford_step gen n st tab
+    done;
+    let seed = Rng.int gen 1_000_000 in
+    let rng_dense = Rng.create seed and rng_tab = Rng.create seed in
+    for q = 0 to n - 1 do
+      let a = State.measure st rng_dense q in
+      let b = Stabilizer.measure tab rng_tab q in
+      Alcotest.(check bool) "same outcome" a b
+    done;
+    (* draw-count parity: the next float must match bit-for-bit *)
+    Alcotest.(check (float 0.0)) "streams aligned"
+      (Rng.float rng_dense 1.0) (Rng.float rng_tab 1.0)
+  done
+
+let test_collapse_one_projects () =
+  (* Bell pair: collapsing one side onto |1> must drag the other along,
+     exactly as the dense projector does. *)
+  let st = State.create 2 in
+  let tab = Stabilizer.create 2 in
+  List.iter
+    (fun (k, qs) ->
+      State.apply_gate st k qs;
+      Stabilizer.apply_gate tab k qs)
+    [ (Gate.H, [| 0 |]); (Gate.Cnot, [| 0; 1 |]) ];
+  Stabilizer.collapse_one tab 0;
+  State.collapse st 0 true;
+  check_float "q0 is 1" (State.prob_one st 0) (Stabilizer.prob_one tab 0);
+  check_float "q1 followed" (State.prob_one st 1) (Stabilizer.prob_one tab 1);
+  check_float "exactly one" 1.0 (Stabilizer.prob_one tab 1);
+  (* collapsing an already-deterministic qubit is a no-op *)
+  Stabilizer.collapse_one tab 1;
+  check_float "still one" 1.0 (Stabilizer.prob_one tab 1)
+
+let test_tableau_reset () =
+  let tab = Stabilizer.create 3 in
+  Stabilizer.apply_gate tab Gate.H [| 0 |];
+  Stabilizer.apply_gate tab Gate.Cnot [| 0; 2 |];
+  Stabilizer.reset tab;
+  for q = 0 to 2 do
+    check_float "back to |0>" 0.0 (Stabilizer.prob_one tab q)
+  done
+
+let test_tableau_bounds () =
+  Alcotest.(check bool) "raises on 0" true
+    (try ignore (Stabilizer.create 0); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "raises on 25" true
+    (try ignore (Stabilizer.create 25); false with Invalid_argument _ -> true);
+  let tab = Stabilizer.create 2 in
+  Alcotest.(check bool) "rejects T" true
+    (try Stabilizer.apply_gate tab Gate.T [| 0 |]; false
+     with Invalid_argument _ -> true)
+
+(* ------------------- switch and per-job capability ------------------ *)
+
+let test_stabilizer_switch () =
+  Alcotest.(check bool) "default on" true (Runner.stabilizer_enabled ());
+  with_stabilizer (Some false) (fun () ->
+      Alcotest.(check bool) "forced off" false (Runner.stabilizer_enabled ()));
+  with_stabilizer (Some true) (fun () ->
+      Alcotest.(check bool) "forced on" true (Runner.stabilizer_enabled ()));
+  Alcotest.(check bool) "restored" true (Runner.stabilizer_enabled ())
+
+let calib = Ibmq16.calibration ~day:0 ()
+
+let clifford_job () =
+  Runner.prepare ~calib
+    ~ops:
+      [|
+        { Runner.kind = Gate.H; qubits = [| 0 |]; start = 0; duration = 1 };
+        { Runner.kind = Gate.Cnot; qubits = [| 0; 1 |]; start = 1; duration = 4 };
+        { Runner.kind = Gate.Cnot; qubits = [| 0; 1 |]; start = 5; duration = 4 };
+        { Runner.kind = Gate.H; qubits = [| 0 |]; start = 9; duration = 1 };
+        { Runner.kind = Gate.Measure; qubits = [| 0 |]; start = 10; duration = 4 };
+        { Runner.kind = Gate.Measure; qubits = [| 1 |]; start = 10; duration = 4 };
+      |]
+    ~readout:[ (0, 0); (1, 1) ]
+
+let t_poisoned_job () =
+  Runner.prepare ~calib
+    ~ops:
+      [|
+        { Runner.kind = Gate.H; qubits = [| 0 |]; start = 0; duration = 1 };
+        { Runner.kind = Gate.T; qubits = [| 0 |]; start = 1; duration = 1 };
+        { Runner.kind = Gate.H; qubits = [| 0 |]; start = 2; duration = 1 };
+        { Runner.kind = Gate.Measure; qubits = [| 0 |]; start = 3; duration = 4 };
+      |]
+    ~readout:[ (0, 0) ]
+
+let test_clifford_capability () =
+  Alcotest.(check bool) "clifford job capable" true
+    (Runner.clifford_capable (clifford_job ()));
+  Alcotest.(check bool) "T job not capable" false
+    (Runner.clifford_capable (t_poisoned_job ()))
+
+(* The routing metrics: a Clifford job's noisy trials all count as
+   hits, a T-poisoned job's all as fallbacks — and the split is the
+   `nisqc run --metrics` evidence that the fast path actually ran. *)
+let test_routing_metrics () =
+  let hit = Metrics.counter "sim.clifford.hit" in
+  let fallback = Metrics.counter "sim.clifford.fallback" in
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) @@ fun () ->
+  let h0 = Metrics.value hit and f0 = Metrics.value fallback in
+  let (_ : float) =
+    Runner.success_rate_seq ~trials:512 ~seed:3 (clifford_job ())
+  in
+  let h1 = Metrics.value hit and f1 = Metrics.value fallback in
+  Alcotest.(check bool) "clifford job hits" true (h1 - h0 > 0);
+  Alcotest.(check int) "clifford job never falls back" 0 (f1 - f0);
+  let (_ : float) =
+    Runner.success_rate_seq ~trials:512 ~seed:3 (t_poisoned_job ())
+  in
+  let h2 = Metrics.value hit and f2 = Metrics.value fallback in
+  Alcotest.(check int) "T job never hits" 0 (h2 - h1);
+  Alcotest.(check bool) "T job falls back" true (f2 - f1 > 0);
+  (* forced off: the same Clifford job stops hitting *)
+  with_stabilizer (Some false) (fun () ->
+      let (_ : float) =
+        Runner.success_rate_seq ~trials:128 ~seed:3 (clifford_job ())
+      in
+      Alcotest.(check int) "disabled path never hits" 0
+        (Metrics.value hit - h2))
+
+(* --------------- tableau-vs-dense equivalence, end to end ----------- *)
+
+let pools = [ 0; 1; 4 ]
+
+(* Byte-identity of success_rate and distribution with the fast path on
+   vs off, at every pool size. [Int64.bits_of_float] turns "equal" into
+   "the same 64 bits" — the paper tables must not depend on the
+   backend. *)
+let assert_equivalent name job =
+  let measure () =
+    List.map
+      (fun size ->
+        let pool = Pool.create ~size () in
+        Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+        ( Int64.bits_of_float
+            (Runner.success_rate ~trials:384 ~pool ~seed:42 job),
+          Runner.distribution ~trials:384 ~pool ~seed:43 job ))
+      pools
+  in
+  let fast = with_stabilizer (Some true) measure in
+  let dense = with_stabilizer (Some false) measure in
+  List.iteri
+    (fun i ((s_fast, d_fast), (s_dense, d_dense)) ->
+      let ctx = Printf.sprintf "%s pool=%d" name (List.nth pools i) in
+      Alcotest.(check int64) (ctx ^ ": success bits") s_dense s_fast;
+      Alcotest.(check (list (pair int int))) (ctx ^ ": distribution") d_dense
+        d_fast)
+    (List.combine fast dense)
+
+let paper_runner name =
+  let b = Nisq_bench.Benchmarks.by_name name in
+  let config =
+    Nisq_compiler.Config.make (Nisq_compiler.Config.R_smt_star 0.5)
+  in
+  let r = Nisq_compiler.Compile.run ~config ~calib b.Nisq_bench.Benchmarks.circuit in
+  Nisq_bench.Experiments.runner_of r
+
+let test_paper_benchmarks_equivalent () =
+  List.iter
+    (fun b ->
+      assert_equivalent b.Nisq_bench.Benchmarks.name
+        (paper_runner b.Nisq_bench.Benchmarks.name))
+    Nisq_bench.Benchmarks.all
+
+(* Channel matrix: one crafted calibration per noise channel, each hot
+   enough to fire constantly, over hand-built Clifford ops — every
+   channel's tableau twin (Z dephasing, exact amplitude-damping jumps,
+   Pauli faults, readout flips) must reproduce the dense bits. *)
+let grid_calib ~t1_us ~t2_us ~single_error ~readout_error ~cnot_err =
+  let n = 16 in
+  let cnot_error = Array.make_matrix n n Float.nan in
+  let cnot_duration = Array.make_matrix n n 0 in
+  List.iter
+    (fun (a, b) ->
+      cnot_error.(a).(b) <- cnot_err;
+      cnot_error.(b).(a) <- cnot_err;
+      cnot_duration.(a).(b) <- 4;
+      cnot_duration.(b).(a) <- 4)
+    (Topology.edges Ibmq16.topology);
+  Calibration.create ~topology:Ibmq16.topology ~day:0
+    ~t1_us:(Array.make n t1_us) ~t2_us:(Array.make n t2_us)
+    ~readout_error:(Array.make n readout_error)
+    ~single_error:(Array.make n single_error) ~cnot_error ~cnot_duration
+
+let channel_job ~calib =
+  (* superposition + entanglement + a long idle window + measurement:
+     every channel in the model gets somewhere to fire *)
+  Runner.prepare ~calib
+    ~ops:
+      [|
+        { Runner.kind = Gate.H; qubits = [| 0 |]; start = 0; duration = 1 };
+        { Runner.kind = Gate.X; qubits = [| 1 |]; start = 0; duration = 1 };
+        { Runner.kind = Gate.Cnot; qubits = [| 0; 1 |]; start = 1; duration = 4 };
+        { Runner.kind = Gate.H; qubits = [| 0 |]; start = 200; duration = 1 };
+        { Runner.kind = Gate.Measure; qubits = [| 0 |]; start = 201; duration = 4 };
+        { Runner.kind = Gate.Measure; qubits = [| 1 |]; start = 201; duration = 4 };
+      |]
+    ~readout:[ (0, 0); (1, 1) ]
+
+let test_channel_matrix_equivalent () =
+  let channels =
+    [
+      (* one channel scaled hot per row, the rest benign *)
+      ("t2-dephasing", grid_calib ~t1_us:1e9 ~t2_us:2.0 ~single_error:0.0
+         ~readout_error:0.0 ~cnot_err:0.0);
+      ("t1-damping", grid_calib ~t1_us:2.0 ~t2_us:1e9 ~single_error:0.0
+         ~readout_error:0.0 ~cnot_err:0.0);
+      ("single-gate", grid_calib ~t1_us:1e9 ~t2_us:1e9 ~single_error:0.3
+         ~readout_error:0.0 ~cnot_err:0.0);
+      ("cnot", grid_calib ~t1_us:1e9 ~t2_us:1e9 ~single_error:0.0
+         ~readout_error:0.0 ~cnot_err:0.4);
+      ("readout", grid_calib ~t1_us:1e9 ~t2_us:1e9 ~single_error:0.0
+         ~readout_error:0.35 ~cnot_err:0.0);
+      ("all-hot", grid_calib ~t1_us:5.0 ~t2_us:3.0 ~single_error:0.2
+         ~readout_error:0.2 ~cnot_err:0.3);
+    ]
+  in
+  List.iter
+    (fun (name, calib) -> assert_equivalent name (channel_job ~calib))
+    channels
+
+let test_forced_fallback_equivalent () =
+  (* the non-Clifford case rides the dense path under both switch
+     settings — equivalence must hold trivially, and stay bit-exact *)
+  assert_equivalent "t-poisoned" (t_poisoned_job ())
+
+(* --------------------------- scratch arena -------------------------- *)
+
+let test_scratch_arena_caches () =
+  let arena : (int ref, int array) Scratch.t = Scratch.create () in
+  let makes = ref 0 in
+  let make _ = incr makes; Array.make 4 0 in
+  let k1 = ref 1 and k2 = ref 2 in
+  let a = Scratch.get arena ~key:k1 ~make in
+  let b = Scratch.get arena ~key:k1 ~make in
+  Alcotest.(check bool) "same key hits" true (a == b);
+  Alcotest.(check int) "one make" 1 !makes;
+  (* the slot remembers last use: per-use state survives *)
+  a.(0) <- 42;
+  Alcotest.(check int) "cached state visible" 42
+    (Scratch.get arena ~key:k1 ~make).(0);
+  let c = Scratch.get arena ~key:k2 ~make in
+  Alcotest.(check bool) "new key rebuilds" true (c != a);
+  Alcotest.(check int) "two makes" 2 !makes;
+  (* single slot: returning to k1 rebuilds again *)
+  let d = Scratch.get arena ~key:k1 ~make in
+  Alcotest.(check bool) "slot was evicted" true (d != a);
+  Alcotest.(check int) "three makes" 3 !makes
+
+let test_scratch_arena_per_domain () =
+  let arena : (unit ref, int ref) Scratch.t = Scratch.create () in
+  let key = ref () in
+  let mine = Scratch.get arena ~key ~make:(fun _ -> ref 0) in
+  let theirs =
+    Domain.join
+      (Domain.spawn (fun () -> Scratch.get arena ~key ~make:(fun _ -> ref 0)))
+  in
+  Alcotest.(check bool) "domains never share scratch" true (mine != theirs)
+
+let suite =
+  [
+    ("clifford classifier", `Quick, test_clifford_classifier);
+    ("tableau matches dense probabilities", `Quick,
+     test_tableau_matches_dense_probs);
+    ("measure parity and RNG contract", `Quick, test_measure_stream_parity);
+    ("collapse_one projects like dense", `Quick, test_collapse_one_projects);
+    ("tableau reset", `Quick, test_tableau_reset);
+    ("tableau bounds and gate rejection", `Quick, test_tableau_bounds);
+    ("stabilizer switch override", `Quick, test_stabilizer_switch);
+    ("per-job clifford capability", `Quick, test_clifford_capability);
+    ("routing metrics split", `Quick, test_routing_metrics);
+    ("paper benchmarks bit-identical", `Slow, test_paper_benchmarks_equivalent);
+    ("channel matrix bit-identical", `Quick, test_channel_matrix_equivalent);
+    ("forced fallback bit-identical", `Quick, test_forced_fallback_equivalent);
+    ("scratch arena caches per key", `Quick, test_scratch_arena_caches);
+    ("scratch arena is per-domain", `Quick, test_scratch_arena_per_domain);
+  ]

@@ -9,11 +9,13 @@
    carry name/ph/ts/dur fields. With --jsonl, the file is a run journal
    or event ledger: one JSON object per line, every line (including the
    last) complete — the shape an orderly shutdown must leave behind.
-   With --bench, each file is a BENCH_compile.json baseline (schema
-   nisq-bench-compile/1 or /2, non-empty "benchmarks" of
-   {name, ns_per_run}); given two or more files, their benchmark-name
-   sets must also agree, so CI catches a baseline that silently lost a
-   benchmark. With --report, each file is a compile explain report and
+   With --bench, each file is a bench baseline (schema
+   nisq-bench-compile/1 or /2, or nisq-bench-sim/1; non-empty
+   "benchmarks" of {name, ns_per_run}, extra per-entry fields are
+   allowed); given two or more files, their benchmark-name sets must
+   also agree, so CI catches a baseline that silently lost a benchmark
+   — lint compile and sim baselines in separate invocations, since
+   their name sets differ by design. With --report, each file is a compile explain report and
    is checked by Nisq_obs.Report.validate (schema, types, and the ESP
    arithmetic invariants). With --prom, each file is a Prometheus
    text-format scrape: every series must follow a # TYPE declaration
@@ -130,7 +132,7 @@ let check_bench path v =
   in
   match Json.member "schema" v with
   | Some (Json.String "nisq-bench-compile/1") -> check_benchmarks "" v
-  | Some (Json.String "nisq-bench-compile/2") -> (
+  | Some (Json.String ("nisq-bench-compile/2" | "nisq-bench-sim/1")) -> (
       match Json.member "trajectory" v with
       | None -> fail "missing \"trajectory\""
       | Some (Json.List []) -> fail "\"trajectory\" is empty"
